@@ -1,0 +1,139 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Not a paper figure -- these quantify the starred implementation
+decisions so a downstream user can see what each buys:
+
+* A1 disjoint-pair selection: max-Hamming fallback vs first success;
+* A2 Quine-McCluskey simplification on/off (explanation size);
+* A3 suspect ordering: shortest-first vs shuffled;
+* A4 confirmed-suspect minimization on/off (cause length);
+* A5 complement exploration on/off (FindAll recall).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    DDTConfig,
+    DebugSession,
+    debugging_decision_trees,
+    shortcut,
+)
+from repro.eval import format_table, match_synthetic, score_find_all
+from repro.synth import Scenario, make_suite
+
+from conftest import run_once
+
+SUITE_KW = dict(min_parameters=3, max_parameters=6, min_values=5, max_values=8)
+
+
+def _session_for(pipeline, seed, size=8):
+    rng = random.Random(seed)
+    history = pipeline.initial_history(rng, size=size)
+    return DebugSession(pipeline.oracle, pipeline.space, history=history)
+
+
+def _ddt_score(suite, config_factory):
+    reports = []
+    budgets = []
+    lengths = []
+    counts = []
+    for index, pipeline in enumerate(suite):
+        session = _session_for(pipeline, seed=index)
+        result = debugging_decision_trees(session, config_factory(index))
+        budgets.append(result.instances_executed)
+        for cause in result.causes:
+            lengths.append(len(cause))
+        counts.append(len(result.causes))
+        reports.append(
+            match_synthetic(
+                result.causes,
+                pipeline.true_causes,
+                pipeline.space,
+                pipeline.oracle,
+                seed=index,
+            )
+        )
+    prf = score_find_all(reports)
+    mean_budget = sum(budgets) / len(budgets)
+    mean_length = sum(lengths) / len(lengths) if lengths else 0.0
+    return prf, mean_budget, mean_length
+
+
+def _ablation_rows():
+    suite = make_suite(Scenario.DISJUNCTION, 8, seed=701, **SUITE_KW)
+    rows = []
+
+    variants = {
+        "baseline (all on)": lambda i: DDTConfig(find_all=True, seed=i),
+        "A2 simplify off": lambda i: DDTConfig(find_all=True, simplify=False, seed=i),
+        "A3 unordered suspects": lambda i: DDTConfig(
+            find_all=True, shortest_first=False, seed=i
+        ),
+        "A4 no minimization": lambda i: DDTConfig(
+            find_all=True, minimize_confirmed=False, seed=i
+        ),
+        "A5 no exploration": lambda i: DDTConfig(
+            find_all=True, exploration_per_round=0, seed=i
+        ),
+    }
+    for label, factory in variants.items():
+        prf, budget, length = _ddt_score(suite, factory)
+        rows.append(
+            [
+                label,
+                f"{prf.precision:.3f}",
+                f"{prf.recall:.3f}",
+                f"{prf.f_measure:.3f}",
+                f"{budget:.1f}",
+                f"{length:.2f}",
+            ]
+        )
+    return rows
+
+
+def _shortcut_pairing_rows():
+    suite = make_suite(Scenario.CONJUNCTION, 10, seed=702, **SUITE_KW)
+    rows = []
+    for label, pick_best in (("A1 max-Hamming good instance", True), ("A1 first success", False)):
+        asserted_ok = 0
+        total = 0
+        for index, pipeline in enumerate(suite):
+            session = _session_for(pipeline, seed=index)
+            history = session.history
+            failing = history.failures[0]
+            disjoint = history.disjoint_successes(failing)
+            if disjoint:
+                good = disjoint[0]
+            elif pick_best:
+                good = history.most_different_success(failing)
+            else:
+                good = history.successes[0]
+            if good is None:
+                continue
+            result = shortcut(session, failing, good)
+            total += 1
+            report = match_synthetic(
+                [result.cause] if result.asserted else [],
+                pipeline.true_causes,
+                pipeline.space,
+                pipeline.oracle,
+                seed=index,
+            )
+            if report.found_at_least_one:
+                asserted_ok += 1
+        rows.append([label, f"{asserted_ok}/{total}", "", "", "", ""])
+    return rows
+
+
+def test_ablations(benchmark, publish):
+    rows = run_once(benchmark, lambda: _ablation_rows() + _shortcut_pairing_rows())
+    text = format_table(
+        ["variant", "precision", "recall", "F", "mean budget", "mean |cause|"],
+        rows,
+        title="Ablations: DDT design choices (FindAll, disjunction suite) "
+        "and Shortcut pairing heuristic (hit rate)",
+    )
+    publish("ablations", text)
+    assert rows, "ablation table must not be empty"

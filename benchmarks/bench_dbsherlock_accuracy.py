@@ -1,0 +1,64 @@
+"""Section 5.3 (DBSherlock): holdout accuracy of root-cause classifiers.
+
+"We split the dataset into three parts: 50% for training, 25% budget,
+25% holdout ... if the pipeline instance is a superset of a minimal
+root cause, we predict failure.  This method is accurate 98% of the
+time."  This benchmark repeats that experiment for several anomaly
+classes and reports mean holdout accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.core import Algorithm, BugDoc, DDTConfig
+from repro.eval import format_table
+from repro.workloads import dbsherlock
+
+from conftest import run_once
+
+ANOMALIES = (
+    "cpu_saturation",
+    "io_saturation",
+    "workload_spike",
+    "lock_contention",
+    "network_congestion",
+)
+
+
+def _accuracy_for(anomaly: str, seed: int):
+    case = dbsherlock.build_case(anomaly, seed=seed)
+    session = case.make_session(budget=len(case.budget_pool.instances))
+    bugdoc = BugDoc(session=session, seed=seed)
+    report = bugdoc.find_all(
+        Algorithm.DECISION_TREES,
+        ddt_config=DDTConfig(find_all=True, tests_per_suspect=40, seed=seed),
+    )
+    accuracy = dbsherlock.superset_classifier_accuracy(report.causes, case.holdout)
+    return accuracy, len(report.causes), report.instances_executed
+
+
+def _experiment():
+    rows = []
+    for index, anomaly in enumerate(ANOMALIES):
+        accuracy, n_causes, budget = _accuracy_for(anomaly, seed=20 + index)
+        rows.append((anomaly, accuracy, n_causes, budget))
+    return rows
+
+
+def test_dbsherlock_holdout_accuracy(benchmark, publish):
+    rows = run_once(benchmark, _experiment)
+    mean_accuracy = sum(row[1] for row in rows) / len(rows)
+    text = format_table(
+        ["anomaly class", "holdout accuracy", "#causes", "instances read"],
+        [
+            [anomaly, f"{accuracy:.3f}", n_causes, budget]
+            for anomaly, accuracy, n_causes, budget in rows
+        ]
+        + [["MEAN", f"{mean_accuracy:.3f}", "", ""]],
+        title=(
+            "DBSherlock holdout experiment: predict failure when an "
+            "instance is a superset of an asserted minimal root cause "
+            "(paper: 98% accuracy)"
+        ),
+    )
+    publish("dbsherlock_accuracy", text)
+    assert mean_accuracy >= 0.9, f"mean holdout accuracy {mean_accuracy:.3f}"

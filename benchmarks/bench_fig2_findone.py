@@ -1,0 +1,65 @@
+"""Figure 2: FindOne precision / recall / F-measure on synthetic pipelines.
+
+Nine sub-figures: {precision, recall, F} x {single triple, single
+conjunction, disjunction of conjunctions}, each a methods-by-budget
+grid.  Budget groups grant every method the instances the corresponding
+BugDoc algorithm used, exactly as in the paper.
+
+Expected shape (paper): BugDoc's F-measure dominates every baseline in
+all scenarios; Shortcut/Stacked match DDT on single triples and lose
+precision/recall on conjunctions (truncated assertions); baselines fed
+BugDoc-generated instances beat the same baselines fed SMAC instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import BudgetGroup, Method, render_prf_figure, run_suite
+from repro.synth import Scenario, make_suite
+
+from conftest import run_once
+
+N_PIPELINES = 8
+SUITE_KW = dict(min_parameters=3, max_parameters=7, min_values=5, max_values=10)
+
+
+def _figure_for(scenario: Scenario, seed: int):
+    suite = make_suite(scenario, N_PIPELINES, seed=seed, **SUITE_KW)
+    return run_suite(suite, find_all=False, seed=seed)
+
+
+@pytest.mark.parametrize(
+    "scenario,seed,panel",
+    [
+        (Scenario.SINGLE_TRIPLE, 101, "2abc_single_triple"),
+        (Scenario.CONJUNCTION, 102, "2def_conjunction"),
+        (Scenario.DISJUNCTION, 103, "2ghi_disjunction"),
+    ],
+    ids=["single-triple", "conjunction", "disjunction"],
+)
+def test_fig2_findone(benchmark, publish, scenario, seed, panel):
+    result = run_once(benchmark, _figure_for, scenario, seed)
+    sections = []
+    for metric, label in (
+        ("precision", "Precision"),
+        ("recall", "Recall"),
+        ("f_measure", "F-measure"),
+    ):
+        sections.append(
+            render_prf_figure(
+                result,
+                metric,
+                f"Figure 2 ({panel}) FindOne {label} -- scenario: {scenario.value}",
+            )
+        )
+    publish(f"fig{panel}", "\n\n".join(sections))
+
+    # Shape assertions (paper's qualitative claims).
+    ddt = BudgetGroup.DDT
+    bugdoc_f = result.prf(Method.BUGDOC, ddt).f_measure
+    for baseline in (Method.DATA_XRAY_SMAC, Method.EXPL_TABLES_SMAC):
+        assert bugdoc_f >= result.prf(baseline, ddt).f_measure, (
+            f"BugDoc F ({bugdoc_f:.3f}) must dominate {baseline.value} at the "
+            "DDT budget"
+        )

@@ -1,0 +1,50 @@
+"""Figure 3: FindAll precision / recall / F-measure (disjunction causes).
+
+Expected shape (paper): recall drops relative to FindOne (a single
+cause is no longer sufficient); Data X-Ray's non-minimal eagerness pays
+off in recall; Debugging Decision Trees offers the best
+precision/recall trade-off (F-measure).
+"""
+
+from __future__ import annotations
+
+from repro.eval import BudgetGroup, Method, render_prf_figure, run_suite
+from repro.synth import Scenario, make_suite
+
+from conftest import run_once
+
+N_PIPELINES = 8
+
+
+def _figure():
+    suite = make_suite(
+        Scenario.DISJUNCTION,
+        N_PIPELINES,
+        seed=301,
+        min_parameters=3,
+        max_parameters=6,
+        min_values=5,
+        max_values=9,
+    )
+    return run_suite(suite, find_all=True, seed=301)
+
+
+def test_fig3_findall(benchmark, publish):
+    result = run_once(benchmark, _figure)
+    sections = [
+        render_prf_figure(
+            result, metric, f"Figure 3 FindAll {label} -- disjunction causes"
+        )
+        for metric, label in (
+            ("precision", "Precision (3a)"),
+            ("recall", "Recall (3b)"),
+            ("f_measure", "F-measure (3c)"),
+        )
+    ]
+    publish("fig3_findall", "\n\n".join(sections))
+
+    ddt = BudgetGroup.DDT
+    bugdoc = result.prf(Method.BUGDOC, ddt)
+    # DDT's trade-off claim: best F-measure among all methods at its budget.
+    for method in Method:
+        assert bugdoc.f_measure >= result.prf(method, ddt).f_measure - 1e-9

@@ -1,0 +1,45 @@
+"""Figure 4: conciseness of explanations.
+
+(4a) average number of parameters per asserted root cause, per method;
+(4b) average log10(#asserted / #actual) root causes, per method.
+
+Expected shape (paper): BugDoc's causes are the most concise (fewest
+parameters) and it does not assert more causes than exist (log ratio
+near 0); Data X-Ray asserts many more, Explanation Tables a few more.
+"""
+
+from __future__ import annotations
+
+from repro.eval import render_conciseness, run_suite
+from repro.eval.harness import BudgetGroup, Method
+from repro.synth import Scenario, make_suite
+
+from conftest import run_once
+
+
+def _result():
+    suite = make_suite(
+        Scenario.DISJUNCTION,
+        8,
+        seed=401,
+        min_parameters=3,
+        max_parameters=6,
+        min_values=5,
+        max_values=9,
+    )
+    return run_suite(suite, find_all=True, seed=401)
+
+
+def test_fig4_conciseness(benchmark, publish):
+    result = run_once(benchmark, _result)
+    text = render_conciseness(
+        result,
+        "Figure 4: explanation conciseness (DDT budget group, FindAll)",
+        groups=(BudgetGroup.DDT,),
+    )
+    publish("fig4_conciseness", text)
+
+    bugdoc = result.conciseness(Method.BUGDOC, BudgetGroup.DDT)
+    xray = result.conciseness(Method.DATA_XRAY_BUGDOC, BudgetGroup.DDT)
+    # X-Ray asserts (many) more causes per actual bug than BugDoc.
+    assert bugdoc.log_asserted_per_actual <= xray.log_asserted_per_actual

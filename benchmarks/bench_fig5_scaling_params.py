@@ -1,0 +1,85 @@
+"""Figure 5: instances executed vs number of pipeline parameters.
+
+Expected shape (paper): Shortcut and Stacked Shortcut grow *linearly*
+with the parameter count; Debugging Decision Trees has no simple
+relationship and can grow much faster, so "the user should choose
+Shortcut or Stacked Shortcut if there are many parameters and instances
+are expensive to run".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import Algorithm, BugDoc, DDTConfig, DebugSession
+from repro.eval import render_series
+from repro.synth import SyntheticConfig, generate_pipeline
+
+from conftest import run_once
+
+PARAM_COUNTS = (3, 5, 7, 9, 11, 13, 15)
+REPEATS = 3
+
+
+def _instances_used(pipeline, algorithm, seed):
+    rng = random.Random(seed)
+    history = pipeline.initial_history(rng, size=6)
+    session = DebugSession(pipeline.oracle, pipeline.space, history=history)
+    bugdoc = BugDoc(session=session, seed=seed)
+    if algorithm is Algorithm.DECISION_TREES:
+        report = bugdoc.find_one(
+            algorithm, ddt_config=DDTConfig(find_all=False, tests_per_suspect=12)
+        )
+    else:
+        report = bugdoc.find_one(algorithm)
+    return report.instances_executed
+
+
+def _sweep():
+    series = {"Shortcut": [], "Stacked Shortcut": [], "Debugging Decision Trees": []}
+    for n_params in PARAM_COUNTS:
+        config = SyntheticConfig(
+            min_parameters=n_params,
+            max_parameters=n_params,
+            min_values=5,
+            max_values=8,
+            cause_arities=(2,),
+            verify_minimality_up_to=0,  # skip: sizes are large by design
+        )
+        totals = {name: 0.0 for name in series}
+        for repeat in range(REPEATS):
+            pipeline = generate_pipeline(
+                f"scale-{n_params}-{repeat}", config=config, seed=500 + repeat
+            )
+            totals["Shortcut"] += _instances_used(
+                pipeline, Algorithm.SHORTCUT, repeat
+            )
+            totals["Stacked Shortcut"] += _instances_used(
+                pipeline, Algorithm.STACKED_SHORTCUT, repeat
+            )
+            totals["Debugging Decision Trees"] += _instances_used(
+                pipeline, Algorithm.DECISION_TREES, repeat
+            )
+        for name in series:
+            series[name].append(totals[name] / REPEATS)
+    return series
+
+
+def test_fig5_instances_vs_parameters(benchmark, publish):
+    series = run_once(benchmark, _sweep)
+    text = render_series(
+        "Figure 5: instances required per algorithm vs #parameters",
+        "#parameters",
+        PARAM_COUNTS,
+        series,
+    )
+    publish("fig5_scaling_params", text)
+
+    # Linearity shape: shortcut cost never exceeds the parameter count,
+    # stacked never exceeds stack_width (4) x parameters.
+    for n_params, cost in zip(PARAM_COUNTS, series["Shortcut"]):
+        assert cost <= n_params
+    for n_params, cost in zip(PARAM_COUNTS, series["Stacked Shortcut"]):
+        assert cost <= 4 * n_params
+    # Growth: 15-parameter pipelines cost more than 3-parameter ones.
+    assert series["Shortcut"][-1] > series["Shortcut"][0]

@@ -1,0 +1,95 @@
+"""Figure 6: scalability of Debugging Decision Trees across workers.
+
+The paper re-runs the synthetic FindAll experiment on 1-8 cores and
+observes essentially linear scale-up.  Here each pipeline instance
+carries simulated latency (standing in for the 20-minute / 10-hour real
+runs, see DESIGN.md) and the parallel dispatcher fans suspect-variation
+batches across a worker pool.
+
+Expected shape: wall-clock time decreases monotonically (near-linearly)
+with workers while the answer stays the same; speculative execution may
+run a few extra instances -- the "small overhead" of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core import DDTConfig, debugging_decision_trees
+from repro.eval import render_series
+from repro.pipeline import LatencyExecutor, ParallelDebugSession
+from repro.synth import SyntheticConfig, generate_pipeline
+
+from conftest import run_once
+
+WORKER_COUNTS = (1, 2, 4, 8)
+LATENCY_SECONDS = 0.01
+
+
+def _make_pipeline():
+    config = SyntheticConfig(
+        min_parameters=5,
+        max_parameters=5,
+        min_values=5,
+        max_values=6,
+        cause_arities=(1, 2),
+    )
+    return generate_pipeline("fig6", config=config, seed=600)
+
+
+def _run_with_workers(pipeline, workers):
+    rng = random.Random(0)
+    history = pipeline.initial_history(rng, size=8)
+    executor = LatencyExecutor(pipeline.oracle, LATENCY_SECONDS)
+    session = ParallelDebugSession(
+        executor, pipeline.space, history=history, workers=workers
+    )
+    started = time.perf_counter()
+    result = debugging_decision_trees(
+        session, DDTConfig(find_all=True, tests_per_suspect=24, seed=0)
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, result, session
+
+
+def _sweep():
+    pipeline = _make_pipeline()
+    rows = []
+    causes_by_workers = {}
+    for workers in WORKER_COUNTS:
+        elapsed, result, session = _run_with_workers(pipeline, workers)
+        rows.append(
+            {
+                "workers": workers,
+                "wall_seconds": elapsed,
+                "instances": session.new_executions,
+                "causes": sorted(str(c) for c in result.causes),
+            }
+        )
+        causes_by_workers[workers] = set(str(c) for c in result.causes)
+    return rows, causes_by_workers
+
+
+def test_fig6_parallel_scaleup(benchmark, publish):
+    rows, causes_by_workers = run_once(benchmark, _sweep)
+    baseline = rows[0]["wall_seconds"]
+    text = render_series(
+        "Figure 6: DDT FindAll scale-up with worker count "
+        f"(simulated instance latency {LATENCY_SECONDS * 1000:.0f} ms)",
+        "workers",
+        [row["workers"] for row in rows],
+        {
+            "wall seconds": [row["wall_seconds"] for row in rows],
+            "speedup": [baseline / row["wall_seconds"] for row in rows],
+            "instances executed": [float(row["instances"]) for row in rows],
+        },
+        fmt=lambda v: f"{v:.2f}",
+    )
+    publish("fig6_parallel", text)
+
+    # Shape: more workers never slower by more than noise; 8 workers
+    # meaningfully faster than 1.
+    assert rows[-1]["wall_seconds"] < baseline
+    speedup = baseline / rows[-1]["wall_seconds"]
+    assert speedup > 1.5, f"8-worker speedup only {speedup:.2f}x"

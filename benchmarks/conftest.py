@@ -1,0 +1,38 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures and
+(a) prints the rendered text artifact, (b) archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs,
+and (c) times the core computation with pytest-benchmark (single round:
+these are experiment drivers, not micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Print an artifact and archive it as results/<name>.txt."""
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _publish
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one execution (experiments are macro-scale, not re-runnable)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

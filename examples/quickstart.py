@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: debug a black-box pipeline in ~20 lines.
+
+Any callable ``Instance -> Outcome`` is a pipeline to BugDoc.  Here a
+tiny configuration bug is planted (``cache = "off"`` together with
+``batch_size > 64`` makes the job fail) and BugDoc recovers it as a
+minimal definitive root cause with a handful of executions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Algorithm,
+    BugDoc,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+# 1. Describe the manipulable parameters of your pipeline.
+space = ParameterSpace(
+    [
+        Parameter("batch_size", (16, 32, 64, 128, 256), ParameterKind.ORDINAL),
+        Parameter("cache", ("on", "off")),
+        Parameter("compression", ("none", "lz4", "zstd")),
+        Parameter("workers", (1, 2, 4, 8), ParameterKind.ORDINAL),
+    ]
+)
+
+
+# 2. Wrap the pipeline as a black box: run one configuration, say
+#    whether the result was acceptable.  (Normally this launches your
+#    real job; the bug below is what BugDoc will have to discover.)
+def run_pipeline(instance: Instance) -> Outcome:
+    crashes = instance["cache"] == "off" and instance["batch_size"] > 64
+    return Outcome.FAIL if crashes else Outcome.SUCCEED
+
+
+def main() -> None:
+    # 3. Point BugDoc at it.  `budget` caps how many new configurations
+    #    it may execute while debugging.
+    bugdoc = BugDoc(run_pipeline, space, budget=100, seed=0)
+
+    # 4. Ask for every minimal definitive root cause.
+    report = bugdoc.find_all(Algorithm.DECISION_TREES)
+
+    print("Root causes found:")
+    for cause in report.causes:
+        print(f"  - {cause}")
+    print(f"\nExplanation: {report.explanation}")
+    print(f"Pipeline executions spent: {report.instances_executed}")
+
+    # 5. The cheap alternative when executions are expensive: Shortcut
+    #    finds one cause in at most |parameters| runs.  With so little
+    #    prior provenance it may return a *truncated* assertion (a
+    #    subset of the real cause -- Theorem 2 guarantees it is never a
+    #    superset); Stacked Shortcut and DDT refine it.
+    quick = BugDoc(run_pipeline, space, seed=0).find_one(Algorithm.SHORTCUT)
+    print(f"\nShortcut's answer ({quick.instances_executed} executions): "
+          f"{quick.explanation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Thin shim so legacy editable installs work without the wheel package."""
+from setuptools import setup
+
+setup()

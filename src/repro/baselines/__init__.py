@@ -1,0 +1,40 @@
+"""State-of-the-art comparison methods (substrates S11-S13).
+
+* :func:`data_xray` -- hierarchical feature diagnosis (explains, does
+  not generate).
+* :func:`explanation_tables` -- greedy information-gain patterns
+  (explains, does not generate).
+* :func:`smac_search` -- random-forest SMBO flipped to hunt failures
+  (generates, does not explain).
+* :func:`random_search` -- uniform generation.
+* :class:`RandomForestRegressor` -- the from-scratch surrogate model.
+"""
+
+from .data_xray import DataXRayConfig, DataXRayResult, data_xray
+from .explanation_tables import (
+    ExplanationTablesConfig,
+    ExplanationTablesResult,
+    Pattern,
+    explanation_tables,
+)
+from .forest import RandomForestRegressor, RegressionTree, featurize
+from .random_search import RandomSearchResult, random_search
+from .smac import SMACConfig, SMACResult, smac_search
+
+__all__ = [
+    "DataXRayConfig",
+    "DataXRayResult",
+    "ExplanationTablesConfig",
+    "ExplanationTablesResult",
+    "Pattern",
+    "RandomForestRegressor",
+    "RandomSearchResult",
+    "RegressionTree",
+    "SMACConfig",
+    "SMACResult",
+    "data_xray",
+    "explanation_tables",
+    "featurize",
+    "random_search",
+    "smac_search",
+]

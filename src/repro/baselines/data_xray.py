@@ -1,0 +1,192 @@
+"""Data X-Ray (Wang, Dong & Meliou, SIGMOD 2015) -- explanation baseline.
+
+Data X-Ray diagnoses systematic errors in a data-generation process by
+finding *features* shared among erroneous elements.  In BugDoc's
+setting, an element is a pipeline instance, its features are its
+parameter-value pairs, and "erroneous" means the instance failed.  The
+diagnosis is a set of feature conjunctions that *cover* the failures,
+selected by navigating a feature hierarchy top-down and scoring
+candidate diagnoses with the X-Ray cost model:
+
+    cost(D) = alpha * |D|                           (conciseness)
+            + sum over covered successes             (false positives)
+            + epsilon-weighted uncovered failures    (false negatives)
+
+The algorithm recursively refines a partition: starting from the root
+(no constraints), each level fixes one more parameter, choosing the
+parameter whose children's error rates are most skewed (cheapest
+cover).  A child whose error rate exceeds a threshold becomes a
+diagnosis; a mixed child recurses.  As the BugDoc paper observes, the
+result has *high recall but low precision*: diagnoses cover all
+failures but are not minimal definitive root causes, and the feature
+language has no negations or inequalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.history import ExecutionHistory
+from ..core.predicates import Comparator, Conjunction, Predicate
+from ..core.types import Instance, Outcome, ParameterSpace
+
+__all__ = ["DataXRayConfig", "DataXRayResult", "data_xray"]
+
+
+@dataclass(frozen=True)
+class DataXRayConfig:
+    """Cost-model and search knobs.
+
+    Attributes:
+        alpha: fixed cost per diagnosis feature (conciseness pressure).
+        error_rate_threshold: a partition cell whose failure rate is at
+            least this becomes a diagnosis instead of refining further.
+        min_support: cells with fewer elements than this are not
+            refined (they are diagnosed if failing, dropped otherwise).
+        max_features: cap on diagnosis conjunction length.
+    """
+
+    alpha: float = 1.0
+    error_rate_threshold: float = 0.99
+    min_support: int = 1
+    max_features: int = 4
+
+
+@dataclass
+class DataXRayResult:
+    """Diagnoses (conjunctions) plus coverage diagnostics."""
+
+    diagnoses: list[Conjunction] = field(default_factory=list)
+    covered_failures: int = 0
+    total_failures: int = 0
+    cost: float = 0.0
+
+    @property
+    def recall_of_failures(self) -> float:
+        if self.total_failures == 0:
+            return 1.0
+        return self.covered_failures / self.total_failures
+
+
+def _error_rate(cell: list[tuple[Instance, Outcome]]) -> float:
+    if not cell:
+        return 0.0
+    failures = sum(1 for __, outcome in cell if outcome is Outcome.FAIL)
+    return failures / len(cell)
+
+
+def _partition_skew(
+    cell: list[tuple[Instance, Outcome]], name: str
+) -> tuple[float, dict[object, list[tuple[Instance, Outcome]]]]:
+    """Partition a cell by one parameter; score how well it separates.
+
+    The score is the weighted mean of per-child ``min(rate, 1-rate)``
+    (impurity): lower is better -- children are closer to pure, so the
+    cover will pay fewer false-positive/-negative costs.
+    """
+    children: dict[object, list[tuple[Instance, Outcome]]] = {}
+    for instance, outcome in cell:
+        children.setdefault(instance[name], []).append((instance, outcome))
+    total = len(cell)
+    impurity = 0.0
+    for child in children.values():
+        rate = _error_rate(child)
+        impurity += (len(child) / total) * min(rate, 1.0 - rate)
+    return impurity, children
+
+
+def data_xray(
+    history: ExecutionHistory,
+    space: ParameterSpace,
+    config: DataXRayConfig | None = None,
+) -> DataXRayResult:
+    """Diagnose failure-correlated feature conjunctions in a history.
+
+    Args:
+        history: previously-executed instances (Data X-Ray never
+            proposes new ones; the harness supplies histories generated
+            by BugDoc or SMAC, as in the paper).
+        space: parameter space of the pipeline.
+        config: cost model parameters.
+
+    Returns:
+        Diagnoses as equality conjunctions, most-covering first.
+    """
+    config = config or DataXRayConfig()
+    result = DataXRayResult()
+    elements = [
+        (instance, outcome)
+        for instance in history.instances
+        if (outcome := history.outcome_of(instance)) is not None
+    ]
+    result.total_failures = sum(
+        1 for __, outcome in elements if outcome is Outcome.FAIL
+    )
+    if result.total_failures == 0:
+        return result
+
+    diagnoses: list[tuple[Conjunction, int]] = []
+
+    def refine(
+        cell: list[tuple[Instance, Outcome]],
+        fixed: dict[str, object],
+        free: list[str],
+    ) -> None:
+        failures = sum(1 for __, outcome in cell if outcome is Outcome.FAIL)
+        if failures == 0:
+            return
+        rate = failures / len(cell)
+        terminal = (
+            rate >= config.error_rate_threshold
+            or not free
+            or len(fixed) >= config.max_features
+            or len(cell) < config.min_support
+        )
+        if terminal:
+            if rate > 0.5 or not free or len(fixed) >= config.max_features:
+                conjunction = Conjunction(
+                    Predicate(name, Comparator.EQ, value)
+                    for name, value in fixed.items()
+                )
+                diagnoses.append((conjunction, failures))
+                result.cost += config.alpha * max(len(conjunction), 1)
+                result.cost += sum(
+                    1 for __, outcome in cell if outcome is Outcome.SUCCEED
+                )
+            return
+        best_name = None
+        best_impurity = None
+        best_children = None
+        for name in free:
+            impurity, children = _partition_skew(cell, name)
+            if len(children) < 2:
+                continue
+            if best_impurity is None or impurity < best_impurity:
+                best_name, best_impurity, best_children = name, impurity, children
+        if best_name is None or best_children is None:
+            conjunction = Conjunction(
+                Predicate(name, Comparator.EQ, value)
+                for name, value in fixed.items()
+            )
+            diagnoses.append((conjunction, failures))
+            return
+        remaining = [name for name in free if name != best_name]
+        for value, child in sorted(best_children.items(), key=lambda kv: repr(kv[0])):
+            refine(child, {**fixed, best_name: value}, remaining)
+
+    refine(elements, {}, list(space.names))
+
+    # Deduplicate, order by coverage, and drop the trivial all-true
+    # diagnosis (it can appear when the whole log fails).
+    seen: set[Conjunction] = set()
+    ordered: list[Conjunction] = []
+    covered = 0
+    for conjunction, failures in sorted(diagnoses, key=lambda d: -d[1]):
+        if conjunction.is_trivial() or conjunction in seen:
+            continue
+        seen.add(conjunction)
+        ordered.append(conjunction)
+        covered += failures
+    result.diagnoses = ordered
+    result.covered_failures = min(covered, result.total_failures)
+    return result

@@ -1,0 +1,213 @@
+"""Explanation Tables (El Gebaly et al., PVLDB 2014) -- explanation baseline.
+
+Given a relation of categorical attributes and one binary outcome,
+Explanation Tables greedily selects *patterns* (attribute-value
+conjunctions with wildcards) that maximize the information gain of a
+maximum-entropy estimate of the outcome.  The output table is a ranked
+list of patterns, each annotated with the estimated outcome probability
+for tuples matching it.
+
+Following the BugDoc paper's reading, "the answers provided by
+Explanation Tables represent a prediction of the pipeline instance
+evaluation expressed as a real number, where 1.0 corresponds to a root
+cause": the harness interprets patterns whose *observed* failure rate
+is (near) 1.0 as asserted root causes.  The method has high precision
+(patterns it scores at 1.0 really do fail consistently in the log) but
+low recall -- it proposes no new instances, supports neither negation
+nor inequality, and stops after ``max_patterns`` gains.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from ..core.history import ExecutionHistory
+from ..core.predicates import Comparator, Conjunction, Predicate
+from ..core.types import Instance, Outcome, ParameterSpace
+
+__all__ = ["Pattern", "ExplanationTablesConfig", "ExplanationTablesResult", "explanation_tables"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One explanation-table row.
+
+    Attributes:
+        conjunction: the non-wildcard attribute-value pairs.
+        support: number of log tuples matching the pattern.
+        observed_rate: fraction of matching tuples that failed.
+        estimated_rate: the max-entropy model's rate after this pattern
+            was folded in.
+        gain: KL information gain the pattern contributed when chosen.
+    """
+
+    conjunction: Conjunction
+    support: int
+    observed_rate: float
+    estimated_rate: float
+    gain: float
+
+
+@dataclass(frozen=True)
+class ExplanationTablesConfig:
+    """Greedy-selection knobs.
+
+    Attributes:
+        max_patterns: number of greedy iterations (table rows).
+        max_arity: maximum attributes instantiated in one pattern.
+        sample_size: failing tuples sampled per iteration to generate
+            candidate patterns from (the paper's "LCA" candidate
+            generation samples tuples and generalizes them).
+        root_cause_rate: observed failure rate at or above which a
+            pattern is asserted as a root cause by the harness.
+        scaling_rounds: iterative-scaling sweeps after each selection.
+    """
+
+    max_patterns: int = 10
+    max_arity: int = 3
+    sample_size: int = 8
+    root_cause_rate: float = 1.0
+    scaling_rounds: int = 3
+
+
+@dataclass
+class ExplanationTablesResult:
+    """The explanation table plus the root-cause reading of it."""
+
+    patterns: list[Pattern] = field(default_factory=list)
+
+    def asserted_causes(self, rate: float = 1.0) -> list[Conjunction]:
+        """Patterns whose observed failure rate reaches ``rate``."""
+        return [
+            p.conjunction
+            for p in self.patterns
+            if p.observed_rate >= rate and not p.conjunction.is_trivial()
+        ]
+
+
+def _kl_gain(
+    matching: list[int],
+    outcomes: list[float],
+    estimates: list[float],
+) -> float:
+    """Information gain of correcting the estimate on a pattern's extent."""
+    if not matching:
+        return 0.0
+    observed = sum(outcomes[i] for i in matching) / len(matching)
+    gain = 0.0
+    for i in matching:
+        estimate = min(max(estimates[i], 1e-9), 1.0 - 1e-9)
+        target = min(max(observed, 1e-9), 1.0 - 1e-9)
+        gain += target * math.log(target / estimate) + (1.0 - target) * math.log(
+            (1.0 - target) / (1.0 - estimate)
+        )
+    return gain
+
+
+def _candidate_patterns(
+    sample: list[Instance], names: tuple[str, ...], max_arity: int
+) -> set[frozenset[tuple[str, object]]]:
+    """Generalizations of sampled failing tuples (wildcard subsets)."""
+    candidates: set[frozenset[tuple[str, object]]] = set()
+    for instance in sample:
+        items = [(name, instance[name]) for name in names]
+        for arity in range(1, min(max_arity, len(items)) + 1):
+            for subset in itertools.combinations(items, arity):
+                candidates.add(frozenset(subset))
+    return candidates
+
+
+def explanation_tables(
+    history: ExecutionHistory,
+    space: ParameterSpace,
+    config: ExplanationTablesConfig | None = None,
+) -> ExplanationTablesResult:
+    """Build an explanation table for the history's outcome column.
+
+    Args:
+        history: the execution log (this method proposes no new runs).
+        space: parameter space (attribute universe).
+        config: greedy-selection knobs.
+    """
+    config = config or ExplanationTablesConfig()
+    result = ExplanationTablesResult()
+    instances = list(history.instances)
+    if not instances:
+        return result
+    outcomes = [
+        1.0 if history.outcome_of(instance) is Outcome.FAIL else 0.0
+        for instance in instances
+    ]
+    overall = sum(outcomes) / len(outcomes)
+    estimates = [overall] * len(instances)
+    names = space.names
+
+    chosen: set[frozenset[tuple[str, object]]] = set()
+    # Deterministic "sampling": failing tuples with the worst current
+    # estimate error (the informative ones), up to sample_size.
+    for __ in range(config.max_patterns):
+        errors = sorted(
+            range(len(instances)),
+            key=lambda i: -abs(outcomes[i] - estimates[i]),
+        )
+        failing_sample = [
+            instances[i] for i in errors if outcomes[i] == 1.0
+        ][: config.sample_size]
+        if not failing_sample:
+            break
+        candidates = _candidate_patterns(failing_sample, names, config.max_arity)
+        candidates -= chosen
+
+        best_pattern: frozenset[tuple[str, object]] | None = None
+        best_gain = 0.0
+        best_matching: list[int] = []
+        for candidate in candidates:
+            matching = [
+                i
+                for i, instance in enumerate(instances)
+                if all(instance[name] == value for name, value in candidate)
+            ]
+            gain = _kl_gain(matching, outcomes, estimates)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_pattern = candidate
+                best_matching = matching
+        if best_pattern is None:
+            break
+
+        chosen.add(best_pattern)
+        observed = sum(outcomes[i] for i in best_matching) / len(best_matching)
+        # Iterative scaling: align estimates with the observed rate on
+        # the pattern extent (a few sweeps suffice for a flat lattice).
+        for __scaling in range(config.scaling_rounds):
+            current = sum(estimates[i] for i in best_matching) / len(best_matching)
+            if current <= 0.0 or current >= 1.0:
+                break
+            for i in best_matching:
+                if observed in (0.0, 1.0):
+                    estimates[i] = observed
+                else:
+                    estimate = min(max(estimates[i], 1e-9), 1.0 - 1e-9)
+                    current_safe = min(max(current, 1e-9), 1.0 - 1e-9)
+                    odds = (estimate / (1 - estimate)) * (
+                        (observed / (1 - observed))
+                        / (current_safe / (1 - current_safe))
+                    )
+                    estimates[i] = odds / (1 + odds)
+
+        conjunction = Conjunction(
+            Predicate(name, Comparator.EQ, value) for name, value in best_pattern
+        )
+        result.patterns.append(
+            Pattern(
+                conjunction=conjunction,
+                support=len(best_matching),
+                observed_rate=observed,
+                estimated_rate=sum(estimates[i] for i in best_matching)
+                / len(best_matching),
+                gain=best_gain,
+            )
+        )
+    return result

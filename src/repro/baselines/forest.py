@@ -1,0 +1,227 @@
+"""A from-scratch random-forest regressor over mixed parameter spaces.
+
+SMAC's surrogate model is a random forest (Hutter et al., LION 2011)
+because forests natively handle the categorical + ordinal configuration
+spaces that break Gaussian-process kernels.  This implementation keeps
+exactly the pieces SMAC needs: bootstrap-bagged regression trees with
+random feature subsets, and a per-point predictive mean *and variance*
+(spread across trees) for the expected-improvement acquisition.
+
+Instances are featurized directly from the
+:class:`~repro.core.types.ParameterSpace`: ordinal parameters become
+their domain index (so threshold splits respect order), categorical
+parameters split by equality on observed values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..core.types import Instance, ParameterSpace
+
+__all__ = ["RegressionTree", "RandomForestRegressor", "featurize"]
+
+
+def featurize(instance: Instance, space: ParameterSpace) -> tuple[float, ...]:
+    """Encode an instance as a numeric vector (domain indexes).
+
+    Ordinal parameters map to their (order-respecting) domain index;
+    categorical parameters also map to an index but trees must treat
+    that axis with equality splits -- the tree consults the space for
+    that distinction.
+    """
+    return tuple(
+        float(space[name].index_of(instance[name])) for name in space.names
+    )
+
+
+@dataclass
+class _Node:
+    feature: int | None = None
+    threshold: float = 0.0
+    equal: bool = False  # equality split (categorical) vs <= split (ordinal)
+    left: "_Node | None" = None  # satisfied branch
+    right: "_Node | None" = None
+    value: float = 0.0
+    count: int = 0
+
+
+class RegressionTree:
+    """A CART-style regression tree with random feature subsets."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        feature_fraction: float = 0.7,
+        rng: random.Random | None = None,
+    ):
+        self._space = space
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._feature_fraction = feature_fraction
+        self._rng = rng or random.Random(0)
+        self._root: _Node | None = None
+        self._ordinal = [space[name].is_ordinal for name in space.names]
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence[float]) -> "RegressionTree":
+        if len(X) != len(y) or not X:
+            raise ValueError("X and y must be non-empty and aligned")
+        self._root = self._build(list(range(len(X))), X, y, 0)
+        return self
+
+    def _build(
+        self, indexes: list[int], X: Sequence[Sequence[float]], y: Sequence[float], depth: int
+    ) -> _Node:
+        values = [y[i] for i in indexes]
+        mean = sum(values) / len(values)
+        node = _Node(value=mean, count=len(indexes))
+        if (
+            depth >= self._max_depth
+            or len(indexes) < self._min_samples_split
+            or all(v == values[0] for v in values)
+        ):
+            return node
+
+        n_features = len(X[0])
+        k = max(1, int(round(n_features * self._feature_fraction)))
+        features = self._rng.sample(range(n_features), k)
+        best: tuple[float, int, float, bool] | None = None  # (sse, feat, thr, equal)
+        total_count = len(indexes)
+        total_sum = sum(values)
+        total_sumsq = sum(v * v for v in values)
+        for feature in features:
+            # Sufficient statistics per observed feature value: split SSE
+            # is then O(values) instead of O(values * rows).
+            groups: dict[float, list[float]] = {}
+            for i in indexes:
+                stats = groups.setdefault(X[i][feature], [0.0, 0.0, 0.0])
+                stats[0] += 1.0
+                stats[1] += y[i]
+                stats[2] += y[i] * y[i]
+            if len(groups) < 2:
+                continue
+
+            def side_sse(count: float, total: float, sumsq: float) -> float:
+                if count == 0:
+                    return 0.0
+                return sumsq - (total * total) / count
+
+            if self._ordinal[feature]:
+                ordered = sorted(groups)
+                count = sum_ = sumsq = 0.0
+                for value in ordered[:-1]:
+                    stats = groups[value]
+                    count += stats[0]
+                    sum_ += stats[1]
+                    sumsq += stats[2]
+                    sse = side_sse(count, sum_, sumsq) + side_sse(
+                        total_count - count, total_sum - sum_, total_sumsq - sumsq
+                    )
+                    if best is None or sse < best[0]:
+                        best = (sse, feature, value, False)
+            else:
+                for value, stats in sorted(groups.items()):
+                    sse = side_sse(*stats) + side_sse(
+                        total_count - stats[0],
+                        total_sum - stats[1],
+                        total_sumsq - stats[2],
+                    )
+                    if best is None or sse < best[0]:
+                        best = (sse, feature, value, True)
+        if best is None or best[0] >= _sse(values) - 1e-12:
+            return node
+
+        __, feature, threshold, equal = best
+        if equal:
+            left_idx = [i for i in indexes if X[i][feature] == threshold]
+        else:
+            left_idx = [i for i in indexes if X[i][feature] <= threshold]
+        left_set = set(left_idx)
+        right_idx = [i for i in indexes if i not in left_set]
+        node.feature = feature
+        node.threshold = threshold
+        node.equal = equal
+        node.left = self._build(left_idx, X, y, depth + 1)
+        node.right = self._build(right_idx, X, y, depth + 1)
+        return node
+
+    def predict_one(self, x: Sequence[float]) -> float:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        node = self._root
+        while node.feature is not None:
+            if node.equal:
+                branch = node.left if x[node.feature] == node.threshold else node.right
+            else:
+                branch = node.left if x[node.feature] <= node.threshold else node.right
+            assert branch is not None
+            node = branch
+        return node.value
+
+
+def _sse(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values)
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with cross-tree predictive variance."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        n_trees: int = 10,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        feature_fraction: float = 0.7,
+        seed: int = 0,
+    ):
+        self._space = space
+        self._n_trees = n_trees
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._feature_fraction = feature_fraction
+        self._seed = seed
+        self._trees: list[RegressionTree] = []
+
+    def fit(
+        self, X: Sequence[Sequence[float]], y: Sequence[float]
+    ) -> "RandomForestRegressor":
+        if len(X) != len(y) or not X:
+            raise ValueError("X and y must be non-empty and aligned")
+        rng = random.Random(self._seed)
+        self._trees = []
+        n = len(X)
+        for t in range(self._n_trees):
+            indexes = [rng.randrange(n) for __ in range(n)]
+            sample_X = [X[i] for i in indexes]
+            sample_y = [y[i] for i in indexes]
+            tree = RegressionTree(
+                self._space,
+                max_depth=self._max_depth,
+                min_samples_split=self._min_samples_split,
+                feature_fraction=self._feature_fraction,
+                rng=random.Random(rng.getrandbits(32)),
+            )
+            tree.fit(sample_X, sample_y)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: Sequence[float]) -> tuple[float, float]:
+        """Predictive (mean, standard deviation) across trees."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        predictions = [tree.predict_one(x) for tree in self._trees]
+        mean = sum(predictions) / len(predictions)
+        variance = sum((p - mean) ** 2 for p in predictions) / len(predictions)
+        return mean, math.sqrt(variance)
+
+    def predict_instance(self, instance: Instance) -> tuple[float, float]:
+        return self.predict(featurize(instance, self._space))

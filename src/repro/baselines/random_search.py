@@ -1,0 +1,50 @@
+"""Random search instance generation (baseline).
+
+The weakest generator in the paper's comparison ("the results were
+always worse than those obtained using SMAC or BugDoc"): sample
+configurations uniformly at random and execute them.  Kept in the
+harness so that claim can be re-verified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.budget import BudgetExhausted
+from ..core.session import DebugSession, InstanceUnavailable
+from ..core.types import Instance
+
+__all__ = ["RandomSearchResult", "random_search"]
+
+
+@dataclass
+class RandomSearchResult:
+    """Instances proposed by random search, in execution order."""
+
+    proposed: list[Instance] = field(default_factory=list)
+    instances_executed: int = 0
+
+
+def random_search(
+    session: DebugSession, iterations: int, seed: int = 0
+) -> RandomSearchResult:
+    """Execute up to ``iterations`` uniformly random new instances."""
+    rng = random.Random(seed)
+    result = RandomSearchResult()
+    executed_before = session.new_executions
+    attempts = 0
+    while len(result.proposed) < iterations and attempts < iterations * 10:
+        attempts += 1
+        candidate = session.space.random_instance(rng)
+        if candidate in session.history:
+            continue
+        try:
+            session.evaluate(candidate)
+        except BudgetExhausted:
+            break
+        except InstanceUnavailable:
+            continue
+        result.proposed.append(candidate)
+    result.instances_executed = session.new_executions - executed_before
+    return result

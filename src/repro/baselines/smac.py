@@ -1,0 +1,184 @@
+"""SMAC: Sequential Model-Based Algorithm Configuration (baseline).
+
+Reimplementation of the SMBO loop of Hutter, Hoos & Leyton-Brown
+(LION 2011) to the fidelity the paper's comparison needs: a random
+forest surrogate over the mixed configuration space, an expected-
+improvement acquisition optimized over random + neighborhood
+candidates, and an intensification-free batched loop (our pipelines are
+deterministic, so repeated runs of one configuration add nothing).
+
+Following Section 5 of the BugDoc paper, "since SMAC looks for good
+instances ... we change its goal to look for bad pipeline instances":
+the objective assigns cost 0.0 to ``fail`` and 1.0 to ``succeed`` and
+SMAC minimizes, i.e. it *hunts failures*.  SMAC outputs complete
+instances, not explanations -- the harness feeds its instance log to
+Data X-Ray / Explanation Tables exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..core.budget import BudgetExhausted
+from ..core.session import DebugSession, InstanceUnavailable
+from ..core.types import Instance, Outcome
+
+from .forest import RandomForestRegressor, featurize
+
+__all__ = ["SMACConfig", "SMACResult", "smac_search"]
+
+
+@dataclass(frozen=True)
+class SMACConfig:
+    """Knobs for the SMBO loop.
+
+    Attributes:
+        iterations: number of new instances to propose (upper bound;
+            the session budget can stop the loop earlier).
+        initial_random: random configurations executed before the first
+            model is trained.
+        candidates_random: random candidates scored by EI per iteration.
+        candidates_neighborhood: one-parameter mutations of the
+            incumbent scored by EI per iteration.
+        n_trees: surrogate forest size.
+        seed: RNG seed.
+    """
+
+    iterations: int = 50
+    initial_random: int = 8
+    candidates_random: int = 60
+    candidates_neighborhood: int = 20
+    n_trees: int = 10
+    seed: int = 0
+
+
+@dataclass
+class SMACResult:
+    """Instances proposed by SMAC, in execution order."""
+
+    proposed: list[Instance] = field(default_factory=list)
+    incumbent: Instance | None = None
+    incumbent_cost: float = math.inf
+    instances_executed: int = 0
+
+
+def _cost(outcome: Outcome) -> float:
+    """Cost 0 for fail (the target), 1 for succeed -- SMAC minimizes."""
+    return 0.0 if outcome is Outcome.FAIL else 1.0
+
+
+def _expected_improvement(mean: float, std: float, best: float) -> float:
+    """EI for minimization under a Gaussian predictive distribution."""
+    if std <= 1e-12:
+        return max(best - mean, 0.0)
+    z = (best - mean) / std
+    phi = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+    cdf = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+    return (best - mean) * cdf + std * phi
+
+
+def smac_search(session: DebugSession, config: SMACConfig | None = None) -> SMACResult:
+    """Run the failure-seeking SMBO loop against a debug session.
+
+    Every proposed instance is executed through the session (budget
+    accounted, history recorded), so the resulting history is directly
+    comparable to what BugDoc's algorithms consume.
+    """
+    config = config or SMACConfig()
+    rng = random.Random(config.seed)
+    space = session.space
+    result = SMACResult()
+    executed_before = session.new_executions
+
+    observed: dict[Instance, float] = {}
+    for instance in session.history.instances:
+        outcome = session.history.outcome_of(instance)
+        assert outcome is not None
+        observed[instance] = _cost(outcome)
+
+    def run(instance: Instance) -> bool:
+        """Execute an instance; returns False when the loop must stop."""
+        if instance in observed:
+            return True
+        try:
+            outcome = session.evaluate(instance)
+        except BudgetExhausted:
+            return False
+        except InstanceUnavailable:
+            return True
+        observed[instance] = _cost(outcome)
+        result.proposed.append(instance)
+        return True
+
+    space_size = space.size()
+    stalls = 0
+    max_stalls = 50  # consecutive no-progress rounds before giving up
+
+    # Phase 1: initial random design.
+    for __ in range(config.initial_random):
+        if len(result.proposed) >= config.iterations:
+            break
+        if not run(space.random_instance(rng)):
+            break
+
+    # Phase 2: model-guided proposals.  Terminates when the requested
+    # count is reached, the budget runs out, the whole (finite) space has
+    # been observed, or proposals stall (e.g. replay mode misses).
+    last_proposed = -1
+    while (
+        len(result.proposed) < config.iterations
+        and len(observed) < space_size
+        and stalls < max_stalls
+    ):
+        if len(result.proposed) == last_proposed:
+            stalls += 1
+        else:
+            stalls = 0
+        last_proposed = len(result.proposed)
+        if len(observed) < 2 or len({c for c in observed.values()}) < 1:
+            if not run(space.random_instance(rng)):
+                break
+            continue
+        X = [featurize(instance, space) for instance in observed]
+        y = list(observed.values())
+        forest = RandomForestRegressor(
+            space, n_trees=config.n_trees, seed=rng.getrandbits(32)
+        )
+        try:
+            forest.fit(X, y)
+        except ValueError:
+            if not run(space.random_instance(rng)):
+                break
+            continue
+
+        best_cost = min(observed.values())
+        incumbent = min(observed, key=lambda i: (observed[i], repr(i)))
+        candidates: list[Instance] = []
+        for __ in range(config.candidates_random):
+            candidates.append(space.random_instance(rng))
+        for __ in range(config.candidates_neighborhood):
+            name = rng.choice(space.names)
+            candidates.append(
+                incumbent.with_value(name, rng.choice(space.domain(name)))
+            )
+        fresh = [c for c in candidates if c not in observed]
+        if not fresh:
+            if not run(space.random_instance(rng)):
+                break
+            continue
+        scored = max(
+            fresh,
+            key=lambda c: _expected_improvement(
+                *forest.predict(featurize(c, space)), best=best_cost
+            ),
+        )
+        if not run(scored):
+            break
+
+    if observed:
+        result.incumbent = min(observed, key=lambda i: (observed[i], repr(i)))
+        result.incumbent_cost = observed[result.incumbent]
+    result.instances_executed = session.new_executions - executed_before
+    return result

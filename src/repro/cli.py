@@ -1,0 +1,204 @@
+"""Command-line interface: debug the bundled workloads and rerun figures.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro.cli list
+    python -m repro.cli debug gan --algorithm decision_trees --budget 200
+    python -m repro.cli debug ml --algorithm shortcut
+    python -m repro.cli debug dbsherlock --anomaly cpu_saturation
+    python -m repro.cli synth --scenario disjunction --pipelines 5
+
+``debug`` runs BugDoc on one of the Section 5.3 workloads and prints
+the asserted minimal definitive root causes next to the planted ground
+truth.  ``synth`` generates a synthetic suite and reports FindOne
+metrics for the chosen algorithm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core import Algorithm, BugDoc, DDTConfig, DebugSession
+from .eval import format_table, match_synthetic, score_find_one
+from .synth import Scenario, make_suite
+from .workloads import data_polygamy, dbsherlock, gan_training, ml_pipeline
+
+WORKLOADS = ("ml", "data_polygamy", "gan", "dbsherlock")
+
+
+def _algorithm(name: str) -> Algorithm:
+    try:
+        return Algorithm(name)
+    except ValueError:
+        valid = ", ".join(a.value for a in Algorithm)
+        raise SystemExit(f"unknown algorithm {name!r}; choose from: {valid}")
+
+
+def _build_debug_target(args):
+    """Return (session factory output, true causes, label)."""
+    if args.workload == "ml":
+        executor = ml_pipeline.make_executor()
+        history = ml_pipeline.table1_history(executor)
+        session = DebugSession(
+            executor, ml_pipeline.make_space(), history=history
+        )
+        return session, [ml_pipeline.true_cause()], "ml-classification"
+    if args.workload == "data_polygamy":
+        session = DebugSession(
+            data_polygamy.make_executor(), data_polygamy.make_space()
+        )
+        return session, data_polygamy.true_causes(), "data-polygamy"
+    if args.workload == "gan":
+        session = DebugSession(
+            gan_training.make_executor(), gan_training.make_space()
+        )
+        return session, gan_training.true_causes(), "gan-training"
+    case = dbsherlock.build_case(args.anomaly, seed=args.seed)
+    session = case.make_session(budget=args.budget)
+    return session, case.true_causes, f"dbsherlock/{args.anomaly}"
+
+
+def cmd_list(args) -> int:
+    rows = [
+        ["ml", "Figure 1 classification pipeline (library-version bug)"],
+        ["data_polygamy", "crash debugging, 12 parameters (Section 5.3)"],
+        ["gan", "mode-collapse hunting, 6x5 parameters (Section 5.3)"],
+        ["dbsherlock", "OLTP anomalies, historical mode (Section 5.3)"],
+    ]
+    print(format_table(["workload", "description"], rows, title="Workloads"))
+    print()
+    print("Algorithms: " + ", ".join(a.value for a in Algorithm))
+    return 0
+
+
+def cmd_debug(args) -> int:
+    session, true_causes, label = _build_debug_target(args)
+    if args.budget and session.budget.limit is None:
+        session.budget._limit = args.budget  # noqa: SLF001 - CLI convenience
+    algorithm = _algorithm(args.algorithm)
+    bugdoc = BugDoc(session=session, seed=args.seed)
+    started = time.perf_counter()
+    if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT):
+        report = bugdoc.find_one(algorithm)
+    else:
+        report = bugdoc.find_all(
+            algorithm,
+            ddt_config=DDTConfig(
+                find_all=True, tests_per_suspect=args.tests_per_suspect,
+                seed=args.seed,
+            ),
+        )
+    elapsed = time.perf_counter() - started
+
+    print(f"workload: {label}")
+    print(f"algorithm: {algorithm.value}")
+    print(f"instances executed: {report.instances_executed}  "
+          f"({elapsed:.2f}s wall)")
+    print("\nasserted minimal definitive root causes:")
+    if report.causes:
+        for cause in report.causes:
+            print(f"  - {cause}")
+    else:
+        print("  (none)")
+    print("\nplanted ground truth:")
+    for cause in true_causes:
+        print(f"  - {cause}")
+    return 0
+
+
+def cmd_synth(args) -> int:
+    scenario = Scenario(args.scenario)
+    suite = make_suite(
+        scenario,
+        args.pipelines,
+        seed=args.seed,
+        min_parameters=3,
+        max_parameters=7,
+        min_values=5,
+        max_values=10,
+    )
+    algorithm = _algorithm(args.algorithm)
+    reports = []
+    budgets = []
+    import random as random_module
+
+    for index, pipeline in enumerate(suite):
+        rng = random_module.Random(args.seed + index)
+        session = DebugSession(
+            pipeline.oracle,
+            pipeline.space,
+            history=pipeline.initial_history(rng),
+        )
+        bugdoc = BugDoc(session=session, seed=args.seed + index)
+        if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT):
+            result = bugdoc.find_one(algorithm)
+        else:
+            result = bugdoc.find_one(
+                algorithm, ddt_config=DDTConfig(find_all=False, seed=index)
+            )
+        budgets.append(result.instances_executed)
+        reports.append(
+            match_synthetic(
+                result.causes,
+                pipeline.true_causes,
+                pipeline.space,
+                pipeline.oracle,
+                seed=index,
+            )
+        )
+    prf = score_find_one(reports)
+    print(f"scenario: {scenario.value}  pipelines: {len(suite)}")
+    print(f"algorithm: {algorithm.value}")
+    print(f"mean instances executed: {sum(budgets) / len(budgets):.1f}")
+    print(f"FindOne {prf}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BugDoc reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and algorithms")
+
+    debug = sub.add_parser("debug", help="debug a bundled workload")
+    debug.add_argument("workload", choices=WORKLOADS)
+    debug.add_argument(
+        "--algorithm", default="combined", help="shortcut | stacked_shortcut | decision_trees | combined"
+    )
+    debug.add_argument("--budget", type=int, default=None)
+    debug.add_argument("--seed", type=int, default=0)
+    debug.add_argument("--tests-per-suspect", type=int, default=24)
+    debug.add_argument(
+        "--anomaly",
+        default="cpu_saturation",
+        choices=dbsherlock.ANOMALY_CLASSES,
+        help="dbsherlock anomaly class",
+    )
+
+    synth = sub.add_parser("synth", help="run a synthetic FindOne experiment")
+    synth.add_argument(
+        "--scenario",
+        default="single",
+        choices=[s.value for s in Scenario],
+    )
+    synth.add_argument("--pipelines", type=int, default=5)
+    synth.add_argument("--algorithm", default="decision_trees")
+    synth.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "debug":
+        return cmd_debug(args)
+    return cmd_synth(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's primary contribution: BugDoc's debugging algorithms.
+
+Public surface:
+
+* Model types: :class:`Parameter`, :class:`ParameterSpace`,
+  :class:`Instance`, :class:`Outcome`, :class:`Evaluation`.
+* Root-cause language: :class:`Comparator`, :class:`Predicate`,
+  :class:`Conjunction`, :class:`Disjunction`.
+* Execution context: :class:`ExecutionHistory`, :class:`DebugSession`,
+  :class:`InstanceBudget`.
+* Algorithms: :func:`shortcut`, :func:`stacked_shortcut`,
+  :func:`debugging_decision_trees`, and the :class:`BugDoc` facade.
+"""
+
+from .budget import BudgetExhausted, InstanceBudget
+from .bugdoc import Algorithm, BugDoc, BugDocReport
+from .ddt import DDTConfig, DDTResult, debugging_decision_trees
+from .history import ExecutionHistory
+from .predicates import (
+    Comparator,
+    Conjunction,
+    Disjunction,
+    Predicate,
+    conjunction_from_assignment,
+)
+from .quine_mccluskey import minimize_boolean, simplify_disjunction
+from .rootcause import (
+    is_definitive_root_cause,
+    is_hypothetical_root_cause,
+    is_minimal_definitive_root_cause,
+    minimal_definitive_causes_of_oracle,
+    prune_to_minimal,
+)
+from .session import DebugSession, InstanceUnavailable
+from .shortcut import ShortcutResult, select_good_instance, shortcut
+from .stacked import DEFAULT_STACK_WIDTH, StackedShortcutResult, stacked_shortcut
+from .tree import DebuggingTree, LeafKind, TreeNode, build_tree
+from .types import (
+    Evaluation,
+    Executor,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+__all__ = [
+    "Algorithm",
+    "BudgetExhausted",
+    "BugDoc",
+    "BugDocReport",
+    "Comparator",
+    "Conjunction",
+    "DDTConfig",
+    "DDTResult",
+    "DebugSession",
+    "DebuggingTree",
+    "DEFAULT_STACK_WIDTH",
+    "Disjunction",
+    "Evaluation",
+    "ExecutionHistory",
+    "Executor",
+    "Instance",
+    "InstanceBudget",
+    "InstanceUnavailable",
+    "LeafKind",
+    "Outcome",
+    "Parameter",
+    "ParameterKind",
+    "ParameterSpace",
+    "Predicate",
+    "ShortcutResult",
+    "StackedShortcutResult",
+    "TreeNode",
+    "build_tree",
+    "conjunction_from_assignment",
+    "debugging_decision_trees",
+    "is_definitive_root_cause",
+    "is_hypothetical_root_cause",
+    "is_minimal_definitive_root_cause",
+    "minimal_definitive_causes_of_oracle",
+    "minimize_boolean",
+    "prune_to_minimal",
+    "select_good_instance",
+    "shortcut",
+    "simplify_disjunction",
+    "stacked_shortcut",
+]

@@ -1,0 +1,79 @@
+"""Instance-budget accounting.
+
+The paper's cost measure (Section 3) is the number of *new* pipeline
+instances executed beyond the given history.  :class:`InstanceBudget`
+enforces an optional cap on that count and records how much was spent,
+which the evaluation harness uses to grant every baseline the same
+budget BugDoc consumed (Section 5, "the same instance budget").
+"""
+
+from __future__ import annotations
+
+__all__ = ["BudgetExhausted", "InstanceBudget"]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when an algorithm asks to execute beyond its instance budget."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"instance budget of {limit} executions exhausted")
+        self.limit = limit
+
+
+class InstanceBudget:
+    """Counts executed instances against an optional limit.
+
+    A ``limit`` of None means unlimited (spending is still tracked).
+    The budget is deliberately not thread-safe by itself; the parallel
+    runner serializes spending through a lock it owns.
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 0:
+            raise ValueError("budget limit must be non-negative")
+        self._limit = limit
+        self._spent = 0
+
+    @property
+    def limit(self) -> int | None:
+        return self._limit
+
+    @property
+    def spent(self) -> int:
+        """Number of new instance executions charged so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> int | None:
+        """Executions left, or None when unlimited."""
+        if self._limit is None:
+            return None
+        return max(0, self._limit - self._spent)
+
+    def exhausted(self) -> bool:
+        """True when no further execution may be charged."""
+        return self._limit is not None and self._spent >= self._limit
+
+    def charge(self, count: int = 1) -> None:
+        """Charge ``count`` executions.
+
+        Raises:
+            BudgetExhausted: when the charge would exceed the limit.  The
+                budget is left unchanged in that case.
+        """
+        if count < 0:
+            raise ValueError("cannot charge a negative count")
+        if self._limit is not None and self._spent + count > self._limit:
+            raise BudgetExhausted(self._limit)
+        self._spent += count
+
+    def sub_budget(self, fraction: float) -> "InstanceBudget":
+        """A fresh budget holding ``fraction`` of the remaining allowance."""
+        if self._limit is None:
+            return InstanceBudget(None)
+        remaining = self.remaining or 0
+        return InstanceBudget(int(remaining * fraction))
+
+    def __repr__(self) -> str:
+        cap = "unlimited" if self._limit is None else str(self._limit)
+        return f"InstanceBudget(spent={self._spent}, limit={cap})"

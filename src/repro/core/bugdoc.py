@@ -1,0 +1,288 @@
+"""The BugDoc facade: one entry point for the debugging algorithms.
+
+``BugDoc`` wraps a black-box executor, a parameter space, and prior
+provenance, and exposes the two goals of the problem definition
+(Section 3): :meth:`BugDoc.find_one` (at least one minimal definitive
+root cause) and :meth:`BugDoc.find_all` (all of them).  The
+``COMBINED`` algorithm -- Stacked Shortcut followed by Debugging
+Decision Trees -- is what the paper evaluates on real-world pipelines
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from .budget import BudgetExhausted, InstanceBudget
+from .ddt import DDTConfig, DDTResult, debugging_decision_trees
+from .history import ExecutionHistory
+from .predicates import Conjunction, Disjunction
+from .quine_mccluskey import simplify_disjunction
+from .rootcause import prune_to_minimal
+from .session import DebugSession
+from .shortcut import ShortcutResult, select_good_instance, shortcut
+from .stacked import DEFAULT_STACK_WIDTH, StackedShortcutResult, stacked_shortcut
+from .types import Executor, Instance, Outcome, ParameterSpace
+
+__all__ = ["Algorithm", "BugDocReport", "BugDoc"]
+
+
+class Algorithm(enum.Enum):
+    """Which debugging strategy to run."""
+
+    SHORTCUT = "shortcut"
+    STACKED_SHORTCUT = "stacked_shortcut"
+    DECISION_TREES = "decision_trees"
+    COMBINED = "combined"
+
+
+@dataclass
+class BugDocReport:
+    """Result of one BugDoc invocation.
+
+    Attributes:
+        algorithm: the strategy that produced this report.
+        causes: asserted root causes, most concise first.
+        explanation: the causes as a (simplified) disjunction.
+        instances_executed: new pipeline executions charged.
+        budget_exhausted: whether the search stopped on budget.
+        shortcut_result / stacked_result / ddt_result: per-stage
+            details when the corresponding stage ran.
+    """
+
+    algorithm: Algorithm
+    causes: list[Conjunction] = field(default_factory=list)
+    explanation: Disjunction = field(default_factory=Disjunction)
+    instances_executed: int = 0
+    budget_exhausted: bool = False
+    shortcut_result: ShortcutResult | None = None
+    stacked_result: StackedShortcutResult | None = None
+    ddt_result: DDTResult | None = None
+
+    @property
+    def asserted(self) -> bool:
+        return bool(self.causes)
+
+
+class BugDoc:
+    """Automatic root-cause debugging of a black-box pipeline.
+
+    Typical use::
+
+        bugdoc = BugDoc(executor, space, history=prior_runs, budget=200)
+        report = bugdoc.find_one()
+        for cause in report.causes:
+            print(cause)
+
+    Args:
+        executor: the black-box pipeline (instance -> outcome).
+        space: the manipulable parameter space.
+        history: previously-run instances (may be empty).
+        budget: maximum number of *new* executions, or None.
+        seed: RNG seed for instance sampling (deterministic runs).
+        session: alternatively, a pre-built session (e.g. a parallel
+            one from :mod:`repro.pipeline.runner`); when given, the
+            executor/space/history/budget arguments must be None.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        space: ParameterSpace | None = None,
+        history: ExecutionHistory | None = None,
+        budget: int | InstanceBudget | None = None,
+        seed: int = 0,
+        session: DebugSession | None = None,
+    ):
+        if session is not None:
+            if executor is not None or space is not None or history is not None:
+                raise ValueError("pass either a session or its components, not both")
+            self._session = session
+        else:
+            if executor is None or space is None:
+                raise ValueError("executor and space are required without a session")
+            if isinstance(budget, int):
+                budget = InstanceBudget(budget)
+            self._session = DebugSession(
+                executor, space, history=history, budget=budget
+            )
+        self._rng = random.Random(seed)
+
+    @property
+    def session(self) -> DebugSession:
+        return self._session
+
+    @property
+    def history(self) -> ExecutionHistory:
+        return self._session.history
+
+    @property
+    def instances_executed(self) -> int:
+        return self._session.new_executions
+
+    # -- Seeding --------------------------------------------------------------
+    def ensure_contrasting_instances(self, max_draws: int = 200) -> bool:
+        """Sample random instances until history has a failure and a success.
+
+        BugDoc's algorithms need at least one instance of each outcome.
+        Sampled executions are charged to the budget (they are part of
+        the debugging cost).
+
+        Returns:
+            True when both outcomes are present afterwards.
+        """
+        history = self._session.history
+        draws = 0
+        while (not history.failures or not history.successes) and draws < max_draws:
+            candidate = self._session.space.random_instance(self._rng)
+            try:
+                self._session.evaluate(candidate)
+            except BudgetExhausted:
+                break
+            draws += 1
+        return bool(history.failures) and bool(history.successes)
+
+    # -- Goals ------------------------------------------------------------------
+    def find_one(
+        self,
+        algorithm: Algorithm = Algorithm.STACKED_SHORTCUT,
+        stack_width: int = DEFAULT_STACK_WIDTH,
+        ddt_config: DDTConfig | None = None,
+    ) -> BugDocReport:
+        """Goal (i): find at least one minimal definitive root cause."""
+        if algorithm is Algorithm.DECISION_TREES:
+            config = ddt_config or DDTConfig(find_all=False)
+            if config.find_all:
+                config = DDTConfig(
+                    tests_per_suspect=config.tests_per_suspect,
+                    max_rounds=config.max_rounds,
+                    find_all=False,
+                    simplify=config.simplify,
+                    shortest_first=config.shortest_first,
+                    seed=config.seed,
+                    max_tree_depth=config.max_tree_depth,
+                )
+            return self._run_ddt(config)
+        if algorithm is Algorithm.SHORTCUT:
+            return self._run_shortcut()
+        if algorithm is Algorithm.STACKED_SHORTCUT:
+            return self._run_stacked(stack_width)
+        return self._run_combined(stack_width, ddt_config, find_all=False)
+
+    def find_all(
+        self,
+        algorithm: Algorithm = Algorithm.DECISION_TREES,
+        stack_width: int = DEFAULT_STACK_WIDTH,
+        ddt_config: DDTConfig | None = None,
+    ) -> BugDocReport:
+        """Goal (ii): find all minimal definitive root causes."""
+        if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT):
+            raise ValueError(
+                "the shortcut algorithms target FindOne; use DECISION_TREES "
+                "or COMBINED for FindAll"
+            )
+        if algorithm is Algorithm.DECISION_TREES:
+            return self._run_ddt(ddt_config or DDTConfig(find_all=True))
+        return self._run_combined(stack_width, ddt_config, find_all=True)
+
+    # -- Strategy implementations ------------------------------------------------
+    def _anchor_failure(self) -> Instance:
+        history = self._session.history
+        if not history.failures:
+            self.ensure_contrasting_instances()
+        if not history.failures:
+            raise ValueError("no failing instance available to debug")
+        return history.failures[0]
+
+    def _run_shortcut(self) -> BugDocReport:
+        report = BugDocReport(algorithm=Algorithm.SHORTCUT)
+        before = self._session.new_executions
+        try:
+            failing = self._anchor_failure()
+            good = select_good_instance(self._session, failing)
+            if good is None:
+                raise ValueError("no successful instance available to compare with")
+            result = shortcut(self._session, failing, good)
+            report.shortcut_result = result
+            if result.asserted:
+                report.causes = [result.cause]
+                report.explanation = Disjunction(report.causes)
+        except BudgetExhausted:
+            report.budget_exhausted = True
+        report.instances_executed = self._session.new_executions - before
+        return report
+
+    def _run_stacked(self, stack_width: int) -> BugDocReport:
+        report = BugDocReport(algorithm=Algorithm.STACKED_SHORTCUT)
+        before = self._session.new_executions
+        try:
+            failing = self._anchor_failure()
+            result = stacked_shortcut(
+                self._session, failing=failing, stack_width=stack_width
+            )
+            report.stacked_result = result
+            if result.asserted:
+                report.causes = [result.cause]
+                report.explanation = Disjunction(report.causes)
+        except BudgetExhausted:
+            report.budget_exhausted = True
+        report.instances_executed = self._session.new_executions - before
+        return report
+
+    def _run_ddt(self, config: DDTConfig) -> BugDocReport:
+        report = BugDocReport(algorithm=Algorithm.DECISION_TREES)
+        before = self._session.new_executions
+        if not self._session.history.failures or not self._session.history.successes:
+            self.ensure_contrasting_instances()
+        result = debugging_decision_trees(self._session, config)
+        report.ddt_result = result
+        report.causes = list(result.causes)
+        report.explanation = result.explanation
+        report.budget_exhausted = result.budget_exhausted
+        report.instances_executed = self._session.new_executions - before
+        return report
+
+    def _run_combined(
+        self,
+        stack_width: int,
+        ddt_config: DDTConfig | None,
+        find_all: bool,
+    ) -> BugDocReport:
+        """Stacked Shortcut first, then Debugging Decision Trees (Figure 7).
+
+        The stacked result seeds the pool of causes; DDT contributes
+        inequality causes and additional disjuncts.  Causes are merged,
+        filtered against the final history, and simplified together.
+        """
+        report = BugDocReport(algorithm=Algorithm.COMBINED)
+        before = self._session.new_executions
+        causes: list[Conjunction] = []
+        try:
+            failing = self._anchor_failure()
+            stacked = stacked_shortcut(
+                self._session, failing=failing, stack_width=stack_width
+            )
+            report.stacked_result = stacked
+            if stacked.asserted:
+                causes.append(stacked.cause)
+        except (BudgetExhausted, ValueError):
+            report.budget_exhausted = self._session.budget.exhausted()
+
+        config = ddt_config or DDTConfig(find_all=find_all)
+        ddt = debugging_decision_trees(self._session, config)
+        report.ddt_result = ddt
+        causes.extend(ddt.causes)
+        report.budget_exhausted = report.budget_exhausted or ddt.budget_exhausted
+
+        causes = [c for c in causes if not self._session.history.refutes(c)]
+        causes = prune_to_minimal(causes, self._session.space)
+        if causes:
+            explanation = simplify_disjunction(
+                Disjunction(causes), self._session.space
+            )
+            report.causes = list(explanation)
+            report.explanation = explanation
+        report.instances_executed = self._session.new_executions - before
+        return report

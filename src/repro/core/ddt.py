@@ -1,0 +1,405 @@
+"""The Debugging Decision Trees algorithm (Section 4.2).
+
+The search loop:
+
+1. Build a complete (unpruned) decision tree over all executed
+   instances, with outcomes as the target.
+2. Every root-to-pure-``fail``-leaf path is a *suspect* conjunction
+   (possibly containing inequalities).
+3. Each suspect is tested by fixing a satisfying *prototype* value for
+   every constrained parameter and sampling new instances from the
+   Cartesian product of the remaining parameters' values.  If every
+   sampled instance fails, the suspect is asserted as a definitive root
+   cause; if any succeeds, the refuting instance joins the history, the
+   tree is rebuilt, and the search restarts with fresh suspects.
+
+The final explanation is the disjunction of asserted suspects,
+simplified with Quine-McCluskey (:mod:`repro.core.quine_mccluskey`).
+
+Worst-case cost is exponential in the number of parameters, but the
+algorithm "does well heuristically even with a small budget" -- budgets
+are enforced through the session, and partial results are returned on
+exhaustion.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from .budget import BudgetExhausted
+from .predicates import Conjunction, Disjunction
+from .quine_mccluskey import simplify_disjunction
+from .rootcause import prune_to_minimal
+from .session import DebugSession, InstanceUnavailable
+from .tree import DebuggingTree
+from .types import Instance, Outcome, Value
+
+__all__ = ["DDTConfig", "DDTResult", "debugging_decision_trees"]
+
+
+@dataclass(frozen=True)
+class DDTConfig:
+    """Tuning knobs for the Debugging Decision Trees search.
+
+    Attributes:
+        tests_per_suspect: how many variations of the non-suspect
+            parameters are sampled to try to refute each suspect.  The
+            full Cartesian product is used instead whenever it is
+            smaller.
+        max_rounds: cap on tree rebuilds (each refutation triggers one);
+            guarantees termination alongside the instance budget.
+        find_all: assert every surviving suspect (FindAll) instead of
+            stopping at the first confirmation (FindOne).
+        simplify: run Quine-McCluskey simplification on the final
+            disjunction (ablatable).
+        shortest_first: test short suspects before long ones
+            (ablatable; False preserves tree order).
+        minimize_confirmed: after confirming a suspect, greedily drop
+            predicates while the generalization still survives
+            refutation (Definition 5 asks for *minimal* causes; tree
+            paths often carry redundant conjuncts).  Ablatable.
+        exploration_per_round: in FindAll mode, when a round ends with
+            every suspect confirmed (nothing refuted), sample up to this
+            many instances *outside* all confirmed causes.  A surprise
+            failure there reveals a bug the current evidence cannot see
+            and reopens the search; all-success confirms convergence.
+            Set to 0 to disable (ablatable).
+        seed: RNG seed for prototype and variation sampling.
+        max_tree_depth: optional cap forwarded to tree induction.
+    """
+
+    tests_per_suspect: int = 12
+    max_rounds: int = 60
+    find_all: bool = True
+    simplify: bool = True
+    shortest_first: bool = True
+    minimize_confirmed: bool = True
+    exploration_per_round: int = 8
+    seed: int = 0
+    max_tree_depth: int | None = None
+
+
+@dataclass
+class DDTResult:
+    """Outcome of a Debugging Decision Trees run.
+
+    Attributes:
+        causes: asserted root-cause conjunctions (post-simplification
+            components when ``simplify`` is on).
+        explanation: the full disjunction-of-conjunctions explanation.
+        rounds: number of tree builds performed.
+        instances_executed: new executions charged to the session.
+        budget_exhausted: True when the search stopped on budget.
+        trees_sizes: size of each built tree (diagnostics).
+    """
+
+    causes: list[Conjunction] = field(default_factory=list)
+    explanation: Disjunction = field(default_factory=Disjunction)
+    rounds: int = 0
+    instances_executed: int = 0
+    budget_exhausted: bool = False
+    tree_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def asserted(self) -> bool:
+        return bool(self.causes)
+
+
+def _variation_instances(
+    suspect: Conjunction,
+    session: DebugSession,
+    count: int,
+    rng: random.Random,
+) -> list[Instance] | None:
+    """Sample instances from the suspect's satisfying set (Step 3).
+
+    Equality-constrained parameters are pinned to their value.  For
+    inequality-constrained parameters, values are drawn across the full
+    satisfying range -- testing only one prototype value would let an
+    over-general inequality (e.g. ``a > 0`` when the true cause is
+    ``a > 2``) survive unrefuted.  Unconstrained parameters vary over
+    their whole domain ("all other parameters will be varied").
+
+    The full Cartesian product of satisfying sets x free domains is
+    enumerated when it fits in ``count``; otherwise sampled without
+    replacement (best effort).  Returns None when the suspect is
+    unsatisfiable.
+    """
+    space = session.space
+    if session.candidate_source is not None:
+        # Historical mode: test instances come from unread provenance.
+        candidates = session.candidate_source(suspect, count)
+        fresh = [c for c in candidates if c not in session.history]
+        return fresh if fresh else []
+    sets = suspect.canonical(space)
+    per_parameter: list[tuple[str, list[Value]]] = []
+    for name in space.names:
+        allowed = sets.get(name)
+        if allowed is None:
+            per_parameter.append((name, list(space.domain(name))))
+        else:
+            if not allowed:
+                return None
+            per_parameter.append((name, sorted(allowed, key=repr)))
+
+    product_size = 1
+    for __, values in per_parameter:
+        product_size *= len(values)
+        if product_size > count:
+            break
+
+    if product_size <= count:
+        names = [name for name, __ in per_parameter]
+        return [
+            Instance(dict(zip(names, combo)))
+            for combo in itertools.product(
+                *(values for __, values in per_parameter)
+            )
+        ]
+
+    seen: set[Instance] = set()
+    ordered: list[Instance] = []
+    attempts = 0
+    while len(ordered) < count and attempts < count * 5:
+        attempts += 1
+        candidate = Instance(
+            {name: rng.choice(values) for name, values in per_parameter}
+        )
+        if candidate not in seen:
+            seen.add(candidate)
+            ordered.append(candidate)
+    return ordered
+
+
+def debugging_decision_trees(
+    session: DebugSession, config: DDTConfig | None = None
+) -> DDTResult:
+    """Run the Debugging Decision Trees search loop.
+
+    The session's history must contain at least one failing and one
+    succeeding instance for the tree to produce informative suspects;
+    with a degenerate history the result is empty (all-fail histories
+    yield the trivial always-fail explanation only if the caller opts to
+    interpret it, which this function does not assert).
+
+    Returns:
+        A :class:`DDTResult`; partial results are returned when the
+        instance budget runs out mid-search.
+    """
+    config = config or DDTConfig()
+    rng = random.Random(config.seed)
+    result = DDTResult()
+    confirmed: list[Conjunction] = []
+    refuted: set[Conjunction] = set()
+    executed_before = session.new_executions
+
+    try:
+        for _round in range(config.max_rounds):
+            samples = [
+                (instance, outcome)
+                for instance in session.history.instances
+                if (outcome := session.history.outcome_of(instance)) is not None
+            ]
+            tree = DebuggingTree(
+                session.space, samples, max_depth=config.max_tree_depth
+            )
+            result.rounds += 1
+            result.tree_sizes.append(tree.size)
+
+            suspects = [
+                s
+                for s in tree.fail_paths()
+                if s not in refuted and not s.is_trivial()
+            ]
+            if not config.shortest_first:
+                rng.shuffle(suspects)
+            # Skip suspects already covered by a confirmed cause.
+            suspects = [
+                s
+                for s in suspects
+                if not any(c.subsumes(s, session.space) for c in confirmed)
+            ]
+            if not suspects:
+                if config.find_all and _explore_complement(
+                    session, confirmed, config, rng
+                ):
+                    continue  # a surprise failure reopened the search
+                break
+
+            any_refuted = False
+            for suspect in suspects:
+                verdict = _test_suspect(suspect, session, config, rng)
+                if verdict is _Verdict.CONFIRMED:
+                    if config.minimize_confirmed:
+                        suspect = _minimize_suspect(
+                            suspect, session, config, rng
+                        )
+                    confirmed.append(suspect)
+                    if not config.find_all:
+                        raise _StopSearch
+                elif verdict is _Verdict.REFUTED:
+                    refuted.add(suspect)
+                    any_refuted = True
+                    break  # rebuild the tree with the refuting evidence
+                else:  # UNDECIDED (historical mode could not test)
+                    refuted.add(suspect)
+            if not any_refuted:
+                if config.find_all and _explore_complement(
+                    session, confirmed, config, rng
+                ):
+                    continue
+                break
+    except _StopSearch:
+        pass
+    except BudgetExhausted:
+        result.budget_exhausted = True
+
+    result.instances_executed = session.new_executions - executed_before
+    # Evidence gathered for later suspects can retroactively refute an
+    # earlier confirmation; the final explanation must be a hypothetical
+    # root cause w.r.t. everything executed (Definition 3).
+    confirmed = [c for c in confirmed if not session.history.refutes(c)]
+    confirmed = prune_to_minimal(confirmed, session.space)
+    if config.simplify and confirmed:
+        explanation = simplify_disjunction(Disjunction(confirmed), session.space)
+    else:
+        explanation = Disjunction(confirmed)
+    result.causes = list(explanation)
+    result.explanation = explanation
+    return result
+
+
+def _explore_complement(
+    session: DebugSession,
+    confirmed: list[Conjunction],
+    config: DDTConfig,
+    rng: random.Random,
+) -> bool:
+    """FindAll convergence check: probe outside the confirmed causes.
+
+    Samples instances that satisfy no confirmed cause (rejection
+    sampling) and executes them.  Returns True when a new *failure* was
+    found -- evidence of an undiscovered cause -- so the caller rebuilds
+    the tree; False means the probe saw only successes (or could not
+    run), which is the best available evidence of convergence.
+    """
+    if config.exploration_per_round <= 0:
+        return False
+    if session.candidate_source is not None:
+        # Historical mode: nothing outside the log can be probed.
+        return False
+    space = session.space
+    found_failure = False
+    probes = 0
+    attempts = 0
+    while (
+        probes < config.exploration_per_round
+        and attempts < config.exploration_per_round * 10
+    ):
+        attempts += 1
+        candidate = space.random_instance(rng)
+        if candidate in session.history:
+            continue
+        if any(cause.satisfied_by(candidate) for cause in confirmed):
+            continue
+        try:
+            outcome = session.evaluate(candidate)
+        except InstanceUnavailable:
+            continue
+        probes += 1
+        if outcome is Outcome.FAIL:
+            found_failure = True
+            break
+    return found_failure
+
+
+def _minimize_suspect(
+    suspect: Conjunction,
+    session: DebugSession,
+    config: DDTConfig,
+    rng: random.Random,
+) -> Conjunction:
+    """Greedy Definition-5 minimization of a confirmed suspect.
+
+    Repeatedly drops one predicate if the generalized conjunction also
+    survives refutation sampling, until no single drop survives.  Also
+    replaces the suspect if the history already refutes a candidate
+    (free check) before spending executions.
+    """
+    current = suspect
+    improved = True
+    while improved and len(current) > 1:
+        improved = False
+        for predicate in current:
+            candidate = Conjunction(
+                p for p in current.predicates if p != predicate
+            )
+            if session.history.refutes(candidate):
+                continue
+            if _test_suspect(candidate, session, config, rng) is _Verdict.CONFIRMED:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+class _StopSearch(Exception):
+    """Internal: FindOne confirmed its first cause."""
+
+
+class _Verdict(enum.Enum):
+    CONFIRMED = "confirmed"
+    REFUTED = "refuted"
+    UNDECIDED = "undecided"
+
+
+def _test_suspect(
+    suspect: Conjunction,
+    session: DebugSession,
+    config: DDTConfig,
+    rng: random.Random,
+) -> "_Verdict":
+    """Step 3 of the algorithm: try to refute one suspect.
+
+    Executes sampled variations; CONFIRMED when all fail, REFUTED on the
+    first success, UNDECIDED when historical replay could not serve any
+    variation.
+    """
+    variations = _variation_instances(
+        suspect, session, config.tests_per_suspect, rng
+    )
+    if variations is None:
+        return _Verdict.REFUTED  # unsatisfiable suspect explains nothing
+    if not variations:
+        return _Verdict.UNDECIDED
+
+    if session.parallel:
+        # Speculative batch execution (Section 4.3): all variations run
+        # concurrently even though an early refutation would have let a
+        # serial search skip the rest.
+        outcomes = session.evaluate_many(variations)
+        tested = sum(1 for o in outcomes if o is not None)
+        if session.budget.exhausted() and tested == 0:
+            raise BudgetExhausted(session.budget.limit or 0)
+        if any(o is Outcome.SUCCEED for o in outcomes):
+            return _Verdict.REFUTED
+        if tested == 0:
+            return _Verdict.UNDECIDED
+        return _Verdict.CONFIRMED
+
+    tested = 0
+    for instance in variations:
+        try:
+            outcome = session.evaluate(instance)
+        except InstanceUnavailable:
+            continue
+        tested += 1
+        if outcome is Outcome.SUCCEED:
+            return _Verdict.REFUTED
+    if tested == 0:
+        return _Verdict.UNDECIDED
+    return _Verdict.CONFIRMED

@@ -1,0 +1,216 @@
+"""Execution history: the algorithm-facing view of provenance.
+
+Every BugDoc algorithm consumes an :class:`ExecutionHistory` -- the set
+``G = CP1..CPk`` of previously-run instances with their evaluations --
+and appends to it as new instances are executed.  The history maintains
+the parameter-value universe of Definition 1 and the indexes the
+algorithms need (failing instances, successful instances, disjoint-pair
+search).
+
+The durable, queryable provenance store lives in
+:mod:`repro.provenance`; it can produce and ingest histories.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from .predicates import Conjunction
+from .types import Evaluation, Instance, Outcome, ParameterSpace, Value
+
+__all__ = ["ExecutionHistory"]
+
+
+class ExecutionHistory:
+    """An append-only log of evaluated pipeline instances.
+
+    Duplicate executions of the same instance are recorded (real logs
+    contain them) but :meth:`outcome_of` exposes the deterministic-bug
+    assumption of Definition 2: re-running an instance yields the same
+    outcome, and appending a contradictory outcome raises.
+    """
+
+    def __init__(self, evaluations: Iterable[Evaluation] = ()):
+        self._evaluations: list[Evaluation] = []
+        self._outcome_by_instance: dict[Instance, Outcome] = {}
+        self._failures: list[Instance] = []
+        self._successes: list[Instance] = []
+        for evaluation in evaluations:
+            self.append(evaluation)
+
+    # -- Mutation ------------------------------------------------------------
+    def append(self, evaluation: Evaluation) -> None:
+        """Record one evaluation.
+
+        Raises:
+            ValueError: when the instance was already recorded with the
+                opposite outcome (violates the deterministic evaluation
+                assumption of Definition 2).
+        """
+        instance = evaluation.instance
+        known = self._outcome_by_instance.get(instance)
+        if known is not None and known is not evaluation.outcome:
+            raise ValueError(
+                f"contradictory outcomes recorded for instance {instance!r}: "
+                f"{known.value} then {evaluation.outcome.value}"
+            )
+        self._evaluations.append(evaluation)
+        if known is None:
+            self._outcome_by_instance[instance] = evaluation.outcome
+            if evaluation.outcome is Outcome.FAIL:
+                self._failures.append(instance)
+            else:
+                self._successes.append(instance)
+
+    def record(self, instance: Instance, outcome: Outcome, **kwargs) -> Evaluation:
+        """Convenience: build an :class:`Evaluation` and append it."""
+        evaluation = Evaluation(instance=instance, outcome=outcome, **kwargs)
+        self.append(evaluation)
+        return evaluation
+
+    # -- Lookup ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._evaluations)
+
+    def __iter__(self) -> Iterator[Evaluation]:
+        return iter(self._evaluations)
+
+    def __contains__(self, instance: Instance) -> bool:
+        return instance in self._outcome_by_instance
+
+    @property
+    def evaluations(self) -> tuple[Evaluation, ...]:
+        return tuple(self._evaluations)
+
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        """Distinct executed instances, in first-execution order."""
+        return tuple(self._outcome_by_instance)
+
+    @property
+    def failures(self) -> tuple[Instance, ...]:
+        """Distinct failing instances, in first-execution order."""
+        return tuple(self._failures)
+
+    @property
+    def successes(self) -> tuple[Instance, ...]:
+        """Distinct succeeding instances, in first-execution order."""
+        return tuple(self._successes)
+
+    def outcome_of(self, instance: Instance) -> Outcome | None:
+        """The recorded outcome of ``instance``, or None if never run."""
+        return self._outcome_by_instance.get(instance)
+
+    # -- Universe (Definition 1) -------------------------------------------
+    def value_universe(self) -> dict[str, set[Value]]:
+        """``U_p`` per parameter: every value any executed instance assigned."""
+        universe: dict[str, set[Value]] = {}
+        for instance in self._outcome_by_instance:
+            for name, value in instance.items():
+                universe.setdefault(name, set()).add(value)
+        return universe
+
+    def observed_space(self) -> ParameterSpace:
+        """A :class:`ParameterSpace` built from the observed universe.
+
+        All parameters are treated as categorical (order information is
+        not recoverable from a bare log); callers that know better should
+        supply their own space.
+        """
+        from .types import Parameter  # local import to keep module load light
+
+        universe = self.value_universe()
+        return ParameterSpace(
+            [
+                Parameter(name, tuple(sorted(values, key=repr)))
+                for name, values in sorted(universe.items())
+            ]
+        )
+
+    # -- Queries used by the debugging algorithms ----------------------------
+    def successes_satisfying(self, conjunction: Conjunction) -> list[Instance]:
+        """Succeeding instances whose assignment satisfies ``conjunction``."""
+        return [s for s in self._successes if conjunction.satisfied_by(s)]
+
+    def failures_satisfying(self, conjunction: Conjunction) -> list[Instance]:
+        """Failing instances whose assignment satisfies ``conjunction``."""
+        return [f for f in self._failures if conjunction.satisfied_by(f)]
+
+    def refutes(self, conjunction: Conjunction) -> bool:
+        """True when some *successful* instance satisfies the conjunction.
+
+        This is the negation of condition (ii) of Definition 3: a
+        satisfied-and-succeeded instance disproves the hypothesis.
+        """
+        return any(conjunction.satisfied_by(s) for s in self._successes)
+
+    def supports(self, conjunction: Conjunction) -> bool:
+        """True when some *failing* instance satisfies the conjunction.
+
+        Condition (i) of Definition 3.
+        """
+        return any(conjunction.satisfied_by(f) for f in self._failures)
+
+    def is_hypothetical_root_cause(self, conjunction: Conjunction) -> bool:
+        """Definition 3 against this history: supported and not refuted."""
+        return self.supports(conjunction) and not self.refutes(conjunction)
+
+    def disjoint_successes(self, failing: Instance) -> list[Instance]:
+        """Successful instances disjoint (Definition 6) from ``failing``."""
+        return [
+            s for s in self._successes if failing.is_disjoint_from(s)
+        ]
+
+    def most_different_success(self, failing: Instance) -> Instance | None:
+        """The success with maximal Hamming distance from ``failing``.
+
+        Used as the paper's fallback heuristic when the Disjointness
+        Condition does not hold.  Ties break toward the earliest-run
+        instance for determinism.
+        """
+        best: Instance | None = None
+        best_distance = -1
+        for success in self._successes:
+            distance = failing.hamming_distance(success)
+            if distance > best_distance:
+                best, best_distance = success, distance
+        return best
+
+    def mutually_disjoint_successes(
+        self, failing: Instance, limit: int | None = None
+    ) -> list[Instance]:
+        """Greedily select successes disjoint from ``failing`` and each other.
+
+        The Stacked Shortcut algorithm wants ``k`` mutually disjoint
+        successful instances (Algorithm 2).  Finding a maximum such set
+        is NP-hard in general; we use the greedy first-fit order of the
+        log, which matches the paper's "if possible" phrasing.  Every
+        returned instance is disjoint from ``failing`` (unioning
+        assertions from non-disjoint comparisons would over-assert,
+        breaking Theorem 2's never-a-superset guarantee); callers with
+        no disjoint success at all fall back to the single
+        most-different-instance heuristic.
+        """
+        selected: list[Instance] = []
+        for success in self._successes:
+            if not failing.is_disjoint_from(success):
+                continue
+            if all(success.is_disjoint_from(other) for other in selected):
+                selected.append(success)
+                if limit is not None and len(selected) >= limit:
+                    break
+        return selected
+
+    def copy(self) -> "ExecutionHistory":
+        """A shallow copy sharing the evaluation objects."""
+        return ExecutionHistory(self._evaluations)
+
+    @staticmethod
+    def from_pairs(
+        pairs: Sequence[tuple[Instance, Outcome]],
+    ) -> "ExecutionHistory":
+        """Build a history from bare (instance, outcome) pairs."""
+        history = ExecutionHistory()
+        for instance, outcome in pairs:
+            history.record(instance, outcome)
+        return history

@@ -1,0 +1,376 @@
+"""Predicates, conjunctions, and disjunctions: the language of root causes.
+
+A root cause (Definition 3) is a Boolean conjunction of
+``(parameter, comparator, value)`` triples, e.g. ``A > 5 and B = "x"``.
+The Debugging Decision Trees algorithm additionally produces
+*disjunctions* of such conjunctions, which are simplified with
+Quine-McCluskey (see :mod:`repro.core.quine_mccluskey`).
+
+Semantics are defined over finite parameter domains.  Every conjunction
+can be *canonicalized* into a mapping ``parameter -> set of satisfying
+domain values``, which makes semantic equality, subsumption, and
+satisfying-set counting exact and cheap (the satisfying set of a
+conjunction is a Cartesian product of per-parameter value subsets).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from .types import Instance, Parameter, ParameterSpace, Value
+
+__all__ = [
+    "Comparator",
+    "Predicate",
+    "Conjunction",
+    "Disjunction",
+    "conjunction_from_assignment",
+    "canonical_value_sets",
+]
+
+
+class Comparator(enum.Enum):
+    """The comparator set ``C = {=, <=, >, !=}`` of Section 5.1."""
+
+    EQ = "="
+    NEQ = "!="
+    LE = "<="
+    GT = ">"
+
+    @property
+    def is_ordinal_only(self) -> bool:
+        """``<=`` and ``>`` are meaningful only for ordinal parameters."""
+        return self in (Comparator.LE, Comparator.GT)
+
+    def evaluate(self, observed: Value, reference: Value) -> bool:
+        """Apply the comparator: ``observed <cmp> reference``."""
+        if self is Comparator.EQ:
+            return observed == reference
+        if self is Comparator.NEQ:
+            return observed != reference
+        if self is Comparator.LE:
+            return observed <= reference  # type: ignore[operator]
+        return observed > reference  # type: ignore[operator]
+
+    def negate(self) -> "Comparator":
+        """The comparator denoting the complement set."""
+        if self is Comparator.EQ:
+            return Comparator.NEQ
+        if self is Comparator.NEQ:
+            return Comparator.EQ
+        if self is Comparator.LE:
+            return Comparator.GT
+        return Comparator.LE
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A ``(parameter, comparator, value)`` triple, e.g. ``A > 5``."""
+
+    parameter: str
+    comparator: Comparator
+    value: Value
+
+    def satisfied_by(self, instance: Mapping[str, Value]) -> bool:
+        """True when the instance's value for this parameter matches.
+
+        Raises:
+            KeyError: if the instance does not assign this parameter.
+        """
+        return self.comparator.evaluate(instance[self.parameter], self.value)
+
+    def satisfying_values(self, parameter: Parameter) -> frozenset[Value]:
+        """Subset of the parameter's domain that satisfies this predicate."""
+        if parameter.name != self.parameter:
+            raise ValueError(
+                f"predicate on {self.parameter!r} evaluated against parameter "
+                f"{parameter.name!r}"
+            )
+        return frozenset(
+            v for v in parameter.domain if self.comparator.evaluate(v, self.value)
+        )
+
+    def negated(self) -> "Predicate":
+        """The predicate denoting the complement of this one."""
+        return Predicate(self.parameter, self.comparator.negate(), self.value)
+
+    def __str__(self) -> str:
+        return f"{self.parameter} {self.comparator.value} {self.value!r}"
+
+
+class Conjunction:
+    """An AND of predicates: one (hypothetical) root cause.
+
+    Stored as a frozenset of :class:`Predicate`; iteration order for
+    display is (parameter, comparator, value) sorted.  An empty
+    conjunction is the constant *true* (satisfied by every instance);
+    algorithms treat it as "no cause found".
+    """
+
+    __slots__ = ("_predicates", "_hash")
+
+    def __init__(self, predicates: Iterable[Predicate] = ()):
+        self._predicates: frozenset[Predicate] = frozenset(predicates)
+        self._hash: int | None = None
+
+    # -- Container protocol -----------------------------------------------
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(
+            sorted(
+                self._predicates,
+                key=lambda p: (p.parameter, p.comparator.value, repr(p.value)),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self._predicates
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._predicates)
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Conjunction):
+            return self._predicates == other._predicates
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Conjunction({str(self)})"
+
+    def __str__(self) -> str:
+        if not self._predicates:
+            return "TRUE"
+        return " and ".join(str(p) for p in self)
+
+    # -- Semantics ----------------------------------------------------------
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        return self._predicates
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        """The set of parameter names this conjunction constrains."""
+        return frozenset(p.parameter for p in self._predicates)
+
+    def satisfied_by(self, instance: Mapping[str, Value]) -> bool:
+        """True when the instance satisfies every predicate."""
+        return all(p.satisfied_by(instance) for p in self._predicates)
+
+    def is_trivial(self) -> bool:
+        """True for the empty (constant-true) conjunction."""
+        return not self._predicates
+
+    def with_predicate(self, predicate: Predicate) -> "Conjunction":
+        """This conjunction extended with one more predicate."""
+        return Conjunction(self._predicates | {predicate})
+
+    def union(self, other: "Conjunction") -> "Conjunction":
+        """Predicate-set union (logical AND of the two conjunctions)."""
+        return Conjunction(self._predicates | other.predicates)
+
+    def restricted_to(self, parameters: Iterable[str]) -> "Conjunction":
+        """Keep only the predicates on the given parameters."""
+        wanted = set(parameters)
+        return Conjunction(p for p in self._predicates if p.parameter in wanted)
+
+    def canonical(self, space: ParameterSpace) -> dict[str, frozenset[Value]]:
+        """Per-parameter satisfying value sets over a finite space.
+
+        The result maps each *constrained* parameter to the subset of its
+        domain that satisfies all predicates on it; parameters whose
+        subset equals the full domain are dropped (they impose no
+        constraint).  Two conjunctions are semantically equal over
+        ``space`` iff their canonical forms are equal.
+        """
+        return canonical_value_sets(self._predicates, space)
+
+    def is_satisfiable(self, space: ParameterSpace) -> bool:
+        """True when at least one instance of the space satisfies it."""
+        sets = self.canonical(space)
+        # canonical() drops unconstrained parameters, so emptiness of any
+        # retained set is the only way to be unsatisfiable -- unless a
+        # predicate references a parameter absent from the space.
+        for predicate in self._predicates:
+            if predicate.parameter not in space:
+                raise ValueError(
+                    f"predicate on unknown parameter {predicate.parameter!r}"
+                )
+        return all(values for values in sets.values())
+
+    def satisfying_count(self, space: ParameterSpace) -> int:
+        """Number of instances in the full space that satisfy it."""
+        count = 1
+        sets = self.canonical(space)
+        for name in space.names:
+            domain = space.domain(name)
+            count *= len(sets.get(name, frozenset(domain)))
+        return count
+
+    def semantically_equals(self, other: "Conjunction", space: ParameterSpace) -> bool:
+        """Exact semantic equality over the finite space."""
+        return self.canonical(space) == other.canonical(space)
+
+    def subsumes(self, other: "Conjunction", space: ParameterSpace) -> bool:
+        """True when ``other``'s satisfying set is contained in this one's.
+
+        A *weaker* (more general) cause subsumes a stricter one; a
+        conjunction subsumes itself.  An unsatisfiable ``other`` (empty
+        satisfying set) is vacuously subsumed by anything.
+        """
+        mine = self.canonical(space)
+        theirs = other.canonical(space)
+        if any(not values for values in theirs.values()):
+            return True
+        for name, my_values in mine.items():
+            their_values = theirs.get(name, frozenset(space.domain(name)))
+            if not their_values <= my_values:
+                return False
+        return True
+
+    def sample_satisfying(self, space: ParameterSpace, rng) -> Instance | None:
+        """Sample one instance satisfying the conjunction, or None.
+
+        Unconstrained parameters are drawn uniformly from their domain.
+        """
+        sets = self.canonical(space)
+        assignment: dict[str, Value] = {}
+        for name in space.names:
+            candidates = sets.get(name)
+            if candidates is None:
+                assignment[name] = rng.choice(space.domain(name))
+            elif candidates:
+                assignment[name] = rng.choice(sorted(candidates, key=repr))
+            else:
+                return None
+        return Instance(assignment)
+
+
+class Disjunction:
+    """An OR of conjunctions: the full output language of BugDoc.
+
+    Represents a *set* of asserted root causes; an instance satisfies a
+    disjunction when it satisfies at least one member conjunction.  The
+    empty disjunction is the constant *false*.
+    """
+
+    __slots__ = ("_conjunctions",)
+
+    def __init__(self, conjunctions: Iterable[Conjunction] = ()):
+        self._conjunctions: tuple[Conjunction, ...] = tuple(
+            dict.fromkeys(conjunctions)
+        )
+
+    def __iter__(self) -> Iterator[Conjunction]:
+        return iter(self._conjunctions)
+
+    def __len__(self) -> int:
+        return len(self._conjunctions)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Disjunction):
+            return set(self._conjunctions) == set(other._conjunctions)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._conjunctions))
+
+    def __repr__(self) -> str:
+        return f"Disjunction({str(self)})"
+
+    def __str__(self) -> str:
+        if not self._conjunctions:
+            return "FALSE"
+        return " or ".join(f"({c})" for c in self._conjunctions)
+
+    @property
+    def conjunctions(self) -> tuple[Conjunction, ...]:
+        return self._conjunctions
+
+    def satisfied_by(self, instance: Mapping[str, Value]) -> bool:
+        return any(c.satisfied_by(instance) for c in self._conjunctions)
+
+    def semantically_equals(self, other: "Disjunction", space: ParameterSpace) -> bool:
+        """Exact semantic equality over the finite space.
+
+        Compares the full satisfying sets by enumerating only when the
+        cheap pairwise-subsumption check is inconclusive; for the space
+        sizes used in debugging (products of per-parameter subsets) the
+        enumeration-free check below is exact because both sides are
+        unions of boxes over the same grid -- we fall back to instance
+        enumeration only for small spaces.
+        """
+        if set(self._conjunctions) == set(other.conjunctions):
+            return True
+        limit = 200_000
+        if space.size() <= limit:
+            return all(
+                self.satisfied_by(inst) == other.satisfied_by(inst)
+                for inst in space.instances()
+            )
+        # Conservative: mutual subsumption of every member.
+        return self._covered_by(other, space) and other._covered_by(self, space)
+
+    def _covered_by(self, other: "Disjunction", space: ParameterSpace) -> bool:
+        """True if every member conjunction is subsumed by some member of other."""
+        return all(
+            any(theirs.subsumes(mine, space) for theirs in other.conjunctions)
+            for mine in self._conjunctions
+        )
+
+
+def conjunction_from_assignment(
+    assignment: Mapping[str, Value], parameters: Iterable[str] | None = None
+) -> Conjunction:
+    """Build an all-equalities conjunction from a (partial) assignment.
+
+    This is how the Shortcut algorithm's asserted cause ``D`` (a subset
+    of a failing instance's parameter-value pairs) becomes a root cause.
+
+    Args:
+        assignment: parameter -> value mapping.
+        parameters: optional subset of parameters to keep.
+    """
+    names = set(parameters) if parameters is not None else set(assignment)
+    return Conjunction(
+        Predicate(name, Comparator.EQ, value)
+        for name, value in assignment.items()
+        if name in names
+    )
+
+
+def canonical_value_sets(
+    predicates: Iterable[Predicate], space: ParameterSpace
+) -> dict[str, frozenset[Value]]:
+    """Canonicalize predicates into per-parameter satisfying value sets.
+
+    Parameters left completely unconstrained (subset == full domain) are
+    omitted from the result, so the canonical form of logically
+    equivalent conjunctions is identical.
+    """
+    by_parameter: dict[str, frozenset[Value]] = {}
+    for predicate in predicates:
+        name = predicate.parameter
+        if name not in space:
+            raise ValueError(f"predicate on unknown parameter {name!r}")
+        parameter = space[name]
+        if predicate.comparator.is_ordinal_only and not parameter.is_ordinal:
+            raise ValueError(
+                f"comparator {predicate.comparator.value!r} requires ordinal "
+                f"parameter, but {name!r} is categorical"
+            )
+        satisfied = predicate.satisfying_values(parameter)
+        if name in by_parameter:
+            by_parameter[name] &= satisfied
+        else:
+            by_parameter[name] = satisfied
+    return {
+        name: values
+        for name, values in by_parameter.items()
+        if values != frozenset(space.domain(name))
+    }

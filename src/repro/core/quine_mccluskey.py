@@ -1,0 +1,382 @@
+"""Boolean and multi-valued minimization of explanations.
+
+The Debugging Decision Trees algorithm emits disjunctions of
+conjunctions that often contain redundancies (Section 4: "we simplify
+using the Quine-McCluskey algorithm.  The goal is to create concise
+explanations").  Two layers are provided:
+
+1. :func:`minimize_boolean` -- the classic Quine-McCluskey procedure on
+   binary minterms, with a Petrick-style greedy cover.  Used directly
+   for boolean parameter subspaces and kept faithful to the textbook
+   algorithm so it can be property-tested against truth tables.
+
+2. :func:`simplify_disjunction` -- a multi-valued generalization over
+   finite parameter domains.  Each conjunction canonicalizes to a *box*
+   (a per-parameter set of allowed values); boxes are absorbed, merged
+   (the multi-valued analogue of combining adjacent implicants), and
+   redundant boxes removed, then converted back to the fewest
+   predicates that express each per-parameter value set exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from .predicates import Comparator, Conjunction, Disjunction, Predicate
+from .types import Parameter, ParameterSpace, Value
+
+__all__ = [
+    "Implicant",
+    "minimize_boolean",
+    "simplify_disjunction",
+    "predicates_for_value_set",
+    "boxes_from_disjunction",
+    "disjunction_from_boxes",
+]
+
+# A binary implicant: one entry per variable, 0 / 1 / None (= don't care).
+Implicant = tuple[int | None, ...]
+
+# A multi-valued box: parameter name -> allowed value set.  Parameters
+# absent from the box are unconstrained.
+Box = dict[str, frozenset[Value]]
+
+
+# ---------------------------------------------------------------------------
+# Classic binary Quine-McCluskey
+# ---------------------------------------------------------------------------
+
+def _combine(a: Implicant, b: Implicant) -> Implicant | None:
+    """Merge two implicants differing in exactly one specified bit."""
+    diff = -1
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            if x is None or y is None or diff >= 0:
+                return None
+            diff = i
+    if diff < 0:
+        return None
+    merged = list(a)
+    merged[diff] = None
+    return tuple(merged)
+
+
+def _implicant_covers(implicant: Implicant, minterm: int, n_vars: int) -> bool:
+    """True when the implicant covers the given minterm."""
+    for position, literal in enumerate(implicant):
+        if literal is None:
+            continue
+        bit = (minterm >> (n_vars - 1 - position)) & 1
+        if bit != literal:
+            return False
+    return True
+
+
+def _minterm_to_implicant(minterm: int, n_vars: int) -> Implicant:
+    return tuple((minterm >> (n_vars - 1 - i)) & 1 for i in range(n_vars))
+
+
+def minimize_boolean(
+    n_vars: int,
+    minterms: Iterable[int],
+    dont_cares: Iterable[int] = (),
+) -> list[Implicant]:
+    """Quine-McCluskey minimization of a boolean function.
+
+    Args:
+        n_vars: number of input variables (bit 0 of a minterm index is
+            the last variable, matching the conventional truth-table
+            layout).
+        minterms: input combinations for which the function is 1.
+        dont_cares: combinations whose output is unconstrained; they may
+            be absorbed into implicants but need not be covered.
+
+    Returns:
+        A small (greedy essential-prime cover) list of implicants whose
+        disjunction equals the function on all non-don't-care inputs.
+        Empty list for the constant-false function; the single
+        all-``None`` implicant for constant-true.
+    """
+    minterm_set = set(minterms)
+    dc_set = set(dont_cares) - minterm_set
+    if not minterm_set:
+        return []
+    upper = 1 << n_vars
+    for m in minterm_set | dc_set:
+        if not 0 <= m < upper:
+            raise ValueError(f"minterm {m} out of range for {n_vars} variables")
+
+    # Stage 1: iteratively combine implicants into prime implicants.
+    current = {_minterm_to_implicant(m, n_vars) for m in minterm_set | dc_set}
+    primes: set[Implicant] = set()
+    while current:
+        combined: set[Implicant] = set()
+        used: set[Implicant] = set()
+        items = sorted(
+            current, key=lambda imp: tuple(-1 if x is None else x for x in imp)
+        )
+        for a, b in itertools.combinations(items, 2):
+            merged = _combine(a, b)
+            if merged is not None:
+                combined.add(merged)
+                used.add(a)
+                used.add(b)
+        primes |= current - used
+        current = combined
+
+    # Stage 2: essential primes, then greedy cover of the rest.
+    uncovered = set(minterm_set)
+    chart: dict[int, list[Implicant]] = {
+        m: [p for p in primes if _implicant_covers(p, m, n_vars)] for m in uncovered
+    }
+    chosen: list[Implicant] = []
+    for m, covering in sorted(chart.items()):
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+    for p in chosen:
+        uncovered -= {m for m in uncovered if _implicant_covers(p, m, n_vars)}
+    remaining_primes = [p for p in primes if p not in chosen]
+    while uncovered:
+        best = max(
+            remaining_primes,
+            key=lambda p: (
+                sum(1 for m in uncovered if _implicant_covers(p, m, n_vars)),
+                sum(1 for literal in p if literal is None),
+            ),
+        )
+        covered_now = {m for m in uncovered if _implicant_covers(best, m, n_vars)}
+        if not covered_now:  # pragma: no cover - defensive; cannot happen
+            raise RuntimeError("prime implicant chart cannot be covered")
+        chosen.append(best)
+        remaining_primes.remove(best)
+        uncovered -= covered_now
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Multi-valued simplification over parameter boxes
+# ---------------------------------------------------------------------------
+
+def boxes_from_disjunction(
+    disjunction: Disjunction | Iterable[Conjunction], space: ParameterSpace
+) -> list[Box]:
+    """Canonicalize each conjunction; drop unsatisfiable ones."""
+    boxes: list[Box] = []
+    for conjunction in disjunction:
+        box = conjunction.canonical(space)
+        if all(values for values in box.values()):
+            boxes.append(box)
+    return boxes
+
+
+def _box_subsumes(general: Box, specific: Box, space: ParameterSpace) -> bool:
+    """True when every instance of ``specific`` lies inside ``general``."""
+    for name, general_values in general.items():
+        specific_values = specific.get(name, frozenset(space.domain(name)))
+        if not specific_values <= general_values:
+            return False
+    return True
+
+
+def _try_merge(a: Box, b: Box, space: ParameterSpace) -> Box | None:
+    """Merge two boxes that agree everywhere except one parameter.
+
+    The multi-valued analogue of combining two implicants differing in
+    one bit: the merged box covers exactly the union of the two.
+    """
+    keys = set(a) | set(b)
+    differing = [
+        name
+        for name in keys
+        if a.get(name, frozenset(space.domain(name)))
+        != b.get(name, frozenset(space.domain(name)))
+    ]
+    if len(differing) > 1:
+        return None
+    if not differing:
+        return dict(a)
+    name = differing[0]
+    merged_values = a.get(name, frozenset(space.domain(name))) | b.get(
+        name, frozenset(space.domain(name))
+    )
+    merged = {k: v for k, v in a.items() if k != name}
+    for k, v in b.items():
+        merged.setdefault(k, v)
+    if merged_values != frozenset(space.domain(name)):
+        merged[name] = merged_values
+    else:
+        merged.pop(name, None)
+    return merged
+
+
+def _absorb(boxes: list[Box], space: ParameterSpace) -> list[Box]:
+    """Remove boxes subsumed by another box in the list."""
+    kept: list[Box] = []
+    for i, box in enumerate(boxes):
+        subsumed = False
+        for j, other in enumerate(boxes):
+            if i == j:
+                continue
+            if _box_subsumes(other, box, space):
+                # Break mutual-subsumption (equal boxes) ties by index.
+                if _box_subsumes(box, other, space) and i < j:
+                    continue
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(box)
+    return kept
+
+
+def _box_count(box: Box, space: ParameterSpace) -> int:
+    count = 1
+    for name in space.names:
+        count *= len(box.get(name, frozenset(space.domain(name))))
+    return count
+
+
+def _remove_redundant(boxes: list[Box], space: ParameterSpace) -> list[Box]:
+    """Drop boxes entirely covered by the union of the others.
+
+    Exact when the space is small enough to enumerate a box's instances;
+    otherwise only pairwise subsumption (already applied) is used.
+    """
+    limit = 50_000
+    result = list(boxes)
+    changed = True
+    while changed:
+        changed = False
+        for i, box in enumerate(result):
+            others = result[:i] + result[i + 1 :]
+            if not others:
+                continue
+            if _box_count(box, space) > limit:
+                continue
+            if _box_covered_by_union(box, others, space):
+                result.pop(i)
+                changed = True
+                break
+    return result
+
+
+def _box_covered_by_union(box: Box, others: Sequence[Box], space: ParameterSpace) -> bool:
+    names = space.names
+    value_lists = [
+        sorted(box.get(name, frozenset(space.domain(name))), key=repr) for name in names
+    ]
+    for combo in itertools.product(*value_lists):
+        assignment = dict(zip(names, combo))
+        if not any(
+            all(
+                assignment[name] in other.get(name, frozenset(space.domain(name)))
+                for name in names
+            )
+            for other in others
+        ):
+            return False
+    return True
+
+
+def _contiguous_range(parameter: Parameter, values: frozenset[Value]) -> tuple[int, int] | None:
+    """Indices [lo, hi] when ``values`` is a contiguous ordinal run."""
+    indices = sorted(parameter.index_of(v) for v in values)
+    if not indices:
+        return None
+    lo, hi = indices[0], indices[-1]
+    if hi - lo + 1 != len(indices):
+        return None
+    return lo, hi
+
+
+def predicates_for_value_set(
+    parameter: Parameter, values: frozenset[Value]
+) -> list[Predicate]:
+    """Express a per-parameter value subset with the fewest predicates.
+
+    Exact encodings considered, in order of preference:
+
+    * singleton -> one ``=``;
+    * ordinal contiguous prefix -> one ``<=``; suffix -> one ``>``;
+      interior run -> ``>`` + ``<=``;
+    * otherwise -> one ``!=`` per excluded value (always exact).
+
+    Raises:
+        ValueError: for an empty subset (unsatisfiable; callers filter
+            these out) or values outside the domain.
+    """
+    if not values:
+        raise ValueError(f"empty value set for parameter {parameter.name!r}")
+    domain = frozenset(parameter.domain)
+    if not values <= domain:
+        raise ValueError(
+            f"values {values!r} outside domain of parameter {parameter.name!r}"
+        )
+    if values == domain:
+        return []
+    if len(values) == 1:
+        (only,) = values
+        return [Predicate(parameter.name, Comparator.EQ, only)]
+
+    candidates: list[list[Predicate]] = []
+    if parameter.is_ordinal:
+        run = _contiguous_range(parameter, values)
+        if run is not None:
+            lo, hi = run
+            range_predicates: list[Predicate] = []
+            if lo > 0:
+                range_predicates.append(
+                    Predicate(parameter.name, Comparator.GT, parameter.domain[lo - 1])
+                )
+            if hi < len(parameter.domain) - 1:
+                range_predicates.append(
+                    Predicate(parameter.name, Comparator.LE, parameter.domain[hi])
+                )
+            candidates.append(range_predicates)
+
+    excluded = sorted(domain - values, key=repr)
+    candidates.append(
+        [Predicate(parameter.name, Comparator.NEQ, v) for v in excluded]
+    )
+    return min(candidates, key=len)
+
+
+def disjunction_from_boxes(boxes: Iterable[Box], space: ParameterSpace) -> Disjunction:
+    """Convert boxes back into a predicate disjunction."""
+    conjunctions = []
+    for box in boxes:
+        predicates: list[Predicate] = []
+        for name, values in sorted(box.items()):
+            predicates.extend(predicates_for_value_set(space[name], values))
+        conjunctions.append(Conjunction(predicates))
+    return Disjunction(conjunctions)
+
+
+def simplify_disjunction(
+    disjunction: Disjunction | Iterable[Conjunction], space: ParameterSpace
+) -> Disjunction:
+    """Simplify a disjunction of conjunctions over a finite space.
+
+    Guarantees semantic equivalence: the returned disjunction is
+    satisfied by exactly the same instances of ``space`` as the input.
+    """
+    boxes = boxes_from_disjunction(disjunction, space)
+    boxes = _absorb(boxes, space)
+
+    # Iterated merging, QM-style: combine while any pair merges.
+    changed = True
+    while changed:
+        changed = False
+        for i, j in itertools.combinations(range(len(boxes)), 2):
+            merged = _try_merge(boxes[i], boxes[j], space)
+            if merged is not None:
+                survivors = [
+                    box for k, box in enumerate(boxes) if k not in (i, j)
+                ]
+                survivors.append(merged)
+                boxes = _absorb(survivors, space)
+                changed = True
+                break
+
+    boxes = _remove_redundant(boxes, space)
+    return disjunction_from_boxes(boxes, space)

@@ -1,0 +1,231 @@
+"""Root-cause semantics: hypothetical, definitive, and minimal causes.
+
+Implements Definitions 3-5 of the paper.  "Hypothetical" is a property
+relative to an execution history (evidence so far); "definitive" and
+"minimal" are properties relative to the whole instance universe, which
+for a black box can only be certified by exhaustive enumeration (small
+spaces) or estimated by sampling (large spaces).  The evaluation harness
+uses the exhaustive/oracle forms to build ground truth for synthetic
+pipelines whose failure law is known.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Iterable
+
+from .history import ExecutionHistory
+from .predicates import Conjunction, Disjunction
+from .types import Instance, Outcome, ParameterSpace, Value
+
+__all__ = [
+    "is_hypothetical_root_cause",
+    "is_definitive_root_cause",
+    "is_minimal_definitive_root_cause",
+    "find_refuting_instance",
+    "minimal_definitive_causes_of_oracle",
+    "prune_to_minimal",
+]
+
+# An oracle is the ground-truth failure law of a pipeline: it decides
+# the outcome of *any* instance without cost.  Synthetic pipelines and
+# workload simulators expose one; real black boxes do not.
+Oracle = Callable[[Instance], Outcome]
+
+
+def is_hypothetical_root_cause(
+    conjunction: Conjunction, history: ExecutionHistory
+) -> bool:
+    """Definition 3: supported by a failure, refuted by no success."""
+    return history.is_hypothetical_root_cause(conjunction)
+
+
+def find_refuting_instance(
+    conjunction: Conjunction,
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_checks: int | None = None,
+    rng: random.Random | None = None,
+) -> Instance | None:
+    """Search the universe for a succeeding instance satisfying the cause.
+
+    Returns a counterexample to "definitive" (Definition 4) or None when
+    none exists among the checked instances.  With ``max_checks`` set,
+    instances satisfying the conjunction are sampled randomly (without
+    replacement when feasible); otherwise the full satisfying set is
+    enumerated.
+    """
+    sets = conjunction.canonical(space)
+    per_parameter: list[tuple[str, list[Value]]] = []
+    for name in space.names:
+        allowed = sets.get(name)
+        if allowed is None:
+            per_parameter.append((name, list(space.domain(name))))
+        else:
+            if not allowed:
+                return None  # unsatisfiable: vacuously definitive
+            per_parameter.append((name, sorted(allowed, key=repr)))
+
+    total = 1
+    for _, values in per_parameter:
+        total *= len(values)
+
+    if max_checks is None or total <= max_checks:
+        names = [name for name, _ in per_parameter]
+        for combo in itertools.product(*(values for _, values in per_parameter)):
+            candidate = Instance(dict(zip(names, combo)))
+            if oracle(candidate) is Outcome.SUCCEED:
+                return candidate
+        return None
+
+    rng = rng or random.Random(0)
+    # Sampling with replacement: in the large spaces that reach this
+    # branch, collisions are rare enough that deduplication would cost
+    # more than the occasional repeated oracle call it saves.
+    for __ in range(max_checks):
+        candidate = Instance(
+            {name: rng.choice(values) for name, values in per_parameter}
+        )
+        if oracle(candidate) is Outcome.SUCCEED:
+            return candidate
+    return None
+
+
+def is_definitive_root_cause(
+    conjunction: Conjunction,
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_checks: int | None = None,
+    rng: random.Random | None = None,
+    require_support: bool = True,
+) -> bool:
+    """Definition 4 against a ground-truth oracle.
+
+    A conjunction is definitive when every satisfying instance fails.
+    ``require_support`` additionally demands the satisfying set be
+    non-empty (an unsatisfiable conjunction fails every instance
+    vacuously but explains nothing).
+    """
+    if require_support and not conjunction.is_satisfiable(space):
+        return False
+    refutation = find_refuting_instance(
+        conjunction, space, oracle, max_checks=max_checks, rng=rng
+    )
+    return refutation is None
+
+
+def is_minimal_definitive_root_cause(
+    conjunction: Conjunction,
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_checks: int | None = None,
+    rng: random.Random | None = None,
+) -> bool:
+    """Definition 5: definitive, and no proper predicate subset is.
+
+    The trivial (empty) conjunction is definitive only for a pipeline
+    that always fails; it is treated as minimal in that degenerate case.
+    """
+    if not is_definitive_root_cause(
+        conjunction, space, oracle, max_checks=max_checks, rng=rng
+    ):
+        return False
+    predicates = list(conjunction.predicates)
+    for dropped in predicates:
+        subset = Conjunction(p for p in predicates if p != dropped)
+        if is_definitive_root_cause(
+            subset, space, oracle, max_checks=max_checks, rng=rng
+        ):
+            return False
+    return True
+
+
+def prune_to_minimal(
+    conjunctions: Iterable[Conjunction], space: ParameterSpace
+) -> list[Conjunction]:
+    """Drop conjunctions subsumed by a strictly more general peer.
+
+    Used to normalize asserted cause sets before scoring: if both
+    ``A=1`` and ``A=1 and B=2`` are asserted, only ``A=1`` is kept
+    (its satisfying set is a strict superset).
+    """
+    unique = list(dict.fromkeys(conjunctions))
+    kept: list[Conjunction] = []
+    for candidate in unique:
+        subsumed = False
+        for other in unique:
+            if other is candidate or other == candidate:
+                continue
+            if other.subsumes(candidate, space) and not candidate.subsumes(
+                other, space
+            ):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(candidate)
+    return kept
+
+
+def minimal_definitive_causes_of_oracle(
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_arity: int | None = None,
+    candidate_conjunctions: Iterable[Conjunction] | None = None,
+) -> list[Conjunction]:
+    """Enumerate all minimal definitive *equality* root causes of an oracle.
+
+    Exhaustive ground-truth computation for small spaces: every
+    conjunction of ``parameter = value`` pairs up to ``max_arity`` is
+    tested for Definition 5.  Synthetic workloads with planted
+    inequality causes should pass their planted conjunctions through
+    ``candidate_conjunctions`` instead, which are verified (not trusted).
+
+    This is exponential by design; it exists to create ground truth for
+    the evaluation harness, not for debugging.
+    """
+    results: list[Conjunction] = []
+    if candidate_conjunctions is not None:
+        for conjunction in candidate_conjunctions:
+            if is_minimal_definitive_root_cause(conjunction, space, oracle):
+                results.append(conjunction)
+        return prune_to_minimal(results, space)
+
+    from .predicates import Comparator, Predicate
+
+    names = space.names
+    arity_limit = max_arity if max_arity is not None else len(names)
+    definitive_so_far: list[Conjunction] = []
+    for arity in range(1, arity_limit + 1):
+        for subset in itertools.combinations(names, arity):
+            value_lists = [space.domain(name) for name in subset]
+            for values in itertools.product(*value_lists):
+                conjunction = Conjunction(
+                    Predicate(name, Comparator.EQ, value)
+                    for name, value in zip(subset, values)
+                )
+                # Skip if a smaller definitive cause is a sub-conjunction:
+                # such a candidate cannot be minimal.
+                if any(
+                    smaller.predicates <= conjunction.predicates
+                    for smaller in definitive_so_far
+                ):
+                    continue
+                if is_definitive_root_cause(conjunction, space, oracle):
+                    definitive_so_far.append(conjunction)
+                    results.append(conjunction)
+    return prune_to_minimal(results, space)
+
+
+def causes_semantically_match(
+    asserted: Conjunction,
+    actual: Conjunction,
+    space: ParameterSpace,
+) -> bool:
+    """True when the asserted cause equals the actual one over the space."""
+    return asserted.semantically_equals(actual, space)
+
+
+def disjunction_of(conjunctions: Iterable[Conjunction]) -> Disjunction:
+    """Convenience constructor used by callers assembling explanations."""
+    return Disjunction(conjunctions)

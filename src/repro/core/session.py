@@ -1,0 +1,155 @@
+"""Debugging sessions: the shared execution context of all algorithms.
+
+A :class:`DebugSession` bundles the three things every BugDoc algorithm
+needs -- the black-box :class:`~repro.core.types.Executor`, the growing
+:class:`~repro.core.history.ExecutionHistory`, and an
+:class:`~repro.core.budget.InstanceBudget` -- behind a single
+``evaluate`` call that implements the paper's cost model: looking up a
+previously-run instance is free; executing a new one costs one budget
+unit and is recorded in the history.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+
+from .budget import InstanceBudget
+from .history import ExecutionHistory
+from .types import Evaluation, Executor, Instance, Outcome, ParameterSpace
+
+__all__ = ["DebugSession", "InstanceUnavailable"]
+
+
+class InstanceUnavailable(LookupError):
+    """Raised in historical (replay-only) mode for never-logged instances.
+
+    Section 5.3 (DBSherlock): when new instances cannot be created, the
+    algorithms "early stop" the hypothesis that required the missing
+    instance instead of fabricating an outcome.
+    """
+
+    def __init__(self, instance: Instance):
+        super().__init__(f"instance not available in historical log: {instance!r}")
+        self.instance = instance
+
+
+class DebugSession:
+    """Execution context shared by the debugging algorithms.
+
+    Thread-safe: the parallel dispatcher evaluates many instances
+    concurrently against one session.  The lock protects the
+    history/budget pair so the paper's cost accounting stays exact even
+    under speculative parallelism (Section 4.3).
+
+    Args:
+        executor: black-box pipeline (instance -> outcome).
+        space: the parameter space instances are drawn from.
+        history: previously-run instances; shared, mutated in place.
+        budget: cap on *new* executions; defaults to unlimited.
+        candidate_source: optional hypothesis-testing oracle for
+            *historical mode* -- given a conjunction and a count, return
+            logged-but-unread instances satisfying it.  The paper's
+            DBSherlock experiment "simulated the creation of new
+            instances by reading only part of provenance": algorithms
+            draw their test instances from this source instead of the
+            full Cartesian space, and early-stop when it is empty.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        space: ParameterSpace,
+        history: ExecutionHistory | None = None,
+        budget: InstanceBudget | None = None,
+        candidate_source=None,
+    ):
+        self._executor = executor
+        self._space = space
+        self._history = history if history is not None else ExecutionHistory()
+        self._budget = budget if budget is not None else InstanceBudget()
+        self._lock = threading.Lock()
+        self._executions = 0
+        self.candidate_source = candidate_source
+
+    # -- Accessors ---------------------------------------------------------
+    @property
+    def space(self) -> ParameterSpace:
+        return self._space
+
+    @property
+    def history(self) -> ExecutionHistory:
+        return self._history
+
+    @property
+    def budget(self) -> InstanceBudget:
+        return self._budget
+
+    @property
+    def new_executions(self) -> int:
+        """Count of instances actually executed (not served from history)."""
+        return self._executions
+
+    @property
+    def parallel(self) -> bool:
+        """True when ``evaluate_many`` runs a batch concurrently.
+
+        The DDT suspect test inspects this: a serial session evaluates
+        variations one at a time with an early stop on the first
+        refutation; a parallel session speculatively executes the whole
+        batch (Section 4.3's latency-for-waste trade-off).
+        """
+        return False
+
+    # -- Core operation -------------------------------------------------------
+    def evaluate(self, instance: Instance) -> Outcome:
+        """Evaluate an instance, executing it only if it is not in history.
+
+        Raises:
+            BudgetExhausted: when a new execution would exceed the budget.
+            InstanceUnavailable: in replay-only mode for unknown instances.
+        """
+        with self._lock:
+            known = self._history.outcome_of(instance)
+            if known is not None:
+                return known
+            self._budget.charge()
+        # Execute outside the lock: pipeline runs are the expensive part
+        # and are independent (Section 4.3).
+        try:
+            outcome = self._executor(instance)
+        except Exception:
+            with self._lock:
+                # Refund: the execution did not complete, so the paper's
+                # cost measure (completed instance runs) is not charged.
+                self._budget._spent -= 1  # noqa: SLF001 - deliberate refund
+            raise
+        with self._lock:
+            if self._history.outcome_of(instance) is None:
+                self._history.record(instance, outcome)
+            else:
+                # A concurrent evaluation beat us to it; refund our charge
+                # so accounting matches the deduplicated history.
+                self._budget._spent -= 1  # noqa: SLF001 - deliberate refund
+                return self._history.outcome_of(instance)  # type: ignore[return-value]
+            self._executions += 1
+        return outcome
+
+    def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome]:
+        """Evaluate a batch serially (the parallel runner overrides this)."""
+        return [self.evaluate(instance) for instance in instances]
+
+    def try_evaluate(self, instance: Instance) -> Outcome | None:
+        """Evaluate, mapping replay-unavailability to None (early stop)."""
+        try:
+            return self.evaluate(instance)
+        except InstanceUnavailable:
+            return None
+
+    # -- Seeding ------------------------------------------------------------
+    def seed(self, evaluations: Iterable[Evaluation]) -> None:
+        """Load prior provenance into the history free of charge."""
+        with self._lock:
+            for evaluation in evaluations:
+                if self._history.outcome_of(evaluation.instance) is None:
+                    self._history.append(evaluation)

@@ -1,0 +1,155 @@
+"""The Shortcut algorithm (Algorithm 1, Section 4.1).
+
+Starting from a failing instance ``CPf`` and a succeeding instance
+``CPg`` disjoint from it, Shortcut walks the parameters in order,
+tentatively replacing each of ``CPf``'s values with ``CPg``'s and
+keeping the replacement whenever the modified instance still fails.
+The parameter-value pairs of ``CPf`` that survive constitute the
+asserted minimal definitive root cause ``D``; a final sanity check
+rejects ``D`` when some already-known *successful* instance is a
+superset of it (a truncated assertion, Theorem 4).
+
+The cost is linear in the number of parameters: at most ``|P|`` new
+instance executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from .budget import BudgetExhausted
+from .predicates import Conjunction, conjunction_from_assignment
+from .session import DebugSession, InstanceUnavailable
+from .types import Instance, Outcome
+
+__all__ = ["ShortcutResult", "shortcut", "select_good_instance"]
+
+
+@dataclass(frozen=True)
+class ShortcutResult:
+    """Outcome of one Shortcut run.
+
+    Attributes:
+        cause: the asserted root cause ``D`` as an all-equalities
+            conjunction; empty when the sanity check rejected the
+            assertion (the algorithm found only a proper subset of a
+            real cause) or when nothing survived.
+        surviving_assignment: the raw parameter-value pairs of ``CPf``
+            that remained in the final current instance (before the
+            sanity check); useful to Stacked Shortcut, which unions them.
+        rejected_by_sanity_check: True when ``D`` was non-empty but some
+            known successful instance contained it.
+        complete: False when the walk was cut short (budget exhausted or
+            historical replay could not serve a needed instance).
+        instances_executed: new executions charged by this run.
+        final_instance: the last ``CPcurrent``.
+    """
+
+    cause: Conjunction
+    surviving_assignment: dict[str, object] = field(default_factory=dict)
+    rejected_by_sanity_check: bool = False
+    complete: bool = True
+    instances_executed: int = 0
+    final_instance: Instance | None = None
+
+    @property
+    def asserted(self) -> bool:
+        """True when a non-empty cause was asserted."""
+        return len(self.cause) > 0
+
+
+def select_good_instance(
+    session: DebugSession, failing: Instance
+) -> Instance | None:
+    """Choose ``CPg`` for a Shortcut run against ``failing``.
+
+    Prefers a fully disjoint successful instance (the Disjointness
+    Condition, required by Theorems 1-3).  When none exists, falls back
+    to the paper's heuristic: the successful instance differing from
+    ``CPf`` in as many parameter-values as possible.
+    """
+    disjoint = session.history.disjoint_successes(failing)
+    if disjoint:
+        return disjoint[0]
+    return session.history.most_different_success(failing)
+
+
+def shortcut(
+    session: DebugSession,
+    failing: Instance,
+    good: Instance,
+    parameter_order: Sequence[str] | None = None,
+    sanity_check: bool = True,
+) -> ShortcutResult:
+    """Run Algorithm 1.
+
+    Args:
+        session: execution context (history, budget, executor).
+        failing: ``CPf``, an instance known (or assumed) to fail.
+        good: ``CPg``, a successful instance, ideally disjoint from
+            ``CPf``.
+        parameter_order: the order in which parameters are visited;
+            defaults to the session space's declaration order.  The
+            asserted cause can depend on this order when multiple causes
+            overlap (Example 2), which the ablation benchmarks exercise.
+        sanity_check: apply the final rejected-if-superset-succeeded
+            test from Algorithm 1 (on by default, ablatable).
+
+    Returns:
+        A :class:`ShortcutResult`; ``result.cause`` is empty when the
+        sanity check rejected the assertion.
+    """
+    order = tuple(parameter_order) if parameter_order is not None else session.space.names
+    missing = set(order) - set(failing.keys())
+    if missing:
+        raise ValueError(f"failing instance lacks parameters: {sorted(missing)}")
+
+    executed_before = session.new_executions
+    current = failing
+    complete = True
+
+    for name in order:
+        replacement = good[name]
+        if current[name] == replacement:
+            continue
+        candidate = current.with_value(name, replacement)
+        try:
+            outcome = session.evaluate(candidate)
+        except InstanceUnavailable:
+            # Historical mode: no evidence for this hypothesis; keep the
+            # current value and note the walk is incomplete.
+            complete = False
+            continue
+        except BudgetExhausted:
+            complete = False
+            break
+        if outcome is Outcome.FAIL:
+            current = candidate
+
+    surviving = {
+        name: value for name, value in failing.items() if current[name] == value
+    }
+    cause = conjunction_from_assignment(surviving)
+    executed = session.new_executions - executed_before
+
+    if sanity_check and surviving:
+        for success in session.history.successes:
+            if all(success[name] == value for name, value in surviving.items()):
+                return ShortcutResult(
+                    cause=Conjunction(),
+                    surviving_assignment=surviving,
+                    rejected_by_sanity_check=True,
+                    complete=complete,
+                    instances_executed=executed,
+                    final_instance=current,
+                )
+
+    return ShortcutResult(
+        cause=cause,
+        surviving_assignment=surviving,
+        rejected_by_sanity_check=False,
+        complete=complete,
+        instances_executed=executed,
+        final_instance=current,
+    )

@@ -1,0 +1,115 @@
+"""The Stacked Shortcut algorithm (Algorithm 2, Section 4.1).
+
+Runs Shortcut for one failing instance ``CPf`` against multiple
+successful instances that are disjoint from ``CPf`` and, when possible,
+mutually disjoint; the asserted root cause is the *union* of the
+parameter-value pairs asserted by the individual runs.  Theorem 5: with
+``k`` mutually disjoint successes and at most ``k`` distinct minimal
+definitive root causes, the stacked assertion is never truncated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .predicates import Conjunction, conjunction_from_assignment
+from .session import DebugSession
+from .shortcut import ShortcutResult, shortcut
+from .types import Instance
+
+__all__ = ["StackedShortcutResult", "stacked_shortcut"]
+
+DEFAULT_STACK_WIDTH = 4
+"""Number of good instances stacked by default (the paper's experiments
+use "Stacked Shortcut with four shortcuts", Section 5.1)."""
+
+
+@dataclass(frozen=True)
+class StackedShortcutResult:
+    """Outcome of a Stacked Shortcut run.
+
+    Attributes:
+        cause: the unioned conjunction ``D`` (all-equalities over a
+            subset of ``CPf``'s assignment); empty when every inner run
+            was rejected or nothing survived.
+        runs: per-good-instance inner results, in execution order.
+        failing: the ``CPf`` the stack was anchored on.
+        good_instances: the ``CPg`` set actually used.
+        instances_executed: total new executions across inner runs.
+    """
+
+    cause: Conjunction
+    runs: tuple[ShortcutResult, ...] = ()
+    failing: Instance | None = None
+    good_instances: tuple[Instance, ...] = ()
+    instances_executed: int = 0
+
+    @property
+    def asserted(self) -> bool:
+        return len(self.cause) > 0
+
+
+def stacked_shortcut(
+    session: DebugSession,
+    failing: Instance | None = None,
+    stack_width: int = DEFAULT_STACK_WIDTH,
+    sanity_check: bool = True,
+) -> StackedShortcutResult:
+    """Run Algorithm 2.
+
+    Args:
+        session: execution context.  The history must contain at least
+            one failure (or ``failing`` must be given) and at least one
+            success.
+        failing: the anchor ``CPf``; defaults to the first failing
+            instance in the history.
+        stack_width: ``k``, the number of good instances to stack.  The
+            history is asked for ``k`` mutually disjoint successes; when
+            fewer exist, maximally-different successes fill the gap
+            (each additional run can only grow the cause, shrinking the
+            chance of truncation -- Section 4.1).
+        sanity_check: forwarded to each inner Shortcut run.
+
+    Returns:
+        The union-of-assertions result.  Inner runs rejected by the
+        sanity check contribute nothing to the union (their assertion
+        was provably a strict subset of a real cause located outside
+        ``CPf``; Algorithm 1 returns the empty set in that case).
+
+    Raises:
+        ValueError: when no failing or no successful instance exists.
+    """
+    if stack_width < 1:
+        raise ValueError("stack_width must be at least 1")
+    history = session.history
+    if failing is None:
+        if not history.failures:
+            raise ValueError("history contains no failing instance to anchor on")
+        failing = history.failures[0]
+    goods = history.mutually_disjoint_successes(failing, limit=stack_width)
+    if not goods:
+        # Heuristic regime (Section 4.1): no fully disjoint success
+        # exists, so stack degenerates to one Shortcut run against the
+        # most-different successful instance.
+        fallback = history.most_different_success(failing)
+        if fallback is None:
+            raise ValueError("history contains no successful instance to compare with")
+        goods = [fallback]
+
+    executed_before = session.new_executions
+    runs: list[ShortcutResult] = []
+    union: dict[str, object] = {}
+    for good in goods:
+        result = shortcut(session, failing, good, sanity_check=sanity_check)
+        runs.append(result)
+        if result.asserted:
+            union.update(result.surviving_assignment)
+
+    cause = conjunction_from_assignment(union) if union else Conjunction()
+    return StackedShortcutResult(
+        cause=cause,
+        runs=tuple(runs),
+        failing=failing,
+        good_instances=tuple(goods),
+        instances_executed=session.new_executions - executed_before,
+    )

@@ -1,0 +1,275 @@
+"""Unpruned decision-tree induction for debugging (Section 4.2).
+
+BugDoc "uses decision trees in an unusual way": the tree is *not* a
+predictor -- it is a device for discovering short paths, possibly
+characterized by inequalities, that lead to ``fail``.  Accordingly the
+tree is built **complete, with no pruning**: recursion stops only when a
+node is pure or inseparable.
+
+Inner nodes are ``(parameter, comparator, value)`` triples: for ordinal
+parameters candidate splits are ``p <= v`` thresholds, for categorical
+parameters ``p = v`` one-vs-rest tests.  A root-to-leaf path therefore
+reads directly as a conjunction of predicates (false branches contribute
+the negated predicate), which is exactly the paper's hypothesis
+language.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from .predicates import Comparator, Conjunction, Predicate
+from .types import Instance, Outcome, ParameterSpace
+
+__all__ = ["TreeNode", "LeafKind", "DebuggingTree", "build_tree"]
+
+
+class LeafKind(enum.Enum):
+    """Purity of a leaf: all-fail, all-succeed, or mixed (inseparable)."""
+
+    FAIL = "fail"
+    SUCCEED = "succeed"
+    MIXED = "mixed"
+
+
+@dataclass
+class TreeNode:
+    """One tree node; a leaf when ``predicate`` is None.
+
+    Attributes:
+        predicate: the split test; instances satisfying it go to
+            ``true_branch``, others to ``false_branch``.
+        true_branch / false_branch: children (None for leaves).
+        leaf_kind: purity label for leaves, None for inner nodes.
+        n_fail / n_succeed: sample counts reaching this node.
+        depth: root is depth 0.
+    """
+
+    predicate: Predicate | None = None
+    true_branch: "TreeNode | None" = None
+    false_branch: "TreeNode | None" = None
+    leaf_kind: LeafKind | None = None
+    n_fail: int = 0
+    n_succeed: int = 0
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.predicate is None
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes in the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        assert self.true_branch is not None and self.false_branch is not None
+        return 1 + self.true_branch.size + self.false_branch.size
+
+
+def _gini(n_fail: int, n_succeed: int) -> float:
+    total = n_fail + n_succeed
+    if total == 0:
+        return 0.0
+    p = n_fail / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _candidate_splits(
+    space: ParameterSpace, samples: Sequence[tuple[Instance, Outcome]]
+) -> Iterator[Predicate]:
+    """Enumerate candidate split predicates for the given samples.
+
+    Only values actually observed at this node are offered (splitting on
+    an unobserved value cannot separate anything).  Thresholds for
+    ordinal parameters exclude the maximum observed value (a ``<= max``
+    split would send everything one way).
+    """
+    for name in space.names:
+        parameter = space[name]
+        observed = {sample[name] for sample, _ in samples}
+        if len(observed) < 2:
+            continue
+        if parameter.is_ordinal:
+            ordered = [v for v in parameter.domain if v in observed]
+            for value in ordered[:-1]:
+                yield Predicate(name, Comparator.LE, value)
+        else:
+            for value in sorted(observed, key=repr):
+                yield Predicate(name, Comparator.EQ, value)
+
+
+def _split_gain(
+    samples: Sequence[tuple[Instance, Outcome]], predicate: Predicate
+) -> tuple[float, int, int] | None:
+    """Gini impurity decrease for a split, or None if degenerate.
+
+    Returns (gain, n_true, n_false); degenerate splits send every
+    sample one way.
+    """
+    true_fail = true_succeed = false_fail = false_succeed = 0
+    for instance, outcome in samples:
+        if predicate.satisfied_by(instance):
+            if outcome is Outcome.FAIL:
+                true_fail += 1
+            else:
+                true_succeed += 1
+        else:
+            if outcome is Outcome.FAIL:
+                false_fail += 1
+            else:
+                false_succeed += 1
+    n_true = true_fail + true_succeed
+    n_false = false_fail + false_succeed
+    if n_true == 0 or n_false == 0:
+        return None
+    total = n_true + n_false
+    parent = _gini(true_fail + false_fail, true_succeed + false_succeed)
+    child = (n_true / total) * _gini(true_fail, true_succeed) + (
+        n_false / total
+    ) * _gini(false_fail, false_succeed)
+    return parent - child, n_true, n_false
+
+
+def build_tree(
+    space: ParameterSpace,
+    samples: Sequence[tuple[Instance, Outcome]],
+    max_depth: int | None = None,
+) -> TreeNode:
+    """Induce a complete (unpruned) debugging decision tree.
+
+    Args:
+        space: parameter space defining feature kinds and domains.
+        samples: (instance, outcome) pairs; duplicates allowed.
+        max_depth: optional safety cap; None reproduces the paper's
+            fully-grown tree.
+
+    Returns:
+        The root node.  With a deterministic evaluation function and
+        deduplicated samples every leaf is pure; MIXED leaves appear only
+        when samples are contradictory or the depth cap bites.
+    """
+    def make_leaf(node_samples: Sequence[tuple[Instance, Outcome]], depth: int) -> TreeNode:
+        n_fail = sum(1 for _, o in node_samples if o is Outcome.FAIL)
+        n_succeed = len(node_samples) - n_fail
+        if n_fail and not n_succeed:
+            kind = LeafKind.FAIL
+        elif n_succeed and not n_fail:
+            kind = LeafKind.SUCCEED
+        else:
+            kind = LeafKind.MIXED
+        return TreeNode(
+            leaf_kind=kind, n_fail=n_fail, n_succeed=n_succeed, depth=depth
+        )
+
+    def recurse(
+        node_samples: Sequence[tuple[Instance, Outcome]], depth: int
+    ) -> TreeNode:
+        n_fail = sum(1 for _, o in node_samples if o is Outcome.FAIL)
+        n_succeed = len(node_samples) - n_fail
+        if n_fail == 0 or n_succeed == 0:
+            return make_leaf(node_samples, depth)
+        if max_depth is not None and depth >= max_depth:
+            return make_leaf(node_samples, depth)
+
+        best: tuple[float, Predicate] | None = None
+        for predicate in _candidate_splits(space, node_samples):
+            scored = _split_gain(node_samples, predicate)
+            if scored is None:
+                continue
+            gain, __, __ = scored
+            key = (gain, -_predicate_rank(predicate))
+            if best is None or key > (best[0], -_predicate_rank(best[1])):
+                best = (gain, predicate)
+        if best is None:
+            return make_leaf(node_samples, depth)
+
+        predicate = best[1]
+        true_samples = [s for s in node_samples if predicate.satisfied_by(s[0])]
+        false_samples = [s for s in node_samples if not predicate.satisfied_by(s[0])]
+        node = TreeNode(
+            predicate=predicate,
+            n_fail=n_fail,
+            n_succeed=n_succeed,
+            depth=depth,
+        )
+        node.true_branch = recurse(true_samples, depth + 1)
+        node.false_branch = recurse(false_samples, depth + 1)
+        return node
+
+    if not samples:
+        return TreeNode(leaf_kind=LeafKind.MIXED, depth=0)
+    return recurse(list(samples), 0)
+
+
+def _predicate_rank(predicate: Predicate) -> int:
+    """Deterministic tie-break order for equal-gain splits.
+
+    Uses a stable digest (not ``hash``, which is randomized per process)
+    so tree construction -- and therefore every downstream search -- is
+    reproducible across runs.
+    """
+    key = f"{predicate.parameter}|{predicate.comparator.value}|{predicate.value!r}"
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFF
+
+
+class DebuggingTree:
+    """A built tree plus the path extraction the DDT search needs."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        samples: Sequence[tuple[Instance, Outcome]],
+        max_depth: int | None = None,
+    ):
+        self.space = space
+        self.root = build_tree(space, samples, max_depth=max_depth)
+        self.n_samples = len(samples)
+
+    def classify(self, instance: Instance) -> LeafKind:
+        """Route an instance to its leaf and report the leaf's purity."""
+        node = self.root
+        while not node.is_leaf:
+            assert node.predicate is not None
+            if node.predicate.satisfied_by(instance):
+                node = node.true_branch  # type: ignore[assignment]
+            else:
+                node = node.false_branch  # type: ignore[assignment]
+            assert node is not None
+        assert node.leaf_kind is not None
+        return node.leaf_kind
+
+    def paths(self, kind: LeafKind) -> list[Conjunction]:
+        """Root-to-leaf conjunctions for all leaves of the given purity.
+
+        False branches contribute the negated split predicate, so each
+        returned conjunction is satisfied by exactly the instances that
+        reach the leaf.  Paths are returned shortest-first: the DDT
+        search tests concise suspects before verbose ones (ablatable
+        design choice, see DESIGN.md).
+        """
+        found: list[Conjunction] = []
+
+        def walk(node: TreeNode, predicates: list[Predicate]) -> None:
+            if node.is_leaf:
+                if node.leaf_kind is kind:
+                    found.append(Conjunction(predicates))
+                return
+            assert node.predicate is not None
+            assert node.true_branch is not None and node.false_branch is not None
+            walk(node.true_branch, predicates + [node.predicate])
+            walk(node.false_branch, predicates + [node.predicate.negated()])
+
+        walk(self.root, [])
+        found.sort(key=lambda c: (len(c), str(c)))
+        return found
+
+    def fail_paths(self) -> list[Conjunction]:
+        """Suspect conjunctions: paths to pure-``fail`` leaves."""
+        return self.paths(LeafKind.FAIL)
+
+    @property
+    def size(self) -> int:
+        return self.root.size

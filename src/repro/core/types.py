@@ -1,0 +1,353 @@
+"""Core value types for the BugDoc model.
+
+This module defines the vocabulary of Section 3 of the paper:
+parameters and their value universes (Definition 1), pipeline instances
+(assignments of one value per parameter), and evaluation outcomes
+(Definition 2).  Everything here is immutable and hashable so that
+instances can be used as dictionary keys, deduplicated in provenance
+stores, and shared between threads without locks.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "ParameterKind",
+    "Parameter",
+    "ParameterSpace",
+    "Instance",
+    "Outcome",
+    "Evaluation",
+    "Executor",
+    "EvaluationFunction",
+    "Value",
+]
+
+# A parameter value.  Ordinal parameters use int/float values, categorical
+# parameters typically use strings, but any hashable value is accepted.
+Value = object
+
+
+class ParameterKind(enum.Enum):
+    """Whether a parameter's domain carries a meaningful order.
+
+    Ordinal parameters (e.g. a temperature or a learning rate) admit the
+    inequality comparators ``<=`` and ``>`` in root causes; categorical
+    parameters (e.g. a color or an estimator name) admit only equality
+    and inequality (``=`` / ``!=``).
+    """
+
+    CATEGORICAL = "categorical"
+    ORDINAL = "ordinal"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A manipulable pipeline parameter and its declared value domain.
+
+    The *domain* is the parameter-value universe ``U_p`` of Definition 1:
+    the set of values the debugger is allowed to assign.  For ordinal
+    parameters the domain must be sorted ascending; this is validated at
+    construction time so downstream code may rely on it.
+
+    Attributes:
+        name: Unique identifier of the parameter within its space.
+        domain: Tuple of allowed values (at least two for debugging to be
+            meaningful, but a single value is permitted).
+        kind: Whether the domain is ordinal or categorical.
+    """
+
+    name: str
+    domain: tuple[Value, ...]
+    kind: ParameterKind = ParameterKind.CATEGORICAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+        if len(self.domain) == 0:
+            raise ValueError(f"parameter {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError(f"parameter {self.name!r} has duplicate domain values")
+        if self.kind is ParameterKind.ORDINAL:
+            values = list(self.domain)
+            try:
+                is_sorted = all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+            except TypeError as exc:
+                raise ValueError(
+                    f"ordinal parameter {self.name!r} has non-comparable domain values"
+                ) from exc
+            if not is_sorted:
+                raise ValueError(
+                    f"ordinal parameter {self.name!r} requires an ascending domain"
+                )
+
+    @property
+    def is_ordinal(self) -> bool:
+        """True when the parameter's values carry a meaningful order."""
+        return self.kind is ParameterKind.ORDINAL
+
+    def index_of(self, value: Value) -> int:
+        """Return the position of ``value`` in the domain.
+
+        Raises:
+            ValueError: if the value is not in the domain.
+        """
+        try:
+            return self.domain.index(value)
+        except ValueError:
+            raise ValueError(
+                f"value {value!r} not in domain of parameter {self.name!r}"
+            ) from None
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self.domain
+
+
+class ParameterSpace(Mapping[str, Parameter]):
+    """An ordered collection of parameters: the universe ``U`` of Definition 1.
+
+    The space fixes the order in which algorithms iterate over parameters
+    (the Shortcut algorithm's "some order among parameters") and provides
+    helpers to validate, enumerate, and sample instances.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in space")
+        self._parameters: dict[str, Parameter] = {p.name: p for p in parameters}
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, name: str) -> Parameter:
+        return self._parameters[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{p.name}[{len(p.domain)}{'o' if p.is_ordinal else 'c'}]"
+            for p in self._parameters.values()
+        )
+        return f"ParameterSpace({inner})"
+
+    # -- Convenience -------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Parameter names in declaration order."""
+        return tuple(self._parameters)
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """Parameter objects in declaration order."""
+        return tuple(self._parameters.values())
+
+    def domain(self, name: str) -> tuple[Value, ...]:
+        """Domain of the named parameter."""
+        return self._parameters[name].domain
+
+    def size(self) -> int:
+        """Number of distinct instances in the full Cartesian space."""
+        total = 1
+        for parameter in self._parameters.values():
+            total *= len(parameter.domain)
+        return total
+
+    def validate(self, instance: "Instance") -> None:
+        """Check that ``instance`` assigns an in-domain value to every parameter.
+
+        Raises:
+            ValueError: on a missing parameter, an extra parameter, or an
+                out-of-domain value.
+        """
+        missing = set(self._parameters) - set(instance.keys())
+        if missing:
+            raise ValueError(f"instance missing parameters: {sorted(missing)}")
+        extra = set(instance.keys()) - set(self._parameters)
+        if extra:
+            raise ValueError(f"instance has unknown parameters: {sorted(extra)}")
+        for name, value in instance.items():
+            if value not in self._parameters[name].domain:
+                raise ValueError(
+                    f"value {value!r} out of domain for parameter {name!r}"
+                )
+
+    def instances(self) -> Iterator["Instance"]:
+        """Enumerate the full Cartesian product of the space.
+
+        The iteration order is deterministic (row-major in declaration
+        order).  Use only when ``size()`` is small; callers exploring
+        large spaces should sample instead.
+        """
+        names = self.names
+        if not names:
+            yield Instance({})
+            return
+
+        def recurse(index: int, partial: dict[str, Value]) -> Iterator[Instance]:
+            if index == len(names):
+                yield Instance(partial)
+                return
+            name = names[index]
+            for value in self._parameters[name].domain:
+                partial[name] = value
+                yield from recurse(index + 1, partial)
+            del partial[name]
+
+        yield from recurse(0, {})
+
+    def random_instance(self, rng) -> "Instance":
+        """Sample an instance uniformly at random using ``rng``.
+
+        Args:
+            rng: a ``random.Random``-like object exposing ``choice``.
+        """
+        return Instance(
+            {name: rng.choice(parameter.domain) for name, parameter in self._parameters.items()}
+        )
+
+    def subspace(self, names: Sequence[str]) -> "ParameterSpace":
+        """Project the space onto a subset of parameter names."""
+        return ParameterSpace([self._parameters[name] for name in names])
+
+
+class Instance(Mapping[str, Value]):
+    """A pipeline instance ``CPi``: one value assigned to each parameter.
+
+    Instances are immutable and hashable.  They intentionally do not keep
+    a reference to their :class:`ParameterSpace`; validation against a
+    space is explicit via :meth:`ParameterSpace.validate`.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, Value]):
+        self._values: dict[str, Value] = dict(values)
+        self._hash: int | None = None
+
+    # -- Mapping protocol --------------------------------------------------
+    def __getitem__(self, name: str) -> Value:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._values.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"Instance({inner})"
+
+    # -- Derivation helpers --------------------------------------------------
+    def with_value(self, name: str, value: Value) -> "Instance":
+        """Return a copy of this instance with one parameter reassigned."""
+        if name not in self._values:
+            raise KeyError(f"unknown parameter {name!r}")
+        updated = dict(self._values)
+        updated[name] = value
+        return Instance(updated)
+
+    def restricted_to(self, names: Sequence[str]) -> "Instance":
+        """Project the instance onto a subset of its parameters."""
+        return Instance({name: self._values[name] for name in names})
+
+    def hamming_distance(self, other: "Instance") -> int:
+        """Number of shared parameters on which the two instances differ."""
+        return sum(
+            1
+            for name, value in self._values.items()
+            if name in other and other[name] != value
+        )
+
+    def is_disjoint_from(self, other: "Instance") -> bool:
+        """Definition 6: true when the instances differ on *every* parameter."""
+        if set(self._values) != set(other.keys()):
+            raise ValueError("disjointness is defined over a common parameter set")
+        return all(other[name] != value for name, value in self._values.items())
+
+    def as_dict(self) -> dict[str, Value]:
+        """A plain mutable copy of the assignment."""
+        return dict(self._values)
+
+
+class Outcome(enum.Enum):
+    """Result of the evaluation procedure ``E`` (Definition 2)."""
+
+    SUCCEED = "succeed"
+    FAIL = "fail"
+
+    @property
+    def failed(self) -> bool:
+        return self is Outcome.FAIL
+
+    def __invert__(self) -> "Outcome":
+        return Outcome.FAIL if self is Outcome.SUCCEED else Outcome.SUCCEED
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """An executed instance together with its evaluation outcome.
+
+    Optionally carries the raw result the pipeline produced (e.g. an
+    F-measure score) and the wall-clock cost of the run, which the
+    benchmark harness uses for accounting.
+    """
+
+    instance: Instance
+    outcome: Outcome
+    result: object = None
+    cost: float = 0.0
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is Outcome.FAIL
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is Outcome.SUCCEED
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The black-box contract: run one instance, report succeed/fail.
+
+    BugDoc never looks inside the pipeline; every algorithm in
+    :mod:`repro.core` interacts with the system under debugging solely
+    through this protocol.  Implementations live in
+    :mod:`repro.pipeline.runner` (workflow engine, caching, parallelism,
+    replay-only historical mode) and in the workload simulators.
+    """
+
+    def __call__(self, instance: Instance) -> Outcome:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class EvaluationFunction(Protocol):
+    """Maps a pipeline's raw result to an :class:`Outcome` (Definition 2)."""
+
+    def __call__(self, result: object) -> Outcome:  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,54 @@
+"""Evaluation harness (substrate S19, Section 5).
+
+Ground-truth matching, the paper's precision/recall/F formulas for
+FindOne and FindAll, the budget-granting experiment protocol, and text
+rendering of each figure.
+"""
+
+from .ground_truth import (
+    MatchReport,
+    failure_coverage,
+    match_exact,
+    match_soundness,
+    match_synthetic,
+)
+from .harness import (
+    FIND_ALL_METHODS,
+    FIND_ONE_METHODS,
+    BudgetGroup,
+    Method,
+    MethodRun,
+    SuiteResult,
+    run_suite,
+)
+from .metrics import PRF, Conciseness, conciseness, score_find_all, score_find_one
+from .reporting import (
+    format_table,
+    render_conciseness,
+    render_prf_figure,
+    render_series,
+)
+
+__all__ = [
+    "BudgetGroup",
+    "Conciseness",
+    "FIND_ALL_METHODS",
+    "FIND_ONE_METHODS",
+    "MatchReport",
+    "Method",
+    "MethodRun",
+    "PRF",
+    "SuiteResult",
+    "conciseness",
+    "failure_coverage",
+    "format_table",
+    "match_exact",
+    "match_soundness",
+    "match_synthetic",
+    "render_conciseness",
+    "render_prf_figure",
+    "render_series",
+    "run_suite",
+    "score_find_all",
+    "score_find_one",
+]

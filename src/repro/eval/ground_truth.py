@@ -1,0 +1,231 @@
+"""Ground-truth matching: deciding whether an asserted cause is correct.
+
+Two matching regimes, mirroring how the paper scores its two benchmark
+families:
+
+* **Exact** (synthetic pipelines, Figures 2-4): an asserted cause is
+  correct iff it is semantically equal -- same satisfying set over the
+  finite space -- to one of the planted minimal definitive root causes.
+  Semantic (not syntactic) equality is essential: ``beta1 = 0.9`` and
+  ``beta1 > 0.75`` denote the same set when 0.9 is the only value above
+  0.75.
+
+* **Soundness** (real-world pipelines, Figure 7): the paper built
+  ground truth by *manually investigating* asserted causes for
+  soundness.  We automate that investigation: an asserted cause is
+  correct iff it is a definitive root cause of the pipeline's oracle
+  (no satisfying instance succeeds) and minimal (no proper predicate
+  subset is definitive), checked exhaustively on small satisfying sets
+  and by sampling otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from ..core.predicates import Conjunction
+from ..core.rootcause import (
+    is_definitive_root_cause,
+    is_minimal_definitive_root_cause,
+)
+from ..core.types import Instance, Outcome, ParameterSpace
+
+__all__ = [
+    "MatchReport",
+    "match_exact",
+    "match_synthetic",
+    "match_soundness",
+    "failure_coverage",
+]
+
+Oracle = Callable[[Instance], Outcome]
+
+
+@dataclass(frozen=True)
+class MatchReport:
+    """Scoring of one algorithm's assertions against one pipeline's truth.
+
+    Attributes:
+        correct_asserted: asserted causes judged correct.
+        incorrect_asserted: asserted causes judged incorrect (the false
+            positives of the paper's precision formulas).
+        matched_true: planted causes matched by some asserted cause
+            (the numerator of FindAll recall).
+        n_true: number of planted causes.
+    """
+
+    correct_asserted: tuple[Conjunction, ...]
+    incorrect_asserted: tuple[Conjunction, ...]
+    matched_true: tuple[Conjunction, ...]
+    n_true: int
+
+    @property
+    def found_at_least_one(self) -> bool:
+        """FindOne's hit indicator: some asserted cause is a true cause."""
+        return bool(self.correct_asserted)
+
+    @property
+    def n_false_positives(self) -> int:
+        return len(self.incorrect_asserted)
+
+
+def match_exact(
+    asserted: Sequence[Conjunction],
+    true_causes: Sequence[Conjunction],
+    space: ParameterSpace,
+) -> MatchReport:
+    """Exact-mode matching: semantic equality over the finite space."""
+    correct: list[Conjunction] = []
+    incorrect: list[Conjunction] = []
+    matched: dict[int, Conjunction] = {}
+    for cause in asserted:
+        hit = None
+        for index, truth in enumerate(true_causes):
+            if cause.semantically_equals(truth, space):
+                hit = index
+                break
+        if hit is None:
+            incorrect.append(cause)
+        else:
+            correct.append(cause)
+            matched.setdefault(hit, true_causes[hit])
+    return MatchReport(
+        correct_asserted=tuple(correct),
+        incorrect_asserted=tuple(incorrect),
+        matched_true=tuple(matched.values()),
+        n_true=len(true_causes),
+    )
+
+
+def match_synthetic(
+    asserted: Sequence[Conjunction],
+    true_causes: Sequence[Conjunction],
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_checks: int = 2000,
+    seed: int = 0,
+) -> MatchReport:
+    """Synthetic-benchmark matching against *all* minimal definitive causes.
+
+    The planted conjunctions are not the only members of ``R(CP)``: a
+    planted ``p != v`` cause makes every ``p = w`` (w != v) a minimal
+    definitive root cause too, and Shortcut legitimately asserts those.
+    Definition 5 is therefore checked directly against the oracle:
+
+    * an asserted cause is **correct** iff it is a minimal definitive
+      root cause (semantic equality with a planted cause short-circuits
+      the check);
+    * a planted cause is **matched** iff some correct asserted cause's
+      satisfying region is contained in the planted cause's region --
+      that assertion identifies (at least a slice of) that bug.
+
+    Large satisfying sets are verified by sampling ``max_checks``
+    instances, mirroring the finite testing any evaluator must do.
+    """
+    rng = random.Random(seed)
+    correct: list[Conjunction] = []
+    incorrect: list[Conjunction] = []
+    for cause in asserted:
+        if cause.is_trivial():
+            incorrect.append(cause)
+            continue
+        if any(cause.semantically_equals(truth, space) for truth in true_causes):
+            correct.append(cause)
+            continue
+        if is_minimal_definitive_root_cause(
+            cause, space, oracle, max_checks=max_checks, rng=rng
+        ):
+            correct.append(cause)
+        else:
+            incorrect.append(cause)
+
+    matched: list[Conjunction] = []
+    for truth in true_causes:
+        for cause in correct:
+            if truth.subsumes(cause, space):
+                matched.append(truth)
+                break
+    return MatchReport(
+        correct_asserted=tuple(correct),
+        incorrect_asserted=tuple(incorrect),
+        matched_true=tuple(matched),
+        n_true=len(true_causes),
+    )
+
+
+def match_soundness(
+    asserted: Sequence[Conjunction],
+    true_causes: Sequence[Conjunction],
+    space: ParameterSpace,
+    oracle: Oracle,
+    max_checks: int = 3000,
+    seed: int = 0,
+) -> MatchReport:
+    """Soundness-mode matching: automated "manual investigation".
+
+    An asserted cause is correct when it is a definitive *and minimal*
+    root cause of the oracle.  A planted cause counts as matched when
+    some *sound* asserted cause overlaps it (shares satisfying
+    instances): the overlapping sound cause explains (part of) that
+    bug's failure region, which is how the paper's investigators credit
+    a finding to a bug.
+    """
+    rng = random.Random(seed)
+    correct: list[Conjunction] = []
+    incorrect: list[Conjunction] = []
+    for cause in asserted:
+        if cause.is_trivial():
+            incorrect.append(cause)
+            continue
+        if is_minimal_definitive_root_cause(
+            cause, space, oracle, max_checks=max_checks, rng=rng
+        ):
+            correct.append(cause)
+        else:
+            incorrect.append(cause)
+
+    matched: list[Conjunction] = []
+    for truth in true_causes:
+        truth_sets = truth.canonical(space)
+        for cause in correct:
+            if _boxes_overlap(truth_sets, cause.canonical(space), space):
+                matched.append(truth)
+                break
+    return MatchReport(
+        correct_asserted=tuple(correct),
+        incorrect_asserted=tuple(incorrect),
+        matched_true=tuple(matched),
+        n_true=len(true_causes),
+    )
+
+
+def _boxes_overlap(a: dict, b: dict, space: ParameterSpace) -> bool:
+    """True when two canonical boxes share at least one instance."""
+    for name in set(a) | set(b):
+        domain = frozenset(space.domain(name))
+        if not (a.get(name, domain) & b.get(name, domain)):
+            return False
+    return True
+
+
+def failure_coverage(
+    asserted: Sequence[Conjunction],
+    failing_instances: Sequence[Instance],
+) -> float:
+    """Fraction of known failures explained by the asserted causes.
+
+    The operational reading of Figure 7's recall ("BugDoc methods found
+    all the parameter-comparator-value triples that would cause the
+    execution of the pipelines to fail"): every failure should satisfy
+    some asserted cause.
+    """
+    if not failing_instances:
+        return 1.0
+    covered = sum(
+        1
+        for instance in failing_instances
+        if any(cause.satisfied_by(instance) for cause in asserted)
+    )
+    return covered / len(failing_instances)

@@ -1,0 +1,121 @@
+"""Precision, recall, and F-measure exactly as Section 5 defines them.
+
+The paper scores an algorithm ``A`` over a set ``UCP`` of pipelines,
+each with true causes ``R(CP)`` and assertions ``A(CP)``:
+
+FindOne:
+    precision = sum_CP [A(CP) hits R(CP)]
+                / (sum_CP [A(CP) hits R(CP)] + |A(CP) - R(CP)|)
+    recall    = sum_CP [A(CP) hits R(CP)] / |UCP|
+
+FindAll:
+    precision = sum_CP |A(CP) n R(CP)| / sum_CP |A(CP)|
+    recall    = sum_CP |A(CP) n R(CP)| / sum_CP |R(CP)|
+
+plus conciseness diagnostics (Figure 4): parameters per asserted cause
+and log10 of asserted-per-actual cause counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from .ground_truth import MatchReport
+
+__all__ = ["PRF", "Conciseness", "score_find_one", "score_find_all", "conciseness"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """A precision / recall / F-measure triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f_measure(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F={self.f_measure:.3f}"
+        )
+
+
+def score_find_one(reports: Sequence[MatchReport]) -> PRF:
+    """FindOne scoring over a pipeline suite (Figure 2 formulas)."""
+    if not reports:
+        return PRF(0.0, 0.0)
+    hits = sum(1 for report in reports if report.found_at_least_one)
+    false_positives = sum(report.n_false_positives for report in reports)
+    denominator = hits + false_positives
+    precision = hits / denominator if denominator else 0.0
+    recall = hits / len(reports)
+    return PRF(precision, recall)
+
+
+def score_find_all(reports: Sequence[MatchReport]) -> PRF:
+    """FindAll scoring over a pipeline suite (Figure 3 formulas)."""
+    if not reports:
+        return PRF(0.0, 0.0)
+    intersections = sum(len(report.correct_asserted) for report in reports)
+    asserted = sum(
+        len(report.correct_asserted) + len(report.incorrect_asserted)
+        for report in reports
+    )
+    actual = sum(report.n_true for report in reports)
+    precision = intersections / asserted if asserted else 0.0
+    recall = (
+        sum(len(report.matched_true) for report in reports) / actual
+        if actual
+        else 0.0
+    )
+    return PRF(precision, recall)
+
+
+@dataclass
+class Conciseness:
+    """Figure 4 statistics.
+
+    Attributes:
+        parameters_per_cause: average predicate-parameter count per
+            asserted root cause (Figure 4a).
+        log_asserted_per_actual: average log10(|A(CP)| / |R(CP)|)
+            (Figure 4b); 0.0 means as many assertions as actual causes.
+    """
+
+    parameters_per_cause: float = 0.0
+    log_asserted_per_actual: float = 0.0
+    n_causes: int = 0
+    n_pipelines: int = 0
+    samples: list[int] = field(default_factory=list)
+
+
+def conciseness(reports: Sequence[MatchReport]) -> Conciseness:
+    """Compute the Figure 4 conciseness statistics over a suite."""
+    result = Conciseness()
+    total_parameters = 0
+    total_causes = 0
+    log_ratios = []
+    for report in reports:
+        asserted = list(report.correct_asserted) + list(report.incorrect_asserted)
+        for cause in asserted:
+            total_parameters += len(cause.parameters)
+            total_causes += 1
+            result.samples.append(len(cause.parameters))
+        if report.n_true > 0:
+            ratio = max(len(asserted), 1) / report.n_true
+            log_ratios.append(math.log10(ratio))
+    result.n_causes = total_causes
+    result.n_pipelines = len(reports)
+    result.parameters_per_cause = (
+        total_parameters / total_causes if total_causes else 0.0
+    )
+    result.log_asserted_per_actual = (
+        sum(log_ratios) / len(log_ratios) if log_ratios else 0.0
+    )
+    return result

@@ -1,0 +1,121 @@
+"""Text rendering of the paper's tables and figures.
+
+The benchmark harness prints each reproduced artifact as an aligned
+text table (rows = methods, columns = budget groups, cells = the metric
+series the corresponding figure plots).  EXPERIMENTS.md snapshots these
+outputs next to the paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from .harness import BudgetGroup, Method, SuiteResult
+from .metrics import PRF
+
+__all__ = [
+    "format_table",
+    "render_prf_figure",
+    "render_conciseness",
+    "render_series",
+]
+
+_GROUP_LABELS = {
+    BudgetGroup.SHORTCUT: "Shortcut budget",
+    BudgetGroup.STACKED: "Stacked budget",
+    BudgetGroup.DDT: "DDT budget",
+}
+
+_METHOD_LABELS = {
+    Method.BUGDOC: "BugDoc",
+    Method.DATA_XRAY_BUGDOC: "DataX-Ray+BugDoc",
+    Method.DATA_XRAY_SMAC: "DataX-Ray+SMAC",
+    Method.EXPL_TABLES_BUGDOC: "ExplTables+BugDoc",
+    Method.EXPL_TABLES_SMAC: "ExplTables+SMAC",
+}
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _metric_of(prf: PRF, metric: str) -> float:
+    if metric == "precision":
+        return prf.precision
+    if metric == "recall":
+        return prf.recall
+    if metric == "f_measure":
+        return prf.f_measure
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def render_prf_figure(
+    result: SuiteResult,
+    metric: str,
+    title: str,
+    groups: Sequence[BudgetGroup] = tuple(BudgetGroup),
+    methods: Sequence[Method] = tuple(Method),
+) -> str:
+    """One sub-figure of Figures 2/3: a method x budget-group grid."""
+    headers = ["method"] + [
+        f"{_GROUP_LABELS[g]} (~{result.mean_budget(g):.0f} inst)" for g in groups
+    ]
+    rows = []
+    for method in methods:
+        row: list[object] = [_METHOD_LABELS[method]]
+        for group in groups:
+            row.append(f"{_metric_of(result.prf(method, group), metric):.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_conciseness(
+    result: SuiteResult,
+    title: str,
+    groups: Sequence[BudgetGroup] = (BudgetGroup.DDT,),
+    methods: Sequence[Method] = tuple(Method),
+) -> str:
+    """Figure 4: parameters per cause and log(asserted/actual)."""
+    headers = ["method", "params/cause (4a)", "log10 asserted/actual (4b)"]
+    rows = []
+    for method in methods:
+        parameters = []
+        ratios = []
+        for group in groups:
+            stats = result.conciseness(method, group)
+            if stats.n_causes:
+                parameters.append(stats.parameters_per_cause)
+            ratios.append(stats.log_asserted_per_actual)
+        mean_parameters = sum(parameters) / len(parameters) if parameters else 0.0
+        mean_ratio = sum(ratios) / len(ratios) if ratios else 0.0
+        rows.append(
+            [_METHOD_LABELS[method], f"{mean_parameters:.2f}", f"{mean_ratio:.2f}"]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    fmt: Callable[[float], str] = lambda v: f"{v:.1f}",
+) -> str:
+    """A figure with one numeric y-series per label (Figures 5-6)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [fmt(values[index]) for values in series.values()])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,34 @@
+"""Extensions the paper lists as future work (Section 6), implemented.
+
+* :mod:`~repro.extensions.group_testing` -- once a *dataset* is the
+  root cause, adaptive group testing isolates the problematic data
+  items in ~d*log2(n/d) pipeline runs.
+* :mod:`~repro.extensions.observed` -- observed (non-manipulable)
+  variables annotate root causes with what the pipeline looked like
+  whenever the cause fired, enriching explanations without widening the
+  cause language.
+"""
+
+from .group_testing import (
+    CountingTest,
+    GroupTestResult,
+    binary_splitting,
+    find_defectives,
+)
+from .observed import (
+    EnrichedExplanation,
+    ObservationLog,
+    ObservedAnnotation,
+    enrich,
+)
+
+__all__ = [
+    "CountingTest",
+    "EnrichedExplanation",
+    "GroupTestResult",
+    "ObservationLog",
+    "ObservedAnnotation",
+    "binary_splitting",
+    "enrich",
+    "find_defectives",
+]

@@ -1,0 +1,171 @@
+"""Group testing: drill down from a dataset root cause to bad data items.
+
+The paper's future work (Section 6): "we would like to explore group
+testing [33, 38] to identify problematic data elements when a dataset
+has been identified as a root cause."  This module implements that
+drill-down: once BugDoc asserts ``dataset = X`` as a root cause, the
+dataset's items become the new search space, and adaptive group testing
+finds the *defective items* -- the minimal subset whose presence makes
+the pipeline fail -- in far fewer pipeline runs than testing items one
+at a time.
+
+Two strategies are provided:
+
+* :func:`binary_splitting` -- classic adaptive binary search isolating
+  one defective from a failing group in ``ceil(log2 n)`` tests;
+* :func:`find_defectives` -- Hwang-style generalized group testing that
+  repeatedly isolates and removes defectives until a clean pass,
+  needing roughly ``d * log2(n / d)`` tests for ``d`` defectives.
+
+The *test* is a black box over item subsets, mirroring the pipeline
+model: ``test(subset) -> True`` means "the pipeline fails when run on
+exactly these items".  The standard group-testing assumption (failures
+are monotone: any superset of a failing set fails) is validated
+opportunistically and reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence, Hashable
+
+__all__ = [
+    "GroupTestResult",
+    "binary_splitting",
+    "find_defectives",
+    "CountingTest",
+]
+
+Item = Hashable
+# True = the subset FAILS (contains at least one defective item).
+SubsetTest = Callable[[Sequence[Item]], bool]
+
+
+class CountingTest:
+    """Wraps a subset test, counting invocations and memoizing results.
+
+    Group-testing cost is measured in pipeline executions, exactly like
+    BugDoc's instance budget; memoization implements the free-replay
+    rule for repeated subsets.
+    """
+
+    def __init__(self, test: SubsetTest):
+        self._test = test
+        self._cache: dict[frozenset[Item], bool] = {}
+        self.calls = 0
+
+    def __call__(self, subset: Sequence[Item]) -> bool:
+        key = frozenset(subset)
+        if key in self._cache:
+            return self._cache[key]
+        self.calls += 1
+        result = bool(self._test(list(subset)))
+        self._cache[key] = result
+        return result
+
+
+@dataclass
+class GroupTestResult:
+    """Outcome of a defective-item search.
+
+    Attributes:
+        defectives: items whose presence makes the pipeline fail, in
+            discovery order.
+        tests_used: subset executions charged.
+        exhaustive_equivalent: tests a one-item-at-a-time scan would
+            have used (for the savings headline).
+        monotonicity_violations: subsets observed failing while a
+            superset succeeded (evidence the defect is combinatorial,
+            not item-local; results are then best-effort).
+    """
+
+    defectives: list[Item] = field(default_factory=list)
+    tests_used: int = 0
+    exhaustive_equivalent: int = 0
+    monotonicity_violations: int = 0
+
+    @property
+    def savings_factor(self) -> float:
+        if self.tests_used == 0:
+            return 1.0
+        return self.exhaustive_equivalent / self.tests_used
+
+
+def binary_splitting(
+    test: SubsetTest, items: Sequence[Item]
+) -> tuple[Item | None, int]:
+    """Isolate one defective item from a failing group.
+
+    Args:
+        test: subset black box (True = fails).
+        items: a group already known (or believed) to fail as a whole.
+
+    Returns:
+        (defective item or None, number of tests used).  None when the
+        group unexpectedly stops failing (non-monotone defect).
+    """
+    used = 0
+    pool = list(items)
+    if not pool:
+        return None, used
+    while len(pool) > 1:
+        half = len(pool) // 2
+        left = pool[:half]
+        used += 1
+        if test(left):
+            pool = left
+        else:
+            pool = pool[half:]
+    used += 1
+    if test(pool):
+        return pool[0], used
+    return None, used
+
+
+def find_defectives(
+    test: SubsetTest,
+    items: Sequence[Item],
+    max_tests: int | None = None,
+) -> GroupTestResult:
+    """Find every defective item by iterated isolate-and-remove.
+
+    The loop: test the remaining items as one group; if it fails,
+    binary-split to isolate one defective, record it, remove it, and
+    repeat; if it succeeds, every defective has been found (under
+    monotonicity).  Item-local defects (each defective independently
+    causes failure) are found exactly; combinatorial defects surface as
+    monotonicity violations in the result.
+
+    Args:
+        test: subset black box (True = fails).
+        items: the dataset's items.
+        max_tests: optional budget on subset executions, checked between
+            rounds -- the isolation split in flight when the budget runs
+            out is allowed to finish (an overshoot of at most
+            ``ceil(log2 n) + 1`` tests).
+    """
+    counting = CountingTest(test)
+    result = GroupTestResult(exhaustive_equivalent=len(items))
+    remaining = list(items)
+
+    def budget_left() -> bool:
+        return max_tests is None or counting.calls < max_tests
+
+    while remaining and budget_left():
+        if not counting(remaining):
+            break  # clean: all defectives removed
+        defective, __ = binary_splitting(counting, remaining)
+        if defective is None:
+            # The group failed but no half kept failing: non-monotone.
+            result.monotonicity_violations += 1
+            break
+        result.defectives.append(defective)
+        remaining = [item for item in remaining if item != defective]
+
+    # Confirmation pass (free if memoized): the clean remainder must
+    # really be clean, and each defective alone must fail.
+    for defective in result.defectives:
+        if budget_left() and not counting([defective]):
+            result.monotonicity_violations += 1
+    result.tests_used = counting.calls
+    return result

@@ -1,0 +1,204 @@
+"""Observed variables: enriching explanations with non-manipulable data.
+
+The paper's future work (Sections 2 and 6): "an interesting direction
+... would be to consider variables (or predicates) that can be observed
+but not manipulated in our formalism to generate potentially richer
+explanations."  Observed variables -- memory peaks, intermediate row
+counts, warning flags -- cannot be set by the debugger, so they cannot
+appear in root causes; but they *can* annotate a cause with what the
+pipeline looked like whenever the cause fired.
+
+This module keeps a side-log of observations per executed instance and
+computes, for each asserted root cause, the observations that best
+discriminate cause-firing runs from the rest:
+
+* numeric observations -> standardized mean difference (Cohen's d);
+* categorical observations -> the value with the highest lift.
+
+The output is advisory prose attached to the explanation, never part of
+the cause itself -- exactly the separation the paper sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from ..core.predicates import Conjunction
+from ..core.types import Instance
+
+__all__ = ["ObservationLog", "ObservedAnnotation", "EnrichedExplanation", "enrich"]
+
+
+@dataclass(frozen=True)
+class ObservedAnnotation:
+    """One observed-variable finding attached to a cause.
+
+    Attributes:
+        variable: observed variable name.
+        kind: "numeric" or "categorical".
+        summary: human-readable finding.
+        strength: comparable effect size (|Cohen's d| or lift - 1).
+    """
+
+    variable: str
+    kind: str
+    summary: str
+    strength: float
+
+
+@dataclass
+class EnrichedExplanation:
+    """A root cause plus its observed-variable annotations."""
+
+    cause: Conjunction
+    annotations: list[ObservedAnnotation] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [str(self.cause)]
+        for annotation in self.annotations:
+            lines.append(f"    [observed] {annotation.summary}")
+        return "\n".join(lines)
+
+
+class ObservationLog:
+    """Side-log of observed (non-manipulable) variables per instance.
+
+    Observations are recorded alongside provenance; instances without
+    observations are simply skipped by the enrichment statistics.
+    """
+
+    def __init__(self) -> None:
+        self._observations: dict[Instance, dict[str, object]] = {}
+
+    def record(self, instance: Instance, observations: Mapping[str, object]) -> None:
+        """Record (or merge) observations for one executed instance."""
+        slot = self._observations.setdefault(instance, {})
+        slot.update(observations)
+
+    def observations_for(self, instance: Instance) -> Mapping[str, object] | None:
+        return self._observations.get(instance)
+
+    @property
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for observations in self._observations.values():
+            names.update(observations)
+        return names
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def instances(self) -> Sequence[Instance]:
+        return tuple(self._observations)
+
+
+def _numeric_annotation(
+    variable: str, inside: list[float], outside: list[float]
+) -> ObservedAnnotation | None:
+    if len(inside) < 2 or len(outside) < 2:
+        return None
+    mean_in = sum(inside) / len(inside)
+    mean_out = sum(outside) / len(outside)
+    var_in = sum((v - mean_in) ** 2 for v in inside) / max(len(inside) - 1, 1)
+    var_out = sum((v - mean_out) ** 2 for v in outside) / max(len(outside) - 1, 1)
+    pooled = math.sqrt((var_in + var_out) / 2.0)
+    if pooled < 1e-12:
+        if mean_in == mean_out:
+            return None
+        effect = math.inf
+    else:
+        effect = (mean_in - mean_out) / pooled
+    direction = "higher" if effect > 0 else "lower"
+    return ObservedAnnotation(
+        variable=variable,
+        kind="numeric",
+        summary=(
+            f"{variable} is {direction} when the cause fires "
+            f"(mean {mean_in:.3g} vs {mean_out:.3g}, d={effect:.2f})"
+        ),
+        strength=abs(effect),
+    )
+
+
+def _categorical_annotation(
+    variable: str, inside: list[object], outside: list[object]
+) -> ObservedAnnotation | None:
+    if not inside or not outside:
+        return None
+    best: tuple[float, object] | None = None
+    for value in set(inside):
+        p_in = inside.count(value) / len(inside)
+        p_out = outside.count(value) / len(outside)
+        lift = p_in / p_out if p_out > 0 else math.inf
+        if best is None or lift > best[0]:
+            best = (lift, value)
+    if best is None or best[0] <= 1.0:
+        return None
+    lift, value = best
+    lift_text = "inf" if math.isinf(lift) else f"{lift:.2f}"
+    return ObservedAnnotation(
+        variable=variable,
+        kind="categorical",
+        summary=(
+            f"{variable}={value!r} is over-represented when the cause "
+            f"fires (lift {lift_text})"
+        ),
+        strength=(lift - 1.0) if not math.isinf(lift) else math.inf,
+    )
+
+
+def enrich(
+    causes: Sequence[Conjunction],
+    log: ObservationLog,
+    min_strength: float = 0.8,
+    top_k: int = 3,
+) -> list[EnrichedExplanation]:
+    """Annotate each asserted cause with its strongest observed signals.
+
+    Args:
+        causes: asserted root causes.
+        log: the observation side-log.
+        min_strength: effect-size floor below which an observation is
+            considered noise (default ~ a "large" Cohen's d).
+        top_k: annotations kept per cause, strongest first.
+    """
+    enriched: list[EnrichedExplanation] = []
+    instances = list(log.instances())
+    for cause in causes:
+        firing = [i for i in instances if cause.satisfied_by(i)]
+        quiet = [i for i in instances if not cause.satisfied_by(i)]
+        annotations: list[ObservedAnnotation] = []
+        for variable in sorted(log.variables):
+            inside_values = [
+                obs[variable]
+                for i in firing
+                if (obs := log.observations_for(i)) and variable in obs
+            ]
+            outside_values = [
+                obs[variable]
+                for i in quiet
+                if (obs := log.observations_for(i)) and variable in obs
+            ]
+            numeric = all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in inside_values + outside_values
+            )
+            if numeric:
+                annotation = _numeric_annotation(
+                    variable,
+                    [float(v) for v in inside_values],
+                    [float(v) for v in outside_values],
+                )
+            else:
+                annotation = _categorical_annotation(
+                    variable, list(inside_values), list(outside_values)
+                )
+            if annotation is not None and annotation.strength >= min_strength:
+                annotations.append(annotation)
+        annotations.sort(key=lambda a: -a.strength)
+        enriched.append(
+            EnrichedExplanation(cause=cause, annotations=annotations[:top_k])
+        )
+    return enriched

@@ -1,0 +1,52 @@
+"""Workflow engine and execution engines (substrates S2-S3).
+
+The paper's pipelines run under a provenance-enabled workflow system
+(VisTrails); this subpackage provides the laptop-scale equivalent: a
+module DAG engine (:mod:`~repro.pipeline.workflow`), evaluation
+adapters (:mod:`~repro.pipeline.evaluation`), and execution engines
+including the parallel dispatcher of Section 4.3
+(:mod:`~repro.pipeline.runner`).
+"""
+
+from .evaluation import WorkflowExecutor, predicate_evaluation, threshold_evaluation
+from .module import Module, ModuleError, Port
+from .serialization import (
+    ModuleRegistry,
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_to_dict,
+    workflow_to_json,
+)
+from .runner import (
+    CachingExecutor,
+    CountingExecutor,
+    FlakyExecutor,
+    LatencyExecutor,
+    ParallelDebugSession,
+    ReplayExecutor,
+)
+from .workflow import Connection, CycleError, Workflow, WorkflowResult
+
+__all__ = [
+    "CachingExecutor",
+    "Connection",
+    "CountingExecutor",
+    "CycleError",
+    "FlakyExecutor",
+    "LatencyExecutor",
+    "Module",
+    "ModuleError",
+    "ModuleRegistry",
+    "ParallelDebugSession",
+    "Port",
+    "ReplayExecutor",
+    "Workflow",
+    "WorkflowExecutor",
+    "WorkflowResult",
+    "predicate_evaluation",
+    "threshold_evaluation",
+    "workflow_from_dict",
+    "workflow_from_json",
+    "workflow_to_dict",
+    "workflow_to_json",
+]

@@ -1,0 +1,95 @@
+"""Evaluation procedures: mapping pipeline results to succeed / fail.
+
+Definition 2 of the paper: "the evaluation procedure will be code that
+looks at some property of the result of a given pipeline instance".
+This module provides the common shapes -- threshold tests (the running
+F-measure >= 0.6 example), arbitrary predicates, and the crash-to-fail
+adapter used when the *failure mode under investigation is the crash
+itself* (the Data Polygamy case study).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..core.types import Instance, Outcome
+from .module import ModuleError
+from .workflow import Workflow
+
+__all__ = [
+    "threshold_evaluation",
+    "predicate_evaluation",
+    "WorkflowExecutor",
+]
+
+
+def threshold_evaluation(
+    minimum: float, key: Callable[[object], float] | None = None
+) -> Callable[[object], Outcome]:
+    """Succeed iff the (extracted) result is at least ``minimum``.
+
+    Args:
+        minimum: inclusive success threshold (``score >= minimum``).
+        key: optional extractor from the raw sink value to a float.
+    """
+
+    def evaluate(result: object) -> Outcome:
+        value = key(result) if key is not None else result
+        return Outcome.SUCCEED if float(value) >= minimum else Outcome.FAIL  # type: ignore[arg-type]
+
+    return evaluate
+
+
+def predicate_evaluation(
+    is_acceptable: Callable[[object], bool],
+) -> Callable[[object], Outcome]:
+    """Succeed iff ``is_acceptable(result)`` is truthy."""
+
+    def evaluate(result: object) -> Outcome:
+        return Outcome.SUCCEED if is_acceptable(result) else Outcome.FAIL
+
+    return evaluate
+
+
+class WorkflowExecutor:
+    """Adapts a :class:`Workflow` + evaluation function to the
+    :class:`~repro.core.types.Executor` black-box protocol.
+
+    Args:
+        workflow: the pipeline to run.
+        evaluation: maps the sink value to an :class:`Outcome`.
+        crash_is_fail: treat a module crash as ``FAIL`` (True, the
+            common case) or re-raise it (False -- for debugging the
+            debugger, not the pipeline).
+
+    The executor records the raw sink value of the last run in
+    :attr:`last_result` for callers that want to log it into provenance.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        evaluation: Callable[[object], Outcome],
+        crash_is_fail: bool = True,
+    ):
+        self._workflow = workflow
+        self._evaluation = evaluation
+        self._crash_is_fail = crash_is_fail
+        self.last_result: object = None
+        self.executions = 0
+
+    @property
+    def workflow(self) -> Workflow:
+        return self._workflow
+
+    def __call__(self, instance: Instance) -> Outcome:
+        self.executions += 1
+        try:
+            result = self._workflow.execute(instance)
+        except ModuleError:
+            if self._crash_is_fail:
+                self.last_result = None
+                return Outcome.FAIL
+            raise
+        self.last_result = result.sink_value
+        return self._evaluation(result.sink_value)

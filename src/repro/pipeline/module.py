@@ -1,0 +1,133 @@
+"""Workflow modules: the programs a computational pipeline connects.
+
+A :class:`Module` is one box in Figure 1 of the paper -- "ReadFile",
+"TrainTestSplit", "Estimator", "Score", ... -- with named input and
+output ports and a set of module-level parameters.  Modules are plain
+Python callables wrapped with port metadata; the engine in
+:mod:`repro.pipeline.workflow` wires them into a DAG and routes data
+between ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping, Sequence
+
+__all__ = ["ModuleError", "Port", "Module"]
+
+
+class ModuleError(RuntimeError):
+    """A module raised during execution; the pipeline instance crashed.
+
+    Crashes are first-class failures in BugDoc's model (the Data
+    Polygamy case study debugs crash causes); the evaluation layer maps
+    them to ``Outcome.FAIL`` via :class:`~repro.pipeline.evaluation.CrashToFail`.
+    """
+
+    def __init__(self, module_name: str, original: BaseException):
+        super().__init__(f"module {module_name!r} failed: {original!r}")
+        self.module_name = module_name
+        self.original = original
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named input or output connection point on a module."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass
+class Module:
+    """One computational step in a workflow.
+
+    The wrapped function receives keyword arguments: one per input port
+    (the upstream value) and one per declared parameter (the instance's
+    value for it).  It returns either a single value (for modules with
+    one output port) or a mapping ``port name -> value``.
+
+    Attributes:
+        name: unique name within the workflow.
+        func: the computation.
+        inputs: input ports, in signature order.
+        outputs: output ports; default is a single port called "out".
+        parameters: names of the pipeline parameters this module
+            consumes.  Parameter names are global to the workflow, so
+            two modules may share one (e.g. a random seed).
+    """
+
+    name: str
+    func: Callable[..., object]
+    inputs: Sequence[Port] = field(default_factory=tuple)
+    outputs: Sequence[Port] = field(default_factory=lambda: (Port("out"),))
+    parameters: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        self.inputs = tuple(
+            Port(p) if isinstance(p, str) else p for p in self.inputs
+        )
+        self.outputs = tuple(
+            Port(p) if isinstance(p, str) else p for p in self.outputs
+        )
+        if not self.outputs:
+            raise ValueError(f"module {self.name!r} must declare an output port")
+        names = [p.name for p in self.inputs] + [p.name for p in self.outputs]
+        if len(set(p.name for p in self.inputs)) != len(self.inputs):
+            raise ValueError(f"module {self.name!r} has duplicate input ports")
+        if len(set(p.name for p in self.outputs)) != len(self.outputs):
+            raise ValueError(f"module {self.name!r} has duplicate output ports")
+        del names
+        self.parameters = tuple(self.parameters)
+
+    def run(
+        self,
+        inputs: Mapping[str, object],
+        parameters: Mapping[str, object],
+    ) -> dict[str, object]:
+        """Execute the module, normalizing its result to a port mapping.
+
+        Raises:
+            ModuleError: wrapping any exception the function raised.
+        """
+        kwargs: dict[str, object] = {}
+        for port in self.inputs:
+            if port.name not in inputs:
+                raise ModuleError(
+                    self.name, KeyError(f"missing input {port.name!r}")
+                )
+            kwargs[port.name] = inputs[port.name]
+        for parameter in self.parameters:
+            if parameter not in parameters:
+                raise ModuleError(
+                    self.name, KeyError(f"missing parameter {parameter!r}")
+                )
+            kwargs[parameter] = parameters[parameter]
+        try:
+            result = self.func(**kwargs)
+        except ModuleError:
+            raise
+        except Exception as exc:
+            raise ModuleError(self.name, exc) from exc
+
+        port_names = [p.name for p in self.outputs]
+        if len(port_names) == 1:
+            if isinstance(result, Mapping) and set(result.keys()) == set(port_names):
+                return dict(result)
+            return {port_names[0]: result}
+        if not isinstance(result, Mapping):
+            raise ModuleError(
+                self.name,
+                TypeError(
+                    f"module with ports {port_names} must return a mapping, "
+                    f"got {type(result).__name__}"
+                ),
+            )
+        missing = set(port_names) - set(result.keys())
+        if missing:
+            raise ModuleError(
+                self.name, KeyError(f"missing output ports: {sorted(missing)}")
+            )
+        return {name: result[name] for name in port_names}

@@ -1,0 +1,230 @@
+"""Execution engines: caching, counting, latency simulation, parallelism,
+and historical replay.
+
+The paper's prototype "contains a dispatching component that runs in a
+single thread and spawns multiple pipeline instances in parallel" with
+"five execution engine workers" (Section 5).  :class:`ParallelDebugSession`
+reproduces that architecture on a thread pool: the debugging algorithms
+submit batches of independent instances and the dispatcher fans them
+out, preserving the session's budget/history accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.budget import InstanceBudget
+from ..core.history import ExecutionHistory
+from ..core.session import DebugSession, InstanceUnavailable
+from ..core.types import Executor, Instance, Outcome, ParameterSpace
+
+__all__ = [
+    "CountingExecutor",
+    "CachingExecutor",
+    "LatencyExecutor",
+    "FlakyExecutor",
+    "ReplayExecutor",
+    "ParallelDebugSession",
+]
+
+
+class CountingExecutor:
+    """Wraps an executor, counting calls (used by cost accounting tests)."""
+
+    def __init__(self, inner: Executor):
+        self._inner = inner
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def __call__(self, instance: Instance) -> Outcome:
+        with self._lock:
+            self.calls += 1
+        return self._inner(instance)
+
+
+class CachingExecutor:
+    """Memoizes outcomes per instance (idempotent black box).
+
+    The :class:`~repro.core.session.DebugSession` already avoids
+    re-executing instances in its history; this cache is for executors
+    shared across *multiple* sessions (e.g. the evaluation harness runs
+    several algorithms against one pipeline and the paper charges each
+    algorithm only for instances new *to it*).
+    """
+
+    def __init__(self, inner: Executor):
+        self._inner = inner
+        self._lock = threading.Lock()
+        self._cache: dict[Instance, Outcome] = {}
+
+    def __call__(self, instance: Instance) -> Outcome:
+        with self._lock:
+            cached = self._cache.get(instance)
+        if cached is not None:
+            return cached
+        outcome = self._inner(instance)
+        with self._lock:
+            self._cache[instance] = outcome
+        return outcome
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+class LatencyExecutor:
+    """Adds simulated wall-clock cost per execution.
+
+    Stands in for the paper's expensive pipelines (20-minute Data
+    Polygamy runs, 10-hour GAN training) at laptop scale: the Figure 6
+    scalability benchmark measures how the parallel dispatcher hides
+    this latency.
+    """
+
+    def __init__(self, inner: Executor, latency_seconds: float):
+        if latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._inner = inner
+        self._latency = latency_seconds
+
+    def __call__(self, instance: Instance) -> Outcome:
+        time.sleep(self._latency)
+        return self._inner(instance)
+
+
+class FlakyExecutor:
+    """Failure injection: raises on selected calls.
+
+    Used by the test suite to verify that budget accounting refunds
+    crashed executions and that algorithms survive transient executor
+    errors.
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        should_raise: Callable[[int, Instance], bool],
+        error_factory: Callable[[], BaseException] = lambda: RuntimeError(
+            "injected executor failure"
+        ),
+    ):
+        self._inner = inner
+        self._should_raise = should_raise
+        self._error_factory = error_factory
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def __call__(self, instance: Instance) -> Outcome:
+        with self._lock:
+            self.calls += 1
+            call_index = self.calls
+        if self._should_raise(call_index, instance):
+            raise self._error_factory()
+        return self._inner(instance)
+
+
+class ReplayExecutor:
+    """Historical mode: serves only previously-logged outcomes.
+
+    Section 5.3 (DBSherlock): "it is not possible to derive and run
+    additional instances.  We simulated the creation of new instances by
+    reading only part of provenance and testing the algorithms on unread
+    data, with an early stop when the pipeline instance to be tested was
+    not present."  Requests for unlogged instances raise
+    :class:`~repro.core.session.InstanceUnavailable`, which the
+    algorithms treat as "hypothesis untestable".
+    """
+
+    def __init__(self, log: ExecutionHistory):
+        self._log = log
+        self.misses = 0
+
+    def __call__(self, instance: Instance) -> Outcome:
+        outcome = self._log.outcome_of(instance)
+        if outcome is None:
+            self.misses += 1
+            raise InstanceUnavailable(instance)
+        return outcome
+
+
+class ParallelDebugSession(DebugSession):
+    """A debug session whose batch evaluation fans out to worker threads.
+
+    Single instances still run inline; ``evaluate_many`` dispatches the
+    batch to a pool of ``workers`` threads, mirroring the paper's
+    dispatcher-plus-workers prototype.  Because instances in a batch are
+    speculatively independent (Section 4.3), some executions may turn
+    out to be unnecessary -- that waste is the measured trade-off of
+    Figure 6.
+
+    Budget note: batch items that exhaust the budget mid-flight are
+    dropped (their results discarded) rather than aborting the whole
+    batch; per-item semantics match serial evaluation.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        space: ParameterSpace,
+        history: ExecutionHistory | None = None,
+        budget: InstanceBudget | None = None,
+        workers: int = 5,
+        candidate_source=None,
+    ):
+        super().__init__(
+            executor,
+            space,
+            history=history,
+            budget=budget,
+            candidate_source=candidate_source,
+        )
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._instances_per_worker: dict[int, int] = {}
+        self._accounting_lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        return True
+
+    @property
+    def instances_per_worker(self) -> dict[int, int]:
+        """Executed-instance counts keyed by worker slot (diagnostics)."""
+        return dict(self._instances_per_worker)
+
+    def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome | None]:
+        """Evaluate a batch concurrently; None marks dropped items.
+
+        An item is dropped when the budget ran out before it started or
+        historical replay could not serve it.
+        """
+        if not instances:
+            return []
+        results: list[Outcome | None] = [None] * len(instances)
+
+        def work(index: int, instance: Instance) -> None:
+            ident = threading.get_ident()
+            try:
+                results[index] = self.evaluate(instance)
+            except InstanceUnavailable:
+                results[index] = None
+            except Exception:
+                results[index] = None
+            with self._accounting_lock:
+                slot = ident % max(self.workers, 1)
+                self._instances_per_worker[slot] = (
+                    self._instances_per_worker.get(slot, 0) + 1
+                )
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                pool.submit(work, index, instance)
+                for index, instance in enumerate(instances)
+            ]
+            for future in futures:
+                future.result()
+        return results

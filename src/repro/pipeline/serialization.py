@@ -1,0 +1,164 @@
+"""Workflow serialization: persist pipeline *structure* as JSON.
+
+Provenance systems (VisTrails among them) store workflow specifications
+so that any logged run can be re-instantiated later.  A workflow's
+structure -- parameter space, modules with their ports and parameter
+bindings, connections, sink -- serializes cleanly; the module
+*computations* are Python callables and are resolved at load time
+through a :class:`ModuleRegistry`, the standard pattern for
+code-carrying documents (the JSON names the function, the registry
+supplies it).
+
+Round-trip contract: ``workflow_from_dict(workflow_to_dict(w), registry)``
+reconstructs a workflow that validates identically and executes every
+instance to the same results, provided the registry maps each module
+name to the same callable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Mapping
+
+from ..core.types import Parameter, ParameterKind, ParameterSpace
+from ..provenance.record import decode_value, encode_value
+from .module import Module, Port
+from .workflow import Workflow
+
+__all__ = [
+    "ModuleRegistry",
+    "space_to_dict",
+    "space_from_dict",
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "workflow_to_json",
+    "workflow_from_json",
+]
+
+
+class ModuleRegistry:
+    """Maps module *function names* to callables at load time."""
+
+    def __init__(self, functions: Mapping[str, Callable[..., object]] | None = None):
+        self._functions: dict[str, Callable[..., object]] = dict(functions or {})
+
+    def register(self, name: str, func: Callable[..., object]) -> "ModuleRegistry":
+        """Register (or replace) one function; returns self for chaining."""
+        self._functions[name] = func
+        return self
+
+    def resolve(self, name: str) -> Callable[..., object]:
+        """Look up a function.
+
+        Raises:
+            KeyError: with the list of known names, when absent.
+        """
+        if name not in self._functions:
+            known = ", ".join(sorted(self._functions)) or "(none)"
+            raise KeyError(
+                f"module function {name!r} not in registry; known: {known}"
+            )
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+
+def space_to_dict(space: ParameterSpace) -> dict:
+    """Serialize a parameter space (values use the typed provenance codec)."""
+    return {
+        "parameters": [
+            {
+                "name": parameter.name,
+                "kind": parameter.kind.value,
+                "domain": [encode_value(v) for v in parameter.domain],
+            }
+            for parameter in space.parameters
+        ]
+    }
+
+
+def space_from_dict(payload: Mapping) -> ParameterSpace:
+    """Inverse of :func:`space_to_dict`."""
+    parameters = []
+    for entry in payload["parameters"]:
+        parameters.append(
+            Parameter(
+                entry["name"],
+                tuple(decode_value(v) for v in entry["domain"]),
+                ParameterKind(entry["kind"]),
+            )
+        )
+    return ParameterSpace(parameters)
+
+
+def workflow_to_dict(workflow: Workflow) -> dict:
+    """Serialize workflow structure (not module code; see module docs)."""
+    sink_module, sink_port = workflow.sink
+    return {
+        "name": workflow.name,
+        "space": space_to_dict(workflow.space),
+        "modules": [
+            {
+                "name": module.name,
+                "function": module.name,  # registry key: one function per module
+                "inputs": [port.name for port in module.inputs],
+                "outputs": [port.name for port in module.outputs],
+                "parameters": list(module.parameters),
+            }
+            for module in workflow.modules
+        ],
+        "connections": [
+            {
+                "source": connection.source,
+                "source_port": connection.source_port,
+                "target": connection.target,
+                "target_port": connection.target_port,
+            }
+            for connection in workflow.connections
+        ],
+        "sink": {"module": sink_module, "port": sink_port},
+    }
+
+
+def workflow_from_dict(payload: Mapping, registry: ModuleRegistry) -> Workflow:
+    """Rebuild a workflow; module callables come from ``registry``.
+
+    Raises:
+        KeyError: when a module's function is not registered.
+        ValueError: when the payload describes an ill-formed workflow
+            (duplicate modules, bad ports, unknown parameters) -- the
+            same validation a hand-built workflow gets.
+    """
+    space = space_from_dict(payload["space"])
+    sink = (payload["sink"]["module"], payload["sink"]["port"])
+    workflow = Workflow(payload["name"], space, sink=sink)
+    for entry in payload["modules"]:
+        workflow.add_module(
+            Module(
+                entry["name"],
+                registry.resolve(entry["function"]),
+                inputs=tuple(Port(p) for p in entry["inputs"]),
+                outputs=tuple(Port(p) for p in entry["outputs"]),
+                parameters=tuple(entry["parameters"]),
+            )
+        )
+    for connection in payload["connections"]:
+        workflow.connect(
+            connection["source"],
+            connection["source_port"],
+            connection["target"],
+            connection["target_port"],
+        )
+    workflow.validate()
+    return workflow
+
+
+def workflow_to_json(workflow: Workflow, indent: int | None = 2) -> str:
+    """JSON text form of :func:`workflow_to_dict`."""
+    return json.dumps(workflow_to_dict(workflow), indent=indent, sort_keys=True)
+
+
+def workflow_from_json(text: str, registry: ModuleRegistry) -> Workflow:
+    """Inverse of :func:`workflow_to_json`."""
+    return workflow_from_dict(json.loads(text), registry)

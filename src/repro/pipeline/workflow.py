@@ -1,0 +1,213 @@
+"""The workflow engine: a VisTrails-lite DAG of modules.
+
+A :class:`Workflow` wires :class:`~repro.pipeline.module.Module` output
+ports to downstream input ports, validates acyclicity, and executes a
+pipeline instance by running modules in topological order.  The paper's
+real-world case studies orchestrate their experiments with VisTrails;
+this engine reproduces the part BugDoc depends on -- parameterized
+dataflow execution with provenance of every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from ..core.types import Instance, ParameterSpace
+from .module import Module, ModuleError
+
+__all__ = ["Connection", "WorkflowResult", "Workflow", "CycleError"]
+
+
+class CycleError(ValueError):
+    """The module graph contains a cycle; dataflow execution is impossible."""
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One dataflow edge: (source module, output port) -> (target, input port)."""
+
+    source: str
+    source_port: str
+    target: str
+    target_port: str
+
+    def __str__(self) -> str:
+        return f"{self.source}.{self.source_port} -> {self.target}.{self.target_port}"
+
+
+@dataclass(frozen=True)
+class WorkflowResult:
+    """Everything one workflow execution produced.
+
+    Attributes:
+        outputs: values of every module output port, keyed
+            ``(module name, port name)``.
+        sink_value: the value of the designated sink port (the
+            pipeline's "result" that evaluation functions inspect).
+        trace: module names in execution order.
+    """
+
+    outputs: Mapping[tuple[str, str], object]
+    sink_value: object
+    trace: tuple[str, ...]
+
+
+class Workflow:
+    """A parameterized DAG of modules.
+
+    Args:
+        name: workflow name (for provenance).
+        space: the manipulable parameter space of the pipeline
+            (Definition 1); instances are validated against it before
+            execution.
+        sink: ``(module name, port name)`` whose value is the pipeline's
+            result.  Defaults to the single output port of the last
+            added module.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        space: ParameterSpace,
+        sink: tuple[str, str] | None = None,
+    ):
+        self.name = name
+        self.space = space
+        self._modules: dict[str, Module] = {}
+        self._connections: list[Connection] = []
+        self._sink = sink
+
+    # -- Construction -----------------------------------------------------
+    def add_module(self, module: Module) -> "Workflow":
+        """Add a module; returns self for chaining."""
+        if module.name in self._modules:
+            raise ValueError(f"duplicate module name {module.name!r}")
+        unknown = set(module.parameters) - set(self.space.names)
+        if unknown:
+            raise ValueError(
+                f"module {module.name!r} references parameters outside the "
+                f"workflow space: {sorted(unknown)}"
+            )
+        self._modules[module.name] = module
+        return self
+
+    def connect(
+        self, source: str, source_port: str, target: str, target_port: str
+    ) -> "Workflow":
+        """Wire an output port to a downstream input port."""
+        if source not in self._modules:
+            raise ValueError(f"unknown source module {source!r}")
+        if target not in self._modules:
+            raise ValueError(f"unknown target module {target!r}")
+        src = self._modules[source]
+        dst = self._modules[target]
+        if source_port not in {p.name for p in src.outputs}:
+            raise ValueError(f"module {source!r} has no output port {source_port!r}")
+        if target_port not in {p.name for p in dst.inputs}:
+            raise ValueError(f"module {target!r} has no input port {target_port!r}")
+        taken = any(
+            c.target == target and c.target_port == target_port
+            for c in self._connections
+        )
+        if taken:
+            raise ValueError(
+                f"input port {target}.{target_port} already has a connection"
+            )
+        self._connections.append(Connection(source, source_port, target, target_port))
+        self._topo_cache: tuple[str, ...] | None = None
+        return self
+
+    @property
+    def modules(self) -> tuple[Module, ...]:
+        return tuple(self._modules.values())
+
+    @property
+    def connections(self) -> tuple[Connection, ...]:
+        return tuple(self._connections)
+
+    @property
+    def sink(self) -> tuple[str, str]:
+        if self._sink is not None:
+            return self._sink
+        if not self._modules:
+            raise ValueError("workflow has no modules")
+        last = list(self._modules.values())[-1]
+        return (last.name, last.outputs[0].name)
+
+    # -- Validation --------------------------------------------------------
+    def topological_order(self) -> tuple[str, ...]:
+        """Module names in a valid execution order.
+
+        Raises:
+            CycleError: if the connection graph is cyclic.
+        """
+        in_degree = {name: 0 for name in self._modules}
+        children: dict[str, set[str]] = {name: set() for name in self._modules}
+        for connection in self._connections:
+            if connection.target not in children[connection.source]:
+                children[connection.source].add(connection.target)
+                in_degree[connection.target] += 1
+        ready = [name for name, degree in in_degree.items() if degree == 0]
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for child in sorted(children[current]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._modules):
+            raise CycleError(f"workflow {self.name!r} contains a cycle")
+        return tuple(order)
+
+    def validate(self) -> None:
+        """Check structural well-formedness: acyclic, all inputs wired."""
+        self.topological_order()
+        wired = {(c.target, c.target_port) for c in self._connections}
+        for module in self._modules.values():
+            for port in module.inputs:
+                if (module.name, port.name) not in wired:
+                    raise ValueError(
+                        f"input port {module.name}.{port.name} is not connected"
+                    )
+        sink_module, sink_port = self.sink
+        if sink_module not in self._modules:
+            raise ValueError(f"sink module {sink_module!r} does not exist")
+        if sink_port not in {p.name for p in self._modules[sink_module].outputs}:
+            raise ValueError(f"sink port {sink_module}.{sink_port} does not exist")
+
+    # -- Execution ----------------------------------------------------------
+    def execute(self, instance: Instance) -> WorkflowResult:
+        """Run the workflow for one pipeline instance.
+
+        Raises:
+            ModuleError: when any module crashes (callers typically map
+                this to ``Outcome.FAIL`` via the evaluation layer).
+            ValueError: when the instance does not match the space or
+                the workflow is malformed.
+        """
+        self.space.validate(instance)
+        self.validate()
+        outputs: dict[tuple[str, str], object] = {}
+        trace: list[str] = []
+        inbound: dict[str, list[Connection]] = {}
+        for connection in self._connections:
+            inbound.setdefault(connection.target, []).append(connection)
+
+        for name in self.topological_order():
+            module = self._modules[name]
+            inputs: dict[str, object] = {}
+            for connection in inbound.get(name, []):
+                inputs[connection.target_port] = outputs[
+                    (connection.source, connection.source_port)
+                ]
+            result = module.run(inputs, instance)
+            trace.append(name)
+            for port_name, value in result.items():
+                outputs[(name, port_name)] = value
+
+        sink_value = outputs[self.sink]
+        return WorkflowResult(
+            outputs=outputs, sink_value=sink_value, trace=tuple(trace)
+        )

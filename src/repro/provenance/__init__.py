@@ -1,0 +1,23 @@
+"""Provenance capture and storage (substrate S4).
+
+Execution records, in-memory and SQLite stores, recording executors,
+and JSONL/CSV log interchange.
+"""
+
+from .log import RecordingExecutor, read_csv, read_jsonl, write_csv, write_jsonl
+from .record import ProvenanceRecord, decode_value, encode_value
+from .store import InMemoryProvenanceStore, ProvenanceStore, SQLiteProvenanceStore
+
+__all__ = [
+    "InMemoryProvenanceStore",
+    "ProvenanceRecord",
+    "ProvenanceStore",
+    "RecordingExecutor",
+    "SQLiteProvenanceStore",
+    "decode_value",
+    "encode_value",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,125 @@
+"""Provenance logging: recording executors and log file import/export.
+
+``RecordingExecutor`` wraps any black-box executor so that every run is
+captured into a :class:`~repro.provenance.store.ProvenanceStore` as a
+side effect -- the pattern the paper assumes when it says pipelines run
+under a provenance-enabled workflow system.  The module also reads and
+writes JSONL and CSV execution logs, the interchange formats used to
+feed the baseline tools (Data X-Ray's feature files, Explanation
+Tables' input relation).
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..core.history import ExecutionHistory
+from ..core.types import Executor, Instance, Outcome
+from .record import ProvenanceRecord
+from .store import ProvenanceStore
+
+__all__ = [
+    "RecordingExecutor",
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "read_csv",
+]
+
+
+class RecordingExecutor:
+    """Wraps an executor; every call is appended to a provenance store."""
+
+    def __init__(
+        self,
+        inner: Executor,
+        store: ProvenanceStore,
+        workflow: str = "pipeline",
+        clock=time.time,
+    ):
+        self._inner = inner
+        self._store = store
+        self._workflow = workflow
+        self._clock = clock
+
+    def __call__(self, instance: Instance) -> Outcome:
+        started = self._clock()
+        outcome = self._inner(instance)
+        finished = self._clock()
+        self._store.add(
+            ProvenanceRecord(
+                workflow=self._workflow,
+                instance=instance,
+                outcome=outcome,
+                cost=finished - started,
+                created_at=started,
+            )
+        )
+        return outcome
+
+
+def write_jsonl(records: Iterable[ProvenanceRecord], path: str | Path) -> int:
+    """Write records as one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_json())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[ProvenanceRecord]:
+    """Read a JSONL provenance log."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(ProvenanceRecord.from_json(line))
+    return records
+
+
+def write_csv(history: ExecutionHistory, path: str | Path) -> int:
+    """Write a history as a flat CSV: one parameter column + outcome.
+
+    This is the relational layout Explanation Tables consumes (a table
+    of categorical attributes with one binary outcome column).  All
+    values are stringified; use JSONL when type fidelity matters.
+    """
+    instances = history.instances
+    if not instances:
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            csv.writer(handle).writerow(["outcome"])
+        return 0
+    names = sorted(instances[0].keys())
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names + ["outcome"])
+        for instance in instances:
+            outcome = history.outcome_of(instance)
+            assert outcome is not None
+            writer.writerow([str(instance[name]) for name in names] + [outcome.value])
+            count += 1
+    return count
+
+
+def read_csv(path: str | Path) -> ExecutionHistory:
+    """Read a CSV log written by :func:`write_csv` (values stay strings)."""
+    history = ExecutionHistory()
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header == ["outcome"]:
+            return history
+        names = header[:-1]
+        for row in reader:
+            if not row:
+                continue
+            instance = Instance(dict(zip(names, row[:-1])))
+            history.record(instance, Outcome(row[-1]))
+    return history

@@ -1,0 +1,145 @@
+"""Provenance records: durable descriptions of pipeline executions.
+
+BugDoc "makes use of iteration and provenance": every executed instance,
+its parameter-value pairs, and its evaluation outcome are captured as a
+:class:`ProvenanceRecord`.  Records are the serialization-friendly twin
+of :class:`~repro.core.types.Evaluation` -- plain data with a stable
+JSON encoding so they can live in the SQLite store and in exported log
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from ..core.types import Evaluation, Instance, Outcome
+
+__all__ = ["ProvenanceRecord", "encode_value", "decode_value"]
+
+_TYPE_TAGS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "none": type(None),
+}
+
+
+def encode_value(value: object) -> str:
+    """Encode one parameter value (or result) as a typed JSON string.
+
+    Round-trips int, float, str, bool, and None exactly; any other type
+    degrades to its ``repr`` (sufficient for provenance display, not for
+    re-execution -- workloads in this repository only use scalar
+    parameter values).
+    """
+    if isinstance(value, bool):  # bool first: bool is a subclass of int
+        return json.dumps({"t": "bool", "v": value})
+    if isinstance(value, int):
+        return json.dumps({"t": "int", "v": value})
+    if isinstance(value, float):
+        return json.dumps({"t": "float", "v": value})
+    if isinstance(value, str):
+        return json.dumps({"t": "str", "v": value})
+    if value is None:
+        return json.dumps({"t": "none", "v": None})
+    return json.dumps({"t": "repr", "v": repr(value)})
+
+
+def decode_value(encoded: str) -> object:
+    """Invert :func:`encode_value` (repr-tagged values stay strings)."""
+    payload = json.loads(encoded)
+    tag, value = payload["t"], payload["v"]
+    if tag == "none":
+        return None
+    if tag in ("int", "float", "str", "bool"):
+        return _TYPE_TAGS[tag](value)
+    return value  # repr fallback
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One pipeline execution, as stored.
+
+    Attributes:
+        record_id: store-assigned identifier (None until persisted).
+        workflow: name of the pipeline the instance ran against.
+        instance: the parameter-value assignment.
+        outcome: evaluation result (succeed / fail).
+        result: raw pipeline result (e.g. the F-measure score).
+        cost: wall-clock seconds (or simulated cost units).
+        created_at: POSIX timestamp of the run; 0.0 when unknown.
+        metadata: free-form annotations (worker id, algorithm tag, ...).
+    """
+
+    workflow: str
+    instance: Instance
+    outcome: Outcome
+    result: object = None
+    cost: float = 0.0
+    created_at: float = 0.0
+    record_id: int | None = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def to_evaluation(self) -> Evaluation:
+        """Project to the in-memory evaluation the algorithms consume."""
+        return Evaluation(
+            instance=self.instance,
+            outcome=self.outcome,
+            result=self.result,
+            cost=self.cost,
+            metadata=dict(self.metadata),
+        )
+
+    @staticmethod
+    def from_evaluation(
+        evaluation: Evaluation, workflow: str, created_at: float = 0.0
+    ) -> "ProvenanceRecord":
+        return ProvenanceRecord(
+            workflow=workflow,
+            instance=evaluation.instance,
+            outcome=evaluation.outcome,
+            result=evaluation.result,
+            cost=evaluation.cost,
+            created_at=created_at,
+            metadata=dict(evaluation.metadata),
+        )
+
+    def to_json(self) -> str:
+        """A single-line JSON encoding (JSONL log format)."""
+        return json.dumps(
+            {
+                "workflow": self.workflow,
+                "instance": {
+                    name: json.loads(encode_value(value))
+                    for name, value in sorted(self.instance.items())
+                },
+                "outcome": self.outcome.value,
+                "result": json.loads(encode_value(self.result)),
+                "cost": self.cost,
+                "created_at": self.created_at,
+                "metadata": {k: repr(v) for k, v in sorted(self.metadata.items())},
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "ProvenanceRecord":
+        payload = json.loads(line)
+        instance = Instance(
+            {
+                name: decode_value(json.dumps(encoded))
+                for name, encoded in payload["instance"].items()
+            }
+        )
+        return ProvenanceRecord(
+            workflow=payload["workflow"],
+            instance=instance,
+            outcome=Outcome(payload["outcome"]),
+            result=decode_value(json.dumps(payload["result"])),
+            cost=payload.get("cost", 0.0),
+            created_at=payload.get("created_at", 0.0),
+            metadata=payload.get("metadata", {}),
+        )

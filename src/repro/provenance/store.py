@@ -1,0 +1,246 @@
+"""Provenance stores: queryable repositories of execution records.
+
+Two backends share one interface: an in-memory store for debugging
+sessions, and a SQLite store for durable provenance (the paper's
+prototype analyzes VisTrails provenance databases; SQLite is the
+faithful laptop-scale equivalent).  Both support outcome filtering,
+predicate filtering (e.g. "all failing runs with LibraryVersion = 2.0"),
+conversion to :class:`~repro.core.history.ExecutionHistory`, and
+parameter-value-universe extraction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from collections.abc import Iterable, Iterator
+
+from ..core.history import ExecutionHistory
+from ..core.predicates import Conjunction
+from ..core.types import Instance, Outcome, Value
+from .record import ProvenanceRecord, decode_value, encode_value
+
+__all__ = ["ProvenanceStore", "InMemoryProvenanceStore", "SQLiteProvenanceStore"]
+
+
+class ProvenanceStore:
+    """Interface shared by the provenance backends."""
+
+    def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        """Persist one record; returns it with ``record_id`` assigned."""
+        raise NotImplementedError
+
+    def records(self) -> Iterator[ProvenanceRecord]:
+        """All records in insertion order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- Shared derived operations ------------------------------------------
+    def add_all(self, records: Iterable[ProvenanceRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def query(
+        self,
+        outcome: Outcome | None = None,
+        where: Conjunction | None = None,
+        workflow: str | None = None,
+    ) -> list[ProvenanceRecord]:
+        """Filter records by outcome, a predicate conjunction, and workflow."""
+        matched = []
+        for record in self.records():
+            if outcome is not None and record.outcome is not outcome:
+                continue
+            if workflow is not None and record.workflow != workflow:
+                continue
+            if where is not None and not where.satisfied_by(record.instance):
+                continue
+            matched.append(record)
+        return matched
+
+    def to_history(self, workflow: str | None = None) -> ExecutionHistory:
+        """Project the store into an algorithm-facing execution history.
+
+        Duplicate instances are collapsed by the history itself; a
+        contradictory pair (same instance, both outcomes) raises, which
+        surfaces non-deterministic pipelines early.
+        """
+        history = ExecutionHistory()
+        for record in self.records():
+            if workflow is not None and record.workflow != workflow:
+                continue
+            if history.outcome_of(record.instance) is None:
+                history.append(record.to_evaluation())
+        return history
+
+    def value_universe(self) -> dict[str, set[Value]]:
+        """Definition 1's universe ``U`` over everything recorded."""
+        universe: dict[str, set[Value]] = {}
+        for record in self.records():
+            for name, value in record.instance.items():
+                universe.setdefault(name, set()).add(value)
+        return universe
+
+    def count_by_outcome(self) -> dict[Outcome, int]:
+        counts = {Outcome.SUCCEED: 0, Outcome.FAIL: 0}
+        for record in self.records():
+            counts[record.outcome] += 1
+        return counts
+
+
+class InMemoryProvenanceStore(ProvenanceStore):
+    """Append-only list-backed store (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._records: list[ProvenanceRecord] = []
+        self._lock = threading.Lock()
+
+    def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        with self._lock:
+            assigned = ProvenanceRecord(
+                workflow=record.workflow,
+                instance=record.instance,
+                outcome=record.outcome,
+                result=record.result,
+                cost=record.cost,
+                created_at=record.created_at,
+                record_id=len(self._records) + 1,
+                metadata=record.metadata,
+            )
+            self._records.append(assigned)
+        return assigned
+
+    def records(self) -> Iterator[ProvenanceRecord]:
+        return iter(list(self._records))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class SQLiteProvenanceStore(ProvenanceStore):
+    """SQLite-backed store; pass ``":memory:"`` for an ephemeral database.
+
+    Schema::
+
+        runs(id INTEGER PRIMARY KEY, workflow TEXT, outcome TEXT,
+             result TEXT, cost REAL, created_at REAL)
+        bindings(run_id INTEGER, name TEXT, value TEXT,
+                 PRIMARY KEY (run_id, name))
+
+    ``bindings`` holds one row per parameter-value pair, making
+    parameter-level SQL analysis possible (``GROUP BY name, value``),
+    which is how provenance systems expose pipeline configurations.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._connection.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS runs (
+                    id INTEGER PRIMARY KEY AUTOINCREMENT,
+                    workflow TEXT NOT NULL,
+                    outcome TEXT NOT NULL,
+                    result TEXT,
+                    cost REAL NOT NULL DEFAULT 0,
+                    created_at REAL NOT NULL DEFAULT 0
+                );
+                CREATE TABLE IF NOT EXISTS bindings (
+                    run_id INTEGER NOT NULL REFERENCES runs(id),
+                    name TEXT NOT NULL,
+                    value TEXT NOT NULL,
+                    PRIMARY KEY (run_id, name)
+                );
+                CREATE INDEX IF NOT EXISTS idx_bindings_name_value
+                    ON bindings(name, value);
+                """
+            )
+            self._connection.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        with self._lock:
+            cursor = self._connection.execute(
+                "INSERT INTO runs (workflow, outcome, result, cost, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    record.workflow,
+                    record.outcome.value,
+                    encode_value(record.result),
+                    record.cost,
+                    record.created_at,
+                ),
+            )
+            run_id = cursor.lastrowid
+            self._connection.executemany(
+                "INSERT INTO bindings (run_id, name, value) VALUES (?, ?, ?)",
+                [
+                    (run_id, name, encode_value(value))
+                    for name, value in record.instance.items()
+                ],
+            )
+            self._connection.commit()
+        return ProvenanceRecord(
+            workflow=record.workflow,
+            instance=record.instance,
+            outcome=record.outcome,
+            result=record.result,
+            cost=record.cost,
+            created_at=record.created_at,
+            record_id=run_id,
+            metadata=record.metadata,
+        )
+
+    def records(self) -> Iterator[ProvenanceRecord]:
+        with self._lock:
+            runs = self._connection.execute(
+                "SELECT id, workflow, outcome, result, cost, created_at"
+                " FROM runs ORDER BY id"
+            ).fetchall()
+            bindings = self._connection.execute(
+                "SELECT run_id, name, value FROM bindings"
+            ).fetchall()
+        by_run: dict[int, dict[str, Value]] = {}
+        for run_id, name, value in bindings:
+            by_run.setdefault(run_id, {})[name] = decode_value(value)
+        for run_id, workflow, outcome, result, cost, created_at in runs:
+            yield ProvenanceRecord(
+                workflow=workflow,
+                instance=Instance(by_run.get(run_id, {})),
+                outcome=Outcome(outcome),
+                result=decode_value(result),
+                cost=cost,
+                created_at=created_at,
+                record_id=run_id,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._connection.execute("SELECT COUNT(*) FROM runs").fetchone()
+        return int(row[0])
+
+    def failing_parameter_value_counts(self) -> dict[tuple[str, str], int]:
+        """SQL-side aggregate: how often each binding appears in failures.
+
+        A convenience for exploratory provenance analysis (the kind of
+        manual reasoning BugDoc automates): bindings sorted by failure
+        frequency are a human's first suspects.
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                """
+                SELECT b.name, b.value, COUNT(*)
+                FROM bindings b JOIN runs r ON r.id = b.run_id
+                WHERE r.outcome = ?
+                GROUP BY b.name, b.value
+                ORDER BY COUNT(*) DESC
+                """,
+                (Outcome.FAIL.value,),
+            ).fetchall()
+        return {(name, value): count for name, value, count in rows}

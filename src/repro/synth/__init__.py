@@ -1,0 +1,19 @@
+"""Synthetic pipeline benchmark (substrate S14, Section 5.1)."""
+
+from .generator import (
+    SyntheticConfig,
+    SyntheticPipeline,
+    generate_pipeline,
+    generate_space,
+)
+from .scenarios import Scenario, make_suite, scenario_config
+
+__all__ = [
+    "Scenario",
+    "SyntheticConfig",
+    "SyntheticPipeline",
+    "generate_pipeline",
+    "generate_space",
+    "make_suite",
+    "scenario_config",
+]

@@ -1,0 +1,255 @@
+"""Synthetic pipeline benchmark generator (Section 5.1).
+
+"The pipelines have between three and fifteen parameters, and each
+parameter has between five and thirty values.  The parameter values are
+either ordinal (e.g. temperature) or categorical (e.g. color), each
+with probability 1/2.  Each synthetic pipeline consists of a parameter
+space and a definitive root cause of failure automatically generated as
+follows: (1) uniformly sample a non-empty subset of parameters to be
+part of a conjunction; (2) for each parameter in the subset, uniformly
+sample from its values; (3) for each parameter-value pair, uniformly
+sample from the set of comparators C = {=, <=, >, !=}; (4) after adding
+a conjunctive root cause, add another conjunctive root cause with a
+certain probability."
+
+A generated pipeline's oracle fails exactly when the planted
+disjunction is satisfied, so ground truth is available by construction;
+the generator additionally *verifies* (on small spaces) or *normalizes*
+(pairwise subsumption pruning) the planted causes to keep them minimal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..core.history import ExecutionHistory
+from ..core.predicates import Comparator, Conjunction, Disjunction, Predicate
+from ..core.rootcause import is_minimal_definitive_root_cause, prune_to_minimal
+from ..core.types import (
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+__all__ = ["SyntheticPipeline", "SyntheticConfig", "generate_pipeline", "generate_space"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Shape of the generated benchmark pipeline.
+
+    Defaults follow Section 5.1.  ``cause_arities`` fixes the number of
+    predicates in each planted conjunction (one entry per conjunct);
+    the scenario factories in :mod:`repro.synth.scenarios` use it to
+    produce the paper's three root-cause shapes.
+    """
+
+    min_parameters: int = 3
+    max_parameters: int = 15
+    min_values: int = 5
+    max_values: int = 30
+    ordinal_probability: float = 0.5
+    cause_arities: tuple[int, ...] = (2,)
+    verify_minimality_up_to: int = 60_000
+    verify_max_checks: int = 1_500
+    verify_attempts: int = 5
+
+
+@dataclass
+class SyntheticPipeline:
+    """One generated benchmark pipeline with known ground truth.
+
+    Attributes:
+        name: identifier used in reports.
+        space: the parameter space.
+        true_causes: the planted minimal definitive root causes.
+        failure_law: the full planted disjunction (== OR of true_causes).
+    """
+
+    name: str
+    space: ParameterSpace
+    true_causes: list[Conjunction]
+    failure_law: Disjunction = field(default_factory=Disjunction)
+
+    def oracle(self, instance: Instance) -> Outcome:
+        """Ground-truth executor: fail iff the planted law is satisfied."""
+        return (
+            Outcome.FAIL
+            if self.failure_law.satisfied_by(instance)
+            else Outcome.SUCCEED
+        )
+
+    def initial_history(
+        self, rng: random.Random, size: int = 6, max_draws: int = 500
+    ) -> ExecutionHistory:
+        """Random prior provenance with at least one failure and success.
+
+        These are the "given, previously run instances" of the problem
+        definition; they are free of charge to every debugging method.
+        """
+        history = ExecutionHistory()
+        draws = 0
+        while (
+            len(history) < size
+            or not history.failures
+            or not history.successes
+        ) and draws < max_draws:
+            instance = self.space.random_instance(rng)
+            draws += 1
+            if instance not in history:
+                history.record(instance, self.oracle(instance))
+        return history
+
+    def failing_instance(self, rng: random.Random, max_draws: int = 2000) -> Instance:
+        """Sample one failing instance (guaranteed to exist by construction)."""
+        for cause in self.true_causes:
+            instance = cause.sample_satisfying(self.space, rng)
+            if instance is not None:
+                return instance
+        for __ in range(max_draws):  # pragma: no cover - fallback path
+            instance = self.space.random_instance(rng)
+            if self.oracle(instance) is Outcome.FAIL:
+                return instance
+        raise RuntimeError("could not sample a failing instance")
+
+
+def generate_space(config: SyntheticConfig, rng: random.Random) -> ParameterSpace:
+    """Sample a parameter space with the paper's shape distribution."""
+    n_parameters = rng.randint(config.min_parameters, config.max_parameters)
+    parameters = []
+    for index in range(n_parameters):
+        n_values = rng.randint(config.min_values, config.max_values)
+        if rng.random() < config.ordinal_probability:
+            start = rng.randint(-10, 10)
+            step = rng.choice((1, 2, 5))
+            domain = tuple(float(start + i * step) for i in range(n_values))
+            parameters.append(
+                Parameter(f"p{index}", domain, ParameterKind.ORDINAL)
+            )
+        else:
+            domain = tuple(f"p{index}_v{j}" for j in range(n_values))
+            parameters.append(Parameter(f"p{index}", domain))
+    return ParameterSpace(parameters)
+
+
+def _sample_predicate(parameter: Parameter, rng: random.Random) -> Predicate:
+    """Steps 2-3: uniform value, uniform comparator (kind-respecting)."""
+    value = rng.choice(parameter.domain)
+    if parameter.is_ordinal:
+        comparator = rng.choice(
+            (Comparator.EQ, Comparator.NEQ, Comparator.LE, Comparator.GT)
+        )
+        # Degenerate guards: "<= max" and "> max" are all-true/all-false.
+        if comparator is Comparator.LE and value == parameter.domain[-1]:
+            value = rng.choice(parameter.domain[:-1])
+        if comparator is Comparator.GT and value == parameter.domain[-1]:
+            value = rng.choice(parameter.domain[:-1])
+    else:
+        comparator = rng.choice((Comparator.EQ, Comparator.NEQ))
+    return Predicate(parameter.name, comparator, value)
+
+
+def _sample_conjunction(
+    space: ParameterSpace, arity: int, rng: random.Random, max_attempts: int = 200
+) -> Conjunction:
+    """Step 1 + 2 + 3: one planted conjunction of the requested arity.
+
+    Rejects degenerate draws: unsatisfiable conjunctions and
+    conjunctions satisfied by the *entire* space (an always-fail
+    pipeline has nothing to debug).
+    """
+    arity = min(arity, len(space))
+    for __ in range(max_attempts):
+        names = rng.sample(list(space.names), arity)
+        conjunction = Conjunction(
+            _sample_predicate(space[name], rng) for name in names
+        )
+        sets = conjunction.canonical(space)
+        if len(sets) != arity:  # some predicate degenerated to all-true
+            continue
+        if all(values for values in sets.values()):
+            return conjunction
+    raise RuntimeError("could not sample a satisfiable conjunction")
+
+
+def generate_pipeline(
+    name: str,
+    config: SyntheticConfig | None = None,
+    seed: int = 0,
+    space: ParameterSpace | None = None,
+) -> SyntheticPipeline:
+    """Generate one synthetic pipeline with planted, verified root causes.
+
+    Args:
+        name: pipeline identifier.
+        config: shape configuration (paper defaults).
+        seed: RNG seed; pipelines are fully deterministic given
+            (config, seed).
+        space: optionally reuse an existing space instead of sampling.
+    """
+    config = config or SyntheticConfig()
+    rng = random.Random(seed)
+    space = space if space is not None else generate_space(config, rng)
+
+    def draw() -> SyntheticPipeline:
+        causes: list[Conjunction] = []
+        for arity in config.cause_arities:
+            causes.append(_sample_conjunction(space, arity, rng))
+        causes = prune_to_minimal(causes, space)
+        return SyntheticPipeline(
+            name=name,
+            space=space,
+            true_causes=causes,
+            failure_law=Disjunction(causes),
+        )
+
+    pipeline = draw()
+    # Verify that every planted conjunct really is a minimal definitive
+    # root cause of the *joint* law: overlapping conjuncts can make a
+    # planted cause non-minimal (a sub-conjunction becomes definitive
+    # through the union), which would corrupt the benchmark's ground
+    # truth.  Resample until the draw is clean.  Verification samples at
+    # most ``verify_max_checks`` instances per satisfying set -- exact on
+    # small regions, probabilistic on large ones (the failure modes it
+    # guards against are gross overlaps, which sampling catches).
+    if space.size() <= config.verify_minimality_up_to:
+        verify_rng = random.Random(seed + 1)
+
+        def clean(p: SyntheticPipeline) -> bool:
+            if len(p.true_causes) != len(config.cause_arities):
+                return False
+            return all(
+                is_minimal_definitive_root_cause(
+                    cause,
+                    space,
+                    p.oracle,
+                    max_checks=config.verify_max_checks,
+                    rng=verify_rng,
+                )
+                for cause in p.true_causes
+            )
+
+        for __ in range(config.verify_attempts):
+            if clean(pipeline):
+                return pipeline
+            pipeline = draw()
+        # Fall back to the last draw with non-minimal conjuncts pruned;
+        # the failure law keeps all conjuncts so the bug is unchanged.
+        verified = [
+            cause
+            for cause in pipeline.true_causes
+            if is_minimal_definitive_root_cause(
+                cause,
+                space,
+                pipeline.oracle,
+                max_checks=config.verify_max_checks,
+                rng=verify_rng,
+            )
+        ]
+        if verified:
+            pipeline.true_causes = verified
+    return pipeline

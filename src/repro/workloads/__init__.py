@@ -1,0 +1,43 @@
+"""Real-world pipeline simulators (substrates S15-S18, Section 5.3).
+
+Each workload exposes the same black-box surface the paper debugs --
+a :class:`~repro.core.types.ParameterSpace` plus an executor -- with
+planted, documented ground truth (see DESIGN.md for the substitutions):
+
+* :mod:`~repro.workloads.ml_pipeline` -- the Figure 1 classification
+  pipeline over real (from-scratch) estimators with a buggy library
+  version;
+* :mod:`~repro.workloads.data_polygamy` -- the crash-debugging VisTrails
+  experiment (12 parameters);
+* :mod:`~repro.workloads.gan_training` -- SAGAN mode-collapse hunting
+  (6 parameters x 5 values, FID threshold);
+* :mod:`~repro.workloads.dbsherlock` -- TPC-C performance anomalies in
+  historical (replay-only) mode, 202 stats reduced to 15 x 8 buckets.
+"""
+
+from . import data_polygamy, dbsherlock, gan_training, ml_pipeline
+from .classifiers import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LibraryFacade,
+    LogisticRegressionClassifier,
+    cross_val_f1,
+    macro_f1,
+)
+from .datasets import DATASET_NAMES, Dataset, load_dataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "DecisionTreeClassifier",
+    "GradientBoostingClassifier",
+    "LibraryFacade",
+    "LogisticRegressionClassifier",
+    "cross_val_f1",
+    "data_polygamy",
+    "dbsherlock",
+    "gan_training",
+    "load_dataset",
+    "macro_f1",
+    "ml_pipeline",
+]

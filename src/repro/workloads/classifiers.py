@@ -1,0 +1,317 @@
+"""From-scratch classifiers for the Figure 1 machine-learning pipeline.
+
+The paper's running example compares logistic regression, decision
+trees, and gradient boosting across datasets under two versions of the
+ML library, where version 2.0 contains an injected bug.  No third-party
+ML library is available offline, so the estimators are implemented here
+with numpy:
+
+* :class:`LogisticRegressionClassifier` -- multinomial softmax
+  regression trained with full-batch gradient descent;
+* :class:`DecisionTreeClassifier` -- CART with Gini impurity;
+* :class:`GradientBoostingClassifier` -- one-vs-rest boosted regression
+  stumps on squared error of class indicators (a compact but genuine
+  boosting implementation).
+
+The *library version* is modeled explicitly: ``LibraryFacade`` exposes
+``fit_predict`` keyed by estimator name and version string, and version
+"2.0" injects the bug the debugging experiments hunt -- labels are
+silently permuted during training, crippling every estimator exactly as
+a broken release would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LogisticRegressionClassifier",
+    "DecisionTreeClassifier",
+    "GradientBoostingClassifier",
+    "LibraryFacade",
+    "cross_val_f1",
+    "macro_f1",
+    "ESTIMATOR_NAMES",
+]
+
+ESTIMATOR_NAMES = ("logistic_regression", "decision_tree", "gradient_boosting")
+
+
+class LogisticRegressionClassifier:
+    """Multinomial softmax regression, full-batch gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 200, l2: float = 1e-3):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        n_samples, n_features = X.shape
+        n_classes = int(y.max()) + 1
+        mean = X.mean(axis=0)
+        scale = X.std(axis=0) + 1e-9
+        self._mean, self._scale = mean, scale
+        Xs = (X - mean) / scale
+        W = np.zeros((n_features, n_classes))
+        b = np.zeros(n_classes)
+        onehot = np.eye(n_classes)[y]
+        for __ in range(self.epochs):
+            logits = Xs @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probabilities = exp / exp.sum(axis=1, keepdims=True)
+            gradient = Xs.T @ (probabilities - onehot) / n_samples + self.l2 * W
+            W -= self.learning_rate * gradient
+            b -= self.learning_rate * (probabilities - onehot).mean(axis=0)
+        self._weights, self._bias = W, b
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("classifier is not fitted")
+        Xs = (X - self._mean) / self._scale
+        return np.argmax(Xs @ self._weights + self._bias, axis=1)
+
+
+class DecisionTreeClassifier:
+    """CART with Gini impurity and threshold splits."""
+
+    def __init__(self, max_depth: int = 12, min_samples_split: int = 2):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self._tree: dict | None = None
+        self._n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        self._n_classes = int(y.max()) + 1
+        self._tree = self._build(X, y, 0)
+        return self
+
+    def _gini(self, y: np.ndarray) -> float:
+        if len(y) == 0:
+            return 0.0
+        counts = np.bincount(y, minlength=self._n_classes)
+        proportions = counts / len(y)
+        return float(1.0 - np.sum(proportions**2))
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> dict:
+        majority = int(np.bincount(y, minlength=self._n_classes).argmax())
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or len(np.unique(y)) == 1
+        ):
+            return {"leaf": majority}
+        best_gain, best = 0.0, None
+        parent_gini = self._gini(y)
+        for feature in range(X.shape[1]):
+            values = np.unique(X[:, feature])
+            if len(values) < 2:
+                continue
+            # Candidate thresholds: midpoints of up to 16 quantile cuts.
+            if len(values) > 16:
+                cuts = np.quantile(values, np.linspace(0.05, 0.95, 16))
+            else:
+                cuts = (values[:-1] + values[1:]) / 2.0
+            for threshold in np.unique(cuts):
+                mask = X[:, feature] <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == len(y):
+                    continue
+                gain = parent_gini - (
+                    n_left / len(y) * self._gini(y[mask])
+                    + (len(y) - n_left) / len(y) * self._gini(y[~mask])
+                )
+                if gain > best_gain:
+                    best_gain, best = gain, (feature, float(threshold), mask)
+        if best is None:
+            return {"leaf": majority}
+        feature, threshold, mask = best
+        return {
+            "feature": feature,
+            "threshold": threshold,
+            "left": self._build(X[mask], y[mask], depth + 1),
+            "right": self._build(X[~mask], y[~mask], depth + 1),
+        }
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._tree is None:
+            raise RuntimeError("classifier is not fitted")
+        out = np.empty(len(X), dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._tree
+            while "leaf" not in node:
+                node = (
+                    node["left"]
+                    if row[node["feature"]] <= node["threshold"]
+                    else node["right"]
+                )
+            out[i] = node["leaf"]
+        return out
+
+
+class _Stump:
+    """Depth-1 regression tree (boosting weak learner)."""
+
+    __slots__ = ("feature", "threshold", "left_value", "right_value")
+
+    def fit(self, X: np.ndarray, residuals: np.ndarray) -> "_Stump":
+        best_sse = np.inf
+        self.feature, self.threshold = 0, 0.0
+        self.left_value = self.right_value = float(residuals.mean())
+        for feature in range(X.shape[1]):
+            values = np.unique(X[:, feature])
+            if len(values) < 2:
+                continue
+            cuts = (
+                np.quantile(values, np.linspace(0.1, 0.9, 8))
+                if len(values) > 8
+                else (values[:-1] + values[1:]) / 2.0
+            )
+            for threshold in np.unique(cuts):
+                mask = X[:, feature] <= threshold
+                if not mask.any() or mask.all():
+                    continue
+                left = residuals[mask].mean()
+                right = residuals[~mask].mean()
+                sse = float(
+                    ((residuals[mask] - left) ** 2).sum()
+                    + ((residuals[~mask] - right) ** 2).sum()
+                )
+                if sse < best_sse:
+                    best_sse = sse
+                    self.feature, self.threshold = feature, float(threshold)
+                    self.left_value, self.right_value = float(left), float(right)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        mask = X[:, self.feature] <= self.threshold
+        return np.where(mask, self.left_value, self.right_value)
+
+
+class GradientBoostingClassifier:
+    """One-vs-rest gradient boosting with regression stumps."""
+
+    def __init__(self, n_estimators: int = 30, learning_rate: float = 0.4):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self._stumps: list[list[_Stump]] = []
+        self._base: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        n_classes = int(y.max()) + 1
+        indicators = np.eye(n_classes)[y]
+        self._base = indicators.mean(axis=0)
+        predictions = np.tile(self._base, (len(y), 1))
+        self._stumps = [[] for __ in range(n_classes)]
+        for __round in range(self.n_estimators):
+            for cls in range(n_classes):
+                residuals = indicators[:, cls] - predictions[:, cls]
+                stump = _Stump().fit(X, residuals)
+                self._stumps[cls].append(stump)
+                predictions[:, cls] += self.learning_rate * stump.predict(X)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._base is None:
+            raise RuntimeError("classifier is not fitted")
+        scores = np.tile(self._base, (len(X), 1))
+        for cls, stumps in enumerate(self._stumps):
+            for stump in stumps:
+                scores[:, cls] += self.learning_rate * stump.predict(X)
+        return np.argmax(scores, axis=1)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F-measure over the classes present in ``y_true``."""
+    classes = np.unique(y_true)
+    scores = []
+    for cls in classes:
+        tp = int(np.sum((y_pred == cls) & (y_true == cls)))
+        fp = int(np.sum((y_pred == cls) & (y_true != cls)))
+        fn = int(np.sum((y_pred != cls) & (y_true == cls)))
+        if tp == 0:
+            scores.append(0.0)
+            continue
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))
+
+
+def _make_estimator(name: str):
+    if name == "logistic_regression":
+        return LogisticRegressionClassifier()
+    if name == "decision_tree":
+        return DecisionTreeClassifier()
+    if name == "gradient_boosting":
+        return GradientBoostingClassifier()
+    raise KeyError(f"unknown estimator {name!r}; choose from {ESTIMATOR_NAMES}")
+
+
+def cross_val_f1(
+    estimator_name: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    folds: int = 10,
+    corrupt_labels: bool = False,
+    seed: int = 77,
+) -> float:
+    """K-fold cross-validated macro F-measure (the pipeline's score module).
+
+    ``corrupt_labels`` injects the library-version-2.0 bug: a large
+    fraction of *training* labels is permuted before fitting, which is
+    invisible at the API surface but destroys the learned model --
+    exactly the class of silent regression the paper's examples
+    describe.
+    """
+    rng = np.random.default_rng(seed)
+    indexes = rng.permutation(len(y))
+    folds = max(2, min(folds, len(y)))
+    splits = np.array_split(indexes, folds)
+    scores = []
+    for fold in range(folds):
+        test_idx = splits[fold]
+        train_idx = np.concatenate([splits[i] for i in range(folds) if i != fold])
+        y_train = y[train_idx].copy()
+        if corrupt_labels:
+            n_corrupt = int(0.9 * len(y_train))
+            victims = rng.choice(len(y_train), size=n_corrupt, replace=False)
+            y_train[victims] = rng.integers(0, int(y.max()) + 1, size=n_corrupt)
+        model = _make_estimator(estimator_name)
+        model.fit(X[train_idx], y_train)
+        scores.append(macro_f1(y[test_idx], model.predict(X[test_idx])))
+    return float(np.mean(scores))
+
+
+@dataclass(frozen=True)
+class LibraryFacade:
+    """The versioned "ML library" the pipeline calls into.
+
+    Version "1.0" behaves correctly.  Version "2.0" ships the injected
+    training-label corruption bug.  ``buggy_versions`` can be overridden
+    to move the bug (useful for tests).
+    """
+
+    buggy_versions: tuple[str, ...] = ("2.0",)
+
+    def score(
+        self,
+        estimator_name: str,
+        version: str,
+        X: np.ndarray,
+        y: np.ndarray,
+        folds: int = 10,
+    ) -> float:
+        """Cross-validated score under the requested library version."""
+        return cross_val_f1(
+            estimator_name,
+            X,
+            y,
+            folds=folds,
+            corrupt_labels=version in self.buggy_versions,
+        )

@@ -1,0 +1,209 @@
+"""Data Polygamy experiment pipeline simulator (Section 5.3).
+
+The paper debugs a VisTrails pipeline reproducing a Data Polygamy
+(Chirigati et al., SIGMOD 2016) significance experiment: "The parameter
+space is large, consisting of 2 boolean, 3 categorical (3 to 10
+possible values), and 7 numerical parameters.  Each instance takes 20
+minutes to run ... Given a set of pipeline instances, some of which
+crash and some of which execute to completion, we want to find at least
+one minimal set of parameter-values ... which cause the execution to
+crash."
+
+Substitution (see DESIGN.md): the 20-minute statistical pipeline is
+replaced by a deterministic simulator over the same parameter-space
+shape.  The simulated pipeline performs a miniature version of the real
+computation (build spatio-temporal aggregates, run a permutation test)
+and *crashes* -- raises, like real code -- under planted conditions
+modeled on the failure classes the original experiment hit:
+
+* resolution/aggregation mismatch: weekly resolution with the
+  ``gradient`` significance method indexes past the end of the derived
+  series (an off-by-one bug in a code path only that combination takes);
+* a zero permutation count dividing by zero in the p-value estimate.
+
+Ground truth is exported for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.predicates import Comparator, Conjunction, Predicate
+from ..core.types import Instance, Outcome, Parameter, ParameterKind, ParameterSpace
+from ..pipeline.evaluation import WorkflowExecutor, predicate_evaluation
+from ..pipeline.module import Module
+from ..pipeline.workflow import Workflow
+
+__all__ = ["make_space", "make_workflow", "make_executor", "true_causes"]
+
+
+def make_space() -> ParameterSpace:
+    """2 boolean + 3 categorical + 7 numerical parameters (paper's shape)."""
+    return ParameterSpace(
+        [
+            # Booleans.
+            Parameter("fdr_correction", (False, True)),
+            Parameter("restrict_outliers", (False, True)),
+            # Categoricals (3 to 10 values).
+            Parameter(
+                "significance_method",
+                ("montecarlo", "gradient", "analytic"),
+            ),
+            Parameter(
+                "temporal_resolution", ("hour", "day", "week", "month")
+            ),
+            Parameter(
+                "spatial_aggregation",
+                ("city", "borough", "district", "tract", "block"),
+            ),
+            # Numericals (bucketed ordinals).
+            Parameter("n_permutations", (0, 100, 500, 1000, 5000), ParameterKind.ORDINAL),
+            Parameter("p_value_threshold", (0.001, 0.01, 0.05, 0.1), ParameterKind.ORDINAL),
+            Parameter("n_datasets", (10, 50, 100, 200, 300), ParameterKind.ORDINAL),
+            Parameter("feature_window", (1, 2, 4, 8, 16), ParameterKind.ORDINAL),
+            Parameter("noise_level", (0.0, 0.1, 0.2, 0.4), ParameterKind.ORDINAL),
+            Parameter("min_support", (1, 5, 10, 25), ParameterKind.ORDINAL),
+            Parameter("seed_bucket", (0, 1, 2, 3, 4, 5, 6, 7), ParameterKind.ORDINAL),
+        ]
+    )
+
+
+def true_causes() -> list[Conjunction]:
+    """The planted minimal definitive crash causes."""
+    return [
+        Conjunction(
+            [
+                Predicate("temporal_resolution", Comparator.EQ, "week"),
+                Predicate("significance_method", Comparator.EQ, "gradient"),
+            ]
+        ),
+        Conjunction([Predicate("n_permutations", Comparator.EQ, 0)]),
+    ]
+
+
+def _build_series(
+    temporal_resolution: str, feature_window: int, n_datasets: int, seed_bucket: int
+) -> list[float]:
+    """Derive the aggregate feature series the significance test consumes."""
+    lengths = {"hour": 48, "day": 30, "week": 8, "month": 12}
+    length = lengths[temporal_resolution]
+    return [
+        math.sin(0.7 * i + seed_bucket) * math.log1p(n_datasets)
+        for i in range(max(2, length // max(feature_window, 1)))
+    ]
+
+
+def _significance(
+    series: list[float],
+    significance_method: str,
+    temporal_resolution: str,
+    n_permutations: int,
+    noise_level: float,
+) -> float:
+    """The (simulated) statistical test; hosts the planted bugs."""
+    if significance_method == "gradient":
+        # Off-by-one reproduction: the gradient path assumes at least
+        # `len(series)` forward differences, which only weekly-resolution
+        # series (the shortest) violate -- an IndexError, as in the real
+        # failure class.
+        window = len(series) if temporal_resolution == "week" else len(series) - 1
+        gradient = [series[i + 1] - series[i] for i in range(window)]
+        statistic = sum(abs(g) for g in gradient) / len(gradient)
+    elif significance_method == "montecarlo":
+        statistic = sum(series) / len(series)
+    else:  # analytic
+        statistic = max(series) - min(series)
+    # Permutation-based p-value: a zero permutation count divides by zero.
+    extreme = sum(
+        1
+        for k in range(n_permutations)
+        if abs(math.sin(k * 12.9898)) * (1.0 + noise_level) >= abs(statistic)
+    )
+    return extreme / n_permutations
+
+
+def make_workflow() -> Workflow:
+    """Assemble the simulated Data Polygamy experiment DAG."""
+    space = make_space()
+    workflow = Workflow("data-polygamy", space, sink=("hypothesis_test", "out"))
+    workflow.add_module(
+        Module(
+            "build_features",
+            lambda temporal_resolution, feature_window, n_datasets, seed_bucket: (
+                _build_series(
+                    temporal_resolution, feature_window, n_datasets, seed_bucket
+                )
+            ),
+            inputs=(),
+            parameters=(
+                "temporal_resolution",
+                "feature_window",
+                "n_datasets",
+                "seed_bucket",
+            ),
+        )
+    )
+    workflow.add_module(
+        Module(
+            "clean",
+            lambda series, restrict_outliers, min_support: (
+                [s for s in series if not restrict_outliers or abs(s) < 10.0]
+                or series[: max(min_support, 1)]
+            ),
+            inputs=("series",),
+            parameters=("restrict_outliers", "min_support"),
+        )
+    )
+    workflow.add_module(
+        Module(
+            "hypothesis_test",
+            lambda series, significance_method, temporal_resolution, n_permutations, noise_level, p_value_threshold, fdr_correction, spatial_aggregation: {
+                "out": _significance(
+                    series,
+                    significance_method,
+                    temporal_resolution,
+                    n_permutations,
+                    noise_level,
+                )
+                <= (
+                    p_value_threshold / (2.0 if fdr_correction else 1.0)
+                )
+            },
+            inputs=("series",),
+            parameters=(
+                "significance_method",
+                "temporal_resolution",
+                "n_permutations",
+                "noise_level",
+                "p_value_threshold",
+                "fdr_correction",
+                "spatial_aggregation",
+            ),
+        )
+    )
+    workflow.connect("build_features", "out", "clean", "series")
+    workflow.connect("clean", "out", "hypothesis_test", "series")
+    return workflow
+
+
+def make_executor() -> WorkflowExecutor:
+    """Black box for BugDoc: any crash is the failure under investigation.
+
+    The evaluation accepts every completed run (the experiment debugs
+    *crashes*, not statistical quality), so ``fail`` means "the pipeline
+    raised".
+    """
+    return WorkflowExecutor(
+        make_workflow(),
+        predicate_evaluation(lambda result: True),
+        crash_is_fail=True,
+    )
+
+
+def oracle(instance: Instance) -> Outcome:
+    """Closed-form ground truth (used only to validate the simulator)."""
+    crash = (
+        instance["temporal_resolution"] == "week"
+        and instance["significance_method"] == "gradient"
+    ) or instance["n_permutations"] == 0
+    return Outcome.FAIL if crash else Outcome.SUCCEED

@@ -1,0 +1,76 @@
+"""Synthetic stand-ins for the paper's classification datasets.
+
+Figure 1's machine-learning pipeline explores the Iris, Digits, and
+Images datasets.  Shipping those is unnecessary for reproducing the
+debugging behaviour -- what matters is that the datasets have different
+difficulty so that estimator/dataset combinations land on both sides of
+the evaluation threshold.  We generate Gaussian-blob classification
+problems with controlled class separation:
+
+* ``iris``   -- 3 well-separated classes, 4 features (easy);
+* ``digits`` -- 10 moderately-separated classes, 16 features (medium);
+* ``images`` -- 5 poorly-separated classes, 32 features (hard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Dataset", "load_dataset", "DATASET_NAMES"]
+
+DATASET_NAMES = ("iris", "digits", "images")
+
+_SPECS = {
+    # name: (n_classes, n_features, n_per_class, separation)
+    # Separation is per-feature; effective class distance grows with
+    # sqrt(n_features), so higher-dimensional sets get smaller values.
+    "iris": (3, 4, 40, 4.0),
+    "digits": (10, 16, 25, 1.5),
+    "images": (5, 32, 40, 0.9),
+}
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A classification dataset: features ``X`` and integer labels ``y``."""
+
+    name: str
+    X: np.ndarray
+    y: np.ndarray
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.y.max()) + 1
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+
+def load_dataset(name: str, seed: int = 1234) -> Dataset:
+    """Deterministically generate one of the named datasets.
+
+    Raises:
+        KeyError: for an unknown dataset name.
+    """
+    if name not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    n_classes, n_features, n_per_class, separation = _SPECS[name]
+    # Stable per-name offset: ``hash()`` is randomized per process, which
+    # would make the "same" dataset differ across runs.
+    name_offset = int.from_bytes(name.encode("utf-8")[:4].ljust(4, b"\0"), "big")
+    rng = np.random.default_rng(seed + name_offset % 10_000)
+    centers = rng.normal(0.0, separation, size=(n_classes, n_features))
+    rows = []
+    labels = []
+    for cls in range(n_classes):
+        rows.append(
+            centers[cls] + rng.normal(0.0, 1.0, size=(n_per_class, n_features))
+        )
+        labels.append(np.full(n_per_class, cls, dtype=np.int64))
+    X = np.concatenate(rows, axis=0)
+    y = np.concatenate(labels, axis=0)
+    order = rng.permutation(len(y))
+    return Dataset(name=name, X=X[order], y=y[order])

@@ -1,0 +1,353 @@
+"""DBSherlock / TPC-C performance-anomaly workload (Section 5.3).
+
+The paper's third case study re-uses the DBSherlock dataset: TPC-C
+workload logs with "a total of 202 numerical statistics" per run and 10
+classes of injected performance anomalies, labeled normal/anomalous.
+Two special challenges carry over to this reproduction:
+
+1. *Historical mode* -- new instances cannot be executed; BugDoc reads
+   only part of the provenance and early-stops hypotheses whose test
+   instance is absent (served here by
+   :class:`~repro.pipeline.runner.ReplayExecutor`).
+2. *Dimensionality* -- 202 statistics are reduced by feature selection
+   and bucketing "to 15 parameters with 8 possible values (buckets)
+   each".
+
+Substitution (see DESIGN.md): the TPC-C server logs are generated
+synthetically.  Each of the 202 statistics has its own baseline
+distribution; each anomaly class shifts a characteristic subset of
+statistics (its *signature*), modeled on DBSherlock's anomaly classes
+(workload spike, I/O saturation, backup, CPU saturation, lock
+contention, ...).  Because the signatures are planted, exact ground
+truth for precision/recall and the 98%-accuracy holdout experiment is
+available by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.history import ExecutionHistory
+from ..core.predicates import Comparator, Conjunction, Predicate
+from ..core.types import Instance, Outcome, Parameter, ParameterKind, ParameterSpace
+
+__all__ = [
+    "ANOMALY_CLASSES",
+    "N_STATISTICS",
+    "MetricLog",
+    "DBSherlockCase",
+    "generate_metric_log",
+    "select_features",
+    "bucketize",
+    "build_case",
+    "superset_classifier_accuracy",
+]
+
+N_STATISTICS = 202
+"""Statistics per log entry, as in the DBSherlock dataset."""
+
+N_BUCKETS = 8
+N_SELECTED = 15
+
+ANOMALY_CLASSES = (
+    "workload_spike",
+    "io_saturation",
+    "db_backup",
+    "table_restart",
+    "cpu_saturation",
+    "flush_log",
+    "network_congestion",
+    "lock_contention",
+    "poor_query",
+    "poor_physical_design",
+)
+"""The 10 anomaly classes of the DBSherlock experiments."""
+
+# Statistic-index signatures: which of the 202 statistics each anomaly
+# shifts, and by how many baseline standard deviations.
+_SIGNATURES: dict[str, dict[int, float]] = {
+    "workload_spike": {3: 6.0, 17: 5.0, 42: 4.5},
+    "io_saturation": {55: 6.5, 56: 6.0, 90: 4.0},
+    "db_backup": {101: 7.0, 55: 3.5},
+    "table_restart": {120: 6.0, 121: 5.5, 9: 3.0},
+    "cpu_saturation": {0: 7.0, 1: 6.0, 63: 3.5},
+    "flush_log": {77: 6.0, 78: 5.0},
+    "network_congestion": {140: 6.5, 141: 5.5, 142: 4.0},
+    "lock_contention": {160: 7.0, 161: 6.0, 33: 3.0},
+    "poor_query": {180: 6.0, 181: 5.0, 17: 2.5},
+    "poor_physical_design": {195: 6.5, 196: 5.0, 90: 2.5},
+}
+
+
+@dataclass
+class MetricLog:
+    """Raw generated logs: a matrix of statistics plus labels.
+
+    Attributes:
+        X: float matrix, shape (n_rows, 202).
+        labels: string label per row: "normal" or an anomaly class.
+    """
+
+    X: np.ndarray
+    labels: list[str]
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.X.shape[0])
+
+
+def generate_metric_log(
+    n_normal: int = 240,
+    n_per_anomaly: int = 60,
+    seed: int = 0,
+    classes: tuple[str, ...] = ANOMALY_CLASSES,
+) -> MetricLog:
+    """Generate TPC-C-style metric logs with planted anomaly signatures."""
+    rng = np.random.default_rng(seed)
+    means = rng.uniform(10.0, 1000.0, size=N_STATISTICS)
+    scales = rng.uniform(1.0, 30.0, size=N_STATISTICS)
+
+    rows = [rng.normal(means, scales, size=(n_normal, N_STATISTICS))]
+    labels = ["normal"] * n_normal
+    for anomaly in classes:
+        if anomaly not in _SIGNATURES:
+            raise KeyError(f"unknown anomaly class {anomaly!r}")
+        block = rng.normal(means, scales, size=(n_per_anomaly, N_STATISTICS))
+        for stat_index, shift in _SIGNATURES[anomaly].items():
+            block[:, stat_index] += shift * scales[stat_index] * (
+                1.0 + 0.15 * rng.standard_normal(n_per_anomaly)
+            )
+        rows.append(block)
+        labels.extend([anomaly] * n_per_anomaly)
+    X = np.concatenate(rows, axis=0)
+    return MetricLog(X=X, labels=labels)
+
+
+def select_features(log: MetricLog, k: int = N_SELECTED) -> list[int]:
+    """Pick the ``k`` statistics most separating normal vs anomalous.
+
+    Uses a classic between/within variance ratio (Fisher score) against
+    the binary normal/anomalous split -- the paper "applied feature
+    selection ... in order to increase the probability of configurations
+    that share parameter-value combinations".
+    """
+    labels = np.array([label != "normal" for label in log.labels])
+    normal = log.X[~labels]
+    anomalous = log.X[labels]
+    mean_gap = np.abs(normal.mean(axis=0) - anomalous.mean(axis=0))
+    pooled = normal.std(axis=0) + anomalous.std(axis=0) + 1e-9
+    scores = mean_gap / pooled
+    ranked = np.argsort(-scores)
+    return sorted(int(i) for i in ranked[:k])
+
+
+def bucketize(
+    log: MetricLog, features: list[int], n_buckets: int = N_BUCKETS
+) -> tuple[ParameterSpace, list[Instance]]:
+    """Quantile-bucket the selected statistics into ordinal parameters.
+
+    Each selected statistic becomes an ordinal parameter ``stat_<i>``
+    with domain ``0..n_buckets-1``; each log row becomes an instance of
+    bucket indexes ("we ... aggregated the values in buckets").
+    """
+    edges: dict[int, np.ndarray] = {}
+    for feature in features:
+        column = log.X[:, feature]
+        quantiles = np.quantile(column, np.linspace(0, 1, n_buckets + 1)[1:-1])
+        edges[feature] = quantiles
+    space = ParameterSpace(
+        [
+            Parameter(
+                f"stat_{feature}",
+                tuple(range(n_buckets)),
+                ParameterKind.ORDINAL,
+            )
+            for feature in features
+        ]
+    )
+    instances = []
+    for row in log.X:
+        assignment = {
+            f"stat_{feature}": int(np.searchsorted(edges[feature], row[feature]))
+            for feature in features
+        }
+        instances.append(Instance(assignment))
+    return space, instances
+
+
+@dataclass
+class DBSherlockCase:
+    """One debugging problem: a single anomaly class vs normal logs.
+
+    Attributes:
+        anomaly: the anomaly class under diagnosis.
+        space: bucketized 15-parameter space.
+        training: the "given" history (50% split) -- free provenance.
+        budget_pool: additional logged instances the algorithms may
+            "execute" via replay (25% split).
+        holdout: unseen labeled instances for the accuracy experiment
+            (25% split).
+        true_causes: planted ground truth as bucket-threshold
+            conjunctions (one per selected signature statistic).
+    """
+
+    anomaly: str
+    space: ParameterSpace
+    training: ExecutionHistory
+    budget_pool: ExecutionHistory
+    holdout: list[tuple[Instance, Outcome]]
+    true_causes: list[Conjunction] = field(default_factory=list)
+
+    def replay_log(self) -> ExecutionHistory:
+        """Everything servable in historical mode: training + budget pool."""
+        merged = self.training.copy()
+        for evaluation in self.budget_pool:
+            if merged.outcome_of(evaluation.instance) is None:
+                merged.append(evaluation)
+        return merged
+
+    def make_session(self, budget: int | None = None) -> "DebugSession":
+        """A historical-mode debug session over this case.
+
+        New-instance requests are served from the budget pool via a
+        :class:`~repro.pipeline.runner.ReplayExecutor`; the DDT suspect
+        tester draws its variation candidates from the unread pool
+        (the paper's "reading only part of provenance" simulation).
+        """
+        from ..core.budget import InstanceBudget
+        from ..core.session import DebugSession
+        from ..pipeline.runner import ReplayExecutor
+
+        pool_instances = list(self.budget_pool.instances)
+
+        def candidate_source(conjunction: Conjunction, count: int) -> list[Instance]:
+            matching = [
+                instance
+                for instance in pool_instances
+                if conjunction.satisfied_by(instance)
+            ]
+            return matching[:count]
+
+        return DebugSession(
+            ReplayExecutor(self.replay_log()),
+            self.space,
+            history=self.training.copy(),
+            budget=InstanceBudget(budget),
+            candidate_source=candidate_source,
+        )
+
+
+def _dedupe_contradictions(
+    pairs: list[tuple[Instance, Outcome]],
+) -> list[tuple[Instance, Outcome]]:
+    """Drop rows whose bucket vector already appeared with the other outcome.
+
+    Bucketization can (rarely) collapse a normal and an anomalous row to
+    one vector; the deterministic-evaluation model (Definition 2)
+    requires one outcome per instance, so later contradictions lose.
+    """
+    seen: dict[Instance, Outcome] = {}
+    kept = []
+    for instance, outcome in pairs:
+        if instance in seen:
+            if seen[instance] is outcome:
+                kept.append((instance, outcome))
+            continue
+        seen[instance] = outcome
+        kept.append((instance, outcome))
+    return kept
+
+
+def build_case(
+    anomaly: str,
+    seed: int = 0,
+    n_normal: int = 240,
+    n_per_anomaly: int = 60,
+) -> DBSherlockCase:
+    """Build the full debugging problem for one anomaly class.
+
+    The 50/25/25 split follows the paper: "50% of the data was used for
+    training; 25% was the budget for pipeline instances that any
+    sub-method of BugDoc requested; and we create a 25% holdout".
+    """
+    if anomaly not in _SIGNATURES:
+        raise KeyError(f"unknown anomaly class {anomaly!r}")
+    log = generate_metric_log(
+        n_normal=n_normal,
+        n_per_anomaly=n_per_anomaly,
+        seed=seed,
+        classes=(anomaly,),
+    )
+    features = select_features(log)
+    space, instances = bucketize(log, features)
+    pairs = _dedupe_contradictions(
+        [
+            (instance, Outcome.FAIL if label != "normal" else Outcome.SUCCEED)
+            for instance, label in zip(instances, log.labels)
+        ]
+    )
+    rng = random.Random(seed + 99)
+    rng.shuffle(pairs)
+    n = len(pairs)
+    train_pairs = pairs[: n // 2]
+    budget_pairs = pairs[n // 2 : (3 * n) // 4]
+    holdout_pairs = pairs[(3 * n) // 4 :]
+
+    training = ExecutionHistory.from_pairs(train_pairs)
+    budget_pool = ExecutionHistory.from_pairs(budget_pairs)
+
+    # Ground truth: each signature statistic that survived feature
+    # selection yields a singleton high-bucket cause; verify against the
+    # actual log (the bucket threshold is where anomalies separate).
+    true_causes = []
+    replayable = train_pairs + budget_pairs + holdout_pairs
+    for stat_index in _SIGNATURES[anomaly]:
+        if stat_index not in features:
+            continue
+        name = f"stat_{stat_index}"
+        for threshold in range(N_BUCKETS - 1, 0, -1):
+            candidate = Conjunction(
+                [Predicate(name, Comparator.GT, threshold - 1)]
+            )
+            supported = any(
+                candidate.satisfied_by(i) and o is Outcome.FAIL
+                for i, o in replayable
+            )
+            refuted = any(
+                candidate.satisfied_by(i) and o is Outcome.SUCCEED
+                for i, o in replayable
+            )
+            if supported and not refuted:
+                true_causes.append(candidate)
+                break
+
+    return DBSherlockCase(
+        anomaly=anomaly,
+        space=space,
+        training=training,
+        budget_pool=budget_pool,
+        holdout=holdout_pairs,
+        true_causes=true_causes,
+    )
+
+
+def superset_classifier_accuracy(
+    causes: list[Conjunction], holdout: list[tuple[Instance, Outcome]]
+) -> float:
+    """The paper's holdout experiment: predict failure by cause superset.
+
+    "if the pipeline instance is a superset of a minimal root cause, we
+    predict failure.  This method is accurate 98% of the time."
+    """
+    if not holdout:
+        return 1.0
+    correct = 0
+    for instance, outcome in holdout:
+        predicted_fail = any(cause.satisfied_by(instance) for cause in causes)
+        actual_fail = outcome is Outcome.FAIL
+        if predicted_fail == actual_fail:
+            correct += 1
+    return correct / len(holdout)

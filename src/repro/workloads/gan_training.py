@@ -1,0 +1,169 @@
+"""GAN training pipeline simulator (Section 5.3).
+
+The paper applies BugDoc to a modified SAGAN trained on CIFAR-10,
+hunting *mode collapse*: "Our evaluation function sets a threshold on
+the Frechet Inception Distance (FID) metric, which is a proxy for mode
+collapse.  This pipeline specified only 6 parameters limited to 5
+possible values" -- with each configuration taking ~10 hours to train.
+
+Substitution (see DESIGN.md): training is replaced by a deterministic
+FID model grounded in the published GAN-stability findings the paper
+cites (Lucic et al. 2017; Brock et al. 2018): collapse is driven by the
+discriminator/generator learning-rate imbalance, by disabling spectral
+normalization at high momentum, and partially mitigated by longer
+training.  The simulator exposes the same 6x5 black box; the planted
+collapse regions are the ground truth the harness scores against.
+"""
+
+from __future__ import annotations
+
+from ..core.predicates import Comparator, Conjunction, Predicate
+from ..core.types import Instance, Outcome, Parameter, ParameterKind, ParameterSpace
+from ..pipeline.evaluation import WorkflowExecutor, predicate_evaluation
+from ..pipeline.module import Module
+from ..pipeline.workflow import Workflow
+
+__all__ = ["FID_THRESHOLD", "make_space", "make_workflow", "make_executor", "true_causes"]
+
+FID_THRESHOLD = 60.0
+"""Evaluation: succeed iff the final FID stays below this (no collapse)."""
+
+_LR_VALUES = (1e-5, 5e-5, 1e-4, 5e-4, 1e-3)
+_STEP_VALUES = (20_000, 50_000, 100_000, 200_000, 400_000)
+
+
+def make_space() -> ParameterSpace:
+    """6 parameters x 5 values, matching the paper's GAN pipeline."""
+    return ParameterSpace(
+        [
+            Parameter("lr_generator", _LR_VALUES, ParameterKind.ORDINAL),
+            Parameter("lr_discriminator", _LR_VALUES, ParameterKind.ORDINAL),
+            Parameter("beta1", (0.0, 0.25, 0.5, 0.75, 0.9), ParameterKind.ORDINAL),
+            Parameter(
+                "normalization",
+                ("spectral", "batch", "layer", "instance", "none"),
+            ),
+            Parameter("steps", _STEP_VALUES, ParameterKind.ORDINAL),
+            Parameter("batch_size", (16, 32, 64, 128, 256), ParameterKind.ORDINAL),
+        ]
+    )
+
+
+def true_causes() -> list[Conjunction]:
+    """Planted minimal definitive causes of mode collapse (FID >= threshold).
+
+    1. A discriminator overwhelming the generator: ``lr_discriminator >=
+       5e-4`` while ``lr_generator <= 5e-5`` collapses regardless of the
+       other knobs.
+    2. High momentum without spectral normalization: ``beta1 > 0.75``
+       (i.e. 0.9) with ``normalization = none`` destabilizes training.
+    """
+    return [
+        Conjunction(
+            [
+                Predicate("lr_discriminator", Comparator.GT, 1e-4),
+                Predicate("lr_generator", Comparator.LE, 5e-5),
+            ]
+        ),
+        Conjunction(
+            [
+                Predicate("beta1", Comparator.GT, 0.75),
+                Predicate("normalization", Comparator.EQ, "none"),
+            ]
+        ),
+    ]
+
+
+def simulate_fid(
+    lr_generator: float,
+    lr_discriminator: float,
+    beta1: float,
+    normalization: str,
+    steps: int,
+    batch_size: int,
+) -> float:
+    """Deterministic FID model with the planted collapse regions.
+
+    Healthy runs land in the 18-55 range (longer training and bigger
+    batches help); collapsed runs jump far above the threshold.
+    """
+    collapse = (
+        lr_discriminator > 1e-4 and lr_generator <= 5e-5
+    ) or (beta1 > 0.75 and normalization == "none")
+    if collapse:
+        # Collapsed FID: worse with the imbalance magnitude.
+        imbalance = lr_discriminator / max(lr_generator, 1e-6)
+        return 120.0 + 10.0 * min(imbalance, 50.0) ** 0.5
+
+    base = 48.0
+    # Training length and batch size improve (reduce) FID sub-linearly.
+    base -= 6.0 * (_STEP_VALUES.index(steps))
+    base -= 1.5 * ((16, 32, 64, 128, 256).index(batch_size))
+    # Mild penalties for non-spectral normalization and extreme rates.
+    if normalization != "spectral":
+        base += 4.0
+    if lr_generator >= 5e-4:
+        base += 3.0
+    if beta1 >= 0.75:
+        base += 2.0
+    return max(base, 12.0)
+
+
+def make_workflow() -> Workflow:
+    """train -> compute FID, as a two-module workflow."""
+    space = make_space()
+    workflow = Workflow("gan-training", space, sink=("fid", "out"))
+    workflow.add_module(
+        Module(
+            "train",
+            lambda lr_generator, lr_discriminator, beta1, normalization, steps, batch_size: {
+                "out": dict(
+                    lr_generator=lr_generator,
+                    lr_discriminator=lr_discriminator,
+                    beta1=beta1,
+                    normalization=normalization,
+                    steps=steps,
+                    batch_size=batch_size,
+                )
+            },
+            inputs=(),
+            parameters=(
+                "lr_generator",
+                "lr_discriminator",
+                "beta1",
+                "normalization",
+                "steps",
+                "batch_size",
+            ),
+        )
+    )
+    workflow.add_module(
+        Module(
+            "fid",
+            lambda model: simulate_fid(**model),
+            inputs=("model",),
+        )
+    )
+    workflow.connect("train", "out", "fid", "model")
+    return workflow
+
+
+def make_executor() -> WorkflowExecutor:
+    """Black box: succeed iff FID < threshold (no mode collapse)."""
+    return WorkflowExecutor(
+        make_workflow(),
+        predicate_evaluation(lambda fid: float(fid) < FID_THRESHOLD),
+    )
+
+
+def oracle(instance: Instance) -> Outcome:
+    """Closed-form ground truth (used only to validate the simulator)."""
+    fid = simulate_fid(
+        instance["lr_generator"],
+        instance["lr_discriminator"],
+        instance["beta1"],
+        instance["normalization"],
+        instance["steps"],
+        instance["batch_size"],
+    )
+    return Outcome.FAIL if fid >= FID_THRESHOLD else Outcome.SUCCEED

@@ -1,0 +1,97 @@
+"""Shared fixtures: the paper's running example and small test spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ExecutionHistory,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+
+@pytest.fixture
+def ml_space() -> ParameterSpace:
+    """The Tables 1-2 space: Dataset x Estimator x LibraryVersion."""
+    return ParameterSpace(
+        [
+            Parameter("dataset", ("iris", "digits", "images")),
+            Parameter(
+                "estimator",
+                ("logistic_regression", "decision_tree", "gradient_boosting"),
+            ),
+            Parameter("library_version", ("1.0", "2.0")),
+        ]
+    )
+
+
+@pytest.fixture
+def ml_oracle():
+    """Ground truth of Example 1: library version 2.0 always fails."""
+
+    def oracle(instance: Instance) -> Outcome:
+        return (
+            Outcome.FAIL
+            if instance["library_version"] == "2.0"
+            else Outcome.SUCCEED
+        )
+
+    return oracle
+
+
+@pytest.fixture
+def table1_pairs(ml_space):
+    """The paper's Table 1 provenance (three given instances)."""
+    return [
+        (
+            Instance(
+                {
+                    "dataset": "iris",
+                    "estimator": "logistic_regression",
+                    "library_version": "1.0",
+                }
+            ),
+            Outcome.SUCCEED,
+        ),
+        (
+            Instance(
+                {
+                    "dataset": "digits",
+                    "estimator": "decision_tree",
+                    "library_version": "1.0",
+                }
+            ),
+            Outcome.SUCCEED,
+        ),
+        (
+            Instance(
+                {
+                    "dataset": "iris",
+                    "estimator": "gradient_boosting",
+                    "library_version": "2.0",
+                }
+            ),
+            Outcome.FAIL,
+        ),
+    ]
+
+
+@pytest.fixture
+def table1_history(table1_pairs) -> ExecutionHistory:
+    return ExecutionHistory.from_pairs(table1_pairs)
+
+
+@pytest.fixture
+def mixed_space() -> ParameterSpace:
+    """A small ordinal + categorical space used across algorithm tests."""
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3, 4), ParameterKind.ORDINAL),
+            Parameter("b", ("x", "y", "z")),
+            Parameter("c", (0.0, 0.5, 1.0, 1.5), ParameterKind.ORDINAL),
+        ]
+    )

@@ -1,0 +1,221 @@
+"""Tests for SMAC, random search, Data X-Ray, and Explanation Tables."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import (
+    DataXRayConfig,
+    ExplanationTablesConfig,
+    SMACConfig,
+    data_xray,
+    explanation_tables,
+    random_search,
+    smac_search,
+)
+from repro.core import (
+    Comparator,
+    Conjunction,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+)
+
+
+def _space():
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3, 4), ParameterKind.ORDINAL),
+            Parameter("b", ("x", "y", "z")),
+            Parameter("c", (0, 1, 2), ParameterKind.ORDINAL),
+        ]
+    )
+
+
+def _oracle(instance):
+    return (
+        Outcome.FAIL
+        if instance["a"] >= 3 and instance["b"] == "y"
+        else Outcome.SUCCEED
+    )
+
+
+class TestSMAC:
+    def test_proposes_requested_number(self):
+        session = DebugSession(_oracle, _space())
+        result = smac_search(session, SMACConfig(iterations=30, seed=0))
+        assert len(result.proposed) == 30
+        assert result.instances_executed == 30
+
+    def test_seeks_failures(self):
+        """With a failure-seeking objective, SMAC's failure hit-rate must
+        beat the base failure rate of the space.  The space must be much
+        larger than the iteration count: once SMAC exhausts a finite
+        space its hit rate trivially equals the base rate."""
+        space = ParameterSpace(
+            [
+                Parameter("a", tuple(range(8)), ParameterKind.ORDINAL),
+                Parameter("b", ("x", "y", "z", "w")),
+                Parameter("c", tuple(range(6)), ParameterKind.ORDINAL),
+            ]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if instance["a"] >= 5 and instance["b"] == "y"
+                else Outcome.SUCCEED
+            )
+
+        base_rate = sum(
+            1 for i in space.instances() if oracle(i) is Outcome.FAIL
+        ) / space.size()
+        session = DebugSession(oracle, space)
+        smac_search(session, SMACConfig(iterations=60, seed=1))
+        hit_rate = len(session.history.failures) / len(session.history.instances)
+        assert hit_rate > base_rate
+
+    def test_space_exhaustion_terminates(self):
+        """Requesting more proposals than distinct instances must stop."""
+        session = DebugSession(_oracle, _space())
+        result = smac_search(session, SMACConfig(iterations=500, seed=0))
+        assert len(result.proposed) <= _space().size()
+
+    def test_incumbent_is_failing_when_failures_exist(self):
+        session = DebugSession(_oracle, _space())
+        result = smac_search(session, SMACConfig(iterations=40, seed=2))
+        assert result.incumbent is not None
+        assert result.incumbent_cost == 0.0
+        assert _oracle(result.incumbent) is Outcome.FAIL
+
+    def test_respects_budget(self):
+        session = DebugSession(_oracle, _space(), budget=InstanceBudget(10))
+        result = smac_search(session, SMACConfig(iterations=50, seed=3))
+        assert session.budget.spent <= 10
+        assert result.instances_executed <= 10
+
+    def test_deterministic_given_seed(self):
+        first = DebugSession(_oracle, _space())
+        second = DebugSession(_oracle, _space())
+        r1 = smac_search(first, SMACConfig(iterations=20, seed=7))
+        r2 = smac_search(second, SMACConfig(iterations=20, seed=7))
+        assert r1.proposed == r2.proposed
+
+
+class TestRandomSearch:
+    def test_proposes_fresh_instances(self):
+        session = DebugSession(_oracle, _space())
+        result = random_search(session, 25, seed=0)
+        assert len(result.proposed) == 25
+        assert len(set(result.proposed)) == 25
+
+    def test_respects_budget(self):
+        session = DebugSession(_oracle, _space(), budget=InstanceBudget(5))
+        result = random_search(session, 25, seed=1)
+        assert result.instances_executed <= 5
+
+
+def _history_for(oracle, space, n=80, seed=0):
+    rng = random.Random(seed)
+    history = ExecutionHistory()
+    target = min(n, space.size())  # cannot exceed the distinct universe
+    while len(history.instances) < target:
+        instance = space.random_instance(rng)
+        if instance not in history:
+            history.record(instance, oracle(instance))
+    return history
+
+
+class TestDataXRay:
+    def test_diagnoses_cover_failures(self):
+        space = _space()
+        history = _history_for(_oracle, space)
+        result = data_xray(history, space)
+        assert result.diagnoses
+        # High recall by construction: every failure is covered.
+        for failure in history.failures:
+            assert any(d.satisfied_by(failure) for d in result.diagnoses)
+
+    def test_no_failures_no_diagnoses(self):
+        space = _space()
+        history = _history_for(lambda i: Outcome.SUCCEED, space, n=20)
+        result = data_xray(history, space)
+        assert result.diagnoses == []
+        assert result.recall_of_failures == 1.0
+
+    def test_diagnoses_are_not_minimal_in_general(self):
+        """The paper's observation: X-Ray over-specifies (low precision)."""
+        space = _space()
+        # Single-parameter cause; X-Ray's per-value partitioning splits it
+        # into multiple value-specific diagnoses.
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] >= 3 else Outcome.SUCCEED
+
+        history = _history_for(oracle, space, n=100, seed=4)
+        result = data_xray(history, space)
+        # More asserted diagnoses than the single true cause.
+        assert len(result.diagnoses) >= 2
+
+    def test_threshold_controls_refinement(self):
+        space = _space()
+        history = _history_for(_oracle, space, n=100, seed=5)
+        strict = data_xray(history, space, DataXRayConfig(error_rate_threshold=0.999))
+        loose = data_xray(history, space, DataXRayConfig(error_rate_threshold=0.5))
+        mean_len_strict = sum(len(d) for d in strict.diagnoses) / len(strict.diagnoses)
+        mean_len_loose = sum(len(d) for d in loose.diagnoses) / max(
+            len(loose.diagnoses), 1
+        )
+        assert mean_len_loose <= mean_len_strict
+
+
+class TestExplanationTables:
+    def test_finds_high_rate_pattern(self):
+        space = _space()
+        history = _history_for(_oracle, space, n=120, seed=6)
+        result = explanation_tables(history, space)
+        causes = result.asserted_causes()
+        truth = Conjunction(
+            [
+                Predicate("a", Comparator.GT, 2),
+                Predicate("b", Comparator.EQ, "y"),
+            ]
+        )
+        # Patterns are equality-only; each asserted cause must at least be
+        # *consistent* (observed rate 1.0 in the log).
+        for cause in causes:
+            assert not history.refutes(cause)
+        # And at least one should lie inside the true failure region.
+        assert any(truth.subsumes(c, space) for c in causes)
+
+    def test_patterns_have_support_and_rates(self):
+        space = _space()
+        history = _history_for(_oracle, space, n=80, seed=7)
+        result = explanation_tables(history, space)
+        for pattern in result.patterns:
+            assert pattern.support >= 1
+            assert 0.0 <= pattern.observed_rate <= 1.0
+            assert pattern.gain >= 0.0
+
+    def test_empty_history(self):
+        result = explanation_tables(ExecutionHistory(), _space())
+        assert result.patterns == []
+
+    def test_max_patterns_respected(self):
+        space = _space()
+        history = _history_for(_oracle, space, n=80, seed=8)
+        result = explanation_tables(
+            history, space, ExplanationTablesConfig(max_patterns=3)
+        )
+        assert len(result.patterns) <= 3
+
+    def test_no_failures_yields_no_patterns(self):
+        space = _space()
+        history = _history_for(lambda i: Outcome.SUCCEED, space, n=20, seed=9)
+        result = explanation_tables(history, space)
+        assert result.asserted_causes() == []

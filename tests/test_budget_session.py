@@ -1,0 +1,131 @@
+"""Unit tests for budget accounting and debug sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BudgetExhausted,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+)
+from repro.core.session import InstanceUnavailable
+
+
+class TestInstanceBudget:
+    def test_unlimited_by_default(self):
+        budget = InstanceBudget()
+        budget.charge(1000)
+        assert budget.spent == 1000
+        assert budget.remaining is None
+        assert not budget.exhausted()
+
+    def test_limit_enforced(self):
+        budget = InstanceBudget(2)
+        budget.charge()
+        budget.charge()
+        assert budget.exhausted()
+        with pytest.raises(BudgetExhausted):
+            budget.charge()
+        assert budget.spent == 2  # failed charge does not mutate
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceBudget(-1)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceBudget().charge(-1)
+
+    def test_remaining(self):
+        budget = InstanceBudget(5)
+        budget.charge(3)
+        assert budget.remaining == 2
+
+    def test_sub_budget(self):
+        budget = InstanceBudget(10)
+        budget.charge(4)
+        sub = budget.sub_budget(0.5)
+        assert sub.limit == 3
+        assert InstanceBudget().sub_budget(0.5).limit is None
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace([Parameter("a", (0, 1, 2)), Parameter("b", (0, 1))])
+
+
+def _oracle(instance: Instance) -> Outcome:
+    return Outcome.FAIL if instance["a"] == 2 else Outcome.SUCCEED
+
+
+class TestDebugSession:
+    def test_executes_and_records(self):
+        session = DebugSession(_oracle, _space())
+        outcome = session.evaluate(Instance({"a": 2, "b": 0}))
+        assert outcome is Outcome.FAIL
+        assert session.new_executions == 1
+        assert session.history.failures == (Instance({"a": 2, "b": 0}),)
+
+    def test_history_lookup_is_free(self):
+        """The paper's cost model: previously-run instances cost nothing."""
+        history = ExecutionHistory.from_pairs(
+            [(Instance({"a": 2, "b": 0}), Outcome.FAIL)]
+        )
+        calls = []
+
+        def counting_oracle(instance):
+            calls.append(instance)
+            return _oracle(instance)
+
+        session = DebugSession(
+            counting_oracle, _space(), history=history, budget=InstanceBudget(0)
+        )
+        assert session.evaluate(Instance({"a": 2, "b": 0})) is Outcome.FAIL
+        assert not calls
+        assert session.budget.spent == 0
+
+    def test_budget_enforced(self):
+        session = DebugSession(_oracle, _space(), budget=InstanceBudget(1))
+        session.evaluate(Instance({"a": 0, "b": 0}))
+        with pytest.raises(BudgetExhausted):
+            session.evaluate(Instance({"a": 1, "b": 0}))
+
+    def test_executor_exception_refunds_budget(self):
+        def broken(instance):
+            raise RuntimeError("boom")
+
+        session = DebugSession(broken, _space(), budget=InstanceBudget(3))
+        with pytest.raises(RuntimeError):
+            session.evaluate(Instance({"a": 0, "b": 0}))
+        assert session.budget.spent == 0
+        assert session.new_executions == 0
+
+    def test_evaluate_many_serial(self):
+        session = DebugSession(_oracle, _space())
+        outcomes = session.evaluate_many(
+            [Instance({"a": 0, "b": 0}), Instance({"a": 2, "b": 1})]
+        )
+        assert outcomes == [Outcome.SUCCEED, Outcome.FAIL]
+
+    def test_try_evaluate_maps_unavailable_to_none(self):
+        def replay_only(instance):
+            raise InstanceUnavailable(instance)
+
+        session = DebugSession(replay_only, _space())
+        assert session.try_evaluate(Instance({"a": 0, "b": 0})) is None
+
+    def test_seed_loads_history_free(self):
+        session = DebugSession(_oracle, _space(), budget=InstanceBudget(0))
+        from repro.core import Evaluation
+
+        session.seed([Evaluation(Instance({"a": 2, "b": 1}), Outcome.FAIL)])
+        assert session.evaluate(Instance({"a": 2, "b": 1})) is Outcome.FAIL
+        assert session.budget.spent == 0
+
+    def test_not_parallel_by_default(self):
+        assert DebugSession(_oracle, _space()).parallel is False

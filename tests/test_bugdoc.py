@@ -1,0 +1,148 @@
+"""Tests for the BugDoc facade (repro.core.bugdoc)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Algorithm,
+    BugDoc,
+    Comparator,
+    Conjunction,
+    DDTConfig,
+    DebugSession,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+    Predicate,
+    conjunction_from_assignment,
+)
+
+
+class TestConstruction:
+    def test_session_xor_components(self, mixed_space):
+        session = DebugSession(lambda i: Outcome.SUCCEED, mixed_space)
+        with pytest.raises(ValueError, match="not both"):
+            BugDoc(lambda i: Outcome.SUCCEED, mixed_space, session=session)
+        with pytest.raises(ValueError, match="required"):
+            BugDoc()
+
+    def test_int_budget_is_wrapped(self, mixed_space):
+        bugdoc = BugDoc(lambda i: Outcome.SUCCEED, mixed_space, budget=7)
+        assert bugdoc.session.budget.limit == 7
+
+    def test_budget_object_accepted(self, mixed_space):
+        bugdoc = BugDoc(
+            lambda i: Outcome.SUCCEED, mixed_space, budget=InstanceBudget(3)
+        )
+        assert bugdoc.session.budget.limit == 3
+
+
+class TestSeeding:
+    def test_ensure_contrasting_instances(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+        bugdoc = BugDoc(oracle, mixed_space, seed=0)
+        assert bugdoc.ensure_contrasting_instances()
+        assert bugdoc.history.failures and bugdoc.history.successes
+
+    def test_all_fail_pipeline_cannot_contrast(self, mixed_space):
+        bugdoc = BugDoc(lambda i: Outcome.FAIL, mixed_space, seed=0)
+        assert not bugdoc.ensure_contrasting_instances(max_draws=20)
+
+
+class TestFindOne:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            Algorithm.SHORTCUT,
+            Algorithm.STACKED_SHORTCUT,
+            Algorithm.DECISION_TREES,
+            Algorithm.COMBINED,
+        ],
+    )
+    def test_all_algorithms_find_the_paper_cause(
+        self, algorithm, ml_space, ml_oracle, table1_history
+    ):
+        bugdoc = BugDoc(ml_oracle, ml_space, history=table1_history.copy())
+        report = bugdoc.find_one(algorithm)
+        expected = conjunction_from_assignment({"library_version": "2.0"})
+        assert report.asserted
+        assert any(
+            c.semantically_equals(expected, ml_space) for c in report.causes
+        ), [str(c) for c in report.causes]
+
+    def test_find_one_ddt_forces_find_one_mode(self, ml_space, ml_oracle, table1_history):
+        bugdoc = BugDoc(ml_oracle, ml_space, history=table1_history.copy())
+        report = bugdoc.find_one(
+            Algorithm.DECISION_TREES, ddt_config=DDTConfig(find_all=True)
+        )
+        assert len(report.causes) <= 1 or report.causes
+
+
+class TestFindAll:
+    def test_shortcut_rejected_for_find_all(self, mixed_space):
+        bugdoc = BugDoc(lambda i: Outcome.SUCCEED, mixed_space)
+        with pytest.raises(ValueError, match="FindOne"):
+            bugdoc.find_all(Algorithm.SHORTCUT)
+
+    def test_combined_finds_disjunction(self, mixed_space):
+        causes = [
+            Conjunction([Predicate("a", Comparator.EQ, 0)]),
+            Conjunction([Predicate("b", Comparator.EQ, "z")]),
+        ]
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if any(c.satisfied_by(instance) for c in causes)
+                else Outcome.SUCCEED
+            )
+
+        bugdoc = BugDoc(oracle, mixed_space, seed=1)
+        report = bugdoc.find_all(
+            Algorithm.COMBINED,
+            ddt_config=DDTConfig(find_all=True, tests_per_suspect=24),
+        )
+        for cause in causes:
+            assert any(
+                found.semantically_equals(cause, mixed_space)
+                for found in report.causes
+            )
+
+    def test_combined_explanation_consistent_with_history(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] >= 3 else Outcome.SUCCEED
+
+        bugdoc = BugDoc(oracle, mixed_space, seed=2)
+        report = bugdoc.find_all(Algorithm.COMBINED)
+        for cause in report.causes:
+            assert not bugdoc.history.refutes(cause)
+
+
+class TestBudgets:
+    def test_budget_is_respected(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+        bugdoc = BugDoc(oracle, mixed_space, budget=5, seed=3)
+        report = bugdoc.find_all(Algorithm.DECISION_TREES)
+        assert bugdoc.session.budget.spent <= 5
+        assert report.instances_executed <= 5
+
+    def test_report_counts_only_new_executions(
+        self, ml_space, ml_oracle, table1_history
+    ):
+        bugdoc = BugDoc(ml_oracle, ml_space, history=table1_history.copy())
+        report = bugdoc.find_one(Algorithm.SHORTCUT)
+        assert report.instances_executed == 2  # Table 2's new instances
+
+
+def test_no_failure_anywhere_raises():
+    space = ParameterSpace([Parameter("a", (0, 1))])
+    bugdoc = BugDoc(lambda i: Outcome.SUCCEED, space, seed=0)
+    with pytest.raises(ValueError, match="no failing instance"):
+        bugdoc.find_one(Algorithm.SHORTCUT)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_debug_defaults(self):
+        args = build_parser().parse_args(["debug", "gan"])
+        assert args.workload == "gan"
+        assert args.algorithm == "combined"
+        assert args.anomaly == "cpu_saturation"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["debug", "zzz"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dbsherlock" in out
+        assert "shortcut" in out
+
+    def test_debug_gan(self, capsys):
+        code = main(
+            ["debug", "gan", "--algorithm", "decision_trees", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "asserted minimal definitive root causes" in out
+        assert "lr_discriminator" in out
+
+    def test_debug_dbsherlock_historical(self, capsys):
+        code = main(
+            [
+                "debug",
+                "dbsherlock",
+                "--anomaly",
+                "io_saturation",
+                "--algorithm",
+                "decision_trees",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dbsherlock/io_saturation" in out
+
+    def test_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["debug", "gan", "--algorithm", "zzz"])
+
+    def test_synth(self, capsys):
+        code = main(
+            ["synth", "--scenario", "single", "--pipelines", "2", "--algorithm", "shortcut"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FindOne" in out

@@ -1,0 +1,147 @@
+"""Cross-module property tests: invariants that must hold for *any*
+algorithm output on *any* pipeline.
+
+These are the contracts a downstream user relies on:
+
+1. Whatever any algorithm asserts is a hypothetical root cause with
+   respect to everything that was executed (Definition 3) -- evidence
+   never contradicts the explanation handed to the user.
+2. Cost accounting is exact: the session's charge equals the number of
+   distinct new instances in its history.
+3. Explanations survive the simplifier unchanged semantically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Algorithm,
+    BugDoc,
+    DDTConfig,
+    DebugSession,
+    Disjunction,
+    Outcome,
+    simplify_disjunction,
+)
+from repro.synth import Scenario, make_suite, scenario_config, generate_pipeline
+
+
+def _pipeline_for(seed: int, scenario: Scenario):
+    rng = random.Random(seed)
+    config = scenario_config(
+        scenario,
+        rng,
+        min_parameters=3,
+        max_parameters=4,
+        min_values=5,
+        max_values=6,
+    )
+    return generate_pipeline(f"prop-{seed}", config=config, seed=seed)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.sampled_from([Scenario.SINGLE_TRIPLE, Scenario.CONJUNCTION]),
+)
+def test_assertions_are_hypothetical_root_causes(seed, scenario):
+    pipeline = _pipeline_for(seed, scenario)
+    rng = random.Random(seed)
+    session = DebugSession(
+        pipeline.oracle,
+        pipeline.space,
+        history=pipeline.initial_history(rng, size=8),
+    )
+    bugdoc = BugDoc(session=session, seed=seed)
+    report = bugdoc.find_all(
+        Algorithm.DECISION_TREES,
+        ddt_config=DDTConfig(find_all=True, tests_per_suspect=16, seed=seed),
+    )
+    for cause in report.causes:
+        # Condition (ii): no executed success satisfies the cause.
+        assert not session.history.refutes(cause), str(cause)
+        # Condition (i): some executed failure supports it.
+        assert session.history.supports(cause), str(cause)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 10_000))
+def test_cost_accounting_is_exact(seed):
+    pipeline = _pipeline_for(seed, Scenario.SINGLE_TRIPLE)
+    rng = random.Random(seed)
+    initial = pipeline.initial_history(rng, size=6)
+    initial_count = len(initial.instances)
+    session = DebugSession(pipeline.oracle, pipeline.space, history=initial)
+    bugdoc = BugDoc(session=session, seed=seed)
+    bugdoc.find_one(Algorithm.STACKED_SHORTCUT)
+    new_distinct = len(session.history.instances) - initial_count
+    assert session.budget.spent == new_distinct == session.new_executions
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_explanations_survive_simplifier(seed):
+    pipeline = _pipeline_for(seed, Scenario.CONJUNCTION)
+    rng = random.Random(seed)
+    session = DebugSession(
+        pipeline.oracle,
+        pipeline.space,
+        history=pipeline.initial_history(rng, size=8),
+    )
+    report = BugDoc(session=session, seed=seed).find_all(
+        Algorithm.DECISION_TREES,
+        ddt_config=DDTConfig(find_all=True, tests_per_suspect=16, seed=seed),
+    )
+    simplified = simplify_disjunction(report.explanation, pipeline.space)
+    assert simplified.semantically_equals(report.explanation, pipeline.space)
+
+
+@pytest.mark.parametrize("scenario", [Scenario.SINGLE_TRIPLE, Scenario.DISJUNCTION])
+def test_shortcut_assertion_inside_failing_instance(scenario):
+    """Shortcut's D is a sub-assignment of CPf by construction; verify
+    through the public facade on a small suite."""
+    suite = make_suite(
+        scenario,
+        3,
+        seed=91,
+        min_parameters=3,
+        max_parameters=4,
+        min_values=5,
+        max_values=6,
+    )
+    for pipeline in suite:
+        rng = random.Random(3)
+        session = DebugSession(
+            pipeline.oracle,
+            pipeline.space,
+            history=pipeline.initial_history(rng, size=8),
+        )
+        bugdoc = BugDoc(session=session, seed=3)
+        report = bugdoc.find_one(Algorithm.SHORTCUT)
+        if not report.causes:
+            continue
+        failing = session.history.failures[0]
+        (cause,) = report.causes
+        assert cause.satisfied_by(failing)
+
+
+def test_all_fail_pipeline_yields_trivial_or_empty():
+    """A pipeline that always fails has no informative minimal cause;
+    algorithms must not fabricate one."""
+    pipeline = _pipeline_for(17, Scenario.SINGLE_TRIPLE)
+
+    def always_fail(instance):
+        return Outcome.FAIL
+
+    session = DebugSession(always_fail, pipeline.space)
+    bugdoc = BugDoc(session=session, seed=0)
+    report = bugdoc.find_all(
+        Algorithm.DECISION_TREES, ddt_config=DDTConfig(find_all=True, max_rounds=5)
+    )
+    # Either nothing asserted, or only causes no success contradicts
+    # (vacuously true here) -- but never a crash.
+    assert isinstance(report.explanation, Disjunction)

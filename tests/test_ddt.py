@@ -1,0 +1,249 @@
+"""Tests for the Debugging Decision Trees search (repro.core.ddt)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    DDTConfig,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+    debugging_decision_trees,
+    is_minimal_definitive_root_cause,
+)
+
+
+def _seeded_session(oracle, space, seed=0, n_seed=10, budget=None):
+    rng = random.Random(seed)
+    history = ExecutionHistory()
+    draws = 0
+    while (
+        len(history) < n_seed or not history.failures or not history.successes
+    ) and draws < 500:
+        instance = space.random_instance(rng)
+        draws += 1
+        if instance not in history:
+            history.record(instance, oracle(instance))
+    return DebugSession(oracle, space, history=history, budget=budget)
+
+
+class TestSingleCauses:
+    def test_finds_equality_cause(self, mixed_space):
+        cause = Conjunction([Predicate("b", Comparator.EQ, "z")])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(oracle, mixed_space)
+        result = debugging_decision_trees(session, DDTConfig(find_all=True))
+        assert any(c.semantically_equals(cause, mixed_space) for c in result.causes)
+
+    def test_finds_inequality_cause(self, mixed_space):
+        cause = Conjunction([Predicate("a", Comparator.GT, 2)])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(oracle, mixed_space, seed=1)
+        result = debugging_decision_trees(session, DDTConfig(find_all=True))
+        assert any(c.semantically_equals(cause, mixed_space) for c in result.causes)
+
+    def test_finds_conjunction_with_inequality(self, mixed_space):
+        cause = Conjunction(
+            [
+                Predicate("a", Comparator.GT, 2),
+                Predicate("b", Comparator.EQ, "y"),
+            ]
+        )
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(oracle, mixed_space, seed=2, n_seed=14)
+        result = debugging_decision_trees(
+            session, DDTConfig(find_all=True, tests_per_suspect=20)
+        )
+        assert any(c.semantically_equals(cause, mixed_space) for c in result.causes)
+
+
+class TestDisjunction:
+    def test_finds_multiple_causes(self, mixed_space):
+        causes = [
+            Conjunction([Predicate("a", Comparator.EQ, 0)]),
+            Conjunction(
+                [
+                    Predicate("b", Comparator.EQ, "z"),
+                    Predicate("c", Comparator.GT, 1.0),
+                ]
+            ),
+        ]
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if any(c.satisfied_by(instance) for c in causes)
+                else Outcome.SUCCEED
+            )
+
+        session = _seeded_session(oracle, mixed_space, seed=3, n_seed=16)
+        result = debugging_decision_trees(
+            session, DDTConfig(find_all=True, tests_per_suspect=24, max_rounds=80)
+        )
+        for cause in causes:
+            assert any(
+                found.semantically_equals(cause, mixed_space)
+                for found in result.causes
+            ), f"missing {cause}; found {[str(c) for c in result.causes]}"
+
+    def test_find_one_stops_after_first(self, mixed_space):
+        causes = [
+            Conjunction([Predicate("a", Comparator.EQ, 0)]),
+            Conjunction([Predicate("b", Comparator.EQ, "z")]),
+        ]
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if any(c.satisfied_by(instance) for c in causes)
+                else Outcome.SUCCEED
+            )
+
+        session = _seeded_session(oracle, mixed_space, seed=4, n_seed=16)
+        result = debugging_decision_trees(
+            session, DDTConfig(find_all=False, tests_per_suspect=20)
+        )
+        assert len(result.causes) == 1
+
+
+class TestRobustness:
+    def test_empty_history_returns_empty(self, mixed_space):
+        session = DebugSession(lambda i: Outcome.SUCCEED, mixed_space)
+        result = debugging_decision_trees(session, DDTConfig(max_rounds=2))
+        assert result.causes == []
+
+    def test_budget_exhaustion_returns_partial(self, mixed_space):
+        cause = Conjunction([Predicate("a", Comparator.EQ, 0)])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(
+            oracle, mixed_space, seed=5, budget=InstanceBudget(2)
+        )
+        result = debugging_decision_trees(session, DDTConfig(find_all=True))
+        assert result.budget_exhausted or result.causes is not None
+        assert session.budget.spent <= 2
+
+    def test_explanation_never_refuted_by_history(self, mixed_space):
+        cause = Conjunction([Predicate("c", Comparator.LE, 0.0)])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(oracle, mixed_space, seed=6)
+        result = debugging_decision_trees(session, DDTConfig(find_all=True))
+        for found in result.causes:
+            assert not session.history.refutes(found)
+
+    def test_rounds_and_tree_sizes_recorded(self, mixed_space):
+        cause = Conjunction([Predicate("a", Comparator.EQ, 1)])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        session = _seeded_session(oracle, mixed_space, seed=7)
+        result = debugging_decision_trees(session)
+        assert result.rounds >= 1
+        assert len(result.tree_sizes) == result.rounds
+
+
+class TestAblations:
+    def test_simplify_off_keeps_raw_suspects(self, mixed_space):
+        causes = [
+            Conjunction([Predicate("a", Comparator.EQ, 0)]),
+            Conjunction([Predicate("a", Comparator.EQ, 1)]),
+        ]
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if any(c.satisfied_by(instance) for c in causes)
+                else Outcome.SUCCEED
+            )
+
+        session_on = _seeded_session(oracle, mixed_space, seed=8, n_seed=16)
+        result_on = debugging_decision_trees(
+            session_on, DDTConfig(find_all=True, simplify=True, tests_per_suspect=20)
+        )
+        session_off = _seeded_session(oracle, mixed_space, seed=8, n_seed=16)
+        result_off = debugging_decision_trees(
+            session_off,
+            DDTConfig(find_all=True, simplify=False, tests_per_suspect=20),
+        )
+        # Simplification merges a=0 | a=1 into a <= 1: never more causes.
+        assert len(result_on.causes) <= max(len(result_off.causes), 1)
+
+    def test_minimize_confirmed_reduces_cause_length(self, mixed_space):
+        cause = Conjunction([Predicate("b", Comparator.EQ, "y")])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        on = _seeded_session(oracle, mixed_space, seed=9, n_seed=12)
+        result_on = debugging_decision_trees(
+            on, DDTConfig(find_all=True, minimize_confirmed=True)
+        )
+        off = _seeded_session(oracle, mixed_space, seed=9, n_seed=12)
+        result_off = debugging_decision_trees(
+            off, DDTConfig(find_all=True, minimize_confirmed=False)
+        )
+        mean_len_on = sum(len(c) for c in result_on.causes) / max(
+            len(result_on.causes), 1
+        )
+        mean_len_off = sum(len(c) for c in result_off.causes) / max(
+            len(result_off.causes), 1
+        )
+        assert mean_len_on <= mean_len_off + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ddt_causes_are_sound_property(seed):
+    """Whatever DDT asserts with a generous test budget is a definitive
+    root cause of the oracle (soundness; completeness is heuristic)."""
+    rng = random.Random(seed)
+    space = ParameterSpace(
+        [
+            Parameter("u", (0, 1, 2, 3), ParameterKind.ORDINAL),
+            Parameter("v", ("p", "q", "r")),
+        ]
+    )
+    planted = Conjunction(
+        [
+            Predicate("u", rng.choice([Comparator.EQ, Comparator.GT]), rng.randint(0, 2)),
+            Predicate("v", Comparator.EQ, rng.choice(("p", "q", "r"))),
+        ]
+    )
+
+    def oracle(instance):
+        return Outcome.FAIL if planted.satisfied_by(instance) else Outcome.SUCCEED
+
+    session = _seeded_session(oracle, space, seed=seed, n_seed=10)
+    result = debugging_decision_trees(
+        session,
+        DDTConfig(find_all=True, tests_per_suspect=space.size(), max_rounds=40),
+    )
+    for cause in result.causes:
+        assert is_minimal_definitive_root_cause(cause, space, oracle), str(cause)

@@ -1,0 +1,249 @@
+"""Tests for the evaluation harness (repro.eval)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+)
+from repro.eval import (
+    BudgetGroup,
+    MatchReport,
+    Method,
+    PRF,
+    conciseness,
+    failure_coverage,
+    format_table,
+    match_exact,
+    match_soundness,
+    match_synthetic,
+    render_conciseness,
+    render_prf_figure,
+    render_series,
+    run_suite,
+    score_find_all,
+    score_find_one,
+)
+from repro.eval.ground_truth import match_synthetic  # noqa: F811 - explicit
+from repro.synth import Scenario, make_suite
+
+
+def _space():
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3), ParameterKind.ORDINAL),
+            Parameter("b", ("x", "y")),
+        ]
+    )
+
+
+def _conj(*predicates):
+    return Conjunction(predicates)
+
+
+class TestMatchExact:
+    def test_semantic_equality_counts(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.GT, 2))
+        synonym = _conj(Predicate("a", Comparator.EQ, 3))
+        report = match_exact([synonym], [truth], space)
+        assert report.found_at_least_one
+        assert report.matched_true == (truth,)
+
+    def test_wrong_cause_is_false_positive(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.EQ, 0))
+        wrong = _conj(Predicate("b", Comparator.EQ, "x"))
+        report = match_exact([wrong], [truth], space)
+        assert not report.found_at_least_one
+        assert report.n_false_positives == 1
+
+
+class TestMatchSynthetic:
+    def test_sound_sub_cause_of_neq_counts(self):
+        """p != v plants many minimal definitive equality causes."""
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.NEQ, 0))
+
+        def oracle(instance):
+            return Outcome.FAIL if truth.satisfied_by(instance) else Outcome.SUCCEED
+
+        asserted = _conj(Predicate("a", Comparator.EQ, 2))
+        report = match_synthetic([asserted], [truth], space, oracle)
+        assert report.found_at_least_one
+        assert report.matched_true == (truth,)
+
+    def test_unsound_cause_rejected(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.EQ, 0))
+
+        def oracle(instance):
+            return Outcome.FAIL if truth.satisfied_by(instance) else Outcome.SUCCEED
+
+        overly_general = _conj(Predicate("b", Comparator.EQ, "x"))
+        report = match_synthetic([overly_general], [truth], space, oracle)
+        assert report.n_false_positives == 1
+
+    def test_non_minimal_cause_rejected(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.EQ, 0))
+
+        def oracle(instance):
+            return Outcome.FAIL if truth.satisfied_by(instance) else Outcome.SUCCEED
+
+        padded = _conj(
+            Predicate("a", Comparator.EQ, 0), Predicate("b", Comparator.EQ, "x")
+        )
+        report = match_synthetic([padded], [truth], space, oracle)
+        assert report.n_false_positives == 1
+
+    def test_trivial_cause_rejected(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.EQ, 0))
+        report = match_synthetic(
+            [Conjunction()], [truth], space, lambda i: Outcome.SUCCEED
+        )
+        assert report.n_false_positives == 1
+
+
+class TestMatchSoundness:
+    def test_overlap_attribution(self):
+        space = _space()
+        truth = _conj(Predicate("a", Comparator.GT, 2))
+
+        def oracle(instance):
+            return Outcome.FAIL if truth.satisfied_by(instance) else Outcome.SUCCEED
+
+        asserted = _conj(Predicate("a", Comparator.EQ, 3))
+        report = match_soundness([asserted], [truth], space, oracle)
+        assert report.correct_asserted == (asserted,)
+        assert report.matched_true == (truth,)
+
+
+class TestFailureCoverage:
+    def test_coverage_fraction(self):
+        cause = _conj(Predicate("a", Comparator.EQ, 0))
+        failures = [
+            Instance({"a": 0, "b": "x"}),
+            Instance({"a": 0, "b": "y"}),
+            Instance({"a": 1, "b": "x"}),
+        ]
+        assert failure_coverage([cause], failures) == pytest.approx(2 / 3)
+
+    def test_empty_failures_is_full_coverage(self):
+        assert failure_coverage([], []) == 1.0
+
+
+class TestScoring:
+    def _report(self, correct=0, incorrect=0, matched=0, n_true=1):
+        dummy = _conj(Predicate("a", Comparator.EQ, 0))
+        return MatchReport(
+            correct_asserted=tuple([dummy] * correct),
+            incorrect_asserted=tuple(
+                _conj(Predicate("a", Comparator.EQ, i + 1)) for i in range(incorrect)
+            ),
+            matched_true=tuple([dummy] * matched),
+            n_true=n_true,
+        )
+
+    def test_find_one_formulas(self):
+        reports = [
+            self._report(correct=1),                 # hit, no FP
+            self._report(correct=0, incorrect=2),    # miss, 2 FPs
+        ]
+        prf = score_find_one(reports)
+        assert prf.precision == pytest.approx(1 / 3)
+        assert prf.recall == pytest.approx(1 / 2)
+
+    def test_find_all_formulas(self):
+        reports = [
+            self._report(correct=2, incorrect=1, matched=1, n_true=2),
+            self._report(correct=1, incorrect=0, matched=1, n_true=1),
+        ]
+        prf = score_find_all(reports)
+        assert prf.precision == pytest.approx(3 / 4)
+        assert prf.recall == pytest.approx(2 / 3)
+
+    def test_f_measure(self):
+        assert PRF(0.0, 0.0).f_measure == 0.0
+        assert PRF(1.0, 1.0).f_measure == 1.0
+        assert PRF(0.5, 1.0).f_measure == pytest.approx(2 / 3)
+
+    def test_empty_reports(self):
+        assert score_find_one([]).f_measure == 0.0
+        assert score_find_all([]).f_measure == 0.0
+
+    def test_conciseness(self):
+        reports = [self._report(correct=1, incorrect=1, n_true=1)]
+        stats = conciseness(reports)
+        assert stats.n_causes == 2
+        assert stats.parameters_per_cause == 1.0
+        assert stats.log_asserted_per_actual == pytest.approx(0.30103, abs=1e-4)
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def result(self):
+        suite = make_suite(
+            Scenario.SINGLE_TRIPLE,
+            2,
+            seed=21,
+            min_parameters=3,
+            max_parameters=4,
+            min_values=5,
+            max_values=6,
+        )
+        return run_suite(suite, find_all=False, seed=21)
+
+    def test_all_cells_populated(self, result):
+        for method in Method:
+            for group in BudgetGroup:
+                assert len(result.reports(method, group)) == 2
+
+    def test_budgets_recorded(self, result):
+        for group in BudgetGroup:
+            assert result.mean_budget(group) >= 0.0
+
+    def test_bugdoc_dominates_f_measure(self, result):
+        """The headline claim at the DDT budget group."""
+        bugdoc_f = result.prf(Method.BUGDOC, BudgetGroup.DDT).f_measure
+        for method in (Method.DATA_XRAY_SMAC, Method.EXPL_TABLES_SMAC):
+            assert bugdoc_f >= result.prf(method, BudgetGroup.DDT).f_measure
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["x", "yy"], [["1", "2"], ["33", "4"]], title="T")
+        lines = table.split("\n")
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned widths
+
+    def test_render_series(self):
+        text = render_series(
+            "Fig", "n", [1, 2], {"m": [1.0, 2.0], "k": [3.0, 4.0]}
+        )
+        assert "Fig" in text and "m" in text and "k" in text
+
+    def test_render_prf_and_conciseness_smoke(self):
+        suite = make_suite(
+            Scenario.SINGLE_TRIPLE,
+            1,
+            seed=5,
+            min_parameters=3,
+            max_parameters=3,
+            min_values=5,
+            max_values=5,
+        )
+        result = run_suite(suite, seed=5)
+        assert "BugDoc" in render_prf_figure(result, "precision", "t")
+        assert "params/cause" in render_conciseness(result, "t")

@@ -1,0 +1,194 @@
+"""Tests for the future-work extensions (group testing, observed vars)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Comparator, Conjunction, Instance, Predicate
+from repro.extensions import (
+    CountingTest,
+    ObservationLog,
+    binary_splitting,
+    enrich,
+    find_defectives,
+)
+
+
+def _item_local_test(bad_items):
+    """A pipeline over data subsets failing iff any bad item is present."""
+
+    def test(subset):
+        return any(item in bad_items for item in subset)
+
+    return test
+
+
+class TestCountingTest:
+    def test_memoizes(self):
+        calls = []
+
+        def raw(subset):
+            calls.append(tuple(subset))
+            return False
+
+        counting = CountingTest(raw)
+        counting([1, 2])
+        counting([2, 1])  # same frozenset
+        assert counting.calls == 1
+        assert len(calls) == 1
+
+
+class TestBinarySplitting:
+    def test_isolates_single_defective(self):
+        items = list(range(16))
+        test = CountingTest(_item_local_test({11}))
+        defective, used = binary_splitting(test, items)
+        assert defective == 11
+        assert used <= math.ceil(math.log2(16)) + 1
+
+    def test_clean_group_returns_none(self):
+        defective, __ = binary_splitting(_item_local_test(set()), [1, 2, 3])
+        assert defective is None
+
+    def test_empty_group(self):
+        defective, used = binary_splitting(_item_local_test({1}), [])
+        assert defective is None
+        assert used == 0
+
+
+class TestFindDefectives:
+    def test_finds_all_defectives(self):
+        items = [f"row{i}" for i in range(64)]
+        bad = {"row3", "row40", "row63"}
+        result = find_defectives(_item_local_test(bad), items)
+        assert set(result.defectives) == bad
+        assert result.monotonicity_violations == 0
+
+    def test_beats_exhaustive_scan(self):
+        items = list(range(256))
+        bad = {17, 200}
+        result = find_defectives(_item_local_test(bad), items)
+        assert set(result.defectives) == bad
+        assert result.tests_used < len(items)
+        assert result.savings_factor > 4
+
+    def test_clean_dataset_costs_one_test(self):
+        result = find_defectives(_item_local_test(set()), list(range(32)))
+        assert result.defectives == []
+        assert result.tests_used == 1
+
+    def test_budget_respected(self):
+        items = list(range(128))
+        bad = set(range(0, 128, 8))  # many defectives
+        result = find_defectives(_item_local_test(bad), items, max_tests=10)
+        # Budget is checked between rounds; an in-flight isolation may
+        # finish, overshooting by at most ceil(log2 n) + 1 tests.
+        assert result.tests_used <= 10 + math.ceil(math.log2(len(items))) + 1
+        assert set(result.defectives) <= bad
+
+    def test_combinatorial_defect_flagged(self):
+        """Failure requires BOTH items: monotonicity does not hold."""
+
+        def test(subset):
+            return 1 in subset and 2 in subset
+
+        result = find_defectives(test, [1, 2, 3, 4])
+        assert result.monotonicity_violations >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(4, 128),
+        st.data(),
+    )
+    def test_property_all_item_local_defects_found(self, n, data):
+        items = list(range(n))
+        bad = data.draw(
+            st.sets(st.sampled_from(items), min_size=0, max_size=min(5, n))
+        )
+        result = find_defectives(_item_local_test(bad), items)
+        assert set(result.defectives) == bad
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(8, 512), st.integers(1, 4), st.integers(0, 10_000))
+    def test_property_cost_is_logarithmic(self, n, d, seed):
+        rng = random.Random(seed)
+        items = list(range(n))
+        bad = set(rng.sample(items, min(d, n)))
+        result = find_defectives(_item_local_test(bad), items)
+        # Per defective: one group test + an isolation of up to
+        # ceil(log2 n) + 1 tests + one confirmation; plus a final clean
+        # group test.
+        bound = len(bad) * (math.ceil(math.log2(n)) + 4) + 2
+        assert result.tests_used <= bound
+
+
+class TestObservationLog:
+    def test_record_and_merge(self):
+        log = ObservationLog()
+        instance = Instance({"a": 1})
+        log.record(instance, {"memory": 10.0})
+        log.record(instance, {"rows": 5})
+        assert log.observations_for(instance) == {"memory": 10.0, "rows": 5}
+        assert log.variables == {"memory", "rows"}
+        assert len(log) == 1
+
+
+class TestEnrich:
+    def _cause(self):
+        return Conjunction([Predicate("a", Comparator.EQ, 0)])
+
+    def test_numeric_signal_detected(self):
+        log = ObservationLog()
+        rng = random.Random(0)
+        for i in range(40):
+            a = i % 2
+            instance = Instance({"a": a, "b": i})
+            # Memory spikes exactly when the cause (a=0) fires.
+            memory = 100.0 + rng.random() if a == 0 else 10.0 + rng.random()
+            log.record(instance, {"memory": memory})
+        (explanation,) = enrich([self._cause()], log)
+        assert explanation.annotations
+        top = explanation.annotations[0]
+        assert top.variable == "memory"
+        assert "higher" in top.summary
+
+    def test_categorical_signal_detected(self):
+        log = ObservationLog()
+        for i in range(40):
+            a = i % 2
+            instance = Instance({"a": a, "b": i})
+            warning = "OOM" if a == 0 else "none"
+            log.record(instance, {"warning": warning})
+        (explanation,) = enrich([self._cause()], log, min_strength=0.5)
+        assert any(
+            "OOM" in annotation.summary for annotation in explanation.annotations
+        )
+
+    def test_uninformative_observation_filtered(self):
+        log = ObservationLog()
+        rng = random.Random(1)
+        for i in range(40):
+            instance = Instance({"a": i % 2, "b": i})
+            log.record(instance, {"noise": rng.random()})
+        (explanation,) = enrich([self._cause()], log)
+        assert explanation.annotations == []
+
+    def test_str_renders_cause_and_annotations(self):
+        log = ObservationLog()
+        for i in range(20):
+            instance = Instance({"a": i % 2, "b": i})
+            log.record(instance, {"m": 50.0 if i % 2 == 0 else 1.0})
+        (explanation,) = enrich([self._cause()], log)
+        text = str(explanation)
+        assert "a = 0" in text
+        if explanation.annotations:
+            assert "[observed]" in text
+
+    def test_empty_log(self):
+        (explanation,) = enrich([self._cause()], ObservationLog())
+        assert explanation.cause == self._cause()
+        assert explanation.annotations == []

@@ -1,0 +1,114 @@
+"""Tests for the from-scratch random forest (repro.baselines.forest)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import RandomForestRegressor, RegressionTree, featurize
+from repro.core import Instance, Parameter, ParameterKind, ParameterSpace
+
+
+def _space():
+    return ParameterSpace(
+        [
+            Parameter("o", (0, 1, 2, 3, 4, 5, 6, 7), ParameterKind.ORDINAL),
+            Parameter("k", ("a", "b", "c")),
+        ]
+    )
+
+
+def _dataset(space, target, n=120, seed=0):
+    rng = random.Random(seed)
+    X, y = [], []
+    for __ in range(n):
+        instance = space.random_instance(rng)
+        X.append(featurize(instance, space))
+        y.append(target(instance))
+    return X, y
+
+
+class TestFeaturize:
+    def test_uses_domain_indexes(self):
+        space = _space()
+        assert featurize(Instance({"o": 3, "k": "b"}), space) == (3.0, 1.0)
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            featurize(Instance({"o": 99, "k": "a"}), _space())
+
+
+class TestRegressionTree:
+    def test_fits_ordinal_threshold(self):
+        space = _space()
+        X, y = _dataset(space, lambda i: 1.0 if i["o"] >= 4 else 0.0)
+        tree = RegressionTree(space, rng=random.Random(0), feature_fraction=1.0)
+        tree.fit(X, y)
+        high = tree.predict_one(featurize(Instance({"o": 6, "k": "a"}), space))
+        low = tree.predict_one(featurize(Instance({"o": 1, "k": "a"}), space))
+        assert high > 0.8 and low < 0.2
+
+    def test_fits_categorical_equality(self):
+        space = _space()
+        X, y = _dataset(space, lambda i: 1.0 if i["k"] == "b" else 0.0)
+        tree = RegressionTree(space, rng=random.Random(0), feature_fraction=1.0)
+        tree.fit(X, y)
+        hit = tree.predict_one(featurize(Instance({"o": 0, "k": "b"}), space))
+        miss = tree.predict_one(featurize(Instance({"o": 0, "k": "a"}), space))
+        assert hit > 0.8 and miss < 0.2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RegressionTree(_space()).predict_one((0.0, 0.0))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(_space()).fit([], [])
+
+
+class TestRandomForest:
+    def test_predict_mean_and_std(self):
+        space = _space()
+        X, y = _dataset(space, lambda i: 1.0 if i["o"] >= 4 else 0.0)
+        forest = RandomForestRegressor(space, n_trees=8, seed=1).fit(X, y)
+        mean, std = forest.predict(featurize(Instance({"o": 7, "k": "a"}), space))
+        assert mean > 0.6
+        assert std >= 0.0
+
+    def test_variance_higher_off_distribution(self):
+        """Cross-tree disagreement is the SMAC uncertainty signal."""
+        space = _space()
+        rng = random.Random(2)
+        # Train only on o in {0, 7}: the middle is unseen.
+        X, y = [], []
+        for __ in range(80):
+            o = rng.choice((0, 7))
+            instance = Instance({"o": o, "k": rng.choice(("a", "b", "c"))})
+            X.append(featurize(instance, space))
+            y.append(1.0 if o == 7 else 0.0)
+        forest = RandomForestRegressor(space, n_trees=12, seed=3).fit(X, y)
+        __, std_seen = forest.predict(featurize(Instance({"o": 0, "k": "a"}), space))
+        __, std_unseen = forest.predict(
+            featurize(Instance({"o": 4, "k": "a"}), space)
+        )
+        assert std_unseen >= std_seen
+
+    def test_predict_instance_convenience(self):
+        space = _space()
+        X, y = _dataset(space, lambda i: float(i["o"]))
+        forest = RandomForestRegressor(space, n_trees=5, seed=0).fit(X, y)
+        mean, __ = forest.predict_instance(Instance({"o": 7, "k": "a"}))
+        assert mean > forest.predict_instance(Instance({"o": 0, "k": "a"}))[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestRegressor(_space()).predict((0.0, 0.0))
+
+    def test_deterministic_given_seed(self):
+        space = _space()
+        X, y = _dataset(space, lambda i: float(i["o"] % 3))
+        point = featurize(Instance({"o": 5, "k": "c"}), space)
+        first = RandomForestRegressor(space, n_trees=6, seed=9).fit(X, y).predict(point)
+        second = RandomForestRegressor(space, n_trees=6, seed=9).fit(X, y).predict(point)
+        assert first == second

@@ -1,0 +1,186 @@
+"""Unit tests for the execution history (repro.core.history)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    ExecutionHistory,
+    Instance,
+    Outcome,
+    Predicate,
+)
+
+
+def _inst(**values) -> Instance:
+    return Instance(values)
+
+
+class TestAppend:
+    def test_records_and_indexes(self):
+        history = ExecutionHistory()
+        history.record(_inst(a=1, b=2), Outcome.FAIL)
+        history.record(_inst(a=2, b=3), Outcome.SUCCEED)
+        assert len(history) == 2
+        assert history.failures == (_inst(a=1, b=2),)
+        assert history.successes == (_inst(a=2, b=3),)
+
+    def test_duplicate_same_outcome_allowed_but_deduped(self):
+        history = ExecutionHistory()
+        history.record(_inst(a=1), Outcome.FAIL)
+        history.record(_inst(a=1), Outcome.FAIL)
+        assert len(history) == 2  # raw log keeps both
+        assert history.instances == (_inst(a=1),)  # distinct view dedupes
+
+    def test_contradictory_outcome_rejected(self):
+        history = ExecutionHistory()
+        history.record(_inst(a=1), Outcome.FAIL)
+        with pytest.raises(ValueError, match="contradictory"):
+            history.record(_inst(a=1), Outcome.SUCCEED)
+
+    def test_outcome_of_unknown_is_none(self):
+        assert ExecutionHistory().outcome_of(_inst(a=1)) is None
+
+    def test_contains(self):
+        history = ExecutionHistory.from_pairs([(_inst(a=1), Outcome.FAIL)])
+        assert _inst(a=1) in history
+        assert _inst(a=2) not in history
+
+
+class TestUniverse:
+    def test_value_universe(self):
+        history = ExecutionHistory.from_pairs(
+            [
+                (_inst(a=1, b="x"), Outcome.FAIL),
+                (_inst(a=2, b="x"), Outcome.SUCCEED),
+            ]
+        )
+        assert history.value_universe() == {"a": {1, 2}, "b": {"x"}}
+
+    def test_observed_space(self):
+        history = ExecutionHistory.from_pairs(
+            [
+                (_inst(a=1, b="x"), Outcome.FAIL),
+                (_inst(a=2, b="y"), Outcome.SUCCEED),
+            ]
+        )
+        space = history.observed_space()
+        assert set(space.names) == {"a", "b"}
+        assert set(space.domain("a")) == {1, 2}
+
+
+class TestHypothesisQueries:
+    def test_supports_and_refutes(self, table1_history):
+        version2 = Conjunction(
+            [Predicate("library_version", Comparator.EQ, "2.0")]
+        )
+        version1 = Conjunction(
+            [Predicate("library_version", Comparator.EQ, "1.0")]
+        )
+        assert table1_history.supports(version2)
+        assert not table1_history.refutes(version2)
+        assert table1_history.refutes(version1)
+        assert not table1_history.supports(version1)
+
+    def test_is_hypothetical_root_cause_definition_3(self, table1_history):
+        version2 = Conjunction(
+            [Predicate("library_version", Comparator.EQ, "2.0")]
+        )
+        assert table1_history.is_hypothetical_root_cause(version2)
+        # Satisfied by a success -> refuted -> not hypothetical.
+        iris = Conjunction([Predicate("dataset", Comparator.EQ, "iris")])
+        assert not table1_history.is_hypothetical_root_cause(iris)
+
+    def test_example_from_definition_3(self):
+        """Paper's example: A>5 and B=7 with a succeeding (A=15, B=7)."""
+        cause = Conjunction(
+            [
+                Predicate("A", Comparator.GT, 5),
+                Predicate("B", Comparator.EQ, 7),
+            ]
+        )
+        history = ExecutionHistory.from_pairs(
+            [
+                (_inst(A=6, B=7), Outcome.FAIL),
+                (_inst(A=15, B=7), Outcome.SUCCEED),
+            ]
+        )
+        assert not history.is_hypothetical_root_cause(cause)
+
+
+class TestDisjointSelection:
+    def test_disjoint_successes(self, table1_history):
+        failing = table1_history.failures[0]
+        disjoint = table1_history.disjoint_successes(failing)
+        assert disjoint == [
+            _inst(
+                dataset="digits",
+                estimator="decision_tree",
+                library_version="1.0",
+            )
+        ]
+
+    def test_most_different_success(self, table1_history):
+        failing = table1_history.failures[0]
+        best = table1_history.most_different_success(failing)
+        assert best is not None
+        assert failing.hamming_distance(best) == 3
+
+    def test_most_different_success_empty_history(self):
+        history = ExecutionHistory.from_pairs([(_inst(a=1), Outcome.FAIL)])
+        assert history.most_different_success(_inst(a=1)) is None
+
+    def test_mutually_disjoint_successes_are_mutually_disjoint(self):
+        failing = _inst(a=0, b=0)
+        history = ExecutionHistory.from_pairs(
+            [
+                (failing, Outcome.FAIL),
+                (_inst(a=1, b=1), Outcome.SUCCEED),
+                (_inst(a=1, b=2), Outcome.SUCCEED),  # clashes with previous on a
+                (_inst(a=2, b=2), Outcome.SUCCEED),
+                (_inst(a=0, b=3), Outcome.SUCCEED),  # not disjoint from failing
+            ]
+        )
+        selected = history.mutually_disjoint_successes(failing)
+        assert selected == [_inst(a=1, b=1), _inst(a=2, b=2)]
+        for left in selected:
+            assert failing.is_disjoint_from(left)
+            for right in selected:
+                if left is not right:
+                    assert left.is_disjoint_from(right)
+
+    def test_mutually_disjoint_limit(self):
+        failing = _inst(a=0, b=0)
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL)]
+            + [(_inst(a=i, b=1), Outcome.SUCCEED) for i in range(1, 6)]
+        )
+        # Every success is disjoint from failing, but they all share b=1,
+        # so the greedy mutually disjoint set has size 1.
+        assert len(history.mutually_disjoint_successes(failing, limit=4)) == 1
+
+    def test_mutually_disjoint_respects_limit(self):
+        failing = _inst(a=0, b=0)
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL)]
+            + [(_inst(a=i, b=i), Outcome.SUCCEED) for i in range(1, 6)]
+        )
+        assert len(history.mutually_disjoint_successes(failing, limit=3)) == 3
+
+
+class TestSatisfactionFilters:
+    def test_successes_and_failures_satisfying(self, table1_history):
+        iris = Conjunction([Predicate("dataset", Comparator.EQ, "iris")])
+        assert len(table1_history.successes_satisfying(iris)) == 1
+        assert len(table1_history.failures_satisfying(iris)) == 1
+
+
+def test_copy_is_independent(table1_history):
+    copy = table1_history.copy()
+    copy.record(
+        _inst(dataset="images", estimator="decision_tree", library_version="2.0"),
+        Outcome.FAIL,
+    )
+    assert len(copy) == len(table1_history) + 1

@@ -1,0 +1,92 @@
+"""End-to-end tests for the Figure 1 ML pipeline workload.
+
+These execute real training runs (cached per process), so the module is
+kept small and focused on the paper's Tables 1-2 behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Algorithm, BugDoc, Instance, Outcome
+from repro.workloads import ml_pipeline
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return ml_pipeline.make_executor()
+
+
+@pytest.fixture(scope="module")
+def history(executor):
+    return ml_pipeline.table1_history(executor)
+
+
+class TestTable1:
+    def test_outcomes_match_paper(self, history):
+        """Two version-1.0 runs succeed; the version-2.0 run fails."""
+        outcomes = {
+            instance["library_version"]: history.outcome_of(instance)
+            for instance in history.instances
+        }
+        assert outcomes["1.0"] is Outcome.SUCCEED
+        assert outcomes["2.0"] is Outcome.FAIL
+
+    def test_scores_recorded(self, history):
+        for evaluation in history:
+            assert evaluation.result is not None
+            assert 0.0 <= float(evaluation.result) <= 1.0
+
+
+class TestExample1EndToEnd:
+    def test_shortcut_reproduces_table_2(self, executor, history):
+        """The full Example 1 walk-through against real training runs."""
+        bugdoc = BugDoc(
+            executor, ml_pipeline.make_space(), history=history.copy()
+        )
+        report = bugdoc.find_one(Algorithm.SHORTCUT)
+        assert report.instances_executed == 2
+        truth = ml_pipeline.true_cause()
+        assert any(
+            c.semantically_equals(truth, ml_pipeline.make_space())
+            for c in report.causes
+        )
+
+    def test_stacked_agrees(self, executor, history):
+        bugdoc = BugDoc(
+            executor, ml_pipeline.make_space(), history=history.copy()
+        )
+        report = bugdoc.find_one(Algorithm.STACKED_SHORTCUT)
+        truth = ml_pipeline.true_cause()
+        assert any(
+            c.semantically_equals(truth, ml_pipeline.make_space())
+            for c in report.causes
+        )
+
+
+def test_version_1_runs_always_succeed(executor):
+    space = ml_pipeline.make_space()
+    for dataset in space.domain("dataset"):
+        for estimator in space.domain("estimator"):
+            instance = Instance(
+                {
+                    "dataset": dataset,
+                    "estimator": estimator,
+                    "library_version": "1.0",
+                }
+            )
+            assert executor(instance) is Outcome.SUCCEED, dict(instance)
+
+
+def test_version_2_runs_always_fail(executor):
+    space = ml_pipeline.make_space()
+    for dataset in space.domain("dataset"):
+        for estimator in space.domain("estimator"):
+            instance = Instance(
+                {
+                    "dataset": dataset,
+                    "estimator": estimator,
+                    "library_version": "2.0",
+                }
+            )
+            assert executor(instance) is Outcome.FAIL, dict(instance)

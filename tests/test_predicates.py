@@ -1,0 +1,314 @@
+"""Unit + property tests for the root-cause language (repro.core.predicates)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    Disjunction,
+    Instance,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+    conjunction_from_assignment,
+)
+from repro.core.predicates import canonical_value_sets
+
+
+class TestComparator:
+    @pytest.mark.parametrize(
+        "comparator,observed,reference,expected",
+        [
+            (Comparator.EQ, 5, 5, True),
+            (Comparator.EQ, 5, 6, False),
+            (Comparator.NEQ, 5, 6, True),
+            (Comparator.NEQ, 5, 5, False),
+            (Comparator.LE, 5, 5, True),
+            (Comparator.LE, 6, 5, False),
+            (Comparator.GT, 6, 5, True),
+            (Comparator.GT, 5, 5, False),
+        ],
+    )
+    def test_evaluate(self, comparator, observed, reference, expected):
+        assert comparator.evaluate(observed, reference) is expected
+
+    @pytest.mark.parametrize(
+        "comparator,negation",
+        [
+            (Comparator.EQ, Comparator.NEQ),
+            (Comparator.NEQ, Comparator.EQ),
+            (Comparator.LE, Comparator.GT),
+            (Comparator.GT, Comparator.LE),
+        ],
+    )
+    def test_negate_is_involution(self, comparator, negation):
+        assert comparator.negate() is negation
+        assert comparator.negate().negate() is comparator
+
+    def test_ordinal_only(self):
+        assert Comparator.LE.is_ordinal_only
+        assert Comparator.GT.is_ordinal_only
+        assert not Comparator.EQ.is_ordinal_only
+        assert not Comparator.NEQ.is_ordinal_only
+
+
+class TestPredicate:
+    def test_satisfied_by(self):
+        predicate = Predicate("a", Comparator.GT, 2)
+        assert predicate.satisfied_by(Instance({"a": 3}))
+        assert not predicate.satisfied_by(Instance({"a": 2}))
+
+    def test_satisfying_values(self):
+        parameter = Parameter("a", (0, 1, 2, 3), ParameterKind.ORDINAL)
+        predicate = Predicate("a", Comparator.LE, 1)
+        assert predicate.satisfying_values(parameter) == frozenset({0, 1})
+
+    def test_satisfying_values_wrong_parameter(self):
+        parameter = Parameter("b", (0, 1))
+        with pytest.raises(ValueError, match="evaluated against"):
+            Predicate("a", Comparator.EQ, 0).satisfying_values(parameter)
+
+    def test_negated_complements_satisfying_set(self, mixed_space):
+        parameter = mixed_space["a"]
+        predicate = Predicate("a", Comparator.LE, 2)
+        full = frozenset(parameter.domain)
+        assert (
+            predicate.satisfying_values(parameter)
+            | predicate.negated().satisfying_values(parameter)
+        ) == full
+        assert not (
+            predicate.satisfying_values(parameter)
+            & predicate.negated().satisfying_values(parameter)
+        )
+
+    def test_str(self):
+        assert str(Predicate("a", Comparator.GT, 5)) == "a > 5"
+
+
+class TestConjunction:
+    def test_empty_is_trivial_and_always_satisfied(self):
+        conjunction = Conjunction()
+        assert conjunction.is_trivial()
+        assert conjunction.satisfied_by(Instance({"a": 1}))
+        assert str(conjunction) == "TRUE"
+
+    def test_satisfied_requires_all_predicates(self, mixed_space):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.GT, 2),
+                Predicate("b", Comparator.EQ, "y"),
+            ]
+        )
+        assert conjunction.satisfied_by(Instance({"a": 3, "b": "y", "c": 0.0}))
+        assert not conjunction.satisfied_by(Instance({"a": 3, "b": "x", "c": 0.0}))
+        assert not conjunction.satisfied_by(Instance({"a": 1, "b": "y", "c": 0.0}))
+
+    def test_equality_is_order_free(self):
+        p1 = Predicate("a", Comparator.EQ, 1)
+        p2 = Predicate("b", Comparator.EQ, 2)
+        assert Conjunction([p1, p2]) == Conjunction([p2, p1])
+        assert hash(Conjunction([p1, p2])) == hash(Conjunction([p2, p1]))
+
+    def test_canonical_drops_unconstraining_predicates(self, mixed_space):
+        # "a <= 4" is the whole ordinal domain: no constraint.
+        conjunction = Conjunction([Predicate("a", Comparator.LE, 4)])
+        assert conjunction.canonical(mixed_space) == {}
+
+    def test_canonical_intersects_same_parameter(self, mixed_space):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.GT, 0),
+                Predicate("a", Comparator.LE, 2),
+            ]
+        )
+        assert conjunction.canonical(mixed_space) == {"a": frozenset({1, 2})}
+
+    def test_ordinal_comparator_on_categorical_rejected(self, mixed_space):
+        conjunction = Conjunction([Predicate("b", Comparator.LE, "y")])
+        with pytest.raises(ValueError, match="requires ordinal"):
+            conjunction.canonical(mixed_space)
+
+    def test_unknown_parameter_rejected(self, mixed_space):
+        conjunction = Conjunction([Predicate("zzz", Comparator.EQ, 1)])
+        with pytest.raises(ValueError, match="unknown parameter"):
+            conjunction.canonical(mixed_space)
+
+    def test_satisfiability(self, mixed_space):
+        satisfiable = Conjunction([Predicate("a", Comparator.EQ, 1)])
+        unsatisfiable = Conjunction(
+            [
+                Predicate("a", Comparator.LE, 0),
+                Predicate("a", Comparator.GT, 0),
+            ]
+        )
+        assert satisfiable.is_satisfiable(mixed_space)
+        assert not unsatisfiable.is_satisfiable(mixed_space)
+
+    def test_satisfying_count(self, mixed_space):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.LE, 1),  # {0, 1}
+                Predicate("b", Comparator.NEQ, "z"),  # {x, y}
+            ]
+        )
+        assert conjunction.satisfying_count(mixed_space) == 2 * 2 * 4
+
+    def test_semantic_equality_across_syntax(self, mixed_space):
+        # a <= 0 and a = 0 denote the same set over domain {0..4}.
+        le = Conjunction([Predicate("a", Comparator.LE, 0)])
+        eq = Conjunction([Predicate("a", Comparator.EQ, 0)])
+        assert le.semantically_equals(eq, mixed_space)
+
+    def test_subsumes(self, mixed_space):
+        general = Conjunction([Predicate("b", Comparator.EQ, "y")])
+        specific = Conjunction(
+            [
+                Predicate("b", Comparator.EQ, "y"),
+                Predicate("a", Comparator.EQ, 1),
+            ]
+        )
+        assert general.subsumes(specific, mixed_space)
+        assert not specific.subsumes(general, mixed_space)
+        assert general.subsumes(general, mixed_space)
+
+    def test_sample_satisfying(self, mixed_space):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.GT, 2),
+                Predicate("b", Comparator.EQ, "z"),
+            ]
+        )
+        rng = random.Random(0)
+        for __ in range(20):
+            instance = conjunction.sample_satisfying(mixed_space, rng)
+            assert instance is not None
+            assert conjunction.satisfied_by(instance)
+            mixed_space.validate(instance)
+
+    def test_sample_unsatisfiable_returns_none(self, mixed_space):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.LE, 0),
+                Predicate("a", Comparator.GT, 3),
+            ]
+        )
+        assert conjunction.sample_satisfying(mixed_space, random.Random(0)) is None
+
+    def test_restricted_to(self):
+        conjunction = Conjunction(
+            [
+                Predicate("a", Comparator.EQ, 1),
+                Predicate("b", Comparator.EQ, 2),
+            ]
+        )
+        restricted = conjunction.restricted_to(["a"])
+        assert restricted.parameters == frozenset({"a"})
+
+
+class TestDisjunction:
+    def test_empty_is_false(self):
+        disjunction = Disjunction()
+        assert not disjunction.satisfied_by(Instance({"a": 1}))
+        assert str(disjunction) == "FALSE"
+
+    def test_satisfied_by_any_member(self, mixed_space):
+        disjunction = Disjunction(
+            [
+                Conjunction([Predicate("a", Comparator.EQ, 0)]),
+                Conjunction([Predicate("b", Comparator.EQ, "z")]),
+            ]
+        )
+        assert disjunction.satisfied_by(Instance({"a": 0, "b": "x", "c": 0.0}))
+        assert disjunction.satisfied_by(Instance({"a": 4, "b": "z", "c": 0.0}))
+        assert not disjunction.satisfied_by(Instance({"a": 4, "b": "x", "c": 0.0}))
+
+    def test_deduplicates_members(self):
+        conjunction = Conjunction([Predicate("a", Comparator.EQ, 0)])
+        assert len(Disjunction([conjunction, conjunction])) == 1
+
+    def test_semantic_equality_small_space(self, mixed_space):
+        # (a <= 1) or (a > 1)  ==  TRUE-for-a, i.e. (b = anything): compare
+        # against the full-cover via NEQ pair.
+        left = Disjunction(
+            [
+                Conjunction([Predicate("a", Comparator.LE, 1)]),
+                Conjunction([Predicate("a", Comparator.GT, 1)]),
+            ]
+        )
+        right = Disjunction([Conjunction()])
+        assert left.semantically_equals(right, mixed_space)
+
+
+class TestHelpers:
+    def test_conjunction_from_assignment(self):
+        conjunction = conjunction_from_assignment({"a": 1, "b": "x"})
+        assert len(conjunction) == 2
+        assert conjunction.satisfied_by(Instance({"a": 1, "b": "x"}))
+        assert not conjunction.satisfied_by(Instance({"a": 1, "b": "y"}))
+
+    def test_conjunction_from_assignment_with_subset(self):
+        conjunction = conjunction_from_assignment({"a": 1, "b": "x"}, ["a"])
+        assert conjunction.parameters == frozenset({"a"})
+
+    def test_canonical_value_sets_standalone(self, mixed_space):
+        sets = canonical_value_sets(
+            [Predicate("a", Comparator.GT, 2)], mixed_space
+        )
+        assert sets == {"a": frozenset({3, 4})}
+
+
+# -- Property-based: canonical form is a sound semantics ---------------------
+
+_ORD = Parameter("o", (0, 1, 2, 3, 4, 5), ParameterKind.ORDINAL)
+_CAT = Parameter("k", ("r", "g", "b"))
+_SPACE = ParameterSpace([_ORD, _CAT])
+
+
+def _predicates():
+    ordinal = st.builds(
+        Predicate,
+        st.just("o"),
+        st.sampled_from(list(Comparator)),
+        st.sampled_from(_ORD.domain),
+    )
+    categorical = st.builds(
+        Predicate,
+        st.just("k"),
+        st.sampled_from([Comparator.EQ, Comparator.NEQ]),
+        st.sampled_from(_CAT.domain),
+    )
+    return st.one_of(ordinal, categorical)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(_predicates(), min_size=0, max_size=4))
+def test_canonical_matches_pointwise_semantics(predicates):
+    """For every instance: satisfied_by == membership in canonical sets."""
+    conjunction = Conjunction(predicates)
+    sets = conjunction.canonical(_SPACE)
+    for instance in _SPACE.instances():
+        expected = all(p.satisfied_by(instance) for p in predicates)
+        via_canonical = all(
+            instance[name] in values for name, values in sets.items()
+        )
+        assert expected == via_canonical
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(_predicates(), min_size=1, max_size=3),
+    st.lists(_predicates(), min_size=1, max_size=3),
+)
+def test_subsumption_agrees_with_enumeration(left_predicates, right_predicates):
+    """subsumes() must equal satisfying-set containment."""
+    left = Conjunction(left_predicates)
+    right = Conjunction(right_predicates)
+    left_set = {i for i in _SPACE.instances() if left.satisfied_by(i)}
+    right_set = {i for i in _SPACE.instances() if right.satisfied_by(i)}
+    assert left.subsumes(right, _SPACE) == (right_set <= left_set)

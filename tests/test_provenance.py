@@ -1,0 +1,236 @@
+"""Tests for provenance records, stores, and logging (repro.provenance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    Evaluation,
+    ExecutionHistory,
+    Instance,
+    Outcome,
+    Predicate,
+)
+from repro.provenance import (
+    InMemoryProvenanceStore,
+    ProvenanceRecord,
+    RecordingExecutor,
+    SQLiteProvenanceStore,
+    decode_value,
+    encode_value,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value", [1, -7, 3.25, "text", True, False, None, 0, ""]
+    )
+    def test_roundtrip_scalars(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_unknown_type_degrades_to_repr(self):
+        decoded = decode_value(encode_value(object()))
+        assert isinstance(decoded, str)
+
+    @given(st.one_of(st.integers(), st.floats(allow_nan=False), st.text()))
+    def test_roundtrip_property(self, value):
+        decoded = decode_value(encode_value(value))
+        if isinstance(value, float) and math.isinf(value):
+            return  # JSON infinity round-trips as float('inf') fine, skip edge
+        assert decoded == value
+
+
+class TestRecord:
+    def _record(self):
+        return ProvenanceRecord(
+            workflow="w",
+            instance=Instance({"a": 1, "b": "x"}),
+            outcome=Outcome.FAIL,
+            result=0.25,
+            cost=1.5,
+            created_at=100.0,
+        )
+
+    def test_json_roundtrip(self):
+        record = self._record()
+        restored = ProvenanceRecord.from_json(record.to_json())
+        assert restored.instance == record.instance
+        assert restored.outcome is record.outcome
+        assert restored.result == record.result
+        assert restored.workflow == record.workflow
+
+    def test_to_evaluation(self):
+        evaluation = self._record().to_evaluation()
+        assert isinstance(evaluation, Evaluation)
+        assert evaluation.failed
+
+    def test_from_evaluation(self):
+        evaluation = Evaluation(Instance({"a": 1}), Outcome.SUCCEED, result=9)
+        record = ProvenanceRecord.from_evaluation(evaluation, "w", created_at=5.0)
+        assert record.outcome is Outcome.SUCCEED
+        assert record.created_at == 5.0
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryProvenanceStore()
+    return SQLiteProvenanceStore(str(tmp_path / "prov.db"))
+
+
+class TestStores:
+    def _populate(self, store):
+        records = [
+            ProvenanceRecord(
+                "w", Instance({"a": 1, "b": "x"}), Outcome.FAIL, result=0.2
+            ),
+            ProvenanceRecord(
+                "w", Instance({"a": 2, "b": "x"}), Outcome.SUCCEED, result=0.9
+            ),
+            ProvenanceRecord(
+                "other", Instance({"a": 2, "b": "y"}), Outcome.SUCCEED
+            ),
+        ]
+        for record in records:
+            store.add(record)
+        return records
+
+    def test_add_assigns_ids(self, store):
+        self._populate(store)
+        ids = [record.record_id for record in store.records()]
+        assert ids == [1, 2, 3]
+        assert len(store) == 3
+
+    def test_query_by_outcome(self, store):
+        self._populate(store)
+        failures = store.query(outcome=Outcome.FAIL)
+        assert len(failures) == 1
+        assert failures[0].instance == Instance({"a": 1, "b": "x"})
+
+    def test_query_by_predicate(self, store):
+        self._populate(store)
+        where = Conjunction([Predicate("b", Comparator.EQ, "x")])
+        assert len(store.query(where=where)) == 2
+
+    def test_query_by_workflow(self, store):
+        self._populate(store)
+        assert len(store.query(workflow="other")) == 1
+
+    def test_to_history(self, store):
+        self._populate(store)
+        history = store.to_history()
+        assert len(history.instances) == 3
+        assert len(history.failures) == 1
+
+    def test_to_history_filters_workflow(self, store):
+        self._populate(store)
+        history = store.to_history(workflow="w")
+        assert len(history.instances) == 2
+
+    def test_value_universe(self, store):
+        self._populate(store)
+        universe = store.value_universe()
+        assert universe["a"] == {1, 2}
+        assert universe["b"] == {"x", "y"}
+
+    def test_count_by_outcome(self, store):
+        self._populate(store)
+        counts = store.count_by_outcome()
+        assert counts[Outcome.FAIL] == 1
+        assert counts[Outcome.SUCCEED] == 2
+
+
+class TestSQLiteSpecific:
+    def test_types_roundtrip_through_db(self, tmp_path):
+        store = SQLiteProvenanceStore(str(tmp_path / "types.db"))
+        instance = Instance({"i": 3, "f": 2.5, "s": "txt", "b": True, "n": None})
+        store.add(ProvenanceRecord("w", instance, Outcome.FAIL))
+        (record,) = list(store.records())
+        assert record.instance == instance
+        assert type(record.instance["b"]) is bool
+
+    def test_failing_parameter_value_counts(self, tmp_path):
+        store = SQLiteProvenanceStore(str(tmp_path / "agg.db"))
+        for a in (1, 1, 2):
+            store.add(
+                ProvenanceRecord("w", Instance({"a": a}), Outcome.FAIL)
+            )
+        store.add(ProvenanceRecord("w", Instance({"a": 3}), Outcome.SUCCEED))
+        counts = store.failing_parameter_value_counts()
+        assert counts[("a", encode_value(1))] == 2
+        assert counts[("a", encode_value(2))] == 1
+
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        first = SQLiteProvenanceStore(path)
+        first.add(ProvenanceRecord("w", Instance({"a": 1}), Outcome.FAIL))
+        first.close()
+        second = SQLiteProvenanceStore(path)
+        assert len(second) == 1
+
+
+class TestRecordingExecutor:
+    def test_records_every_call(self):
+        store = InMemoryProvenanceStore()
+        clock_values = iter([0.0, 1.0, 2.0, 5.0])
+
+        def oracle(instance):
+            return Outcome.FAIL
+
+        recording = RecordingExecutor(
+            oracle, store, "wf", clock=lambda: next(clock_values)
+        )
+        recording(Instance({"a": 1}))
+        recording(Instance({"a": 2}))
+        records = list(store.records())
+        assert len(records) == 2
+        assert records[0].cost == 1.0
+        assert records[1].cost == 3.0
+        assert records[0].workflow == "wf"
+
+
+class TestLogFiles:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        records = [
+            ProvenanceRecord("w", Instance({"a": 1}), Outcome.FAIL, result=0.5),
+            ProvenanceRecord("w", Instance({"a": 2}), Outcome.SUCCEED),
+        ]
+        assert write_jsonl(records, path) == 2
+        restored = read_jsonl(path)
+        assert [r.instance for r in restored] == [r.instance for r in records]
+        assert [r.outcome for r in restored] == [r.outcome for r in records]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "log.csv"
+        history = ExecutionHistory.from_pairs(
+            [
+                (Instance({"a": "1", "b": "x"}), Outcome.FAIL),
+                (Instance({"a": "2", "b": "y"}), Outcome.SUCCEED),
+            ]
+        )
+        assert write_csv(history, path) == 2
+        restored = read_csv(path)
+        assert len(restored.instances) == 2
+        assert restored.failures == (Instance({"a": "1", "b": "x"}),)
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv(ExecutionHistory(), path) == 0
+        assert len(read_csv(path)) == 0

@@ -1,0 +1,237 @@
+"""Tests for Quine-McCluskey and the multi-valued box simplifier."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    Disjunction,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+    minimize_boolean,
+    simplify_disjunction,
+)
+from repro.core.quine_mccluskey import (
+    _implicant_covers,
+    disjunction_from_boxes,
+    predicates_for_value_set,
+)
+
+
+def _truth_table(n_vars, implicants):
+    """Evaluate a cover over all inputs."""
+    outputs = set()
+    for minterm in range(1 << n_vars):
+        if any(_implicant_covers(imp, minterm, n_vars) for imp in implicants):
+            outputs.add(minterm)
+    return outputs
+
+
+class TestMinimizeBoolean:
+    def test_constant_false(self):
+        assert minimize_boolean(3, []) == []
+
+    def test_constant_true(self):
+        implicants = minimize_boolean(2, [0, 1, 2, 3])
+        assert implicants == [(None, None)]
+
+    def test_textbook_example(self):
+        # f(a,b,c,d) = sum m(4,8,10,11,12,15) with dc(9,14): classic QM demo.
+        implicants = minimize_boolean(4, [4, 8, 10, 11, 12, 15], [9, 14])
+        covered = _truth_table(4, implicants)
+        for m in [4, 8, 10, 11, 12, 15]:
+            assert m in covered
+        for m in [0, 1, 2, 3, 5, 6, 7, 13]:
+            assert m not in covered
+
+    def test_out_of_range_minterm_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            minimize_boolean(2, [4])
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.integers(2, 4),
+        st.data(),
+    )
+    def test_cover_equals_function_property(self, n_vars, data):
+        """The minimized cover equals the original function exactly on
+        non-don't-care inputs and contains no fewer implicants than an
+        optimal-by-absorption bound would allow (sanity: it covers)."""
+        universe = list(range(1 << n_vars))
+        minterms = data.draw(st.sets(st.sampled_from(universe)))
+        dont_cares = data.draw(
+            st.sets(st.sampled_from(universe))
+        ) - set(minterms)
+        implicants = minimize_boolean(n_vars, minterms, dont_cares)
+        covered = _truth_table(n_vars, implicants)
+        for m in minterms:
+            assert m in covered
+        for m in set(universe) - set(minterms) - dont_cares:
+            assert m not in covered
+
+
+_SPACE = ParameterSpace(
+    [
+        Parameter("o", (0, 1, 2, 3, 4), ParameterKind.ORDINAL),
+        Parameter("k", ("r", "g", "b")),
+    ]
+)
+
+
+class TestPredicatesForValueSet:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="empty value set"):
+            predicates_for_value_set(_SPACE["k"], frozenset())
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(ValueError, match="outside domain"):
+            predicates_for_value_set(_SPACE["k"], frozenset({"zzz"}))
+
+    def test_full_domain_is_no_predicates(self):
+        assert predicates_for_value_set(_SPACE["k"], frozenset("rgb")) == []
+
+    def test_singleton_is_equality(self):
+        (predicate,) = predicates_for_value_set(_SPACE["k"], frozenset({"g"}))
+        assert predicate == Predicate("k", Comparator.EQ, "g")
+
+    def test_ordinal_prefix_is_le(self):
+        (predicate,) = predicates_for_value_set(_SPACE["o"], frozenset({0, 1}))
+        assert predicate == Predicate("o", Comparator.LE, 1)
+
+    def test_ordinal_suffix_is_gt(self):
+        (predicate,) = predicates_for_value_set(_SPACE["o"], frozenset({3, 4}))
+        assert predicate == Predicate("o", Comparator.GT, 2)
+
+    def test_ordinal_interior_run_is_range(self):
+        predicates = predicates_for_value_set(_SPACE["o"], frozenset({1, 2}))
+        assert set(predicates) == {
+            Predicate("o", Comparator.GT, 0),
+            Predicate("o", Comparator.LE, 2),
+        }
+
+    def test_categorical_complement_is_neq(self):
+        predicates = predicates_for_value_set(_SPACE["k"], frozenset({"r", "g"}))
+        assert predicates == [Predicate("k", Comparator.NEQ, "b")]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sampled_from(["o", "k"]),
+        st.data(),
+    )
+    def test_encoding_is_exact_property(self, name, data):
+        parameter = _SPACE[name]
+        values = data.draw(
+            st.sets(st.sampled_from(parameter.domain), min_size=1)
+        )
+        predicates = predicates_for_value_set(parameter, frozenset(values))
+        conjunction = Conjunction(predicates)
+        sets = conjunction.canonical(_SPACE)
+        realized = sets.get(name, frozenset(parameter.domain))
+        assert realized == frozenset(values)
+
+
+def _conjunctions():
+    def predicate_for(name):
+        parameter = _SPACE[name]
+        comparators = (
+            list(Comparator)
+            if parameter.is_ordinal
+            else [Comparator.EQ, Comparator.NEQ]
+        )
+        return st.builds(
+            Predicate,
+            st.just(name),
+            st.sampled_from(comparators),
+            st.sampled_from(parameter.domain),
+        )
+
+    return st.builds(
+        Conjunction,
+        st.lists(
+            st.one_of(predicate_for("o"), predicate_for("k")),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+
+
+class TestSimplifyDisjunction:
+    def test_absorbs_subsumed_conjunct(self):
+        general = Conjunction([Predicate("k", Comparator.EQ, "r")])
+        specific = Conjunction(
+            [
+                Predicate("k", Comparator.EQ, "r"),
+                Predicate("o", Comparator.EQ, 2),
+            ]
+        )
+        simplified = simplify_disjunction(Disjunction([general, specific]), _SPACE)
+        assert list(simplified) == [general]
+
+    def test_merges_adjacent_values(self):
+        parts = [
+            Conjunction([Predicate("o", Comparator.EQ, 3)]),
+            Conjunction([Predicate("o", Comparator.EQ, 4)]),
+        ]
+        simplified = simplify_disjunction(Disjunction(parts), _SPACE)
+        assert len(simplified) == 1
+        (merged,) = simplified
+        assert merged.canonical(_SPACE) == {"o": frozenset({3, 4})}
+
+    def test_drops_unsatisfiable_conjuncts(self):
+        bad = Conjunction(
+            [
+                Predicate("o", Comparator.LE, 0),
+                Predicate("o", Comparator.GT, 3),
+            ]
+        )
+        good = Conjunction([Predicate("k", Comparator.EQ, "r")])
+        simplified = simplify_disjunction(Disjunction([bad, good]), _SPACE)
+        assert list(simplified) == [good]
+
+    def test_complementary_split_collapses_to_true(self):
+        parts = [
+            Conjunction([Predicate("o", Comparator.LE, 2)]),
+            Conjunction([Predicate("o", Comparator.GT, 2)]),
+        ]
+        simplified = simplify_disjunction(Disjunction(parts), _SPACE)
+        assert len(simplified) == 1
+        (merged,) = simplified
+        assert merged.is_trivial()
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(_conjunctions(), min_size=1, max_size=4))
+    def test_simplification_preserves_semantics_property(self, conjunctions):
+        """The headline invariant: simplification never changes the
+        satisfying set, and never increases the number of disjuncts."""
+        original = Disjunction(conjunctions)
+        simplified = simplify_disjunction(original, _SPACE)
+        for instance in _SPACE.instances():
+            assert original.satisfied_by(instance) == simplified.satisfied_by(
+                instance
+            ), f"semantics changed at {instance}"
+        assert len(simplified) <= len(
+            [c for c in conjunctions if c.is_satisfiable(_SPACE)]
+        ) or len(simplified) <= len(conjunctions)
+
+
+def test_disjunction_from_boxes_roundtrip():
+    boxes = [
+        {"o": frozenset({0, 1}), "k": frozenset({"r"})},
+        {"k": frozenset({"g", "b"})},
+    ]
+    disjunction = disjunction_from_boxes(boxes, _SPACE)
+    assert len(disjunction) == 2
+    for box, conjunction in zip(boxes, disjunction):
+        sets = conjunction.canonical(_SPACE)
+        assert sets == {
+            name: values
+            for name, values in box.items()
+            if values != frozenset(_SPACE.domain(name))
+        }

@@ -1,0 +1,200 @@
+"""Tests for Definitions 3-5 (repro.core.rootcause)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    ExecutionHistory,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+    is_definitive_root_cause,
+    is_hypothetical_root_cause,
+    is_minimal_definitive_root_cause,
+    minimal_definitive_causes_of_oracle,
+    prune_to_minimal,
+)
+from repro.core.rootcause import find_refuting_instance
+
+
+def _space():
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3), ParameterKind.ORDINAL),
+            Parameter("b", ("x", "y")),
+        ]
+    )
+
+
+def _conj(*predicates):
+    return Conjunction(predicates)
+
+
+def _oracle_for(causes):
+    def oracle(instance):
+        return (
+            Outcome.FAIL
+            if any(c.satisfied_by(instance) for c in causes)
+            else Outcome.SUCCEED
+        )
+
+    return oracle
+
+
+class TestHypothetical:
+    def test_definition_3(self):
+        space = _space()
+        cause = _conj(Predicate("a", Comparator.EQ, 0))
+        history = ExecutionHistory.from_pairs(
+            [
+                (Instance({"a": 0, "b": "x"}), Outcome.FAIL),
+                (Instance({"a": 1, "b": "x"}), Outcome.SUCCEED),
+            ]
+        )
+        assert is_hypothetical_root_cause(cause, history)
+        history.record(Instance({"a": 0, "b": "y"}), Outcome.SUCCEED)
+        assert not is_hypothetical_root_cause(cause, history)
+        del space
+
+
+class TestDefinitive:
+    def test_true_cause_is_definitive(self):
+        space = _space()
+        cause = _conj(Predicate("a", Comparator.GT, 2))
+        oracle = _oracle_for([cause])
+        assert is_definitive_root_cause(cause, space, oracle)
+
+    def test_partial_cause_is_not_definitive(self):
+        space = _space()
+        true_cause = _conj(
+            Predicate("a", Comparator.GT, 2), Predicate("b", Comparator.EQ, "x")
+        )
+        oracle = _oracle_for([true_cause])
+        too_general = _conj(Predicate("a", Comparator.GT, 2))
+        assert not is_definitive_root_cause(too_general, space, oracle)
+
+    def test_unsatisfiable_requires_support(self):
+        space = _space()
+        oracle = _oracle_for([_conj(Predicate("a", Comparator.EQ, 0))])
+        empty_region = _conj(
+            Predicate("a", Comparator.LE, 0), Predicate("a", Comparator.GT, 2)
+        )
+        assert not is_definitive_root_cause(empty_region, space, oracle)
+        assert is_definitive_root_cause(
+            empty_region, space, oracle, require_support=False
+        )
+
+    def test_find_refuting_instance_exhaustive(self):
+        space = _space()
+        oracle = _oracle_for([_conj(Predicate("a", Comparator.EQ, 0))])
+        refutation = find_refuting_instance(
+            _conj(Predicate("b", Comparator.EQ, "x")), space, oracle
+        )
+        assert refutation is not None
+        assert oracle(refutation) is Outcome.SUCCEED
+        assert refutation["b"] == "x"
+
+    def test_find_refuting_instance_sampled(self):
+        space = ParameterSpace(
+            [Parameter(f"p{i}", tuple(range(10))) for i in range(6)]
+        )
+        oracle = _oracle_for([_conj(Predicate("p0", Comparator.EQ, 0))])
+        refutation = find_refuting_instance(
+            _conj(Predicate("p1", Comparator.EQ, 3)),
+            space,
+            oracle,
+            max_checks=300,
+            rng=random.Random(0),
+        )
+        assert refutation is not None
+
+
+class TestMinimal:
+    def test_minimal_cause(self):
+        space = _space()
+        cause = _conj(Predicate("a", Comparator.EQ, 0))
+        assert is_minimal_definitive_root_cause(cause, space, _oracle_for([cause]))
+
+    def test_non_minimal_cause_detected(self):
+        space = _space()
+        true_cause = _conj(Predicate("a", Comparator.EQ, 0))
+        padded = _conj(
+            Predicate("a", Comparator.EQ, 0), Predicate("b", Comparator.EQ, "x")
+        )
+        assert not is_minimal_definitive_root_cause(
+            padded, space, _oracle_for([true_cause])
+        )
+
+
+class TestPruneToMinimal:
+    def test_drops_strictly_subsumed(self):
+        space = _space()
+        general = _conj(Predicate("a", Comparator.EQ, 0))
+        specific = _conj(
+            Predicate("a", Comparator.EQ, 0), Predicate("b", Comparator.EQ, "x")
+        )
+        assert prune_to_minimal([general, specific], space) == [general]
+
+    def test_keeps_incomparable(self):
+        space = _space()
+        left = _conj(Predicate("a", Comparator.EQ, 0))
+        right = _conj(Predicate("b", Comparator.EQ, "x"))
+        assert set(prune_to_minimal([left, right], space)) == {left, right}
+
+    def test_deduplicates(self):
+        space = _space()
+        cause = _conj(Predicate("a", Comparator.EQ, 0))
+        assert prune_to_minimal([cause, cause], space) == [cause]
+
+
+class TestEnumeration:
+    def test_enumerates_equality_causes(self):
+        space = _space()
+        planted = _conj(
+            Predicate("a", Comparator.EQ, 0), Predicate("b", Comparator.EQ, "y")
+        )
+        causes = minimal_definitive_causes_of_oracle(
+            space, _oracle_for([planted]), max_arity=2
+        )
+        assert planted in causes
+        # Nothing shorter can be definitive.
+        assert all(len(c) == 2 for c in causes)
+
+    def test_verifies_candidates(self):
+        space = _space()
+        planted = _conj(Predicate("a", Comparator.GT, 2))
+        padded = _conj(
+            Predicate("a", Comparator.GT, 2), Predicate("b", Comparator.EQ, "x")
+        )
+        verified = minimal_definitive_causes_of_oracle(
+            space,
+            _oracle_for([planted]),
+            candidate_conjunctions=[planted, padded],
+        )
+        assert verified == [planted]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_planted_equality_cause_is_always_minimal_definitive(seed):
+    """Random single planted equality conjunctions satisfy Definition 5."""
+    rng = random.Random(seed)
+    n_params = rng.randint(2, 4)
+    space = ParameterSpace(
+        [Parameter(f"p{i}", tuple(range(3))) for i in range(n_params)]
+    )
+    arity = rng.randint(1, min(2, n_params))
+    params = rng.sample(range(n_params), arity)
+    cause = Conjunction(
+        [Predicate(f"p{i}", Comparator.EQ, rng.randint(0, 2)) for i in params]
+    )
+    oracle = _oracle_for([cause])
+    assert is_minimal_definitive_root_cause(cause, space, oracle)

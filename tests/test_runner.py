@@ -1,0 +1,180 @@
+"""Tests for execution engines (repro.pipeline.runner): caching, latency,
+failure injection, replay, and the parallel dispatcher."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    DDTConfig,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+    Predicate,
+    debugging_decision_trees,
+)
+from repro.core.session import InstanceUnavailable
+from repro.pipeline import (
+    CachingExecutor,
+    CountingExecutor,
+    FlakyExecutor,
+    LatencyExecutor,
+    ParallelDebugSession,
+    ReplayExecutor,
+)
+
+
+def _space():
+    return ParameterSpace(
+        [Parameter("a", (0, 1, 2, 3)), Parameter("b", ("x", "y"))]
+    )
+
+
+def _oracle(instance):
+    return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+
+class TestWrappers:
+    def test_counting(self):
+        counting = CountingExecutor(_oracle)
+        counting(Instance({"a": 0, "b": "x"}))
+        counting(Instance({"a": 0, "b": "x"}))
+        assert counting.calls == 2
+
+    def test_caching_executes_once(self):
+        counting = CountingExecutor(_oracle)
+        caching = CachingExecutor(counting)
+        instance = Instance({"a": 1, "b": "x"})
+        assert caching(instance) is Outcome.SUCCEED
+        assert caching(instance) is Outcome.SUCCEED
+        assert counting.calls == 1
+        assert caching.cache_size == 1
+
+    def test_latency(self):
+        slow = LatencyExecutor(_oracle, 0.02)
+        start = time.perf_counter()
+        slow(Instance({"a": 0, "b": "x"}))
+        assert time.perf_counter() - start >= 0.02
+
+    def test_latency_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyExecutor(_oracle, -1.0)
+
+    def test_flaky_raises_on_selected_calls(self):
+        flaky = FlakyExecutor(_oracle, lambda call, inst: call == 2)
+        flaky(Instance({"a": 0, "b": "x"}))
+        with pytest.raises(RuntimeError, match="injected"):
+            flaky(Instance({"a": 1, "b": "x"}))
+        assert flaky(Instance({"a": 2, "b": "x"})) is Outcome.SUCCEED
+
+
+class TestReplay:
+    def test_serves_logged_instances(self):
+        log = ExecutionHistory.from_pairs(
+            [(Instance({"a": 0, "b": "x"}), Outcome.FAIL)]
+        )
+        replay = ReplayExecutor(log)
+        assert replay(Instance({"a": 0, "b": "x"})) is Outcome.FAIL
+
+    def test_raises_for_unlogged(self):
+        replay = ReplayExecutor(ExecutionHistory())
+        with pytest.raises(InstanceUnavailable):
+            replay(Instance({"a": 0, "b": "x"}))
+        assert replay.misses == 1
+
+    def test_session_early_stop_via_try_evaluate(self):
+        log = ExecutionHistory.from_pairs(
+            [(Instance({"a": 0, "b": "x"}), Outcome.FAIL)]
+        )
+        session = DebugSession(ReplayExecutor(log), _space())
+        assert session.try_evaluate(Instance({"a": 1, "b": "x"})) is None
+        assert session.try_evaluate(Instance({"a": 0, "b": "x"})) is Outcome.FAIL
+
+
+class TestParallelSession:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelDebugSession(_oracle, _space(), workers=0)
+
+    def test_parallel_flag(self):
+        assert ParallelDebugSession(_oracle, _space()).parallel is True
+
+    def test_batch_results_match_serial(self):
+        instances = [
+            Instance({"a": a, "b": b}) for a in (0, 1, 2, 3) for b in ("x", "y")
+        ]
+        parallel = ParallelDebugSession(_oracle, _space(), workers=4)
+        outcomes = parallel.evaluate_many(instances)
+        serial = DebugSession(_oracle, _space())
+        expected = [serial.evaluate(instance) for instance in instances]
+        assert outcomes == expected
+
+    def test_batch_is_concurrent(self):
+        """8 instances at 50ms each on 4 workers must beat 8x serial."""
+        barrier_hits = []
+        lock = threading.Lock()
+
+        def slow_oracle(instance):
+            with lock:
+                barrier_hits.append(threading.get_ident())
+            time.sleep(0.05)
+            return _oracle(instance)
+
+        parallel = ParallelDebugSession(slow_oracle, _space(), workers=4)
+        instances = [
+            Instance({"a": a, "b": b}) for a in (0, 1, 2, 3) for b in ("x", "y")
+        ]
+        start = time.perf_counter()
+        parallel.evaluate_many(instances)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 8 * 0.05  # strictly better than serial
+        assert len(set(barrier_hits)) > 1  # multiple worker threads used
+
+    def test_budget_respected_under_parallelism(self):
+        parallel = ParallelDebugSession(
+            _oracle, _space(), budget=InstanceBudget(3), workers=4
+        )
+        instances = [
+            Instance({"a": a, "b": b}) for a in (0, 1, 2, 3) for b in ("x", "y")
+        ]
+        outcomes = parallel.evaluate_many(instances)
+        assert parallel.budget.spent <= 3
+        assert sum(1 for o in outcomes if o is not None) <= 3
+
+    def test_history_deduplicated_under_contention(self):
+        parallel = ParallelDebugSession(_oracle, _space(), workers=4)
+        instance = Instance({"a": 1, "b": "x"})
+        parallel.evaluate_many([instance] * 8)
+        assert parallel.history.instances == (instance,)
+        # Only one execution should have been charged.
+        assert parallel.budget.spent == 1
+
+    def test_ddt_runs_on_parallel_session(self):
+        cause = Conjunction([Predicate("a", Comparator.EQ, 0)])
+
+        def oracle(instance):
+            return Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+
+        import random
+
+        rng = random.Random(0)
+        space = _space()
+        history = ExecutionHistory()
+        while len(history) < 6 or not history.failures or not history.successes:
+            candidate = space.random_instance(rng)
+            if candidate not in history:
+                history.record(candidate, oracle(candidate))
+        session = ParallelDebugSession(oracle, space, history=history, workers=4)
+        result = debugging_decision_trees(session, DDTConfig(find_all=True))
+        assert any(
+            found.semantically_equals(cause, space) for found in result.causes
+        )

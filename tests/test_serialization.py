@@ -1,0 +1,109 @@
+"""Tests for workflow serialization (repro.pipeline.serialization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Parameter, ParameterKind, ParameterSpace
+from repro.pipeline import Module, Workflow
+from repro.pipeline.serialization import (
+    ModuleRegistry,
+    space_from_dict,
+    space_to_dict,
+    workflow_from_json,
+    workflow_to_json,
+)
+
+
+def _space():
+    return ParameterSpace(
+        [
+            Parameter("x", (1, 2, 3), ParameterKind.ORDINAL),
+            Parameter("mode", ("sum", "max")),
+            Parameter("flag", (False, True)),
+        ]
+    )
+
+
+def _gen(x):
+    return [x * i for i in range(4)]
+
+
+def _agg(data, mode, flag):
+    value = sum(data) if mode == "sum" else max(data)
+    return value + (100 if flag else 0)
+
+
+def _workflow():
+    workflow = Workflow("toy", _space(), sink=("agg", "out"))
+    workflow.add_module(Module("gen", _gen, parameters=("x",)))
+    workflow.add_module(
+        Module("agg", _agg, inputs=("data",), parameters=("mode", "flag"))
+    )
+    workflow.connect("gen", "out", "agg", "data")
+    return workflow
+
+
+def _registry():
+    return ModuleRegistry({"gen": _gen, "agg": _agg})
+
+
+class TestSpaceRoundtrip:
+    def test_preserves_kinds_and_value_types(self):
+        space = _space()
+        restored = space_from_dict(space_to_dict(space))
+        assert restored.names == space.names
+        for name in space.names:
+            assert restored.domain(name) == space.domain(name)
+            assert restored[name].kind is space[name].kind
+        # Typed codec: booleans stay booleans, ints stay ints.
+        assert restored.domain("flag") == (False, True)
+        assert type(restored.domain("x")[0]) is int
+
+
+class TestWorkflowRoundtrip:
+    def test_structure_survives(self):
+        original = _workflow()
+        restored = workflow_from_json(workflow_to_json(original), _registry())
+        assert restored.name == original.name
+        assert [m.name for m in restored.modules] == [
+            m.name for m in original.modules
+        ]
+        assert restored.sink == original.sink
+        assert len(restored.connections) == len(original.connections)
+
+    def test_execution_equivalence(self):
+        original = _workflow()
+        restored = workflow_from_json(workflow_to_json(original), _registry())
+        for instance in _space().instances():
+            assert (
+                restored.execute(instance).sink_value
+                == original.execute(instance).sink_value
+            )
+
+    def test_missing_function_raises_with_known_names(self):
+        text = workflow_to_json(_workflow())
+        registry = ModuleRegistry({"gen": _gen})  # agg missing
+        with pytest.raises(KeyError, match="agg.*known.*gen"):
+            workflow_from_json(text, registry)
+
+    def test_corrupt_payload_fails_validation(self):
+        import json
+
+        payload = json.loads(workflow_to_json(_workflow()))
+        payload["connections"] = []  # agg's input left dangling
+        from repro.pipeline.serialization import workflow_from_dict
+
+        with pytest.raises(ValueError, match="not connected"):
+            workflow_from_dict(payload, _registry())
+
+
+class TestRegistry:
+    def test_register_chaining_and_contains(self):
+        registry = ModuleRegistry().register("f", _gen).register("g", _agg)
+        assert "f" in registry and "g" in registry
+        assert registry.resolve("f") is _gen
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="not in registry"):
+            ModuleRegistry().resolve("zzz")

@@ -1,0 +1,439 @@
+"""Tests for the Shortcut algorithm, including the paper's worked examples
+(Example 1-3) and its Theorems 1-3 as property-based tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+    Predicate,
+    conjunction_from_assignment,
+    select_good_instance,
+    shortcut,
+)
+
+
+def _session(oracle, space, history=None, budget=None):
+    return DebugSession(oracle, space, history=history, budget=budget)
+
+
+class TestExample1:
+    """The paper's Table 1/2 walk-through."""
+
+    def test_shortcut_finds_library_version(self, ml_space, ml_oracle, table1_history):
+        session = _session(ml_oracle, ml_space, table1_history)
+        failing = table1_history.failures[0]
+        good = select_good_instance(session, failing)
+        assert good == Instance(
+            {
+                "dataset": "digits",
+                "estimator": "decision_tree",
+                "library_version": "1.0",
+            }
+        )
+        result = shortcut(session, failing, good)
+        assert result.asserted
+        assert result.cause == conjunction_from_assignment(
+            {"library_version": "2.0"}
+        )
+
+    def test_example1_executes_exactly_table2_new_instances(
+        self, ml_space, ml_oracle, table1_history
+    ):
+        """Table 2 shows the 3 new instances Shortcut created; the third
+        duplicates a given one, so only 2 are charged."""
+        session = _session(ml_oracle, ml_space, table1_history)
+        failing = table1_history.failures[0]
+        good = select_good_instance(session, failing)
+        result = shortcut(session, failing, good)
+        assert result.instances_executed == 2
+        executed = set(session.history.instances) - {
+            instance for instance, __ in _table1_raw()
+        }
+        assert executed == {
+            Instance(
+                {
+                    "dataset": "digits",
+                    "estimator": "gradient_boosting",
+                    "library_version": "2.0",
+                }
+            ),
+            Instance(
+                {
+                    "dataset": "digits",
+                    "estimator": "decision_tree",
+                    "library_version": "2.0",
+                }
+            ),
+        }
+
+
+def _table1_raw():
+    return [
+        (
+            Instance(
+                {
+                    "dataset": "iris",
+                    "estimator": "logistic_regression",
+                    "library_version": "1.0",
+                }
+            ),
+            Outcome.SUCCEED,
+        ),
+        (
+            Instance(
+                {
+                    "dataset": "digits",
+                    "estimator": "decision_tree",
+                    "library_version": "1.0",
+                }
+            ),
+            Outcome.SUCCEED,
+        ),
+        (
+            Instance(
+                {
+                    "dataset": "iris",
+                    "estimator": "gradient_boosting",
+                    "library_version": "2.0",
+                }
+            ),
+            Outcome.FAIL,
+        ),
+    ]
+
+
+class TestExample2Truncation:
+    """Example 2: overlapping causes make Shortcut truncate."""
+
+    def _setup(self):
+        space = ParameterSpace(
+            [
+                Parameter("p1", ("v1", "v1p")),
+                Parameter("p2", ("v2", "v2p")),
+                Parameter("p3", ("v3", "v3p")),
+            ]
+        )
+        d1 = Conjunction(
+            [
+                Predicate("p1", Comparator.EQ, "v1"),
+                Predicate("p2", Comparator.EQ, "v2"),
+            ]
+        )
+        d2 = Conjunction(
+            [
+                Predicate("p1", Comparator.EQ, "v1p"),
+                Predicate("p3", Comparator.EQ, "v3"),
+            ]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if d1.satisfied_by(instance) or d2.satisfied_by(instance)
+                else Outcome.SUCCEED
+            )
+
+        failing = Instance({"p1": "v1", "p2": "v2", "p3": "v3"})
+        good = Instance({"p1": "v1p", "p2": "v2p", "p3": "v3p"})
+        return space, oracle, failing, good
+
+    def test_truncated_assertion_reproduced(self):
+        space, oracle, failing, good = self._setup()
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+        )
+        session = _session(oracle, space, history)
+        result = shortcut(session, failing, good, sanity_check=False)
+        # The paper's trace: p3=v3 survives alone -- a proper subset of D2.
+        assert result.surviving_assignment == {"p3": "v3"}
+
+    def test_union_property_theorem_4(self):
+        """Truncation happened, so some minimal cause lies in CPf u CPg."""
+        space, oracle, failing, good = self._setup()
+        d2 = Conjunction(
+            [
+                Predicate("p1", Comparator.EQ, "v1p"),
+                Predicate("p3", Comparator.EQ, "v3"),
+            ]
+        )
+        union = dict(failing)
+        union_values = {(k, v) for k, v in failing.items()} | {
+            (k, v) for k, v in good.items()
+        }
+        assert all(
+            (p.parameter, p.value) in union_values for p in d2.predicates
+        )
+        del union
+
+
+class TestExample3SufficientlyDifferent:
+    """Example 3: sufficiently-different causes avoid truncation."""
+
+    def test_no_truncation(self):
+        space = ParameterSpace(
+            [
+                Parameter("p1", ("v1", "v1p")),
+                Parameter("p2", ("v2", "v2p", "v2pp")),
+                Parameter("p3", ("v3", "v3p")),
+            ]
+        )
+        d1 = Conjunction(
+            [
+                Predicate("p1", Comparator.EQ, "v1"),
+                Predicate("p2", Comparator.EQ, "v2"),
+            ]
+        )
+        d2 = Conjunction(
+            [
+                Predicate("p1", Comparator.EQ, "v1p"),
+                Predicate("p2", Comparator.EQ, "v2pp"),
+                Predicate("p3", Comparator.EQ, "v3"),
+            ]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if d1.satisfied_by(instance) or d2.satisfied_by(instance)
+                else Outcome.SUCCEED
+            )
+
+        failing = Instance({"p1": "v1", "p2": "v2", "p3": "v3"})
+        good = Instance({"p1": "v1p", "p2": "v2p", "p3": "v3p"})
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+        )
+        session = _session(oracle, space, history)
+        result = shortcut(session, failing, good)
+        assert result.cause == d1
+
+
+class TestMechanics:
+    def test_missing_parameter_rejected(self, mixed_space):
+        session = _session(lambda i: Outcome.FAIL, mixed_space)
+        with pytest.raises(ValueError, match="lacks parameters"):
+            shortcut(
+                session,
+                Instance({"a": 0}),
+                Instance({"a": 1, "b": "x", "c": 0.0}),
+            )
+
+    def test_sanity_check_rejects_superset_success(self, mixed_space):
+        """Algorithm 1's final loop: D contained in a success -> empty."""
+
+        def oracle(instance):
+            # Fails only in a corner the walk cannot justify cleanly.
+            return (
+                Outcome.FAIL
+                if instance["a"] == 0 and instance["b"] == "x"
+                else Outcome.SUCCEED
+            )
+
+        failing = Instance({"a": 0, "b": "x", "c": 0.0})
+        good = Instance({"a": 1, "b": "y", "c": 1.0})
+        # A success containing a=0 (the candidate D after a bad walk).
+        extra_success = Instance({"a": 0, "b": "z", "c": 0.0})
+        history = ExecutionHistory.from_pairs(
+            [
+                (failing, Outcome.FAIL),
+                (good, Outcome.SUCCEED),
+                (extra_success, Outcome.SUCCEED),
+            ]
+        )
+        session = _session(oracle, mixed_space, history)
+        result = shortcut(session, failing, good)
+        # Either a correct assertion or a sanity-check rejection; never a
+        # cause contained in a known success.
+        if result.asserted:
+            for success in session.history.successes:
+                assert not result.cause.satisfied_by(success)
+
+    def test_budget_exhaustion_marks_incomplete(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+        failing = Instance({"a": 0, "b": "x", "c": 0.0})
+        good = Instance({"a": 1, "b": "y", "c": 1.0})
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+        )
+        session = _session(oracle, mixed_space, history, InstanceBudget(1))
+        result = shortcut(session, failing, good)
+        assert not result.complete
+
+    def test_linear_cost_in_parameters(self):
+        """At most |P| new executions (Section 4.1)."""
+        names = [f"p{i}" for i in range(12)]
+        space = ParameterSpace([Parameter(n, (0, 1)) for n in names])
+
+        def oracle(instance):
+            return Outcome.FAIL if instance["p3"] == 0 else Outcome.SUCCEED
+
+        failing = Instance({n: 0 for n in names})
+        good = Instance({n: 1 for n in names})
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+        )
+        session = _session(oracle, space, history)
+        result = shortcut(session, failing, good)
+        assert result.instances_executed <= len(names)
+        assert result.cause == conjunction_from_assignment({"p3": 0})
+
+
+# -- Theorems 1-3 as properties ------------------------------------------------
+
+
+@st.composite
+def _singleton_cause_problem(draw):
+    """Random space with singleton equality causes + disjoint CPf/CPg."""
+    n_params = draw(st.integers(3, 6))
+    domain_size = draw(st.integers(2, 4))
+    space = ParameterSpace(
+        [Parameter(f"p{i}", tuple(range(domain_size))) for i in range(n_params)]
+    )
+    n_causes = draw(st.integers(1, 2))
+    cause_params = draw(
+        st.lists(
+            st.integers(0, n_params - 1),
+            min_size=n_causes,
+            max_size=n_causes,
+            unique=True,
+        )
+    )
+    causes = [
+        Conjunction([Predicate(f"p{i}", Comparator.EQ, 0)]) for i in cause_params
+    ]
+    failing = Instance({f"p{i}": 0 for i in range(n_params)})
+    good = Instance({f"p{i}": 1 for i in range(n_params)})
+    return space, causes, failing, good
+
+
+@settings(max_examples=60, deadline=None)
+@given(_singleton_cause_problem())
+def test_theorem_1_singleton_causes_found_exactly(problem):
+    """Singleton causes + disjointness -> exactly one minimal cause asserted."""
+    space, causes, failing, good = problem
+
+    def oracle(instance):
+        return (
+            Outcome.FAIL
+            if any(c.satisfied_by(instance) for c in causes)
+            else Outcome.SUCCEED
+        )
+
+    history = ExecutionHistory.from_pairs(
+        [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+    )
+    session = DebugSession(oracle, space, history=history)
+    result = shortcut(session, failing, good)
+    assert result.asserted
+    assert result.cause in causes
+
+
+@st.composite
+def _random_conjunction_problem(draw):
+    """Random equality-conjunction causes with a guaranteed disjoint pair."""
+    n_params = draw(st.integers(3, 5))
+    space = ParameterSpace(
+        [Parameter(f"p{i}", (0, 1, 2)) for i in range(n_params)]
+    )
+    n_causes = draw(st.integers(1, 2))
+    causes = []
+    for __ in range(n_causes):
+        arity = draw(st.integers(1, min(2, n_params)))
+        params = draw(
+            st.lists(
+                st.integers(0, n_params - 1),
+                min_size=arity,
+                max_size=arity,
+                unique=True,
+            )
+        )
+        causes.append(
+            Conjunction(
+                [Predicate(f"p{i}", Comparator.EQ, 0) for i in params]
+            )
+        )
+    failing = Instance({f"p{i}": 0 for i in range(n_params)})
+    good = Instance({f"p{i}": 1 for i in range(n_params)})
+    return space, causes, failing, good
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_conjunction_problem())
+def test_theorem_2_never_asserts_superset(problem):
+    """Under disjointness, the assertion is never a strict superset of a
+    minimal definitive root cause."""
+    space, causes, failing, good = problem
+
+    def oracle(instance):
+        return (
+            Outcome.FAIL
+            if any(c.satisfied_by(instance) for c in causes)
+            else Outcome.SUCCEED
+        )
+
+    history = ExecutionHistory.from_pairs(
+        [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+    )
+    session = DebugSession(oracle, space, history=history)
+    result = shortcut(session, failing, good, sanity_check=False)
+    asserted = set(result.cause.predicates)
+    for cause in causes:
+        cause_predicates = set(cause.predicates)
+        assert not (
+            cause_predicates < asserted
+        ), f"asserted {result.cause} is a strict superset of {cause}"
+
+
+def test_theorem_3_sufficiently_different_no_truncation():
+    """Deterministic re-check of Example 3 over many parameter orders."""
+    space = ParameterSpace(
+        [
+            Parameter("p1", (0, 1)),
+            Parameter("p2", (0, 1, 2)),
+            Parameter("p3", (0, 1)),
+        ]
+    )
+    d1 = Conjunction(
+        [Predicate("p1", Comparator.EQ, 0), Predicate("p2", Comparator.EQ, 0)]
+    )
+    d2 = Conjunction(
+        [
+            Predicate("p1", Comparator.EQ, 1),
+            Predicate("p2", Comparator.EQ, 2),
+            Predicate("p3", Comparator.EQ, 0),
+        ]
+    )
+
+    def oracle(instance):
+        return (
+            Outcome.FAIL
+            if d1.satisfied_by(instance) or d2.satisfied_by(instance)
+            else Outcome.SUCCEED
+        )
+
+    failing = Instance({"p1": 0, "p2": 0, "p3": 0})
+    good = Instance({"p1": 1, "p2": 1, "p3": 1})
+    import itertools
+
+    for order in itertools.permutations(["p1", "p2", "p3"]):
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+        )
+        session = DebugSession(oracle, space, history=history)
+        result = shortcut(session, failing, good, parameter_order=order)
+        assert result.cause == d1, f"truncated under order {order}"

@@ -1,0 +1,172 @@
+"""Tests for the Stacked Shortcut algorithm (Algorithm 2, Theorem 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    Conjunction,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+    Predicate,
+    conjunction_from_assignment,
+    stacked_shortcut,
+)
+
+
+def test_requires_a_failure():
+    space = ParameterSpace([Parameter("a", (0, 1))])
+    history = ExecutionHistory.from_pairs([(Instance({"a": 0}), Outcome.SUCCEED)])
+    session = DebugSession(lambda i: Outcome.SUCCEED, space, history=history)
+    with pytest.raises(ValueError, match="no failing instance"):
+        stacked_shortcut(session)
+
+
+def test_requires_a_success():
+    space = ParameterSpace([Parameter("a", (0, 1))])
+    history = ExecutionHistory.from_pairs([(Instance({"a": 0}), Outcome.FAIL)])
+    session = DebugSession(lambda i: Outcome.FAIL, space, history=history)
+    with pytest.raises(ValueError, match="no successful instance"):
+        stacked_shortcut(session)
+
+
+def test_invalid_stack_width():
+    space = ParameterSpace([Parameter("a", (0, 1))])
+    session = DebugSession(lambda i: Outcome.FAIL, space)
+    with pytest.raises(ValueError, match="stack_width"):
+        stacked_shortcut(session, stack_width=0)
+
+
+def test_single_cause_matches_plain_shortcut(ml_space, ml_oracle, table1_history):
+    session = DebugSession(ml_oracle, ml_space, history=table1_history)
+    result = stacked_shortcut(session)
+    assert result.cause == conjunction_from_assignment({"library_version": "2.0"})
+    assert len(result.good_instances) >= 1
+
+
+def test_falls_back_to_most_different_without_disjoint_success():
+    """Heuristic regime: no disjoint success exists at all."""
+    space = ParameterSpace([Parameter("a", (0, 1, 2)), Parameter("b", (0, 1, 2))])
+
+    def oracle(instance):
+        return Outcome.FAIL if instance["b"] == 0 else Outcome.SUCCEED
+
+    failing = Instance({"a": 0, "b": 0})
+    # Shares parameter a with the failing instance -> not disjoint.
+    good = Instance({"a": 0, "b": 1})
+    history = ExecutionHistory.from_pairs(
+        [(failing, Outcome.FAIL), (good, Outcome.SUCCEED)]
+    )
+    session = DebugSession(oracle, space, history=history)
+    result = stacked_shortcut(session)
+    assert result.good_instances == (good,)
+    assert result.asserted
+
+
+class TestTheorem5:
+    """k mutually disjoint successes + <= k causes -> no truncation."""
+
+    def _two_cause_problem(self):
+        space = ParameterSpace(
+            [Parameter(f"p{i}", (0, 1, 2, 3)) for i in range(4)]
+        )
+        d1 = Conjunction(
+            [
+                Predicate("p0", Comparator.EQ, 0),
+                Predicate("p1", Comparator.EQ, 0),
+            ]
+        )
+        d2 = Conjunction(
+            [
+                Predicate("p0", Comparator.EQ, 1),
+                Predicate("p2", Comparator.EQ, 0),
+            ]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if d1.satisfied_by(instance) or d2.satisfied_by(instance)
+                else Outcome.SUCCEED
+            )
+
+        return space, oracle, d1, d2
+
+    def test_stacking_avoids_example2_truncation(self):
+        """Example 2's overlap truncates a single shortcut; two mutually
+        disjoint good instances recover the full cause."""
+        space, oracle, d1, d2 = self._two_cause_problem()
+        failing = Instance({"p0": 0, "p1": 0, "p2": 0, "p3": 0})
+        goods = [
+            Instance({"p0": 2, "p1": 1, "p2": 1, "p3": 1}),
+            Instance({"p0": 3, "p1": 2, "p2": 2, "p3": 2}),
+        ]
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL)]
+            + [(good, Outcome.SUCCEED) for good in goods]
+        )
+        session = DebugSession(oracle, space, history=history)
+        result = stacked_shortcut(session, stack_width=2)
+        # No truncation: the asserted cause contains all of d1 (the cause
+        # inside CPf) -- it is never a *proper subset* of a minimal cause.
+        assert d1.predicates <= result.cause.predicates
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_union_never_truncates_with_enough_disjoint_goods(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n_params = rng.randint(3, 5)
+        domain = tuple(range(6))
+        space = ParameterSpace(
+            [Parameter(f"p{i}", domain) for i in range(n_params)]
+        )
+        # One planted cause inside CPf = all-zeros.
+        arity = rng.randint(1, 2)
+        cause_params = rng.sample(range(n_params), arity)
+        cause = Conjunction(
+            [Predicate(f"p{i}", Comparator.EQ, 0) for i in cause_params]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL if cause.satisfied_by(instance) else Outcome.SUCCEED
+            )
+
+        failing = Instance({f"p{i}": 0 for i in range(n_params)})
+        goods = [
+            Instance({f"p{i}": v for i in range(n_params)}) for v in (1, 2, 3)
+        ]
+        history = ExecutionHistory.from_pairs(
+            [(failing, Outcome.FAIL)]
+            + [(good, Outcome.SUCCEED) for good in goods]
+        )
+        session = DebugSession(oracle, space, history=history)
+        result = stacked_shortcut(session, stack_width=3)
+        # With a single cause, theorem 5 says the assertion is not
+        # truncated; theorem 2 says it is not a superset: equality.
+        assert result.cause == cause
+
+
+def test_instances_linear_in_parameters_times_stack():
+    names = [f"p{i}" for i in range(10)]
+    space = ParameterSpace([Parameter(n, (0, 1, 2, 3)) for n in names])
+
+    def oracle(instance):
+        return Outcome.FAIL if instance["p0"] == 0 else Outcome.SUCCEED
+
+    failing = Instance({n: 0 for n in names})
+    goods = [Instance({n: v for n in names}) for v in (1, 2, 3)]
+    history = ExecutionHistory.from_pairs(
+        [(failing, Outcome.FAIL)] + [(g, Outcome.SUCCEED) for g in goods]
+    )
+    session = DebugSession(oracle, space, history=history)
+    result = stacked_shortcut(session, stack_width=3)
+    assert result.instances_executed <= 3 * len(names)

@@ -1,0 +1,78 @@
+"""Stateful property test: the two provenance backends stay equivalent.
+
+A hypothesis RuleBasedStateMachine drives an in-memory store and a
+SQLite store with the same operations and checks the observable state
+(record count, outcome counts, value universe, history projection)
+never diverges -- the classic model-based test for storage engines.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core import Instance, Outcome
+from repro.provenance import (
+    InMemoryProvenanceStore,
+    ProvenanceRecord,
+    SQLiteProvenanceStore,
+)
+
+_VALUES = st.one_of(
+    st.integers(-5, 5),
+    st.sampled_from(["red", "green", "blue"]),
+    st.booleans(),
+)
+
+_INSTANCES = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3"]), _VALUES, min_size=1, max_size=3
+)
+
+
+class StoreEquivalence(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.memory = InMemoryProvenanceStore()
+        self.sqlite = SQLiteProvenanceStore(":memory:")
+        self.outcomes: dict[Instance, Outcome] = {}
+
+    @rule(assignment=_INSTANCES, fail=st.booleans(), workflow=st.sampled_from(["w1", "w2"]))
+    def add_record(self, assignment, fail, workflow):
+        instance = Instance(assignment)
+        # Keep outcomes deterministic per instance so history projection
+        # (which enforces Definition 2) stays well-defined.
+        outcome = self.outcomes.setdefault(
+            instance, Outcome.FAIL if fail else Outcome.SUCCEED
+        )
+        record = ProvenanceRecord(workflow, instance, outcome)
+        self.memory.add(record)
+        self.sqlite.add(record)
+
+    @invariant()
+    def same_length(self):
+        assert len(self.memory) == len(self.sqlite)
+
+    @invariant()
+    def same_outcome_counts(self):
+        assert self.memory.count_by_outcome() == self.sqlite.count_by_outcome()
+
+    @invariant()
+    def same_universe(self):
+        assert self.memory.value_universe() == self.sqlite.value_universe()
+
+    @invariant()
+    def same_history_projection(self):
+        left = self.memory.to_history()
+        right = self.sqlite.to_history()
+        assert set(left.instances) == set(right.instances)
+        assert set(left.failures) == set(right.failures)
+
+    def teardown(self):
+        self.sqlite.close()
+
+
+TestStoreEquivalence = StoreEquivalence.TestCase
+TestStoreEquivalence.settings = settings(
+    max_examples=25, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,113 @@
+"""Tests for the synthetic pipeline generator (repro.synth)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Outcome, is_minimal_definitive_root_cause
+from repro.synth import (
+    Scenario,
+    SyntheticConfig,
+    generate_pipeline,
+    generate_space,
+    make_suite,
+    scenario_config,
+)
+
+
+class TestGenerateSpace:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_shape_matches_paper_ranges(self, seed):
+        config = SyntheticConfig()
+        space = generate_space(config, random.Random(seed))
+        assert 3 <= len(space) <= 15
+        for parameter in space.parameters:
+            assert 5 <= len(parameter.domain) <= 30
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig()
+        first = generate_space(config, random.Random(42))
+        second = generate_space(config, random.Random(42))
+        assert first.names == second.names
+        for name in first.names:
+            assert first.domain(name) == second.domain(name)
+
+
+class TestGeneratePipeline:
+    def test_oracle_matches_failure_law(self):
+        pipeline = generate_pipeline("p", seed=0)
+        rng = random.Random(1)
+        for __ in range(200):
+            instance = pipeline.space.random_instance(rng)
+            expected = pipeline.failure_law.satisfied_by(instance)
+            assert (pipeline.oracle(instance) is Outcome.FAIL) == expected
+
+    def test_cause_arities_respected(self):
+        config = SyntheticConfig(
+            min_parameters=4,
+            max_parameters=6,
+            min_values=5,
+            max_values=8,
+            cause_arities=(2, 1),
+        )
+        pipeline = generate_pipeline("p", config=config, seed=3)
+        arities = sorted(len(c) for c in pipeline.true_causes)
+        # Resampling may prune an overlapping conjunct, but what remains
+        # must be drawn from the requested arities.
+        assert arities in ([1, 2], [1], [2])
+
+    def test_initial_history_has_both_outcomes(self):
+        pipeline = generate_pipeline("p", seed=5)
+        history = pipeline.initial_history(random.Random(0))
+        assert history.failures and history.successes
+
+    def test_failing_instance_fails(self):
+        pipeline = generate_pipeline("p", seed=7)
+        instance = pipeline.failing_instance(random.Random(0))
+        assert pipeline.oracle(instance) is Outcome.FAIL
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_planted_causes_verified_minimal_on_small_spaces(self, seed):
+        config = SyntheticConfig(
+            min_parameters=3,
+            max_parameters=4,
+            min_values=5,
+            max_values=6,
+            cause_arities=(1, 2),
+        )
+        pipeline = generate_pipeline("p", config=config, seed=seed)
+        if pipeline.space.size() > config.verify_minimality_up_to:
+            return
+        for cause in pipeline.true_causes:
+            assert is_minimal_definitive_root_cause(
+                cause, pipeline.space, pipeline.oracle
+            ), str(cause)
+
+
+class TestScenarios:
+    def test_scenario_arities(self):
+        rng = random.Random(0)
+        assert scenario_config(Scenario.SINGLE_TRIPLE, rng).cause_arities == (1,)
+        conj = scenario_config(Scenario.CONJUNCTION, rng).cause_arities
+        assert len(conj) == 1 and conj[0] >= 2
+        disj = scenario_config(Scenario.DISJUNCTION, rng).cause_arities
+        assert len(disj) >= 2
+
+    @pytest.mark.parametrize("scenario", list(Scenario))
+    def test_make_suite(self, scenario):
+        suite = make_suite(scenario, 3, seed=1)
+        assert len(suite) == 3
+        names = {p.name for p in suite}
+        assert len(names) == 3
+        for pipeline in suite:
+            assert pipeline.true_causes
+
+    def test_suite_deterministic(self):
+        first = make_suite(Scenario.SINGLE_TRIPLE, 2, seed=9)
+        second = make_suite(Scenario.SINGLE_TRIPLE, 2, seed=9)
+        assert [p.true_causes for p in first] == [p.true_causes for p in second]

@@ -1,0 +1,157 @@
+"""Tests for unpruned debugging-tree induction (repro.core.tree)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Comparator,
+    DebuggingTree,
+    Instance,
+    LeafKind,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Predicate,
+    build_tree,
+)
+
+
+def _samples(space, oracle, instances):
+    return [(instance, oracle(instance)) for instance in instances]
+
+
+class TestBuildTree:
+    def test_empty_samples_gives_mixed_leaf(self, mixed_space):
+        root = build_tree(mixed_space, [])
+        assert root.is_leaf
+        assert root.leaf_kind is LeafKind.MIXED
+
+    def test_pure_fail_history_is_single_leaf(self, mixed_space):
+        samples = [
+            (Instance({"a": 0, "b": "x", "c": 0.0}), Outcome.FAIL),
+            (Instance({"a": 1, "b": "y", "c": 0.5}), Outcome.FAIL),
+        ]
+        root = build_tree(mixed_space, samples)
+        assert root.is_leaf
+        assert root.leaf_kind is LeafKind.FAIL
+
+    def test_separable_samples_grow_pure_leaves(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["b"] == "y" else Outcome.SUCCEED
+
+        rng = random.Random(0)
+        instances = list({mixed_space.random_instance(rng) for __ in range(40)})
+        tree = DebuggingTree(mixed_space, _samples(mixed_space, oracle, instances))
+        # Deterministic oracle + distinct instances -> all leaves pure.
+        for path in tree.paths(LeafKind.MIXED):
+            raise AssertionError(f"unexpected mixed leaf: {path}")
+
+    def test_classify_routes_to_trained_outcome(self, mixed_space):
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] >= 3 else Outcome.SUCCEED
+
+        rng = random.Random(1)
+        instances = list({mixed_space.random_instance(rng) for __ in range(60)})
+        tree = DebuggingTree(mixed_space, _samples(mixed_space, oracle, instances))
+        for instance in instances:
+            expected = (
+                LeafKind.FAIL if oracle(instance) is Outcome.FAIL else LeafKind.SUCCEED
+            )
+            assert tree.classify(instance) is expected
+
+    def test_max_depth_caps_growth(self, mixed_space):
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if (instance["a"] + int(instance["c"] * 2)) % 2 == 0
+                else Outcome.SUCCEED
+            )
+
+        rng = random.Random(2)
+        instances = list({mixed_space.random_instance(rng) for __ in range(50)})
+        samples = _samples(mixed_space, oracle, instances)
+        deep = build_tree(mixed_space, samples)
+        shallow = build_tree(mixed_space, samples, max_depth=1)
+        assert shallow.size <= deep.size
+        assert shallow.size <= 3
+
+
+class TestPaths:
+    def test_fail_paths_describe_their_leaves(self, mixed_space):
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if instance["a"] > 2 and instance["b"] == "y"
+                else Outcome.SUCCEED
+            )
+
+        rng = random.Random(3)
+        instances = list({mixed_space.random_instance(rng) for __ in range(80)})
+        tree = DebuggingTree(mixed_space, _samples(mixed_space, oracle, instances))
+        fail_paths = tree.fail_paths()
+        assert fail_paths
+        # Every training failure satisfies some fail path; no training
+        # success satisfies any fail path.
+        for instance in instances:
+            satisfied = any(p.satisfied_by(instance) for p in fail_paths)
+            assert satisfied == (oracle(instance) is Outcome.FAIL)
+
+    def test_paths_sorted_shortest_first(self, mixed_space):
+        def oracle(instance):
+            bad = (instance["a"] == 0) or (
+                instance["b"] == "z" and instance["c"] == 1.5
+            )
+            return Outcome.FAIL if bad else Outcome.SUCCEED
+
+        instances = list(mixed_space.instances())
+        tree = DebuggingTree(mixed_space, _samples(mixed_space, oracle, instances))
+        lengths = [len(p) for p in tree.fail_paths()]
+        assert lengths == sorted(lengths)
+
+    def test_inequality_splits_on_ordinals(self):
+        space = ParameterSpace(
+            [Parameter("t", tuple(range(10)), ParameterKind.ORDINAL)]
+        )
+
+        def oracle(instance):
+            return Outcome.FAIL if instance["t"] > 6 else Outcome.SUCCEED
+
+        samples = [(i, oracle(i)) for i in space.instances()]
+        tree = DebuggingTree(space, samples)
+        (path,) = tree.fail_paths()
+        assert path.canonical(space) == {"t": frozenset({7, 8, 9})}
+        # The split really is an inequality predicate.
+        comparators = {p.comparator for p in path.predicates}
+        assert comparators <= {Comparator.GT, Comparator.LE}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_tree_purity_invariant_random_oracles(seed):
+    """Fully-grown trees over deduplicated deterministic samples have no
+    mixed leaves, and fail paths exactly cover training failures."""
+    rng = random.Random(seed)
+    space = ParameterSpace(
+        [
+            Parameter("u", (0, 1, 2, 3), ParameterKind.ORDINAL),
+            Parameter("v", ("p", "q")),
+        ]
+    )
+    law = {
+        instance: rng.random() < 0.35 for instance in space.instances()
+    }
+
+    def oracle(instance):
+        return Outcome.FAIL if law[instance] else Outcome.SUCCEED
+
+    instances = list({space.random_instance(rng) for __ in range(30)})
+    tree = DebuggingTree(space, [(i, oracle(i)) for i in instances])
+    assert not tree.paths(LeafKind.MIXED)
+    fail_paths = tree.fail_paths()
+    for instance in instances:
+        covered = any(p.satisfied_by(instance) for p in fail_paths)
+        assert covered == (oracle(instance) is Outcome.FAIL)

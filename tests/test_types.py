@@ -1,0 +1,186 @@
+"""Unit tests for the core value types (repro.core.types)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Evaluation,
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+)
+
+
+class TestParameter:
+    def test_domain_is_normalized_to_tuple(self):
+        parameter = Parameter("p", [1, 2, 3], ParameterKind.ORDINAL)
+        assert parameter.domain == (1, 2, 3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Parameter("", (1,))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            Parameter("p", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Parameter("p", (1, 1, 2))
+
+    def test_ordinal_domain_must_be_sorted(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Parameter("p", (3, 1, 2), ParameterKind.ORDINAL)
+
+    def test_ordinal_non_comparable_rejected(self):
+        with pytest.raises(ValueError, match="non-comparable"):
+            Parameter("p", (1, "a"), ParameterKind.ORDINAL)
+
+    def test_categorical_domain_order_free(self):
+        parameter = Parameter("p", ("c", "a", "b"))
+        assert parameter.domain == ("c", "a", "b")
+        assert not parameter.is_ordinal
+
+    def test_index_of(self):
+        parameter = Parameter("p", ("a", "b", "c"))
+        assert parameter.index_of("b") == 1
+        with pytest.raises(ValueError, match="not in domain"):
+            parameter.index_of("zzz")
+
+    def test_contains(self):
+        parameter = Parameter("p", (1, 2))
+        assert 1 in parameter
+        assert 9 not in parameter
+
+
+class TestParameterSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ParameterSpace([Parameter("p", (1,)), Parameter("p", (2,))])
+
+    def test_names_preserve_declaration_order(self, mixed_space):
+        assert mixed_space.names == ("a", "b", "c")
+
+    def test_size_is_domain_product(self, mixed_space):
+        assert mixed_space.size() == 5 * 3 * 4
+
+    def test_instances_enumeration_is_exhaustive_and_unique(self, mixed_space):
+        instances = list(mixed_space.instances())
+        assert len(instances) == mixed_space.size()
+        assert len(set(instances)) == mixed_space.size()
+
+    def test_validate_accepts_good_instance(self, mixed_space):
+        mixed_space.validate(Instance({"a": 0, "b": "x", "c": 1.0}))
+
+    def test_validate_rejects_missing_parameter(self, mixed_space):
+        with pytest.raises(ValueError, match="missing"):
+            mixed_space.validate(Instance({"a": 0, "b": "x"}))
+
+    def test_validate_rejects_unknown_parameter(self, mixed_space):
+        with pytest.raises(ValueError, match="unknown"):
+            mixed_space.validate(
+                Instance({"a": 0, "b": "x", "c": 1.0, "zzz": 1})
+            )
+
+    def test_validate_rejects_out_of_domain_value(self, mixed_space):
+        with pytest.raises(ValueError, match="out of domain"):
+            mixed_space.validate(Instance({"a": 99, "b": "x", "c": 1.0}))
+
+    def test_random_instance_in_space(self, mixed_space):
+        rng = random.Random(0)
+        for __ in range(50):
+            mixed_space.validate(mixed_space.random_instance(rng))
+
+    def test_subspace_projects(self, mixed_space):
+        sub = mixed_space.subspace(["a", "c"])
+        assert sub.names == ("a", "c")
+        assert sub.size() == 5 * 4
+
+    def test_mapping_protocol(self, mixed_space):
+        assert len(mixed_space) == 3
+        assert mixed_space["a"].is_ordinal
+        assert list(mixed_space) == ["a", "b", "c"]
+
+
+class TestInstance:
+    def test_equality_and_hash_are_value_based(self):
+        left = Instance({"a": 1, "b": 2})
+        right = Instance({"b": 2, "a": 1})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_with_value_returns_new_instance(self):
+        original = Instance({"a": 1, "b": 2})
+        updated = original.with_value("a", 9)
+        assert original["a"] == 1
+        assert updated["a"] == 9
+        assert updated["b"] == 2
+
+    def test_with_value_unknown_parameter_raises(self):
+        with pytest.raises(KeyError):
+            Instance({"a": 1}).with_value("zzz", 0)
+
+    def test_hamming_distance(self):
+        left = Instance({"a": 1, "b": 2, "c": 3})
+        right = Instance({"a": 1, "b": 9, "c": 8})
+        assert left.hamming_distance(right) == 2
+
+    def test_disjointness_definition_6(self):
+        left = Instance({"a": 1, "b": 2})
+        assert left.is_disjoint_from(Instance({"a": 9, "b": 8}))
+        assert not left.is_disjoint_from(Instance({"a": 1, "b": 8}))
+
+    def test_disjointness_requires_common_parameters(self):
+        with pytest.raises(ValueError, match="common parameter set"):
+            Instance({"a": 1}).is_disjoint_from(Instance({"b": 1}))
+
+    def test_restricted_to(self):
+        instance = Instance({"a": 1, "b": 2, "c": 3})
+        assert instance.restricted_to(["a", "c"]) == Instance({"a": 1, "c": 3})
+
+    def test_as_dict_is_a_copy(self):
+        instance = Instance({"a": 1})
+        mutable = instance.as_dict()
+        mutable["a"] = 99
+        assert instance["a"] == 1
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.integers(0, 5),
+            min_size=1,
+        )
+    )
+    def test_instance_roundtrip_property(self, values):
+        instance = Instance(values)
+        assert dict(instance) == values
+        assert Instance(dict(instance)) == instance
+
+
+class TestOutcome:
+    def test_invert(self):
+        assert ~Outcome.FAIL is Outcome.SUCCEED
+        assert ~Outcome.SUCCEED is Outcome.FAIL
+
+    def test_failed_flag(self):
+        assert Outcome.FAIL.failed
+        assert not Outcome.SUCCEED.failed
+
+
+class TestEvaluation:
+    def test_flags(self):
+        failing = Evaluation(Instance({"a": 1}), Outcome.FAIL)
+        assert failing.failed and not failing.succeeded
+
+    def test_carries_result_and_cost(self):
+        evaluation = Evaluation(
+            Instance({"a": 1}), Outcome.SUCCEED, result=0.93, cost=1.5
+        )
+        assert evaluation.result == 0.93
+        assert evaluation.cost == 1.5

@@ -1,0 +1,202 @@
+"""Tests for the workflow engine (repro.pipeline.module / .workflow /
+.evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Outcome, Parameter, ParameterSpace
+from repro.pipeline import (
+    CycleError,
+    Module,
+    ModuleError,
+    Workflow,
+    WorkflowExecutor,
+    predicate_evaluation,
+    threshold_evaluation,
+)
+
+
+def _space():
+    return ParameterSpace([Parameter("x", (1, 2, 3)), Parameter("y", ("a", "b"))])
+
+
+class TestModule:
+    def test_single_output_normalization(self):
+        module = Module("m", lambda: 42)
+        assert module.run({}, {}) == {"out": 42}
+
+    def test_parameters_are_passed(self):
+        module = Module("m", lambda x: x * 2, parameters=("x",))
+        assert module.run({}, {"x": 3}) == {"out": 6}
+
+    def test_inputs_are_passed(self):
+        module = Module("m", lambda v: v + 1, inputs=("v",))
+        assert module.run({"v": 1}, {}) == {"out": 2}
+
+    def test_missing_input_raises_module_error(self):
+        module = Module("m", lambda v: v, inputs=("v",))
+        with pytest.raises(ModuleError, match="missing input"):
+            module.run({}, {})
+
+    def test_missing_parameter_raises_module_error(self):
+        module = Module("m", lambda x: x, parameters=("x",))
+        with pytest.raises(ModuleError, match="missing parameter"):
+            module.run({}, {})
+
+    def test_crash_is_wrapped(self):
+        def boom():
+            raise ZeroDivisionError("crash")
+
+        module = Module("m", boom)
+        with pytest.raises(ModuleError, match="crash"):
+            module.run({}, {})
+
+    def test_multi_output_requires_mapping(self):
+        module = Module("m", lambda: 1, outputs=("p", "q"))
+        with pytest.raises(ModuleError, match="must return a mapping"):
+            module.run({}, {})
+
+    def test_multi_output_missing_port(self):
+        module = Module("m", lambda: {"p": 1}, outputs=("p", "q"))
+        with pytest.raises(ModuleError, match="missing output ports"):
+            module.run({}, {})
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ValueError, match="duplicate input ports"):
+            Module("m", lambda: 0, inputs=("v", "v"))
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValueError, match="output port"):
+            Module("m", lambda: 0, outputs=())
+
+
+class TestWorkflow:
+    def _linear(self):
+        space = _space()
+        workflow = Workflow("linear", space)
+        workflow.add_module(Module("gen", lambda x: x * 10, parameters=("x",)))
+        workflow.add_module(
+            Module("fmt", lambda v, y: f"{v}{y}", inputs=("v",), parameters=("y",))
+        )
+        workflow.connect("gen", "out", "fmt", "v")
+        return workflow
+
+    def test_execute_linear(self):
+        result = self._linear().execute(Instance({"x": 2, "y": "b"}))
+        assert result.sink_value == "20b"
+        assert result.trace == ("gen", "fmt")
+
+    def test_duplicate_module_rejected(self):
+        workflow = Workflow("w", _space())
+        workflow.add_module(Module("m", lambda: 0))
+        with pytest.raises(ValueError, match="duplicate module"):
+            workflow.add_module(Module("m", lambda: 0))
+
+    def test_unknown_parameter_rejected(self):
+        workflow = Workflow("w", _space())
+        with pytest.raises(ValueError, match="outside the workflow space"):
+            workflow.add_module(Module("m", lambda zzz: zzz, parameters=("zzz",)))
+
+    def test_connect_validates_ports(self):
+        workflow = Workflow("w", _space())
+        workflow.add_module(Module("a", lambda: 0))
+        workflow.add_module(Module("b", lambda v: v, inputs=("v",)))
+        with pytest.raises(ValueError, match="no output port"):
+            workflow.connect("a", "zzz", "b", "v")
+        with pytest.raises(ValueError, match="no input port"):
+            workflow.connect("a", "out", "b", "zzz")
+        workflow.connect("a", "out", "b", "v")
+        with pytest.raises(ValueError, match="already has a connection"):
+            workflow.connect("a", "out", "b", "v")
+
+    def test_cycle_detection(self):
+        space = _space()
+        workflow = Workflow("cyclic", space)
+        workflow.add_module(Module("a", lambda v: v, inputs=("v",)))
+        workflow.add_module(Module("b", lambda v: v, inputs=("v",)))
+        workflow.connect("a", "out", "b", "v")
+        workflow.connect("b", "out", "a", "v")
+        with pytest.raises(CycleError):
+            workflow.topological_order()
+
+    def test_unwired_input_rejected_at_validate(self):
+        workflow = Workflow("w", _space())
+        workflow.add_module(Module("b", lambda v: v, inputs=("v",)))
+        with pytest.raises(ValueError, match="not connected"):
+            workflow.validate()
+
+    def test_instance_validated_against_space(self):
+        workflow = self._linear()
+        with pytest.raises(ValueError, match="out of domain"):
+            workflow.execute(Instance({"x": 99, "y": "a"}))
+
+    def test_diamond_dataflow(self):
+        space = _space()
+        workflow = Workflow("diamond", space, sink=("join", "out"))
+        workflow.add_module(Module("src", lambda x: x, parameters=("x",)))
+        workflow.add_module(Module("left", lambda v: v + 1, inputs=("v",)))
+        workflow.add_module(Module("right", lambda v: v * 10, inputs=("v",)))
+        workflow.add_module(
+            Module("join", lambda l, r: l + r, inputs=("l", "r"))
+        )
+        workflow.connect("src", "out", "left", "v")
+        workflow.connect("src", "out", "right", "v")
+        workflow.connect("left", "out", "join", "l")
+        workflow.connect("right", "out", "join", "r")
+        result = workflow.execute(Instance({"x": 3, "y": "a"}))
+        assert result.sink_value == (3 + 1) + (3 * 10)
+
+
+class TestEvaluation:
+    def test_threshold(self):
+        evaluate = threshold_evaluation(0.6)
+        assert evaluate(0.6) is Outcome.SUCCEED
+        assert evaluate(0.59) is Outcome.FAIL
+
+    def test_threshold_with_key(self):
+        evaluate = threshold_evaluation(10.0, key=lambda r: r["score"])
+        assert evaluate({"score": 12.0}) is Outcome.SUCCEED
+
+    def test_predicate(self):
+        evaluate = predicate_evaluation(lambda r: r == "ok")
+        assert evaluate("ok") is Outcome.SUCCEED
+        assert evaluate("bad") is Outcome.FAIL
+
+
+class TestWorkflowExecutor:
+    def _crashy_workflow(self):
+        space = _space()
+        workflow = Workflow("crashy", space)
+
+        def maybe_crash(x):
+            if x == 3:
+                raise RuntimeError("boom")
+            return x
+
+        workflow.add_module(Module("m", maybe_crash, parameters=("x",)))
+        return workflow
+
+    def test_crash_is_fail(self):
+        executor = WorkflowExecutor(
+            self._crashy_workflow(), predicate_evaluation(lambda r: True)
+        )
+        assert executor(Instance({"x": 3, "y": "a"})) is Outcome.FAIL
+        assert executor(Instance({"x": 1, "y": "a"})) is Outcome.SUCCEED
+
+    def test_crash_reraised_when_configured(self):
+        executor = WorkflowExecutor(
+            self._crashy_workflow(),
+            predicate_evaluation(lambda r: True),
+            crash_is_fail=False,
+        )
+        with pytest.raises(ModuleError):
+            executor(Instance({"x": 3, "y": "a"}))
+
+    def test_last_result_recorded(self):
+        executor = WorkflowExecutor(
+            self._crashy_workflow(), threshold_evaluation(2.0)
+        )
+        executor(Instance({"x": 2, "y": "a"}))
+        assert executor.last_result == 2
+        assert executor.executions == 1

@@ -1,0 +1,261 @@
+"""Tests for the real-world workload simulators (repro.workloads).
+
+The heavyweight ML-pipeline training runs live in test_ml_pipeline.py;
+this module covers datasets, classifiers (on small inputs), and the
+Data Polygamy / GAN / DBSherlock simulators.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Outcome
+from repro.workloads import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegressionClassifier,
+    cross_val_f1,
+    load_dataset,
+    macro_f1,
+)
+from repro.workloads import data_polygamy, dbsherlock, gan_training
+from repro.workloads.datasets import DATASET_NAMES
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shapes(self, name):
+        data = load_dataset(name)
+        assert data.X.shape[0] == data.y.shape[0]
+        assert data.n_classes >= 3
+        assert data.name == name
+
+    def test_deterministic(self):
+        first = load_dataset("iris")
+        second = load_dataset("iris")
+        assert np.array_equal(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("zzz")
+
+    def test_difficulty_ordering(self):
+        """iris is designed to be easier than images (decision trees feel
+        the dimensionality most)."""
+        iris = load_dataset("iris")
+        images = load_dataset("images")
+        iris_f1 = cross_val_f1("decision_tree", iris.X, iris.y, folds=3)
+        images_f1 = cross_val_f1("decision_tree", images.X, images.y, folds=3)
+        assert iris_f1 > images_f1
+
+
+class TestClassifiers:
+    @pytest.fixture(scope="class")
+    def easy(self):
+        return load_dataset("iris")
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            LogisticRegressionClassifier,
+            DecisionTreeClassifier,
+            GradientBoostingClassifier,
+        ],
+    )
+    def test_learns_separable_data(self, model_factory, easy):
+        split = len(easy.y) * 3 // 4
+        model = model_factory()
+        model.fit(easy.X[:split], easy.y[:split])
+        predictions = model.predict(easy.X[split:])
+        assert macro_f1(easy.y[split:], predictions) > 0.75
+
+    def test_unfitted_predict_raises(self, easy):
+        for model in (
+            LogisticRegressionClassifier(),
+            DecisionTreeClassifier(),
+            GradientBoostingClassifier(),
+        ):
+            with pytest.raises(RuntimeError):
+                model.predict(easy.X)
+
+    def test_macro_f1_perfect_and_zero(self):
+        y = np.array([0, 0, 1, 1])
+        assert macro_f1(y, y) == 1.0
+        assert macro_f1(y, 1 - y) == 0.0
+
+    def test_corruption_destroys_score(self, easy):
+        clean = cross_val_f1("decision_tree", easy.X, easy.y, folds=3)
+        corrupt = cross_val_f1(
+            "decision_tree", easy.X, easy.y, folds=3, corrupt_labels=True
+        )
+        assert corrupt < clean
+        assert corrupt < 0.6  # below the pipeline's evaluation threshold
+
+    def test_unknown_estimator_rejected(self, easy):
+        with pytest.raises(KeyError):
+            cross_val_f1("zzz", easy.X, easy.y)
+
+
+class TestDataPolygamy:
+    def test_space_shape_matches_paper(self):
+        space = data_polygamy.make_space()
+        kinds = [len(p.domain) for p in space.parameters]
+        assert len(space) == 12  # 2 boolean + 3 categorical + 7 numerical
+        booleans = [p for p in space.parameters if set(p.domain) == {False, True}]
+        assert len(booleans) == 2
+
+    def test_simulator_matches_oracle(self):
+        space = data_polygamy.make_space()
+        executor = data_polygamy.make_executor()
+        rng = random.Random(0)
+        for __ in range(200):
+            instance = space.random_instance(rng)
+            assert executor(instance) is data_polygamy.oracle(instance)
+
+    def test_true_causes_are_definitive(self):
+        space = data_polygamy.make_space()
+        rng = random.Random(1)
+        for cause in data_polygamy.true_causes():
+            for __ in range(50):
+                instance = cause.sample_satisfying(space, rng)
+                assert instance is not None
+                assert data_polygamy.oracle(instance) is Outcome.FAIL
+
+    def test_clean_runs_succeed(self):
+        executor = data_polygamy.make_executor()
+        instance = Instance(
+            {
+                "fdr_correction": False,
+                "restrict_outliers": False,
+                "significance_method": "montecarlo",
+                "temporal_resolution": "day",
+                "spatial_aggregation": "city",
+                "n_permutations": 100,
+                "p_value_threshold": 0.05,
+                "n_datasets": 50,
+                "feature_window": 2,
+                "noise_level": 0.1,
+                "min_support": 5,
+                "seed_bucket": 0,
+            }
+        )
+        assert executor(instance) is Outcome.SUCCEED
+
+
+class TestGANTraining:
+    def test_space_shape_matches_paper(self):
+        space = gan_training.make_space()
+        assert len(space) == 6
+        assert all(len(p.domain) == 5 for p in space.parameters)
+
+    def test_simulator_matches_oracle(self):
+        space = gan_training.make_space()
+        executor = gan_training.make_executor()
+        rng = random.Random(0)
+        for __ in range(200):
+            instance = space.random_instance(rng)
+            assert executor(instance) is gan_training.oracle(instance)
+
+    def test_collapse_regions_fail_everywhere(self):
+        space = gan_training.make_space()
+        rng = random.Random(1)
+        for cause in gan_training.true_causes():
+            for __ in range(50):
+                instance = cause.sample_satisfying(space, rng)
+                assert gan_training.oracle(instance) is Outcome.FAIL
+
+    def test_healthy_region_exists(self):
+        space = gan_training.make_space()
+        rng = random.Random(2)
+        successes = sum(
+            1
+            for __ in range(200)
+            if gan_training.oracle(space.random_instance(rng)) is Outcome.SUCCEED
+        )
+        assert successes > 50
+
+    def test_fid_improves_with_training(self):
+        short = gan_training.simulate_fid(1e-4, 1e-4, 0.5, "spectral", 20_000, 64)
+        long = gan_training.simulate_fid(1e-4, 1e-4, 0.5, "spectral", 400_000, 64)
+        assert long < short
+
+
+class TestDBSherlock:
+    def test_metric_log_shape(self):
+        log = dbsherlock.generate_metric_log(
+            n_normal=40, n_per_anomaly=10, classes=("cpu_saturation",)
+        )
+        assert log.X.shape == (50, dbsherlock.N_STATISTICS)
+        assert log.labels.count("normal") == 40
+        assert log.labels.count("cpu_saturation") == 10
+
+    def test_unknown_anomaly_rejected(self):
+        with pytest.raises(KeyError):
+            dbsherlock.generate_metric_log(classes=("zzz",))
+        with pytest.raises(KeyError):
+            dbsherlock.build_case("zzz")
+
+    def test_feature_selection_finds_signature_stats(self):
+        log = dbsherlock.generate_metric_log(
+            n_normal=120, n_per_anomaly=40, classes=("cpu_saturation",), seed=3
+        )
+        features = dbsherlock.select_features(log)
+        assert len(features) == dbsherlock.N_SELECTED
+        # The strongest signature statistics (0 and 1) must be selected.
+        assert 0 in features and 1 in features
+
+    def test_bucketize_produces_ordinal_space(self):
+        log = dbsherlock.generate_metric_log(
+            n_normal=60, n_per_anomaly=20, classes=("io_saturation",), seed=4
+        )
+        features = dbsherlock.select_features(log)
+        space, instances = dbsherlock.bucketize(log, features)
+        assert len(space) == dbsherlock.N_SELECTED
+        assert all(p.is_ordinal for p in space.parameters)
+        assert len(instances) == log.n_rows
+        for instance in instances[:20]:
+            space.validate(instance)
+
+    def test_case_split_proportions(self):
+        case = dbsherlock.build_case("lock_contention", seed=5)
+        total = (
+            len(case.training.instances)
+            + len(case.budget_pool.instances)
+            + len(case.holdout)
+        )
+        assert len(case.training.instances) >= total * 0.45
+        assert len(case.holdout) >= total * 0.2
+
+    def test_case_ground_truth_unrefuted(self):
+        case = dbsherlock.build_case("workload_spike", seed=6)
+        replay = case.replay_log()
+        for cause in case.true_causes:
+            assert not replay.refutes(cause)
+            assert replay.supports(cause)
+
+    def test_superset_classifier_accuracy_bounds(self):
+        case = dbsherlock.build_case("network_congestion", seed=7)
+        acc_true = dbsherlock.superset_classifier_accuracy(
+            case.true_causes, case.holdout
+        )
+        acc_none = dbsherlock.superset_classifier_accuracy([], case.holdout)
+        assert 0.0 <= acc_none <= 1.0
+        assert acc_true >= acc_none  # true causes beat predicting all-normal
+
+    def test_make_session_serves_only_logged_instances(self):
+        case = dbsherlock.build_case("db_backup", seed=8)
+        session = case.make_session()
+        pool_instance = case.budget_pool.instances[0]
+        assert session.evaluate(pool_instance) is case.budget_pool.outcome_of(
+            pool_instance
+        )
+        from repro.core.session import InstanceUnavailable
+
+        unseen = Instance({name: 0 for name in case.space.names})
+        if case.replay_log().outcome_of(unseen) is None:
+            with pytest.raises(InstanceUnavailable):
+                session.evaluate(unseen)
