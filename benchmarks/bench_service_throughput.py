@@ -1,0 +1,179 @@
+"""Service throughput: N concurrent jobs sharing a scheduler + cache
+vs. the same N jobs run serially without sharing.
+
+The paper's dispatcher (Section 5, Figure 6) parallelized *within* one
+debugging session; the service layer multiplexes many users' jobs over
+one worker pool and deduplicates identical pipeline instances across
+jobs via the cross-session execution cache.  This benchmark runs the
+same job mix both ways on a latency-simulated executor (standing in for
+the 20-minute / 10-hour real pipelines) and reports:
+
+* total pipeline instances actually executed (the paper's cost unit),
+* wall-clock time,
+* per-job correctness: every service job must assert exactly the causes
+  and charge exactly the budget its standalone serial run does.
+
+Expected shape: the service arm executes measurably fewer instances
+(cache sharing across jobs with overlapping seeds) and finishes several
+times faster (shared worker pool hides the latency), while budgets and
+reports stay identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Algorithm, BugDoc, DDTConfig, DebugSession, InstanceBudget
+from repro.eval import format_table
+from repro.pipeline import CountingExecutor, LatencyExecutor
+from repro.service import DebugService, JobGoal, JobSpec
+from repro.synth import SyntheticConfig, generate_pipeline
+
+from conftest import run_once
+
+LATENCY_SECONDS = 0.005
+WORKERS = 8
+BUDGET = 80
+# 8 jobs from 4 seed pools: pairs run identical searches (think: two
+# users debugging the same failing pipeline), odd seeds overlap less.
+JOB_SEEDS = (0, 0, 1, 1, 2, 2, 3, 3)
+
+
+def _make_pipeline():
+    config = SyntheticConfig(
+        min_parameters=5,
+        max_parameters=5,
+        min_values=4,
+        max_values=5,
+        cause_arities=(1, 2),
+    )
+    return generate_pipeline("service-throughput", config=config, seed=42)
+
+
+def _job_configs():
+    return [
+        {
+            "job_id": f"job-{index}",
+            "seed": seed,
+            "ddt_config": DDTConfig(find_all=True, tests_per_suspect=12, seed=seed),
+        }
+        for index, seed in enumerate(JOB_SEEDS)
+    ]
+
+
+def _run_serial(pipeline):
+    """Baseline: each job standalone, sequential, no shared anything."""
+    counting = CountingExecutor(pipeline.oracle)
+    executor = LatencyExecutor(counting, LATENCY_SECONDS)
+    reports = {}
+    started = time.perf_counter()
+    for config in _job_configs():
+        session = DebugSession(
+            executor, pipeline.space, budget=InstanceBudget(BUDGET)
+        )
+        bugdoc = BugDoc(session=session, seed=config["seed"])
+        report = bugdoc.find_all(
+            Algorithm.DECISION_TREES, ddt_config=config["ddt_config"]
+        )
+        reports[config["job_id"]] = {
+            "causes": sorted(str(cause) for cause in report.causes),
+            "charged": session.budget.spent,
+        }
+    elapsed = time.perf_counter() - started
+    return {"wall": elapsed, "executions": counting.calls, "jobs": reports}
+
+
+def _run_service(pipeline):
+    """The same jobs, concurrent, over one scheduler + execution cache."""
+    counting = CountingExecutor(pipeline.oracle)
+    executor = LatencyExecutor(counting, LATENCY_SECONDS)
+    specs = [
+        JobSpec(
+            job_id=config["job_id"],
+            executor=executor,
+            space=pipeline.space,
+            workflow="service-throughput",
+            algorithm=Algorithm.DECISION_TREES,
+            goal=JobGoal.FIND_ALL,
+            budget=BUDGET,
+            seed=config["seed"],
+            ddt_config=config["ddt_config"],
+        )
+        for config in _job_configs()
+    ]
+    started = time.perf_counter()
+    with DebugService(workers=WORKERS) as service:
+        results = service.run_all(specs, timeout=600)
+        elapsed = time.perf_counter() - started
+        cache_stats = service.cache.stats.snapshot()
+    reports = {
+        result.job_id: {
+            "causes": sorted(str(cause) for cause in result.report.causes),
+            "charged": result.budget_spent,
+        }
+        for result in results
+    }
+    return {
+        "wall": elapsed,
+        "executions": counting.calls,
+        "jobs": reports,
+        "cache": cache_stats,
+    }
+
+
+def _compare():
+    pipeline = _make_pipeline()
+    serial = _run_serial(pipeline)
+    service = _run_service(pipeline)
+    return serial, service
+
+
+def test_service_throughput(benchmark, publish):
+    serial, service = run_once(benchmark, _compare)
+
+    total_charged = sum(job["charged"] for job in serial["jobs"].values())
+    rows = [
+        [
+            "serial (no sharing)",
+            f"{serial['wall']:.2f}s",
+            str(serial["executions"]),
+            str(total_charged),
+            "--",
+        ],
+        [
+            f"service ({WORKERS} workers)",
+            f"{service['wall']:.2f}s",
+            str(service["executions"]),
+            str(sum(job["charged"] for job in service["jobs"].values())),
+            f"{service['cache']['hit_rate']:.0%}",
+        ],
+    ]
+    text = format_table(
+        ["arm", "wall", "pipeline executions", "charged to budgets", "cache hit rate"],
+        rows,
+        title=(
+            f"Service throughput: {len(JOB_SEEDS)} concurrent jobs, "
+            f"instance latency {LATENCY_SECONDS * 1000:.0f} ms"
+        ),
+    )
+    speedup = serial["wall"] / service["wall"]
+    saved = serial["executions"] - service["executions"]
+    text += (
+        f"\n\nspeedup: {speedup:.2f}x   "
+        f"executions saved by cross-job cache: {saved} "
+        f"({saved / serial['executions']:.0%})"
+    )
+    publish("service_throughput", text)
+
+    # Correctness: every job's causes and budget charge are identical to
+    # its standalone serial run.
+    for job_id, baseline in serial["jobs"].items():
+        assert service["jobs"][job_id]["causes"] == baseline["causes"]
+        assert service["jobs"][job_id]["charged"] == baseline["charged"]
+
+    # Efficiency: sharing must measurably reduce real pipeline
+    # executions (seed pairs fully overlap) and wall-clock time.
+    assert service["executions"] < serial["executions"]
+    assert service["executions"] <= serial["executions"] * 0.75
+    assert service["wall"] < serial["wall"]
+    assert speedup > 1.5, f"service speedup only {speedup:.2f}x"

@@ -1,4 +1,9 @@
-"""Thin shim so legacy editable installs work without the wheel package."""
+"""Thin shim so legacy editable installs work without the wheel package.
+
+All project metadata (including the ``repro`` console script) lives in
+``pyproject.toml``; this file exists only so ``python setup.py develop``
+style tooling keeps working.
+"""
 from setuptools import setup
 
 setup()

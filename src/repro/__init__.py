@@ -9,6 +9,9 @@ executing new pipeline instances.  This package provides:
 * :mod:`repro.pipeline` -- a workflow engine and execution engines,
   including the parallel dispatcher;
 * :mod:`repro.provenance` -- execution-history capture and stores;
+* :mod:`repro.service` -- the concurrent debugging job service: a
+  shared scheduler, a cross-session execution cache, and the
+  :class:`~repro.service.DebugService` front end;
 * :mod:`repro.baselines` -- Data X-Ray, Explanation Tables, SMAC, and
   random search, reimplemented for comparison;
 * :mod:`repro.synth` -- the synthetic pipeline benchmark of Section 5.1;
@@ -29,7 +32,17 @@ Quickstart::
     print(report.explanation)   # library_version = '2.0'
 """
 
-from . import baselines, core, eval, extensions, pipeline, provenance, synth, workloads
+from . import (
+    baselines,
+    core,
+    eval,
+    extensions,
+    pipeline,
+    provenance,
+    service,
+    synth,
+    workloads,
+)
 from .core import (
     Algorithm,
     BugDoc,
@@ -75,6 +88,7 @@ __all__ = [
     "extensions",
     "pipeline",
     "provenance",
+    "service",
     "synth",
     "workloads",
 ]

@@ -1,31 +1,41 @@
 """Command-line interface: debug the bundled workloads and rerun figures.
 
-Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+Usage (after ``pip install -e .``, which provides the ``repro`` script)::
 
-    python -m repro.cli list
-    python -m repro.cli debug gan --algorithm decision_trees --budget 200
-    python -m repro.cli debug ml --algorithm shortcut
-    python -m repro.cli debug dbsherlock --anomaly cpu_saturation
-    python -m repro.cli synth --scenario disjunction --pipelines 5
+    repro list
+    repro debug gan --algorithm decision_trees --budget 200
+    repro debug ml --algorithm shortcut --output json
+    repro debug dbsherlock --anomaly cpu_saturation
+    repro synth --scenario disjunction --pipelines 5
+    repro serve ml gan --replicas 3 --workers 8 --output json
 
 ``debug`` runs BugDoc on one of the Section 5.3 workloads and prints
 the asserted minimal definitive root causes next to the planted ground
-truth.  ``synth`` generates a synthetic suite and reports FindOne
-metrics for the chosen algorithm.
+truth (``--output json`` emits the same report machine-readably for
+service clients).  ``synth`` generates a synthetic suite and reports
+FindOne metrics for the chosen algorithm.  ``serve`` runs a batch of
+debugging jobs concurrently on one :class:`~repro.service.DebugService`
+-- the shared scheduler and cross-job execution cache -- and reports
+per-job results plus service-level statistics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from .core import Algorithm, BugDoc, DDTConfig, DebugSession
 from .eval import format_table, match_synthetic, score_find_one
+from .service import DebugService, JobGoal, JobSpec
 from .synth import Scenario, make_suite
 from .workloads import data_polygamy, dbsherlock, gan_training, ml_pipeline
 
 WORKLOADS = ("ml", "data_polygamy", "gan", "dbsherlock")
+# Workloads with executable simulators (dbsherlock is replay-only, so a
+# shared execution pool cannot create new instances for it).
+SERVE_WORKLOADS = ("ml", "data_polygamy", "gan")
 
 
 def _algorithm(name: str) -> Algorithm:
@@ -36,28 +46,46 @@ def _algorithm(name: str) -> Algorithm:
         raise SystemExit(f"unknown algorithm {name!r}; choose from: {valid}")
 
 
-def _build_debug_target(args):
-    """Return (session factory output, true causes, label)."""
-    if args.workload == "ml":
+def _workload_bundle(workload: str):
+    """(executor, space, history, true causes, label) for an executable
+    workload -- shared by ``debug`` and ``serve``."""
+    if workload == "ml":
         executor = ml_pipeline.make_executor()
-        history = ml_pipeline.table1_history(executor)
-        session = DebugSession(
-            executor, ml_pipeline.make_space(), history=history
+        return (
+            executor,
+            ml_pipeline.make_space(),
+            ml_pipeline.table1_history(executor),
+            [ml_pipeline.true_cause()],
+            "ml-classification",
         )
-        return session, [ml_pipeline.true_cause()], "ml-classification"
-    if args.workload == "data_polygamy":
-        session = DebugSession(
-            data_polygamy.make_executor(), data_polygamy.make_space()
+    if workload == "data_polygamy":
+        return (
+            data_polygamy.make_executor(),
+            data_polygamy.make_space(),
+            None,
+            data_polygamy.true_causes(),
+            "data-polygamy",
         )
-        return session, data_polygamy.true_causes(), "data-polygamy"
-    if args.workload == "gan":
-        session = DebugSession(
-            gan_training.make_executor(), gan_training.make_space()
-        )
-        return session, gan_training.true_causes(), "gan-training"
-    case = dbsherlock.build_case(args.anomaly, seed=args.seed)
-    session = case.make_session(budget=args.budget)
-    return session, case.true_causes, f"dbsherlock/{args.anomaly}"
+    return (
+        gan_training.make_executor(),
+        gan_training.make_space(),
+        None,
+        gan_training.true_causes(),
+        "gan-training",
+    )
+
+
+def _build_debug_target(args):
+    """Return (session, true causes, label)."""
+    if args.workload == "dbsherlock":
+        case = dbsherlock.build_case(args.anomaly, seed=args.seed)
+        session = case.make_session(budget=args.budget)
+        return session, case.true_causes, f"dbsherlock/{args.anomaly}"
+    executor, space, history, true_causes, label = _workload_bundle(
+        args.workload
+    )
+    session = DebugSession(executor, space, history=history)
+    return session, true_causes, label
 
 
 def cmd_list(args) -> int:
@@ -75,7 +103,7 @@ def cmd_list(args) -> int:
 
 def cmd_debug(args) -> int:
     session, true_causes, label = _build_debug_target(args)
-    if args.budget and session.budget.limit is None:
+    if args.budget is not None and session.budget.limit is None:
         session.budget._limit = args.budget  # noqa: SLF001 - CLI convenience
     algorithm = _algorithm(args.algorithm)
     bugdoc = BugDoc(session=session, seed=args.seed)
@@ -92,6 +120,23 @@ def cmd_debug(args) -> int:
         )
     elapsed = time.perf_counter() - started
 
+    if args.output == "json":
+        payload = {
+            "workload": label,
+            "algorithm": algorithm.value,
+            "causes": [str(cause) for cause in report.causes],
+            "ground_truth": [str(cause) for cause in true_causes],
+            "instances_executed": report.instances_executed,
+            "budget": {
+                "limit": session.budget.limit,
+                "spent": session.budget.spent,
+                "exhausted": report.budget_exhausted,
+            },
+            "wall_seconds": elapsed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print(f"workload: {label}")
     print(f"algorithm: {algorithm.value}")
     print(f"instances executed: {report.instances_executed}  "
@@ -106,6 +151,127 @@ def cmd_debug(args) -> int:
     for cause in true_causes:
         print(f"  - {cause}")
     return 0
+
+
+def _serve_specs(workload: str, args) -> list[JobSpec]:
+    """Build all replica jobs for one workload.
+
+    The (deterministic) executor and any seed history are built once
+    and shared: replicas are separate jobs, but re-running e.g. the ml
+    Table 1 instances per replica would waste the very executions the
+    service deduplicates.  (The service copies the history per session,
+    so sharing the object across specs is safe.)
+    """
+    executor, space, history, _, _ = _workload_bundle(workload)
+    algorithm = _algorithm(args.algorithm)
+    goal = (
+        JobGoal.FIND_ONE
+        if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT)
+        else JobGoal.FIND_ALL
+    )
+    return [
+        JobSpec(
+            job_id=f"{workload}-r{replica}",
+            executor=executor,
+            space=space,
+            workflow=workload,
+            algorithm=algorithm,
+            goal=goal,
+            budget=args.budget,
+            history=history,
+            seed=args.seed + replica,
+            parallel_batches=args.parallel_batches,
+        )
+        for replica in range(args.replicas)
+    ]
+
+
+def cmd_serve(args) -> int:
+    """Run many debugging jobs concurrently on one DebugService."""
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be at least 1")
+    # Dedupe while preserving order: `serve gan gan` would otherwise
+    # build colliding job ids.
+    workloads = list(dict.fromkeys(args.workloads or SERVE_WORKLOADS))
+    for workload in workloads:
+        if workload not in SERVE_WORKLOADS:
+            raise SystemExit(
+                f"workload {workload!r} not servable; choose from: "
+                + ", ".join(SERVE_WORKLOADS)
+            )
+    store = None
+    if args.store is not None:
+        from .provenance import SQLiteProvenanceStore
+
+        store = SQLiteProvenanceStore(args.store)
+    specs = [
+        spec for workload in workloads for spec in _serve_specs(workload, args)
+    ]
+    started = time.perf_counter()
+    try:
+        with DebugService(workers=args.workers, store=store) as service:
+            results = service.run_all(specs)
+            elapsed = time.perf_counter() - started
+            cache_stats = service.cache.stats.snapshot()
+            scheduler_stats = service.scheduler.stats_snapshot()
+    finally:
+        if store is not None:
+            store.close()
+
+    if args.output == "json":
+        print(
+            json.dumps(
+                {
+                    "jobs": [result.to_dict() for result in results],
+                    "service": {
+                        "workers": args.workers,
+                        "wall_seconds": elapsed,
+                        "cache": cache_stats,
+                        "scheduler": scheduler_stats,
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if all(result.succeeded for result in results) else 1
+
+    rows = [
+        [
+            result.job_id,
+            result.status.value,
+            "; ".join(str(c) for c in result.report.causes)
+            if result.report is not None and result.report.causes
+            else "(none)",
+            str(result.new_executions),
+            f"{result.wall_seconds:.2f}s",
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["job", "status", "causes", "executed", "wall"],
+            rows,
+            title=f"DebugService: {len(results)} jobs, {args.workers} workers",
+        )
+    )
+    print()
+    print(
+        f"service wall: {elapsed:.2f}s  "
+        f"pipeline executions: {cache_stats['executions']:.0f}  "
+        f"cache hit rate: {cache_stats['hit_rate']:.0%}  "
+        f"coalesced in-flight: {cache_stats['coalesced']:.0f}"
+    )
+    print(
+        f"scheduler: {scheduler_stats['dispatched']} dispatched, "
+        f"{scheduler_stats['skipped']} budget-skipped"
+    )
+    for result in results:
+        if result.error is not None:
+            print(f"{result.job_id} error: {result.error!r}")
+    return 0 if all(result.succeeded for result in results) else 1
 
 
 def cmd_synth(args) -> int:
@@ -178,6 +344,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=dbsherlock.ANOMALY_CLASSES,
         help="dbsherlock anomaly class",
     )
+    debug.add_argument(
+        "--output",
+        default="text",
+        choices=("text", "json"),
+        help="report format (json is machine-readable for service clients)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run a batch of debugging jobs on one shared service"
+    )
+    serve.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="workload",
+        help=f"workloads to serve (default: all of {', '.join(SERVE_WORKLOADS)})",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="jobs per workload (distinct seeds; they share the cache)",
+    )
+    serve.add_argument("--algorithm", default="combined")
+    serve.add_argument("--budget", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=5)
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="SQLite provenance database backing the persistent cache tier",
+    )
+    serve.add_argument(
+        "--parallel-batches",
+        action="store_true",
+        help="fan each job's speculative batches out on the shared pool",
+    )
+    serve.add_argument(
+        "--output", default="text", choices=("text", "json")
+    )
 
     synth = sub.add_parser("synth", help="run a synthetic FindOne experiment")
     synth.add_argument(
@@ -197,6 +403,8 @@ def main(argv=None) -> int:
         return cmd_list(args)
     if args.command == "debug":
         return cmd_debug(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     return cmd_synth(args)
 
 

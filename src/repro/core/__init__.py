@@ -31,7 +31,7 @@ from .rootcause import (
     minimal_definitive_causes_of_oracle,
     prune_to_minimal,
 )
-from .session import DebugSession, InstanceUnavailable
+from .session import DebugSession, ExecutionBackend, InstanceUnavailable
 from .shortcut import ShortcutResult, select_good_instance, shortcut
 from .stacked import DEFAULT_STACK_WIDTH, StackedShortcutResult, stacked_shortcut
 from .tree import DebuggingTree, LeafKind, TreeNode, build_tree
@@ -59,6 +59,7 @@ __all__ = [
     "DEFAULT_STACK_WIDTH",
     "Disjunction",
     "Evaluation",
+    "ExecutionBackend",
     "ExecutionHistory",
     "Executor",
     "Instance",

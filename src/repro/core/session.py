@@ -12,13 +12,14 @@ unit and is recorded in the history.
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Protocol, runtime_checkable
 
 from .budget import InstanceBudget
 from .history import ExecutionHistory
 from .types import Evaluation, Executor, Instance, Outcome, ParameterSpace
 
-__all__ = ["DebugSession", "InstanceUnavailable"]
+__all__ = ["DebugSession", "ExecutionBackend", "InstanceUnavailable"]
 
 
 class InstanceUnavailable(LookupError):
@@ -32,6 +33,35 @@ class InstanceUnavailable(LookupError):
     def __init__(self, instance: Instance):
         super().__init__(f"instance not available in historical log: {instance!r}")
         self.instance = instance
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Pluggable batch-execution strategy for a :class:`DebugSession`.
+
+    The session stays the single owner of budget/history accounting; a
+    backend only decides *where and with what concurrency* the batch
+    tasks run.  Implementations live in :mod:`repro.service.scheduler`
+    (a per-job view of the shared service pool) -- the parallel
+    dispatcher of Section 4.3 is the ``parallel=True`` case.
+
+    Each task is a zero-argument callable returning the evaluated
+    :class:`~repro.core.types.Outcome` or None for a dropped item; it
+    may expose a zero-argument ``skip`` attribute that a budget-aware
+    backend can consult to resolve the task as dropped without
+    occupying an execution slot.
+    """
+
+    @property
+    def parallel(self) -> bool:  # pragma: no cover - protocol
+        """Whether batches run concurrently (drives algorithm strategy)."""
+        ...
+
+    def run_batch(
+        self, tasks: Sequence[Callable[[], Outcome | None]]
+    ) -> list[Outcome | None]:  # pragma: no cover - protocol
+        """Run independent tasks, returning their results in order."""
+        ...
 
 
 class DebugSession:
@@ -54,6 +84,9 @@ class DebugSession:
             instances by reading only part of provenance": algorithms
             draw their test instances from this source instead of the
             full Cartesian space, and early-stop when it is empty.
+        backend: optional :class:`ExecutionBackend` that ``evaluate_many``
+            fans batches out to (e.g. the shared service scheduler).
+            Without one, batches run serially inline.
     """
 
     def __init__(
@@ -63,6 +96,7 @@ class DebugSession:
         history: ExecutionHistory | None = None,
         budget: InstanceBudget | None = None,
         candidate_source=None,
+        backend: ExecutionBackend | None = None,
     ):
         self._executor = executor
         self._space = space
@@ -70,6 +104,7 @@ class DebugSession:
         self._budget = budget if budget is not None else InstanceBudget()
         self._lock = threading.Lock()
         self._executions = 0
+        self._backend = backend
         self.candidate_source = candidate_source
 
     # -- Accessors ---------------------------------------------------------
@@ -91,6 +126,11 @@ class DebugSession:
         return self._executions
 
     @property
+    def backend(self) -> ExecutionBackend | None:
+        """The pluggable batch-execution backend, if any."""
+        return self._backend
+
+    @property
     def parallel(self) -> bool:
         """True when ``evaluate_many`` runs a batch concurrently.
 
@@ -99,7 +139,7 @@ class DebugSession:
         refutation; a parallel session speculatively executes the whole
         batch (Section 4.3's latency-for-waste trade-off).
         """
-        return False
+        return bool(self._backend is not None and self._backend.parallel)
 
     # -- Core operation -------------------------------------------------------
     def evaluate(self, instance: Instance) -> Outcome:
@@ -135,9 +175,49 @@ class DebugSession:
             self._executions += 1
         return outcome
 
-    def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome]:
-        """Evaluate a batch serially (the parallel runner overrides this)."""
-        return [self.evaluate(instance) for instance in instances]
+    def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome | None]:
+        """Evaluate a batch; the backend (if any) decides the concurrency.
+
+        Without a backend the batch runs serially inline and exceptions
+        propagate (strict per-item semantics).  With a backend, items
+        are speculatively independent (Section 4.3): an item whose
+        evaluation raised, replay-missed, or ran out of budget resolves
+        to None instead of aborting the batch.
+        """
+        if self._backend is None:
+            return [self.evaluate(instance) for instance in instances]
+        if not instances:
+            return []
+        return list(
+            self._backend.run_batch(
+                [self._batch_task(instance) for instance in instances]
+            )
+        )
+
+    def _batch_task(self, instance: Instance):
+        """One backend task: evaluate with drop-on-failure semantics.
+
+        The attached ``skip`` hook lets a budget-aware backend resolve
+        the task without dispatching it when the job's budget is gone
+        and the instance is not a free history hit.
+        """
+
+        def task() -> Outcome | None:
+            try:
+                return self.evaluate(instance)
+            except InstanceUnavailable:
+                return None
+            except Exception:
+                return None
+
+        def skip() -> bool:
+            return (
+                self._budget.exhausted()
+                and self._history.outcome_of(instance) is None
+            )
+
+        task.skip = skip  # type: ignore[attr-defined]
+        return task
 
     def try_evaluate(self, instance: Instance) -> Outcome | None:
         """Evaluate, mapping replay-unavailability to None (early stop)."""

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Callable
 
 from ..core.budget import InstanceBudget
 from ..core.history import ExecutionHistory
 from ..core.session import DebugSession, InstanceUnavailable
 from ..core.types import Executor, Instance, Outcome, ParameterSpace
+from ..service.cache import SingleFlightCache
+from ..service.scheduler import SharedScheduler
 
 __all__ = [
     "CountingExecutor",
@@ -53,26 +54,30 @@ class CachingExecutor:
     shared across *multiple* sessions (e.g. the evaluation harness runs
     several algorithms against one pipeline and the paper charges each
     algorithm only for instances new *to it*).
+
+    Built on the service layer's single-flight primitive: concurrent
+    requests for the same uncached instance trigger exactly one inner
+    execution -- the earlier implementation only guarded the dict, so
+    two racing sessions both ran the pipeline.
     """
 
     def __init__(self, inner: Executor):
         self._inner = inner
-        self._lock = threading.Lock()
-        self._cache: dict[Instance, Outcome] = {}
+        self._cache = SingleFlightCache()
 
     def __call__(self, instance: Instance) -> Outcome:
-        with self._lock:
-            cached = self._cache.get(instance)
-        if cached is not None:
-            return cached
-        outcome = self._inner(instance)
-        with self._lock:
-            self._cache[instance] = outcome
-        return outcome
+        return self._cache.get_or_execute(  # type: ignore[return-value]
+            instance, lambda: self._inner(instance)
+        )
 
     @property
     def cache_size(self) -> int:
         return len(self._cache)
+
+    @property
+    def stats(self):
+        """Single-flight :class:`~repro.service.cache.CacheStats`."""
+        return self._cache.stats
 
 
 class LatencyExecutor:
@@ -160,6 +165,13 @@ class ParallelDebugSession(DebugSession):
     out to be unnecessary -- that waste is the measured trade-off of
     Figure 6.
 
+    Since the service layer landed, this class is a thin adapter: it
+    owns a private :class:`~repro.service.scheduler.SharedScheduler`
+    (elastic worker pool, budget-aware dispatch) and plugs it into the
+    base session's backend hook.  Multi-job deployments should use
+    :class:`~repro.service.service.DebugService` instead, which shares
+    one scheduler and execution cache across sessions.
+
     Budget note: batch items that exhaust the budget mid-flight are
     dropped (their results discarded) rather than aborting the whole
     batch; per-item semantics match serial evaluation.
@@ -174,57 +186,26 @@ class ParallelDebugSession(DebugSession):
         workers: int = 5,
         candidate_source=None,
     ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._scheduler = SharedScheduler(workers=workers, name="parallel-session")
         super().__init__(
             executor,
             space,
             history=history,
             budget=budget,
             candidate_source=candidate_source,
+            backend=self._scheduler.backend("session"),
         )
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
         self.workers = workers
-        self._instances_per_worker: dict[int, int] = {}
-        self._accounting_lock = threading.Lock()
 
     @property
-    def parallel(self) -> bool:
-        return True
+    def scheduler(self) -> SharedScheduler:
+        """The session-private scheduler (shared ones live in the service)."""
+        return self._scheduler
 
     @property
     def instances_per_worker(self) -> dict[int, int]:
-        """Executed-instance counts keyed by worker slot (diagnostics)."""
-        return dict(self._instances_per_worker)
-
-    def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome | None]:
-        """Evaluate a batch concurrently; None marks dropped items.
-
-        An item is dropped when the budget ran out before it started or
-        historical replay could not serve it.
-        """
-        if not instances:
-            return []
-        results: list[Outcome | None] = [None] * len(instances)
-
-        def work(index: int, instance: Instance) -> None:
-            ident = threading.get_ident()
-            try:
-                results[index] = self.evaluate(instance)
-            except InstanceUnavailable:
-                results[index] = None
-            except Exception:
-                results[index] = None
-            with self._accounting_lock:
-                slot = ident % max(self.workers, 1)
-                self._instances_per_worker[slot] = (
-                    self._instances_per_worker.get(slot, 0) + 1
-                )
-
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(work, index, instance)
-                for index, instance in enumerate(instances)
-            ]
-            for future in futures:
-                future.result()
-        return results
+        """Dispatched-request counts keyed by worker slot (diagnostics)."""
+        snapshot = self._scheduler.stats_snapshot()
+        return dict(snapshot["dispatched_by_worker"])  # type: ignore[call-overload]

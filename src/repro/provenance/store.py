@@ -11,6 +11,8 @@ parameter-value-universe extraction.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import sqlite3
 import threading
 from collections.abc import Iterable, Iterator
@@ -20,7 +22,24 @@ from ..core.predicates import Conjunction
 from ..core.types import Instance, Outcome, Value
 from .record import ProvenanceRecord, decode_value, encode_value
 
-__all__ = ["ProvenanceStore", "InMemoryProvenanceStore", "SQLiteProvenanceStore"]
+
+def instance_key(instance: Instance) -> str:
+    """Canonical string key for one parameter assignment.
+
+    Used by the SQLite backend for O(log n) instance lookups (the
+    service's persistent cache tier) instead of reconstructing and
+    comparing every record's bindings.
+    """
+    return json.dumps(
+        [[name, encode_value(value)] for name, value in sorted(instance.items())]
+    )
+
+__all__ = [
+    "ProvenanceStore",
+    "InMemoryProvenanceStore",
+    "SQLiteProvenanceStore",
+    "instance_key",
+]
 
 
 class ProvenanceStore:
@@ -36,6 +55,31 @@ class ProvenanceStore:
 
     def __len__(self) -> int:
         raise NotImplementedError
+
+    def lookup(self, workflow: str, instance: Instance) -> ProvenanceRecord | None:
+        """The record for ``(workflow, instance)``, or None.
+
+        This is the point lookup the service's persistent cache tier
+        performs before every execution.  The generic implementation
+        scans; backends override it with indexed access.
+        """
+        for record in self.records():
+            if record.workflow == workflow and record.instance == instance:
+                return record
+        return None
+
+    def upsert(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        """Insert the record unless ``(workflow, instance)`` already exists.
+
+        Returns the stored record either way, so concurrent services
+        writing the same outcome converge on one row (consensus-free:
+        outcomes are deterministic per Definition 2, so last-writer and
+        first-writer agree).
+        """
+        existing = self.lookup(record.workflow, record.instance)
+        if existing is not None:
+            return existing
+        return self.add(record)
 
     # -- Shared derived operations ------------------------------------------
     def add_all(self, records: Iterable[ProvenanceRecord]) -> None:
@@ -95,22 +139,29 @@ class InMemoryProvenanceStore(ProvenanceStore):
 
     def __init__(self) -> None:
         self._records: list[ProvenanceRecord] = []
+        self._index: dict[tuple[str, Instance], ProvenanceRecord] = {}
         self._lock = threading.Lock()
+
+    def _append_locked(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        assigned = dataclasses.replace(record, record_id=len(self._records) + 1)
+        self._records.append(assigned)
+        self._index.setdefault((record.workflow, record.instance), assigned)
+        return assigned
 
     def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
         with self._lock:
-            assigned = ProvenanceRecord(
-                workflow=record.workflow,
-                instance=record.instance,
-                outcome=record.outcome,
-                result=record.result,
-                cost=record.cost,
-                created_at=record.created_at,
-                record_id=len(self._records) + 1,
-                metadata=record.metadata,
-            )
-            self._records.append(assigned)
-        return assigned
+            return self._append_locked(record)
+
+    def lookup(self, workflow: str, instance: Instance) -> ProvenanceRecord | None:
+        with self._lock:
+            return self._index.get((workflow, instance))
+
+    def upsert(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        with self._lock:
+            existing = self._index.get((record.workflow, record.instance))
+            if existing is not None:
+                return existing
+            return self._append_locked(record)
 
     def records(self) -> Iterator[ProvenanceRecord]:
         return iter(list(self._records))
@@ -125,13 +176,15 @@ class SQLiteProvenanceStore(ProvenanceStore):
     Schema::
 
         runs(id INTEGER PRIMARY KEY, workflow TEXT, outcome TEXT,
-             result TEXT, cost REAL, created_at REAL)
+             result TEXT, cost REAL, created_at REAL, instance_key TEXT)
         bindings(run_id INTEGER, name TEXT, value TEXT,
                  PRIMARY KEY (run_id, name))
 
     ``bindings`` holds one row per parameter-value pair, making
     parameter-level SQL analysis possible (``GROUP BY name, value``),
     which is how provenance systems expose pipeline configurations.
+    ``instance_key`` is the canonical serialized assignment, indexed so
+    the service's persistent execution cache can do point lookups.
     """
 
     def __init__(self, path: str = ":memory:"):
@@ -146,7 +199,8 @@ class SQLiteProvenanceStore(ProvenanceStore):
                     outcome TEXT NOT NULL,
                     result TEXT,
                     cost REAL NOT NULL DEFAULT 0,
-                    created_at REAL NOT NULL DEFAULT 0
+                    created_at REAL NOT NULL DEFAULT 0,
+                    instance_key TEXT
                 );
                 CREATE TABLE IF NOT EXISTS bindings (
                     run_id INTEGER NOT NULL REFERENCES runs(id),
@@ -158,7 +212,46 @@ class SQLiteProvenanceStore(ProvenanceStore):
                     ON bindings(name, value);
                 """
             )
+            try:
+                # Databases created before the service layer lack the
+                # lookup column; migrate them in place.
+                self._connection.execute(
+                    "ALTER TABLE runs ADD COLUMN instance_key TEXT"
+                )
+            except sqlite3.OperationalError:
+                pass  # column already exists
+            self._connection.execute(
+                "CREATE INDEX IF NOT EXISTS idx_runs_workflow_key"
+                " ON runs(workflow, instance_key)"
+            )
             self._connection.commit()
+            self._backfill_legacy_keys()
+
+    def _backfill_legacy_keys(self) -> None:
+        """One-time migration: compute instance_key for pre-PR rows.
+
+        Keys are derivable from the bindings table, so databases written
+        before the column existed get full indexed-lookup service after
+        this (instead of paying a decode-scan on every lookup miss).
+        Caller holds the lock.
+        """
+        legacy = self._connection.execute(
+            "SELECT id FROM runs WHERE instance_key IS NULL"
+        ).fetchall()
+        if not legacy:
+            return
+        for (run_id,) in legacy:
+            bindings = self._connection.execute(
+                "SELECT name, value FROM bindings WHERE run_id = ?", (run_id,)
+            ).fetchall()
+            decoded = Instance(
+                {name: decode_value(value) for name, value in bindings}
+            )
+            self._connection.execute(
+                "UPDATE runs SET instance_key = ? WHERE id = ?",
+                (instance_key(decoded), run_id),
+            )
+        self._connection.commit()
 
     def close(self) -> None:
         with self._lock:
@@ -166,35 +259,122 @@ class SQLiteProvenanceStore(ProvenanceStore):
 
     def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
         with self._lock:
-            cursor = self._connection.execute(
-                "INSERT INTO runs (workflow, outcome, result, cost, created_at)"
-                " VALUES (?, ?, ?, ?, ?)",
-                (
-                    record.workflow,
-                    record.outcome.value,
-                    encode_value(record.result),
-                    record.cost,
-                    record.created_at,
-                ),
-            )
-            run_id = cursor.lastrowid
-            self._connection.executemany(
-                "INSERT INTO bindings (run_id, name, value) VALUES (?, ?, ?)",
-                [
-                    (run_id, name, encode_value(value))
-                    for name, value in record.instance.items()
-                ],
-            )
+            try:
+                run_id = self._insert_locked(record)
+            except BaseException:
+                # Leave no open transaction / partial row behind: a
+                # stale transaction would poison every later write on
+                # this shared connection.
+                self._connection.rollback()
+                raise
+        return dataclasses.replace(record, record_id=run_id)
+
+    def _insert_locked(self, record: ProvenanceRecord) -> int:
+        cursor = self._connection.execute(
+            "INSERT INTO runs"
+            " (workflow, outcome, result, cost, created_at, instance_key)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                record.workflow,
+                record.outcome.value,
+                encode_value(record.result),
+                record.cost,
+                record.created_at,
+                instance_key(record.instance),
+            ),
+        )
+        run_id = cursor.lastrowid
+        self._connection.executemany(
+            "INSERT INTO bindings (run_id, name, value) VALUES (?, ?, ?)",
+            [
+                (run_id, name, encode_value(value))
+                for name, value in record.instance.items()
+            ],
+        )
+        self._connection.commit()
+        return run_id
+
+    def lookup(self, workflow: str, instance: Instance) -> ProvenanceRecord | None:
+        with self._lock:
+            row = self._lookup_locked(workflow, instance)
+        if row is None:
+            return None
+        return self._row_to_record(row, instance)
+
+    def upsert(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        attempts = 3
+        with self._lock:
+            # Bound the write-lock wait: the store-wide Python lock is
+            # held here, so a BEGIN IMMEDIATE stalled behind another
+            # *process* for the full busy timeout would also stall
+            # every concurrent lookup on this store.  100ms x 3 attempts
+            # keeps worst-case contention short; the connection's own
+            # timeout is restored afterwards.
+            (previous,) = self._connection.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            self._connection.execute("PRAGMA busy_timeout = 100")
+            try:
+                return self._upsert_locked(record, attempts)
+            finally:
+                self._connection.execute(f"PRAGMA busy_timeout = {int(previous)}")
+
+    def _upsert_locked(
+        self, record: ProvenanceRecord, attempts: int
+    ) -> ProvenanceRecord:
+        for attempt in range(attempts):
+            # BEGIN IMMEDIATE takes the database write lock up front so
+            # the lookup-then-insert pair is atomic across *processes*
+            # sharing one file, not just across this store's threads.
+            # We never insert without it.
+            try:
+                self._connection.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError:
+                # Another process held the write lock past the busy
+                # timeout.  It was very likely writing this same
+                # deterministic outcome: check, then retry the lock.
+                row = self._lookup_locked(record.workflow, record.instance)
+                if row is not None:
+                    return self._row_to_record(row, record.instance)
+                if attempt == attempts - 1:
+                    raise
+                continue
+            try:
+                row = self._lookup_locked(record.workflow, record.instance)
+                if row is None:
+                    run_id = self._insert_locked(record)
+                    return dataclasses.replace(record, record_id=run_id)
+            except BaseException:
+                self._connection.rollback()
+                raise
             self._connection.commit()
+            return self._row_to_record(row, record.instance)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _lookup_locked(self, workflow: str, instance: Instance):
+        """Point lookup by the indexed canonical key (caller holds lock).
+
+        Legacy rows were backfilled with keys at connection time, so
+        the index covers every row.
+        """
+        return self._connection.execute(
+            "SELECT id, workflow, outcome, result, cost, created_at"
+            " FROM runs WHERE workflow = ? AND instance_key = ?"
+            " ORDER BY id LIMIT 1",
+            (workflow, instance_key(instance)),
+        ).fetchone()
+
+    @staticmethod
+    def _row_to_record(row, instance: Instance) -> ProvenanceRecord:
+        run_id, workflow, outcome, result, cost, created_at = row
         return ProvenanceRecord(
-            workflow=record.workflow,
-            instance=record.instance,
-            outcome=record.outcome,
-            result=record.result,
-            cost=record.cost,
-            created_at=record.created_at,
+            workflow=workflow,
+            instance=instance,
+            outcome=Outcome(outcome),
+            result=decode_value(result),
+            cost=cost,
+            created_at=created_at,
             record_id=run_id,
-            metadata=record.metadata,
         )
 
     def records(self) -> Iterator[ProvenanceRecord]:

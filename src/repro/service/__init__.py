@@ -1,0 +1,44 @@
+"""Debugging job service (substrate S4): scheduler, cache, jobs, service.
+
+The seed repo parallelized pipeline executions *within* one debugging
+session (the paper's Figure 6 prototype).  This subpackage turns that
+into a multi-tenant service:
+
+* :mod:`~repro.service.scheduler` -- one fair, elastic worker pool
+  multiplexing every job's instance-execution requests;
+* :mod:`~repro.service.cache` -- a cross-session execution cache with
+  single-flight deduplication and an optional persistent tier backed
+  by the provenance store;
+* :mod:`~repro.service.jobs` -- the job model (spec, handle, result);
+* :mod:`~repro.service.service` -- :class:`DebugService`, which wires a
+  per-job :class:`~repro.core.session.DebugSession` into the shared
+  infrastructure while keeping the paper's per-job cost accounting
+  exact.
+"""
+
+from .cache import CachedExecutor, CacheStats, ExecutionCache, SingleFlightCache
+from .jobs import JobGoal, JobHandle, JobResult, JobSpec, JobStatus
+from .scheduler import (
+    ScheduledExecutor,
+    SchedulerBackend,
+    SchedulerStats,
+    SharedScheduler,
+)
+from .service import DebugService
+
+__all__ = [
+    "CachedExecutor",
+    "CacheStats",
+    "DebugService",
+    "ExecutionCache",
+    "JobGoal",
+    "JobHandle",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "ScheduledExecutor",
+    "SchedulerBackend",
+    "SchedulerStats",
+    "SharedScheduler",
+    "SingleFlightCache",
+]

@@ -1,0 +1,333 @@
+"""Cross-session execution cache with single-flight deduplication.
+
+BugDoc's cost model is dominated by black-box pipeline executions
+(Section 3), so the service layer never runs the same instance twice
+when it can help it.  :class:`ExecutionCache` provides two tiers:
+
+* an in-memory tier keyed by ``(workflow, instance)`` shared by every
+  job the service is running, and
+* an optional persistent tier backed by a
+  :class:`~repro.provenance.store.ProvenanceStore` (typically the
+  SQLite store), so outcomes survive across service restarts and are
+  shared between *sessions of different processes* over one database.
+
+Both tiers sit *below* the per-job :class:`~repro.core.session.DebugSession`:
+the session still charges its own budget for instances new to its
+history (the paper charges each algorithm only for instances new *to
+it*), the cache merely makes the charge cheap and keeps the global
+execution count minimal.
+
+Single-flight semantics: when several threads ask for the same uncached
+key concurrently, exactly one of them (the *leader*) runs the inner
+executor; the others block until the leader finishes and then share its
+outcome.  If the leader's execution raises, the flight is abandoned and
+one waiter takes over as the new leader -- a transient failure never
+poisons the cache and never fails bystander jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.types import Executor, Instance, Outcome
+from ..provenance.record import ProvenanceRecord
+from ..provenance.store import ProvenanceStore
+
+__all__ = ["CacheStats", "ExecutionCache", "SingleFlightCache", "CachedExecutor"]
+
+DEFAULT_WORKFLOW = "service"
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how much work the cache saved.
+
+    Attributes:
+        hits: requests served from the in-memory tier.
+        persistent_hits: requests served from the provenance store.
+        misses: requests that required an inner execution.
+        executions: inner executions actually performed (>= misses is
+            impossible; < misses happens only via persistent hits).
+        coalesced: requests that joined an in-flight execution instead
+            of starting their own (the single-flight savings).
+        failures: inner executions that raised.
+    """
+
+    hits: int = 0
+    persistent_hits: int = 0
+    misses: int = 0
+    executions: int = 0
+    coalesced: int = 0
+    failures: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.persistent_hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests that did not execute the pipeline."""
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return 1.0 - (self.executions / total)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "persistent_hits": self.persistent_hits,
+            "misses": self.misses,
+            "executions": self.executions,
+            "coalesced": self.coalesced,
+            "failures": self.failures,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Flight:
+    """One in-progress execution that concurrent callers may join."""
+
+    __slots__ = ("done", "outcome", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome: Outcome | None = None
+        self.error: BaseException | None = None
+
+
+class SingleFlightCache:
+    """A minimal keyed memoizer with single-flight execution.
+
+    This is the primitive :class:`ExecutionCache` (and the fixed
+    :class:`~repro.pipeline.runner.CachingExecutor`) are built on.  It
+    knows nothing about workflows or provenance: keys are arbitrary
+    hashables and values are produced by caller-supplied thunks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[object, object] = {}
+        self._flights: dict[object, _Flight] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._values
+
+    def peek(self, key: object) -> object | None:
+        """The cached value for ``key``, or None (no execution, no stats)."""
+        with self._lock:
+            return self._values.get(key)
+
+    def put(self, key: object, value: object) -> None:
+        """Seed the cache (e.g. from prior provenance) free of charge."""
+        with self._lock:
+            self._values[key] = value
+
+    def get_or_execute(self, key: object, produce):
+        """Return the cached value for ``key``, executing ``produce`` at
+        most once across all concurrent callers.
+
+        A failed leader hands the flight to one blocked waiter (which
+        re-runs ``produce``); the exception propagates only to the
+        caller whose execution raised.
+        """
+        counted = False  # each logical request books exactly one stat
+        while True:
+            with self._lock:
+                if key in self._values:
+                    if not counted:
+                        self.stats.hits += 1
+                    return self._values[key]
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    leader = True
+                    if not counted:
+                        self.stats.misses += 1
+                        counted = True
+                else:
+                    leader = False
+                    if not counted:
+                        self.stats.coalesced += 1
+                        counted = True
+            if leader:
+                try:
+                    value = produce()
+                except BaseException:
+                    with self._lock:
+                        self.stats.failures += 1
+                        # Abandon the flight: the next waiter to wake
+                        # becomes the new leader on its retry loop.
+                        self._flights.pop(key, None)
+                    flight.error = RuntimeError("leader execution failed")
+                    flight.done.set()
+                    raise
+                with self._lock:
+                    self.stats.executions += 1
+                    self._values[key] = value
+                    self._flights.pop(key, None)
+                flight.outcome = value  # type: ignore[assignment]
+                flight.done.set()
+                return value
+            flight.done.wait()
+            if flight.error is None:
+                with self._lock:
+                    # The coalesced request was served by the leader.
+                    return self._values[key]
+            # Leader failed: loop and contend to become the new leader.
+
+
+def instance_cache_key(workflow: str, instance: Instance) -> tuple:
+    """Canonical cross-job cache key for one pipeline instance."""
+    return (workflow, instance)
+
+
+class ExecutionCache:
+    """The service's shared executor cache: memory tier + provenance tier.
+
+    Args:
+        store: optional persistent tier.  Lookups that miss the memory
+            tier consult ``store.lookup(workflow, instance)``; fresh
+            executions are written through with ``store.upsert`` so a
+            later service (or another process sharing the database)
+            starts warm.
+        record_cost: when True (default), the wall-clock seconds of each
+            inner execution are recorded on the provenance record.
+    """
+
+    def __init__(self, store: ProvenanceStore | None = None, record_cost: bool = True):
+        self._flights = SingleFlightCache()
+        self._store = store
+        self._stats_lock = threading.Lock()
+        self._record_cost = record_cost
+        self._persistent_hits = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot across both tiers.
+
+        The single-flight layer counts a persistent-tier hit as a miss
+        plus an execution (its ``produce`` ran); this view reclassifies
+        those so ``executions`` means *pipeline* executions only.
+        """
+        flight = self._flights.stats
+        with self._stats_lock:
+            persistent = self._persistent_hits
+        # Clamp: a persistent hit increments before the flight layer
+        # books its execution, so a snapshot taken mid-flight could
+        # otherwise go briefly negative.
+        return CacheStats(
+            hits=flight.hits,
+            persistent_hits=persistent,
+            misses=max(0, flight.misses - persistent),
+            executions=max(0, flight.executions - persistent),
+            coalesced=flight.coalesced,
+            failures=flight.failures,
+        )
+
+    @property
+    def store(self) -> ProvenanceStore | None:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def warm(self, workflow: str, history) -> int:
+        """Seed the memory tier from an iterable of evaluations.
+
+        Accepts anything yielding objects with ``instance`` and
+        ``outcome`` attributes (``Evaluation``/``ProvenanceRecord``).
+        Returns the number of entries loaded.
+        """
+        loaded = 0
+        for evaluation in history:
+            self._flights.put(
+                instance_cache_key(workflow, evaluation.instance), evaluation.outcome
+            )
+            loaded += 1
+        return loaded
+
+    def evaluate(
+        self, workflow: str, instance: Instance, executor: Executor
+    ) -> Outcome:
+        """Evaluate ``instance`` through the cache tiers.
+
+        Order: memory tier -> persistent tier -> single-flight inner
+        execution (written through to the persistent tier).
+        """
+        key = instance_cache_key(workflow, instance)
+
+        def produce() -> Outcome:
+            # The stores are internally thread-safe; no cache-level lock
+            # around them, or one slow/contended store call would stall
+            # every other worker's persistent-tier access.
+            if self._store is not None:
+                try:
+                    record = self._store.lookup(workflow, instance)
+                except Exception:
+                    record = None  # store trouble reads as a miss
+                if record is not None:
+                    with self._stats_lock:
+                        self._persistent_hits += 1
+                    return record.outcome
+            started = time.perf_counter()
+            outcome = executor(instance)
+            cost = time.perf_counter() - started if self._record_cost else 0.0
+            if self._store is not None:
+                record = ProvenanceRecord(
+                    workflow=workflow,
+                    instance=instance,
+                    outcome=outcome,
+                    cost=cost,
+                    created_at=time.time(),
+                )
+                try:
+                    self._store.upsert(record)
+                except Exception:
+                    # The outcome is already in hand (and will live in
+                    # the memory tier); a contended or full store must
+                    # not fail the job over a lost write-through.
+                    pass
+            return outcome
+
+        outcome = self._flights.get_or_execute(key, produce)
+        assert isinstance(outcome, Outcome)
+        return outcome
+
+    def executor(self, workflow: str, inner: Executor) -> "CachedExecutor":
+        """Bind the cache to one workflow + inner executor pair."""
+        return CachedExecutor(self, workflow, inner)
+
+
+class CachedExecutor:
+    """An :class:`~repro.core.types.Executor` view over a shared cache.
+
+    Many jobs each hold their own ``CachedExecutor`` (with their own
+    inner executor object), but all views with the same ``workflow``
+    share outcomes -- this is what makes cross-job deduplication work
+    even though every job constructs its executor independently.
+    """
+
+    def __init__(self, cache: ExecutionCache, workflow: str, inner: Executor):
+        self._cache = cache
+        self._workflow = workflow
+        self._inner = inner
+
+    @property
+    def workflow(self) -> str:
+        return self._workflow
+
+    @property
+    def cache(self) -> ExecutionCache:
+        return self._cache
+
+    def __call__(self, instance: Instance) -> Outcome:
+        return self._cache.evaluate(self._workflow, instance, self._inner)

@@ -1,0 +1,196 @@
+"""Job model for the debugging service.
+
+A *job* is one complete debugging request: a black-box executor, the
+parameter space it is debugged over, the algorithm to run, and the
+budget the client is willing to spend -- i.e. everything a standalone
+:class:`~repro.core.bugdoc.BugDoc` invocation needs, packaged so a
+:class:`~repro.service.service.DebugService` can run many of them
+concurrently over one shared scheduler and execution cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..core.bugdoc import Algorithm, BugDocReport
+from ..core.ddt import DDTConfig
+from ..core.history import ExecutionHistory
+from ..core.session import DebugSession
+from ..core.types import Executor, ParameterSpace
+from .cache import DEFAULT_WORKFLOW
+
+__all__ = ["JobGoal", "JobSpec", "JobStatus", "JobResult", "JobHandle"]
+
+
+class JobGoal(enum.Enum):
+    """Which of the paper's two problem goals (Section 3) the job targets."""
+
+    FIND_ONE = "find_one"
+    FIND_ALL = "find_all"
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to run one debugging job.
+
+    Attributes:
+        job_id: unique identifier within the service.
+        executor: the black-box pipeline.  The service wraps it with the
+            shared execution cache keyed by ``workflow`` -- jobs naming
+            the same workflow share outcomes.
+        space: the manipulable parameter space.
+        workflow: cache/provenance key; jobs with equal workflows are
+            assumed to debug the same (deterministic) pipeline.
+        algorithm: the debugging strategy to run.
+        goal: FindOne or FindAll (Section 3).
+        budget: cap on *new* executions charged to this job, or None.
+        history: prior provenance seeded free of charge.
+        seed: RNG seed for the job's instance sampling.
+        ddt_config: optional decision-tree configuration.
+        stack_width: Stacked Shortcut width.
+        parallel_batches: when True the job's session fans speculative
+            batches out through the shared scheduler (Section 4.3
+            semantics: batch items may be dropped on budget exhaustion,
+            and history order depends on completion order).  When False
+            the session stays serial -- deterministic per job -- and
+            only individual executions go through the shared pool.
+        run: escape hatch: a custom job body ``(session) -> result``;
+            when set it replaces the BugDoc invocation entirely (used by
+            stress tests and bespoke clients).
+    """
+
+    job_id: str
+    executor: Executor
+    space: ParameterSpace
+    workflow: str = DEFAULT_WORKFLOW
+    algorithm: Algorithm = Algorithm.COMBINED
+    goal: JobGoal = JobGoal.FIND_ONE
+    budget: int | None = None
+    history: ExecutionHistory | None = None
+    seed: int = 0
+    ddt_config: DDTConfig | None = None
+    stack_width: int | None = None
+    parallel_batches: bool = False
+    run: Callable[[DebugSession], object] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.run is None and self.goal is JobGoal.FIND_ALL and self.algorithm in (
+            Algorithm.SHORTCUT,
+            Algorithm.STACKED_SHORTCUT,
+        ):
+            raise ValueError(
+                "the shortcut algorithms target FindOne; use DECISION_TREES "
+                "or COMBINED for FindAll jobs"
+            )
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job.
+
+    Attributes:
+        job_id: the job this result belongs to.
+        status: SUCCEEDED / FAILED / CANCELLED.
+        report: the BugDoc report (None for custom ``run`` bodies or
+            failed jobs).
+        value: raw return of a custom ``run`` body.
+        error: the exception that failed the job, if any.
+        budget_spent: executions charged to the job's budget.
+        new_executions: instances this job's session executed (new to
+            its own history; shared-cache hits still count, matching
+            the paper's per-algorithm cost accounting).
+        wall_seconds: job wall-clock time inside the service.
+    """
+
+    job_id: str
+    status: JobStatus
+    report: BugDocReport | None = None
+    value: object = None
+    error: BaseException | None = None
+    budget_spent: int = 0
+    new_executions: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is JobStatus.SUCCEEDED
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly summary (used by ``repro serve --output json``)."""
+        causes: list[str] = []
+        if self.report is not None:
+            causes = [str(cause) for cause in self.report.causes]
+        return {
+            "job_id": self.job_id,
+            "status": self.status.value,
+            "causes": causes,
+            "budget_spent": self.budget_spent,
+            "new_executions": self.new_executions,
+            "wall_seconds": self.wall_seconds,
+            "error": repr(self.error) if self.error is not None else None,
+        }
+
+
+class JobHandle:
+    """Client-side view of a submitted job."""
+
+    def __init__(self, spec: JobSpec):
+        self.spec = spec
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._status = JobStatus.PENDING
+        self._lock = threading.Lock()
+        self.session: DebugSession | None = None  # set by the service
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def status(self) -> JobStatus:
+        with self._lock:
+            return self._status
+
+    def _mark_running(self) -> None:
+        with self._lock:
+            if self._status is JobStatus.PENDING:
+                self._status = JobStatus.RUNNING
+
+    def _finish(self, result: JobResult) -> None:
+        with self._lock:
+            self._status = result.status
+            self._result = result
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """The terminal :class:`JobResult`; raises on timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id!r} still running")
+        assert self._result is not None
+        return self._result

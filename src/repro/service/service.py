@@ -1,0 +1,276 @@
+"""DebugService: many concurrent debugging jobs over shared infrastructure.
+
+This is the production-shaped layer the ROADMAP's north star asks for:
+clients submit :class:`~repro.service.jobs.JobSpec`s and the service
+
+1. builds a per-job :class:`~repro.core.session.DebugSession` whose
+   budget/history accounting stays exactly the paper's (each job is
+   charged for instances new *to it*),
+2. routes every pipeline execution through one
+   :class:`~repro.service.scheduler.SharedScheduler` (fair, elastic,
+   budget-aware worker pool), and
+3. deduplicates executions across jobs -- and across service restarts --
+   via the :class:`~repro.service.cache.ExecutionCache`, optionally
+   backed by a :class:`~repro.provenance.store.SQLiteProvenanceStore`.
+
+Jobs run on lightweight controller threads (the algorithm logic is
+cheap; the pipeline executions it requests are the expensive part and
+those are throttled by the shared pool), so a service with 8 workers
+can happily multiplex dozens of in-flight jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.budget import InstanceBudget
+from ..core.bugdoc import BugDoc
+from ..core.session import DebugSession
+from ..core.stacked import DEFAULT_STACK_WIDTH
+from ..provenance.store import ProvenanceStore
+from .cache import ExecutionCache
+from .jobs import JobGoal, JobHandle, JobResult, JobSpec, JobStatus
+from .scheduler import SharedScheduler
+
+__all__ = ["DebugService"]
+
+
+class DebugService:
+    """Concurrent debugging-job service.
+
+    Args:
+        workers: service-wide cap on concurrent pipeline executions.
+        cache: shared execution cache; built internally when omitted.
+        store: convenience -- when given (and ``cache`` is omitted), the
+            internal cache is backed by this persistent provenance
+            store, making outcomes durable across services.
+        max_concurrent_jobs: cap on jobs running at once; further
+            submissions queue (admission control, not an error).
+
+    Typical use::
+
+        with DebugService(workers=8) as service:
+            handles = [service.submit(spec) for spec in specs]
+            results = [handle.result() for handle in handles]
+    """
+
+    def __init__(
+        self,
+        workers: int = 5,
+        cache: ExecutionCache | None = None,
+        store: ProvenanceStore | None = None,
+        max_concurrent_jobs: int | None = None,
+    ):
+        if cache is not None and store is not None:
+            raise ValueError("pass either a cache or a store, not both")
+        if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be at least 1")
+        self._scheduler = SharedScheduler(workers=workers, name="debug-service")
+        self._cache = cache if cache is not None else ExecutionCache(store=store)
+        self._jobs: dict[str, JobHandle] = {}
+        self._lock = threading.Lock()
+        self._admission = (
+            threading.BoundedSemaphore(max_concurrent_jobs)
+            if max_concurrent_jobs is not None
+            else None
+        )
+        self._shutdown = False
+
+    # -- Introspection -------------------------------------------------------
+    @property
+    def scheduler(self) -> SharedScheduler:
+        return self._scheduler
+
+    @property
+    def cache(self) -> ExecutionCache:
+        return self._cache
+
+    @property
+    def jobs(self) -> dict[str, JobHandle]:
+        with self._lock:
+            return dict(self._jobs)
+
+    def stats(self) -> dict[str, object]:
+        """Service-wide counters for dashboards and the CLI."""
+        with self._lock:
+            statuses: dict[str, int] = {}
+            for handle in self._jobs.values():
+                key = handle.status.value
+                statuses[key] = statuses.get(key, 0) + 1
+        return {
+            "jobs": statuses,
+            "scheduler": self._scheduler.stats_snapshot(),
+            "cache": self._cache.stats.snapshot(),
+        }
+
+    # -- Submission ----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Accept a job and start it on a controller thread."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("service is shut down")
+            if spec.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {spec.job_id!r}")
+            handle = JobHandle(spec)
+            self._jobs[spec.job_id] = handle
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(handle,),
+            name=f"debug-job-{spec.job_id}",
+            daemon=True,
+        )
+        thread.start()
+        return handle
+
+    def run_all(self, specs, timeout: float | None = None) -> list[JobResult]:
+        """Submit every spec and wait for all results (submission order).
+
+        ``timeout`` is an overall deadline for the whole batch, not a
+        per-job allowance.  When it expires, a :class:`TimeoutError`
+        naming the unfinished jobs is raised; the jobs themselves keep
+        running and their results stay collectible via the service's
+        ``jobs`` handles.  Callers that need partial results on a
+        deadline should ``submit`` and poll the handles instead.
+        """
+        handles = [self.submit(spec) for spec in specs]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for handle in handles:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                results.append(handle.result(remaining))
+            except TimeoutError:
+                pending = [h.job_id for h in handles if not h.done()]
+                raise TimeoutError(
+                    f"batch deadline of {timeout}s expired with "
+                    f"{len(pending)} job(s) unfinished: {pending}; "
+                    "they continue running -- collect them via "
+                    "service.jobs[...].result()"
+                ) from None
+        return results
+
+    # -- Session wiring ------------------------------------------------------
+    def build_session(self, spec: JobSpec) -> DebugSession:
+        """The per-job session, wired into the shared scheduler + cache.
+
+        Exposed so advanced clients can drive a session directly while
+        still sharing the service's infrastructure.
+        """
+        cached = self._cache.executor(spec.workflow, spec.executor)
+        history = None
+        if spec.history is not None:
+            # Prior provenance is free for the submitting job (its
+            # session seeds from it) and, being deterministic outcomes
+            # of the same workflow, it warms the shared cache for every
+            # other job too.  The session gets its own copy: histories
+            # are mutated in place, and clients may share one
+            # ExecutionHistory object across specs.
+            self._cache.warm(spec.workflow, spec.history)
+            history = spec.history.copy()
+        budget = InstanceBudget(spec.budget)
+        # Every execution is routed through the shared pool, so the
+        # service-wide worker cap and fair interleave apply to single
+        # evaluations too.  Calls that already run on a worker slot
+        # (batch tasks) execute inline -- see ScheduledExecutor.
+        scheduled = self._scheduler.executor(spec.job_id, cached)
+        if spec.parallel_batches:
+            # Speculative batches (Section 4.3) additionally fan out on
+            # the shared pool.
+            return DebugSession(
+                scheduled,
+                spec.space,
+                history=history,
+                budget=budget,
+                backend=self._scheduler.backend(spec.job_id),
+            )
+        # Serial session: deterministic per job.
+        return DebugSession(
+            scheduled, spec.space, history=history, budget=budget
+        )
+
+    # -- Job execution -------------------------------------------------------
+    def _run_job(self, handle: JobHandle) -> None:
+        spec = handle.spec
+        if self._admission is not None:
+            self._admission.acquire()
+        started = time.perf_counter()
+        session: DebugSession | None = None
+        try:
+            handle._mark_running()
+            session = self.build_session(spec)
+            handle.session = session
+            value: object = None
+            report = None
+            if spec.run is not None:
+                value = spec.run(session)
+            else:
+                bugdoc = BugDoc(session=session, seed=spec.seed)
+                stack_width = (
+                    spec.stack_width
+                    if spec.stack_width is not None
+                    else DEFAULT_STACK_WIDTH
+                )
+                if spec.goal is JobGoal.FIND_ALL:
+                    # Invalid algorithm/goal combinations were rejected
+                    # at JobSpec construction time.
+                    report = bugdoc.find_all(
+                        spec.algorithm,
+                        stack_width=stack_width,
+                        ddt_config=spec.ddt_config,
+                    )
+                else:
+                    report = bugdoc.find_one(
+                        spec.algorithm,
+                        stack_width=stack_width,
+                        ddt_config=spec.ddt_config,
+                    )
+            result = JobResult(
+                job_id=spec.job_id,
+                status=JobStatus.SUCCEEDED,
+                report=report,
+                value=value,
+                budget_spent=session.budget.spent,
+                new_executions=session.new_executions,
+                wall_seconds=time.perf_counter() - started,
+            )
+        except BaseException as error:  # job isolation: never kill the service
+            with self._lock:
+                shutting_down = self._shutdown
+            result = JobResult(
+                job_id=spec.job_id,
+                # A job torn down by service shutdown was cancelled, not
+                # broken -- do not masquerade as a genuine failure.
+                status=JobStatus.CANCELLED if shutting_down else JobStatus.FAILED,
+                error=error,
+                budget_spent=session.budget.spent if session is not None else 0,
+                new_executions=(
+                    session.new_executions if session is not None else 0
+                ),
+                wall_seconds=time.perf_counter() - started,
+            )
+        finally:
+            if self._admission is not None:
+                self._admission.release()
+        handle._finish(result)
+
+    # -- Lifecycle -----------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop accepting jobs and tear down the scheduler.
+
+        Queued execution requests are rejected; still-running jobs see
+        their next request error and finish with status CANCELLED.
+        """
+        with self._lock:
+            self._shutdown = True
+        self._scheduler.shutdown()
+
+    def __enter__(self) -> "DebugService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -57,6 +59,58 @@ class TestCommands:
     def test_unknown_algorithm_exits(self):
         with pytest.raises(SystemExit, match="unknown algorithm"):
             main(["debug", "gan", "--algorithm", "zzz"])
+
+    def test_debug_json_output(self, capsys):
+        code = main(
+            [
+                "debug",
+                "gan",
+                "--algorithm",
+                "decision_trees",
+                "--seed",
+                "2",
+                "--output",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "gan-training"
+        assert payload["algorithm"] == "decision_trees"
+        assert isinstance(payload["causes"], list)
+        assert payload["instances_executed"] >= 1
+        assert payload["budget"]["spent"] == payload["instances_executed"]
+        assert payload["budget"]["exhausted"] is False
+        assert any("lr_discriminator" in cause for cause in payload["causes"])
+
+    def test_serve_runs_concurrent_jobs(self, capsys):
+        code = main(
+            [
+                "serve",
+                "gan",
+                "--replicas",
+                "3",
+                "--workers",
+                "4",
+                "--algorithm",
+                "decision_trees",
+                "--output",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 3
+        assert all(job["status"] == "succeeded" for job in payload["jobs"])
+        assert payload["service"]["cache"]["executions"] >= 1
+        # Replicas share the cache: fewer pipeline executions than the
+        # jobs collectively charged.
+        charged = sum(job["new_executions"] for job in payload["jobs"])
+        assert payload["service"]["cache"]["executions"] < charged
+
+    def test_serve_rejects_replay_only_workload(self):
+        with pytest.raises(SystemExit, match="not servable"):
+            main(["serve", "dbsherlock"])
 
     def test_synth(self, capsys):
         code = main(

@@ -59,6 +59,39 @@ class TestWrappers:
         assert counting.calls == 1
         assert caching.cache_size == 1
 
+    def test_caching_single_flight_under_contention(self):
+        """Concurrent requests for one uncached instance execute once.
+
+        Regression test: the original cache only locked the dict, so two
+        racing threads both ran the (expensive) pipeline.
+        """
+        counting = CountingExecutor(_oracle)
+
+        def slow(instance):
+            time.sleep(0.05)
+            return counting(instance)
+
+        caching = CachingExecutor(slow)
+        instance = Instance({"a": 1, "b": "x"})
+        barrier = threading.Barrier(6)
+        outcomes = []
+        lock = threading.Lock()
+
+        def request():
+            barrier.wait()
+            outcome = caching(instance)
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=request) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == [Outcome.SUCCEED] * 6
+        assert counting.calls == 1
+        assert caching.stats.coalesced == 5
+
     def test_latency(self):
         slow = LatencyExecutor(_oracle, 0.02)
         start = time.perf_counter()
