@@ -1,0 +1,205 @@
+"""Solver-overhead benchmark: columnar engine vs dict-based reference.
+
+Measures *pure debugger CPU time* -- the cost of tree induction,
+hypothesis checks, subsumption filtering, and simplification -- by
+running DDT FindAll over synthetic pipelines (the Figure 5 sweep shape,
+up to 15 parameters) behind a cached executor whose time is subtracted
+from the wall clock.  The session starts from a provenance-rich history
+(the warm cross-session-cache regime PR 1 established), which is where
+the solver's own scan costs dominate.
+
+Both engines must produce **identical** reports, instance counts, and
+budgets; the run aborts otherwise.  Exit status is non-zero when the
+columnar engine is not faster overall, or (full mode) when the
+15-parameter speedup falls below the 5x acceptance bar, so CI can run
+``--quick`` as a smoke gate.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+import time
+
+from repro.core import Algorithm, BugDoc, DDTConfig, DebugSession
+from repro.synth import SyntheticConfig, generate_pipeline
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_PARAM_COUNTS = (3, 5, 7, 9, 11, 13, 15)
+QUICK_PARAM_COUNTS = (5, 9)
+CAUSE_ARITIES = (2, 2, 3)
+REQUIRED_SPEEDUP_AT_MAX = 5.0
+
+
+class CachedTimedExecutor:
+    """Memoizing executor that accounts its own wall-clock time.
+
+    Pipeline executions are not what this benchmark measures; the
+    accumulated executor time is subtracted from each run's wall clock,
+    leaving pure solver time.
+    """
+
+    def __init__(self, oracle):
+        self._oracle = oracle
+        self._cache = {}
+        self.seconds = 0.0
+        self.calls = 0
+
+    def __call__(self, instance):
+        started = time.perf_counter()
+        self.calls += 1
+        outcome = self._cache.get(instance)
+        if outcome is None:
+            outcome = self._oracle(instance)
+            self._cache[instance] = outcome
+        self.seconds += time.perf_counter() - started
+        return outcome
+
+
+def run_once(n_params: int, engine: str, seed: int, history_size: int):
+    """One DDT FindAll run; returns (solver_seconds, fingerprint)."""
+    config = SyntheticConfig(
+        min_parameters=n_params,
+        max_parameters=n_params,
+        min_values=5,
+        max_values=8,
+        cause_arities=CAUSE_ARITIES,
+        verify_minimality_up_to=0,  # sizes are large by design
+    )
+    pipeline = generate_pipeline(f"engine-{n_params}", config=config, seed=500 + seed)
+    rng = random.Random(seed)
+    history = pipeline.initial_history(rng, size=history_size)
+    executor = CachedTimedExecutor(pipeline.oracle)
+    session = DebugSession(executor, pipeline.space, history=history)
+    bugdoc = BugDoc(session=session, seed=seed, engine=engine)
+    started = time.perf_counter()
+    report = bugdoc.find_all(
+        Algorithm.DECISION_TREES, ddt_config=DDTConfig(find_all=True, engine=engine)
+    )
+    wall = time.perf_counter() - started
+    fingerprint = (
+        [str(c) for c in report.causes],
+        str(report.explanation),
+        report.instances_executed,
+        report.budget_exhausted,
+        report.ddt_result.rounds,
+        tuple(report.ddt_result.tree_sizes),
+        session.budget.spent,
+        len(session.history),
+    )
+    return wall - executor.seconds, fingerprint
+
+
+def sweep(param_counts, repeats: int, history_size: int):
+    rows = []
+    for n_params in param_counts:
+        ref_total = col_total = 0.0
+        detail = None
+        for repeat in range(repeats):
+            col_time, col_fp = run_once(n_params, "columnar", repeat, history_size)
+            ref_time, ref_fp = run_once(n_params, "reference", repeat, history_size)
+            if col_fp != ref_fp:
+                raise SystemExit(
+                    f"ENGINE DIVERGENCE at {n_params} params, seed {repeat}:\n"
+                    f"  columnar : {col_fp}\n  reference: {ref_fp}"
+                )
+            col_total += col_time
+            ref_total += ref_time
+            detail = col_fp
+        rows.append(
+            {
+                "n_params": n_params,
+                "reference_s": ref_total / repeats,
+                "columnar_s": col_total / repeats,
+                "speedup": ref_total / col_total if col_total else float("inf"),
+                "causes": len(detail[0]),
+                "rounds": detail[4],
+                "history": detail[7],
+                "executed": detail[2],
+            }
+        )
+    return rows
+
+
+def render(rows, repeats: int, history_size: int) -> str:
+    lines = [
+        "Engine overhead: DDT FindAll solver time, columnar vs reference",
+        f"(cached executor; seeded history={history_size}; "
+        f"cause arities={CAUSE_ARITIES}; mean of {repeats} repeat(s); "
+        "identical reports/instances/budgets verified per run)",
+        "",
+        f"{'#params':>8} {'reference':>12} {'columnar':>12} {'speedup':>9} "
+        f"{'causes':>7} {'rounds':>7} {'history':>8} {'executed':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_params']:>8} {row['reference_s']:>11.4f}s "
+            f"{row['columnar_s']:>11.4f}s {row['speedup']:>8.1f}x "
+            f"{row['causes']:>7} {row['rounds']:>7} {row['history']:>8} "
+            f"{row['executed']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small sweep, one repeat, no results file",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--history-size", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        param_counts = QUICK_PARAM_COUNTS
+        repeats = args.repeats or 1
+        history_size = args.history_size or 120
+    else:
+        param_counts = FULL_PARAM_COUNTS
+        repeats = args.repeats or 3
+        history_size = args.history_size or 300
+
+    rows = sweep(param_counts, repeats, history_size)
+    text = render(rows, repeats, history_size)
+    print(text)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "engine_overhead.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    total_ref = sum(row["reference_s"] for row in rows)
+    total_col = sum(row["columnar_s"] for row in rows)
+    if total_col >= total_ref:
+        print(
+            f"\nFAIL: columnar engine ({total_col:.4f}s) is not faster than "
+            f"the reference path ({total_ref:.4f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOverall: {total_ref / total_col:.1f}x less solver time")
+
+    if not args.quick:
+        at_max = rows[-1]
+        if at_max["speedup"] < REQUIRED_SPEEDUP_AT_MAX:
+            print(
+                f"\nFAIL: speedup at {at_max['n_params']} parameters is "
+                f"{at_max['speedup']:.1f}x, below the required "
+                f"{REQUIRED_SPEEDUP_AT_MAX:.0f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

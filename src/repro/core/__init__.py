@@ -15,6 +15,7 @@ Public surface:
 from .budget import BudgetExhausted, InstanceBudget
 from .bugdoc import Algorithm, BugDoc, BugDocReport
 from .ddt import DDTConfig, DDTResult, debugging_decision_trees
+from .engine import ColumnarEngine, ColumnarStore, SpaceCodec
 from .history import ExecutionHistory
 from .predicates import (
     Comparator,
@@ -50,6 +51,8 @@ __all__ = [
     "BudgetExhausted",
     "BugDoc",
     "BugDocReport",
+    "ColumnarEngine",
+    "ColumnarStore",
     "Comparator",
     "Conjunction",
     "DDTConfig",
@@ -72,6 +75,7 @@ __all__ = [
     "ParameterSpace",
     "Predicate",
     "ShortcutResult",
+    "SpaceCodec",
     "StackedShortcutResult",
     "TreeNode",
     "build_tree",

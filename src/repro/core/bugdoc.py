@@ -11,6 +11,7 @@ Decision Trees -- is what the paper evaluates on real-world pipelines
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import random
 from dataclasses import dataclass, field
@@ -85,6 +86,13 @@ class BugDoc:
         session: alternatively, a pre-built session (e.g. a parallel
             one from :mod:`repro.pipeline.runner`); when given, the
             executor/space/history/budget arguments must be None.
+        engine: evaluation engine for the search's own CPU work --
+            ``"columnar"`` (default, the bitset fast path of
+            :mod:`repro.core.engine`) or ``"reference"`` (the original
+            dict-based implementations).  Applies to default-built
+            :class:`DDTConfig` objects; an explicitly passed
+            ``ddt_config`` keeps its own ``engine`` field.  Both
+            engines produce identical reports.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class BugDoc:
         budget: int | InstanceBudget | None = None,
         seed: int = 0,
         session: DebugSession | None = None,
+        engine: str = "columnar",
     ):
         if session is not None:
             if executor is not None or space is not None or history is not None:
@@ -108,6 +117,11 @@ class BugDoc:
             self._session = DebugSession(
                 executor, space, history=history, budget=budget
             )
+        if engine not in ("columnar", "reference"):
+            raise ValueError(
+                f"unknown engine {engine!r}: expected 'columnar' or 'reference'"
+            )
+        self._engine = engine
         self._rng = random.Random(seed)
 
     @property
@@ -153,17 +167,9 @@ class BugDoc:
     ) -> BugDocReport:
         """Goal (i): find at least one minimal definitive root cause."""
         if algorithm is Algorithm.DECISION_TREES:
-            config = ddt_config or DDTConfig(find_all=False)
+            config = ddt_config or DDTConfig(find_all=False, engine=self._engine)
             if config.find_all:
-                config = DDTConfig(
-                    tests_per_suspect=config.tests_per_suspect,
-                    max_rounds=config.max_rounds,
-                    find_all=False,
-                    simplify=config.simplify,
-                    shortest_first=config.shortest_first,
-                    seed=config.seed,
-                    max_tree_depth=config.max_tree_depth,
-                )
+                config = dataclasses.replace(config, find_all=False)
             return self._run_ddt(config)
         if algorithm is Algorithm.SHORTCUT:
             return self._run_shortcut()
@@ -184,7 +190,9 @@ class BugDoc:
                 "or COMBINED for FindAll"
             )
         if algorithm is Algorithm.DECISION_TREES:
-            return self._run_ddt(ddt_config or DDTConfig(find_all=True))
+            return self._run_ddt(
+                ddt_config or DDTConfig(find_all=True, engine=self._engine)
+            )
         return self._run_combined(stack_width, ddt_config, find_all=True)
 
     # -- Strategy implementations ------------------------------------------------
@@ -270,7 +278,7 @@ class BugDoc:
         except (BudgetExhausted, ValueError):
             report.budget_exhausted = self._session.budget.exhausted()
 
-        config = ddt_config or DDTConfig(find_all=find_all)
+        config = ddt_config or DDTConfig(find_all=find_all, engine=self._engine)
         ddt = debugging_decision_trees(self._session, config)
         report.ddt_result = ddt
         causes.extend(ddt.causes)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from .budget import BudgetExhausted
+from .engine import ColumnarEngine
 from .predicates import Conjunction, Disjunction
 from .quine_mccluskey import simplify_disjunction
 from .rootcause import prune_to_minimal
@@ -70,6 +71,14 @@ class DDTConfig:
             Set to 0 to disable (ablatable).
         seed: RNG seed for prototype and variation sampling.
         max_tree_depth: optional cap forwarded to tree induction.
+        engine: evaluation engine for the search's own hot loops.
+            ``"columnar"`` (default) runs history queries, subsumption
+            checks, and tree induction on the integer-coded bitset
+            engine of :mod:`repro.core.engine`; ``"reference"`` keeps
+            the original per-instance dict implementations.  Both
+            produce identical reports; the columnar engine transparently
+            falls back to the reference path for anything it cannot
+            compile faithfully.
     """
 
     tests_per_suspect: int = 12
@@ -81,6 +90,13 @@ class DDTConfig:
     exploration_per_round: int = 8
     seed: int = 0
     max_tree_depth: int | None = None
+    engine: str = "columnar"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("columnar", "reference"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected 'columnar' or 'reference'"
+            )
 
 
 @dataclass
@@ -196,17 +212,37 @@ def debugging_decision_trees(
     confirmed: list[Conjunction] = []
     refuted: set[Conjunction] = set()
     executed_before = session.new_executions
+    engine = (
+        ColumnarEngine.for_session(session)
+        if config.engine == "columnar"
+        else None
+    )
+    if engine is not None:
+        refutes = engine.refutes
+        subsumes = engine.subsumes
+    else:
+        refutes = session.history.refutes
+
+        def subsumes(general: Conjunction, specific: Conjunction) -> bool:
+            return general.subsumes(specific, session.space)
 
     try:
         for _round in range(config.max_rounds):
-            samples = [
-                (instance, outcome)
-                for instance in session.history.instances
-                if (outcome := session.history.outcome_of(instance)) is not None
-            ]
-            tree = DebuggingTree(
-                session.space, samples, max_depth=config.max_tree_depth
+            tree = (
+                engine.tree(max_depth=config.max_tree_depth)
+                if engine is not None
+                else None
             )
+            if tree is None:  # reference engine, or degraded columnar store
+                samples = [
+                    (instance, outcome)
+                    for instance in session.history.instances
+                    if (outcome := session.history.outcome_of(instance))
+                    is not None
+                ]
+                tree = DebuggingTree(
+                    session.space, samples, max_depth=config.max_tree_depth
+                )
             result.rounds += 1
             result.tree_sizes.append(tree.size)
 
@@ -221,7 +257,7 @@ def debugging_decision_trees(
             suspects = [
                 s
                 for s in suspects
-                if not any(c.subsumes(s, session.space) for c in confirmed)
+                if not any(subsumes(c, s) for c in confirmed)
             ]
             if not suspects:
                 if config.find_all and _explore_complement(
@@ -236,7 +272,7 @@ def debugging_decision_trees(
                 if verdict is _Verdict.CONFIRMED:
                     if config.minimize_confirmed:
                         suspect = _minimize_suspect(
-                            suspect, session, config, rng
+                            suspect, session, config, rng, refutes
                         )
                     confirmed.append(suspect)
                     if not config.find_all:
@@ -262,7 +298,7 @@ def debugging_decision_trees(
     # Evidence gathered for later suspects can retroactively refute an
     # earlier confirmation; the final explanation must be a hypothetical
     # root cause w.r.t. everything executed (Definition 3).
-    confirmed = [c for c in confirmed if not session.history.refutes(c)]
+    confirmed = [c for c in confirmed if not refutes(c)]
     confirmed = prune_to_minimal(confirmed, session.space)
     if config.simplify and confirmed:
         explanation = simplify_disjunction(Disjunction(confirmed), session.space)
@@ -322,14 +358,18 @@ def _minimize_suspect(
     session: DebugSession,
     config: DDTConfig,
     rng: random.Random,
+    refutes=None,
 ) -> Conjunction:
     """Greedy Definition-5 minimization of a confirmed suspect.
 
     Repeatedly drops one predicate if the generalized conjunction also
     survives refutation sampling, until no single drop survives.  Also
     replaces the suspect if the history already refutes a candidate
-    (free check) before spending executions.
+    (free check) before spending executions.  ``refutes`` lets the
+    caller supply the engine-accelerated history check.
     """
+    if refutes is None:
+        refutes = session.history.refutes
     current = suspect
     improved = True
     while improved and len(current) > 1:
@@ -338,7 +378,7 @@ def _minimize_suspect(
             candidate = Conjunction(
                 p for p in current.predicates if p != predicate
             )
-            if session.history.refutes(candidate):
+            if refutes(candidate):
                 continue
             if _test_suspect(candidate, session, config, rng) is _Verdict.CONFIRMED:
                 current = candidate

@@ -1,0 +1,551 @@
+"""Columnar evaluation engine: the bitset fast path of the debugger.
+
+The reference implementations in :mod:`repro.core.history` and
+:mod:`repro.core.tree` evaluate hypotheses by walking Python dicts: a
+``refutes`` call applies every predicate to every successful instance,
+and every Debugging-Decision-Trees round re-partitions instance dicts at
+every tree node.  On large parameter sweeps the debugger's own CPU time
+then dominates (the paper's Figure 5 regime), exactly the situation
+SMBO-style tools handle by compiling the search's inner loop to array
+operations.
+
+This module provides that compiled path:
+
+* :class:`SpaceCodec` interns every domain value of a
+  :class:`~repro.core.types.ParameterSpace` to a small integer code
+  (its domain position, so ordinal code order equals value order).
+* :class:`ColumnarStore` maintains, per parameter and per value code,
+  a bitset of history rows holding that code, plus fail/succeed row
+  bitsets.  It appends incrementally as the history grows.
+* Conjunctions compile to per-parameter *allowed-code masks*; testing
+  one against the whole history is a handful of big-int ANDs
+  (:meth:`ColumnarEngine.refutes` / :meth:`ColumnarEngine.supports`).
+* :class:`IncrementalTreeBuilder` induces the debugging decision tree
+  over index bitsets, and *repairs* the previous round's tree on append
+  instead of rebuilding it: only nodes whose row set changed are
+  re-scored, and a subtree is rebuilt only when its best split changed.
+
+Correctness contract: every public operation returns **exactly** what
+the dict-based reference path returns.  The encoders therefore refuse
+anything they cannot mirror faithfully -- a history row whose parameter
+set differs from the space, an out-of-domain value, a predicate whose
+comparator raises -- and the engine transparently falls back to the
+reference implementation for that query (or entirely, when the store is
+degraded).  The equivalence is property-tested in
+``tests/test_engine.py``.
+
+The incremental-tree invariant: after ``sync``, the shadow tree equals
+the tree a full rebuild over the current rows would produce.  This
+holds because tree induction is a pure function of a node's row bitset
+(and depth): repaired nodes re-run the full candidate scan, children
+that received no new rows keep bit-identical row sets, and a node whose
+best split changed is rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .predicates import Comparator, Conjunction, Predicate
+from .tree import DebuggingTree, LeafKind, TreeNode, _gini, _predicate_rank
+from .types import Instance, Outcome, ParameterSpace
+
+__all__ = [
+    "SpaceCodec",
+    "ColumnarStore",
+    "ColumnarEngine",
+    "IncrementalTreeBuilder",
+    "compile_conjunction",
+]
+
+
+class SpaceCodec:
+    """Value-interning tables for one parameter space.
+
+    Codes are domain positions: ``codec`` work is a handful of dict
+    lookups per instance, done once, after which every engine operation
+    is integer arithmetic.
+    """
+
+    __slots__ = (
+        "space",
+        "names",
+        "parameters",
+        "n_params",
+        "index_of_name",
+        "domain_sizes",
+        "full_masks",
+        "repr_orders",
+    )
+
+    def __init__(self, space: ParameterSpace):
+        self.space = space
+        self.names = space.names
+        self.parameters = space.parameters
+        self.n_params = len(self.names)
+        self.index_of_name = {name: i for i, name in enumerate(self.names)}
+        self.domain_sizes = tuple(len(p.domain) for p in self.parameters)
+        self.full_masks = tuple((1 << size) - 1 for size in self.domain_sizes)
+        # Candidate order for categorical splits: codes sorted by value
+        # repr, mirroring ``sorted(observed, key=repr)`` in the
+        # reference ``_candidate_splits``.
+        self.repr_orders = tuple(
+            tuple(sorted(range(len(p.domain)), key=lambda c, p=p: repr(p.domain[c])))
+            for p in self.parameters
+        )
+
+    def encode(self, instance: Mapping[str, object]) -> tuple[int, ...] | None:
+        """Instance -> per-parameter value codes, or None when the
+        instance is not exactly one in-domain value per space parameter.
+        """
+        if len(instance) != self.n_params:
+            return None
+        codes = []
+        for parameter in self.parameters:
+            try:
+                value = instance[parameter.name]
+            except KeyError:
+                return None
+            code = parameter.code_of(value)
+            if code is None:
+                return None
+            codes.append(code)
+        return tuple(codes)
+
+
+def compile_conjunction(
+    conjunction: Conjunction, codec: SpaceCodec
+) -> list[tuple[int, int]] | None:
+    """Compile to ``[(parameter_index, allowed_code_mask), ...]``.
+
+    Mirrors :meth:`Conjunction.satisfied_by` exactly over in-domain
+    rows: a row satisfies the conjunction iff, for every entry, the
+    row's code bit is inside the allowed mask.  Entries whose mask is
+    the full domain are kept out (no constraint).  Returns None when
+    the conjunction cannot be compiled faithfully (a predicate on a
+    parameter outside the space, or a comparator that raises on some
+    domain value); callers must fall back to the reference path.
+    """
+    masks: dict[int, int] = {}
+    try:
+        for predicate in conjunction.predicates:
+            index = codec.index_of_name.get(predicate.parameter)
+            if index is None:
+                return None
+            mask = predicate.satisfying_code_mask(codec.parameters[index])
+            previous = masks.get(index)
+            masks[index] = mask if previous is None else previous & mask
+    except Exception:
+        return None
+    return sorted(
+        (index, mask)
+        for index, mask in masks.items()
+        if mask != codec.full_masks[index]
+    )
+
+
+class ColumnarStore:
+    """Integer-coded columns + outcome bitsets over one history.
+
+    Row ``i`` is the ``i``-th *distinct* instance of the history (the
+    exact sample set the DDT induction consumes).  ``value_rows[p][c]``
+    is the bitset of rows whose parameter ``p`` has code ``c``;
+    ``fail_mask`` / ``succeed_mask`` partition ``all_mask`` by outcome.
+    :meth:`sync` appends rows for history entries recorded since the
+    last call -- nothing is ever recomputed from scratch.
+
+    A row the codec cannot encode marks the store *degraded*: every
+    engine operation then falls back to the reference path (answers
+    from a partial column store would silently diverge).
+    """
+
+    def __init__(self, history, space: ParameterSpace):
+        self.history = history
+        self.space = space
+        self.codec = SpaceCodec(space)
+        self.value_rows: list[list[int]] = [
+            [0] * size for size in self.codec.domain_sizes
+        ]
+        self.fail_mask = 0
+        self.all_mask = 0
+        self.n_rows = 0
+        self.degraded = False
+        self._synced = 0
+        self._builders: dict[int | None, IncrementalTreeBuilder] = {}
+
+    @property
+    def succeed_mask(self) -> int:
+        return self.all_mask & ~self.fail_mask
+
+    def sync(self) -> None:
+        """Append rows for history entries recorded since the last sync."""
+        if self.degraded:
+            return
+        count = self.history.distinct_count
+        if count == self._synced:
+            return
+        encode = self.codec.encode
+        value_rows = self.value_rows
+        for instance, outcome in self.history.distinct_since(self._synced):
+            codes = encode(instance)
+            if codes is None:
+                self.degraded = True
+                break
+            bit = 1 << self.n_rows
+            for index, code in enumerate(codes):
+                value_rows[index][code] |= bit
+            if outcome is Outcome.FAIL:
+                self.fail_mask |= bit
+            self.all_mask |= bit
+            self.n_rows += 1
+        self._synced = count
+
+    def rows_matching(self, compiled: list[tuple[int, int]], within: int) -> int:
+        """Bitset of rows in ``within`` satisfying a compiled conjunction."""
+        rows = within
+        for index, allowed in compiled:
+            if not rows:
+                break
+            column = self.value_rows[index]
+            matched = 0
+            remaining = allowed
+            while remaining:
+                low = remaining & -remaining
+                matched |= column[low.bit_length() - 1]
+                remaining ^= low
+            rows &= matched
+        return rows
+
+    def builder(self, max_depth: int | None) -> "IncrementalTreeBuilder":
+        """The (cached) incremental tree builder for this depth cap."""
+        builder = self._builders.get(max_depth)
+        if builder is None:
+            builder = IncrementalTreeBuilder(self, max_depth)
+            self._builders[max_depth] = builder
+        return builder
+
+
+class _Shadow:
+    """A tree node plus the row bitset it was induced from."""
+
+    __slots__ = ("node", "mask", "true_shadow", "false_shadow")
+
+    def __init__(
+        self,
+        node: TreeNode,
+        mask: int,
+        true_shadow: "_Shadow | None" = None,
+        false_shadow: "_Shadow | None" = None,
+    ):
+        self.node = node
+        self.mask = mask
+        self.true_shadow = true_shadow
+        self.false_shadow = false_shadow
+
+
+class IncrementalTreeBuilder:
+    """Columnar decision-tree induction with append-only repair.
+
+    Produces a :class:`~repro.core.tree.TreeNode` structure identical to
+    :func:`~repro.core.tree.build_tree` over the store's rows.  After an
+    append, :meth:`tree` walks only the root-to-leaf paths the new rows
+    fall into; sibling subtrees whose row sets are untouched are reused
+    as-is.  Returned nodes are updated in place across rounds -- callers
+    must treat a previous round's tree as expired after the next call.
+    """
+
+    def __init__(self, store: ColumnarStore, max_depth: int | None):
+        self.store = store
+        self.max_depth = max_depth
+        self._root: _Shadow | None = None
+        self._built_rows = 0
+        self._rank_cache: dict[tuple[int, Comparator, int], int] = {}
+
+    def tree(self) -> TreeNode:
+        """The tree over the store's current rows (store must be synced)."""
+        n = self.store.n_rows
+        if n == 0:
+            return TreeNode(leaf_kind=LeafKind.MIXED, depth=0)
+        if self._root is None:
+            self._root = self._build(self.store.all_mask, 0)
+        elif self._built_rows < n:
+            new_bits = self.store.all_mask ^ ((1 << self._built_rows) - 1)
+            self._root = self._update(self._root, new_bits, 0)
+        self._built_rows = n
+        return self._root.node
+
+    # -- Induction ---------------------------------------------------------
+    def _leaf(self, mask: int, depth: int) -> _Shadow:
+        n_fail = (mask & self.store.fail_mask).bit_count()
+        n_succeed = mask.bit_count() - n_fail
+        if n_fail and not n_succeed:
+            kind = LeafKind.FAIL
+        elif n_succeed and not n_fail:
+            kind = LeafKind.SUCCEED
+        else:
+            kind = LeafKind.MIXED
+        node = TreeNode(
+            leaf_kind=kind, n_fail=n_fail, n_succeed=n_succeed, depth=depth
+        )
+        return _Shadow(node, mask)
+
+    def _rank(self, index: int, comparator: Comparator, code: int) -> int:
+        key = (index, comparator, code)
+        rank = self._rank_cache.get(key)
+        if rank is None:
+            parameter = self.store.codec.parameters[index]
+            rank = _predicate_rank(
+                Predicate(parameter.name, comparator, parameter.domain[code])
+            )
+            self._rank_cache[key] = rank
+        return rank
+
+    def _best_split(self, mask: int) -> tuple[Predicate, int] | None:
+        """Best (predicate, true-row bitset), mirroring the reference.
+
+        Candidate enumeration order, the Gini gain arithmetic, and the
+        ``(gain, -rank)`` tie-break replicate ``_candidate_splits`` /
+        ``_split_gain`` bit for bit, so the chosen split -- and hence
+        the whole tree -- is identical to the dict path's.
+        """
+        store = self.store
+        codec = store.codec
+        fail = store.fail_mask
+        total = mask.bit_count()
+        n_fail_total = (mask & fail).bit_count()
+        n_succeed_total = total - n_fail_total
+        parent = _gini(n_fail_total, n_succeed_total)
+
+        best_gain: float | None = None
+        best_rank = 0
+        best: tuple[Predicate, int] | None = None
+
+        def consider(
+            index: int, comparator: Comparator, code: int, true_mask: int
+        ) -> None:
+            nonlocal best_gain, best_rank, best
+            n_true = true_mask.bit_count()
+            n_false = total - n_true
+            if n_true == 0 or n_false == 0:
+                return
+            true_fail = (true_mask & fail).bit_count()
+            true_succeed = n_true - true_fail
+            false_fail = n_fail_total - true_fail
+            false_succeed = n_succeed_total - true_succeed
+            child = (n_true / total) * _gini(true_fail, true_succeed) + (
+                n_false / total
+            ) * _gini(false_fail, false_succeed)
+            gain = parent - child
+            if best_gain is not None and gain < best_gain:
+                return
+            rank = self._rank(index, comparator, code)
+            if best_gain is None or gain > best_gain or -rank > -best_rank:
+                parameter = codec.parameters[index]
+                best_gain = gain
+                best_rank = rank
+                best = (
+                    Predicate(parameter.name, comparator, parameter.domain[code]),
+                    true_mask,
+                )
+
+        for index, parameter in enumerate(codec.parameters):
+            column = store.value_rows[index]
+            observed = [c for c in range(len(column)) if column[c] & mask]
+            if len(observed) < 2:
+                continue
+            if parameter.is_ordinal:
+                accumulated = 0
+                for code in observed[:-1]:
+                    accumulated |= column[code]
+                    consider(index, Comparator.LE, code, accumulated & mask)
+            else:
+                observed_set = set(observed)
+                for code in codec.repr_orders[index]:
+                    if code in observed_set:
+                        consider(index, Comparator.EQ, code, column[code] & mask)
+        return best
+
+    def _build(self, mask: int, depth: int) -> _Shadow:
+        n_fail = (mask & self.store.fail_mask).bit_count()
+        n_succeed = mask.bit_count() - n_fail
+        if n_fail == 0 or n_succeed == 0:
+            return self._leaf(mask, depth)
+        if self.max_depth is not None and depth >= self.max_depth:
+            return self._leaf(mask, depth)
+        best = self._best_split(mask)
+        if best is None:
+            return self._leaf(mask, depth)
+        predicate, true_mask = best
+        node = TreeNode(
+            predicate=predicate, n_fail=n_fail, n_succeed=n_succeed, depth=depth
+        )
+        true_shadow = self._build(true_mask, depth + 1)
+        false_shadow = self._build(mask & ~true_mask, depth + 1)
+        node.true_branch = true_shadow.node
+        node.false_branch = false_shadow.node
+        return _Shadow(node, mask, true_shadow, false_shadow)
+
+    def _update(self, shadow: _Shadow, new_bits: int, depth: int) -> _Shadow:
+        """Repair a subtree after ``new_bits`` rows joined its row set.
+
+        Equivalent to ``_build(shadow.mask | new_bits, depth)`` -- see
+        the module docstring for the invariant argument -- but reuses
+        every descendant whose row set is unchanged.
+        """
+        mask = shadow.mask | new_bits
+        n_fail = (mask & self.store.fail_mask).bit_count()
+        n_succeed = mask.bit_count() - n_fail
+        if n_fail == 0 or n_succeed == 0:
+            return self._leaf(mask, depth)
+        if self.max_depth is not None and depth >= self.max_depth:
+            return self._leaf(mask, depth)
+        best = self._best_split(mask)
+        if best is None:
+            return self._leaf(mask, depth)
+        predicate, true_mask = best
+        node = shadow.node
+        if node.predicate is None or node.predicate != predicate:
+            return self._build(mask, depth)
+        new_true = new_bits & true_mask
+        new_false = new_bits & ~true_mask
+        if new_true:
+            shadow.true_shadow = self._update(
+                shadow.true_shadow, new_true, depth + 1  # type: ignore[arg-type]
+            )
+        if new_false:
+            shadow.false_shadow = self._update(
+                shadow.false_shadow, new_false, depth + 1  # type: ignore[arg-type]
+            )
+        node.true_branch = shadow.true_shadow.node  # type: ignore[union-attr]
+        node.false_branch = shadow.false_shadow.node  # type: ignore[union-attr]
+        node.n_fail = n_fail
+        node.n_succeed = n_succeed
+        shadow.mask = mask
+        return shadow
+
+
+class ColumnarEngine:
+    """Facade the algorithms drive: compiled queries over one session.
+
+    Wraps a (space, history) pair -- or a
+    :class:`~repro.core.session.DebugSession`, whose lock then guards
+    store syncs -- and memoizes compiled conjunctions and canonical
+    code masks, which the DDT loop queries repeatedly for the same
+    suspects.  Every method degrades gracefully to the dict-based
+    reference implementation when a query cannot be compiled, so
+    results are always identical to the reference path.
+    """
+
+    def __init__(self, space: ParameterSpace, history, session=None):
+        self.space = space
+        self.history = history
+        self._session = session
+        self._codec = SpaceCodec(space)
+        self._compiled: dict[Conjunction, list[tuple[int, int]] | None] = {}
+        self._canonical: dict[Conjunction, dict[int, int]] = {}
+
+    @classmethod
+    def for_session(cls, session) -> "ColumnarEngine":
+        return cls(session.space, session.history, session=session)
+
+    def _store(self) -> ColumnarStore:
+        if self._session is not None:
+            return self._session.columnar_store()
+        return self.history.columnar_store(self.space)
+
+    def _compiled_for(self, conjunction: Conjunction):
+        try:
+            return self._compiled[conjunction]
+        except KeyError:
+            compiled = compile_conjunction(conjunction, self._codec)
+            self._compiled[conjunction] = compiled
+            return compiled
+
+    # -- History queries ----------------------------------------------------
+    def refutes(self, conjunction: Conjunction) -> bool:
+        """Identical to :meth:`ExecutionHistory.refutes`, bitset-fast."""
+        store = self._store()
+        if store.degraded:
+            return self.history.refutes(conjunction)
+        compiled = self._compiled_for(conjunction)
+        if compiled is None:
+            return self.history.refutes(conjunction)
+        return store.rows_matching(compiled, store.succeed_mask) != 0
+
+    def supports(self, conjunction: Conjunction) -> bool:
+        """Identical to :meth:`ExecutionHistory.supports`, bitset-fast."""
+        store = self._store()
+        if store.degraded:
+            return self.history.supports(conjunction)
+        compiled = self._compiled_for(conjunction)
+        if compiled is None:
+            return self.history.supports(conjunction)
+        return store.rows_matching(compiled, store.fail_mask) != 0
+
+    def is_hypothetical_root_cause(self, conjunction: Conjunction) -> bool:
+        return self.supports(conjunction) and not self.refutes(conjunction)
+
+    # -- Canonical forms and subsumption -------------------------------------
+    def canonical_masks(self, conjunction: Conjunction) -> dict[int, int]:
+        """Per-parameter-index allowed-code masks; the compiled analogue
+        of :meth:`Conjunction.canonical` (full-domain entries dropped),
+        with the same error behavior for unknown parameters and
+        kind-incompatible comparators.
+        """
+        cached = self._canonical.get(conjunction)
+        if cached is not None:
+            return cached
+        codec = self._codec
+        masks: dict[int, int] = {}
+        for predicate in conjunction.predicates:
+            index = codec.index_of_name.get(predicate.parameter)
+            if index is None:
+                raise ValueError(
+                    f"predicate on unknown parameter {predicate.parameter!r}"
+                )
+            parameter = codec.parameters[index]
+            if predicate.comparator.is_ordinal_only and not parameter.is_ordinal:
+                raise ValueError(
+                    f"comparator {predicate.comparator.value!r} requires ordinal "
+                    f"parameter, but {predicate.parameter!r} is categorical"
+                )
+            mask = predicate.satisfying_code_mask(parameter)
+            previous = masks.get(index)
+            masks[index] = mask if previous is None else previous & mask
+        result = {
+            index: mask
+            for index, mask in masks.items()
+            if mask != codec.full_masks[index]
+        }
+        self._canonical[conjunction] = result
+        return result
+
+    def subsumes(self, general: Conjunction, specific: Conjunction) -> bool:
+        """Identical to :meth:`Conjunction.subsumes` over this space."""
+        try:
+            mine = self.canonical_masks(general)
+            theirs = self.canonical_masks(specific)
+        except ValueError:
+            raise
+        except Exception:
+            return general.subsumes(specific, self.space)
+        if any(mask == 0 for mask in theirs.values()):
+            return True
+        full = self._codec.full_masks
+        for index, my_mask in mine.items():
+            their_mask = theirs.get(index, full[index])
+            if their_mask & ~my_mask:
+                return False
+        return True
+
+    # -- Tree induction ------------------------------------------------------
+    def tree(self, max_depth: int | None = None) -> DebuggingTree | None:
+        """The debugging tree over the current history, incrementally
+        maintained; None when the store is degraded (caller should fall
+        back to :class:`~repro.core.tree.DebuggingTree`).
+        """
+        store = self._store()
+        if store.degraded:
+            return None
+        root = store.builder(max_depth).tree()
+        return DebuggingTree.from_root(self.space, root, store.n_rows)

@@ -7,6 +7,15 @@ the parameter-value universe of Definition 1 and the indexes the
 algorithms need (failing instances, successful instances, disjoint-pair
 search).
 
+Two derived structures are maintained *incrementally* on append instead
+of being recomputed per call:
+
+* the per-parameter value universe (and the :class:`ParameterSpace`
+  built from it), and
+* optional columnar stores (:class:`repro.core.engine.ColumnarStore`),
+  one per parameter space, which hold integer-encoded value columns and
+  fail/succeed bitsets for the columnar evaluation engine.
+
 The durable, queryable provenance store lives in
 :mod:`repro.provenance`; it can produce and ingest histories.
 """
@@ -35,6 +44,10 @@ class ExecutionHistory:
         self._outcome_by_instance: dict[Instance, Outcome] = {}
         self._failures: list[Instance] = []
         self._successes: list[Instance] = []
+        self._distinct: list[Instance] = []
+        self._universe: dict[str, set[Value]] = {}
+        self._observed_space: ParameterSpace | None = None
+        self._columnar_store = None  # latest ColumnarStore (one space)
         for evaluation in evaluations:
             self.append(evaluation)
 
@@ -57,10 +70,19 @@ class ExecutionHistory:
         self._evaluations.append(evaluation)
         if known is None:
             self._outcome_by_instance[instance] = evaluation.outcome
+            self._distinct.append(instance)
             if evaluation.outcome is Outcome.FAIL:
                 self._failures.append(instance)
             else:
                 self._successes.append(instance)
+            for name, value in instance.items():
+                values = self._universe.get(name)
+                if values is None:
+                    self._universe[name] = {value}
+                    self._observed_space = None
+                elif value not in values:
+                    values.add(value)
+                    self._observed_space = None
 
     def record(self, instance: Instance, outcome: Outcome, **kwargs) -> Evaluation:
         """Convenience: build an :class:`Evaluation` and append it."""
@@ -85,7 +107,25 @@ class ExecutionHistory:
     @property
     def instances(self) -> tuple[Instance, ...]:
         """Distinct executed instances, in first-execution order."""
-        return tuple(self._outcome_by_instance)
+        return tuple(self._distinct)
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct executed instances (cheap, no tuple build)."""
+        return len(self._distinct)
+
+    def distinct_since(
+        self, start: int
+    ) -> Sequence[tuple[Instance, Outcome]]:
+        """Distinct (instance, outcome) pairs appended at position >= start.
+
+        The columnar engine uses this to extend its column store
+        incrementally instead of re-reading the whole history.
+        """
+        return [
+            (instance, self._outcome_by_instance[instance])
+            for instance in self._distinct[start:]
+        ]
 
     @property
     def failures(self) -> tuple[Instance, ...]:
@@ -103,29 +143,52 @@ class ExecutionHistory:
 
     # -- Universe (Definition 1) -------------------------------------------
     def value_universe(self) -> dict[str, set[Value]]:
-        """``U_p`` per parameter: every value any executed instance assigned."""
-        universe: dict[str, set[Value]] = {}
-        for instance in self._outcome_by_instance:
-            for name, value in instance.items():
-                universe.setdefault(name, set()).add(value)
-        return universe
+        """``U_p`` per parameter: every value any executed instance assigned.
+
+        Maintained incrementally on append; the returned sets are copies
+        so callers may mutate them freely.
+        """
+        return {name: set(values) for name, values in self._universe.items()}
 
     def observed_space(self) -> ParameterSpace:
         """A :class:`ParameterSpace` built from the observed universe.
 
         All parameters are treated as categorical (order information is
         not recoverable from a bare log); callers that know better should
-        supply their own space.
+        supply their own space.  The space is cached and only rebuilt
+        after an append introduced a new parameter or value.
         """
         from .types import Parameter  # local import to keep module load light
 
-        universe = self.value_universe()
-        return ParameterSpace(
-            [
-                Parameter(name, tuple(sorted(values, key=repr)))
-                for name, values in sorted(universe.items())
-            ]
-        )
+        if self._observed_space is None:
+            self._observed_space = ParameterSpace(
+                [
+                    Parameter(name, tuple(sorted(values, key=repr)))
+                    for name, values in sorted(self._universe.items())
+                ]
+            )
+        return self._observed_space
+
+    # -- Columnar store (engine integration) ---------------------------------
+    def columnar_store(self, space: ParameterSpace):
+        """The columnar store of this history for ``space``, synced.
+
+        The latest store is kept and extended incrementally: repeated
+        calls with the same space object only encode instances appended
+        since the last call.  Asking with a *different* space rebuilds
+        (keep-latest, so alternating spaces per history is O(rows) per
+        switch -- sessions use one space, which stays incremental, and
+        nothing accumulates unboundedly).  See
+        :class:`repro.core.engine.ColumnarStore`.
+        """
+        from .engine import ColumnarStore  # lazy: avoid import cycle
+
+        store = self._columnar_store
+        if store is None or store.space is not space:
+            store = ColumnarStore(self, space)
+            self._columnar_store = store
+        store.sync()
+        return store
 
     # -- Queries used by the debugging algorithms ----------------------------
     def successes_satisfying(self, conjunction: Conjunction) -> list[Instance]:

@@ -92,6 +92,25 @@ class Predicate:
             v for v in parameter.domain if self.comparator.evaluate(v, self.value)
         )
 
+    def satisfying_code_mask(self, parameter: Parameter) -> int:
+        """The satisfying subset as a bitmask over domain positions.
+
+        Bit ``i`` is set when ``parameter.domain[i]`` satisfies the
+        predicate.  This is the compiled form the columnar engine
+        (:mod:`repro.core.engine`) evaluates: a predicate becomes one
+        int, a conjunction an AND of per-parameter masks.
+        """
+        if parameter.name != self.parameter:
+            raise ValueError(
+                f"predicate on {self.parameter!r} evaluated against parameter "
+                f"{parameter.name!r}"
+            )
+        mask = 0
+        for code, value in enumerate(parameter.domain):
+            if self.comparator.evaluate(value, self.value):
+                mask |= 1 << code
+        return mask
+
     def negated(self) -> "Predicate":
         """The predicate denoting the complement of this one."""
         return Predicate(self.parameter, self.comparator.negate(), self.value)

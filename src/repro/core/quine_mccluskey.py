@@ -16,6 +16,16 @@ explanations").  Two layers are provided:
    (the multi-valued analogue of combining adjacent implicants), and
    redundant boxes removed, then converted back to the fewest
    predicates that express each per-parameter value set exactly.
+
+Both layers run on **bitmask implicant representations** internally
+(part of the columnar evaluation engine work, see
+:mod:`repro.core.engine`): a binary implicant is a ``(bits, mask)``
+pair of ints, so the combine step is two XOR/AND operations and a
+popcount instead of a positional tuple scan; a multi-valued box is a
+``parameter -> allowed-code bitmask`` dict over domain positions, so
+subsumption and merging are single AND/OR ops per parameter.  The
+public API is unchanged: implicants are still returned as
+``0/1/None`` tuples and boxes as value frozensets.
 """
 
 from __future__ import annotations
@@ -42,28 +52,44 @@ Implicant = tuple[int | None, ...]
 # absent from the box are unconstrained.
 Box = dict[str, frozenset[Value]]
 
+# Internal bitmask form of a box: parameter name -> allowed-code mask
+# over domain positions.  Parameters absent are unconstrained.
+_IntBox = dict[str, int]
+
 
 # ---------------------------------------------------------------------------
-# Classic binary Quine-McCluskey
+# Classic binary Quine-McCluskey (bitmask implicants)
 # ---------------------------------------------------------------------------
+#
+# An implicant over ``n_vars`` variables is a pair of ints ``(bits,
+# mask)``: ``mask`` has a 1 for every specified variable position (in
+# minterm bit order), ``bits`` holds the required values on those
+# positions (and 0 elsewhere).  The implicant covers minterm ``m`` iff
+# ``m & mask == bits``.  Two implicants combine iff they share the same
+# mask and their bits differ in exactly one position -- one XOR and one
+# popcount instead of a positional scan.
 
-def _combine(a: Implicant, b: Implicant) -> Implicant | None:
-    """Merge two implicants differing in exactly one specified bit."""
-    diff = -1
-    for i, (x, y) in enumerate(zip(a, b)):
-        if x != y:
-            if x is None or y is None or diff >= 0:
-                return None
-            diff = i
-    if diff < 0:
-        return None
-    merged = list(a)
-    merged[diff] = None
-    return tuple(merged)
+def _pair_to_tuple(bits: int, mask: int, n_vars: int) -> Implicant:
+    """Bitmask implicant -> the public 0/1/None tuple form."""
+    out: list[int | None] = []
+    for position in range(n_vars):
+        bit = 1 << (n_vars - 1 - position)
+        out.append((1 if bits & bit else 0) if mask & bit else None)
+    return tuple(out)
+
+
+def _pair_sort_key(pair: tuple[int, int], n_vars: int) -> tuple[int, ...]:
+    """The reference implementation's implicant sort key (None -> -1)."""
+    bits, mask = pair
+    key: list[int] = []
+    for position in range(n_vars):
+        bit = 1 << (n_vars - 1 - position)
+        key.append((1 if bits & bit else 0) if mask & bit else -1)
+    return tuple(key)
 
 
 def _implicant_covers(implicant: Implicant, minterm: int, n_vars: int) -> bool:
-    """True when the implicant covers the given minterm."""
+    """True when the implicant (tuple form) covers the given minterm."""
     for position, literal in enumerate(implicant):
         if literal is None:
             continue
@@ -71,10 +97,6 @@ def _implicant_covers(implicant: Implicant, minterm: int, n_vars: int) -> bool:
         if bit != literal:
             return False
     return True
-
-
-def _minterm_to_implicant(minterm: int, n_vars: int) -> Implicant:
-    return tuple((minterm >> (n_vars - 1 - i)) & 1 for i in range(n_vars))
 
 
 def minimize_boolean(
@@ -108,55 +130,116 @@ def minimize_boolean(
             raise ValueError(f"minterm {m} out of range for {n_vars} variables")
 
     # Stage 1: iteratively combine implicants into prime implicants.
-    current = {_minterm_to_implicant(m, n_vars) for m in minterm_set | dc_set}
-    primes: set[Implicant] = set()
+    # Implicants sharing a mask are grouped so each one probes its
+    # single-bit-flip partners directly instead of scanning all pairs.
+    full_mask = upper - 1
+    current: set[tuple[int, int]] = {(m, full_mask) for m in minterm_set | dc_set}
+    primes: set[tuple[int, int]] = set()
     while current:
-        combined: set[Implicant] = set()
-        used: set[Implicant] = set()
-        items = sorted(
-            current, key=lambda imp: tuple(-1 if x is None else x for x in imp)
-        )
-        for a, b in itertools.combinations(items, 2):
-            merged = _combine(a, b)
-            if merged is not None:
-                combined.add(merged)
-                used.add(a)
-                used.add(b)
+        by_mask: dict[int, set[int]] = {}
+        for bits, mask in current:
+            by_mask.setdefault(mask, set()).add(bits)
+        combined: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        for mask, group in by_mask.items():
+            probe = mask
+            while probe:
+                flip = probe & -probe
+                probe ^= flip
+                reduced_mask = mask ^ flip
+                for bits in group:
+                    partner = bits ^ flip
+                    if partner in group:
+                        combined.add((bits & ~flip, reduced_mask))
+                        used.add((bits, mask))
+                        used.add((partner, mask))
         primes |= current - used
         current = combined
 
-    # Stage 2: essential primes, then greedy cover of the rest.
+    # Stage 2: essential primes, then greedy cover of the rest.  Primes
+    # are kept in the reference tuple order so tie-breaks are stable.
+    ordered_primes = sorted(primes, key=lambda p: _pair_sort_key(p, n_vars))
     uncovered = set(minterm_set)
-    chart: dict[int, list[Implicant]] = {
-        m: [p for p in primes if _implicant_covers(p, m, n_vars)] for m in uncovered
+    chart: dict[int, list[tuple[int, int]]] = {
+        m: [p for p in ordered_primes if (m & p[1]) == p[0]] for m in uncovered
     }
-    chosen: list[Implicant] = []
+    chosen: list[tuple[int, int]] = []
     for m, covering in sorted(chart.items()):
         if len(covering) == 1 and covering[0] not in chosen:
             chosen.append(covering[0])
-    for p in chosen:
-        uncovered -= {m for m in uncovered if _implicant_covers(p, m, n_vars)}
-    remaining_primes = [p for p in primes if p not in chosen]
+    for bits, mask in chosen:
+        uncovered -= {m for m in uncovered if (m & mask) == bits}
+    remaining_primes = [p for p in ordered_primes if p not in chosen]
     while uncovered:
         best = max(
             remaining_primes,
             key=lambda p: (
-                sum(1 for m in uncovered if _implicant_covers(p, m, n_vars)),
-                sum(1 for literal in p if literal is None),
+                sum(1 for m in uncovered if (m & p[1]) == p[0]),
+                n_vars - p[1].bit_count(),  # number of don't-care positions
             ),
         )
-        covered_now = {m for m in uncovered if _implicant_covers(best, m, n_vars)}
+        covered_now = {m for m in uncovered if (m & best[1]) == best[0]}
         if not covered_now:  # pragma: no cover - defensive; cannot happen
             raise RuntimeError("prime implicant chart cannot be covered")
         chosen.append(best)
         remaining_primes.remove(best)
         uncovered -= covered_now
-    return chosen
+
+    # Redundancy elimination: a greedy pick can be made obsolete by
+    # later picks; drop any implicant whose minterms the rest still
+    # cover (latest picks are reconsidered first).
+    for candidate in list(reversed(chosen)):
+        rest = [p for p in chosen if p != candidate]
+        if all(
+            any((m & mask) == bits for bits, mask in rest) for m in minterm_set
+        ):
+            chosen = rest
+    return [_pair_to_tuple(bits, mask, n_vars) for bits, mask in chosen]
 
 
 # ---------------------------------------------------------------------------
-# Multi-valued simplification over parameter boxes
+# Multi-valued simplification over parameter boxes (bitmask form)
 # ---------------------------------------------------------------------------
+
+class _BoxCodec:
+    """Name-keyed box encode/decode over the engine's shared codec.
+
+    The value-interning tables live in
+    :class:`~repro.core.engine.SpaceCodec` (one source of truth for
+    code assignment); this wrapper only adapts them to the box
+    algebra's name-keyed dicts.
+    """
+
+    def __init__(self, space: ParameterSpace):
+        from .engine import SpaceCodec  # here to keep module load light
+
+        self.space = space
+        self.names = space.names
+        codec = SpaceCodec(space)
+        self.full: dict[str, int] = {
+            name: codec.full_masks[index]
+            for name, index in codec.index_of_name.items()
+        }
+
+    def encode(self, box: Box) -> _IntBox:
+        encoded: _IntBox = {}
+        for name, values in box.items():
+            parameter = self.space[name]
+            mask = 0
+            for value in values:
+                mask |= 1 << parameter.index_of(value)
+            encoded[name] = mask
+        return encoded
+
+    def decode(self, box: _IntBox) -> Box:
+        decoded: Box = {}
+        for name, mask in box.items():
+            domain = self.space.domain(name)
+            decoded[name] = frozenset(
+                domain[code] for code in range(len(domain)) if mask & (1 << code)
+            )
+        return decoded
+
 
 def boxes_from_disjunction(
     disjunction: Disjunction | Iterable[Conjunction], space: ParameterSpace
@@ -170,57 +253,54 @@ def boxes_from_disjunction(
     return boxes
 
 
-def _box_subsumes(general: Box, specific: Box, space: ParameterSpace) -> bool:
+def _box_subsumes(general: _IntBox, specific: _IntBox, codec: _BoxCodec) -> bool:
     """True when every instance of ``specific`` lies inside ``general``."""
-    for name, general_values in general.items():
-        specific_values = specific.get(name, frozenset(space.domain(name)))
-        if not specific_values <= general_values:
+    for name, general_mask in general.items():
+        specific_mask = specific.get(name, codec.full[name])
+        if specific_mask & ~general_mask:
             return False
     return True
 
 
-def _try_merge(a: Box, b: Box, space: ParameterSpace) -> Box | None:
+def _try_merge(a: _IntBox, b: _IntBox, codec: _BoxCodec) -> _IntBox | None:
     """Merge two boxes that agree everywhere except one parameter.
 
     The multi-valued analogue of combining two implicants differing in
     one bit: the merged box covers exactly the union of the two.
     """
-    keys = set(a) | set(b)
+    full = codec.full
     differing = [
         name
-        for name in keys
-        if a.get(name, frozenset(space.domain(name)))
-        != b.get(name, frozenset(space.domain(name)))
+        for name in set(a) | set(b)
+        if a.get(name, full[name]) != b.get(name, full[name])
     ]
     if len(differing) > 1:
         return None
     if not differing:
         return dict(a)
     name = differing[0]
-    merged_values = a.get(name, frozenset(space.domain(name))) | b.get(
-        name, frozenset(space.domain(name))
-    )
+    merged_mask = a.get(name, full[name]) | b.get(name, full[name])
     merged = {k: v for k, v in a.items() if k != name}
     for k, v in b.items():
         merged.setdefault(k, v)
-    if merged_values != frozenset(space.domain(name)):
-        merged[name] = merged_values
+    if merged_mask != full[name]:
+        merged[name] = merged_mask
     else:
         merged.pop(name, None)
     return merged
 
 
-def _absorb(boxes: list[Box], space: ParameterSpace) -> list[Box]:
+def _absorb(boxes: list[_IntBox], codec: _BoxCodec) -> list[_IntBox]:
     """Remove boxes subsumed by another box in the list."""
-    kept: list[Box] = []
+    kept: list[_IntBox] = []
     for i, box in enumerate(boxes):
         subsumed = False
         for j, other in enumerate(boxes):
             if i == j:
                 continue
-            if _box_subsumes(other, box, space):
+            if _box_subsumes(other, box, codec):
                 # Break mutual-subsumption (equal boxes) ties by index.
-                if _box_subsumes(box, other, space) and i < j:
+                if _box_subsumes(box, other, codec) and i < j:
                     continue
                 subsumed = True
                 break
@@ -229,14 +309,14 @@ def _absorb(boxes: list[Box], space: ParameterSpace) -> list[Box]:
     return kept
 
 
-def _box_count(box: Box, space: ParameterSpace) -> int:
+def _box_count(box: _IntBox, codec: _BoxCodec) -> int:
     count = 1
-    for name in space.names:
-        count *= len(box.get(name, frozenset(space.domain(name))))
+    for name in codec.names:
+        count *= box.get(name, codec.full[name]).bit_count()
     return count
 
 
-def _remove_redundant(boxes: list[Box], space: ParameterSpace) -> list[Box]:
+def _remove_redundant(boxes: list[_IntBox], codec: _BoxCodec) -> list[_IntBox]:
     """Drop boxes entirely covered by the union of the others.
 
     Exact when the space is small enough to enumerate a box's instances;
@@ -251,26 +331,31 @@ def _remove_redundant(boxes: list[Box], space: ParameterSpace) -> list[Box]:
             others = result[:i] + result[i + 1 :]
             if not others:
                 continue
-            if _box_count(box, space) > limit:
+            if _box_count(box, codec) > limit:
                 continue
-            if _box_covered_by_union(box, others, space):
+            if _box_covered_by_union(box, others, codec):
                 result.pop(i)
                 changed = True
                 break
     return result
 
 
-def _box_covered_by_union(box: Box, others: Sequence[Box], space: ParameterSpace) -> bool:
-    names = space.names
-    value_lists = [
-        sorted(box.get(name, frozenset(space.domain(name))), key=repr) for name in names
-    ]
-    for combo in itertools.product(*value_lists):
-        assignment = dict(zip(names, combo))
+def _box_covered_by_union(
+    box: _IntBox, others: Sequence[_IntBox], codec: _BoxCodec
+) -> bool:
+    names = codec.names
+    code_lists = []
+    for name in names:
+        mask = box.get(name, codec.full[name])
+        code_lists.append(
+            [code for code in range(mask.bit_length()) if mask & (1 << code)]
+        )
+    full = codec.full
+    for combo in itertools.product(*code_lists):
         if not any(
             all(
-                assignment[name] in other.get(name, frozenset(space.domain(name)))
-                for name in names
+                other.get(name, full[name]) & (1 << code)
+                for name, code in zip(names, combo)
             )
             for other in others
         ):
@@ -360,23 +445,24 @@ def simplify_disjunction(
     Guarantees semantic equivalence: the returned disjunction is
     satisfied by exactly the same instances of ``space`` as the input.
     """
-    boxes = boxes_from_disjunction(disjunction, space)
-    boxes = _absorb(boxes, space)
+    codec = _BoxCodec(space)
+    boxes = [codec.encode(box) for box in boxes_from_disjunction(disjunction, space)]
+    boxes = _absorb(boxes, codec)
 
     # Iterated merging, QM-style: combine while any pair merges.
     changed = True
     while changed:
         changed = False
         for i, j in itertools.combinations(range(len(boxes)), 2):
-            merged = _try_merge(boxes[i], boxes[j], space)
+            merged = _try_merge(boxes[i], boxes[j], codec)
             if merged is not None:
                 survivors = [
                     box for k, box in enumerate(boxes) if k not in (i, j)
                 ]
                 survivors.append(merged)
-                boxes = _absorb(survivors, space)
+                boxes = _absorb(survivors, codec)
                 changed = True
                 break
 
-    boxes = _remove_redundant(boxes, space)
-    return disjunction_from_boxes(boxes, space)
+    boxes = _remove_redundant(boxes, codec)
+    return disjunction_from_boxes([codec.decode(box) for box in boxes], space)

@@ -226,6 +226,17 @@ class DebugSession:
         except InstanceUnavailable:
             return None
 
+    # -- Columnar engine integration -----------------------------------------
+    def columnar_store(self):
+        """The history's columnar store for this session's space, synced.
+
+        Syncing happens under the session lock, so the engine's bitsets
+        never observe a half-recorded evaluation even when a parallel
+        backend is appending to the history concurrently.
+        """
+        with self._lock:
+            return self._history.columnar_store(self._space)
+
     # -- Seeding ------------------------------------------------------------
     def seed(self, evaluations: Iterable[Evaluation]) -> None:
         """Load prior provenance into the history free of charge."""

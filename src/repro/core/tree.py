@@ -228,6 +228,23 @@ class DebuggingTree:
         self.root = build_tree(space, samples, max_depth=max_depth)
         self.n_samples = len(samples)
 
+    @classmethod
+    def from_root(
+        cls, space: ParameterSpace, root: TreeNode, n_samples: int
+    ) -> "DebuggingTree":
+        """Wrap an externally-built root (columnar engine) in a tree.
+
+        The columnar induction path of :mod:`repro.core.engine` builds
+        the same :class:`TreeNode` structure from integer-coded columns;
+        this constructor gives it the path-extraction API without
+        re-inducing from instance dicts.
+        """
+        tree = cls.__new__(cls)
+        tree.space = space
+        tree.root = root
+        tree.n_samples = n_samples
+        return tree
+
     def classify(self, instance: Instance) -> LeafKind:
         """Route an instance to its leaf and report the leaf's purity."""
         node = self.root

@@ -86,6 +86,9 @@ class Parameter:
                 raise ValueError(
                     f"ordinal parameter {self.name!r} requires an ascending domain"
                 )
+        object.__setattr__(
+            self, "_positions", {value: i for i, value in enumerate(self.domain)}
+        )
 
     @property
     def is_ordinal(self) -> bool:
@@ -98,15 +101,28 @@ class Parameter:
         Raises:
             ValueError: if the value is not in the domain.
         """
-        try:
-            return self.domain.index(value)
-        except ValueError:
+        code = self.code_of(value)
+        if code is None:
             raise ValueError(
                 f"value {value!r} not in domain of parameter {self.name!r}"
-            ) from None
+            )
+        return code
+
+    def code_of(self, value: Value) -> int | None:
+        """Domain position of ``value``, or None when out of domain.
+
+        The position doubles as the parameter's integer *value code* in
+        the columnar engine (:mod:`repro.core.engine`); for ordinal
+        parameters code order equals value order because the domain is
+        validated ascending.
+        """
+        try:
+            return self._positions.get(value)  # type: ignore[attr-defined]
+        except TypeError:  # unhashable probe value
+            return None
 
     def __contains__(self, value: Value) -> bool:
-        return value in self.domain
+        return self.code_of(value) is not None
 
 
 class ParameterSpace(Mapping[str, Parameter]):
@@ -228,11 +244,15 @@ class Instance(Mapping[str, Value]):
     space is explicit via :meth:`ParameterSpace.validate`.
     """
 
-    __slots__ = ("_values", "_hash")
+    __slots__ = ("_values", "_hash", "_canonical", "_persist_key")
 
     def __init__(self, values: Mapping[str, Value]):
         self._values: dict[str, Value] = dict(values)
         self._hash: int | None = None
+        self._canonical: tuple[tuple[str, Value], ...] | None = None
+        # Lazily-filled serialization key; owned by repro.provenance.store
+        # (kept here so keying work happens at most once per instance).
+        self._persist_key: str | None = None
 
     # -- Mapping protocol --------------------------------------------------
     def __getitem__(self, name: str) -> Value:
@@ -244,9 +264,24 @@ class Instance(Mapping[str, Value]):
     def __len__(self) -> int:
         return len(self._values)
 
+    @property
+    def canonical_items(self) -> tuple[tuple[str, Value], ...]:
+        """The assignment as a name-sorted tuple, computed once.
+
+        This is the canonical identity of the instance: the hash, the
+        provenance ``instance_key``, and the service cache key are all
+        derived from it, so the (sort + tuple) work is paid at most once
+        per instance instead of once per lookup.
+        """
+        if self._canonical is None:
+            self._canonical = tuple(
+                sorted(self._values.items(), key=lambda item: item[0])
+            )
+        return self._canonical
+
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._values.items()))
+            self._hash = hash(self.canonical_items)
         return self._hash
 
     def __eq__(self, other: object) -> bool:

@@ -28,11 +28,23 @@ def instance_key(instance: Instance) -> str:
 
     Used by the SQLite backend for O(log n) instance lookups (the
     service's persistent cache tier) instead of reconstructing and
-    comparing every record's bindings.
+    comparing every record's bindings.  Derived from the instance's
+    cached canonical tuple (the same source its hash uses) and memoized
+    on the instance, so serialization work happens at most once per
+    instance regardless of how many store round-trips it makes.
     """
-    return json.dumps(
-        [[name, encode_value(value)] for name, value in sorted(instance.items())]
-    )
+    cached = getattr(instance, "_persist_key", None)
+    if cached is not None:
+        return cached
+    items = getattr(instance, "canonical_items", None)
+    if items is None:  # duck-typed mapping
+        items = sorted(instance.items())
+    key = json.dumps([[name, encode_value(value)] for name, value in items])
+    try:
+        instance._persist_key = key  # noqa: SLF001 - deliberate memo slot
+    except AttributeError:  # duck-typed mapping without the slot
+        pass
+    return key
 
 __all__ = [
     "ProvenanceStore",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..core.types import Executor, Instance, Outcome
@@ -53,6 +54,7 @@ class CacheStats:
         coalesced: requests that joined an in-flight execution instead
             of starting their own (the single-flight savings).
         failures: inner executions that raised.
+        evictions: memory-tier entries dropped by the LRU bound.
     """
 
     hits: int = 0
@@ -61,6 +63,7 @@ class CacheStats:
     executions: int = 0
     coalesced: int = 0
     failures: int = 0
+    evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -82,6 +85,7 @@ class CacheStats:
             "executions": self.executions,
             "coalesced": self.coalesced,
             "failures": self.failures,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -104,13 +108,27 @@ class SingleFlightCache:
     :class:`~repro.pipeline.runner.CachingExecutor`) are built on.  It
     knows nothing about workflows or provenance: keys are arbitrary
     hashables and values are produced by caller-supplied thunks.
+
+    Args:
+        max_entries: optional LRU bound on stored values for long-lived
+            services.  Only settled values are evicted -- in-flight
+            executions are tracked separately, so single-flight
+            semantics are unaffected: a request for an evicted key is an
+            ordinary miss whose re-execution concurrent callers join.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
         self._lock = threading.Lock()
-        self._values: dict[object, object] = {}
+        self._values: OrderedDict[object, object] = OrderedDict()
         self._flights: dict[object, _Flight] = {}
+        self._max_entries = max_entries
         self.stats = CacheStats()
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
 
     def __len__(self) -> int:
         with self._lock:
@@ -128,7 +146,16 @@ class SingleFlightCache:
     def put(self, key: object, value: object) -> None:
         """Seed the cache (e.g. from prior provenance) free of charge."""
         with self._lock:
-            self._values[key] = value
+            self._insert(key, value)
+
+    def _insert(self, key: object, value: object) -> None:
+        """Store a value and apply the LRU bound.  Caller holds the lock."""
+        self._values[key] = value
+        self._values.move_to_end(key)
+        if self._max_entries is not None:
+            while len(self._values) > self._max_entries:
+                self._values.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_execute(self, key: object, produce):
         """Return the cached value for ``key``, executing ``produce`` at
@@ -144,6 +171,7 @@ class SingleFlightCache:
                 if key in self._values:
                     if not counted:
                         self.stats.hits += 1
+                    self._values.move_to_end(key)
                     return self._values[key]
                 flight = self._flights.get(key)
                 if flight is None:
@@ -172,16 +200,21 @@ class SingleFlightCache:
                     raise
                 with self._lock:
                     self.stats.executions += 1
-                    self._values[key] = value
+                    self._insert(key, value)
                     self._flights.pop(key, None)
                 flight.outcome = value  # type: ignore[assignment]
                 flight.done.set()
                 return value
             flight.done.wait()
             if flight.error is None:
+                # The coalesced request was served by the leader.  The
+                # flight carries the value directly: with a bounded
+                # cache the entry may already have been evicted by the
+                # time this waiter wakes.
                 with self._lock:
-                    # The coalesced request was served by the leader.
-                    return self._values[key]
+                    if key in self._values:
+                        self._values.move_to_end(key)
+                return flight.outcome
             # Leader failed: loop and contend to become the new leader.
 
 
@@ -201,10 +234,19 @@ class ExecutionCache:
             starts warm.
         record_cost: when True (default), the wall-clock seconds of each
             inner execution are recorded on the provenance record.
+        max_entries: optional LRU bound on the in-memory tier for
+            long-lived services.  Evicted outcomes are re-served from
+            the persistent tier when one is configured, re-executed
+            otherwise; single-flight dedup is preserved either way.
     """
 
-    def __init__(self, store: ProvenanceStore | None = None, record_cost: bool = True):
-        self._flights = SingleFlightCache()
+    def __init__(
+        self,
+        store: ProvenanceStore | None = None,
+        record_cost: bool = True,
+        max_entries: int | None = None,
+    ):
+        self._flights = SingleFlightCache(max_entries=max_entries)
         self._store = store
         self._stats_lock = threading.Lock()
         self._record_cost = record_cost
@@ -231,6 +273,7 @@ class ExecutionCache:
             executions=max(0, flight.executions - persistent),
             coalesced=flight.coalesced,
             failures=flight.failures,
+            evictions=flight.evictions,
         )
 
     @property

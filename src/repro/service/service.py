@@ -47,6 +47,10 @@ class DebugService:
             store, making outcomes durable across services.
         max_concurrent_jobs: cap on jobs running at once; further
             submissions queue (admission control, not an error).
+        cache_max_entries: optional LRU bound on the internal cache's
+            in-memory tier, for long-lived services whose outcome sets
+            would otherwise grow without bound.  Ignored when an
+            explicit ``cache`` is passed (bound it at construction).
 
     Typical use::
 
@@ -61,13 +65,23 @@ class DebugService:
         cache: ExecutionCache | None = None,
         store: ProvenanceStore | None = None,
         max_concurrent_jobs: int | None = None,
+        cache_max_entries: int | None = None,
     ):
         if cache is not None and store is not None:
             raise ValueError("pass either a cache or a store, not both")
+        if cache is not None and cache_max_entries is not None:
+            raise ValueError(
+                "cache_max_entries applies to the internally-built cache; "
+                "bound an explicit cache at its construction instead"
+            )
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be at least 1")
         self._scheduler = SharedScheduler(workers=workers, name="debug-service")
-        self._cache = cache if cache is not None else ExecutionCache(store=store)
+        self._cache = (
+            cache
+            if cache is not None
+            else ExecutionCache(store=store, max_entries=cache_max_entries)
+        )
         self._jobs: dict[str, JobHandle] = {}
         self._lock = threading.Lock()
         self._admission = (

@@ -221,6 +221,47 @@ class TestSimplifyDisjunction:
         ) or len(simplified) <= len(conjunctions)
 
 
+class TestBitmaskImplicants:
+    """The bitmask (bits, mask) implicant representation underlying
+    minimize_boolean must agree with the public tuple form exactly."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(1, 6), st.data())
+    def test_pair_tuple_roundtrip_and_cover_agreement(self, n_vars, data):
+        from repro.core.quine_mccluskey import _pair_sort_key, _pair_to_tuple
+
+        universe = (1 << n_vars) - 1
+        mask = data.draw(st.integers(0, universe))
+        bits = data.draw(st.integers(0, universe)) & mask
+        as_tuple = _pair_to_tuple(bits, mask, n_vars)
+        assert len(as_tuple) == n_vars
+        # Tuple covering semantics == bitmask covering semantics.
+        for minterm in range(1 << n_vars):
+            assert _implicant_covers(as_tuple, minterm, n_vars) == (
+                (minterm & mask) == bits
+            )
+        # The sort key equals the reference tuple key (None -> -1).
+        assert _pair_sort_key((bits, mask), n_vars) == tuple(
+            -1 if literal is None else literal for literal in as_tuple
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 4), st.data())
+    def test_minimized_cover_has_only_prime_combinations(self, n_vars, data):
+        """Every returned implicant must cover at least one required
+        minterm and nothing outside minterms + don't-cares."""
+        universe = list(range(1 << n_vars))
+        minterms = data.draw(st.sets(st.sampled_from(universe), min_size=1))
+        dont_cares = data.draw(st.sets(st.sampled_from(universe))) - minterms
+        allowed = minterms | dont_cares
+        for implicant in minimize_boolean(n_vars, minterms, dont_cares):
+            covered = {
+                m for m in universe if _implicant_covers(implicant, m, n_vars)
+            }
+            assert covered <= allowed
+            assert covered & minterms
+
+
 def test_disjunction_from_boxes_roundtrip():
     boxes = [
         {"o": frozenset({0, 1}), "k": frozenset({"r"})},
