@@ -1,0 +1,262 @@
+"""Strategy-layer solver overhead: columnar engine vs reference scans.
+
+PR 2 put Debugging Decision Trees on the columnar engine; this
+benchmark guards the follow-up port of the *strategy layer* -- the
+Shortcut / Stacked Shortcut history scans (`disjoint_successes`,
+Hamming-distance ranking, `mutually_disjoint_successes`, the
+success-superset sanity check) now routed through `StrategyContext`.
+
+Two workloads, both measured as pure solver time (a cached executor's
+wall clock is subtracted):
+
+* ``combined`` -- BugDoc's COMBINED FindAll (Stacked Shortcut feeding
+  DDT, the paper's Figure 7 configuration) over a fig5-style parameter
+  sweep with a provenance-rich seeded history; this is the
+  "Shortcut+Stacked-enabled run" of the acceptance bar.
+* ``stacked`` -- Stacked Shortcut alone, re-anchored on many failing
+  instances over a large seeded history, which isolates the scan costs
+  the strategy port moved onto bitsets.
+
+Both engines must produce **identical** reports, instance counts, and
+budgets; the run aborts otherwise.  Exit status is non-zero when the
+columnar engine is not faster overall, or (full mode) when the
+12+-parameter combined speedup falls below the 5x acceptance bar.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_strategy_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+import time
+
+from repro.core import Algorithm, BugDoc, DDTConfig, DebugSession, InstanceBudget
+from repro.core.stacked import stacked_shortcut
+from repro.synth import SyntheticConfig, generate_pipeline
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_PARAM_COUNTS = (5, 7, 9, 11, 13)
+QUICK_PARAM_COUNTS = (5, 9)
+CAUSE_ARITIES = (2, 2, 3)
+REQUIRED_SPEEDUP_AT_MAX = 5.0
+STACKED_ANCHORS = 40
+
+
+class CachedTimedExecutor:
+    """Memoizing executor that accounts its own wall-clock time."""
+
+    def __init__(self, oracle):
+        self._oracle = oracle
+        self._cache = {}
+        self.seconds = 0.0
+        self.calls = 0
+
+    def __call__(self, instance):
+        started = time.perf_counter()
+        self.calls += 1
+        outcome = self._cache.get(instance)
+        if outcome is None:
+            outcome = self._oracle(instance)
+            self._cache[instance] = outcome
+        self.seconds += time.perf_counter() - started
+        return outcome
+
+
+def _pipeline_for(n_params: int, seed: int):
+    config = SyntheticConfig(
+        min_parameters=n_params,
+        max_parameters=n_params,
+        min_values=5,
+        max_values=8,
+        cause_arities=CAUSE_ARITIES,
+        verify_minimality_up_to=0,  # sizes are large by design
+    )
+    return generate_pipeline(
+        f"strategy-{n_params}", config=config, seed=900 + seed
+    )
+
+
+def run_combined(n_params: int, engine: str, seed: int, history_size: int):
+    """One COMBINED FindAll run; returns (solver_seconds, fingerprint)."""
+    pipeline = _pipeline_for(n_params, seed)
+    rng = random.Random(seed)
+    history = pipeline.initial_history(rng, size=history_size)
+    executor = CachedTimedExecutor(pipeline.oracle)
+    session = DebugSession(executor, pipeline.space, history=history)
+    bugdoc = BugDoc(session=session, seed=seed, engine=engine)
+    started = time.perf_counter()
+    report = bugdoc.find_all(
+        Algorithm.COMBINED,
+        ddt_config=DDTConfig(find_all=True, engine=engine),
+    )
+    wall = time.perf_counter() - started
+    stacked = report.stacked_result
+    fingerprint = (
+        [str(c) for c in report.causes],
+        str(report.explanation),
+        report.instances_executed,
+        report.budget_exhausted,
+        None if stacked is None else str(stacked.cause),
+        None if stacked is None else stacked.good_instances,
+        None if stacked is None else stacked.instances_executed,
+        report.ddt_result.rounds if report.ddt_result else None,
+        session.budget.spent,
+        len(session.history),
+    )
+    return wall - executor.seconds, fingerprint
+
+
+def run_stacked(n_params: int, engine: str, seed: int, history_size: int):
+    """Stacked Shortcut re-anchored on many failures over a large log."""
+    pipeline = _pipeline_for(n_params, seed)
+    rng = random.Random(seed)
+    history = pipeline.initial_history(rng, size=history_size)
+    executor = CachedTimedExecutor(pipeline.oracle)
+    session = DebugSession(
+        executor, pipeline.space, history=history, budget=InstanceBudget(None)
+    )
+    anchors = session.history.failures[:STACKED_ANCHORS]
+    started = time.perf_counter()
+    results = []
+    from repro.core import StrategyContext
+
+    context = StrategyContext.for_session(session, engine=engine)
+    for anchor in anchors:
+        result = stacked_shortcut(session, failing=anchor, context=context)
+        results.append(
+            (
+                str(result.cause),
+                result.good_instances,
+                result.instances_executed,
+                tuple(
+                    (str(r.cause), r.rejected_by_sanity_check, r.complete)
+                    for r in result.runs
+                ),
+            )
+        )
+    wall = time.perf_counter() - started
+    fingerprint = (tuple(results), session.budget.spent, len(session.history))
+    return wall - executor.seconds, fingerprint
+
+
+def sweep(param_counts, repeats: int, combined_history: int, stacked_history: int):
+    rows = []
+    for mode, runner, history_size in (
+        ("combined", run_combined, combined_history),
+        ("stacked", run_stacked, stacked_history),
+    ):
+        for n_params in param_counts:
+            ref_total = col_total = 0.0
+            for repeat in range(repeats):
+                col_time, col_fp = runner(
+                    n_params, "columnar", repeat, history_size
+                )
+                ref_time, ref_fp = runner(
+                    n_params, "reference", repeat, history_size
+                )
+                if col_fp != ref_fp:
+                    raise SystemExit(
+                        f"ENGINE DIVERGENCE ({mode}) at {n_params} params, "
+                        f"seed {repeat}:\n  columnar : {col_fp}\n"
+                        f"  reference: {ref_fp}"
+                    )
+                col_total += col_time
+                ref_total += ref_time
+            rows.append(
+                {
+                    "mode": mode,
+                    "n_params": n_params,
+                    "reference_s": ref_total / repeats,
+                    "columnar_s": col_total / repeats,
+                    "speedup": (
+                        ref_total / col_total if col_total else float("inf")
+                    ),
+                    "history": history_size,
+                }
+            )
+    return rows
+
+
+def render(rows, repeats: int) -> str:
+    lines = [
+        "Strategy-layer overhead: Shortcut+Stacked-enabled solver time,",
+        "columnar vs reference engines (cached executor; identical",
+        f"reports/budgets verified per run; mean of {repeats} repeat(s))",
+        "",
+        f"{'mode':>9} {'#params':>8} {'history':>8} {'reference':>12} "
+        f"{'columnar':>12} {'speedup':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:>9} {row['n_params']:>8} {row['history']:>8} "
+            f"{row['reference_s']:>11.4f}s {row['columnar_s']:>11.4f}s "
+            f"{row['speedup']:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small sweep, one repeat, no results file",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        param_counts = QUICK_PARAM_COUNTS
+        repeats = args.repeats or 1
+        combined_history, stacked_history = 120, 400
+    else:
+        param_counts = FULL_PARAM_COUNTS
+        repeats = args.repeats or 3
+        combined_history, stacked_history = 300, 1500
+
+    rows = sweep(param_counts, repeats, combined_history, stacked_history)
+    text = render(rows, repeats)
+    print(text)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "strategy_overhead.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    total_ref = sum(row["reference_s"] for row in rows)
+    total_col = sum(row["columnar_s"] for row in rows)
+    if total_col >= total_ref:
+        print(
+            f"\nFAIL: columnar engine ({total_col:.4f}s) is not faster than "
+            f"the reference path ({total_ref:.4f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOverall: {total_ref / total_col:.1f}x less solver time")
+
+    if not args.quick:
+        gated = [
+            row
+            for row in rows
+            if row["mode"] == "combined" and row["n_params"] >= 12
+        ]
+        for row in gated:
+            if row["speedup"] < REQUIRED_SPEEDUP_AT_MAX:
+                print(
+                    f"\nFAIL: combined speedup at {row['n_params']} "
+                    f"parameters is {row['speedup']:.1f}x, below the "
+                    f"required {REQUIRED_SPEEDUP_AT_MAX:.0f}x",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

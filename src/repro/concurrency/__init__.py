@@ -1,0 +1,33 @@
+"""Neutral concurrency primitives shared across the package layers.
+
+This package sits at the *bottom* of the layering: it may import only
+the standard library, so both :mod:`repro.pipeline` (the execution
+engines) and :mod:`repro.service` (the multi-tenant job service) can
+build on the same primitives without creating an import cycle --
+``pipeline`` no longer reaches *up* into ``service`` for them, and
+``service`` stays free to depend on ``pipeline``.
+
+* :mod:`~repro.concurrency.singleflight` -- a keyed memoizer with
+  single-flight execution (concurrent requests for one uncached key run
+  the producer exactly once) and an optional LRU bound.
+* :mod:`~repro.concurrency.scheduler` -- a fair, elastic worker pool
+  multiplexing many clients' requests, with budget-aware skips and
+  optional weighted fairness.
+"""
+
+from .scheduler import (
+    ScheduledExecutor,
+    SchedulerBackend,
+    SchedulerStats,
+    SharedScheduler,
+)
+from .singleflight import CacheStats, SingleFlightCache
+
+__all__ = [
+    "CacheStats",
+    "ScheduledExecutor",
+    "SchedulerBackend",
+    "SchedulerStats",
+    "SharedScheduler",
+    "SingleFlightCache",
+]

@@ -14,6 +14,7 @@ Public surface:
 
 from .budget import BudgetExhausted, InstanceBudget
 from .bugdoc import Algorithm, BugDoc, BugDocReport
+from .context import StrategyContext
 from .ddt import DDTConfig, DDTResult, debugging_decision_trees
 from .engine import ColumnarEngine, ColumnarStore, SpaceCodec
 from .history import ExecutionHistory
@@ -77,6 +78,7 @@ __all__ = [
     "ShortcutResult",
     "SpaceCodec",
     "StackedShortcutResult",
+    "StrategyContext",
     "TreeNode",
     "build_tree",
     "conjunction_from_assignment",

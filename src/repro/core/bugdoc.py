@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 
 from .budget import BudgetExhausted, InstanceBudget
+from .context import StrategyContext
 from .ddt import DDTConfig, DDTResult, debugging_decision_trees
 from .history import ExecutionHistory
 from .predicates import Conjunction, Disjunction
@@ -117,16 +118,22 @@ class BugDoc:
             self._session = DebugSession(
                 executor, space, history=history, budget=budget
             )
-        if engine not in ("columnar", "reference"):
-            raise ValueError(
-                f"unknown engine {engine!r}: expected 'columnar' or 'reference'"
-            )
         self._engine = engine
+        # One seam for every strategy: engine selection, history scans,
+        # and budget charging all resolve through this context, so
+        # Shortcut/Stacked and DDT share the same (incrementally
+        # maintained) columnar store instead of three ad-hoc paths.
+        self._context = StrategyContext.for_session(self._session, engine=engine)
         self._rng = random.Random(seed)
 
     @property
     def session(self) -> DebugSession:
         return self._session
+
+    @property
+    def strategy_context(self) -> StrategyContext:
+        """The shared engine-selection/budget seam of this invocation."""
+        return self._context
 
     @property
     def history(self) -> ExecutionHistory:
@@ -209,10 +216,14 @@ class BugDoc:
         before = self._session.new_executions
         try:
             failing = self._anchor_failure()
-            good = select_good_instance(self._session, failing)
+            good = select_good_instance(
+                self._session, failing, context=self._context
+            )
             if good is None:
                 raise ValueError("no successful instance available to compare with")
-            result = shortcut(self._session, failing, good)
+            result = shortcut(
+                self._session, failing, good, context=self._context
+            )
             report.shortcut_result = result
             if result.asserted:
                 report.causes = [result.cause]
@@ -228,7 +239,10 @@ class BugDoc:
         try:
             failing = self._anchor_failure()
             result = stacked_shortcut(
-                self._session, failing=failing, stack_width=stack_width
+                self._session,
+                failing=failing,
+                stack_width=stack_width,
+                context=self._context,
             )
             report.stacked_result = result
             if result.asserted:
@@ -239,12 +253,22 @@ class BugDoc:
         report.instances_executed = self._session.new_executions - before
         return report
 
+    def _ddt_context(self, config: DDTConfig) -> StrategyContext:
+        """The context for a DDT run: the shared one when the engines
+        agree, a fresh one honoring an explicitly-passed config's own
+        ``engine`` field otherwise."""
+        if config.engine == self._engine:
+            return self._context
+        return StrategyContext.for_session(self._session, engine=config.engine)
+
     def _run_ddt(self, config: DDTConfig) -> BugDocReport:
         report = BugDocReport(algorithm=Algorithm.DECISION_TREES)
         before = self._session.new_executions
         if not self._session.history.failures or not self._session.history.successes:
             self.ensure_contrasting_instances()
-        result = debugging_decision_trees(self._session, config)
+        result = debugging_decision_trees(
+            self._session, config, context=self._ddt_context(config)
+        )
         report.ddt_result = result
         report.causes = list(result.causes)
         report.explanation = result.explanation
@@ -270,7 +294,10 @@ class BugDoc:
         try:
             failing = self._anchor_failure()
             stacked = stacked_shortcut(
-                self._session, failing=failing, stack_width=stack_width
+                self._session,
+                failing=failing,
+                stack_width=stack_width,
+                context=self._context,
             )
             report.stacked_result = stacked
             if stacked.asserted:
@@ -279,12 +306,14 @@ class BugDoc:
             report.budget_exhausted = self._session.budget.exhausted()
 
         config = ddt_config or DDTConfig(find_all=find_all, engine=self._engine)
-        ddt = debugging_decision_trees(self._session, config)
+        ddt = debugging_decision_trees(
+            self._session, config, context=self._ddt_context(config)
+        )
         report.ddt_result = ddt
         causes.extend(ddt.causes)
         report.budget_exhausted = report.budget_exhausted or ddt.budget_exhausted
 
-        causes = [c for c in causes if not self._session.history.refutes(c)]
+        causes = [c for c in causes if not self._context.refutes(c)]
         causes = prune_to_minimal(causes, self._session.space)
         if causes:
             explanation = simplify_disjunction(

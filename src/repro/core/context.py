@@ -1,0 +1,158 @@
+"""StrategyContext: the one seam between search strategies and the engine.
+
+BugDoc runs three cooperating strategies -- Shortcut, Stacked Shortcut,
+and Debugging Decision Trees -- and each needs the same three services:
+
+* **engine selection**: whether history queries (refutes/supports,
+  subsumption, disjointness scans, tree induction) run on the columnar
+  bitset engine of :mod:`repro.core.engine` or on the dict-based
+  reference implementations;
+* **budget charging**: every new execution goes through the session's
+  ``evaluate``/``evaluate_many`` so the paper's cost accounting stays
+  the single source of truth;
+* **history access**: the scans that pick good instances
+  (``disjoint_successes``, Hamming-distance ranking, mutual
+  disjointness) and the sanity checks over successes.
+
+Before this module each strategy resolved those ad hoc -- DDT built its
+own :class:`~repro.core.engine.ColumnarEngine` while Shortcut and
+Stacked scanned instance dicts directly, so mixed-strategy runs paid
+the quadratic scan cost the engine was built to remove.  A
+:class:`StrategyContext` wraps one :class:`~repro.core.session.DebugSession`
+plus one engine choice and serves all strategies; every accelerated
+query degrades transparently to the reference path (byte-identical
+results, automatic fallback for uncompilable histories), exactly like
+the engine itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .engine import ColumnarEngine
+from .predicates import Conjunction
+from .types import Instance, Outcome
+
+__all__ = ["StrategyContext", "validate_engine"]
+
+ENGINES = ("columnar", "reference")
+
+
+def validate_engine(engine: str) -> str:
+    """Validate an engine name, returning it (shared error message)."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: expected 'columnar' or 'reference'"
+        )
+    return engine
+
+
+class StrategyContext:
+    """Execution context + engine selection shared by all strategies.
+
+    Args:
+        session: the :class:`~repro.core.session.DebugSession` owning
+            history, budget, and executor.
+        engine: ``"columnar"`` (default) routes history queries through
+            the bitset engine; ``"reference"`` keeps the original dict
+            implementations.  Both produce identical results.
+    """
+
+    __slots__ = ("session", "engine_name", "_engine")
+
+    def __init__(self, session, engine: str = "columnar"):
+        self.session = session
+        self.engine_name = validate_engine(engine)
+        self._engine = (
+            ColumnarEngine.for_session(session) if engine == "columnar" else None
+        )
+
+    @classmethod
+    def for_session(cls, session, engine: str = "columnar") -> "StrategyContext":
+        return cls(session, engine=engine)
+
+    @property
+    def columnar(self) -> bool:
+        """True when the columnar engine serves (compilable) queries."""
+        return self._engine is not None
+
+    # -- Session passthrough (the budget-charging seam) -----------------------
+    @property
+    def space(self):
+        return self.session.space
+
+    @property
+    def history(self):
+        return self.session.history
+
+    @property
+    def budget(self):
+        return self.session.budget
+
+    @property
+    def parallel(self) -> bool:
+        return self.session.parallel
+
+    @property
+    def candidate_source(self):
+        return self.session.candidate_source
+
+    @property
+    def new_executions(self) -> int:
+        return self.session.new_executions
+
+    def evaluate(self, instance: Instance) -> Outcome:
+        return self.session.evaluate(instance)
+
+    def evaluate_many(self, instances: Sequence[Instance]):
+        return self.session.evaluate_many(instances)
+
+    # -- Engine-selected history queries --------------------------------------
+    def refutes(self, conjunction: Conjunction) -> bool:
+        if self._engine is not None:
+            return self._engine.refutes(conjunction)
+        return self.session.history.refutes(conjunction)
+
+    def supports(self, conjunction: Conjunction) -> bool:
+        if self._engine is not None:
+            return self._engine.supports(conjunction)
+        return self.session.history.supports(conjunction)
+
+    def is_hypothetical_root_cause(self, conjunction: Conjunction) -> bool:
+        return self.supports(conjunction) and not self.refutes(conjunction)
+
+    def subsumes(self, general: Conjunction, specific: Conjunction) -> bool:
+        if self._engine is not None:
+            return self._engine.subsumes(general, specific)
+        return general.subsumes(specific, self.session.space)
+
+    def tree(self, max_depth: int | None = None):
+        """The engine-maintained debugging tree, or None when the caller
+        must build a reference :class:`~repro.core.tree.DebuggingTree`
+        (reference engine, or degraded columnar store)."""
+        if self._engine is not None:
+            return self._engine.tree(max_depth=max_depth)
+        return None
+
+    # -- Engine-selected history scans ----------------------------------------
+    def disjoint_successes(self, failing: Instance) -> list[Instance]:
+        if self._engine is not None:
+            return self._engine.disjoint_successes(failing)
+        return self.session.history.disjoint_successes(failing)
+
+    def most_different_success(self, failing: Instance) -> Instance | None:
+        if self._engine is not None:
+            return self._engine.most_different_success(failing)
+        return self.session.history.most_different_success(failing)
+
+    def mutually_disjoint_successes(
+        self, failing: Instance, limit: int | None = None
+    ) -> list[Instance]:
+        if self._engine is not None:
+            return self._engine.mutually_disjoint_successes(failing, limit)
+        return self.session.history.mutually_disjoint_successes(failing, limit)
+
+    def success_superset_of(self, assignment: Mapping[str, object]) -> bool:
+        if self._engine is not None:
+            return self._engine.success_superset_of(assignment)
+        return self.session.history.success_superset_of(assignment)

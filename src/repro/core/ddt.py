@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from .budget import BudgetExhausted
-from .engine import ColumnarEngine
+from .context import StrategyContext, validate_engine
 from .predicates import Conjunction, Disjunction
 from .quine_mccluskey import simplify_disjunction
 from .rootcause import prune_to_minimal
@@ -93,10 +93,7 @@ class DDTConfig:
     engine: str = "columnar"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("columnar", "reference"):
-            raise ValueError(
-                f"unknown engine {self.engine!r}: expected 'columnar' or 'reference'"
-            )
+        validate_engine(self.engine)
 
 
 @dataclass
@@ -127,7 +124,7 @@ class DDTResult:
 
 def _variation_instances(
     suspect: Conjunction,
-    session: DebugSession,
+    context: StrategyContext,
     count: int,
     rng: random.Random,
 ) -> list[Instance] | None:
@@ -145,11 +142,11 @@ def _variation_instances(
     replacement (best effort).  Returns None when the suspect is
     unsatisfiable.
     """
-    space = session.space
-    if session.candidate_source is not None:
+    space = context.space
+    if context.candidate_source is not None:
         # Historical mode: test instances come from unread provenance.
-        candidates = session.candidate_source(suspect, count)
-        fresh = [c for c in candidates if c not in session.history]
+        candidates = context.candidate_source(suspect, count)
+        fresh = [c for c in candidates if c not in context.history]
         return fresh if fresh else []
     sets = suspect.canonical(space)
     per_parameter: list[tuple[str, list[Value]]] = []
@@ -192,7 +189,9 @@ def _variation_instances(
 
 
 def debugging_decision_trees(
-    session: DebugSession, config: DDTConfig | None = None
+    session: DebugSession,
+    config: DDTConfig | None = None,
+    context: StrategyContext | None = None,
 ) -> DDTResult:
     """Run the Debugging Decision Trees search loop.
 
@@ -201,6 +200,13 @@ def debugging_decision_trees(
     with a degenerate history the result is empty (all-fail histories
     yield the trivial always-fail explanation only if the caller opts to
     interpret it, which this function does not assert).
+
+    Args:
+        session: execution context (history, budget, executor).
+        config: tuning knobs; defaults to :class:`DDTConfig`.
+        context: the engine-selection/budget seam.  When omitted, one is
+            built over ``session`` with ``config.engine``; an explicitly
+            passed context takes precedence over ``config.engine``.
 
     Returns:
         A :class:`DDTResult`; partial results are returned when the
@@ -211,37 +217,24 @@ def debugging_decision_trees(
     result = DDTResult()
     confirmed: list[Conjunction] = []
     refuted: set[Conjunction] = set()
-    executed_before = session.new_executions
-    engine = (
-        ColumnarEngine.for_session(session)
-        if config.engine == "columnar"
-        else None
-    )
-    if engine is not None:
-        refutes = engine.refutes
-        subsumes = engine.subsumes
-    else:
-        refutes = session.history.refutes
-
-        def subsumes(general: Conjunction, specific: Conjunction) -> bool:
-            return general.subsumes(specific, session.space)
+    if context is None:
+        context = StrategyContext.for_session(session, engine=config.engine)
+    executed_before = context.new_executions
+    refutes = context.refutes
+    subsumes = context.subsumes
 
     try:
         for _round in range(config.max_rounds):
-            tree = (
-                engine.tree(max_depth=config.max_tree_depth)
-                if engine is not None
-                else None
-            )
+            tree = context.tree(max_depth=config.max_tree_depth)
             if tree is None:  # reference engine, or degraded columnar store
                 samples = [
                     (instance, outcome)
-                    for instance in session.history.instances
-                    if (outcome := session.history.outcome_of(instance))
+                    for instance in context.history.instances
+                    if (outcome := context.history.outcome_of(instance))
                     is not None
                 ]
                 tree = DebuggingTree(
-                    session.space, samples, max_depth=config.max_tree_depth
+                    context.space, samples, max_depth=config.max_tree_depth
                 )
             result.rounds += 1
             result.tree_sizes.append(tree.size)
@@ -261,18 +254,18 @@ def debugging_decision_trees(
             ]
             if not suspects:
                 if config.find_all and _explore_complement(
-                    session, confirmed, config, rng
+                    context, confirmed, config, rng
                 ):
                     continue  # a surprise failure reopened the search
                 break
 
             any_refuted = False
             for suspect in suspects:
-                verdict = _test_suspect(suspect, session, config, rng)
+                verdict = _test_suspect(suspect, context, config, rng)
                 if verdict is _Verdict.CONFIRMED:
                     if config.minimize_confirmed:
                         suspect = _minimize_suspect(
-                            suspect, session, config, rng, refutes
+                            suspect, context, config, rng, refutes
                         )
                     confirmed.append(suspect)
                     if not config.find_all:
@@ -285,7 +278,7 @@ def debugging_decision_trees(
                     refuted.add(suspect)
             if not any_refuted:
                 if config.find_all and _explore_complement(
-                    session, confirmed, config, rng
+                    context, confirmed, config, rng
                 ):
                     continue
                 break
@@ -294,14 +287,14 @@ def debugging_decision_trees(
     except BudgetExhausted:
         result.budget_exhausted = True
 
-    result.instances_executed = session.new_executions - executed_before
+    result.instances_executed = context.new_executions - executed_before
     # Evidence gathered for later suspects can retroactively refute an
     # earlier confirmation; the final explanation must be a hypothetical
     # root cause w.r.t. everything executed (Definition 3).
     confirmed = [c for c in confirmed if not refutes(c)]
-    confirmed = prune_to_minimal(confirmed, session.space)
+    confirmed = prune_to_minimal(confirmed, context.space)
     if config.simplify and confirmed:
-        explanation = simplify_disjunction(Disjunction(confirmed), session.space)
+        explanation = simplify_disjunction(Disjunction(confirmed), context.space)
     else:
         explanation = Disjunction(confirmed)
     result.causes = list(explanation)
@@ -310,7 +303,7 @@ def debugging_decision_trees(
 
 
 def _explore_complement(
-    session: DebugSession,
+    context: StrategyContext,
     confirmed: list[Conjunction],
     config: DDTConfig,
     rng: random.Random,
@@ -325,10 +318,10 @@ def _explore_complement(
     """
     if config.exploration_per_round <= 0:
         return False
-    if session.candidate_source is not None:
+    if context.candidate_source is not None:
         # Historical mode: nothing outside the log can be probed.
         return False
-    space = session.space
+    space = context.space
     found_failure = False
     probes = 0
     attempts = 0
@@ -338,12 +331,12 @@ def _explore_complement(
     ):
         attempts += 1
         candidate = space.random_instance(rng)
-        if candidate in session.history:
+        if candidate in context.history:
             continue
         if any(cause.satisfied_by(candidate) for cause in confirmed):
             continue
         try:
-            outcome = session.evaluate(candidate)
+            outcome = context.evaluate(candidate)
         except InstanceUnavailable:
             continue
         probes += 1
@@ -355,7 +348,7 @@ def _explore_complement(
 
 def _minimize_suspect(
     suspect: Conjunction,
-    session: DebugSession,
+    context: StrategyContext,
     config: DDTConfig,
     rng: random.Random,
     refutes=None,
@@ -369,7 +362,7 @@ def _minimize_suspect(
     caller supply the engine-accelerated history check.
     """
     if refutes is None:
-        refutes = session.history.refutes
+        refutes = context.refutes
     current = suspect
     improved = True
     while improved and len(current) > 1:
@@ -380,7 +373,7 @@ def _minimize_suspect(
             )
             if refutes(candidate):
                 continue
-            if _test_suspect(candidate, session, config, rng) is _Verdict.CONFIRMED:
+            if _test_suspect(candidate, context, config, rng) is _Verdict.CONFIRMED:
                 current = candidate
                 improved = True
                 break
@@ -399,7 +392,7 @@ class _Verdict(enum.Enum):
 
 def _test_suspect(
     suspect: Conjunction,
-    session: DebugSession,
+    context: StrategyContext,
     config: DDTConfig,
     rng: random.Random,
 ) -> "_Verdict":
@@ -410,21 +403,21 @@ def _test_suspect(
     variation.
     """
     variations = _variation_instances(
-        suspect, session, config.tests_per_suspect, rng
+        suspect, context, config.tests_per_suspect, rng
     )
     if variations is None:
         return _Verdict.REFUTED  # unsatisfiable suspect explains nothing
     if not variations:
         return _Verdict.UNDECIDED
 
-    if session.parallel:
+    if context.parallel:
         # Speculative batch execution (Section 4.3): all variations run
         # concurrently even though an early refutation would have let a
         # serial search skip the rest.
-        outcomes = session.evaluate_many(variations)
+        outcomes = context.evaluate_many(variations)
         tested = sum(1 for o in outcomes if o is not None)
-        if session.budget.exhausted() and tested == 0:
-            raise BudgetExhausted(session.budget.limit or 0)
+        if context.budget.exhausted() and tested == 0:
+            raise BudgetExhausted(context.budget.limit or 0)
         if any(o is Outcome.SUCCEED for o in outcomes):
             return _Verdict.REFUTED
         if tested == 0:
@@ -434,7 +427,7 @@ def _test_suspect(
     tested = 0
     for instance in variations:
         try:
-            outcome = session.evaluate(instance)
+            outcome = context.evaluate(instance)
         except InstanceUnavailable:
             continue
         tested += 1

@@ -44,7 +44,7 @@ best split changed is rebuilt from scratch.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from .predicates import Comparator, Conjunction, Predicate
 from .tree import DebuggingTree, LeafKind, TreeNode, _gini, _predicate_rank
@@ -57,6 +57,14 @@ __all__ = [
     "IncrementalTreeBuilder",
     "compile_conjunction",
 ]
+
+
+def _iter_bits(mask: int):
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class SpaceCodec:
@@ -98,18 +106,34 @@ class SpaceCodec:
         """Instance -> per-parameter value codes, or None when the
         instance is not exactly one in-domain value per space parameter.
         """
+        codes = self.encode_lenient(instance)
+        if codes is None or None in codes:
+            return None
+        return codes  # type: ignore[return-value]
+
+    def encode_lenient(
+        self, instance: Mapping[str, object]
+    ) -> tuple[int | None, ...] | None:
+        """Like :meth:`encode`, but tolerant of out-of-domain values.
+
+        Out-of-domain values encode to None *per parameter* -- for
+        distance/disjointness purposes such a value simply differs from
+        every in-domain row value, which keeps Hamming and disjointness
+        queries exact without falling back.  Returns None (uncodable)
+        only when the instance's parameter-name set is not exactly the
+        space's, because then the reference semantics (shared-parameter
+        counting, Definition 6's common-parameter-set requirement)
+        cannot be mirrored column-wise.
+        """
         if len(instance) != self.n_params:
             return None
-        codes = []
+        codes: list[int | None] = []
         for parameter in self.parameters:
             try:
                 value = instance[parameter.name]
             except KeyError:
                 return None
-            code = parameter.code_of(value)
-            if code is None:
-                return None
-            codes.append(code)
+            codes.append(parameter.code_of(value))
         return tuple(codes)
 
 
@@ -169,6 +193,8 @@ class ColumnarStore:
         self.fail_mask = 0
         self.all_mask = 0
         self.n_rows = 0
+        self.rows: list[Instance] = []
+        self.row_codes: list[tuple[int, ...]] = []
         self.degraded = False
         self._synced = 0
         self._builders: dict[int | None, IncrementalTreeBuilder] = {}
@@ -197,6 +223,8 @@ class ColumnarStore:
             if outcome is Outcome.FAIL:
                 self.fail_mask |= bit
             self.all_mask |= bit
+            self.rows.append(instance)
+            self.row_codes.append(codes)
             self.n_rows += 1
         self._synced = count
 
@@ -215,6 +243,67 @@ class ColumnarStore:
                 remaining ^= low
             rows &= matched
         return rows
+
+    def materialize(self, rows_mask: int) -> list[Instance]:
+        """The instances of the rows in ``rows_mask``, in row order."""
+        rows = self.rows
+        return [rows[index] for index in _iter_bits(rows_mask)]
+
+    # -- Distance / disjointness primitives ----------------------------------
+    def share_mask(self, codes: Sequence[int | None]) -> int:
+        """Bitset of rows sharing at least one coded value with ``codes``.
+
+        ``codes`` is a leniently-encoded instance (one entry per space
+        parameter); a None entry is an out-of-domain value, which shares
+        with no row.  The complement of the result (within ``all_mask``)
+        is exactly the rows *disjoint* from the instance under
+        Definition 6, because every store row assigns every parameter.
+        """
+        shared = 0
+        value_rows = self.value_rows
+        for index, code in enumerate(codes):
+            if code is not None:
+                shared |= value_rows[index][code]
+        return shared
+
+    def min_shared_row(
+        self, codes: Sequence[int | None], within: int
+    ) -> int | None:
+        """The earliest row in ``within`` sharing the *fewest* parameter
+        values with ``codes`` -- i.e. the maximal-Hamming-distance row,
+        with ties broken toward the lowest row index (first-execution
+        order), mirroring the reference scan's strictly-greater update.
+
+        Returns None when ``within`` is empty.  Cost is
+        O(n_params * log(n_params)) big-int operations: per-row shared
+        counts are accumulated in bit-sliced binary counters, then the
+        minimum is selected plane-by-plane from the high bit down.
+        """
+        if not within:
+            return None
+        planes: list[int] = []  # planes[i]: rows whose count has bit i set
+        value_rows = self.value_rows
+        for index, code in enumerate(codes):
+            if code is None:
+                continue
+            carry = value_rows[index][code] & within
+            level = 0
+            while carry:
+                if level == len(planes):
+                    planes.append(carry)
+                    break
+                carry, planes[level] = (
+                    planes[level] & carry,
+                    planes[level] ^ carry,
+                )
+                level += 1
+        candidates = within
+        for plane in reversed(planes):
+            zeros = candidates & ~plane
+            if zeros:
+                candidates = zeros
+        low = candidates & -candidates
+        return low.bit_length() - 1
 
     def builder(self, max_depth: int | None) -> "IncrementalTreeBuilder":
         """The (cached) incremental tree builder for this depth cap."""
@@ -537,6 +626,84 @@ class ColumnarEngine:
             if their_mask & ~my_mask:
                 return False
         return True
+
+    # -- History scans (Shortcut / Stacked Shortcut support) ------------------
+    def _scannable_codes(self, failing: Instance):
+        """(store, lenient codes) when the bitset path can serve a scan
+        anchored on ``failing``; (store, None) demands reference fallback.
+        """
+        store = self._store()
+        if store.degraded:
+            return store, None
+        return store, store.codec.encode_lenient(failing)
+
+    def disjoint_successes(self, failing: Instance) -> list[Instance]:
+        """Identical to :meth:`ExecutionHistory.disjoint_successes`.
+
+        One OR per parameter builds the rows-sharing-a-value mask; the
+        disjoint successes are its complement within the success bitset.
+        """
+        store, codes = self._scannable_codes(failing)
+        if codes is None:
+            return self.history.disjoint_successes(failing)
+        return store.materialize(store.succeed_mask & ~store.share_mask(codes))
+
+    def most_different_success(self, failing: Instance) -> Instance | None:
+        """Identical to :meth:`ExecutionHistory.most_different_success`:
+        the earliest success at maximal Hamming distance from ``failing``.
+        """
+        store, codes = self._scannable_codes(failing)
+        if codes is None:
+            return self.history.most_different_success(failing)
+        row = store.min_shared_row(codes, store.succeed_mask)
+        return None if row is None else store.rows[row]
+
+    def mutually_disjoint_successes(
+        self, failing: Instance, limit: int | None = None
+    ) -> list[Instance]:
+        """Identical to :meth:`ExecutionHistory.mutually_disjoint_successes`
+        (greedy first-fit in log order), with each accepted instance
+        eliminating everything it shares a value with in one mask AND.
+        """
+        store, codes = self._scannable_codes(failing)
+        if codes is None:
+            return self.history.mutually_disjoint_successes(failing, limit)
+        candidates = store.succeed_mask & ~store.share_mask(codes)
+        selected: list[Instance] = []
+        while candidates:
+            row = (candidates & -candidates).bit_length() - 1
+            selected.append(store.rows[row])
+            if limit is not None and len(selected) >= limit:
+                break
+            # A row shares every value with itself, so this also clears it.
+            candidates &= ~store.share_mask(store.row_codes[row])
+        return selected
+
+    def success_superset_of(self, assignment: Mapping[str, object]) -> bool:
+        """Identical to :meth:`ExecutionHistory.success_superset_of`:
+        True when some success contains the (partial) assignment.
+
+        This is the Shortcut sanity check (Theorem 4's truncation
+        test), compiled to one AND per asserted parameter-value pair.
+        """
+        store = self._store()
+        if store.degraded:
+            return self.history.success_superset_of(assignment)
+        codec = store.codec
+        rows = store.succeed_mask
+        for name, value in assignment.items():
+            index = codec.index_of_name.get(name)
+            if index is None:
+                # A name outside the space: the reference loop may raise
+                # KeyError (order-dependent); replay it exactly.
+                return self.history.success_superset_of(assignment)
+            code = codec.parameters[index].code_of(value)
+            if code is None:
+                return False  # out-of-domain value matches no store row
+            rows &= store.value_rows[index][code]
+            if not rows:
+                return False
+        return rows != 0
 
     # -- Tree induction ------------------------------------------------------
     def tree(self, max_depth: int | None = None) -> DebuggingTree | None:

@@ -264,6 +264,20 @@ class ExecutionHistory:
                     break
         return selected
 
+    def success_superset_of(self, assignment) -> bool:
+        """True when some success contains every pair of ``assignment``.
+
+        This is the Shortcut algorithm's final sanity check (Theorem 4):
+        an asserted cause contained in a *successful* instance is a
+        truncated assertion and must be rejected.  The columnar engine
+        (:meth:`repro.core.engine.ColumnarEngine.success_superset_of`)
+        answers the same question with one bitset AND per pair.
+        """
+        for success in self._successes:
+            if all(success[name] == value for name, value in assignment.items()):
+                return True
+        return False
+
     def copy(self) -> "ExecutionHistory":
         """A shallow copy sharing the evaluation objects."""
         return ExecutionHistory(self._evaluations)

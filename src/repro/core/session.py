@@ -41,8 +41,8 @@ class ExecutionBackend(Protocol):
 
     The session stays the single owner of budget/history accounting; a
     backend only decides *where and with what concurrency* the batch
-    tasks run.  Implementations live in :mod:`repro.service.scheduler`
-    (a per-job view of the shared service pool) -- the parallel
+    tasks run.  Implementations live in :mod:`repro.concurrency.scheduler`
+    (a per-job view of a shared worker pool) -- the parallel
     dispatcher of Section 4.3 is the ``parallel=True`` case.
 
     Each task is a zero-argument callable returning the evaluated
@@ -158,7 +158,10 @@ class DebugSession:
         # and are independent (Section 4.3).
         try:
             outcome = self._executor(instance)
-        except Exception:
+        except BaseException:
+            # BaseException: cancellation unwinds (service layer) travel
+            # as non-Exception errors precisely so batch error-swallowing
+            # cannot absorb them; their charge must be refunded too.
             with self._lock:
                 # Refund: the execution did not complete, so the paper's
                 # cost measure (completed instance runs) is not charged.

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from .budget import BudgetExhausted
+from .context import StrategyContext
 from .predicates import Conjunction, conjunction_from_assignment
 from .session import DebugSession, InstanceUnavailable
 from .types import Instance, Outcome
@@ -60,7 +61,9 @@ class ShortcutResult:
 
 
 def select_good_instance(
-    session: DebugSession, failing: Instance
+    session: DebugSession,
+    failing: Instance,
+    context: StrategyContext | None = None,
 ) -> Instance | None:
     """Choose ``CPg`` for a Shortcut run against ``failing``.
 
@@ -68,11 +71,17 @@ def select_good_instance(
     Condition, required by Theorems 1-3).  When none exists, falls back
     to the paper's heuristic: the successful instance differing from
     ``CPf`` in as many parameter-values as possible.
+
+    Both scans run on the engine selected by ``context`` (one shared
+    :class:`~repro.core.context.StrategyContext` is built on the
+    default columnar engine when none is passed).
     """
-    disjoint = session.history.disjoint_successes(failing)
+    if context is None:
+        context = StrategyContext.for_session(session)
+    disjoint = context.disjoint_successes(failing)
     if disjoint:
         return disjoint[0]
-    return session.history.most_different_success(failing)
+    return context.most_different_success(failing)
 
 
 def shortcut(
@@ -81,6 +90,7 @@ def shortcut(
     good: Instance,
     parameter_order: Sequence[str] | None = None,
     sanity_check: bool = True,
+    context: StrategyContext | None = None,
 ) -> ShortcutResult:
     """Run Algorithm 1.
 
@@ -95,17 +105,22 @@ def shortcut(
             overlap (Example 2), which the ablation benchmarks exercise.
         sanity_check: apply the final rejected-if-superset-succeeded
             test from Algorithm 1 (on by default, ablatable).
+        context: the engine-selection/budget seam; a default columnar
+            :class:`~repro.core.context.StrategyContext` over ``session``
+            is built when omitted.  Results are engine-independent.
 
     Returns:
         A :class:`ShortcutResult`; ``result.cause`` is empty when the
         sanity check rejected the assertion.
     """
+    if context is None:
+        context = StrategyContext.for_session(session)
     order = tuple(parameter_order) if parameter_order is not None else session.space.names
     missing = set(order) - set(failing.keys())
     if missing:
         raise ValueError(f"failing instance lacks parameters: {sorted(missing)}")
 
-    executed_before = session.new_executions
+    executed_before = context.new_executions
     current = failing
     complete = True
 
@@ -115,7 +130,7 @@ def shortcut(
             continue
         candidate = current.with_value(name, replacement)
         try:
-            outcome = session.evaluate(candidate)
+            outcome = context.evaluate(candidate)
         except InstanceUnavailable:
             # Historical mode: no evidence for this hypothesis; keep the
             # current value and note the walk is incomplete.
@@ -131,19 +146,17 @@ def shortcut(
         name: value for name, value in failing.items() if current[name] == value
     }
     cause = conjunction_from_assignment(surviving)
-    executed = session.new_executions - executed_before
+    executed = context.new_executions - executed_before
 
-    if sanity_check and surviving:
-        for success in session.history.successes:
-            if all(success[name] == value for name, value in surviving.items()):
-                return ShortcutResult(
-                    cause=Conjunction(),
-                    surviving_assignment=surviving,
-                    rejected_by_sanity_check=True,
-                    complete=complete,
-                    instances_executed=executed,
-                    final_instance=current,
-                )
+    if sanity_check and surviving and context.success_superset_of(surviving):
+        return ShortcutResult(
+            cause=Conjunction(),
+            surviving_assignment=surviving,
+            rejected_by_sanity_check=True,
+            complete=complete,
+            instances_executed=executed,
+            final_instance=current,
+        )
 
     return ShortcutResult(
         cause=cause,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .context import StrategyContext
 from .predicates import Conjunction, conjunction_from_assignment
 from .session import DebugSession
 from .shortcut import ShortcutResult, shortcut
@@ -54,6 +55,7 @@ def stacked_shortcut(
     failing: Instance | None = None,
     stack_width: int = DEFAULT_STACK_WIDTH,
     sanity_check: bool = True,
+    context: StrategyContext | None = None,
 ) -> StackedShortcutResult:
     """Run Algorithm 2.
 
@@ -69,6 +71,10 @@ def stacked_shortcut(
             (each additional run can only grow the cause, shrinking the
             chance of truncation -- Section 4.1).
         sanity_check: forwarded to each inner Shortcut run.
+        context: the engine-selection/budget seam, shared with the inner
+            Shortcut runs; a default columnar
+            :class:`~repro.core.context.StrategyContext` over ``session``
+            is built when omitted.  Results are engine-independent.
 
     Returns:
         The union-of-assertions result.  Inner runs rejected by the
@@ -81,26 +87,30 @@ def stacked_shortcut(
     """
     if stack_width < 1:
         raise ValueError("stack_width must be at least 1")
+    if context is None:
+        context = StrategyContext.for_session(session)
     history = session.history
     if failing is None:
         if not history.failures:
             raise ValueError("history contains no failing instance to anchor on")
         failing = history.failures[0]
-    goods = history.mutually_disjoint_successes(failing, limit=stack_width)
+    goods = context.mutually_disjoint_successes(failing, limit=stack_width)
     if not goods:
         # Heuristic regime (Section 4.1): no fully disjoint success
         # exists, so stack degenerates to one Shortcut run against the
         # most-different successful instance.
-        fallback = history.most_different_success(failing)
+        fallback = context.most_different_success(failing)
         if fallback is None:
             raise ValueError("history contains no successful instance to compare with")
         goods = [fallback]
 
-    executed_before = session.new_executions
+    executed_before = context.new_executions
     runs: list[ShortcutResult] = []
     union: dict[str, object] = {}
     for good in goods:
-        result = shortcut(session, failing, good, sanity_check=sanity_check)
+        result = shortcut(
+            session, failing, good, sanity_check=sanity_check, context=context
+        )
         runs.append(result)
         if result.asserted:
             union.update(result.surviving_assignment)
@@ -111,5 +121,5 @@ def stacked_shortcut(
         runs=tuple(runs),
         failing=failing,
         good_instances=tuple(goods),
-        instances_executed=session.new_executions - executed_before,
+        instances_executed=context.new_executions - executed_before,
     )

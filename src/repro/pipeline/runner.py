@@ -19,8 +19,8 @@ from ..core.budget import InstanceBudget
 from ..core.history import ExecutionHistory
 from ..core.session import DebugSession, InstanceUnavailable
 from ..core.types import Executor, Instance, Outcome, ParameterSpace
-from ..service.cache import SingleFlightCache
-from ..service.scheduler import SharedScheduler
+from ..concurrency.scheduler import SharedScheduler
+from ..concurrency.singleflight import SingleFlightCache
 
 __all__ = [
     "CountingExecutor",
@@ -76,7 +76,7 @@ class CachingExecutor:
 
     @property
     def stats(self):
-        """Single-flight :class:`~repro.service.cache.CacheStats`."""
+        """Single-flight :class:`~repro.concurrency.singleflight.CacheStats`."""
         return self._cache.stats
 
 
@@ -166,7 +166,7 @@ class ParallelDebugSession(DebugSession):
     Figure 6.
 
     Since the service layer landed, this class is a thin adapter: it
-    owns a private :class:`~repro.service.scheduler.SharedScheduler`
+    owns a private :class:`~repro.concurrency.scheduler.SharedScheduler`
     (elastic worker pool, budget-aware dispatch) and plugs it into the
     base session's backend hook.  Multi-job deployments should use
     :class:`~repro.service.service.DebugService` instead, which shares

@@ -12,14 +12,23 @@ parameter-value-universe extraction.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import sqlite3
 import threading
+import time
 from collections.abc import Iterable, Iterator
 
 from ..core.history import ExecutionHistory
 from ..core.predicates import Conjunction
-from ..core.types import Instance, Outcome, Value
+from ..core.types import (
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    Value,
+)
 from .record import ProvenanceRecord, decode_value, encode_value
 
 
@@ -51,7 +60,25 @@ __all__ = [
     "InMemoryProvenanceStore",
     "SQLiteProvenanceStore",
     "instance_key",
+    "space_key",
 ]
+
+
+def space_key(space: ParameterSpace) -> str:
+    """Stable fingerprint of a space's interned code tables.
+
+    Derived from every parameter's name, kind, and domain *in code
+    order* (a value's domain position is its columnar-engine code), so
+    two spaces share a key exactly when their
+    :class:`~repro.core.engine.SpaceCodec` tables are identical.
+    """
+    payload = json.dumps(
+        [
+            [p.name, p.kind.value, [encode_value(v) for v in p.domain]]
+            for p in space.parameters
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
 class ProvenanceStore:
@@ -185,23 +212,51 @@ class InMemoryProvenanceStore(ProvenanceStore):
 class SQLiteProvenanceStore(ProvenanceStore):
     """SQLite-backed store; pass ``":memory:"`` for an ephemeral database.
 
-    Schema::
+    Schema (``PRAGMA user_version`` = 2)::
 
         runs(id INTEGER PRIMARY KEY, workflow TEXT, outcome TEXT,
              result TEXT, cost REAL, created_at REAL, instance_key TEXT)
         bindings(run_id INTEGER, name TEXT, value TEXT,
                  PRIMARY KEY (run_id, name))
+        codec_spaces(space_key TEXT PRIMARY KEY, n_parameters INTEGER,
+                     created_at REAL)
+        codec_parameters(space_key TEXT, position INTEGER, name TEXT,
+                         kind TEXT, domain TEXT,
+                         PRIMARY KEY (space_key, position))
 
     ``bindings`` holds one row per parameter-value pair, making
     parameter-level SQL analysis possible (``GROUP BY name, value``),
     which is how provenance systems expose pipeline configurations.
     ``instance_key`` is the canonical serialized assignment, indexed so
     the service's persistent execution cache can do point lookups.
+
+    ``codec_spaces``/``codec_parameters`` (schema v2) persist the
+    columnar engine's interned code tables: each parameter's domain is
+    stored *in code order* (a value's array position is its
+    :meth:`~repro.core.types.Parameter.code_of` code), so a warm start
+    can rebuild the exact :class:`~repro.core.engine.SpaceCodec` tables
+    from the database instead of re-deriving them, and repeated
+    hydrations share one interned :class:`~repro.core.types.ParameterSpace`
+    object per store (see :meth:`save_space` / :meth:`load_space` /
+    :meth:`hydrate`).
+
+    Migrations run in place at connection time: pre-service databases
+    gain the ``instance_key`` column + backfill (v1), pre-codec
+    databases gain the codec tables (v2); ``user_version`` records the
+    result so future migrations know where to start.
     """
+
+    SCHEMA_VERSION = 2
 
     def __init__(self, path: str = ":memory:"):
         self._connection = sqlite3.connect(path, check_same_thread=False)
         self._lock = threading.Lock()
+        # One interned ParameterSpace object per space_key and process:
+        # identity matters, because ExecutionHistory.columnar_store()
+        # keeps its incremental store only while the space object is
+        # unchanged, and Parameter's value->code tables are built once
+        # per object.
+        self._space_registry: dict[str, "ParameterSpace"] = {}
         with self._lock:
             self._connection.executescript(
                 """
@@ -222,6 +277,20 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 );
                 CREATE INDEX IF NOT EXISTS idx_bindings_name_value
                     ON bindings(name, value);
+                CREATE TABLE IF NOT EXISTS codec_spaces (
+                    space_key TEXT PRIMARY KEY,
+                    n_parameters INTEGER NOT NULL,
+                    created_at REAL NOT NULL DEFAULT 0
+                );
+                CREATE TABLE IF NOT EXISTS codec_parameters (
+                    space_key TEXT NOT NULL
+                        REFERENCES codec_spaces(space_key),
+                    position INTEGER NOT NULL,
+                    name TEXT NOT NULL,
+                    kind TEXT NOT NULL,
+                    domain TEXT NOT NULL,
+                    PRIMARY KEY (space_key, position)
+                );
                 """
             )
             try:
@@ -236,8 +305,20 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 "CREATE INDEX IF NOT EXISTS idx_runs_workflow_key"
                 " ON runs(workflow, instance_key)"
             )
+            self._connection.execute(
+                f"PRAGMA user_version = {self.SCHEMA_VERSION}"
+            )
             self._connection.commit()
             self._backfill_legacy_keys()
+
+    @property
+    def schema_version(self) -> int:
+        """The migrated-to ``PRAGMA user_version`` of the database."""
+        with self._lock:
+            (version,) = self._connection.execute(
+                "PRAGMA user_version"
+            ).fetchone()
+        return int(version)
 
     def _backfill_legacy_keys(self) -> None:
         """One-time migration: compute instance_key for pre-PR rows.
@@ -268,6 +349,123 @@ class SQLiteProvenanceStore(ProvenanceStore):
     def close(self) -> None:
         with self._lock:
             self._connection.close()
+
+    # -- Interned code tables (schema v2) ------------------------------------
+    def save_space(self, space: ParameterSpace) -> str:
+        """Persist a space's interned code tables; returns its key.
+
+        Idempotent: saving an already-known space is a no-op (the key is
+        content-derived).  The space object is also interned in the
+        per-store registry, so a later :meth:`load_space` in this
+        process returns this exact object.
+        """
+        key = space_key(space)
+        with self._lock:
+            exists = self._connection.execute(
+                "SELECT 1 FROM codec_spaces WHERE space_key = ?", (key,)
+            ).fetchone()
+            if exists is None:
+                try:
+                    self._connection.execute(
+                        "INSERT INTO codec_spaces"
+                        " (space_key, n_parameters, created_at)"
+                        " VALUES (?, ?, ?)",
+                        (key, len(space.parameters), time.time()),
+                    )
+                    self._connection.executemany(
+                        "INSERT INTO codec_parameters"
+                        " (space_key, position, name, kind, domain)"
+                        " VALUES (?, ?, ?, ?, ?)",
+                        [
+                            (
+                                key,
+                                position,
+                                parameter.name,
+                                parameter.kind.value,
+                                json.dumps(
+                                    [encode_value(v) for v in parameter.domain]
+                                ),
+                            )
+                            for position, parameter in enumerate(space.parameters)
+                        ],
+                    )
+                    self._connection.commit()
+                except sqlite3.IntegrityError:
+                    # Another process persisted the same key concurrently;
+                    # content-derived keys make the rows identical.
+                    self._connection.rollback()
+            self._space_registry.setdefault(key, space)
+        return key
+
+    def load_space(self, key: str) -> ParameterSpace | None:
+        """Rebuild the space persisted under ``key``, or None.
+
+        Within one process, repeated loads return the *same* interned
+        :class:`~repro.core.types.ParameterSpace` object -- this is what
+        lets a warm start skip re-interning: the parameters' value->code
+        tables are built once, and
+        :meth:`~repro.core.history.ExecutionHistory.columnar_store`
+        keeps its incremental state because the space identity is
+        stable.
+
+        Domains round-trip exactly for scalar values (int/float/str/
+        bool/None); exotic domain values degrade to their ``repr``
+        strings, like the bindings table.
+        """
+        with self._lock:
+            cached = self._space_registry.get(key)
+            if cached is not None:
+                return cached
+            rows = self._connection.execute(
+                "SELECT position, name, kind, domain FROM codec_parameters"
+                " WHERE space_key = ? ORDER BY position",
+                (key,),
+            ).fetchall()
+        if not rows:
+            return None
+        space = ParameterSpace(
+            [
+                Parameter(
+                    name,
+                    tuple(decode_value(v) for v in json.loads(domain)),
+                    ParameterKind(kind),
+                )
+                for __, name, kind, domain in rows
+            ]
+        )
+        with self._lock:
+            # setdefault: a concurrent load of the same key must not
+            # hand out two distinct space objects.
+            return self._space_registry.setdefault(key, space)
+
+    def saved_space_keys(self) -> list[str]:
+        """Keys of every persisted space, oldest first."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT space_key FROM codec_spaces ORDER BY created_at, space_key"
+            ).fetchall()
+        return [key for (key,) in rows]
+
+    def hydrate(
+        self, workflow: str | None, space: ParameterSpace
+    ) -> tuple[ParameterSpace, ExecutionHistory]:
+        """Warm-start bundle: interned space + history with a synced
+        columnar store.
+
+        Persists/interns ``space`` (so the returned space is the
+        registry object, shared by every later hydration of the same
+        tables), builds the workflow's :class:`ExecutionHistory`, and
+        syncs the history's columnar store against the interned space in
+        the same pass -- sessions built on the returned pair start with
+        the engine's bitsets already populated instead of re-encoding
+        the whole history on first query.
+        """
+        key = self.save_space(space)
+        interned = self.load_space(key)
+        assert interned is not None
+        history = self.to_history(workflow)
+        history.columnar_store(interned)
+        return interned, history
 
     def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
         with self._lock:

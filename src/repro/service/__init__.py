@@ -4,20 +4,24 @@ The seed repo parallelized pipeline executions *within* one debugging
 session (the paper's Figure 6 prototype).  This subpackage turns that
 into a multi-tenant service:
 
-* :mod:`~repro.service.scheduler` -- one fair, elastic worker pool
-  multiplexing every job's instance-execution requests;
 * :mod:`~repro.service.cache` -- a cross-session execution cache with
   single-flight deduplication and an optional persistent tier backed
   by the provenance store;
-* :mod:`~repro.service.jobs` -- the job model (spec, handle, result);
+* :mod:`~repro.service.jobs` -- the job model (spec, handle, result,
+  cancellation);
 * :mod:`~repro.service.service` -- :class:`DebugService`, which wires a
   per-job :class:`~repro.core.session.DebugSession` into the shared
   infrastructure while keeping the paper's per-job cost accounting
   exact.
+
+The raw concurrency primitives (the shared scheduler and the
+single-flight cache) live below this layer in :mod:`repro.concurrency`;
+:mod:`~repro.service.scheduler` and :mod:`~repro.service.cache`
+re-export them for compatibility.
 """
 
 from .cache import CachedExecutor, CacheStats, ExecutionCache, SingleFlightCache
-from .jobs import JobGoal, JobHandle, JobResult, JobSpec, JobStatus
+from .jobs import JobCancelled, JobGoal, JobHandle, JobResult, JobSpec, JobStatus
 from .scheduler import (
     ScheduledExecutor,
     SchedulerBackend,
@@ -31,6 +35,7 @@ __all__ = [
     "CacheStats",
     "DebugService",
     "ExecutionCache",
+    "JobCancelled",
     "JobGoal",
     "JobHandle",
     "JobResult",

@@ -17,7 +17,9 @@ history (the paper charges each algorithm only for instances new *to
 it*), the cache merely makes the charge cheap and keeps the global
 execution count minimal.
 
-Single-flight semantics: when several threads ask for the same uncached
+Both tiers are built on the single-flight primitive
+(:class:`~repro.concurrency.singleflight.SingleFlightCache`, re-exported
+here for compatibility): when several threads ask for the same uncached
 key concurrently, exactly one of them (the *leader*) runs the inner
 executor; the others block until the leader finishes and then share its
 outcome.  If the leader's execution raises, the flight is abandoned and
@@ -29,9 +31,8 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
 
+from ..concurrency.singleflight import CacheStats, SingleFlightCache
 from ..core.types import Executor, Instance, Outcome
 from ..provenance.record import ProvenanceRecord
 from ..provenance.store import ProvenanceStore
@@ -39,183 +40,6 @@ from ..provenance.store import ProvenanceStore
 __all__ = ["CacheStats", "ExecutionCache", "SingleFlightCache", "CachedExecutor"]
 
 DEFAULT_WORKFLOW = "service"
-
-
-@dataclass
-class CacheStats:
-    """Counters describing how much work the cache saved.
-
-    Attributes:
-        hits: requests served from the in-memory tier.
-        persistent_hits: requests served from the provenance store.
-        misses: requests that required an inner execution.
-        executions: inner executions actually performed (>= misses is
-            impossible; < misses happens only via persistent hits).
-        coalesced: requests that joined an in-flight execution instead
-            of starting their own (the single-flight savings).
-        failures: inner executions that raised.
-        evictions: memory-tier entries dropped by the LRU bound.
-    """
-
-    hits: int = 0
-    persistent_hits: int = 0
-    misses: int = 0
-    executions: int = 0
-    coalesced: int = 0
-    failures: int = 0
-    evictions: int = 0
-
-    @property
-    def requests(self) -> int:
-        return self.hits + self.persistent_hits + self.misses + self.coalesced
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of requests that did not execute the pipeline."""
-        total = self.requests
-        if total == 0:
-            return 0.0
-        return 1.0 - (self.executions / total)
-
-    def snapshot(self) -> dict[str, float]:
-        return {
-            "hits": self.hits,
-            "persistent_hits": self.persistent_hits,
-            "misses": self.misses,
-            "executions": self.executions,
-            "coalesced": self.coalesced,
-            "failures": self.failures,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
-
-
-class _Flight:
-    """One in-progress execution that concurrent callers may join."""
-
-    __slots__ = ("done", "outcome", "error")
-
-    def __init__(self) -> None:
-        self.done = threading.Event()
-        self.outcome: Outcome | None = None
-        self.error: BaseException | None = None
-
-
-class SingleFlightCache:
-    """A minimal keyed memoizer with single-flight execution.
-
-    This is the primitive :class:`ExecutionCache` (and the fixed
-    :class:`~repro.pipeline.runner.CachingExecutor`) are built on.  It
-    knows nothing about workflows or provenance: keys are arbitrary
-    hashables and values are produced by caller-supplied thunks.
-
-    Args:
-        max_entries: optional LRU bound on stored values for long-lived
-            services.  Only settled values are evicted -- in-flight
-            executions are tracked separately, so single-flight
-            semantics are unaffected: a request for an evicted key is an
-            ordinary miss whose re-execution concurrent callers join.
-    """
-
-    def __init__(self, max_entries: int | None = None) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be at least 1")
-        self._lock = threading.Lock()
-        self._values: OrderedDict[object, object] = OrderedDict()
-        self._flights: dict[object, _Flight] = {}
-        self._max_entries = max_entries
-        self.stats = CacheStats()
-
-    @property
-    def max_entries(self) -> int | None:
-        return self._max_entries
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._values)
-
-    def __contains__(self, key: object) -> bool:
-        with self._lock:
-            return key in self._values
-
-    def peek(self, key: object) -> object | None:
-        """The cached value for ``key``, or None (no execution, no stats)."""
-        with self._lock:
-            return self._values.get(key)
-
-    def put(self, key: object, value: object) -> None:
-        """Seed the cache (e.g. from prior provenance) free of charge."""
-        with self._lock:
-            self._insert(key, value)
-
-    def _insert(self, key: object, value: object) -> None:
-        """Store a value and apply the LRU bound.  Caller holds the lock."""
-        self._values[key] = value
-        self._values.move_to_end(key)
-        if self._max_entries is not None:
-            while len(self._values) > self._max_entries:
-                self._values.popitem(last=False)
-                self.stats.evictions += 1
-
-    def get_or_execute(self, key: object, produce):
-        """Return the cached value for ``key``, executing ``produce`` at
-        most once across all concurrent callers.
-
-        A failed leader hands the flight to one blocked waiter (which
-        re-runs ``produce``); the exception propagates only to the
-        caller whose execution raised.
-        """
-        counted = False  # each logical request books exactly one stat
-        while True:
-            with self._lock:
-                if key in self._values:
-                    if not counted:
-                        self.stats.hits += 1
-                    self._values.move_to_end(key)
-                    return self._values[key]
-                flight = self._flights.get(key)
-                if flight is None:
-                    flight = _Flight()
-                    self._flights[key] = flight
-                    leader = True
-                    if not counted:
-                        self.stats.misses += 1
-                        counted = True
-                else:
-                    leader = False
-                    if not counted:
-                        self.stats.coalesced += 1
-                        counted = True
-            if leader:
-                try:
-                    value = produce()
-                except BaseException:
-                    with self._lock:
-                        self.stats.failures += 1
-                        # Abandon the flight: the next waiter to wake
-                        # becomes the new leader on its retry loop.
-                        self._flights.pop(key, None)
-                    flight.error = RuntimeError("leader execution failed")
-                    flight.done.set()
-                    raise
-                with self._lock:
-                    self.stats.executions += 1
-                    self._insert(key, value)
-                    self._flights.pop(key, None)
-                flight.outcome = value  # type: ignore[assignment]
-                flight.done.set()
-                return value
-            flight.done.wait()
-            if flight.error is None:
-                # The coalesced request was served by the leader.  The
-                # flight carries the value directly: with a bounded
-                # cache the entry may already have been evicted by the
-                # time this waiter wakes.
-                with self._lock:
-                    if key in self._values:
-                        self._values.move_to_end(key)
-                return flight.outcome
-            # Leader failed: loop and contend to become the new leader.
 
 
 def instance_cache_key(workflow: str, instance: Instance) -> tuple:

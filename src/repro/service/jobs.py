@@ -22,7 +22,31 @@ from ..core.session import DebugSession
 from ..core.types import Executor, ParameterSpace
 from .cache import DEFAULT_WORKFLOW
 
-__all__ = ["JobGoal", "JobSpec", "JobStatus", "JobResult", "JobHandle"]
+__all__ = [
+    "JobCancelled",
+    "JobGoal",
+    "JobSpec",
+    "JobStatus",
+    "JobResult",
+    "JobHandle",
+]
+
+
+class JobCancelled(BaseException):
+    """Raised inside a cancelled job's execution path.
+
+    Deliberately *not* an :class:`Exception`: speculative-batch items
+    swallow ordinary executor errors (``except Exception -> None``), and
+    a cancellation must unwind the whole controller thread instead of
+    degrading into dropped batch items.  The session's budget refund
+    handles ``BaseException``, so an execution aborted by cancellation
+    is never charged -- a cancelled job stops spending budget at the
+    next scheduler slice.
+    """
+
+    def __init__(self, job_id: str):
+        super().__init__(f"job {job_id!r} was cancelled")
+        self.job_id = job_id
 
 
 class JobGoal(enum.Enum):
@@ -59,6 +83,12 @@ class JobSpec:
         algorithm: the debugging strategy to run.
         goal: FindOne or FindAll (Section 3).
         budget: cap on *new* executions charged to this job, or None.
+        priority: round-robin weight for the shared scheduler (>= 1).
+            Takes effect only on a service built with
+            ``weighted_fairness=True``, where a weight-``w`` job is
+            served up to ``w`` consecutive requests per fairness turn;
+            otherwise ignored.  The default of 1 preserves the plain
+            FIFO round-robin.
         history: prior provenance seeded free of charge.
         seed: RNG seed for the job's instance sampling.
         ddt_config: optional decision-tree configuration.
@@ -81,6 +111,7 @@ class JobSpec:
     algorithm: Algorithm = Algorithm.COMBINED
     goal: JobGoal = JobGoal.FIND_ONE
     budget: int | None = None
+    priority: int = 1
     history: ExecutionHistory | None = None
     seed: int = 0
     ddt_config: DDTConfig | None = None
@@ -93,6 +124,8 @@ class JobSpec:
             raise ValueError("job_id must be non-empty")
         if self.budget is not None and self.budget < 0:
             raise ValueError("budget must be non-negative")
+        if self.priority < 1:
+            raise ValueError("priority must be at least 1")
         if self.run is None and self.goal is JobGoal.FIND_ALL and self.algorithm in (
             Algorithm.SHORTCUT,
             Algorithm.STACKED_SHORTCUT,
@@ -119,6 +152,13 @@ class JobResult:
             its own history; shared-cache hits still count, matching
             the paper's per-algorithm cost accounting).
         wall_seconds: job wall-clock time inside the service.
+        accounting_settled: True when every execution request the job
+            issued had resolved before the counters were read.  False
+            only on an abnormal teardown (cancellation/failure) where a
+            pipeline execution outlived the drain grace period: the
+            counters are then a best-effort snapshot, and the stuck
+            execution's entry charge settles after this result is
+            published.
     """
 
     job_id: str
@@ -129,6 +169,7 @@ class JobResult:
     budget_spent: int = 0
     new_executions: int = 0
     wall_seconds: float = 0.0
+    accounting_settled: bool = True
 
     @property
     def succeeded(self) -> bool:
@@ -151,11 +192,22 @@ class JobResult:
 
 
 class JobHandle:
-    """Client-side view of a submitted job."""
+    """Client-side view of a submitted job.
+
+    Cancellation: :meth:`cancel` requests a cooperative stop.  The
+    request is honored *between scheduler slices* -- the next execution
+    the job asks for raises :class:`JobCancelled` instead of running (so
+    no further budget is charged; the aborted request itself is
+    refunded), the controller thread unwinds, and the job finishes with
+    :attr:`JobStatus.CANCELLED`.  Executions already running on a worker
+    complete normally (black-box pipelines cannot be interrupted
+    mid-run); their outcomes still land in the shared cache.
+    """
 
     def __init__(self, spec: JobSpec):
         self.spec = spec
         self._done = threading.Event()
+        self._cancel = threading.Event()
         self._result: JobResult | None = None
         self._status = JobStatus.PENDING
         self._lock = threading.Lock()
@@ -169,6 +221,36 @@ class JobHandle:
     def status(self) -> JobStatus:
         with self._lock:
             return self._status
+
+    # -- Cancellation ---------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation of this job.
+
+        Returns:
+            True when the request was registered before the job reached
+            a terminal state; False when the job had already finished
+            (the existing result stands).  Idempotent: repeated calls
+            on a live job return True.
+        """
+        with self._lock:
+            if self._status.terminal:
+                return False
+            self._cancel.set()
+        return True
+
+    @property
+    def cancel_requested(self) -> bool:
+        """True once :meth:`cancel` has been called on a live job."""
+        return self._cancel.is_set()
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`JobCancelled` when cancellation was requested.
+
+        Custom ``run`` bodies with long algorithm-side loops (no
+        executions) can poll this to honor cancellation promptly.
+        """
+        if self._cancel.is_set():
+            raise JobCancelled(self.job_id)
 
     def _mark_running(self) -> None:
         with self._lock:

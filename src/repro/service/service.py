@@ -30,10 +30,33 @@ from ..core.session import DebugSession
 from ..core.stacked import DEFAULT_STACK_WIDTH
 from ..provenance.store import ProvenanceStore
 from .cache import ExecutionCache
-from .jobs import JobGoal, JobHandle, JobResult, JobSpec, JobStatus
+from .jobs import JobCancelled, JobGoal, JobHandle, JobResult, JobSpec, JobStatus
 from .scheduler import SharedScheduler
 
 __all__ = ["DebugService"]
+
+
+class _CancellationGuard:
+    """Executor wrapper that stops a cancelled job at the next slice.
+
+    Sits between the scheduler and the cached executor, so the check
+    runs on the worker slot right before the pipeline would execute:
+    requests queued when :meth:`JobHandle.cancel` lands resolve by
+    raising :class:`~repro.service.jobs.JobCancelled` instead of
+    running, and the session refunds their budget charge.
+    """
+
+    __slots__ = ("_inner", "_cancel", "_job_id")
+
+    def __init__(self, inner, cancel_event: threading.Event, job_id: str):
+        self._inner = inner
+        self._cancel = cancel_event
+        self._job_id = job_id
+
+    def __call__(self, instance):
+        if self._cancel.is_set():
+            raise JobCancelled(self._job_id)
+        return self._inner(instance)
 
 
 class DebugService:
@@ -51,6 +74,10 @@ class DebugService:
             in-memory tier, for long-lived services whose outcome sets
             would otherwise grow without bound.  Ignored when an
             explicit ``cache`` is passed (bound it at construction).
+        weighted_fairness: honor :attr:`JobSpec.priority` as a
+            round-robin weight in the shared scheduler.  Off by default,
+            which preserves the original unweighted FIFO round-robin
+            regardless of submitted priorities.
 
     Typical use::
 
@@ -66,6 +93,7 @@ class DebugService:
         store: ProvenanceStore | None = None,
         max_concurrent_jobs: int | None = None,
         cache_max_entries: int | None = None,
+        weighted_fairness: bool = False,
     ):
         if cache is not None and store is not None:
             raise ValueError("pass either a cache or a store, not both")
@@ -76,7 +104,11 @@ class DebugService:
             )
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ValueError("max_concurrent_jobs must be at least 1")
-        self._scheduler = SharedScheduler(workers=workers, name="debug-service")
+        self._scheduler = SharedScheduler(
+            workers=workers,
+            name="debug-service",
+            weighted_fairness=weighted_fairness,
+        )
         self._cache = (
             cache
             if cache is not None
@@ -128,6 +160,8 @@ class DebugService:
                 raise ValueError(f"duplicate job id {spec.job_id!r}")
             handle = JobHandle(spec)
             self._jobs[spec.job_id] = handle
+        if spec.priority != 1:
+            self._scheduler.set_priority(spec.job_id, spec.priority)
         thread = threading.Thread(
             target=self._run_job,
             args=(handle,),
@@ -136,6 +170,21 @@ class DebugService:
         )
         thread.start()
         return handle
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation of a submitted job (see
+        :meth:`JobHandle.cancel` for the exact semantics).
+
+        Returns:
+            True when the request was registered before the job reached
+            a terminal state.
+
+        Raises:
+            KeyError: for an unknown job id.
+        """
+        with self._lock:
+            handle = self._jobs[job_id]
+        return handle.cancel()
 
     def run_all(self, specs, timeout: float | None = None) -> list[JobResult]:
         """Submit every spec and wait for all results (submission order).
@@ -169,13 +218,20 @@ class DebugService:
         return results
 
     # -- Session wiring ------------------------------------------------------
-    def build_session(self, spec: JobSpec) -> DebugSession:
+    def build_session(
+        self,
+        spec: JobSpec,
+        cancel_event: threading.Event | None = None,
+    ) -> DebugSession:
         """The per-job session, wired into the shared scheduler + cache.
 
         Exposed so advanced clients can drive a session directly while
-        still sharing the service's infrastructure.
+        still sharing the service's infrastructure.  ``cancel_event``
+        (set by the job's handle) arms the per-slice cancellation check.
         """
         cached = self._cache.executor(spec.workflow, spec.executor)
+        if cancel_event is not None:
+            cached = _CancellationGuard(cached, cancel_event, spec.job_id)
         history = None
         if spec.history is not None:
             # Prior provenance is free for the submitting job (its
@@ -215,8 +271,11 @@ class DebugService:
         started = time.perf_counter()
         session: DebugSession | None = None
         try:
+            # A job cancelled while queued behind admission control (or
+            # between submit and start) never builds a session at all.
+            handle.check_cancelled()
             handle._mark_running()
-            session = self.build_session(spec)
+            session = self.build_session(spec, cancel_event=handle._cancel)
             handle.session = session
             value: object = None
             report = None
@@ -255,21 +314,32 @@ class DebugService:
         except BaseException as error:  # job isolation: never kill the service
             with self._lock:
                 shutting_down = self._shutdown
+            # A job torn down by an explicit cancel() or by service
+            # shutdown was cancelled, not broken -- do not masquerade as
+            # a genuine failure.
+            cancelled = isinstance(error, JobCancelled) or shutting_down
+            # The unwind abandoned any sibling batch requests still on
+            # workers; let them settle (each is charged at entry and
+            # completed-or-refunded at exit) so the reported accounting
+            # is consistent.  Cancelled siblings fail fast at the guard.
+            # A pipeline stuck past the grace period cannot hold
+            # teardown hostage: the result is then flagged unsettled.
+            settled = self._scheduler.wait_quiescent(spec.job_id, timeout=30.0)
             result = JobResult(
                 job_id=spec.job_id,
-                # A job torn down by service shutdown was cancelled, not
-                # broken -- do not masquerade as a genuine failure.
-                status=JobStatus.CANCELLED if shutting_down else JobStatus.FAILED,
+                status=JobStatus.CANCELLED if cancelled else JobStatus.FAILED,
                 error=error,
                 budget_spent=session.budget.spent if session is not None else 0,
                 new_executions=(
                     session.new_executions if session is not None else 0
                 ),
                 wall_seconds=time.perf_counter() - started,
+                accounting_settled=settled,
             )
         finally:
             if self._admission is not None:
                 self._admission.release()
+            self._scheduler.clear_priority(spec.job_id)
         handle._finish(result)
 
     # -- Lifecycle -----------------------------------------------------------

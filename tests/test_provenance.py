@@ -283,3 +283,91 @@ class TestLogFiles:
         path = tmp_path / "empty.csv"
         assert write_csv(ExecutionHistory(), path) == 0
         assert len(read_csv(path)) == 0
+
+
+class TestPersistedCodecTables:
+    def _space(self):
+        from repro.core import Parameter, ParameterKind, ParameterSpace
+
+        return ParameterSpace(
+            [
+                Parameter("a", (0.5, 1.5, 2.5), ParameterKind.ORDINAL),
+                Parameter("b", ("x", "y", "z")),
+                Parameter("flag", (False, True)),
+            ]
+        )
+
+    def test_schema_version_is_bumped(self, tmp_path):
+        store = SQLiteProvenanceStore(str(tmp_path / "v2.db"))
+        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 2
+        store.close()
+
+    def test_save_load_roundtrip_and_interning(self, tmp_path):
+        from repro.provenance.store import space_key
+
+        path = str(tmp_path / "codec.db")
+        space = self._space()
+        store = SQLiteProvenanceStore(path)
+        key = store.save_space(space)
+        assert key == space_key(space)
+        assert store.save_space(space) == key  # idempotent
+        assert store.saved_space_keys() == [key]
+        # Within a process the registry returns the interned object.
+        assert store.load_space(key) is space
+        store.close()
+
+        # Warm start: a fresh connection rebuilds identical code tables.
+        warm = SQLiteProvenanceStore(path)
+        loaded = warm.load_space(key)
+        assert loaded is not space
+        assert loaded.names == space.names
+        for name in space.names:
+            assert loaded[name].domain == space[name].domain
+            assert loaded[name].kind == space[name].kind
+            # The interning tables agree code-for-code.
+            for code, value in enumerate(space[name].domain):
+                assert loaded[name].code_of(value) == code
+        # Repeated loads share one object (no re-interning).
+        assert warm.load_space(key) is loaded
+        # An equivalent space resolves to the same key (content-derived).
+        assert space_key(loaded) == key
+        warm.close()
+
+    def test_load_unknown_key_returns_none(self, tmp_path):
+        store = SQLiteProvenanceStore(str(tmp_path / "none.db"))
+        assert store.load_space("absent") is None
+        store.close()
+
+    def test_hydrate_presyncs_columnar_store(self, tmp_path):
+        path = str(tmp_path / "hydrate.db")
+        space = self._space()
+        store = SQLiteProvenanceStore(path)
+        instances = [
+            Instance({"a": 0.5, "b": "x", "flag": False}),
+            Instance({"a": 1.5, "b": "y", "flag": True}),
+            Instance({"a": 2.5, "b": "z", "flag": True}),
+        ]
+        for index, instance in enumerate(instances):
+            store.add(
+                ProvenanceRecord(
+                    workflow="wf",
+                    instance=instance,
+                    outcome=Outcome.FAIL if index == 0 else Outcome.SUCCEED,
+                )
+            )
+        store.save_space(space)
+        store.close()
+
+        warm = SQLiteProvenanceStore(path)
+        interned, history = warm.hydrate(
+            "wf", warm.load_space(warm.saved_space_keys()[0])
+        )
+        assert len(history) == len(instances)
+        columnar = history.columnar_store(interned)
+        assert columnar.n_rows == len(instances)
+        assert not columnar.degraded
+        # A second hydration shares the interned space object, so the
+        # history's incremental store stays valid across sessions.
+        interned_again, __ = warm.hydrate("wf", self._space())
+        assert interned_again is interned
+        warm.close()

@@ -28,6 +28,7 @@ from repro.provenance.store import InMemoryProvenanceStore
 from repro.service import (
     DebugService,
     ExecutionCache,
+    JobCancelled,
     JobGoal,
     JobSpec,
     JobStatus,
@@ -680,3 +681,231 @@ class TestDebugService:
                 "a = 0" == str(cause) for cause in result.report.causes
             )
             assert service.scheduler.stats.dispatched > 0
+
+
+class TestCancellation:
+    def test_cancel_mid_run_yields_cancelled_status_and_refunds(self):
+        space = _space()
+        started = threading.Event()
+
+        def slow_oracle(instance):
+            started.set()
+            time.sleep(0.03)
+            return _oracle(instance)
+
+        with DebugService(workers=2) as service:
+            handle = service.submit(
+                JobSpec(
+                    job_id="doomed",
+                    executor=slow_oracle,
+                    space=space,
+                    budget=500,
+                )
+            )
+            assert started.wait(10)
+            time.sleep(0.1)
+            assert service.cancel("doomed") is True
+            result = handle.result(timeout=30)
+        assert result.status is JobStatus.CANCELLED
+        assert isinstance(result.error, JobCancelled)
+        # The aborted slice was refunded: only completed executions are
+        # charged, so spend equals the session's completed new runs.
+        assert result.budget_spent == result.new_executions
+        assert result.budget_spent < 500
+
+    def test_cancel_queued_job_never_executes(self):
+        space = _space()
+        release = threading.Event()
+
+        def gated_oracle(instance):
+            release.wait(10)
+            return _oracle(instance)
+
+        with DebugService(workers=1, max_concurrent_jobs=1) as service:
+            blocker = service.submit(
+                JobSpec(
+                    job_id="blocker", executor=gated_oracle, space=space, budget=3
+                )
+            )
+            queued = service.submit(
+                JobSpec(
+                    job_id="queued", executor=gated_oracle, space=space, budget=3
+                )
+            )
+            assert service.cancel("queued") is True
+            release.set()
+            queued_result = queued.result(timeout=30)
+            blocker_result = blocker.result(timeout=30)
+        assert queued_result.status is JobStatus.CANCELLED
+        assert queued_result.new_executions == 0
+        assert queued_result.budget_spent == 0
+        assert blocker_result.status is not JobStatus.CANCELLED
+
+    def test_cancel_after_completion_returns_false(self):
+        with DebugService(workers=2) as service:
+            handle = service.submit(
+                JobSpec(job_id="fast", executor=_oracle, space=_space(), budget=40)
+            )
+            result = handle.result(timeout=30)
+            assert result.status is JobStatus.SUCCEEDED
+            assert service.cancel("fast") is False
+            assert handle.result(timeout=1).status is JobStatus.SUCCEEDED
+
+    def test_cancel_unknown_job_raises(self):
+        with DebugService(workers=1) as service:
+            with pytest.raises(KeyError):
+                service.cancel("nobody")
+
+    def test_parallel_batches_job_cancels_cleanly(self):
+        space = _space()
+        started = threading.Event()
+
+        def slow_oracle(instance):
+            started.set()
+            time.sleep(0.02)
+            return _oracle(instance)
+
+        with DebugService(workers=3) as service:
+            handle = service.submit(
+                JobSpec(
+                    job_id="batchy-cancel",
+                    executor=slow_oracle,
+                    space=space,
+                    algorithm=Algorithm.DECISION_TREES,
+                    goal=JobGoal.FIND_ALL,
+                    budget=500,
+                    parallel_batches=True,
+                )
+            )
+            assert started.wait(10)
+            time.sleep(0.08)
+            service.cancel("batchy-cancel")
+            result = handle.result(timeout=30)
+        assert result.status is JobStatus.CANCELLED
+        assert result.budget_spent == result.new_executions
+
+    def test_custom_run_body_can_poll_cancellation(self):
+        ticks = []
+        handle_ready = threading.Event()
+        holder = {}
+
+        def body(session):
+            assert handle_ready.wait(10)
+            handle = holder["handle"]
+            while True:
+                ticks.append(None)
+                handle.check_cancelled()
+                time.sleep(0.01)
+
+        with DebugService(workers=1) as service:
+            spec = JobSpec(
+                job_id="poller", executor=_oracle, space=_space(), run=body
+            )
+            handle = service.submit(spec)
+            holder["handle"] = handle
+            handle_ready.set()
+            time.sleep(0.1)
+            service.cancel("poller")
+            result = handle.result(timeout=30)
+        assert result.status is JobStatus.CANCELLED
+        assert ticks
+
+
+class TestPriorities:
+    def test_jobspec_rejects_non_positive_priority(self):
+        with pytest.raises(ValueError, match="priority"):
+            JobSpec(job_id="p", executor=_oracle, space=_space(), priority=0)
+
+    def test_weighted_fairness_serves_heavier_job_more_per_turn(self):
+        order = []
+        lock = threading.Lock()
+
+        def make(tag):
+            def thunk():
+                with lock:
+                    order.append(tag)
+
+            return thunk
+
+        gate = threading.Event()
+        with SharedScheduler(workers=1, weighted_fairness=True) as scheduler:
+            scheduler.submit("warm", gate.wait)
+            scheduler.set_priority("heavy", 3)
+            requests = []
+            for __ in range(6):
+                requests.append(scheduler.submit("heavy", make("H")))
+                requests.append(scheduler.submit("light", make("L")))
+            gate.set()
+            for request in requests:
+                request.result()
+        # The first fairness turn serves three consecutive heavy
+        # requests before the light job gets its slice.
+        assert "".join(order).startswith("HHHL")
+        assert order.count("H") == order.count("L") == 6
+
+    def test_unweighted_scheduler_ignores_priorities(self):
+        order = []
+        lock = threading.Lock()
+
+        def make(tag):
+            def thunk():
+                with lock:
+                    order.append(tag)
+
+            return thunk
+
+        gate = threading.Event()
+        with SharedScheduler(workers=1) as scheduler:
+            scheduler.submit("warm", gate.wait)
+            scheduler.set_priority("heavy", 5)
+            requests = []
+            for __ in range(4):
+                requests.append(scheduler.submit("heavy", make("H")))
+                requests.append(scheduler.submit("light", make("L")))
+            gate.set()
+            for request in requests:
+                request.result()
+        assert "".join(order) == "HLHLHLHL"  # exactly the historical FIFO
+
+    def test_all_weight_one_matches_fifo_round_robin(self):
+        order = []
+        lock = threading.Lock()
+
+        def make(tag):
+            def thunk():
+                with lock:
+                    order.append(tag)
+
+            return thunk
+
+        gate = threading.Event()
+        with SharedScheduler(workers=1, weighted_fairness=True) as scheduler:
+            scheduler.submit("warm", gate.wait)
+            requests = []
+            for __ in range(4):
+                requests.append(scheduler.submit("A", make("A")))
+                requests.append(scheduler.submit("B", make("B")))
+            gate.set()
+            for request in requests:
+                request.result()
+        assert "".join(order) == "ABABABAB"
+
+    def test_service_runs_prioritized_jobs_to_completion(self):
+        specs = [
+            JobSpec(
+                job_id=f"job-{index}",
+                executor=_oracle,
+                space=_space(),
+                workflow="w",
+                budget=30,
+                priority=3 if index == 0 else 1,
+            )
+            for index in range(3)
+        ]
+        with DebugService(workers=2, weighted_fairness=True) as service:
+            results = service.run_all(specs, timeout=60)
+        assert all(r.status is JobStatus.SUCCEEDED for r in results)
+        # Identical specs produce identical per-job reports regardless
+        # of dispatch weighting (serial sessions are deterministic).
+        causes = [[str(c) for c in r.report.causes] for r in results]
+        assert causes[0] == causes[1] == causes[2]

@@ -1,0 +1,424 @@
+"""Engine equivalence for Shortcut / Stacked Shortcut via StrategyContext.
+
+The tentpole contract of the strategy layer port: every history scan the
+shortcut strategies perform (disjoint successes, Hamming-distance
+ranking, mutual disjointness, the success-superset sanity check) returns
+**exactly** what the dict-based reference returns, and whole strategy
+runs produce byte-identical results and budgets on
+``engine="columnar"`` and ``engine="reference"`` -- including histories
+that force the columnar store to degrade and fall back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Algorithm,
+    BugDoc,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    InstanceBudget,
+    Outcome,
+    Parameter,
+    ParameterKind,
+    ParameterSpace,
+    StrategyContext,
+)
+from repro.core.engine import ColumnarEngine
+from repro.core.shortcut import select_good_instance, shortcut
+from repro.core.stacked import stacked_shortcut
+
+
+# ---------------------------------------------------------------------------
+# Random-model strategies
+# ---------------------------------------------------------------------------
+
+def _space_from_blueprint(blueprint: list[tuple[bool, int]]) -> ParameterSpace:
+    parameters = []
+    for index, (ordinal, n_values) in enumerate(blueprint):
+        if ordinal:
+            domain = tuple(float(v) for v in range(n_values))
+            parameters.append(
+                Parameter(f"p{index}", domain, ParameterKind.ORDINAL)
+            )
+        else:
+            domain = tuple(f"v{j}" for j in range(n_values))
+            parameters.append(Parameter(f"p{index}", domain))
+    return ParameterSpace(parameters)
+
+
+_spaces = st.lists(
+    st.tuples(st.booleans(), st.integers(2, 5)), min_size=2, max_size=4
+).map(_space_from_blueprint)
+
+
+def _seeded_history(
+    space: ParameterSpace, oracle, seed: int, size: int
+) -> ExecutionHistory:
+    rng = random.Random(seed)
+    history = ExecutionHistory()
+    for __ in range(size):
+        instance = space.random_instance(rng)
+        if instance not in history:
+            history.record(instance, oracle(instance))
+    return history
+
+
+def _random_oracle(space: ParameterSpace, seed: int):
+    rng = random.Random(seed)
+    law = {instance: rng.random() < 0.35 for instance in space.instances()}
+
+    def oracle(instance: Instance) -> Outcome:
+        return Outcome.FAIL if law[instance] else Outcome.SUCCEED
+
+    return oracle
+
+
+# ---------------------------------------------------------------------------
+# Scan-level equivalence (engine vs reference history)
+# ---------------------------------------------------------------------------
+
+class TestScanEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(_spaces, st.integers(0, 2**32))
+    def test_disjointness_and_hamming_scans_match_reference(self, space, seed):
+        rng = random.Random(seed)
+        oracle = _random_oracle(space, seed)
+        history = _seeded_history(space, oracle, seed, size=rng.randint(0, 30))
+        engine = ColumnarEngine(space, history)
+        for __ in range(8):
+            anchor = space.random_instance(rng)
+            assert engine.disjoint_successes(
+                anchor
+            ) == history.disjoint_successes(anchor)
+            assert engine.most_different_success(
+                anchor
+            ) == history.most_different_success(anchor)
+            for limit in (None, 1, 2, 5):
+                assert engine.mutually_disjoint_successes(
+                    anchor, limit
+                ) == history.mutually_disjoint_successes(anchor, limit)
+            partial = {
+                name: value
+                for name, value in anchor.items()
+                if rng.random() < 0.6
+            }
+            assert engine.success_superset_of(
+                partial
+            ) == history.success_superset_of(partial)
+
+    def test_out_of_domain_anchor_stays_exact(self):
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+        history = ExecutionHistory()
+        history.record(Instance({"a": 0, "b": "x"}), Outcome.SUCCEED)
+        history.record(Instance({"a": 1, "b": "y"}), Outcome.SUCCEED)
+        history.record(Instance({"a": 2, "b": "y"}), Outcome.FAIL)
+        engine = ColumnarEngine(space, history)
+        # The anchor's "a" value is outside the declared domain: it
+        # differs from every row, which the lenient encoding models
+        # without falling back.
+        anchor = Instance({"a": 99, "b": "y"})
+        assert engine.disjoint_successes(anchor) == history.disjoint_successes(
+            anchor
+        )
+        assert engine.most_different_success(
+            anchor
+        ) == history.most_different_success(anchor)
+        assert engine.success_superset_of(
+            {"a": 99}
+        ) == history.success_superset_of({"a": 99})
+
+    def test_degraded_store_falls_back(self):
+        space = ParameterSpace([Parameter("a", (0, 1)), Parameter("b", ("x", "y"))])
+        history = ExecutionHistory()
+        history.record(Instance({"a": 0, "b": "x"}), Outcome.SUCCEED)
+        # Out-of-domain *row* degrades the store; scans must fall back.
+        history.record(Instance({"a": 99, "b": "y"}), Outcome.SUCCEED)
+        history.record(Instance({"a": 1, "b": "y"}), Outcome.FAIL)
+        engine = ColumnarEngine(space, history)
+        assert history.columnar_store(space).degraded
+        anchor = Instance({"a": 1, "b": "y"})
+        assert engine.disjoint_successes(anchor) == history.disjoint_successes(
+            anchor
+        )
+        assert engine.most_different_success(
+            anchor
+        ) == history.most_different_success(anchor)
+        assert engine.mutually_disjoint_successes(
+            anchor
+        ) == history.mutually_disjoint_successes(anchor)
+        assert engine.success_superset_of(
+            {"a": 99, "b": "y"}
+        ) == history.success_superset_of({"a": 99, "b": "y"})
+
+    def test_mismatched_parameter_set_replays_reference_errors(self):
+        import pytest
+
+        space = ParameterSpace([Parameter("a", (0, 1)), Parameter("b", ("x", "y"))])
+        history = ExecutionHistory()
+        history.record(Instance({"a": 0, "b": "x"}), Outcome.SUCCEED)
+        engine = ColumnarEngine(space, history)
+        anchor = Instance({"a": 1})  # missing "b"
+        with pytest.raises(ValueError, match="common parameter set"):
+            history.disjoint_successes(anchor)
+        with pytest.raises(ValueError, match="common parameter set"):
+            engine.disjoint_successes(anchor)
+
+
+# ---------------------------------------------------------------------------
+# Strategy-level equivalence: byte-identical reports and budgets
+# ---------------------------------------------------------------------------
+
+def _shortcut_fingerprint(result):
+    return (
+        str(result.cause),
+        sorted(result.surviving_assignment.items(), key=repr),
+        result.rejected_by_sanity_check,
+        result.complete,
+        result.instances_executed,
+        result.final_instance,
+    )
+
+
+def _run_strategy(space, oracle, seed, budget, algorithm, history_size):
+    history = _seeded_history(space, oracle, seed, size=history_size)
+    session = DebugSession(
+        oracle,
+        space,
+        history=history,
+        budget=InstanceBudget(budget) if budget is not None else None,
+    )
+    return session
+
+
+class TestStrategyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        _spaces,
+        st.integers(0, 2**32),
+        st.sampled_from([None, 3, 12]),
+        st.sampled_from(
+            [Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT]
+        ),
+    )
+    def test_reports_identical_across_engines(
+        self, space, seed, budget, algorithm
+    ):
+        oracle = _random_oracle(space, seed)
+        fingerprints = []
+        for engine in ("columnar", "reference"):
+            session = _run_strategy(space, oracle, seed, budget, algorithm, 12)
+            bugdoc = BugDoc(session=session, seed=seed, engine=engine)
+            try:
+                report = bugdoc.find_one(algorithm)
+            except ValueError as error:
+                fingerprints.append(("raised", str(error)))
+                continue
+            stacked = report.stacked_result
+            fingerprints.append(
+                (
+                    [str(c) for c in report.causes],
+                    str(report.explanation),
+                    report.instances_executed,
+                    report.budget_exhausted,
+                    (
+                        _shortcut_fingerprint(report.shortcut_result)
+                        if report.shortcut_result is not None
+                        else None
+                    ),
+                    (
+                        (
+                            str(stacked.cause),
+                            tuple(
+                                _shortcut_fingerprint(r) for r in stacked.runs
+                            ),
+                            stacked.failing,
+                            stacked.good_instances,
+                            stacked.instances_executed,
+                        )
+                        if stacked is not None
+                        else None
+                    ),
+                    session.budget.spent,
+                    len(session.history),
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(_spaces, st.integers(0, 2**32))
+    def test_combined_reports_identical_across_engines(self, space, seed):
+        oracle = _random_oracle(space, seed)
+        fingerprints = []
+        for engine in ("columnar", "reference"):
+            session = _run_strategy(space, oracle, seed, 40, None, 10)
+            bugdoc = BugDoc(session=session, seed=seed, engine=engine)
+            report = bugdoc.find_all(Algorithm.COMBINED)
+            fingerprints.append(
+                (
+                    [str(c) for c in report.causes],
+                    str(report.explanation),
+                    report.instances_executed,
+                    report.budget_exhausted,
+                    session.budget.spent,
+                    len(session.history),
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_fallback_history_identical_across_engines(self):
+        # The seeded history contains a row outside the declared space:
+        # the columnar store degrades, and the whole run must still be
+        # byte-identical to the reference engine.
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+
+        def oracle(instance):
+            if instance["a"] not in (0, 1, 2):
+                return Outcome.SUCCEED
+            return (
+                Outcome.FAIL
+                if instance["a"] == 2 and instance["b"] == "y"
+                else Outcome.SUCCEED
+            )
+
+        fingerprints = []
+        for engine in ("columnar", "reference"):
+            history = ExecutionHistory()
+            history.record(Instance({"a": 7, "b": "x"}), Outcome.SUCCEED)
+            history.record(Instance({"a": 2, "b": "y"}), Outcome.FAIL)
+            history.record(Instance({"a": 0, "b": "x"}), Outcome.SUCCEED)
+            history.record(Instance({"a": 1, "b": "y"}), Outcome.SUCCEED)
+            session = DebugSession(oracle, space, history=history)
+            bugdoc = BugDoc(session=session, seed=3, engine=engine)
+            report = bugdoc.find_one(Algorithm.STACKED_SHORTCUT)
+            stacked = report.stacked_result
+            fingerprints.append(
+                (
+                    [str(c) for c in report.causes],
+                    stacked.good_instances,
+                    tuple(_shortcut_fingerprint(r) for r in stacked.runs),
+                    session.budget.spent,
+                    len(session.history),
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+
+# ---------------------------------------------------------------------------
+# The context seam itself
+# ---------------------------------------------------------------------------
+
+class TestStrategyContext:
+    def test_rejects_unknown_engine(self):
+        import pytest
+
+        session = DebugSession(
+            lambda i: Outcome.SUCCEED,
+            ParameterSpace([Parameter("a", (0, 1))]),
+        )
+        with pytest.raises(ValueError, match="unknown engine"):
+            StrategyContext.for_session(session, engine="warp")
+
+    def test_reference_context_never_builds_an_engine(self):
+        session = DebugSession(
+            lambda i: Outcome.SUCCEED,
+            ParameterSpace([Parameter("a", (0, 1))]),
+        )
+        context = StrategyContext.for_session(session, engine="reference")
+        assert not context.columnar
+        assert context.tree() is None
+
+    def test_shared_context_reuses_one_columnar_store(self):
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if instance["a"] == 2 and instance["b"] == "y"
+                else Outcome.SUCCEED
+            )
+
+        session = DebugSession(oracle, space)
+        bugdoc = BugDoc(session=session, seed=0)
+        bugdoc.ensure_contrasting_instances()
+        context = bugdoc.strategy_context
+        failing = session.history.failures[0]
+        context.disjoint_successes(failing)
+        store_before = session.history.columnar_store(space)
+        # Strategy scans and DDT queries hit the same incremental store.
+        bugdoc.find_one(Algorithm.STACKED_SHORTCUT)
+        assert session.history.columnar_store(space) is store_before
+
+    def test_explicit_context_overrides_config_engine(self):
+        from repro.core.ddt import DDTConfig, debugging_decision_trees
+
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+
+        def oracle(instance):
+            return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+        results = []
+        for engine in ("columnar", "reference"):
+            session = DebugSession(oracle, space)
+            BugDoc(session=session, seed=0).ensure_contrasting_instances()
+            context = StrategyContext.for_session(session, engine=engine)
+            result = debugging_decision_trees(
+                session, DDTConfig(find_all=True), context=context
+            )
+            results.append([str(c) for c in result.causes])
+        assert results[0] == results[1]
+
+    def test_select_good_instance_context_matches_reference(self):
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if instance["a"] == 0 and instance["b"] == "x"
+                else Outcome.SUCCEED
+            )
+
+        session = DebugSession(oracle, space)
+        BugDoc(session=session, seed=1).ensure_contrasting_instances()
+        failing = session.history.failures[0]
+        for engine in ("columnar", "reference"):
+            context = StrategyContext.for_session(session, engine=engine)
+            assert select_good_instance(
+                session, failing, context=context
+            ) == select_good_instance(session, failing)
+
+    def test_bare_strategy_calls_build_default_context(self):
+        space = ParameterSpace(
+            [Parameter("a", (0, 1, 2)), Parameter("b", ("x", "y"))]
+        )
+
+        def oracle(instance):
+            return (
+                Outcome.FAIL
+                if instance["a"] == 0 and instance["b"] == "x"
+                else Outcome.SUCCEED
+            )
+
+        session = DebugSession(oracle, space)
+        BugDoc(session=session, seed=1).ensure_contrasting_instances()
+        failing = session.history.failures[0]
+        good = select_good_instance(session, failing)
+        assert good is not None
+        result = shortcut(session, failing, good)
+        assert result.final_instance is not None
+        stacked = stacked_shortcut(session, failing=failing)
+        assert stacked.good_instances

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Import-layering check for the repro package.
+
+The intended layering (bottom to top)::
+
+    concurrency  ->  (stdlib only)
+    core         ->  concurrency
+    provenance   ->  core, concurrency
+    pipeline     ->  core, provenance, concurrency
+    service      ->  pipeline, core, provenance, concurrency
+    cli / eval / ...  (top: anything)
+
+In particular, ``pipeline/`` and ``core/`` must never import from
+``service/`` (the PR-1 adapter design briefly did, which is why the
+shared scheduler and the single-flight cache moved to the neutral
+``concurrency/`` package).  This script walks the AST of every module
+in the checked packages and fails on forbidden absolute
+(``repro.service...``) or relative (``..service``) imports.
+
+Usage:
+    python tools/check_layering.py [--src src]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+
+# package -> layers it must NOT import from
+FORBIDDEN = {
+    "concurrency": {
+        "core",
+        "pipeline",
+        "provenance",
+        "service",
+        "baselines",
+        "eval",
+        "extensions",
+        "synth",
+        "workloads",
+    },
+    "core": {"service", "pipeline", "eval", "baselines"},
+    "provenance": {"service", "pipeline", "eval"},
+    "pipeline": {"service", "eval"},
+}
+
+
+def _resolved_package(node: ast.ImportFrom, module_parts: list[str]) -> str | None:
+    """The top-level repro subpackage an ImportFrom reaches, or None."""
+    if node.level == 0:
+        target = (node.module or "").split(".")
+        if target[:1] != ["repro"] or len(target) < 2:
+            return None
+        return target[1]
+    # Relative import: resolve against the module's package path.
+    base = module_parts[: len(module_parts) - node.level]
+    target = base + ((node.module or "").split(".") if node.module else [])
+    if target[:1] != ["repro"] or len(target) < 2:
+        return None
+    return target[1]
+
+
+def check(src: pathlib.Path) -> list[str]:
+    violations: list[str] = []
+    root = src / "repro"
+    for package, banned in FORBIDDEN.items():
+        package_dir = root / package
+        if not package_dir.is_dir():
+            continue
+        for path in sorted(package_dir.rglob("*.py")):
+            relative = path.relative_to(src)
+            module_parts = list(relative.with_suffix("").parts)
+            if module_parts[-1] == "__init__":
+                module_parts = module_parts[:-1] + [""]
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        parts = alias.name.split(".")
+                        if parts[:1] == ["repro"] and len(parts) >= 2:
+                            if parts[1] in banned:
+                                violations.append(
+                                    f"{relative}:{node.lineno}: "
+                                    f"{package}/ imports repro.{parts[1]}"
+                                )
+                elif isinstance(node, ast.ImportFrom):
+                    reached = _resolved_package(node, module_parts)
+                    if reached in banned:
+                        violations.append(
+                            f"{relative}:{node.lineno}: "
+                            f"{package}/ imports repro.{reached}"
+                        )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default="src", type=pathlib.Path)
+    args = parser.parse_args(argv)
+    violations = check(args.src)
+    if violations:
+        print("layering violations:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("layering OK: no upward imports")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
