@@ -1,0 +1,300 @@
+"""Batch suspect evaluation: one-pass screening vs one-at-a-time (PR 3).
+
+PR 2/3 made single-conjunction queries bitset-fast, but the DDT
+confirmation loop still consulted the history one conjunction at a
+time: per-suspect subsumption filtering against every confirmed cause,
+per-candidate refutation checks during minimization, per-call
+recompilation of parameter masks, and hydration that re-decoded and
+re-encoded every provenance row.  PR 4's batch evaluation layer
+(`StrategyContext(batch=True)`, the default) runs those hypothesis
+*sets* in single store passes with shared per-literal match tables,
+memoized subsumption grids, and schema-v3 encoded-row hydration.
+
+This benchmark drives the **confirmation-heavy sweep** those changes
+target: a provenance-rich SQLite store seeded with dense failing
+coverage of every planted cause (24 causes of arity 3) plus a broad
+random background, so DDT FindAll
+spends its time confirming and minimizing suspects against a large,
+growing confirmed set rather than rebuilding trees after refutations.
+Each cell runs twice over the same database:
+
+* ``batch``    -- schema-v3 hydration (instances + columnar store
+                  rebuilt from stored codes) and the batch layer on;
+* ``one-at-a-time`` -- PR 3's exact code paths: hydrate by decoding
+                  bindings and re-encoding, scalar screening loops
+                  (``StrategyContext(batch=False)`` preserves them
+                  bit for bit).
+
+Both must produce **identical** report fingerprints, instance counts,
+and budgets; the run aborts otherwise.  Solver time is hydration +
+search minus the cached executor's wall clock.  Exit status is non-zero
+when batch is not faster overall, or (full mode) when the speedup at
+12+ parameters falls below the 2x acceptance bar.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_batch_suspects.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+from repro.core import (
+    DDTConfig,
+    DebugSession,
+    ExecutionHistory,
+    Instance,
+    StrategyContext,
+)
+from repro.core.ddt import debugging_decision_trees
+from repro.provenance import ProvenanceRecord, SQLiteProvenanceStore
+from repro.synth import SyntheticConfig, generate_pipeline
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_CELLS = ((7, 800), (9, 1200), (11, 1600), (13, 2000))
+QUICK_CELLS = ((7, 400), (11, 800))
+SEEDS_FULL = (0, 1, 2)
+SEEDS_QUICK = (0,)
+CAUSE_ARITIES = (3,) * 24
+PER_CAUSE_ROWS = 50
+MAX_ROUNDS = 120
+REQUIRED_SPEEDUP_AT_MAX = 2.0
+
+
+class CachedTimedExecutor:
+    """Memoizing executor that accounts its own wall-clock time."""
+
+    def __init__(self, oracle):
+        self._oracle = oracle
+        self._cache = {}
+        self.seconds = 0.0
+        self.calls = 0
+
+    def __call__(self, instance):
+        started = time.perf_counter()
+        self.calls += 1
+        outcome = self._cache.get(instance)
+        if outcome is None:
+            outcome = self._oracle(instance)
+            self._cache[instance] = outcome
+        self.seconds += time.perf_counter() - started
+        return outcome
+
+
+def _pipeline_for(n_params: int, seed: int):
+    config = SyntheticConfig(
+        min_parameters=n_params,
+        max_parameters=n_params,
+        min_values=5,
+        max_values=7,
+        cause_arities=CAUSE_ARITIES,
+        verify_minimality_up_to=0,  # sizes are large by design
+    )
+    return generate_pipeline(
+        f"batch-suspects-{n_params}", config=config, seed=1400 + seed
+    )
+
+
+def _confirmation_rich_history(pipeline, rng, per_cause, n_random):
+    """Dense failing coverage of every planted cause + broad background.
+
+    This is the regime the batch layer targets: the seeded evidence
+    pins each cause well enough that tree suspects mostly *confirm*,
+    so solver time concentrates in suspect screening, minimization,
+    and confirmed-set maintenance rather than refutation rebuilds.
+    """
+    history = ExecutionHistory()
+    space = pipeline.space
+
+    def add(instance):
+        if instance not in history:
+            history.record(instance, pipeline.oracle(instance))
+
+    for cause in pipeline.true_causes:
+        sets = cause.canonical(space)
+        for __ in range(per_cause):
+            values = {}
+            for name in space.names:
+                allowed = sets.get(name)
+                if allowed is None:
+                    values[name] = rng.choice(space.domain(name))
+                else:
+                    values[name] = rng.choice(sorted(allowed, key=repr))
+            add(Instance(values))
+    for __ in range(n_random):
+        add(space.random_instance(rng))
+    return history
+
+
+def _build_database(path, pipeline, history):
+    """Seed the provenance store and warm the schema-v3 encoded rows."""
+    store = SQLiteProvenanceStore(path)
+    for evaluation in history:
+        store.add(
+            ProvenanceRecord("wf", evaluation.instance, evaluation.outcome)
+        )
+    store.save_space(pipeline.space)
+    store.hydrate("wf", pipeline.space)  # cold pass persists encoded rows
+    store.close()
+
+
+def run_cell(path, pipeline, batch: bool):
+    """One hydrate + DDT FindAll run; returns (solver_seconds, fingerprint)."""
+    store = SQLiteProvenanceStore(path)
+    executor = CachedTimedExecutor(pipeline.oracle)
+    started = time.perf_counter()
+    if batch:
+        space, history = store.hydrate("wf", pipeline.space)
+    else:
+        # PR 3 hydration: decode every binding, then sync-by-encoding.
+        key = store.save_space(pipeline.space)
+        space = store.load_space(key)
+        history = store.to_history("wf")
+        history.columnar_store(space)
+    session = DebugSession(executor, space, history=history)
+    context = StrategyContext(session, batch=batch)
+    result = debugging_decision_trees(
+        session,
+        DDTConfig(
+            find_all=True, batch_suspects=batch, max_rounds=MAX_ROUNDS
+        ),
+        context=context,
+    )
+    wall = time.perf_counter() - started
+    store.close()
+    if batch and context.fallback_count:
+        raise SystemExit(
+            f"SILENT FALLBACKS: {context.fallback_count} engine queries "
+            "fell back to the reference path on a compilable workload"
+        )
+    fingerprint = (
+        tuple(str(c) for c in result.causes),
+        str(result.explanation),
+        result.instances_executed,
+        result.budget_exhausted,
+        result.rounds,
+        tuple(result.tree_sizes),
+        session.budget.spent,
+        len(session.history),
+    )
+    return wall - executor.seconds, fingerprint
+
+
+def sweep(cells, seeds):
+    rows = []
+    for n_params, n_random in cells:
+        batch_total = scalar_total = 0.0
+        causes = rounds = 0
+        for seed in seeds:
+            pipeline = _pipeline_for(n_params, seed)
+            rng = random.Random(seed)
+            history = _confirmation_rich_history(
+                pipeline, rng, PER_CAUSE_ROWS, n_random
+            )
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "provenance.db")
+                _build_database(path, pipeline, history)
+                batch_time, batch_fp = run_cell(path, pipeline, batch=True)
+                scalar_time, scalar_fp = run_cell(path, pipeline, batch=False)
+            if batch_fp != scalar_fp:
+                raise SystemExit(
+                    f"BATCH DIVERGENCE at {n_params} params, seed {seed}:\n"
+                    f"  batch        : {batch_fp}\n"
+                    f"  one-at-a-time: {scalar_fp}"
+                )
+            batch_total += batch_time
+            scalar_total += scalar_time
+            causes += len(batch_fp[0])
+            rounds += batch_fp[4]
+        n = len(seeds)
+        rows.append(
+            {
+                "n_params": n_params,
+                "history": n_random + PER_CAUSE_ROWS * len(CAUSE_ARITIES),
+                "causes": causes / n,
+                "rounds": rounds / n,
+                "scalar_s": scalar_total / n,
+                "batch_s": batch_total / n,
+                "speedup": (
+                    scalar_total / batch_total
+                    if batch_total
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def render(rows, seeds) -> str:
+    lines = [
+        "Batch suspect evaluation: confirmation-heavy DDT FindAll over a",
+        "provenance-rich store, batch layer + schema-v3 hydration vs the",
+        "PR 3 one-at-a-time paths (cached executor subtracted; identical",
+        f"report fingerprints verified per run; mean of {len(seeds)} seed(s))",
+        "",
+        f"{'#params':>8} {'~history':>9} {'causes':>7} {'rounds':>7} "
+        f"{'one-at-a-time':>14} {'batch':>10} {'speedup':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_params']:>8} {row['history']:>9} {row['causes']:>7.1f} "
+            f"{row['rounds']:>7.1f} {row['scalar_s']:>13.4f}s "
+            f"{row['batch_s']:>9.4f}s {row['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small sweep, one seed, no results file",
+    )
+    args = parser.parse_args(argv)
+
+    cells = QUICK_CELLS if args.quick else FULL_CELLS
+    seeds = SEEDS_QUICK if args.quick else SEEDS_FULL
+    rows = sweep(cells, seeds)
+    text = render(rows, seeds)
+    print(text)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "batch_suspects.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    total_scalar = sum(row["scalar_s"] for row in rows)
+    total_batch = sum(row["batch_s"] for row in rows)
+    if total_batch >= total_scalar:
+        print(
+            f"\nFAIL: batch layer ({total_batch:.4f}s) is not faster than "
+            f"the one-at-a-time path ({total_scalar:.4f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOverall: {total_scalar / total_batch:.1f}x less solver time")
+
+    if not args.quick:
+        for row in rows:
+            if row["n_params"] >= 12 and row["speedup"] < REQUIRED_SPEEDUP_AT_MAX:
+                print(
+                    f"\nFAIL: speedup at {row['n_params']} parameters is "
+                    f"{row['speedup']:.1f}x, below the required "
+                    f"{REQUIRED_SPEEDUP_AT_MAX:.0f}x",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Benchmark rot protection: import every bench module, run the quick gates.
+
+Benchmarks are plain scripts, so nothing in the tier-1 suite touches
+them and an API refactor can silently break a figure regeneration
+months before anyone re-runs it.  This module closes that gap in two
+layers:
+
+* every ``bench_*.py`` file must still *import* (catches renamed or
+  removed APIs at collection cost only), and
+* every script-style benchmark exposing ``main`` with a ``--quick``
+  mode must still run it successfully (the same gates CI runs, so the
+  gates themselves cannot rot either).
+
+The tests are marked ``bench_smoke`` and skip unless the
+``REPRO_BENCH_SMOKE`` environment variable is set: the quick runs take
+minutes, so CI runs them as a separate non-blocking, time-boxed step
+(see ``.github/workflows/ci.yml``) instead of inside tier-1.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import pathlib
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.bench_smoke
+
+BENCH_DIR = pathlib.Path(__file__).parent
+BENCH_FILES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+
+def _require_opt_in():
+    if not os.environ.get("REPRO_BENCH_SMOKE"):
+        pytest.skip("set REPRO_BENCH_SMOKE=1 to run benchmark smoke tests")
+
+
+def _load(name: str):
+    """Import a benchmark module from its file (benchmarks/ is not a
+    package, so spec-based loading keeps sys.path untouched)."""
+    loaded = sys.modules.get(name)
+    if loaded is not None:
+        return loaded
+    spec = importlib.util.spec_from_file_location(
+        name, BENCH_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _quick_benchmarks() -> list[str]:
+    """Script-style benchmarks advertising a --quick mode."""
+    names = []
+    for name in BENCH_FILES:
+        source = (BENCH_DIR / f"{name}.py").read_text(encoding="utf-8")
+        if "--quick" in source and "def main(" in source:
+            names.append(name)
+    return names
+
+
+def test_quick_benchmarks_discovered():
+    """The quick-gate roster must never silently shrink to nothing."""
+    _require_opt_in()
+    assert set(_quick_benchmarks()) >= {
+        "bench_engine_overhead",
+        "bench_strategy_overhead",
+        "bench_batch_suspects",
+    }
+
+
+@pytest.mark.parametrize("name", BENCH_FILES)
+def test_bench_module_imports(name):
+    _require_opt_in()
+    _load(name)
+
+
+@pytest.mark.parametrize("name", _quick_benchmarks())
+def test_quick_mode_passes(name):
+    _require_opt_in()
+    module = _load(name)
+    assert module.main(["--quick"]) == 0, f"{name} --quick gate failed"

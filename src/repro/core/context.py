@@ -23,6 +23,15 @@ plus one engine choice and serves all strategies; every accelerated
 query degrades transparently to the reference path (byte-identical
 results, automatic fallback for uncompilable histories), exactly like
 the engine itself.
+
+The batch extension (PR 4): strategies that hold *many* hypotheses --
+the DDT confirmation loop screening every pending suspect, suspect
+minimization testing all single-predicate drops, Quine-McCluskey cover
+checks -- call the ``*_many`` methods here, which route to the engine's
+one-pass batch evaluation (shared per-literal match tables) on the
+columnar engine and degrade to exact one-at-a-time loops otherwise.
+``StrategyContext(batch=False)`` reproduces the pre-batch scalar code
+paths bit for bit, which the batch benchmark uses as its baseline.
 """
 
 from __future__ import annotations
@@ -31,7 +40,8 @@ from collections.abc import Mapping, Sequence
 
 from .engine import ColumnarEngine
 from .predicates import Conjunction
-from .types import Instance, Outcome
+from .rootcause import prune_to_minimal
+from .types import Instance, Outcome, Value
 
 __all__ = ["StrategyContext", "validate_engine"]
 
@@ -56,25 +66,45 @@ class StrategyContext:
         engine: ``"columnar"`` (default) routes history queries through
             the bitset engine; ``"reference"`` keeps the original dict
             implementations.  Both produce identical results.
+        batch: enable the batch evaluation layer (default).  The
+            ``*_many`` methods then run whole hypothesis sets in one
+            store pass with shared per-literal match tables, and
+            satisfying-value lists are memoized per conjunction.
+            ``batch=False`` reproduces the pre-batch one-at-a-time code
+            paths exactly (same answers, no shared tables) -- the batch
+            benchmark's baseline.  Results are identical either way.
     """
 
-    __slots__ = ("session", "engine_name", "_engine")
+    __slots__ = ("session", "engine_name", "batch", "_engine", "_value_lists")
 
-    def __init__(self, session, engine: str = "columnar"):
+    def __init__(self, session, engine: str = "columnar", batch: bool = True):
         self.session = session
         self.engine_name = validate_engine(engine)
+        self.batch = bool(batch)
         self._engine = (
-            ColumnarEngine.for_session(session) if engine == "columnar" else None
+            ColumnarEngine.for_session(session, use_match_cache=self.batch)
+            if engine == "columnar"
+            else None
         )
+        self._value_lists: dict | None = {} if self.batch else None
 
     @classmethod
-    def for_session(cls, session, engine: str = "columnar") -> "StrategyContext":
-        return cls(session, engine=engine)
+    def for_session(
+        cls, session, engine: str = "columnar", batch: bool = True
+    ) -> "StrategyContext":
+        return cls(session, engine=engine, batch=batch)
 
     @property
     def columnar(self) -> bool:
         """True when the columnar engine serves (compilable) queries."""
         return self._engine is not None
+
+    @property
+    def fallback_count(self) -> int:
+        """Reference-path degradations served by the columnar engine so
+        far (0 for the reference engine, where everything is reference
+        by construction).  Tests assert this stays 0 on clean runs."""
+        return 0 if self._engine is None else self._engine.fallbacks
 
     # -- Session passthrough (the budget-charging seam) -----------------------
     @property
@@ -133,6 +163,125 @@ class StrategyContext:
         if self._engine is not None:
             return self._engine.tree(max_depth=max_depth)
         return None
+
+    # -- Batch history queries -------------------------------------------------
+    def refutes_many(self, conjunctions: Sequence[Conjunction]) -> list[bool]:
+        """``[refutes(c) for c in conjunctions]``; one store pass when
+        the batch layer is on, exact scalar loop otherwise."""
+        conjunctions = list(conjunctions)
+        if self._engine is not None and self.batch:
+            return self._engine.refutes_many(conjunctions)
+        return [self.refutes(c) for c in conjunctions]
+
+    def supports_many(self, conjunctions: Sequence[Conjunction]) -> list[bool]:
+        """``[supports(c) for c in conjunctions]``, batched when on."""
+        conjunctions = list(conjunctions)
+        if self._engine is not None and self.batch:
+            return self._engine.supports_many(conjunctions)
+        return [self.supports(c) for c in conjunctions]
+
+    def subsumes_matrix(
+        self,
+        generals: Sequence[Conjunction],
+        specifics: Sequence[Conjunction],
+    ) -> list[list[bool]]:
+        """``matrix[i][j] = subsumes(generals[i], specifics[j])``."""
+        generals, specifics = list(generals), list(specifics)
+        if self._engine is not None and self.batch:
+            return self._engine.subsumes_matrix(generals, specifics)
+        return [[self.subsumes(g, s) for s in specifics] for g in generals]
+
+    def filter_unsubsumed(
+        self,
+        generals: Sequence[Conjunction],
+        candidates: Sequence[Conjunction],
+    ) -> list[Conjunction]:
+        """The candidates no general conjunction subsumes, in order.
+
+        This is the DDT round filter (skip suspects an already-confirmed
+        cause covers); the batch path answers the whole
+        ``generals x candidates`` grid from per-conjunction canonical
+        masks computed once.
+        """
+        generals, candidates = list(generals), list(candidates)
+        if not generals or not candidates:
+            return candidates
+        if self._engine is not None and self.batch:
+            covered = self._engine.subsumed_by_any(generals, candidates)
+            return [
+                candidate
+                for candidate, is_covered in zip(candidates, covered)
+                if not is_covered
+            ]
+        return [
+            candidate
+            for candidate in candidates
+            if not any(self.subsumes(g, candidate) for g in generals)
+        ]
+
+    def prune_to_minimal(
+        self, conjunctions: Sequence[Conjunction]
+    ) -> list[Conjunction]:
+        """:func:`repro.core.rootcause.prune_to_minimal` over this space,
+        answered from one batched subsumption matrix when the batch
+        layer is on (identical kept-list either way)."""
+        if self._engine is not None and self.batch:
+            unique = list(dict.fromkeys(conjunctions))
+            if len(unique) <= 1:
+                return unique
+            matrix = self._engine.subsumes_matrix(unique, unique)
+            size = len(unique)
+            return [
+                candidate
+                for j, candidate in enumerate(unique)
+                if not any(
+                    matrix[i][j] and not matrix[j][i]
+                    for i in range(size)
+                    if i != j
+                )
+            ]
+        return prune_to_minimal(conjunctions, self.session.space)
+
+    def satisfying_value_lists(
+        self, conjunction: Conjunction
+    ) -> list[tuple[str, list[Value]]] | None:
+        """Per-parameter ``(name, repr-sorted satisfying values)`` lists
+        for every space parameter, or None when the conjunction is
+        unsatisfiable -- exactly the scan the DDT variation sampler
+        performs on :meth:`Conjunction.canonical`, memoized per
+        conjunction when the batch layer is on (suspects are re-sampled
+        many times across minimization rounds).  ValueError propagates
+        for predicates the reference scan rejects.
+        """
+        cache = self._value_lists
+        if cache is not None:
+            try:
+                return cache[conjunction]
+            except KeyError:
+                pass
+        result = self._compute_value_lists(conjunction)
+        if cache is not None:
+            cache[conjunction] = result
+        return result
+
+    def _compute_value_lists(self, conjunction: Conjunction):
+        if self._engine is not None and self.batch:
+            compiled = self._engine.satisfying_value_lists(conjunction)
+            if compiled is not None:
+                satisfiable, per_parameter = compiled
+                return per_parameter if satisfiable else None
+        space = self.session.space
+        sets = conjunction.canonical(space)
+        per_parameter: list[tuple[str, list[Value]]] = []
+        for name in space.names:
+            allowed = sets.get(name)
+            if allowed is None:
+                per_parameter.append((name, list(space.domain(name))))
+            else:
+                if not allowed:
+                    return None
+                per_parameter.append((name, sorted(allowed, key=repr)))
+        return per_parameter
 
     # -- Engine-selected history scans ----------------------------------------
     def disjoint_successes(self, failing: Instance) -> list[Instance]:

@@ -34,10 +34,9 @@ from .budget import BudgetExhausted
 from .context import StrategyContext, validate_engine
 from .predicates import Conjunction, Disjunction
 from .quine_mccluskey import simplify_disjunction
-from .rootcause import prune_to_minimal
 from .session import DebugSession, InstanceUnavailable
 from .tree import DebuggingTree
-from .types import Instance, Outcome, Value
+from .types import Instance, Outcome
 
 __all__ = ["DDTConfig", "DDTResult", "debugging_decision_trees"]
 
@@ -79,6 +78,13 @@ class DDTConfig:
             produce identical reports; the columnar engine transparently
             falls back to the reference path for anything it cannot
             compile faithfully.
+        batch_suspects: screen suspect sets, minimization candidates,
+            and the final confirmed-cause filters through the context's
+            batch evaluation layer (one store pass per set, shared
+            per-literal match tables) instead of one history query per
+            conjunction.  Default on; ``False`` reproduces the
+            one-at-a-time code paths exactly.  Reports are identical
+            either way (the batch layer is a pure evaluation strategy).
     """
 
     tests_per_suspect: int = 12
@@ -91,6 +97,7 @@ class DDTConfig:
     seed: int = 0
     max_tree_depth: int | None = None
     engine: str = "columnar"
+    batch_suspects: bool = True
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -142,22 +149,17 @@ def _variation_instances(
     replacement (best effort).  Returns None when the suspect is
     unsatisfiable.
     """
-    space = context.space
     if context.candidate_source is not None:
         # Historical mode: test instances come from unread provenance.
         candidates = context.candidate_source(suspect, count)
         fresh = [c for c in candidates if c not in context.history]
         return fresh if fresh else []
-    sets = suspect.canonical(space)
-    per_parameter: list[tuple[str, list[Value]]] = []
-    for name in space.names:
-        allowed = sets.get(name)
-        if allowed is None:
-            per_parameter.append((name, list(space.domain(name))))
-        else:
-            if not allowed:
-                return None
-            per_parameter.append((name, sorted(allowed, key=repr)))
+    # The per-parameter satisfying-value scan is served by the context
+    # (memoized per suspect on the batch layer; the same lists as the
+    # direct ``suspect.canonical(space)`` scan either way).
+    per_parameter = context.satisfying_value_lists(suspect)
+    if per_parameter is None:
+        return None
 
     product_size = 1
     for __, values in per_parameter:
@@ -218,10 +220,10 @@ def debugging_decision_trees(
     confirmed: list[Conjunction] = []
     refuted: set[Conjunction] = set()
     if context is None:
-        context = StrategyContext.for_session(session, engine=config.engine)
+        context = StrategyContext.for_session(
+            session, engine=config.engine, batch=config.batch_suspects
+        )
     executed_before = context.new_executions
-    refutes = context.refutes
-    subsumes = context.subsumes
 
     try:
         for _round in range(config.max_rounds):
@@ -246,12 +248,14 @@ def debugging_decision_trees(
             ]
             if not config.shortest_first:
                 rng.shuffle(suspects)
-            # Skip suspects already covered by a confirmed cause.
-            suspects = [
-                s
-                for s in suspects
-                if not any(subsumes(c, s) for c in confirmed)
-            ]
+            # Skip suspects already covered by a confirmed cause -- one
+            # batched confirmed x suspects subsumption grid per round
+            # (screening the suspects against the history itself would
+            # be vacuous: a pure-fail tree path cannot be refuted by
+            # the evidence it was induced from; the batch screens run
+            # where refutation is possible -- minimization candidates
+            # and the final confirmed-cause filter).
+            suspects = context.filter_unsubsumed(confirmed, suspects)
             if not suspects:
                 if config.find_all and _explore_complement(
                     context, confirmed, config, rng
@@ -265,7 +269,7 @@ def debugging_decision_trees(
                 if verdict is _Verdict.CONFIRMED:
                     if config.minimize_confirmed:
                         suspect = _minimize_suspect(
-                            suspect, context, config, rng, refutes
+                            suspect, context, config, rng
                         )
                     confirmed.append(suspect)
                     if not config.find_all:
@@ -290,9 +294,13 @@ def debugging_decision_trees(
     result.instances_executed = context.new_executions - executed_before
     # Evidence gathered for later suspects can retroactively refute an
     # earlier confirmation; the final explanation must be a hypothetical
-    # root cause w.r.t. everything executed (Definition 3).
-    confirmed = [c for c in confirmed if not refutes(c)]
-    confirmed = prune_to_minimal(confirmed, context.space)
+    # root cause w.r.t. everything executed (Definition 3).  Both passes
+    # are batched: one refutation screen, one subsumption matrix.
+    screened = context.refutes_many(confirmed)
+    confirmed = [
+        c for c, already in zip(confirmed, screened) if not already
+    ]
+    confirmed = context.prune_to_minimal(confirmed)
     if config.simplify and confirmed:
         explanation = simplify_disjunction(Disjunction(confirmed), context.space)
     else:
@@ -351,27 +359,54 @@ def _minimize_suspect(
     context: StrategyContext,
     config: DDTConfig,
     rng: random.Random,
-    refutes=None,
 ) -> Conjunction:
     """Greedy Definition-5 minimization of a confirmed suspect.
 
     Repeatedly drops one predicate if the generalized conjunction also
-    survives refutation sampling, until no single drop survives.  Also
-    replaces the suspect if the history already refutes a candidate
-    (free check) before spending executions.  ``refutes`` lets the
-    caller supply the engine-accelerated history check.
+    survives refutation sampling, until no single drop survives.  All
+    single-drop candidates of a pass are screened against the history
+    in one batched ``refutes_many`` call (free checks) before any
+    executions are spent; because a refutation test can append new
+    evidence, the remaining screens are recomputed whenever the history
+    grew, so every candidate sees exactly the history state the
+    one-at-a-time scan would have consulted.
     """
-    if refutes is None:
-        refutes = context.refutes
     current = suspect
     improved = True
     while improved and len(current) > 1:
         improved = False
-        for predicate in current:
-            candidate = Conjunction(
-                p for p in current.predicates if p != predicate
-            )
-            if refutes(candidate):
+        if not context.batch:
+            # Pre-batch loop, preserved as the benchmark baseline: one
+            # lazy history check right before each candidate's test.
+            for predicate in current:
+                candidate = Conjunction(
+                    p for p in current.predicates if p != predicate
+                )
+                if context.refutes(candidate):
+                    continue
+                if (
+                    _test_suspect(candidate, context, config, rng)
+                    is _Verdict.CONFIRMED
+                ):
+                    current = candidate
+                    improved = True
+                    break
+            continue
+        candidates = [
+            Conjunction(p for p in current.predicates if p != predicate)
+            for predicate in current
+        ]
+        screened = context.refutes_many(candidates)
+        watermark = context.history.distinct_count
+        for position, candidate in enumerate(candidates):
+            if context.history.distinct_count != watermark:
+                # A refutation test recorded new evidence; the pending
+                # screens are stale, so re-batch the remainder.
+                screened[position:] = context.refutes_many(
+                    candidates[position:]
+                )
+                watermark = context.history.distinct_count
+            if screened[position]:
                 continue
             if _test_suspect(candidate, context, config, rng) is _Verdict.CONFIRMED:
                 current = candidate

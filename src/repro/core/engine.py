@@ -20,6 +20,13 @@ This module provides that compiled path:
 * Conjunctions compile to per-parameter *allowed-code masks*; testing
   one against the whole history is a handful of big-int ANDs
   (:meth:`ColumnarEngine.refutes` / :meth:`ColumnarEngine.supports`).
+* Whole *batches* of conjunctions evaluate in one pass
+  (:func:`compile_many`, :meth:`ColumnarStore.rows_matching_many`,
+  :meth:`ColumnarEngine.refutes_many` / :meth:`~ColumnarEngine.supports_many`
+  / :meth:`~ColumnarEngine.subsumes_matrix`): conjunctions sharing
+  literals share one per-``(parameter, allowed-mask)`` *match table*
+  (:meth:`ColumnarStore.match_rows`), memoized on the store and
+  invalidated by row-count generation whenever the history grows.
 * :class:`IncrementalTreeBuilder` induces the debugging decision tree
   over index bitsets, and *repairs* the previous round's tree on append
   instead of rebuilding it: only nodes whose row set changed are
@@ -56,6 +63,7 @@ __all__ = [
     "ColumnarEngine",
     "IncrementalTreeBuilder",
     "compile_conjunction",
+    "compile_many",
 ]
 
 
@@ -84,6 +92,7 @@ class SpaceCodec:
         "domain_sizes",
         "full_masks",
         "repr_orders",
+        "unique_reprs",
     )
 
     def __init__(self, space: ParameterSpace):
@@ -99,6 +108,15 @@ class SpaceCodec:
         # reference ``_candidate_splits``.
         self.repr_orders = tuple(
             tuple(sorted(range(len(p.domain)), key=lambda c, p=p: repr(p.domain[c])))
+            for p in self.parameters
+        )
+        # Whether the domain's value reprs are pairwise distinct: only
+        # then is ``sorted(values, key=repr)`` a total order, letting
+        # mask->value decoding reproduce the reference's repr-sorted
+        # value lists exactly (ties in the reference depend on set
+        # iteration order, which codes cannot mirror).
+        self.unique_reprs = tuple(
+            len({repr(v) for v in p.domain}) == len(p.domain)
             for p in self.parameters
         )
 
@@ -137,8 +155,15 @@ class SpaceCodec:
         return tuple(codes)
 
 
+# Sentinel for "this predicate cannot be compiled" in shared memos (a
+# plain None entry would be indistinguishable from a cache miss).
+_UNCOMPILABLE = object()
+
+
 def compile_conjunction(
-    conjunction: Conjunction, codec: SpaceCodec
+    conjunction: Conjunction,
+    codec: SpaceCodec,
+    predicate_masks: dict[Predicate, object] | None = None,
 ) -> list[tuple[int, int]] | None:
     """Compile to ``[(parameter_index, allowed_code_mask), ...]``.
 
@@ -149,23 +174,57 @@ def compile_conjunction(
     the conjunction cannot be compiled faithfully (a predicate on a
     parameter outside the space, or a comparator that raises on some
     domain value); callers must fall back to the reference path.
+
+    ``predicate_masks`` is an optional per-predicate memo shared across
+    calls (the batch layer's literal table): conjunctions sharing a
+    literal then share one :meth:`Predicate.satisfying_code_mask`
+    evaluation instead of re-scanning the domain per conjunction.
     """
     masks: dict[int, int] = {}
-    try:
-        for predicate in conjunction.predicates:
+    for predicate in conjunction.predicates:
+        entry = None if predicate_masks is None else predicate_masks.get(predicate)
+        if entry is None:
             index = codec.index_of_name.get(predicate.parameter)
             if index is None:
-                return None
-            mask = predicate.satisfying_code_mask(codec.parameters[index])
-            previous = masks.get(index)
-            masks[index] = mask if previous is None else previous & mask
-    except Exception:
-        return None
+                entry = _UNCOMPILABLE
+            else:
+                try:
+                    entry = (index, predicate.satisfying_code_mask(codec.parameters[index]))
+                except Exception:
+                    entry = _UNCOMPILABLE
+            if predicate_masks is not None:
+                predicate_masks[predicate] = entry
+        if entry is _UNCOMPILABLE:
+            return None
+        index, mask = entry  # type: ignore[misc]
+        previous = masks.get(index)
+        masks[index] = mask if previous is None else previous & mask
     return sorted(
         (index, mask)
         for index, mask in masks.items()
         if mask != codec.full_masks[index]
     )
+
+
+def compile_many(
+    conjunctions: Sequence[Conjunction],
+    codec: SpaceCodec,
+    predicate_masks: dict[Predicate, object] | None = None,
+) -> list[list[tuple[int, int]] | None]:
+    """Compile a batch of conjunctions with one shared literal table.
+
+    Equivalent to ``[compile_conjunction(c, codec) for c in
+    conjunctions]`` (per-item None for uncompilable entries), but every
+    distinct predicate's allowed-code mask is computed once for the
+    whole batch.  Pass a ``predicate_masks`` dict to keep the table
+    alive across batches.
+    """
+    if predicate_masks is None:
+        predicate_masks = {}
+    return [
+        compile_conjunction(conjunction, codec, predicate_masks)
+        for conjunction in conjunctions
+    ]
 
 
 class ColumnarStore:
@@ -198,6 +257,14 @@ class ColumnarStore:
         self.degraded = False
         self._synced = 0
         self._builders: dict[int | None, IncrementalTreeBuilder] = {}
+        # Batch-evaluation match tables: (parameter_index, allowed_mask)
+        # -> bitset of rows whose code lies in the mask.  Valid for the
+        # generation (row count) they were computed at; append-only
+        # histories make the row count itself the generation counter.
+        self._match_cache: dict[tuple[int, int], int] = {}
+        self._match_generation = 0
+        self.match_hits = 0
+        self.match_misses = 0
 
     @property
     def succeed_mask(self) -> int:
@@ -243,6 +310,98 @@ class ColumnarStore:
                 remaining ^= low
             rows &= matched
         return rows
+
+    def match_rows(self, index: int, allowed: int) -> int:
+        """Bitset of rows whose ``index`` code lies in ``allowed`` (cached).
+
+        This is the batch layer's shared *match table*: many compiled
+        conjunctions reference the same ``(parameter, allowed-mask)``
+        literal, and the OR-accumulation over the per-code columns is
+        done once per literal and history generation.  The table is
+        invalidated whenever rows were appended since it was built
+        (append-only histories make ``n_rows`` the generation counter).
+        """
+        if self._match_generation != self.n_rows:
+            self._match_cache.clear()
+            self._match_generation = self.n_rows
+        key = (index, allowed)
+        matched = self._match_cache.get(key)
+        if matched is not None:
+            self.match_hits += 1
+            return matched
+        self.match_misses += 1
+        column = self.value_rows[index]
+        matched = 0
+        remaining = allowed
+        while remaining:
+            low = remaining & -remaining
+            matched |= column[low.bit_length() - 1]
+            remaining ^= low
+        self._match_cache[key] = matched
+        return matched
+
+    def rows_matching_many(
+        self,
+        compiled_batch: Sequence[list[tuple[int, int]] | None],
+        within: int,
+    ) -> list[int | None]:
+        """Per-conjunction hit bitsets for a compiled batch, in one pass.
+
+        Equivalent to ``[rows_matching(c, within) for c in batch]`` with
+        None propagated for uncompilable entries, but every distinct
+        ``(parameter, allowed-mask)`` literal touches the columns once
+        via the shared :meth:`match_rows` table.
+        """
+        results: list[int | None] = []
+        for compiled in compiled_batch:
+            if compiled is None:
+                results.append(None)
+                continue
+            rows = within
+            for index, allowed in compiled:
+                if not rows:
+                    break
+                rows &= self.match_rows(index, allowed)
+            results.append(rows)
+        return results
+
+    def load_codes(self, codes: Sequence[Sequence[int]]) -> None:
+        """Seed a fresh store from pre-encoded rows (zero encode calls).
+
+        ``codes`` must hold one in-range code tuple per *distinct*
+        history instance, in first-execution order -- exactly what
+        :meth:`sync` would have produced by encoding.  Persistence uses
+        this to hydrate a store straight from schema-v3 encoded-row
+        tables.  Raises ValueError for a non-fresh store or malformed
+        codes (callers fall back to the encoding path).
+        """
+        if self.n_rows or self._synced or self.degraded:
+            raise ValueError("load_codes requires a fresh, unsynced store")
+        count = self.history.distinct_count
+        if len(codes) != count:
+            raise ValueError(
+                f"expected {count} encoded rows, got {len(codes)}"
+            )
+        sizes = self.codec.domain_sizes
+        value_rows = self.value_rows
+        for (instance, outcome), row in zip(
+            self.history.distinct_since(0), codes
+        ):
+            row_codes = tuple(row)
+            if len(row_codes) != self.codec.n_params or any(
+                not 0 <= code < sizes[i] for i, code in enumerate(row_codes)
+            ):
+                raise ValueError(f"malformed encoded row {row_codes!r}")
+            bit = 1 << self.n_rows
+            for index, code in enumerate(row_codes):
+                value_rows[index][code] |= bit
+            if outcome is Outcome.FAIL:
+                self.fail_mask |= bit
+            self.all_mask |= bit
+            self.rows.append(instance)
+            self.row_codes.append(row_codes)
+            self.n_rows += 1
+        self._synced = count
 
     def materialize(self, rows_mask: int) -> list[Instance]:
         """The instances of the rows in ``rows_mask``, in row order."""
@@ -522,57 +681,186 @@ class ColumnarEngine:
     code masks, which the DDT loop queries repeatedly for the same
     suspects.  Every method degrades gracefully to the dict-based
     reference implementation when a query cannot be compiled, so
-    results are always identical to the reference path.
+    results are always identical to the reference path; every such
+    degradation increments the visible :attr:`fallbacks` counter so
+    tests can assert the fast path actually served a run.
+
+    Args:
+        use_match_cache: route single-conjunction queries through the
+            store's shared :meth:`ColumnarStore.match_rows` tables (the
+            batch layer).  Off reproduces the uncached per-call
+            OR-accumulation of the pre-batch engine exactly, which the
+            batch benchmark uses as its baseline.
     """
 
-    def __init__(self, space: ParameterSpace, history, session=None):
+    def __init__(
+        self,
+        space: ParameterSpace,
+        history,
+        session=None,
+        use_match_cache: bool = True,
+    ):
         self.space = space
         self.history = history
         self._session = session
         self._codec = SpaceCodec(space)
+        self._use_match_cache = use_match_cache
         self._compiled: dict[Conjunction, list[tuple[int, int]] | None] = {}
+        self._predicate_masks: dict[Predicate, object] = {}
         self._canonical: dict[Conjunction, dict[int, int]] = {}
+        # Pairwise subsumption memo for the batch entry points.
+        # Subsumption is a pure function of the two conjunctions and the
+        # space (never of the history), and the DDT round filter asks
+        # about mostly the same confirmed x suspect grid every round --
+        # so verdicts are cached for the engine's lifetime.  Conjunctions
+        # are interned to small integer ids first: the per-pair memo key
+        # is then an int pair, so a cache hit never re-runs the
+        # predicate-set equality a conjunction-keyed lookup would pay.
+        self._conjunction_ids: dict[Conjunction, int] = {}
+        self._subsume_cache: dict[tuple[int, int], bool] = {}
+        # Per-candidate screening progress: candidate id -> the id
+        # prefix of a generals sequence already known not to subsume it.
+        # The DDT round filter re-screens every surviving suspect
+        # against an append-only confirmed list each round; the prefix
+        # check turns those re-screens into one tuple compare.
+        self._unsubsumed_prefix: dict[int, tuple[int, ...]] = {}
+        # Visible instrumentation: reference-path degradations and
+        # compiled-conjunction memo traffic.  ``fallbacks`` counts every
+        # query answered by a dict-based reference implementation;
+        # a clean columnar run must end with it at zero (tests and the
+        # batch benchmark assert this), so silent degradations fail CI.
+        self.fallbacks = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
 
     @classmethod
-    def for_session(cls, session) -> "ColumnarEngine":
-        return cls(session.space, session.history, session=session)
+    def for_session(cls, session, use_match_cache: bool = True) -> "ColumnarEngine":
+        return cls(
+            session.space,
+            session.history,
+            session=session,
+            use_match_cache=use_match_cache,
+        )
 
     def _store(self) -> ColumnarStore:
         if self._session is not None:
             return self._session.columnar_store()
         return self.history.columnar_store(self.space)
 
+    def stats(self) -> dict[str, int]:
+        """Instrumentation snapshot: fallbacks and cache traffic."""
+        store = self._store()
+        return {
+            "fallbacks": self.fallbacks,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "match_hits": store.match_hits,
+            "match_misses": store.match_misses,
+        }
+
     def _compiled_for(self, conjunction: Conjunction):
+        """The conjunction's compiled mask list, memoized.
+
+        Compiled masks are a pure function of the conjunction and the
+        space's code tables (never of the history), so entries stay
+        valid for the engine's lifetime; the shared per-predicate
+        literal table makes a first compile of a conjunction whose
+        literals were already seen O(#predicates) dict lookups.
+        """
         try:
-            return self._compiled[conjunction]
+            compiled = self._compiled[conjunction]
         except KeyError:
-            compiled = compile_conjunction(conjunction, self._codec)
+            self.compile_misses += 1
+            compiled = compile_conjunction(
+                conjunction, self._codec, self._predicate_masks
+            )
             self._compiled[conjunction] = compiled
             return compiled
+        self.compile_hits += 1
+        return compiled
+
+    def _rows_matching(
+        self, store: ColumnarStore, compiled: list[tuple[int, int]], within: int
+    ) -> int:
+        """One conjunction's hit bitset, through the match tables when on."""
+        if not self._use_match_cache:
+            return store.rows_matching(compiled, within)
+        rows = within
+        for index, allowed in compiled:
+            if not rows:
+                break
+            rows &= store.match_rows(index, allowed)
+        return rows
 
     # -- History queries ----------------------------------------------------
     def refutes(self, conjunction: Conjunction) -> bool:
         """Identical to :meth:`ExecutionHistory.refutes`, bitset-fast."""
         store = self._store()
         if store.degraded:
+            self.fallbacks += 1
             return self.history.refutes(conjunction)
         compiled = self._compiled_for(conjunction)
         if compiled is None:
+            self.fallbacks += 1
             return self.history.refutes(conjunction)
-        return store.rows_matching(compiled, store.succeed_mask) != 0
+        return self._rows_matching(store, compiled, store.succeed_mask) != 0
 
     def supports(self, conjunction: Conjunction) -> bool:
         """Identical to :meth:`ExecutionHistory.supports`, bitset-fast."""
         store = self._store()
         if store.degraded:
+            self.fallbacks += 1
             return self.history.supports(conjunction)
         compiled = self._compiled_for(conjunction)
         if compiled is None:
+            self.fallbacks += 1
             return self.history.supports(conjunction)
-        return store.rows_matching(compiled, store.fail_mask) != 0
+        return self._rows_matching(store, compiled, store.fail_mask) != 0
 
     def is_hypothetical_root_cause(self, conjunction: Conjunction) -> bool:
         return self.supports(conjunction) and not self.refutes(conjunction)
+
+    # -- Batch history queries ------------------------------------------------
+    def _screen_many(
+        self, conjunctions: Sequence[Conjunction], against: str
+    ) -> list[bool]:
+        """Shared refutes_many/supports_many body; ``against`` picks the
+        outcome bitset the compiled batch is intersected with."""
+        store = self._store()
+        reference = (
+            self.history.refutes if against == "succeed" else self.history.supports
+        )
+        if store.degraded:
+            self.fallbacks += len(conjunctions)
+            return [reference(c) for c in conjunctions]
+        within = store.succeed_mask if against == "succeed" else store.fail_mask
+        results: list[bool] = []
+        for conjunction in conjunctions:
+            compiled = self._compiled_for(conjunction)
+            if compiled is None:
+                # Per-item degradation: the rest of the batch stays on
+                # the compiled path (reference answers are identical).
+                self.fallbacks += 1
+                results.append(reference(conjunction))
+            else:
+                results.append(
+                    self._rows_matching(store, compiled, within) != 0
+                )
+        return results
+
+    def refutes_many(self, conjunctions: Sequence[Conjunction]) -> list[bool]:
+        """``[refutes(c) for c in conjunctions]`` in one store pass.
+
+        Conjunctions sharing literals share one match-table entry; the
+        per-conjunction work is then a couple of ANDs.  Order and
+        per-item fallback semantics (including exceptions the reference
+        path would raise) match the scalar calls exactly.
+        """
+        return self._screen_many(list(conjunctions), "succeed")
+
+    def supports_many(self, conjunctions: Sequence[Conjunction]) -> list[bool]:
+        """``[supports(c) for c in conjunctions]`` in one store pass."""
+        return self._screen_many(list(conjunctions), "fail")
 
     # -- Canonical forms and subsumption -------------------------------------
     def canonical_masks(self, conjunction: Conjunction) -> dict[int, int]:
@@ -609,15 +897,18 @@ class ColumnarEngine:
         self._canonical[conjunction] = result
         return result
 
-    def subsumes(self, general: Conjunction, specific: Conjunction) -> bool:
-        """Identical to :meth:`Conjunction.subsumes` over this space."""
+    def _canonical_or_none(self, conjunction: Conjunction):
+        """Canonical masks, or None when only the reference path can
+        answer (ValueError -- the reference's own error -- propagates)."""
         try:
-            mine = self.canonical_masks(general)
-            theirs = self.canonical_masks(specific)
+            return self.canonical_masks(conjunction)
         except ValueError:
             raise
         except Exception:
-            return general.subsumes(specific, self.space)
+            return None
+
+    def _masks_subsume(self, mine: dict[int, int], theirs: dict[int, int]) -> bool:
+        """Subsumption on canonical masks (the compiled Definition)."""
         if any(mask == 0 for mask in theirs.values()):
             return True
         full = self._codec.full_masks
@@ -627,6 +918,164 @@ class ColumnarEngine:
                 return False
         return True
 
+    def subsumes(self, general: Conjunction, specific: Conjunction) -> bool:
+        """Identical to :meth:`Conjunction.subsumes` over this space."""
+        mine = self._canonical_or_none(general)
+        theirs = self._canonical_or_none(specific)
+        if mine is None or theirs is None:
+            self.fallbacks += 1
+            return general.subsumes(specific, self.space)
+        return self._masks_subsume(mine, theirs)
+
+    def subsumes_matrix(
+        self,
+        generals: Sequence[Conjunction],
+        specifics: Sequence[Conjunction],
+    ) -> list[list[bool]]:
+        """``matrix[i][j] = subsumes(generals[i], specifics[j])``.
+
+        Canonical masks are computed once per distinct conjunction for
+        the whole matrix (they are memoized on the engine anyway, so
+        repeated matrices across rounds reuse them); each cell is then
+        a handful of mask comparisons.  Per-cell fallback semantics
+        match the scalar call.
+        """
+        general_masks = [self._canonical_or_none(g) for g in generals]
+        specific_masks = [self._canonical_or_none(s) for s in specifics]
+        general_ids = [self._conjunction_id(g) for g in generals]
+        specific_ids = [self._conjunction_id(s) for s in specifics]
+        cache = self._subsume_cache
+        matrix: list[list[bool]] = []
+        for general, mine, gid in zip(generals, general_masks, general_ids):
+            row: list[bool] = []
+            for specific, theirs, sid in zip(
+                specifics, specific_masks, specific_ids
+            ):
+                key = (gid, sid)
+                verdict = cache.get(key)
+                if verdict is None:
+                    if mine is None or theirs is None:
+                        self.fallbacks += 1
+                        verdict = general.subsumes(specific, self.space)
+                    else:
+                        verdict = self._masks_subsume(mine, theirs)
+                    cache[key] = verdict
+                row.append(verdict)
+            matrix.append(row)
+        return matrix
+
+    def _conjunction_id(self, conjunction: Conjunction) -> int:
+        """Small interned id for a conjunction (by value equality)."""
+        ids = self._conjunction_ids
+        interned = ids.get(conjunction)
+        if interned is None:
+            interned = len(ids)
+            ids[conjunction] = interned
+        return interned
+
+    def subsumed_by_any(
+        self,
+        generals: Sequence[Conjunction],
+        candidates: Sequence[Conjunction],
+    ) -> list[bool]:
+        """``[any(subsumes(g, c) for g in generals) for c in candidates]``.
+
+        The DDT round filter: canonical masks are resolved once per
+        distinct conjunction for the whole grid, and each candidate's
+        scan short-circuits on the first subsuming general, exactly like
+        the scalar ``any``.
+        """
+        unresolved = _UNCOMPILABLE  # reuse the module sentinel
+        general_ids = tuple(self._conjunction_id(g) for g in generals)
+        general_masks: list = [unresolved] * len(generals)
+        cache = self._subsume_cache
+        progress = self._unsubsumed_prefix
+        results: list[bool] = []
+        for candidate in candidates:
+            cid = self._conjunction_id(candidate)
+            start = 0
+            prior = progress.get(cid)
+            if prior is not None and general_ids[: len(prior)] == prior:
+                # Every general in the prior prefix is already known not
+                # to subsume this candidate; resume after it.
+                start = len(prior)
+            theirs = unresolved
+            covered = False
+            position = len(generals)
+            for position in range(start, len(generals)):
+                key = (general_ids[position], cid)
+                covered = cache.get(key)
+                if covered is None:
+                    if theirs is unresolved:
+                        theirs = self._canonical_or_none(candidate)
+                    mine = general_masks[position]
+                    if mine is unresolved:
+                        mine = general_masks[position] = self._canonical_or_none(
+                            generals[position]
+                        )
+                    if mine is None or theirs is None:
+                        self.fallbacks += 1
+                        covered = generals[position].subsumes(
+                            candidate, self.space
+                        )
+                    else:
+                        covered = self._masks_subsume(mine, theirs)
+                    cache[key] = covered
+                if covered:
+                    break
+            if covered:
+                # The prefix before the subsuming general stays valid.
+                progress[cid] = general_ids[:position]
+                results.append(True)
+            else:
+                progress[cid] = general_ids
+                results.append(False)
+        return results
+
+    def satisfying_value_lists(
+        self, conjunction: Conjunction
+    ) -> tuple[bool, list[tuple[str, list]] | None] | None:
+        """Compiled analogue of the suspect-sampling canonical scan.
+
+        Returns ``(satisfiable, per_parameter)`` where ``per_parameter``
+        lists every space parameter with its repr-sorted satisfying
+        values -- exactly what the DDT variation sampler derives from
+        :meth:`Conjunction.canonical` -- or ``(False, None)`` for an
+        unsatisfiable conjunction.  Returns None (caller must use the
+        reference scan) when a constrained parameter's domain has
+        duplicate value reprs, because then the reference's
+        ``sorted(frozenset, key=repr)`` tie order cannot be reproduced
+        from codes.  ValueError propagates exactly like the reference.
+        """
+        masks = self._canonical_or_none(conjunction)
+        if masks is None:
+            self.fallbacks += 1
+            return None
+        codec = self._codec
+        per_parameter: list[tuple[str, list]] = []
+        for index, name in enumerate(codec.names):
+            parameter = codec.parameters[index]
+            mask = masks.get(index)
+            if mask is None:
+                per_parameter.append((name, list(parameter.domain)))
+                continue
+            if mask == 0:
+                return (False, None)
+            if not codec.unique_reprs[index]:
+                self.fallbacks += 1
+                return None
+            per_parameter.append(
+                (
+                    name,
+                    [
+                        parameter.domain[code]
+                        for code in codec.repr_orders[index]
+                        if mask >> code & 1
+                    ],
+                )
+            )
+        return (True, per_parameter)
+
     # -- History scans (Shortcut / Stacked Shortcut support) ------------------
     def _scannable_codes(self, failing: Instance):
         """(store, lenient codes) when the bitset path can serve a scan
@@ -634,8 +1083,12 @@ class ColumnarEngine:
         """
         store = self._store()
         if store.degraded:
+            self.fallbacks += 1
             return store, None
-        return store, store.codec.encode_lenient(failing)
+        codes = store.codec.encode_lenient(failing)
+        if codes is None:
+            self.fallbacks += 1
+        return store, codes
 
     def disjoint_successes(self, failing: Instance) -> list[Instance]:
         """Identical to :meth:`ExecutionHistory.disjoint_successes`.
@@ -688,19 +1141,28 @@ class ColumnarEngine:
         """
         store = self._store()
         if store.degraded:
+            self.fallbacks += 1
             return self.history.success_superset_of(assignment)
         codec = store.codec
+        use_cache = self._use_match_cache
         rows = store.succeed_mask
         for name, value in assignment.items():
             index = codec.index_of_name.get(name)
             if index is None:
                 # A name outside the space: the reference loop may raise
                 # KeyError (order-dependent); replay it exactly.
+                self.fallbacks += 1
                 return self.history.success_superset_of(assignment)
             code = codec.parameters[index].code_of(value)
             if code is None:
                 return False  # out-of-domain value matches no store row
-            rows &= store.value_rows[index][code]
+            if use_cache:
+                # Ride the batch layer's shared match tables: the same
+                # (parameter, value) literal queried by any compiled
+                # conjunction reuses this row bitset and vice versa.
+                rows &= store.match_rows(index, 1 << code)
+            else:
+                rows &= store.value_rows[index][code]
             if not rows:
                 return False
         return rows != 0
@@ -713,6 +1175,7 @@ class ColumnarEngine:
         """
         store = self._store()
         if store.degraded:
+            self.fallbacks += 1
             return None
         root = store.builder(max_depth).tree()
         return DebuggingTree.from_root(self.space, root, store.n_rows)

@@ -190,6 +190,24 @@ class ExecutionHistory:
         store.sync()
         return store
 
+    def columnar_store_from_codes(self, space: ParameterSpace, codes):
+        """Adopt a columnar store seeded from pre-encoded rows.
+
+        ``codes`` holds one code tuple per distinct instance, in
+        first-execution order (what a schema-v3 provenance store
+        persists).  The store is populated without a single
+        ``SpaceCodec.encode`` call and becomes this history's
+        incremental store, so later appends extend it normally.
+        Raises ValueError for malformed codes (callers fall back to
+        the encoding path via :meth:`columnar_store`).
+        """
+        from .engine import ColumnarStore  # lazy: avoid import cycle
+
+        store = ColumnarStore(self, space)
+        store.load_codes(codes)
+        self._columnar_store = store
+        return store
+
     # -- Queries used by the debugging algorithms ----------------------------
     def successes_satisfying(self, conjunction: Conjunction) -> list[Instance]:
         """Succeeding instances whose assignment satisfies ``conjunction``."""

@@ -158,41 +158,67 @@ def minimize_boolean(
 
     # Stage 2: essential primes, then greedy cover of the rest.  Primes
     # are kept in the reference tuple order so tie-breaks are stable.
+    # The chart is held as *coverage bitmasks* -- one bit per required
+    # minterm (ascending order), one mask per prime -- so the essential
+    # scan, the greedy count, and redundancy elimination are popcounts
+    # and ANDs over the whole batch instead of per-minterm set scans.
     ordered_primes = sorted(primes, key=lambda p: _pair_sort_key(p, n_vars))
-    uncovered = set(minterm_set)
-    chart: dict[int, list[tuple[int, int]]] = {
-        m: [p for p in ordered_primes if (m & p[1]) == p[0]] for m in uncovered
-    }
+    minterm_list = sorted(minterm_set)
+    cover: dict[tuple[int, int], int] = {}
+    for prime in ordered_primes:
+        bits, mask = prime
+        coverage = 0
+        for position, m in enumerate(minterm_list):
+            if (m & mask) == bits:
+                coverage |= 1 << position
+        cover[prime] = coverage
+    full_cover = (1 << len(minterm_list)) - 1
+
+    # Essential primes: minterms covered by exactly one prime, scanned
+    # in ascending minterm order (the reference chart order).
+    covered_once = 0
+    covered_multi = 0
+    for prime in ordered_primes:
+        coverage = cover[prime]
+        covered_multi |= covered_once & coverage
+        covered_once |= coverage
+    essential_positions = covered_once & ~covered_multi
     chosen: list[tuple[int, int]] = []
-    for m, covering in sorted(chart.items()):
-        if len(covering) == 1 and covering[0] not in chosen:
-            chosen.append(covering[0])
-    for bits, mask in chosen:
-        uncovered -= {m for m in uncovered if (m & mask) == bits}
+    remaining = essential_positions
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        only = next(p for p in ordered_primes if cover[p] & low)
+        if only not in chosen:
+            chosen.append(only)
+    uncovered = full_cover
+    for prime in chosen:
+        uncovered &= ~cover[prime]
     remaining_primes = [p for p in ordered_primes if p not in chosen]
     while uncovered:
         best = max(
             remaining_primes,
             key=lambda p: (
-                sum(1 for m in uncovered if (m & p[1]) == p[0]),
+                (cover[p] & uncovered).bit_count(),
                 n_vars - p[1].bit_count(),  # number of don't-care positions
             ),
         )
-        covered_now = {m for m in uncovered if (m & best[1]) == best[0]}
+        covered_now = cover[best] & uncovered
         if not covered_now:  # pragma: no cover - defensive; cannot happen
             raise RuntimeError("prime implicant chart cannot be covered")
         chosen.append(best)
         remaining_primes.remove(best)
-        uncovered -= covered_now
+        uncovered &= ~covered_now
 
     # Redundancy elimination: a greedy pick can be made obsolete by
     # later picks; drop any implicant whose minterms the rest still
     # cover (latest picks are reconsidered first).
     for candidate in list(reversed(chosen)):
         rest = [p for p in chosen if p != candidate]
-        if all(
-            any((m & mask) == bits for bits, mask in rest) for m in minterm_set
-        ):
+        rest_cover = 0
+        for prime in rest:
+            rest_cover |= cover[prime]
+        if rest_cover & full_cover == full_cover:
             chosen = rest
     return [_pair_to_tuple(bits, mask, n_vars) for bits, mask in chosen]
 
@@ -340,9 +366,73 @@ def _remove_redundant(boxes: list[_IntBox], codec: _BoxCodec) -> list[_IntBox]:
     return result
 
 
+# Fragment budget for the subtraction-based coverage check: past this
+# many residual boxes the instance-enumeration scan (bounded by the
+# caller's ``limit``) is cheaper, so we fall back to it.
+_FRAGMENT_LIMIT = 2048
+
+
+def _box_subtract(
+    fragment: _IntBox, other: _IntBox, codec: _BoxCodec
+) -> list[_IntBox]:
+    """Exact set difference ``fragment \\ other`` as disjoint boxes.
+
+    The standard hyper-rectangle split: walk the parameters in space
+    order, peeling off the part of ``fragment`` that lies outside
+    ``other`` on that axis while narrowing the remainder to the
+    overlap.  At most one piece per parameter; pieces are pairwise
+    disjoint and their union is exactly the difference.
+    """
+    full = codec.full
+    for name in fragment.keys() | other.keys():
+        if fragment.get(name, full[name]) & other.get(name, full[name]) == 0:
+            return [fragment]  # disjoint: nothing to remove
+    pieces: list[_IntBox] = []
+    core = dict(fragment)
+    for name in codec.names:
+        fragment_mask = core.get(name, full[name])
+        other_mask = other.get(name, full[name])
+        outside = fragment_mask & ~other_mask
+        if outside:
+            piece = dict(core)
+            if outside == full[name]:  # pragma: no cover - outside < mask <= full
+                piece.pop(name, None)
+            else:
+                piece[name] = outside
+            pieces.append(piece)
+            core[name] = fragment_mask & other_mask
+    return pieces
+
+
 def _box_covered_by_union(
     box: _IntBox, others: Sequence[_IntBox], codec: _BoxCodec
 ) -> bool:
+    """True when the union of ``others`` contains every instance of ``box``.
+
+    Batched subtraction instead of instance enumeration: ``box`` is
+    covered iff subtracting every other box leaves nothing.  Each step
+    is a few mask operations per parameter, independent of how many
+    instances the boxes span; should the residual fragment set blow up
+    (adversarial overlaps), the bounded enumeration scan takes over
+    with identical results.
+    """
+    fragments: list[_IntBox] = [box]
+    for other in others:
+        next_fragments: list[_IntBox] = []
+        for fragment in fragments:
+            next_fragments.extend(_box_subtract(fragment, other, codec))
+            if len(next_fragments) > _FRAGMENT_LIMIT:
+                return _box_covered_by_union_scan(box, others, codec)
+        fragments = next_fragments
+        if not fragments:
+            return True
+    return not fragments
+
+
+def _box_covered_by_union_scan(
+    box: _IntBox, others: Sequence[_IntBox], codec: _BoxCodec
+) -> bool:
+    """Reference coverage check: enumerate the box's instances."""
     names = codec.names
     code_lists = []
     for name in names:

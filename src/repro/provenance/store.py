@@ -22,6 +22,7 @@ from collections.abc import Iterable, Iterator
 from ..core.history import ExecutionHistory
 from ..core.predicates import Conjunction
 from ..core.types import (
+    Evaluation,
     Instance,
     Outcome,
     Parameter,
@@ -212,7 +213,7 @@ class InMemoryProvenanceStore(ProvenanceStore):
 class SQLiteProvenanceStore(ProvenanceStore):
     """SQLite-backed store; pass ``":memory:"`` for an ephemeral database.
 
-    Schema (``PRAGMA user_version`` = 2)::
+    Schema (``PRAGMA user_version`` = 3)::
 
         runs(id INTEGER PRIMARY KEY, workflow TEXT, outcome TEXT,
              result TEXT, cost REAL, created_at REAL, instance_key TEXT)
@@ -223,6 +224,8 @@ class SQLiteProvenanceStore(ProvenanceStore):
         codec_parameters(space_key TEXT, position INTEGER, name TEXT,
                          kind TEXT, domain TEXT,
                          PRIMARY KEY (space_key, position))
+        encoded_runs(run_id INTEGER, space_key TEXT, codes TEXT,
+                     PRIMARY KEY (run_id, space_key))
 
     ``bindings`` holds one row per parameter-value pair, making
     parameter-level SQL analysis possible (``GROUP BY name, value``),
@@ -240,13 +243,24 @@ class SQLiteProvenanceStore(ProvenanceStore):
     object per store (see :meth:`save_space` / :meth:`load_space` /
     :meth:`hydrate`).
 
+    ``encoded_runs`` (schema v3) stores each run's instance as the JSON
+    list of its per-parameter *value codes* under a saved space -- the
+    exact integer tuple :meth:`~repro.core.engine.SpaceCodec.encode`
+    produces.  :meth:`hydrate` then rebuilds history instances straight
+    from code tuples (one domain lookup per parameter, no per-binding
+    JSON decode) and seeds the columnar store via
+    :meth:`~repro.core.engine.ColumnarStore.load_codes` with **zero**
+    encode calls; the first hydration of a database without encoded
+    rows computes and persists them (:meth:`save_encoded_rows`).
+
     Migrations run in place at connection time: pre-service databases
     gain the ``instance_key`` column + backfill (v1), pre-codec
-    databases gain the codec tables (v2); ``user_version`` records the
-    result so future migrations know where to start.
+    databases gain the codec tables (v2), pre-batch databases gain the
+    encoded-row table (v3); ``user_version`` records the result so
+    future migrations know where to start.
     """
 
-    SCHEMA_VERSION = 2
+    SCHEMA_VERSION = 3
 
     def __init__(self, path: str = ":memory:"):
         self._connection = sqlite3.connect(path, check_same_thread=False)
@@ -290,6 +304,13 @@ class SQLiteProvenanceStore(ProvenanceStore):
                     kind TEXT NOT NULL,
                     domain TEXT NOT NULL,
                     PRIMARY KEY (space_key, position)
+                );
+                CREATE TABLE IF NOT EXISTS encoded_runs (
+                    run_id INTEGER NOT NULL REFERENCES runs(id),
+                    space_key TEXT NOT NULL
+                        REFERENCES codec_spaces(space_key),
+                    codes TEXT NOT NULL,
+                    PRIMARY KEY (run_id, space_key)
                 );
                 """
             )
@@ -446,6 +467,138 @@ class SQLiteProvenanceStore(ProvenanceStore):
             ).fetchall()
         return [key for (key,) in rows]
 
+    # -- Encoded rows (schema v3) ---------------------------------------------
+    def save_encoded_rows(
+        self, workflow: str | None, space: ParameterSpace
+    ) -> int:
+        """Persist per-run encoded code tuples for ``space``; returns the
+        number of rows newly encoded.
+
+        Idempotent and incremental: only runs lacking an ``encoded_runs``
+        entry for this space are encoded.  Runs the codec cannot encode
+        (out-of-domain values, foreign parameter sets) are left without
+        an entry, which keeps :meth:`hydrate` on the decode path for
+        that workflow -- exactly the rows that would degrade the
+        columnar store anyway.
+        """
+        from ..core.engine import SpaceCodec  # lazy: keep module load light
+
+        key = self.save_space(space)
+        where = "" if workflow is None else " AND r.workflow = ?"
+        args: tuple = (key,) if workflow is None else (key, workflow)
+        with self._lock:
+            pending = self._connection.execute(
+                "SELECT r.id FROM runs r"
+                " LEFT JOIN encoded_runs e"
+                "   ON e.run_id = r.id AND e.space_key = ?"
+                f" WHERE e.run_id IS NULL{where} ORDER BY r.id",
+                args,
+            ).fetchall()
+            if not pending:
+                return 0
+            # Fetch only the pending runs' bindings (same missing-entry
+            # join), so an incremental save over a large store reads
+            # rows proportional to the new runs, not the whole table.
+            bindings = self._connection.execute(
+                "SELECT b.run_id, b.name, b.value FROM bindings b"
+                " JOIN runs r ON r.id = b.run_id"
+                " LEFT JOIN encoded_runs e"
+                "   ON e.run_id = b.run_id AND e.space_key = ?"
+                f" WHERE e.run_id IS NULL{where}",
+                args,
+            ).fetchall()
+            by_run: dict[int, dict[str, Value]] = {}
+            for run_id, name, value in bindings:
+                by_run.setdefault(run_id, {})[name] = decode_value(value)
+            codec = SpaceCodec(space)
+            encoded_rows = []
+            for (run_id,) in pending:
+                codes = codec.encode(Instance(by_run.get(run_id, {})))
+                if codes is not None:
+                    encoded_rows.append((run_id, key, json.dumps(list(codes))))
+            if encoded_rows:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO encoded_runs"
+                    " (run_id, space_key, codes) VALUES (?, ?, ?)",
+                    encoded_rows,
+                )
+                self._connection.commit()
+            return len(encoded_rows)
+
+    #: Sentinel: stored encoded rows exist but are malformed (distinct
+    #: from plain incomplete coverage, which is the normal cold state).
+    _CORRUPT_CODES = object()
+
+    def _encoded_history(
+        self, workflow: str | None, key: str, space: ParameterSpace
+    ):
+        """(history, per-distinct-row codes) rebuilt purely from stored
+        code tuples; None when coverage is incomplete (some run has no
+        encoded row for ``key`` -- the normal cold state); the
+        :data:`_CORRUPT_CODES` sentinel when a stored row is malformed.
+
+        The instances are materialized by indexing the interned space's
+        domain tuples -- no per-binding JSON decode and no
+        ``SpaceCodec.encode`` call happens on this path.
+        """
+        where = "" if workflow is None else " WHERE r.workflow = ?"
+        args: tuple = (key,) if workflow is None else (key, workflow)
+        with self._lock:
+            (total,) = self._connection.execute(
+                "SELECT COUNT(*) FROM runs r" + where,
+                args[1:],
+            ).fetchone()
+            rows = self._connection.execute(
+                "SELECT r.outcome, r.result, r.cost, e.codes"
+                " FROM runs r JOIN encoded_runs e"
+                "   ON e.run_id = r.id AND e.space_key = ?"
+                f"{where} ORDER BY r.id",
+                args,
+            ).fetchall()
+        if len(rows) != total:
+            return None  # cold or partial coverage: use the decode path
+        names = space.names
+        domains = [parameter.domain for parameter in space.parameters]
+        history = ExecutionHistory()
+        distinct_codes: list[tuple[int, ...]] = []
+        try:
+            for outcome, result, cost, codes_json in rows:
+                codes = tuple(json.loads(codes_json))
+                instance = Instance(
+                    {
+                        name: domains[position][code]
+                        for position, (name, code) in enumerate(
+                            zip(names, codes, strict=True)
+                        )
+                    }
+                )
+                if history.outcome_of(instance) is None:
+                    history.append(
+                        Evaluation(
+                            instance=instance,
+                            outcome=Outcome(outcome),
+                            result=decode_value(result),
+                            cost=cost,
+                        )
+                    )
+                    distinct_codes.append(codes)
+        except (IndexError, TypeError, ValueError):
+            return self._CORRUPT_CODES  # malformed rows: decode + repair
+        return history, distinct_codes
+
+    def _delete_encoded_rows(self, workflow: str | None, key: str) -> None:
+        """Drop a workflow's encoded rows for ``key`` (corruption repair:
+        the next cold hydrate re-encodes and restores the warm path)."""
+        where = "" if workflow is None else " AND workflow = ?"
+        args: tuple = (key,) if workflow is None else (key, workflow)
+        with self._lock:
+            self._connection.execute(
+                "DELETE FROM encoded_runs WHERE space_key = ?"
+                f" AND run_id IN (SELECT id FROM runs WHERE 1=1{where})",
+                args,
+            )
+            self._connection.commit()
+
     def hydrate(
         self, workflow: str | None, space: ParameterSpace
     ) -> tuple[ParameterSpace, ExecutionHistory]:
@@ -454,17 +607,36 @@ class SQLiteProvenanceStore(ProvenanceStore):
 
         Persists/interns ``space`` (so the returned space is the
         registry object, shared by every later hydration of the same
-        tables), builds the workflow's :class:`ExecutionHistory`, and
-        syncs the history's columnar store against the interned space in
-        the same pass -- sessions built on the returned pair start with
-        the engine's bitsets already populated instead of re-encoding
-        the whole history on first query.
+        tables) and builds the workflow's :class:`ExecutionHistory`.
+        When every run has a stored encoded row for the space (schema
+        v3), both the instances and the columnar store's bitsets are
+        rebuilt straight from the code tuples -- zero per-binding JSON
+        decodes and zero ``SpaceCodec.encode`` calls.  Otherwise the
+        history is decoded from bindings, the encoded rows are written
+        through for next time, and the store is synced by encoding, as
+        before.  Either way, sessions built on the returned pair start
+        with the engine's bitsets already populated.
         """
         key = self.save_space(space)
         interned = self.load_space(key)
         assert interned is not None
-        history = self.to_history(workflow)
-        history.columnar_store(interned)
+        loaded = self._encoded_history(workflow, key, interned)
+        if loaded is self._CORRUPT_CODES:
+            loaded = None
+            self._delete_encoded_rows(workflow, key)  # heal the warm path
+        if loaded is not None:
+            history, distinct_codes = loaded
+            try:
+                history.columnar_store_from_codes(interned, distinct_codes)
+            except ValueError:
+                # Codes that decoded to instances but cannot seed the
+                # store are corrupt too: purge, rebuild by re-encoding.
+                loaded = None
+                self._delete_encoded_rows(workflow, key)
+        if loaded is None:
+            history = self.to_history(workflow)
+            self.save_encoded_rows(workflow, interned)
+            history.columnar_store(interned)
         return interned, history
 
     def add(self, record: ProvenanceRecord) -> ProvenanceRecord:

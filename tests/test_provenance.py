@@ -298,8 +298,8 @@ class TestPersistedCodecTables:
         )
 
     def test_schema_version_is_bumped(self, tmp_path):
-        store = SQLiteProvenanceStore(str(tmp_path / "v2.db"))
-        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 2
+        store = SQLiteProvenanceStore(str(tmp_path / "v3.db"))
+        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 3
         store.close()
 
     def test_save_load_roundtrip_and_interning(self, tmp_path):
@@ -338,6 +338,36 @@ class TestPersistedCodecTables:
         assert store.load_space("absent") is None
         store.close()
 
+    def test_hydrate_from_v2_database_backfills_encoded_rows(self, tmp_path):
+        """A database migrated from v2 has no encoded rows; the first
+        hydration decodes, writes the rows through, and the second one
+        serves from codes."""
+        path = str(tmp_path / "backfill.db")
+        space = self._space()
+        store = SQLiteProvenanceStore(path)
+        store.add(
+            ProvenanceRecord(
+                "wf", Instance({"a": 0.5, "b": "x", "flag": True}), Outcome.FAIL
+            )
+        )
+        # Rewind to a v2-shaped database: drop the encoded-row table.
+        with store._lock:  # noqa: SLF001 - test rewinds the schema state
+            store._connection.execute("DROP TABLE encoded_runs")
+            store._connection.execute("PRAGMA user_version = 2")
+            store._connection.commit()
+        store.close()
+
+        reopened = SQLiteProvenanceStore(path)
+        assert reopened.schema_version == 3  # migrated in place
+        interned, history = reopened.hydrate("wf", space)
+        assert len(history) == 1
+        with reopened._lock:  # noqa: SLF001 - verify the write-through
+            (count,) = reopened._connection.execute(
+                "SELECT COUNT(*) FROM encoded_runs"
+            ).fetchone()
+        assert count == 1
+        reopened.close()
+
     def test_hydrate_presyncs_columnar_store(self, tmp_path):
         path = str(tmp_path / "hydrate.db")
         space = self._space()
@@ -371,3 +401,155 @@ class TestPersistedCodecTables:
         interned_again, __ = warm.hydrate("wf", self._space())
         assert interned_again is interned
         warm.close()
+
+
+class TestEncodedRows:
+    """Schema v3: per-run encoded code tuples and zero-encode hydration."""
+
+    def _space(self):
+        from repro.core import Parameter, ParameterKind, ParameterSpace
+
+        return ParameterSpace(
+            [
+                Parameter("a", (0.5, 1.5, 2.5), ParameterKind.ORDINAL),
+                Parameter("b", ("x", "y", "z")),
+                Parameter("flag", (False, True)),
+            ]
+        )
+
+    def _populated(self, path, n=6, workflow="wf"):
+        import random
+
+        store = SQLiteProvenanceStore(path)
+        space = self._space()
+        rng = random.Random(7)
+        for index in range(n):
+            instance = space.random_instance(rng)
+            store.add(
+                ProvenanceRecord(
+                    workflow=workflow,
+                    instance=instance,
+                    outcome=Outcome.FAIL if index % 3 == 0 else Outcome.SUCCEED,
+                    result=0.1 * index,
+                    cost=float(index),
+                )
+            )
+        return store, space
+
+    def test_save_encoded_rows_idempotent_and_incremental(self, tmp_path):
+        store, space = self._populated(str(tmp_path / "enc.db"), n=4)
+        assert store.save_encoded_rows("wf", space) == 4
+        assert store.save_encoded_rows("wf", space) == 0  # nothing pending
+        store.add(
+            ProvenanceRecord(
+                "wf", Instance({"a": 0.5, "b": "z", "flag": False}), Outcome.FAIL
+            )
+        )
+        assert store.save_encoded_rows("wf", space) == 1  # only the new run
+        store.close()
+
+    def test_unencodable_rows_are_skipped(self, tmp_path):
+        store, space = self._populated(str(tmp_path / "skip.db"), n=2)
+        store.add(
+            ProvenanceRecord(
+                "wf", Instance({"a": 99.0, "b": "x", "flag": True}), Outcome.FAIL
+            )
+        )
+        assert store.save_encoded_rows("wf", space) == 2  # bad row skipped
+        # Partial coverage keeps hydrate on the decode path (and the
+        # columnar store degrades exactly as live encoding would).
+        interned, history = store.hydrate("wf", space)
+        assert len(history) == 3
+        assert history.columnar_store(interned).degraded
+        store.close()
+
+    def test_hydrate_from_codes_matches_reencoding(self, tmp_path):
+        path = str(tmp_path / "match.db")
+        store, space = self._populated(path, n=8)
+        cold_interned, cold_history = store.hydrate("wf", space)  # writes through
+        store.close()
+
+        warm = SQLiteProvenanceStore(path)
+        warm_interned, warm_history = warm.hydrate("wf", self._space())
+        assert [e.instance for e in warm_history] == [
+            e.instance for e in cold_history
+        ]
+        assert [e.outcome for e in warm_history] == [
+            e.outcome for e in cold_history
+        ]
+        assert [e.result for e in warm_history] == [
+            e.result for e in cold_history
+        ]
+        assert [e.cost for e in warm_history] == [e.cost for e in cold_history]
+        cold_store = cold_history.columnar_store(cold_interned)
+        warm_store = warm_history.columnar_store(warm_interned)
+        assert warm_store.row_codes == cold_store.row_codes
+        assert warm_store.fail_mask == cold_store.fail_mask
+        assert warm_store.all_mask == cold_store.all_mask
+        assert warm_store.value_rows == cold_store.value_rows
+        assert not warm_store.degraded
+        warm.close()
+
+    def test_warm_hydration_performs_zero_encode_calls(self, tmp_path, monkeypatch):
+        from repro.core.engine import SpaceCodec
+
+        path = str(tmp_path / "zero.db")
+        store, space = self._populated(path, n=6)
+        store.hydrate("wf", space)  # cold pass persists the encoded rows
+        store.close()
+
+        calls = {"encode": 0}
+        original = SpaceCodec.encode
+
+        def counting_encode(self, instance):
+            calls["encode"] += 1
+            return original(self, instance)
+
+        monkeypatch.setattr(SpaceCodec, "encode", counting_encode)
+        warm = SQLiteProvenanceStore(path)
+        interned, history = warm.hydrate("wf", self._space())
+        columnar = history.columnar_store(interned)
+        assert columnar.n_rows == len(history.instances) > 0
+        assert not columnar.degraded
+        assert calls["encode"] == 0  # the warm path never encodes
+        warm.close()
+
+    def test_hydrate_survives_and_repairs_corrupt_codes(self, tmp_path):
+        from repro.core.engine import SpaceCodec
+
+        path = str(tmp_path / "corrupt.db")
+        store, space = self._populated(path, n=3)
+        store.hydrate("wf", space)
+        with store._lock:  # noqa: SLF001 - simulate on-disk corruption
+            store._connection.execute(
+                "UPDATE encoded_runs SET codes = '[999, 999, 999]'"
+            )
+            store._connection.commit()
+        store.close()
+
+        reopened = SQLiteProvenanceStore(path)
+        interned, history = reopened.hydrate("wf", self._space())
+        assert len(history) == 3  # decode path took over
+        assert not history.columnar_store(interned).degraded
+        reopened.close()
+
+        # The corrupt rows were purged and re-encoded by the fallback
+        # hydrate, so the warm path is healed: a fresh connection
+        # hydrates from codes again (zero encode calls).
+        calls = {"encode": 0}
+        original = SpaceCodec.encode
+
+        def counting_encode(self, instance):
+            calls["encode"] += 1
+            return original(self, instance)
+
+        healed = SQLiteProvenanceStore(path)
+        try:
+            SpaceCodec.encode = counting_encode
+            interned, history = healed.hydrate("wf", self._space())
+        finally:
+            SpaceCodec.encode = original
+        assert len(history) == 3
+        assert not history.columnar_store(interned).degraded
+        assert calls["encode"] == 0
+        healed.close()
