@@ -12,6 +12,10 @@ executing new pipeline instances.  This package provides:
 * :mod:`repro.service` -- the concurrent debugging job service: a
   shared scheduler, a cross-session execution cache, and the
   :class:`~repro.service.DebugService` front end;
+* :mod:`repro.exec` -- the process-level execution subsystem: a warm,
+  elastic pool of spawn-safe pipeline worker processes
+  (:class:`~repro.exec.ProcessPool`) and the job progress event bus
+  (:class:`~repro.exec.EventBus`);
 * :mod:`repro.baselines` -- Data X-Ray, Explanation Tables, SMAC, and
   random search, reimplemented for comparison;
 * :mod:`repro.synth` -- the synthetic pipeline benchmark of Section 5.1;
@@ -36,6 +40,7 @@ from . import (
     baselines,
     core,
     eval,
+    exec,
     extensions,
     pipeline,
     provenance,
@@ -85,6 +90,7 @@ __all__ = [
     "baselines",
     "core",
     "eval",
+    "exec",
     "extensions",
     "pipeline",
     "provenance",

@@ -5,18 +5,24 @@ Usage (after ``pip install -e .``, which provides the ``repro`` script)::
     repro list
     repro debug gan --algorithm decision_trees --budget 200
     repro debug ml --algorithm shortcut --output json
+    repro debug ml --watch
     repro debug dbsherlock --anomaly cpu_saturation
     repro synth --scenario disjunction --pipelines 5
     repro serve ml gan --replicas 3 --workers 8 --output json
+    repro serve ml --events jsonl --backend process
 
 ``debug`` runs BugDoc on one of the Section 5.3 workloads and prints
 the asserted minimal definitive root causes next to the planted ground
 truth (``--output json`` emits the same report machine-readably for
-service clients).  ``synth`` generates a synthetic suite and reports
+service clients; ``--watch`` streams live progress events while the
+search runs).  ``synth`` generates a synthetic suite and reports
 FindOne metrics for the chosen algorithm.  ``serve`` runs a batch of
 debugging jobs concurrently on one :class:`~repro.service.DebugService`
 -- the shared scheduler and cross-job execution cache -- and reports
-per-job results plus service-level statistics.
+per-job results plus service-level statistics; ``--events jsonl``
+streams every job event as a JSON line while the batch runs, and
+``--backend process`` executes the pipelines on a
+:class:`~repro.exec.ProcessPool` of worker processes.
 """
 
 from __future__ import annotations
@@ -24,10 +30,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 
 from .core import Algorithm, BugDoc, DDTConfig, DebugSession
 from .eval import format_table, match_synthetic, score_find_one
+from .exec import EventBus, ExecutorSpec, ProcessPool
 from .service import DebugService, JobGoal, JobSpec
 from .synth import Scenario, make_suite
 from .workloads import data_polygamy, dbsherlock, gan_training, ml_pipeline
@@ -36,6 +44,13 @@ WORKLOADS = ("ml", "data_polygamy", "gan", "dbsherlock")
 # Workloads with executable simulators (dbsherlock is replay-only, so a
 # shared execution pool cannot create new instances for it).
 SERVE_WORKLOADS = ("ml", "data_polygamy", "gan")
+# Spawn-safe executor builders for --backend process (worker processes
+# rebuild the pipeline from these import paths).
+WORKLOAD_BUILDERS = {
+    "ml": "repro.workloads.ml_pipeline:make_executor",
+    "data_polygamy": "repro.workloads.data_polygamy:make_executor",
+    "gan": "repro.workloads.gan_training:make_executor",
+}
 
 
 def _algorithm(name: str) -> Algorithm:
@@ -101,23 +116,67 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _format_event(event, started: float) -> str:
+    """One human-readable progress line for ``repro debug --watch``."""
+    offset = event.timestamp - started
+    details = " ".join(f"{k}={v}" for k, v in event.payload.items())
+    return f"[{offset:7.2f}s] {event.kind:<18} {details}".rstrip()
+
+
 def cmd_debug(args) -> int:
     session, true_causes, label = _build_debug_target(args)
     if args.budget is not None and session.budget.limit is None:
         session.budget._limit = args.budget  # noqa: SLF001 - CLI convenience
     algorithm = _algorithm(args.algorithm)
     bugdoc = BugDoc(session=session, seed=args.seed)
-    started = time.perf_counter()
-    if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT):
-        report = bugdoc.find_one(algorithm)
-    else:
-        report = bugdoc.find_all(
+
+    def run_search():
+        if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT):
+            return bugdoc.find_one(algorithm)
+        return bugdoc.find_all(
             algorithm,
             ddt_config=DDTConfig(
                 find_all=True, tests_per_suspect=args.tests_per_suspect,
                 seed=args.seed,
             ),
         )
+
+    started = time.perf_counter()
+    wall_started = time.time()
+    if args.watch:
+        # Live progress: the search runs on a worker thread publishing
+        # to a local event bus; the main thread streams the events.
+        # With --output json the event lines go to stderr so stdout
+        # stays a single machine-readable document.
+        bus = EventBus()
+        session.progress = bus.publisher(label)
+        sink = sys.stderr if args.output == "json" else sys.stdout
+        box: dict[str, object] = {}
+
+        def worker() -> None:
+            try:
+                box["report"] = run_search()
+            except BaseException as error:
+                box["error"] = error
+            finally:
+                try:
+                    bus.publish(label, "finished", {}, close=True)
+                except Exception:
+                    pass
+
+        thread = threading.Thread(
+            target=worker, name="repro-debug-watch", daemon=True
+        )
+        thread.start()
+        for event in bus.events(label):
+            if not event.terminal:
+                print(_format_event(event, wall_started), file=sink, flush=True)
+        thread.join()
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        report = box["report"]
+    else:
+        report = run_search()
     elapsed = time.perf_counter() - started
 
     if args.output == "json":
@@ -169,10 +228,14 @@ def _serve_specs(workload: str, args) -> list[JobSpec]:
         if algorithm in (Algorithm.SHORTCUT, Algorithm.STACKED_SHORTCUT)
         else JobGoal.FIND_ALL
     )
+    executor_spec = None
+    if getattr(args, "backend", "inline") == "process":
+        executor_spec = ExecutorSpec.from_builder(WORKLOAD_BUILDERS[workload])
     return [
         JobSpec(
             job_id=f"{workload}-r{replica}",
             executor=executor,
+            executor_spec=executor_spec,
             space=space,
             workflow=workload,
             algorithm=algorithm,
@@ -209,27 +272,60 @@ def cmd_serve(args) -> int:
     specs = [
         spec for workload in workloads for spec in _serve_specs(workload, args)
     ]
+    pool = None
+    if args.backend == "process":
+        pool = ProcessPool(
+            max_workers=args.workers,
+            prewarm=min(2, args.workers),
+            store_path=args.store,
+        )
     started = time.perf_counter()
     try:
-        with DebugService(workers=args.workers, store=store) as service:
-            results = service.run_all(specs)
+        with DebugService(workers=args.workers, store=store, pool=pool) as service:
+            if args.events == "jsonl":
+                # Subscribe before submitting: the firehose has no
+                # replay, so the subscription must exist before the
+                # first event can fire.
+                stream = service.events.stream()
+                handles = [service.submit(spec) for spec in specs]
+                finished = 0
+                for event in stream:
+                    print(
+                        json.dumps(event.to_dict(), sort_keys=True),
+                        flush=True,
+                    )
+                    if event.kind == "finished":
+                        finished += 1
+                        if finished == len(handles):
+                            break
+                results = [handle.result() for handle in handles]
+            else:
+                results = service.run_all(specs)
             elapsed = time.perf_counter() - started
             cache_stats = service.cache.stats.snapshot()
             scheduler_stats = service.scheduler.stats_snapshot()
     finally:
+        if pool is not None:
+            pool.shutdown()
         if store is not None:
             store.close()
 
     if args.output == "json":
+        # Per-job entries carry their own wall_seconds and cache stats
+        # (requests / hits / executions), so the batch summary agrees
+        # with the per-job progress events instead of reporting only
+        # service-wide aggregates.
         print(
             json.dumps(
                 {
                     "jobs": [result.to_dict() for result in results],
                     "service": {
                         "workers": args.workers,
+                        "backend": args.backend,
                         "wall_seconds": elapsed,
                         "cache": cache_stats,
                         "scheduler": scheduler_stats,
+                        "pool": pool.stats() if pool is not None else None,
                     },
                 },
                 indent=2,
@@ -246,13 +342,16 @@ def cmd_serve(args) -> int:
             if result.report is not None and result.report.causes
             else "(none)",
             str(result.new_executions),
+            str(result.cache_stats.get("hits", 0))
+            if result.cache_stats
+            else "-",
             f"{result.wall_seconds:.2f}s",
         ]
         for result in results
     ]
     print(
         format_table(
-            ["job", "status", "causes", "executed", "wall"],
+            ["job", "status", "causes", "executed", "cache hits", "wall"],
             rows,
             title=f"DebugService: {len(results)} jobs, {args.workers} workers",
         )
@@ -350,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         help="report format (json is machine-readable for service clients)",
     )
+    debug.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream live progress events (rounds, confirmations, budget)"
+        " while the search runs; with --output json they go to stderr",
+    )
 
     serve = sub.add_parser(
         "serve", help="run a batch of debugging jobs on one shared service"
@@ -380,6 +485,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel-batches",
         action="store_true",
         help="fan each job's speculative batches out on the shared pool",
+    )
+    serve.add_argument(
+        "--backend",
+        default="inline",
+        choices=("inline", "process"),
+        help="where pipelines execute: in-process (inline) or on a pool"
+        " of worker processes sized to --workers (process)",
+    )
+    serve.add_argument(
+        "--events",
+        default="none",
+        choices=("none", "jsonl"),
+        help="stream every job progress event as a JSON line to stdout"
+        " while the batch runs",
     )
     serve.add_argument(
         "--output", default="text", choices=("text", "json")

@@ -137,6 +137,22 @@ class StrategyContext:
     def evaluate_many(self, instances: Sequence[Instance]):
         return self.session.evaluate_many(instances)
 
+    def emit(self, kind: str, **payload) -> None:
+        """Publish one progress event through the session's neutral hook.
+
+        A no-op without a ``session.progress`` subscriber, so strategies
+        emit unconditionally.  The hook's contract (see
+        :class:`~repro.core.session.DebugSession`) is that a raising
+        subscriber is the subscriber's bug; the session swallows its own
+        ``budget_spent`` failures, and we mirror that here.
+        """
+        progress = getattr(self.session, "progress", None)
+        if progress is not None:
+            try:
+                progress(kind, payload)
+            except Exception:
+                pass
+
     # -- Engine-selected history queries --------------------------------------
     def refutes(self, conjunction: Conjunction) -> bool:
         if self._engine is not None:
@@ -218,6 +234,25 @@ class StrategyContext:
             for candidate in candidates
             if not any(self.subsumes(g, candidate) for g in generals)
         ]
+
+    def any_satisfied(
+        self, conjunctions: Sequence[Conjunction], instance: Instance
+    ) -> bool:
+        """``any(c.satisfied_by(instance) for c in conjunctions)``.
+
+        The transpose of the row-matching batch: one instance screened
+        against many conjunctions.  The DDT FindAll convergence probe
+        (:func:`~repro.core.ddt._explore_complement`) asks this for
+        every sampled candidate against the whole confirmed-cause list;
+        the batch path answers from the engine's memoized compiled masks
+        (one integer test per constrained parameter) instead of
+        re-running every predicate per candidate.  Order of evaluation
+        and short-circuit semantics match the scalar expression exactly.
+        """
+        conjunctions = list(conjunctions)
+        if self._engine is not None and self.batch:
+            return self._engine.any_satisfied_by(conjunctions, instance)
+        return any(c.satisfied_by(instance) for c in conjunctions)
 
     def prune_to_minimal(
         self, conjunctions: Sequence[Conjunction]

@@ -256,6 +256,14 @@ def debugging_decision_trees(
             # where refutation is possible -- minimization candidates
             # and the final confirmed-cause filter).
             suspects = context.filter_unsubsumed(confirmed, suspects)
+            context.emit(
+                "round_started",
+                round=result.rounds,
+                tree_size=tree.size,
+                history=context.history.distinct_count,
+                suspects=len(suspects),
+                confirmed=len(confirmed),
+            )
             if not suspects:
                 if config.find_all and _explore_complement(
                     context, confirmed, config, rng
@@ -272,10 +280,16 @@ def debugging_decision_trees(
                             suspect, context, config, rng
                         )
                     confirmed.append(suspect)
+                    context.emit("suspect_confirmed", suspect=str(suspect))
+                    context.emit(
+                        "partial_causes",
+                        causes=[str(c) for c in confirmed],
+                    )
                     if not config.find_all:
                         raise _StopSearch
                 elif verdict is _Verdict.REFUTED:
                     refuted.add(suspect)
+                    context.emit("suspect_refuted", suspect=str(suspect))
                     any_refuted = True
                     break  # rebuild the tree with the refuting evidence
                 else:  # UNDECIDED (historical mode could not test)
@@ -323,6 +337,13 @@ def _explore_complement(
     found -- evidence of an undiscovered cause -- so the caller rebuilds
     the tree; False means the probe saw only successes (or could not
     run), which is the best available evidence of convergence.
+
+    The per-candidate "covered by a confirmed cause?" rejection test is
+    served by the context's :meth:`~repro.core.context.StrategyContext.any_satisfied`
+    batch seam -- the transpose of ``rows_matching_many``: one encoded
+    candidate probed against the whole confirmed list's memoized
+    compiled masks.  ``batch=False`` reproduces the original
+    per-predicate scan exactly (same answers either way).
     """
     if config.exploration_per_round <= 0:
         return False
@@ -341,7 +362,7 @@ def _explore_complement(
         candidate = space.random_instance(rng)
         if candidate in context.history:
             continue
-        if any(cause.satisfied_by(candidate) for cause in confirmed):
+        if context.any_satisfied(confirmed, candidate):
             continue
         try:
             outcome = context.evaluate(candidate)
@@ -351,6 +372,9 @@ def _explore_complement(
         if outcome is Outcome.FAIL:
             found_failure = True
             break
+    context.emit(
+        "exploration", probes=probes, found_failure=found_failure
+    )
     return found_failure
 
 

@@ -258,13 +258,17 @@ class ColumnarStore:
         self._synced = 0
         self._builders: dict[int | None, IncrementalTreeBuilder] = {}
         # Batch-evaluation match tables: (parameter_index, allowed_mask)
-        # -> bitset of rows whose code lies in the mask.  Valid for the
-        # generation (row count) they were computed at; append-only
-        # histories make the row count itself the generation counter.
+        # -> bitset of rows whose code lies in the mask.  Entries are
+        # *extended incrementally* when rows were appended since they
+        # were built (append-only histories make the row count the
+        # generation counter), so a growing history never invalidates
+        # the tables -- it only adds each new row's bit to the entries
+        # whose mask contains the row's code.
         self._match_cache: dict[tuple[int, int], int] = {}
         self._match_generation = 0
         self.match_hits = 0
         self.match_misses = 0
+        self.match_extensions = 0  # entries incrementally extended
 
     @property
     def succeed_mask(self) -> int:
@@ -311,19 +315,47 @@ class ColumnarStore:
             rows &= matched
         return rows
 
+    def _extend_match_tables(self) -> None:
+        """Bring every cached match table up to the current row count.
+
+        Append-only repair instead of invalidation: for each row
+        appended since the tables' generation, OR its bit into every
+        entry whose allowed mask contains the row's code.  Cost is
+        O(new_rows x cached_entries) single-bit tests -- in the DDT
+        inner loop (one refuting row per round) that is one test per
+        live literal, versus the full per-code column re-accumulation
+        the old generation-clearing forced on *every* table.
+        """
+        start = self._match_generation
+        self._match_generation = self.n_rows
+        if not self._match_cache or start == self.n_rows:
+            return
+        row_codes = self.row_codes
+        for key, rows in self._match_cache.items():
+            index, allowed = key
+            extra = 0
+            for row in range(start, self.n_rows):
+                if (allowed >> row_codes[row][index]) & 1:
+                    extra |= 1 << row
+            if extra:
+                self._match_cache[key] = rows | extra
+            self.match_extensions += 1
+
     def match_rows(self, index: int, allowed: int) -> int:
         """Bitset of rows whose ``index`` code lies in ``allowed`` (cached).
 
         This is the batch layer's shared *match table*: many compiled
         conjunctions reference the same ``(parameter, allowed-mask)``
         literal, and the OR-accumulation over the per-code columns is
-        done once per literal and history generation.  The table is
-        invalidated whenever rows were appended since it was built
-        (append-only histories make ``n_rows`` the generation counter).
+        done once per literal.  When rows were appended since a table
+        was built, the table is extended in place with the new rows'
+        bits (:meth:`_extend_match_tables`) rather than recomputed --
+        a lookup that found its entry still counts as a hit, keeping
+        the hit/miss stats aligned with the work actually avoided
+        (``match_extensions`` counts the incremental repairs).
         """
         if self._match_generation != self.n_rows:
-            self._match_cache.clear()
-            self._match_generation = self.n_rows
+            self._extend_match_tables()
         key = (index, allowed)
         matched = self._match_cache.get(key)
         if matched is not None:
@@ -756,6 +788,7 @@ class ColumnarEngine:
             "compile_misses": self.compile_misses,
             "match_hits": store.match_hits,
             "match_misses": store.match_misses,
+            "match_extensions": store.match_extensions,
         }
 
     def _compiled_for(self, conjunction: Conjunction):
@@ -861,6 +894,44 @@ class ColumnarEngine:
     def supports_many(self, conjunctions: Sequence[Conjunction]) -> list[bool]:
         """``[supports(c) for c in conjunctions]`` in one store pass."""
         return self._screen_many(list(conjunctions), "fail")
+
+    def any_satisfied_by(
+        self, conjunctions: Sequence[Conjunction], instance: Instance
+    ) -> bool:
+        """``any(c.satisfied_by(instance) for c in conjunctions)``.
+
+        The transpose of :meth:`ColumnarStore.rows_matching_many`: one
+        strictly-encoded instance is tested against many memoized
+        compiled conjunctions, each test a handful of mask bit probes.
+        The strict encode matters: a compiled conjunction drops
+        full-domain entries as "no constraint", which is only faithful
+        when every instance value is in-domain -- anything else (and any
+        uncompilable conjunction) falls back to the reference
+        ``satisfied_by`` per item.  Evaluation order and short-circuit
+        behavior (including any exception the reference path would
+        raise) match the scalar ``any`` exactly.
+        """
+        codes = self._codec.encode(instance)
+        for conjunction in conjunctions:
+            if codes is None:
+                self.fallbacks += 1
+                if conjunction.satisfied_by(instance):
+                    return True
+                continue
+            compiled = self._compiled_for(conjunction)
+            if compiled is None:
+                self.fallbacks += 1
+                if conjunction.satisfied_by(instance):
+                    return True
+                continue
+            satisfied = True
+            for index, allowed in compiled:
+                if not (allowed >> codes[index]) & 1:
+                    satisfied = False
+                    break
+            if satisfied:
+                return True
+        return False
 
     # -- Canonical forms and subsumption -------------------------------------
     def canonical_masks(self, conjunction: Conjunction) -> dict[int, int]:

@@ -87,6 +87,15 @@ class DebugSession:
         backend: optional :class:`ExecutionBackend` that ``evaluate_many``
             fans batches out to (e.g. the shared service scheduler).
             Without one, batches run serially inline.
+        progress: optional ``(kind, payload)`` callable -- the neutral
+            progress hook.  The session publishes ``budget_spent`` after
+            every *charged, completed* execution, and the strategies
+            publish their own events through it (via
+            :meth:`StrategyContext.emit`); the service layer plugs an
+            event bus in here without the core importing it.  The hook
+            is a plain mutable attribute, so callers may also attach it
+            after construction.  A raising hook is swallowed: progress
+            reporting must never corrupt accounting.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class DebugSession:
         budget: InstanceBudget | None = None,
         candidate_source=None,
         backend: ExecutionBackend | None = None,
+        progress=None,
     ):
         self._executor = executor
         self._space = space
@@ -106,6 +116,7 @@ class DebugSession:
         self._executions = 0
         self._backend = backend
         self.candidate_source = candidate_source
+        self.progress = progress
 
     # -- Accessors ---------------------------------------------------------
     @property
@@ -176,6 +187,24 @@ class DebugSession:
                 self._budget._spent -= 1  # noqa: SLF001 - deliberate refund
                 return self._history.outcome_of(instance)  # type: ignore[return-value]
             self._executions += 1
+            spent = self._budget.spent
+            executions = self._executions
+        progress = self.progress
+        if progress is not None:
+            # Snapshot taken under the lock (self-consistent); published
+            # outside it so a slow subscriber cannot stall evaluation.
+            # Exactly one budget_spent event per charged execution.
+            try:
+                progress(
+                    "budget_spent",
+                    {
+                        "spent": spent,
+                        "limit": self._budget.limit,
+                        "new_executions": executions,
+                    },
+                )
+            except Exception:
+                pass  # a broken progress sink must never fail the run
         return outcome
 
     def evaluate_many(self, instances: Sequence[Instance]) -> list[Outcome | None]:

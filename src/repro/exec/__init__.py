@@ -1,0 +1,54 @@
+"""Process-level execution subsystem (substrate S5): pools and events.
+
+Two gaps the thread-based service layer left open are closed here:
+
+* **CPU-bound pipelines gained nothing from threads** -- every run
+  executed in-process under the GIL, and one misbehaving pipeline
+  (a hang, an ``os._exit``) could stall or kill the whole service.
+  :mod:`~repro.exec.pool` ships pipeline configurations
+  (:class:`~repro.exec.spec.ExecutorSpec`, built on
+  :mod:`repro.pipeline.serialization`) to a warm, elastic pool of
+  spawn-safe worker *processes* with per-run timeouts, crash detection,
+  and worker replacement.  A dead or hung worker maps to a
+  deterministic failed run (or a bounded retry); the session's budget
+  accounting stays exactly the paper's because an uncompleted run is
+  refunded, never charged.
+
+* **Jobs were opaque until they finished.**  :mod:`~repro.exec.events`
+  provides the job event subsystem: sessions and strategies publish
+  typed progress events (round started, suspect confirmed, budget
+  spent, partial causes) on an :class:`~repro.exec.events.EventBus`,
+  surfaced as ``JobHandle.events()`` / ``JobHandle.progress()`` and as
+  ``repro serve --events jsonl`` / ``repro debug --watch``.
+
+Layering: ``exec/`` sits above ``core``/``concurrency``/``provenance``/
+``pipeline`` and below ``service`` (enforced by
+``tools/check_layering.py``); ``core`` reaches it only through the
+neutral ``DebugSession.progress`` callable.
+"""
+
+from .events import EventBus, EventKind, JobEvent
+from .pool import (
+    PoolShutDown,
+    ProcessExecutor,
+    ProcessPool,
+    ProcessPoolBackend,
+    RemoteRunError,
+    RunTimedOut,
+    WorkerCrashed,
+)
+from .spec import ExecutorSpec
+
+__all__ = [
+    "EventBus",
+    "EventKind",
+    "ExecutorSpec",
+    "JobEvent",
+    "PoolShutDown",
+    "ProcessExecutor",
+    "ProcessPool",
+    "ProcessPoolBackend",
+    "RemoteRunError",
+    "RunTimedOut",
+    "WorkerCrashed",
+]

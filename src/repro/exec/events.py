@@ -1,0 +1,270 @@
+"""Job event subsystem: typed, ordered, loss-free progress streams.
+
+A debugging job used to be opaque between ``submit`` and ``result``.
+The :class:`EventBus` gives every job an append-only *event log*:
+sessions publish ``budget_spent`` after each charged execution,
+strategies publish ``round_started`` / ``suspect_confirmed`` /
+``partial_causes`` through the neutral ``DebugSession.progress``
+callable, and the service publishes the lifecycle transitions
+(``submitted`` / ``started`` / ``finished``).
+
+Ordering and completeness guarantees (tested in ``tests/test_exec.py``):
+
+* **Per-job total order.**  Events of one job carry consecutive ``seq``
+  numbers assigned under the bus lock; two events of the same job are
+  never observed reordered.
+* **Prefix-complete replay.**  :meth:`EventBus.events` iterates the
+  job's log from the beginning no matter when it is called -- a
+  subscriber that attaches after the job finished still sees every
+  event exactly once.
+* **Terminal close.**  The job's terminal event (``close=True``,
+  published on success, failure, *and* cancellation) is the last event
+  of its log; iterators drain the log and then stop.  No event is lost
+  on completion, cancellation, or failure.
+* Cross-job interleaving in :meth:`stream` follows publish order (one
+  bus-wide monotonic order exists because publishing holds the lock),
+  but only per-job order is part of the contract.
+
+The bus is deliberately dependency-free (stdlib only at runtime) so the
+service, the CLI, and bare sessions can all share it.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["EventBus", "EventKind", "JobEvent"]
+
+
+class EventKind(str, enum.Enum):
+    """Well-known event kinds (the bus accepts any string kind).
+
+    Inherits ``str`` so publishers may pass either the enum member or
+    its value; stored events always carry the plain string.
+    """
+
+    SUBMITTED = "submitted"
+    STARTED = "started"
+    ROUND_STARTED = "round_started"
+    SUSPECT_CONFIRMED = "suspect_confirmed"
+    SUSPECT_REFUTED = "suspect_refuted"
+    PARTIAL_CAUSES = "partial_causes"
+    BUDGET_SPENT = "budget_spent"
+    EXPLORATION = "exploration"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One immutable entry of a job's event log."""
+
+    job_id: str
+    kind: str
+    seq: int
+    timestamp: float
+    payload: Mapping[str, object] = field(default_factory=dict)
+    terminal: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (used by ``repro serve --events jsonl``)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "terminal": self.terminal,
+            "data": dict(self.payload),
+        }
+
+
+class _JobLog:
+    """Append-only event list + closed flag for one job."""
+
+    __slots__ = ("events", "closed")
+
+    def __init__(self) -> None:
+        self.events: list[JobEvent] = []
+        self.closed = False
+
+
+#: Sentinel pushed to firehose queues on bus shutdown.
+_STREAM_END = object()
+
+
+class EventBus:
+    """Publish/subscribe hub for job progress events.
+
+    One bus serves a whole service: logs are keyed by ``job_id``.  Logs
+    are retained until :meth:`discard` (mirroring the service's job
+    table), so late subscribers replay complete streams.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._logs: dict[str, _JobLog] = {}
+        self._streams: list[queue.SimpleQueue] = []
+        self._shutdown = False
+
+    # -- Publishing ----------------------------------------------------------
+    def publish(
+        self,
+        job_id: str,
+        kind: str,
+        payload: Mapping[str, object] | None = None,
+        *,
+        close: bool = False,
+    ) -> JobEvent:
+        """Append one event to ``job_id``'s log (atomically, in order).
+
+        ``close=True`` marks the event terminal: it is the last event
+        the log will accept, and iterators end after delivering it.
+        Publishing to an already-closed log raises ``ValueError`` --
+        losing an event silently would break the completeness guarantee,
+        so late publishers must be a programming error.
+        """
+        kind = getattr(kind, "value", kind)
+        with self._changed:
+            log = self._logs.get(job_id)
+            if log is None:
+                log = self._logs[job_id] = _JobLog()
+            if log.closed:
+                raise ValueError(
+                    f"event log for job {job_id!r} is closed "
+                    f"(late {kind!r} event)"
+                )
+            event = JobEvent(
+                job_id=job_id,
+                kind=str(kind),
+                seq=len(log.events),
+                timestamp=time.time(),
+                payload=dict(payload or {}),
+                terminal=close,
+            )
+            log.events.append(event)
+            if close:
+                log.closed = True
+            for subscriber in self._streams:
+                subscriber.put(event)
+            self._changed.notify_all()
+        return event
+
+    def publisher(self, job_id: str):
+        """A ``(kind, payload)`` callable bound to one job.
+
+        This is the shape of the neutral ``DebugSession.progress`` hook:
+        the core layer calls it without importing this package.  Events
+        arriving after the job's log closed are dropped (the session's
+        last in-flight executions may complete after the terminal event
+        is published on an abnormal teardown; their outcomes are still
+        cached, but the closed stream stays closed).
+        """
+
+        def publish(kind: str, payload: Mapping[str, object] | None = None):
+            try:
+                self.publish(job_id, kind, payload)
+            except (ValueError, RuntimeError):
+                pass
+
+        return publish
+
+    # -- Consumption ---------------------------------------------------------
+    def log(self, job_id: str) -> list[JobEvent]:
+        """Snapshot of the job's events published so far."""
+        with self._lock:
+            log = self._logs.get(job_id)
+            return list(log.events) if log is not None else []
+
+    def closed(self, job_id: str) -> bool:
+        """True once the job's terminal event was published."""
+        with self._lock:
+            log = self._logs.get(job_id)
+            return log is not None and log.closed
+
+    def events(
+        self, job_id: str, start: int = 0, timeout: float | None = None
+    ) -> Iterator[JobEvent]:
+        """Iterate the job's events from ``seq >= start`` until terminal.
+
+        Blocks for future events while the log is open; ends after the
+        terminal event (or immediately drains a closed log).  With a
+        ``timeout``, waiting longer than that between events raises
+        ``TimeoutError`` -- iterators must not hang forever on a job
+        that never closes its log.
+        """
+        position = start
+        while True:
+            with self._changed:
+                log = self._logs.get(job_id)
+                while log is None or (
+                    position >= len(log.events) and not log.closed
+                ):
+                    if not self._changed.wait(timeout):
+                        raise TimeoutError(
+                            f"no event from job {job_id!r} within {timeout}s"
+                        )
+                    log = self._logs.get(job_id)
+                if position >= len(log.events) and log.closed:
+                    return
+                batch = log.events[position:]
+                position += len(batch)
+            for event in batch:
+                yield event
+                if event.terminal:
+                    return
+
+    def stream(self) -> Iterator[JobEvent]:
+        """Firehose: every event of every job, from subscription on.
+
+        Unlike :meth:`events` this does not replay history; it yields
+        events published after the *call* (subscription is eager, so
+        nothing published between this call and the first ``next`` is
+        lost), across all jobs, in publish order, until
+        :meth:`shutdown`.  Callers typically break out once they have
+        seen the terminal events they care about.
+        """
+        subscriber: queue.SimpleQueue = queue.SimpleQueue()
+        with self._lock:
+            if self._shutdown:
+                return iter(())
+            self._streams.append(subscriber)
+
+        def iterate() -> Iterator[JobEvent]:
+            try:
+                while True:
+                    event = subscriber.get()
+                    if event is _STREAM_END:
+                        return
+                    yield event
+            finally:
+                with self._lock:
+                    if subscriber in self._streams:
+                        self._streams.remove(subscriber)
+
+        return iterate()
+
+    # -- Lifecycle -----------------------------------------------------------
+    def discard(self, job_id: str) -> None:
+        """Forget a job's log (long-lived services bound their memory)."""
+        with self._lock:
+            self._logs.pop(job_id, None)
+
+    def shutdown(self) -> None:
+        """End every firehose stream and refuse new subscriptions.
+
+        Per-job logs keep accepting publishes and replaying -- jobs
+        still tearing down after a service shutdown must land their
+        terminal events, and late ``events()`` readers must still see
+        complete streams.  Only the live firehoses (which would
+        otherwise block forever with nobody left to publish) are ended.
+        """
+        with self._changed:
+            self._shutdown = True
+            for subscriber in self._streams:
+                subscriber.put(_STREAM_END)
+            self._changed.notify_all()

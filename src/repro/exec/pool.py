@@ -1,0 +1,653 @@
+"""ProcessPool: warm, elastic, crash-tolerant pipeline worker processes.
+
+The thread-based service executes every pipeline in-process: CPU-bound
+pipelines serialize on the GIL, and a pipeline that hangs or takes the
+interpreter down (``os._exit``, a segfaulting native extension) stalls
+or kills the whole service.  This module moves execution behind a
+process boundary:
+
+* **Workers** are spawn-started (never forked: the service is heavily
+  threaded, and forking a threaded parent is undefined behavior-adjacent
+  everywhere and broken on macOS).  Each worker receives
+  :class:`~repro.exec.spec.ExecutorSpec` payloads, builds the executor
+  once per distinct spec fingerprint, and then serves ``run`` requests
+  over its private pipe.
+* **The pool is warm and elastic**: ``prewarm`` workers start eagerly,
+  more spawn on demand up to ``max_workers``, and workers idle longer
+  than ``idle_timeout`` are retired down to ``min_workers``
+  (:meth:`ProcessPool.reap_idle`, called opportunistically on release).
+* **Crash detection and replacement**: a worker that dies mid-run
+  (pipe EOF / dead process) is discarded and replaced; the run is
+  retried on a fresh worker up to ``crash_retries`` times and then
+  surfaces as :class:`WorkerCrashed`.  A run exceeding its timeout gets
+  its (possibly hung) worker killed and surfaces as :class:`RunTimedOut`
+  after ``timeout_retries`` retries.  Either way the failure is
+  *deterministic and contained*: the session charged the run at entry
+  and refunds it on the raised error (``DebugSession.evaluate``'s
+  BaseException refund), so the paper-exact budget accounting is never
+  corrupted by a replaced worker -- the fault-tolerant-reconfiguration
+  stance of Jehl et al. applied to budget state.
+* **Cross-process dedup**: with a ``store_path``, every worker consults
+  the SQLite provenance store (the persistent tier of the service's
+  ``ExecutionCache``) before executing and writes fresh outcomes
+  through, so runs deduplicate across worker processes and across
+  services sharing one database.
+
+Worker lifecycle state machine (see ``docs/architecture.md``)::
+
+    SPAWNING --ready--> IDLE --acquire--> BUSY --ok--> IDLE
+        |                 |                 |--crash---> DISCARDED (replaced on demand)
+        '--spawn failure  '--idle_timeout   '--timeout-> KILLED    (replaced on demand)
+            -> error          -> RETIRED
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from ..concurrency.scheduler import SharedScheduler
+from ..core.session import DebugSession
+from ..core.types import Instance, Outcome
+from .spec import ExecutorSpec
+
+__all__ = [
+    "PoolShutDown",
+    "ProcessExecutor",
+    "ProcessPool",
+    "ProcessPoolBackend",
+    "RemoteRunError",
+    "RunTimedOut",
+    "WorkerCrashed",
+]
+
+_READY_TIMEOUT = 60.0  # spawn + import budget for a fresh worker
+_JOIN_TIMEOUT = 2.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while serving a run (after any retries)."""
+
+    def __init__(self, detail: str):
+        super().__init__(f"worker process crashed: {detail}")
+
+
+class RunTimedOut(RuntimeError):
+    """A run exceeded its per-run timeout (after any retries)."""
+
+    def __init__(self, timeout: float):
+        super().__init__(f"pipeline run exceeded {timeout}s timeout")
+        self.timeout = timeout
+
+
+class RemoteRunError(RuntimeError):
+    """The pipeline itself raised inside the worker (worker survives)."""
+
+    def __init__(self, detail: str):
+        super().__init__(f"pipeline raised in worker: {detail}")
+
+
+class PoolShutDown(RuntimeError):
+    """The pool rejected a run because it is shut down."""
+
+
+def _worker_main(conn, store_path: str | None) -> None:
+    """Worker process body: build executors on demand, serve runs.
+
+    Messages in: ``("run", fingerprint, spec, workflow, values_dict)``
+    or ``None`` (shutdown).  Messages out: ``("ready", pid)`` once, then
+    per run ``("ok", outcome_value, cost, from_store)`` or
+    ``("error", detail)``.  A pipeline that kills the process mid-run
+    simply never answers -- the parent detects the EOF/dead process.
+    """
+    conn.send(("ready", os.getpid()))
+    executors: dict[str, object] = {}
+    store = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        __, fingerprint, spec, workflow, values = message
+        try:
+            executor = executors.get(fingerprint)
+            if executor is None:
+                executor = executors[fingerprint] = spec.build()
+            instance = Instance(values)
+            if store_path is not None and store is None:
+                from ..provenance.store import SQLiteProvenanceStore
+
+                store = SQLiteProvenanceStore(store_path)
+            if store is not None:
+                try:
+                    record = store.lookup(workflow, instance)
+                except Exception:
+                    record = None  # store trouble reads as a miss
+                if record is not None:
+                    conn.send(("ok", record.outcome.value, record.cost, True))
+                    continue
+            started = time.perf_counter()
+            outcome = executor(instance)
+            cost = time.perf_counter() - started
+            if not isinstance(outcome, Outcome):
+                raise TypeError(
+                    f"executor returned {type(outcome).__name__}, not Outcome"
+                )
+            if store is not None:
+                from ..provenance.record import ProvenanceRecord
+
+                try:
+                    store.upsert(
+                        ProvenanceRecord(
+                            workflow=workflow,
+                            instance=instance,
+                            outcome=outcome,
+                            cost=cost,
+                            created_at=time.time(),
+                        )
+                    )
+                except Exception:
+                    pass  # lost write-through must not fail the run
+            conn.send(("ok", outcome.value, cost, False))
+        except Exception as error:
+            try:
+                conn.send(("error", repr(error)))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "runs")
+
+    def __init__(self, ctx, worker_id: int, store_path: str | None):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.worker_id = worker_id
+        self.conn = parent_conn
+        self.runs = 0
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, store_path),
+            name=f"repro-exec-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps only its end; EOF then means death
+        if not self.conn.poll(_READY_TIMEOUT):
+            self.kill()
+            raise WorkerCrashed(
+                f"worker {worker_id} not ready within {_READY_TIMEOUT}s"
+            )
+        kind, __ = self.conn.recv()
+        assert kind == "ready"
+
+    def run(
+        self,
+        spec: ExecutorSpec,
+        workflow: str,
+        instance: Instance,
+        timeout: float | None,
+    ) -> tuple[Outcome, float, bool]:
+        """One round-trip; raises WorkerCrashed / RunTimedOut / RemoteRunError."""
+        try:
+            self.conn.send(
+                ("run", spec.fingerprint, spec, workflow, instance.as_dict())
+            )
+            if not self.conn.poll(timeout):
+                raise RunTimedOut(timeout if timeout is not None else 0.0)
+            reply = self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise WorkerCrashed(
+                f"worker {self.worker_id} (pid {self.process.pid}, "
+                f"exitcode {self.process.exitcode}): {error!r}"
+            ) from None
+        self.runs += 1
+        if reply[0] == "error":
+            raise RemoteRunError(reply[1])
+        __, outcome_value, cost, from_store = reply
+        return Outcome(outcome_value), cost, from_store
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - platform quirks
+            pass
+        self.process.join(_JOIN_TIMEOUT)
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Polite shutdown: ask, wait briefly, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_JOIN_TIMEOUT)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+class ProcessPool:
+    """Warm, elastic pool of spawn-safe pipeline worker processes.
+
+    Args:
+        max_workers: hard cap on live worker processes.
+        min_workers: floor the idle reaper will not shrink below.
+        prewarm: workers started eagerly at construction (warm pool);
+            capped to ``max_workers``.
+        idle_timeout: seconds an idle worker may linger beyond
+            ``min_workers`` before :meth:`reap_idle` retires it.
+        run_timeout: default per-run wall-clock cap; None disables.
+            A timed-out run's worker is killed and replaced (a hung
+            pipeline cannot occupy a slot forever).
+        crash_retries: how many times a run whose worker *died* is
+            retried on a fresh worker before :class:`WorkerCrashed`
+            propagates.  Deterministic pipelines make the retry safe;
+            the budget is charged once either way (errors refund).
+        timeout_retries: same for timed-out runs (default 0: a hang is
+            assumed deterministic, so retrying would just double the
+            stall).
+        store_path: optional SQLite provenance database path; workers
+            then dedupe runs through the persistent tier (lookup before
+            execute, write-through after).
+        acquire_timeout: cap on waiting for a free worker slot (guards
+            against pool-sizing deadlocks; generous default).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        min_workers: int = 0,
+        prewarm: int = 0,
+        idle_timeout: float = 30.0,
+        run_timeout: float | None = None,
+        crash_retries: int = 1,
+        timeout_retries: int = 0,
+        store_path: str | None = None,
+        acquire_timeout: float = 300.0,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError("need 0 <= min_workers <= max_workers")
+        if crash_retries < 0 or timeout_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        self.max_workers = max_workers
+        self.min_workers = min_workers
+        self.idle_timeout = idle_timeout
+        self.run_timeout = run_timeout
+        self.crash_retries = crash_retries
+        self.timeout_retries = timeout_retries
+        self.store_path = store_path
+        self._acquire_timeout = acquire_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._condition = threading.Condition(threading.Lock())
+        self._idle: list[tuple[_Worker, float]] = []  # LIFO: last is warmest
+        self._live = 0
+        self._next_id = 0
+        self._shutdown = False
+        self._stats = {
+            "runs": 0,
+            "store_hits": 0,
+            "spawned": 0,
+            "retired": 0,
+            "crashes": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "replaced": 0,
+        }
+        self._batch_scheduler: SharedScheduler | None = None
+        for __ in range(min(prewarm, max_workers)):
+            with self._condition:
+                worker_id = self._reserve_slot_locked()
+            worker = self._spawn_reserved(worker_id)
+            with self._condition:
+                self._idle.append((worker, time.monotonic()))
+
+    # -- Introspection -------------------------------------------------------
+    @property
+    def live_workers(self) -> int:
+        with self._condition:
+            return self._live
+
+    @property
+    def idle_workers(self) -> int:
+        with self._condition:
+            return len(self._idle)
+
+    def stats(self) -> dict[str, int]:
+        with self._condition:
+            snapshot = dict(self._stats)
+            snapshot["live_workers"] = self._live
+            snapshot["idle_workers"] = len(self._idle)
+        snapshot["max_workers"] = self.max_workers
+        return snapshot
+
+    # -- Worker lifecycle ----------------------------------------------------
+    def _reserve_slot_locked(self) -> int:
+        """Claim one live slot under the lock; returns the worker id.
+
+        Reserving (the ``_live`` increment) and spawning are separate
+        steps so the ``max_workers`` cap is enforced atomically while
+        the slow process start happens outside the lock -- concurrent
+        acquires cannot overshoot the cap.
+        """
+        worker_id = self._next_id
+        self._next_id += 1
+        self._live += 1
+        self._stats["spawned"] += 1
+        return worker_id
+
+    def _spawn_reserved(self, worker_id: int) -> _Worker:
+        """Spawn the worker for an already-reserved slot (no lock held)."""
+        try:
+            return _Worker(self._ctx, worker_id, self.store_path)
+        except BaseException:
+            with self._condition:
+                self._live -= 1
+                self._condition.notify()
+            raise
+
+    def _acquire(self) -> _Worker:
+        deadline = time.monotonic() + self._acquire_timeout
+        with self._condition:
+            while True:
+                if self._shutdown:
+                    raise PoolShutDown("process pool is shut down")
+                while self._idle:
+                    worker, __ = self._idle.pop()
+                    if worker.alive():
+                        return worker
+                    # An idle worker died in place (e.g. OOM-killed):
+                    # drop it and keep looking.
+                    self._live -= 1
+                    self._stats["crashes"] += 1
+                    self._stats["replaced"] += 1
+                if self._live < self.max_workers:
+                    worker_id = self._reserve_slot_locked()
+                    break  # slot claimed; spawn outside the lock
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no worker slot within {self._acquire_timeout}s"
+                    )
+                self._condition.wait(min(remaining, 1.0))
+        return self._spawn_reserved(worker_id)
+
+    def _release(self, worker: _Worker) -> None:
+        with self._condition:
+            if self._shutdown:
+                self._live -= 1
+                self._condition.notify()
+            else:
+                self._idle.append((worker, time.monotonic()))
+                self._condition.notify()
+                worker = None  # type: ignore[assignment]
+        if worker is not None:
+            worker.stop()
+            return
+        self.reap_idle()
+
+    def _discard(self, worker: _Worker, *, timed_out: bool) -> None:
+        """Kill a crashed or hung worker and free its slot."""
+        worker.kill()
+        with self._condition:
+            self._live -= 1
+            self._stats["replaced"] += 1
+            if timed_out:
+                self._stats["timeouts"] += 1
+            else:
+                self._stats["crashes"] += 1
+            self._condition.notify()
+
+    def reap_idle(self) -> int:
+        """Retire idle workers past ``idle_timeout`` down to ``min_workers``.
+
+        Called opportunistically after every release; tests and
+        long-lived owners may call it directly.  Returns the number of
+        workers retired.
+        """
+        now = time.monotonic()
+        retired: list[_Worker] = []
+        with self._condition:
+            keep: list[tuple[_Worker, float]] = []
+            for worker, since in self._idle:  # oldest first
+                excess = self._live - len(retired) > self.min_workers
+                if excess and now - since >= self.idle_timeout:
+                    retired.append(worker)
+                else:
+                    keep.append((worker, since))
+            self._idle = keep
+            self._live -= len(retired)
+            self._stats["retired"] += len(retired)
+            if retired:
+                self._condition.notify_all()
+        for worker in retired:
+            worker.stop()
+        return len(retired)
+
+    # -- Running -------------------------------------------------------------
+    def run(
+        self,
+        spec: ExecutorSpec,
+        workflow: str,
+        instance: Instance,
+        timeout: float | None = None,
+    ) -> Outcome:
+        """Execute one instance on a worker process (thread-safe).
+
+        Retries crashed (and optionally timed-out) runs on replacement
+        workers within the configured bounds, then raises.  The caller
+        -- normally ``DebugSession.evaluate`` -- treats the raise as an
+        uncompleted run and refunds its budget charge.
+        """
+        if timeout is None:
+            timeout = self.run_timeout
+        crash_budget = self.crash_retries
+        timeout_budget = self.timeout_retries
+        while True:
+            worker = self._acquire()
+            try:
+                outcome, __, from_store = worker.run(
+                    spec, workflow, instance, timeout
+                )
+            except RunTimedOut:
+                self._discard(worker, timed_out=True)
+                if timeout_budget <= 0:
+                    raise
+                timeout_budget -= 1
+                with self._condition:
+                    self._stats["retries"] += 1
+            except WorkerCrashed:
+                self._discard(worker, timed_out=False)
+                if crash_budget <= 0:
+                    raise
+                crash_budget -= 1
+                with self._condition:
+                    self._stats["retries"] += 1
+            except BaseException:
+                # RemoteRunError and friends: the worker answered and is
+                # healthy; only the pipeline failed.
+                self._release(worker)
+                raise
+            else:
+                self._release(worker)
+                with self._condition:
+                    self._stats["runs"] += 1
+                    if from_store:
+                        self._stats["store_hits"] += 1
+                return outcome
+
+    # -- Session-facing adapters ---------------------------------------------
+    def executor(
+        self,
+        spec: ExecutorSpec,
+        workflow: str = "process",
+        timeout: float | None = None,
+    ) -> "ProcessExecutor":
+        """An :class:`~repro.core.types.Executor` view over this pool."""
+        return ProcessExecutor(self, spec, workflow=workflow, timeout=timeout)
+
+    _backend_ids = itertools.count(1)
+
+    def backend(self, job_id: str | None = None) -> "ProcessPoolBackend":
+        """An :class:`~repro.core.session.ExecutionBackend` over this pool.
+
+        Each backend gets its own queue in the pool-owned dispatch
+        scheduler (distinct default job ids), so concurrent sessions'
+        batches interleave fairly.
+        """
+        if job_id is None:
+            job_id = f"process-batch-{next(self._backend_ids)}"
+        return ProcessPoolBackend(self, job_id=job_id)
+
+    def _dispatch_scheduler(self) -> SharedScheduler:
+        """The pool-owned thread scheduler batch backends fan out on.
+
+        One scheduler serves every backend of this pool (backends are
+        distinguished by their per-job queues), created lazily and torn
+        down with the pool -- no per-session thread pools to leak.
+        """
+        with self._condition:
+            if self._shutdown:
+                raise PoolShutDown("process pool is shut down")
+            if self._batch_scheduler is None:
+                self._batch_scheduler = SharedScheduler(
+                    workers=self.max_workers, name="process-batch"
+                )
+            return self._batch_scheduler
+
+    def session(
+        self,
+        spec: ExecutorSpec,
+        space,
+        workflow: str = "process",
+        history=None,
+        budget=None,
+        parallel: bool = True,
+        timeout: float | None = None,
+        progress: Callable | None = None,
+    ) -> DebugSession:
+        """A ready-wired :class:`~repro.core.session.DebugSession`.
+
+        ``parallel=True`` attaches a :class:`ProcessPoolBackend` so
+        speculative batches (Section 4.3) fan out across worker
+        processes; ``parallel=False`` keeps the session serial (fully
+        deterministic) while still executing each run out-of-process.
+        """
+        return DebugSession(
+            self.executor(spec, workflow=workflow, timeout=timeout),
+            space,
+            history=history,
+            budget=budget,
+            backend=self.backend() if parallel else None,
+            progress=progress,
+        )
+
+    # -- Lifecycle -----------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop every worker; subsequent runs raise :class:`PoolShutDown`."""
+        with self._condition:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            idle = [worker for worker, __ in self._idle]
+            self._idle.clear()
+            self._live -= len(idle)
+            scheduler = self._batch_scheduler
+            self._batch_scheduler = None
+            self._condition.notify_all()
+        if scheduler is not None:
+            scheduler.shutdown()
+        for worker in idle:
+            worker.stop()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ProcessExecutor:
+    """Route single executor calls to the process pool.
+
+    The in-process analogue is
+    :class:`~repro.concurrency.scheduler.ScheduledExecutor`; here every
+    call ships ``(spec, workflow, instance)`` to a worker process and
+    blocks for the outcome, so a serial session transparently executes
+    out-of-process and a scheduler-driven service can point its worker
+    threads at one of these to bridge threads -> processes.
+    """
+
+    def __init__(
+        self,
+        pool: ProcessPool,
+        spec: ExecutorSpec,
+        workflow: str = "process",
+        timeout: float | None = None,
+    ):
+        self._pool = pool
+        self._spec = spec
+        self._workflow = workflow
+        self._timeout = timeout
+
+    @property
+    def pool(self) -> ProcessPool:
+        return self._pool
+
+    @property
+    def spec(self) -> ExecutorSpec:
+        return self._spec
+
+    def __call__(self, instance: Instance) -> Outcome:
+        return self._pool.run(
+            self._spec, self._workflow, instance, timeout=self._timeout
+        )
+
+
+class ProcessPoolBackend:
+    """Per-session :class:`~repro.core.session.ExecutionBackend` view.
+
+    Batch tasks are session closures (they charge the budget and record
+    history in the parent), so they cannot cross the process boundary
+    themselves; the backend fans them out on the *pool-owned*
+    :class:`~repro.concurrency.scheduler.SharedScheduler` thread pool
+    (one per pool, sized to it, torn down with it), and each task's
+    inner executor call is what crosses into a worker process.
+    Budget-aware ``skip`` hooks are honored exactly like the in-process
+    scheduler backend.
+    """
+
+    def __init__(self, pool: ProcessPool, job_id: str = "process-batch"):
+        self._pool = pool
+        self.job_id = job_id
+        self._scheduler = pool._dispatch_scheduler()
+
+    @property
+    def parallel(self) -> bool:
+        return True
+
+    @property
+    def pool(self) -> ProcessPool:
+        return self._pool
+
+    def run_batch(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
+        requests = [
+            self._scheduler.submit(
+                self.job_id, task, skip=getattr(task, "skip", None)
+            )
+            for task in tasks
+        ]
+        return [request.result() for request in requests]

@@ -181,12 +181,22 @@ class CachedExecutor:
     inner executor object), but all views with the same ``workflow``
     share outcomes -- this is what makes cross-job deduplication work
     even though every job constructs its executor independently.
+
+    Because the view is per job, its counters are the *per-job* cache
+    accounting the service reports (``repro serve`` JSON): ``requests``
+    is every evaluation the job routed through the cache, and
+    ``executions`` is how often the job's own inner executor actually
+    ran -- the difference is requests served by the shared tiers
+    (memory hits, coalesced in-flight leaders, persistent-tier hits).
     """
 
     def __init__(self, cache: ExecutionCache, workflow: str, inner: Executor):
         self._cache = cache
         self._workflow = workflow
         self._inner = inner
+        self._counter_lock = threading.Lock()
+        self.requests = 0
+        self.executions = 0
 
     @property
     def workflow(self) -> str:
@@ -196,5 +206,23 @@ class CachedExecutor:
     def cache(self) -> ExecutionCache:
         return self._cache
 
+    def stats_snapshot(self) -> dict[str, int]:
+        """Per-job view: requests, own executions, and tier-served hits."""
+        with self._counter_lock:
+            requests = self.requests
+            executions = self.executions
+        return {
+            "requests": requests,
+            "executions": executions,
+            "hits": requests - executions,
+        }
+
+    def _counted_inner(self, instance: Instance) -> Outcome:
+        with self._counter_lock:
+            self.executions += 1
+        return self._inner(instance)
+
     def __call__(self, instance: Instance) -> Outcome:
-        return self._cache.evaluate(self._workflow, instance, self._inner)
+        with self._counter_lock:
+            self.requests += 1
+        return self._cache.evaluate(self._workflow, instance, self._counted_inner)

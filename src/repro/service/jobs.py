@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from ..core.bugdoc import Algorithm, BugDocReport
@@ -20,6 +20,8 @@ from ..core.ddt import DDTConfig
 from ..core.history import ExecutionHistory
 from ..core.session import DebugSession
 from ..core.types import Executor, ParameterSpace
+from ..exec.events import EventBus, JobEvent
+from ..exec.spec import ExecutorSpec
 from .cache import DEFAULT_WORKFLOW
 
 __all__ = [
@@ -76,7 +78,16 @@ class JobSpec:
         job_id: unique identifier within the service.
         executor: the black-box pipeline.  The service wraps it with the
             shared execution cache keyed by ``workflow`` -- jobs naming
-            the same workflow share outcomes.
+            the same workflow share outcomes.  May be None when
+            ``executor_spec`` is provided (process execution).
+        executor_spec: optional :class:`~repro.exec.spec.ExecutorSpec`.
+            On a service built with a process pool, the job's pipeline
+            then executes *out of process*: the spec is shipped to pool
+            workers and the in-parent executor chain (cache,
+            cancellation guard, scheduler) dispatches to them.  When
+            both ``executor`` and ``executor_spec`` are given, the spec
+            wins on a pool-equipped service and ``executor`` is the
+            in-process fallback elsewhere.
         space: the manipulable parameter space.
         workflow: cache/provenance key; jobs with equal workflows are
             assumed to debug the same (deterministic) pipeline.
@@ -105,9 +116,10 @@ class JobSpec:
     """
 
     job_id: str
-    executor: Executor
+    executor: Executor | None
     space: ParameterSpace
     workflow: str = DEFAULT_WORKFLOW
+    executor_spec: ExecutorSpec | None = None
     algorithm: Algorithm = Algorithm.COMBINED
     goal: JobGoal = JobGoal.FIND_ONE
     budget: int | None = None
@@ -122,6 +134,8 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.job_id:
             raise ValueError("job_id must be non-empty")
+        if self.executor is None and self.executor_spec is None:
+            raise ValueError("pass an executor, an executor_spec, or both")
         if self.budget is not None and self.budget < 0:
             raise ValueError("budget must be non-negative")
         if self.priority < 1:
@@ -152,6 +166,10 @@ class JobResult:
             its own history; shared-cache hits still count, matching
             the paper's per-algorithm cost accounting).
         wall_seconds: job wall-clock time inside the service.
+        cache_stats: this job's view of the shared execution cache
+            (``requests`` routed through it, ``executions`` its own
+            inner executor ran, ``hits`` served by the shared tiers);
+            None for jobs that never built a session.
         accounting_settled: True when every execution request the job
             issued had resolved before the counters were read.  False
             only on an abnormal teardown (cancellation/failure) where a
@@ -169,6 +187,7 @@ class JobResult:
     budget_spent: int = 0
     new_executions: int = 0
     wall_seconds: float = 0.0
+    cache_stats: dict[str, int] | None = None
     accounting_settled: bool = True
 
     @property
@@ -187,6 +206,7 @@ class JobResult:
             "budget_spent": self.budget_spent,
             "new_executions": self.new_executions,
             "wall_seconds": self.wall_seconds,
+            "cache": dict(self.cache_stats) if self.cache_stats else None,
             "error": repr(self.error) if self.error is not None else None,
         }
 
@@ -212,6 +232,7 @@ class JobHandle:
         self._status = JobStatus.PENDING
         self._lock = threading.Lock()
         self.session: DebugSession | None = None  # set by the service
+        self._bus: EventBus | None = None  # set by the service
 
     @property
     def job_id(self) -> str:
@@ -262,6 +283,74 @@ class JobHandle:
             self._status = result.status
             self._result = result
         self._done.set()
+
+    # -- Progress streaming ---------------------------------------------------
+    def events(
+        self, start: int = 0, timeout: float | None = None
+    ) -> Iterator[JobEvent]:
+        """Iterate this job's event stream, complete and in order.
+
+        Replays from the beginning (or ``start``) no matter when it is
+        called and ends after the terminal ``finished`` event -- no
+        event is lost on completion, cancellation, or failure (the
+        service always closes the log from its teardown path).  Blocks
+        between events while the job runs; ``timeout`` bounds each wait.
+
+        Raises:
+            RuntimeError: on a handle that is not attached to a service
+                event bus (bare handles have no stream).
+        """
+        if self._bus is None:
+            raise RuntimeError(
+                f"job {self.job_id!r} has no event stream "
+                "(handle not attached to a service event bus)"
+            )
+        return self._bus.events(self.job_id, start=start, timeout=timeout)
+
+    def progress(
+        self, timeout: float | None = None
+    ) -> Iterator[dict[str, object]]:
+        """Cumulative progress snapshots, one per underlying event.
+
+        Each snapshot is a plain dict -- ``status``, ``rounds``,
+        ``budget_spent``, ``causes`` (partial until terminal), and the
+        triggering ``event`` kind -- convenient for dashboards that want
+        current state rather than the raw event log.  The final snapshot
+        carries the terminal status.
+        """
+        state: dict[str, object] = {
+            "job_id": self.job_id,
+            "status": JobStatus.PENDING.value,
+            "event": None,
+            "rounds": 0,
+            "budget_spent": 0,
+            "causes": [],
+        }
+        for event in self.events(timeout=timeout):
+            payload = event.payload
+            state["event"] = event.kind
+            if event.kind == "started":
+                state["status"] = JobStatus.RUNNING.value
+            elif event.kind == "round_started":
+                state["rounds"] = payload.get("round", state["rounds"])
+            elif event.kind == "budget_spent":
+                # Under parallel batches, concurrently-completing
+                # executions may publish their (self-consistent)
+                # snapshots out of charge order; fold with max so the
+                # running display never regresses.
+                state["budget_spent"] = max(
+                    state["budget_spent"],  # type: ignore[call-overload]
+                    payload.get("spent", 0),
+                )
+            elif event.kind == "partial_causes":
+                state["causes"] = list(payload.get("causes", []))
+            elif event.kind == "finished":
+                state["status"] = payload.get("status", state["status"])
+                if "budget_spent" in payload:
+                    state["budget_spent"] = payload["budget_spent"]
+                if payload.get("causes") is not None:
+                    state["causes"] = list(payload["causes"])
+            yield dict(state)
 
     def done(self) -> bool:
         return self._done.is_set()

@@ -28,8 +28,10 @@ from ..core.budget import InstanceBudget
 from ..core.bugdoc import BugDoc
 from ..core.session import DebugSession
 from ..core.stacked import DEFAULT_STACK_WIDTH
+from ..exec.events import EventBus
+from ..exec.pool import ProcessPool
 from ..provenance.store import ProvenanceStore
-from .cache import ExecutionCache
+from .cache import CachedExecutor, ExecutionCache
 from .jobs import JobCancelled, JobGoal, JobHandle, JobResult, JobSpec, JobStatus
 from .scheduler import SharedScheduler
 
@@ -78,6 +80,14 @@ class DebugService:
             round-robin weight in the shared scheduler.  Off by default,
             which preserves the original unweighted FIFO round-robin
             regardless of submitted priorities.
+        pool: optional :class:`~repro.exec.pool.ProcessPool`.  Jobs
+            whose spec carries an ``executor_spec`` then execute their
+            pipelines *out of process*: the service's scheduler worker
+            threads dispatch each run to a pool worker process (crash
+            containment, per-run timeouts, true CPU parallelism), while
+            budget/history accounting, the shared cache, and
+            cancellation stay in-parent and unchanged.  The pool is not
+            owned: :meth:`shutdown` leaves it running for other owners.
 
     Typical use::
 
@@ -94,6 +104,7 @@ class DebugService:
         max_concurrent_jobs: int | None = None,
         cache_max_entries: int | None = None,
         weighted_fairness: bool = False,
+        pool: ProcessPool | None = None,
     ):
         if cache is not None and store is not None:
             raise ValueError("pass either a cache or a store, not both")
@@ -114,6 +125,8 @@ class DebugService:
             if cache is not None
             else ExecutionCache(store=store, max_entries=cache_max_entries)
         )
+        self._pool = pool
+        self._events = EventBus()
         self._jobs: dict[str, JobHandle] = {}
         self._lock = threading.Lock()
         self._admission = (
@@ -131,6 +144,16 @@ class DebugService:
     @property
     def cache(self) -> ExecutionCache:
         return self._cache
+
+    @property
+    def events(self) -> EventBus:
+        """The service-wide job event bus (see ``JobHandle.events``)."""
+        return self._events
+
+    @property
+    def pool(self) -> ProcessPool | None:
+        """The attached process pool, if any (not owned by the service)."""
+        return self._pool
 
     @property
     def jobs(self) -> dict[str, JobHandle]:
@@ -159,7 +182,22 @@ class DebugService:
             if spec.job_id in self._jobs:
                 raise ValueError(f"duplicate job id {spec.job_id!r}")
             handle = JobHandle(spec)
+            handle._bus = self._events
             self._jobs[spec.job_id] = handle
+        # Published before the controller thread exists, so "submitted"
+        # is always the first event of a job's stream.
+        self._events.publish(
+            spec.job_id,
+            "submitted",
+            {
+                "workflow": spec.workflow,
+                "algorithm": spec.algorithm.value,
+                "goal": spec.goal.value,
+                "budget": spec.budget,
+                "process": spec.executor_spec is not None
+                and self._pool is not None,
+            },
+        )
         if spec.priority != 1:
             self._scheduler.set_priority(spec.job_id, spec.priority)
         thread = threading.Thread(
@@ -222,16 +260,41 @@ class DebugService:
         self,
         spec: JobSpec,
         cancel_event: threading.Event | None = None,
+        progress=None,
     ) -> DebugSession:
         """The per-job session, wired into the shared scheduler + cache.
 
         Exposed so advanced clients can drive a session directly while
         still sharing the service's infrastructure.  ``cancel_event``
-        (set by the job's handle) arms the per-slice cancellation check.
+        (set by the job's handle) arms the per-slice cancellation check;
+        ``progress`` becomes the session's neutral event hook.
         """
-        cached = self._cache.executor(spec.workflow, spec.executor)
+        session, __ = self._build_session_parts(spec, cancel_event, progress)
+        return session
+
+    def _inner_executor(self, spec: JobSpec):
+        """The job's innermost executor: in-process or process-pool."""
+        if spec.executor_spec is not None and self._pool is not None:
+            return self._pool.executor(
+                spec.executor_spec, workflow=spec.workflow
+            )
+        if spec.executor is None:
+            raise ValueError(
+                f"job {spec.job_id!r} has only an executor_spec but the "
+                "service was built without a process pool"
+            )
+        return spec.executor
+
+    def _build_session_parts(
+        self,
+        spec: JobSpec,
+        cancel_event: threading.Event | None,
+        progress,
+    ) -> tuple[DebugSession, CachedExecutor]:
+        cached = self._cache.executor(spec.workflow, self._inner_executor(spec))
+        guarded = cached
         if cancel_event is not None:
-            cached = _CancellationGuard(cached, cancel_event, spec.job_id)
+            guarded = _CancellationGuard(guarded, cancel_event, spec.job_id)
         history = None
         if spec.history is not None:
             # Prior provenance is free for the submitting job (its
@@ -247,21 +310,22 @@ class DebugService:
         # service-wide worker cap and fair interleave apply to single
         # evaluations too.  Calls that already run on a worker slot
         # (batch tasks) execute inline -- see ScheduledExecutor.
-        scheduled = self._scheduler.executor(spec.job_id, cached)
-        if spec.parallel_batches:
+        scheduled = self._scheduler.executor(spec.job_id, guarded)
+        session = DebugSession(
+            scheduled,
+            spec.space,
+            history=history,
+            budget=budget,
             # Speculative batches (Section 4.3) additionally fan out on
-            # the shared pool.
-            return DebugSession(
-                scheduled,
-                spec.space,
-                history=history,
-                budget=budget,
-                backend=self._scheduler.backend(spec.job_id),
-            )
-        # Serial session: deterministic per job.
-        return DebugSession(
-            scheduled, spec.space, history=history, budget=budget
+            # the shared pool; a serial session stays deterministic.
+            backend=(
+                self._scheduler.backend(spec.job_id)
+                if spec.parallel_batches
+                else None
+            ),
+            progress=progress,
         )
+        return session, cached
 
     # -- Job execution -------------------------------------------------------
     def _run_job(self, handle: JobHandle) -> None:
@@ -270,12 +334,18 @@ class DebugService:
             self._admission.acquire()
         started = time.perf_counter()
         session: DebugSession | None = None
+        cached: CachedExecutor | None = None
         try:
             # A job cancelled while queued behind admission control (or
             # between submit and start) never builds a session at all.
             handle.check_cancelled()
             handle._mark_running()
-            session = self.build_session(spec, cancel_event=handle._cancel)
+            self._events.publish(spec.job_id, "started")
+            session, cached = self._build_session_parts(
+                spec,
+                handle._cancel,
+                self._events.publisher(spec.job_id),
+            )
             handle.session = session
             value: object = None
             report = None
@@ -310,6 +380,7 @@ class DebugService:
                 budget_spent=session.budget.spent,
                 new_executions=session.new_executions,
                 wall_seconds=time.perf_counter() - started,
+                cache_stats=cached.stats_snapshot(),
             )
         except BaseException as error:  # job isolation: never kill the service
             with self._lock:
@@ -334,24 +405,81 @@ class DebugService:
                     session.new_executions if session is not None else 0
                 ),
                 wall_seconds=time.perf_counter() - started,
+                cache_stats=(
+                    cached.stats_snapshot() if cached is not None else None
+                ),
                 accounting_settled=settled,
             )
         finally:
             if self._admission is not None:
                 self._admission.release()
             self._scheduler.clear_priority(spec.job_id)
+        self._publish_finished(result)
         handle._finish(result)
 
+    def _publish_finished(self, result: JobResult) -> None:
+        """Close the job's event stream with its terminal event.
+
+        Published from every teardown path -- success, failure, and
+        cancellation -- *before* the handle resolves, so a client that
+        waited on ``result()`` already finds the complete stream.  Must
+        never prevent the handle from resolving.
+        """
+        causes = None
+        if result.report is not None:
+            causes = [str(cause) for cause in result.report.causes]
+        try:
+            self._events.publish(
+                result.job_id,
+                "finished",
+                {
+                    "status": result.status.value,
+                    "budget_spent": result.budget_spent,
+                    "new_executions": result.new_executions,
+                    "wall_seconds": result.wall_seconds,
+                    "causes": causes,
+                    "error": (
+                        repr(result.error) if result.error is not None else None
+                    ),
+                },
+                close=True,
+            )
+        except Exception:
+            pass
+
     # -- Lifecycle -----------------------------------------------------------
+    def discard_job(self, job_id: str) -> None:
+        """Forget a finished job's handle *and* its event log.
+
+        Handles and event logs are retained so late clients can collect
+        results and replay complete streams; a long-lived service that
+        churns through many jobs calls this once a job's result and
+        events have been consumed, bounding both tables.
+
+        Raises:
+            KeyError: for an unknown job id.
+            ValueError: for a job that has not reached a terminal state
+                (discarding a live job would orphan its events).
+        """
+        with self._lock:
+            handle = self._jobs[job_id]
+            if not handle.status.terminal:
+                raise ValueError(f"job {job_id!r} is still {handle.status.value}")
+            del self._jobs[job_id]
+        self._events.discard(job_id)
+
     def shutdown(self) -> None:
         """Stop accepting jobs and tear down the scheduler.
 
         Queued execution requests are rejected; still-running jobs see
         their next request error and finish with status CANCELLED.
+        Live event firehoses end; per-job logs stay publishable so
+        those teardowns still land their terminal events.
         """
         with self._lock:
             self._shutdown = True
         self._scheduler.shutdown()
+        self._events.shutdown()
 
     def __enter__(self) -> "DebugService":
         return self

@@ -13,9 +13,11 @@ The contract of the batch layer (PR 4) is threefold:
    input pushes onto the reference path increments
    ``ColumnarEngine.fallbacks``; a clean columnar run ends with the
    counter at zero.  End-to-end reports are byte-identical either way.
-3. **Caches are coherent.**  The compiled-conjunction memo and the
-   per-literal match tables survive history growth only through
-   generation invalidation; repeated conjunctions never recompile.
+3. **Caches are coherent.**  The compiled-conjunction memo is
+   history-independent and never recompiles; the per-literal match
+   tables survive history growth by *incremental extension* (each
+   appended row's bit is OR-ed into the entries whose mask contains its
+   code), staying exactly equal to a from-scratch recomputation.
 """
 
 from __future__ import annotations
@@ -215,6 +217,45 @@ class TestBatchDifferential:
                 scalar.satisfying_value_lists(conjunction)
             ) == reference.satisfying_value_lists(conjunction)
 
+    @settings(max_examples=50, deadline=None)
+    @given(_spaces, st.integers(0, 2**32))
+    def test_any_satisfied_matches_scalar_any(self, space, seed):
+        """The instance-vs-many screen (the ``rows_matching_many``
+        transpose behind ``_explore_complement``) equals the scalar
+        ``any`` expression -- same verdicts, same short-circuit
+        semantics, same raised exceptions -- across random conjunction
+        lists and instances (in-domain, out-of-domain, foreign keys)."""
+        rng = random.Random(seed)
+        history = _random_history(space, rng, size=rng.randint(0, 10))
+        batch = _random_batch(space, rng, size=rng.randint(0, 8))
+        engine = ColumnarEngine(space, history)
+        batched = StrategyContext(
+            DebugSession(lambda i: Outcome.SUCCEED, space, history=history),
+            batch=True,
+        )
+        instances = [space.random_instance(rng) for __ in range(4)]
+        shape = rng.random()
+        if shape < 0.4 and instances:
+            # Out-of-domain value on one parameter.
+            name = rng.choice(space.names)
+            instances.append(instances[0].with_value(name, "out-of-domain"))
+        elif shape < 0.7:
+            # Foreign parameter set (strict encode refuses).
+            instances.append(
+                Instance({**instances[0].as_dict(), "stranger": 1})
+            )
+        for instance in instances:
+            try:
+                expected = any(c.satisfied_by(instance) for c in batch)
+            except Exception as error:
+                with pytest.raises(type(error)):
+                    engine.any_satisfied_by(batch, instance)
+                with pytest.raises(type(error)):
+                    batched.any_satisfied(batch, instance)
+                continue
+            assert engine.any_satisfied_by(batch, instance) == expected
+            assert batched.any_satisfied(batch, instance) == expected
+
     def test_unknown_parameter_raises_like_reference_mid_batch(self):
         space = ParameterSpace([Parameter("a", (0, 1))])
         history = ExecutionHistory()
@@ -300,7 +341,7 @@ class TestCacheCoherence:
         engine.refutes_many(batch)
         assert calls["mask"] == 3  # one per *distinct* literal, not five
 
-    def test_match_tables_invalidate_on_history_growth(self):
+    def test_match_tables_extend_on_history_growth(self):
         space = ParameterSpace(
             [
                 Parameter("a", (0.0, 1.0, 2.0, 3.0), ParameterKind.ORDINAL),
@@ -318,11 +359,69 @@ class TestCacheCoherence:
         hits_before = store.match_hits
         assert engine.refutes_many([conjunction, conjunction]) == [False, False]
         assert store.match_hits > hits_before  # warm table reused
-        # Append a row that flips the answer; the generation bump must
-        # invalidate the table so the batch sees the new evidence.
+        # Append a row that flips the answer; the table must be
+        # *extended in place* with the new row -- correct new answer,
+        # served as a hit (no recompute), extension counted.
         history.record(Instance({"a": 2.0, "b": "y"}), Outcome.SUCCEED)
+        misses_before = store.match_misses
+        hits_before = store.match_hits
         assert engine.refutes_many([conjunction]) == [True]
         assert engine.refutes(conjunction) is True
+        assert store.match_misses == misses_before  # no cold recompute
+        assert store.match_hits > hits_before
+        assert store.match_extensions >= 1
+        assert engine.stats()["match_extensions"] == store.match_extensions
+
+    @settings(max_examples=40, deadline=None)
+    @given(_spaces, st.integers(0, 2**32))
+    def test_extended_match_tables_equal_fresh_recomputation(self, space, seed):
+        """Grow the history in stages with live match tables; every
+        cached entry must equal what a cold store would compute."""
+        rng = random.Random(seed)
+        history = _random_history(space, rng, rng.randint(1, 8))
+        store = history.columnar_store(space)
+        queried: set[tuple[int, int]] = set()
+
+        def query_some():
+            for __ in range(rng.randint(1, 5)):
+                index = rng.randrange(len(space.names))
+                size = len(space[space.names[index]].domain)
+                allowed = rng.randrange(1, 1 << size)
+                queried.add((index, allowed))
+                store.match_rows(index, allowed)
+
+        query_some()
+        for __ in range(3):
+            for __ in range(rng.randint(1, 6)):
+                instance = space.random_instance(rng)
+                if instance not in history:
+                    history.record(
+                        instance,
+                        Outcome.FAIL if rng.random() < 0.4 else Outcome.SUCCEED,
+                    )
+            store.sync()
+            query_some()
+            fresh = ExecutionHistory()
+            for evaluation in history:
+                fresh.append(evaluation)
+            cold = fresh.columnar_store(space)
+            for index, allowed in queried:
+                assert store.match_rows(index, allowed) == cold.match_rows(
+                    index, allowed
+                ), (index, allowed)
+
+    def test_any_satisfied_fallbacks_are_visible(self):
+        space, history = self._setup()
+        engine = ColumnarEngine(space, history)
+        causes = [Conjunction([Predicate("b", Comparator.EQ, "y")])]
+        in_domain = Instance({"a": 1.0, "b": "y"})
+        assert engine.any_satisfied_by(causes, in_domain) is True
+        assert engine.fallbacks == 0
+        # An instance with a foreign parameter set cannot be encoded
+        # strictly; the screen degrades to the reference path, visibly.
+        foreign = Instance({"a": 1.0, "b": "y", "extra": 1})
+        assert engine.any_satisfied_by(causes, foreign) is True
+        assert engine.fallbacks == 1
 
     def test_stats_snapshot_exposes_counters(self):
         space, history = self._setup()

@@ -7,15 +7,19 @@ The intended layering (bottom to top)::
     core         ->  concurrency
     provenance   ->  core, concurrency
     pipeline     ->  core, provenance, concurrency
-    service      ->  pipeline, core, provenance, concurrency
+    exec         ->  pipeline, core, provenance, concurrency
+    service      ->  exec, pipeline, core, provenance, concurrency
     cli / eval / ...  (top: anything)
 
 In particular, ``pipeline/`` and ``core/`` must never import from
 ``service/`` (the PR-1 adapter design briefly did, which is why the
 shared scheduler and the single-flight cache moved to the neutral
-``concurrency/`` package).  This script walks the AST of every module
-in the checked packages and fails on forbidden absolute
-(``repro.service...``) or relative (``..service``) imports.
+``concurrency/`` package), and nothing below ``exec/`` may import it:
+the core algorithms reach the process/event subsystem only through the
+neutral ``DebugSession.progress`` callable, never by import.  This
+script walks the AST of every module in the checked packages and fails
+on forbidden absolute (``repro.service...``) or relative
+(``..service``) imports.
 
 Usage:
     python tools/check_layering.py [--src src]
@@ -32,6 +36,7 @@ import sys
 FORBIDDEN = {
     "concurrency": {
         "core",
+        "exec",
         "pipeline",
         "provenance",
         "service",
@@ -41,9 +46,17 @@ FORBIDDEN = {
         "synth",
         "workloads",
     },
-    "core": {"service", "pipeline", "eval", "baselines"},
-    "provenance": {"service", "pipeline", "eval"},
-    "pipeline": {"service", "eval"},
+    "core": {"service", "exec", "pipeline", "eval", "baselines"},
+    "provenance": {"service", "exec", "pipeline", "eval"},
+    "pipeline": {"service", "exec", "eval"},
+    "exec": {
+        "service",
+        "baselines",
+        "eval",
+        "extensions",
+        "synth",
+        "workloads",
+    },
 }
 
 
