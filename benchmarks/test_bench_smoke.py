@@ -70,6 +70,7 @@ def test_quick_benchmarks_discovered():
         "bench_strategy_overhead",
         "bench_batch_suspects",
         "bench_process_backend",
+        "bench_event_overhead",
     }
 
 

@@ -10,19 +10,32 @@ Usage (after ``pip install -e .``, which provides the ``repro`` script)::
     repro synth --scenario disjunction --pipelines 5
     repro serve ml gan --replicas 3 --workers 8 --output json
     repro serve ml --events jsonl --backend process
+    repro serve ml --store runs.db --metrics json
+    repro query jobs --store runs.db
+    repro query seq suspect_confirmed suspect_refuted --store runs.db
+    repro query agg --metric span:solver --stat p95 --group-by workflow \
+        --store runs.db
 
 ``debug`` runs BugDoc on one of the Section 5.3 workloads and prints
 the asserted minimal definitive root causes next to the planted ground
 truth (``--output json`` emits the same report machine-readably for
 service clients; ``--watch`` streams live progress events while the
-search runs).  ``synth`` generates a synthetic suite and reports
-FindOne metrics for the chosen algorithm.  ``serve`` runs a batch of
-debugging jobs concurrently on one :class:`~repro.service.DebugService`
--- the shared scheduler and cross-job execution cache -- and reports
-per-job results plus service-level statistics; ``--events jsonl``
-streams every job event as a JSON line while the batch runs, and
-``--backend process`` executes the pipelines on a
-:class:`~repro.exec.ProcessPool` of worker processes.
+search runs, durably when ``--store`` is given).  ``synth`` generates a
+synthetic suite and reports FindOne metrics for the chosen algorithm.
+``serve`` runs a batch of debugging jobs concurrently on one
+:class:`~repro.service.DebugService` -- the shared scheduler and
+cross-job execution cache -- and reports per-job results plus
+service-level statistics; ``--events jsonl`` streams every job event
+as a JSON line while the batch runs, ``--backend process`` executes
+the pipelines on a :class:`~repro.exec.ProcessPool` of worker
+processes, ``--store`` additionally persists every job's event log
+(schema v4), and ``--metrics json`` appends the service metrics
+snapshot.  ``query`` is the process-query engine over persisted logs:
+``jobs`` lists job rows, ``events`` streams filtered events as JSON
+lines, ``seq`` finds jobs matching an ordered event pattern
+(SIGNAL-style eventually-follows), and ``agg`` computes grouped
+aggregates (count/sum/mean/min/max/p50/p95) over span durations,
+event counts, or job columns.
 """
 
 from __future__ import annotations
@@ -147,8 +160,24 @@ def cmd_debug(args) -> int:
         # Live progress: the search runs on a worker thread publishing
         # to a local event bus; the main thread streams the events.
         # With --output json the event lines go to stderr so stdout
-        # stays a single machine-readable document.
-        bus = EventBus()
+        # stays a single machine-readable document.  With --store the
+        # bus is durable: the watch stream is also written through to
+        # the schema-v4 event log, queryable later via `repro query`
+        # (a rerun under the same label replaces the prior log).
+        store = None
+        if getattr(args, "store", None) is not None:
+            from .obs import DurableEventBus
+            from .provenance import SQLiteProvenanceStore
+
+            store = SQLiteProvenanceStore(args.store)
+            bus: EventBus = DurableEventBus(store)
+            bus.publish(
+                label,
+                "submitted",
+                {"workflow": label, "algorithm": algorithm.value},
+            )
+        else:
+            bus = EventBus()
         session.progress = bus.publisher(label)
         sink = sys.stderr if args.output == "json" else sys.stdout
         box: dict[str, object] = {}
@@ -160,7 +189,18 @@ def cmd_debug(args) -> int:
                 box["error"] = error
             finally:
                 try:
-                    bus.publish(label, "finished", {}, close=True)
+                    bus.publish(
+                        label,
+                        "finished",
+                        {
+                            "status": (
+                                "failed" if "error" in box else "succeeded"
+                            ),
+                            "budget_spent": session.budget.spent,
+                            "wall_seconds": time.perf_counter() - started,
+                        },
+                        close=True,
+                    )
                 except Exception:
                     pass
 
@@ -172,6 +212,9 @@ def cmd_debug(args) -> int:
             if not event.terminal:
                 print(_format_event(event, wall_started), file=sink, flush=True)
         thread.join()
+        if store is not None:
+            bus.close()  # type: ignore[union-attr]
+            store.close()
         if "error" in box:
             raise box["error"]  # type: ignore[misc]
         report = box["report"]
@@ -304,6 +347,10 @@ def cmd_serve(args) -> int:
             elapsed = time.perf_counter() - started
             cache_stats = service.cache.stats.snapshot()
             scheduler_stats = service.scheduler.stats_snapshot()
+            service_stats = service.stats()
+            metrics_snapshot = (
+                service.metrics.snapshot() if args.metrics == "json" else None
+            )
     finally:
         if pool is not None:
             pool.shutdown()
@@ -326,7 +373,9 @@ def cmd_serve(args) -> int:
                         "cache": cache_stats,
                         "scheduler": scheduler_stats,
                         "pool": pool.stats() if pool is not None else None,
+                        "events": service_stats.get("events"),
                     },
+                    "metrics": metrics_snapshot,
                 },
                 indent=2,
                 sort_keys=True,
@@ -345,13 +394,27 @@ def cmd_serve(args) -> int:
             str(result.cache_stats.get("hits", 0))
             if result.cache_stats
             else "-",
+            # Per-job columnar-engine health: reference-path fallbacks
+            # (0 on clean runs) / compile-cache hits.
+            f"{result.engine_stats['fallbacks']}"
+            f"/{result.engine_stats['compile_hits']}"
+            if result.engine_stats
+            else "-",
             f"{result.wall_seconds:.2f}s",
         ]
         for result in results
     ]
     print(
         format_table(
-            ["job", "status", "causes", "executed", "cache hits", "wall"],
+            [
+                "job",
+                "status",
+                "causes",
+                "executed",
+                "cache hits",
+                "fb/ch",
+                "wall",
+            ],
             rows,
             title=f"DebugService: {len(results)} jobs, {args.workers} workers",
         )
@@ -367,10 +430,101 @@ def cmd_serve(args) -> int:
         f"scheduler: {scheduler_stats['dispatched']} dispatched, "
         f"{scheduler_stats['skipped']} budget-skipped"
     )
+    pool_stats = service_stats.get("pool")
+    if pool_stats is not None:
+        print(
+            f"pool: {pool_stats['runs']} runs, "
+            f"{pool_stats['store_hits']} store hits, "
+            f"{pool_stats['spawned']} spawned, "
+            f"{pool_stats['crashes']} crashes, "
+            f"{pool_stats['timeouts']} timeouts, "
+            f"{pool_stats['retries']} retries"
+        )
+    event_stats = service_stats.get("events")
+    if event_stats is not None:
+        print(
+            f"event log: {event_stats['flushed']} persisted, "
+            f"{event_stats['dropped']} dropped, "
+            f"{event_stats['errors']} errors"
+        )
+    if metrics_snapshot is not None:
+        print(json.dumps({"metrics": metrics_snapshot}, sort_keys=True))
     for result in results:
         if result.error is not None:
             print(f"{result.job_id} error: {result.error!r}")
     return 0 if all(result.succeeded for result in results) else 1
+
+
+def cmd_query(args) -> int:
+    """Process queries over a store's persisted job event logs."""
+    from .obs.query import Predicate, QueryEngine
+    from .provenance import SQLiteProvenanceStore
+
+    store = SQLiteProvenanceStore(args.store)
+    try:
+        return _run_query(args, QueryEngine(store), Predicate)
+    except BrokenPipeError:
+        # Downstream pipe (head, grep -q) closed early; not an error.
+        sys.stderr.close()
+        return 0
+    finally:
+        store.close()
+
+
+def _run_query(args, engine, Predicate) -> int:
+    if args.query_command == "jobs":
+        rows = engine.jobs(workflow=args.workflow)
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if args.query_command == "events":
+        try:
+            predicates = [Predicate.parse(e) for e in args.where]
+        except ValueError as error:
+            raise SystemExit(str(error))
+        for row in engine.events(
+            workflow=args.workflow,
+            kinds=args.kind or None,
+            predicates=predicates,
+            limit=args.limit,
+        ):
+            print(json.dumps(row, sort_keys=True))
+        return 0
+    if args.query_command == "seq":
+        matches = engine.sequence(args.pattern, workflow=args.workflow)
+        print(
+            json.dumps(
+                {
+                    "pattern": args.pattern,
+                    "count": len(matches),
+                    "matches": matches,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    try:
+        groups = engine.aggregate(
+            args.metric,
+            stat=args.stat,
+            group_by=args.group_by,
+            workflow=args.workflow,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(
+        json.dumps(
+            {
+                "metric": args.metric,
+                "stat": args.stat,
+                "group_by": args.group_by,
+                "groups": groups,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
 
 
 def cmd_synth(args) -> int:
@@ -455,6 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream live progress events (rounds, confirmations, budget)"
         " while the search runs; with --output json they go to stderr",
     )
+    debug.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="with --watch: persist the event stream to this SQLite"
+        " store so 'repro query' can replay it later",
+    )
 
     serve = sub.add_parser(
         "serve", help="run a batch of debugging jobs on one shared service"
@@ -501,7 +662,89 @@ def build_parser() -> argparse.ArgumentParser:
         " while the batch runs",
     )
     serve.add_argument(
+        "--metrics",
+        default="none",
+        choices=("none", "json"),
+        help="print the service metrics snapshot (counters, gauges,"
+        " histogram percentiles) after the batch",
+    )
+    serve.add_argument(
         "--output", default="text", choices=("text", "json")
+    )
+
+    query = sub.add_parser(
+        "query", help="process queries over persisted job event logs"
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    def _query_common(p) -> None:
+        p.add_argument(
+            "--store",
+            required=True,
+            metavar="PATH",
+            help="SQLite store holding the persisted event logs",
+        )
+        p.add_argument(
+            "--workflow", default=None, help="restrict to one workflow"
+        )
+
+    q_jobs = query_sub.add_parser("jobs", help="list persisted jobs")
+    _query_common(q_jobs)
+
+    q_events = query_sub.add_parser(
+        "events", help="stream matching events as JSON lines"
+    )
+    _query_common(q_events)
+    q_events.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="event kind filter (repeatable)",
+    )
+    q_events.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD OP VALUE",
+        help="predicate like 'data.remaining<100' or 'kind=span'"
+        " (repeatable; all must hold)",
+    )
+    q_events.add_argument("--limit", type=int, default=None)
+
+    q_seq = query_sub.add_parser(
+        "seq",
+        help="find jobs whose stream contains the kinds in order"
+        " (eventually-follows)",
+    )
+    _query_common(q_seq)
+    q_seq.add_argument(
+        "pattern",
+        nargs="+",
+        metavar="KIND[ FIELD OP VALUE]",
+        help="ordered event steps; a step may carry a payload predicate,"
+        " e.g. 'suspect_confirmed' 'suspect_refuted'",
+    )
+
+    q_agg = query_sub.add_parser(
+        "agg", help="aggregate span durations / event counts across jobs"
+    )
+    _query_common(q_agg)
+    q_agg.add_argument(
+        "--metric",
+        required=True,
+        help="span:<name> (seconds), count:<kind>, or a numeric jobs"
+        " column such as budget_spent",
+    )
+    q_agg.add_argument(
+        "--stat",
+        default="p95",
+        choices=("count", "sum", "mean", "min", "max", "p50", "p95"),
+    )
+    q_agg.add_argument(
+        "--group-by",
+        default=None,
+        choices=("workflow", "spec_fingerprint", "algorithm", "status"),
     )
 
     synth = sub.add_parser("synth", help="run a synthetic FindOne experiment")
@@ -524,6 +767,8 @@ def main(argv=None) -> int:
         return cmd_debug(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "query":
+        return cmd_query(args)
     return cmd_synth(args)
 
 

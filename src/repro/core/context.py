@@ -36,6 +36,8 @@ paths bit for bit, which the batch benchmark uses as its baseline.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from collections.abc import Mapping, Sequence
 
 from .engine import ColumnarEngine
@@ -106,6 +108,15 @@ class StrategyContext:
         by construction).  Tests assert this stays 0 on clean runs."""
         return 0 if self._engine is None else self._engine.fallbacks
 
+    def engine_stats(self) -> dict[str, int] | None:
+        """The columnar engine's counter snapshot (fallbacks, compile
+        cache hits/misses, match-table reuse), or None on the reference
+        engine.  This is the per-job view the service reports:
+        ``ColumnarEngine.for_session`` builds a fresh engine per
+        context, so these counters cover exactly this job's queries.
+        """
+        return None if self._engine is None else self._engine.stats()
+
     # -- Session passthrough (the budget-charging seam) -----------------------
     @property
     def space(self):
@@ -152,6 +163,21 @@ class StrategyContext:
                 progress(kind, payload)
             except Exception:
                 pass
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        """Emit a ``span`` event timing the enclosed block.
+
+        The event's payload is ``{"name": name, "seconds": elapsed}``
+        -- the same shape the session uses for ``execution`` spans --
+        so the durable log can answer per-job wall-time breakdowns
+        (solver vs execution vs persistence) without sampling.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit("span", name=name, seconds=time.perf_counter() - started)
 
     # -- Engine-selected history queries --------------------------------------
     def refutes(self, conjunction: Conjunction) -> bool:

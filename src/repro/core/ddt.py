@@ -227,35 +227,41 @@ def debugging_decision_trees(
 
     try:
         for _round in range(config.max_rounds):
-            tree = context.tree(max_depth=config.max_tree_depth)
-            if tree is None:  # reference engine, or degraded columnar store
-                samples = [
-                    (instance, outcome)
-                    for instance in context.history.instances
-                    if (outcome := context.history.outcome_of(instance))
-                    is not None
-                ]
-                tree = DebuggingTree(
-                    context.space, samples, max_depth=config.max_tree_depth
-                )
-            result.rounds += 1
-            result.tree_sizes.append(tree.size)
+            # The solver span covers the pure-reasoning part of a round
+            # (tree induction + suspect derivation + subsumption filter);
+            # execution time is accounted by the session's per-execution
+            # spans, so the two are separable in the event log.
+            with context.span("solver"):
+                tree = context.tree(max_depth=config.max_tree_depth)
+                if tree is None:  # reference engine, or degraded store
+                    samples = [
+                        (instance, outcome)
+                        for instance in context.history.instances
+                        if (outcome := context.history.outcome_of(instance))
+                        is not None
+                    ]
+                    tree = DebuggingTree(
+                        context.space, samples, max_depth=config.max_tree_depth
+                    )
+                result.rounds += 1
+                result.tree_sizes.append(tree.size)
 
-            suspects = [
-                s
-                for s in tree.fail_paths()
-                if s not in refuted and not s.is_trivial()
-            ]
-            if not config.shortest_first:
-                rng.shuffle(suspects)
-            # Skip suspects already covered by a confirmed cause -- one
-            # batched confirmed x suspects subsumption grid per round
-            # (screening the suspects against the history itself would
-            # be vacuous: a pure-fail tree path cannot be refuted by
-            # the evidence it was induced from; the batch screens run
-            # where refutation is possible -- minimization candidates
-            # and the final confirmed-cause filter).
-            suspects = context.filter_unsubsumed(confirmed, suspects)
+                suspects = [
+                    s
+                    for s in tree.fail_paths()
+                    if s not in refuted and not s.is_trivial()
+                ]
+                if not config.shortest_first:
+                    rng.shuffle(suspects)
+                # Skip suspects already covered by a confirmed cause --
+                # one batched confirmed x suspects subsumption grid per
+                # round (screening the suspects against the history
+                # itself would be vacuous: a pure-fail tree path cannot
+                # be refuted by the evidence it was induced from; the
+                # batch screens run where refutation is possible --
+                # minimization candidates and the final confirmed-cause
+                # filter).
+                suspects = context.filter_unsubsumed(confirmed, suspects)
             context.emit(
                 "round_started",
                 round=result.rounds,

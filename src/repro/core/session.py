@@ -12,6 +12,7 @@ unit and is recorded in the history.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
@@ -167,6 +168,7 @@ class DebugSession:
             self._budget.charge()
         # Execute outside the lock: pipeline runs are the expensive part
         # and are independent (Section 4.3).
+        started = time.perf_counter()
         try:
             outcome = self._executor(instance)
         except BaseException:
@@ -178,6 +180,7 @@ class DebugSession:
                 # cost measure (completed instance runs) is not charged.
                 self._budget._spent -= 1  # noqa: SLF001 - deliberate refund
             raise
+        elapsed = time.perf_counter() - started
         with self._lock:
             if self._history.outcome_of(instance) is None:
                 self._history.record(instance, outcome)
@@ -193,8 +196,11 @@ class DebugSession:
         if progress is not None:
             # Snapshot taken under the lock (self-consistent); published
             # outside it so a slow subscriber cannot stall evaluation.
-            # Exactly one budget_spent event per charged execution.
+            # Exactly one budget_spent event per charged execution, and
+            # one execution span right before it (wall-time breakdowns
+            # per job stay queryable from the event log alone).
             try:
+                progress("span", {"name": "execution", "seconds": elapsed})
                 progress(
                     "budget_spent",
                     {

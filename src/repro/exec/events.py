@@ -69,6 +69,10 @@ class JobEvent:
     timestamp: float
     payload: Mapping[str, object] = field(default_factory=dict)
     terminal: bool = False
+    #: ``time.monotonic()`` at publish -- wall clocks can step backwards
+    #: (NTP), so durable logs carry both clocks and queries over span
+    #: durations use this one.
+    monotonic: float = 0.0
 
     def to_dict(self) -> dict[str, object]:
         """JSON-friendly form (used by ``repro serve --events jsonl``)."""
@@ -108,6 +112,10 @@ class EventBus:
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self._logs: dict[str, _JobLog] = {}
+        #: job_id -> next seq of a *closed* log forgotten by ``discard``.
+        #: Readers starting at or past that point return immediately
+        #: instead of waiting for a terminal event that already passed.
+        self._retired: dict[str, int] = {}
         self._streams: list[queue.SimpleQueue] = []
         self._shutdown = False
 
@@ -133,6 +141,9 @@ class EventBus:
             log = self._logs.get(job_id)
             if log is None:
                 log = self._logs[job_id] = _JobLog()
+                # A reused job id (resubmission after discard) starts a
+                # fresh log; the old tombstone no longer applies.
+                self._retired.pop(job_id, None)
             if log.closed:
                 raise ValueError(
                     f"event log for job {job_id!r} is closed "
@@ -145,14 +156,22 @@ class EventBus:
                 timestamp=time.time(),
                 payload=dict(payload or {}),
                 terminal=close,
+                monotonic=time.monotonic(),
             )
             log.events.append(event)
             if close:
                 log.closed = True
+            # Persistence hook runs under the lock so a durable sink's
+            # queue order always matches seq order (subclasses enqueue
+            # here; actual I/O happens on the sink's flusher thread).
+            self._persist(event)
             for subscriber in self._streams:
                 subscriber.put(event)
             self._changed.notify_all()
         return event
+
+    def _persist(self, event: JobEvent) -> None:
+        """Write-through hook (no-op here; see ``repro.obs.sink``)."""
 
     def publisher(self, job_id: str):
         """A ``(kind, payload)`` callable bound to one job.
@@ -201,6 +220,13 @@ class EventBus:
         while True:
             with self._changed:
                 log = self._logs.get(job_id)
+                if log is None and job_id in self._retired:
+                    # The closed log was discarded: no event at or past
+                    # ``position`` will ever arrive, so return instead
+                    # of waiting for a terminal that already passed.
+                    # (The durable bus replays discarded prefixes from
+                    # the store before reaching this path.)
+                    return
                 while log is None or (
                     position >= len(log.events) and not log.closed
                 ):
@@ -250,9 +276,17 @@ class EventBus:
 
     # -- Lifecycle -----------------------------------------------------------
     def discard(self, job_id: str) -> None:
-        """Forget a job's log (long-lived services bound their memory)."""
-        with self._lock:
-            self._logs.pop(job_id, None)
+        """Forget a job's log (long-lived services bound their memory).
+
+        A closed log leaves a tombstone with its end sequence so late
+        ``events()`` readers return immediately rather than blocking on
+        a terminal event that was delivered before the discard.
+        """
+        with self._changed:
+            log = self._logs.pop(job_id, None)
+            if log is not None and log.closed:
+                self._retired[job_id] = len(log.events)
+            self._changed.notify_all()
 
     def shutdown(self) -> None:
         """End every firehose stream and refuse new subscriptions.

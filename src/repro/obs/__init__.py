@@ -1,0 +1,35 @@
+"""Observability: durable event logs, metrics, and process queries.
+
+The ``obs`` layer sits between ``exec`` and ``service``: it may use the
+event subsystem and the provenance store, but knows nothing about the
+service (the service *uses* it).  Three pieces:
+
+* :mod:`repro.obs.sink` -- the write-through persistence of job event
+  streams (schema v4 ``jobs``/``job_events``) and the
+  :class:`~repro.obs.sink.DurableEventBus` that replays persisted
+  prefixes transparently after a restart.
+* :mod:`repro.obs.metrics` -- a stdlib-only metrics registry
+  (counters/gauges/histograms with per-thread accumulation) plus the
+  :class:`~repro.obs.metrics.EventMetrics` progress-hook adapter that
+  turns the neutral ``(kind, payload)`` stream into metrics.
+* :mod:`repro.obs.query` -- the process-query engine behind
+  ``repro query``: kind/payload predicates, SIGNAL-style sequence
+  patterns, grouping, and aggregates over the persisted event table.
+"""
+
+from .metrics import EventMetrics, MetricsRegistry, percentile
+from .query import Predicate, QueryEngine, sequence_matches
+from .sink import DurableEventBus, EventLogSink, event_to_row, row_to_event
+
+__all__ = [
+    "DurableEventBus",
+    "EventLogSink",
+    "EventMetrics",
+    "MetricsRegistry",
+    "Predicate",
+    "QueryEngine",
+    "event_to_row",
+    "percentile",
+    "row_to_event",
+    "sequence_matches",
+]

@@ -1,0 +1,230 @@
+"""Stdlib-only metrics: counters, gauges, histograms, span accounting.
+
+The registry is built for the hot path of a debugging service: the
+algorithm threads that produce events must never contend on one global
+lock per observation.  Each thread therefore accumulates into its own
+*shard* (a ``threading.local`` slot); the only synchronized operations
+are shard registration (once per thread) and :meth:`MetricsRegistry.
+snapshot`, which merges the shards into one consistent-enough view.
+Counters are summed across shards, histograms merge their count/sum/
+min/max plus a bounded sample window (enough for p50/p95), and gauges
+are last-write-wins under a lock (they are set rarely).
+
+:class:`EventMetrics` adapts the registry to the neutral
+``(kind, payload)`` progress hook shape used everywhere below the
+service: it forwards every event unchanged and, on the side, counts
+events per kind and accumulates ``span`` payloads (``{"name",
+"seconds"}``) into per-job totals -- the payload of the job-end
+``metrics_snapshot`` event.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+__all__ = ["EventMetrics", "MetricsRegistry", "percentile"]
+
+#: Per-shard histogram sample window.  Old samples are overwritten in
+#: ring order, so long-running services keep a recent, bounded view.
+SAMPLE_WINDOW = 2048
+
+
+def percentile(samples, q: float) -> float | None:
+    """Linear-interpolated q-quantile (q in [0, 1]) of a sample list."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+class _HistogramShard:
+    __slots__ = ("count", "total", "minimum", "maximum", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < SAMPLE_WINDOW:
+            self.samples.append(value)
+        else:  # ring overwrite: keep a recent bounded window
+            self.samples[self.count % SAMPLE_WINDOW] = value
+
+
+class _Shard:
+    """One thread's private accumulation state."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, _HistogramShard] = {}
+
+
+class MetricsRegistry:
+    """Process-wide metrics with per-thread accumulation.
+
+    ``counter``/``observe`` touch only the calling thread's shard (no
+    lock on the hot path beyond first-use registration); ``gauge`` and
+    ``snapshot`` synchronize.  Snapshots are merge-consistent rather
+    than point-in-time atomic: a concurrent increment may or may not be
+    visible, which is the usual (and sufficient) metrics contract.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: list[_Shard] = []
+        self._gauges: dict[str, float] = {}
+
+    def _shard(self) -> _Shard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = _Shard()
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    # -- Recording -----------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0) -> None:
+        counters = self._shard().counters
+        counters[name] = counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation (e.g. a span duration)."""
+        histograms = self._shard().histograms
+        shard = histograms.get(name)
+        if shard is None:
+            shard = histograms[name] = _HistogramShard()
+        shard.observe(float(value))
+
+    # -- Export --------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Merged view of every shard, JSON-friendly.
+
+        Shape::
+
+            {"counters": {name: total},
+             "gauges": {name: value},
+             "histograms": {name: {"count", "sum", "min", "max",
+                                   "p50", "p95"}}}
+        """
+        with self._lock:
+            shards = list(self._shards)
+            gauges = dict(self._gauges)
+        counters: dict[str, float] = {}
+        merged: dict[str, list] = {}  # name -> [count, sum, min, max, samples]
+        for shard in shards:
+            for name, value in list(shard.counters.items()):
+                counters[name] = counters.get(name, 0.0) + value
+            for name, hist in list(shard.histograms.items()):
+                entry = merged.setdefault(name, [0, 0.0, None, None, []])
+                entry[0] += hist.count
+                entry[1] += hist.total
+                for index, pick in ((2, min), (3, max)):
+                    bound = (hist.minimum, hist.maximum)[index - 2]
+                    if bound is not None:
+                        entry[index] = (
+                            bound
+                            if entry[index] is None
+                            else pick(entry[index], bound)
+                        )
+                entry[4].extend(hist.samples)
+        histograms = {
+            name: {
+                "count": count,
+                "sum": total,
+                "min": minimum,
+                "max": maximum,
+                "p50": percentile(samples, 0.50),
+                "p95": percentile(samples, 0.95),
+            }
+            for name, (count, total, minimum, maximum, samples) in sorted(
+                merged.items()
+            )
+        }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": histograms,
+        }
+
+
+class EventMetrics:
+    """Progress-hook adapter: forward events, accumulate metrics.
+
+    Wraps a neutral ``(kind, payload)`` publisher (typically
+    ``EventBus.publisher(job_id)``) so everything the job emits is both
+    delivered unchanged *and* folded into:
+
+    * the shared :class:`MetricsRegistry` (``events.<kind>`` counters,
+      ``span.<name>.seconds`` histograms), and
+    * a per-job tally of event counts and span totals --
+      :meth:`snapshot_payload` is the payload of the job-end
+      ``metrics_snapshot`` event, which makes per-job wall-time
+      breakdowns queryable from the durable log alone.
+    """
+
+    def __init__(self, publish, registry: MetricsRegistry | None = None):
+        self._publish = publish
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._event_counts: dict[str, int] = {}
+        self._spans: dict[str, list] = {}  # name -> [count, total_seconds]
+
+    def __call__(
+        self, kind: str, payload: Mapping[str, object] | None = None
+    ) -> None:
+        kind = str(getattr(kind, "value", kind))
+        payload = dict(payload or {})
+        span_name = None
+        seconds = 0.0
+        if kind == "span":
+            span_name = str(payload.get("name", "?"))
+            try:
+                seconds = float(payload.get("seconds", 0.0))
+            except (TypeError, ValueError):
+                seconds = 0.0
+        with self._lock:
+            self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
+            if span_name is not None:
+                entry = self._spans.setdefault(span_name, [0, 0.0])
+                entry[0] += 1
+                entry[1] += seconds
+        if self._registry is not None:
+            self._registry.counter(f"events.{kind}")
+            if span_name is not None:
+                self._registry.observe(f"span.{span_name}.seconds", seconds)
+        self._publish(kind, payload)
+
+    def snapshot_payload(self) -> dict[str, dict]:
+        """The per-job tally, shaped for the ``metrics_snapshot`` event."""
+        with self._lock:
+            return {
+                "events": dict(sorted(self._event_counts.items())),
+                "spans": {
+                    name: {"count": count, "total_seconds": total}
+                    for name, (count, total) in sorted(self._spans.items())
+                },
+            }

@@ -1,0 +1,296 @@
+"""Process queries over persisted job event logs (SIGNAL-style).
+
+The persisted ``job_events`` table is a *process log*: per-job totally
+ordered event sequences with JSON payloads.  This module answers the
+questions the SIGNAL process query language poses over such logs --
+"which jobs confirmed a suspect and later refuted one?", "p95 solver
+time by workload family?" -- with three primitives:
+
+* **Predicates** (:class:`Predicate`): ``field OP value`` filters over
+  an event's envelope (``kind``, ``job_id``, ``seq``, ``terminal``) or
+  its payload (dotted paths reach nested objects, e.g.
+  ``spans.solver.total_seconds``).  Values are parsed as JSON when
+  possible, so ``budget=12`` compares numerically and ``status="done"``
+  as a string.
+* **Sequence patterns** (:func:`sequence_matches`): an ordered list of
+  steps, each a kind plus optional predicates; a job matches when its
+  events contain the steps *in order* (not necessarily adjacent) --
+  SIGNAL's ``A ~> B`` eventually-follows operator, evaluated by a
+  streaming automaton over the ``(job_id, seq)``-ordered scan.
+* **Aggregates** (:meth:`QueryEngine.aggregate`): per-job metrics
+  (span-duration sums, event counts, or ``jobs``-row columns) grouped
+  by workload family / spec fingerprint / algorithm / status and
+  reduced with count/sum/mean/min/max/p50/p95.
+
+Everything streams over :meth:`~repro.provenance.store.
+SQLiteProvenanceStore.iter_job_events`; no query materializes the
+whole event table.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+
+from .metrics import percentile
+
+__all__ = ["Predicate", "QueryEngine", "sequence_matches"]
+
+_ENVELOPE_FIELDS = {"job_id", "seq", "kind", "terminal", "ts_wall", "ts_monotonic"}
+
+#: Operators, longest first so ``<=`` wins over ``<`` when parsing.
+_OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+class Predicate:
+    """One ``field OP value`` filter over an event row."""
+
+    def __init__(self, field: str, op: str, value):
+        if op not in _OPERATORS:
+            raise ValueError(f"unknown operator {op!r}")
+        self.field = field
+        self.op = op
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Predicate({self.field!r} {self.op} {self.value!r})"
+
+    @classmethod
+    def parse(cls, expression: str) -> "Predicate":
+        """Parse ``field OP value`` (value JSON when possible).
+
+        Examples: ``kind=suspect_confirmed``, ``seq>=10``,
+        ``name=solver``, ``seconds>0.5``, ``spans.solver.count!=0``.
+        """
+        for op in _OPERATORS:
+            index = expression.find(op)
+            if index > 0:
+                field = expression[:index].strip()
+                raw = expression[index + len(op):].strip()
+                try:
+                    value = json.loads(raw)
+                except (json.JSONDecodeError, ValueError):
+                    value = raw  # bare words compare as strings
+                return cls(field, op, value)
+        raise ValueError(
+            f"cannot parse predicate {expression!r} (expected field OP value)"
+        )
+
+    def _extract(self, row: dict):
+        if self.field in _ENVELOPE_FIELDS:
+            return row.get(self.field)
+        node = row.get("payload") or {}
+        for part in self.field.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node
+
+    def matches(self, row: dict) -> bool:
+        actual = self._extract(row)
+        expected = self.value
+        if self.op == "=":
+            return actual == expected
+        if self.op == "!=":
+            return actual != expected
+        if actual is None:
+            return False
+        try:
+            return {
+                "<": actual < expected,
+                "<=": actual <= expected,
+                ">": actual > expected,
+                ">=": actual >= expected,
+            }[self.op]
+        except TypeError:
+            return False  # incomparable types never match an ordering
+
+
+def _parse_step(step) -> tuple[str, list[Predicate]]:
+    """A pattern step: ``"kind"`` or ``"kind[pred,pred]"`` or a pair."""
+    if isinstance(step, tuple):
+        kind, predicates = step
+        return kind, list(predicates)
+    step = step.strip()
+    if step.endswith("]") and "[" in step:
+        kind, __, inner = step.partition("[")
+        inner = inner[:-1]
+        predicates = [
+            Predicate.parse(part.strip())
+            for part in inner.split(",")
+            if part.strip()
+        ]
+        return kind.strip(), predicates
+    return step, []
+
+
+def sequence_matches(
+    rows: Iterable[dict], pattern: Iterable
+) -> Iterator[dict]:
+    """Jobs whose event sequence contains the pattern steps in order.
+
+    ``rows`` must be ordered by ``(job_id, seq)`` (the order
+    ``iter_job_events`` yields).  Each step is a kind, optionally with
+    predicates (``"suspect_confirmed"`` or ``"span[name=solver]"``).
+    Yields one match dict per matching job -- the *first* witness:
+    ``{"job_id": ..., "seqs": [seq of each matched step]}``.
+    """
+    steps = [_parse_step(step) for step in pattern]
+    if not steps:
+        return
+    current_job: str | None = None
+    position = 0
+    seqs: list[int] = []
+    for row in rows:
+        if row["job_id"] != current_job:
+            current_job = row["job_id"]
+            position = 0
+            seqs = []
+        if position >= len(steps):
+            continue  # job already matched; skip to the next job
+        kind, predicates = steps[position]
+        if row["kind"] == kind and all(p.matches(row) for p in predicates):
+            seqs.append(row["seq"])
+            position += 1
+            if position == len(steps):
+                yield {"job_id": current_job, "seqs": list(seqs)}
+
+
+_STATS = {
+    "count": len,
+    "sum": sum,
+    "mean": lambda values: sum(values) / len(values) if values else None,
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+    "p50": lambda values: percentile(values, 0.50),
+    "p95": lambda values: percentile(values, 0.95),
+}
+
+_GROUP_FIELDS = ("workflow", "spec_fingerprint", "algorithm", "status")
+
+
+class QueryEngine:
+    """Queries over one schema-v4 provenance store."""
+
+    def __init__(self, store):
+        self._store = store
+
+    # -- Raw scans -----------------------------------------------------------
+    def jobs(self, workflow: str | None = None) -> list[dict]:
+        rows = self._store.job_rows()
+        if workflow is not None:
+            rows = [row for row in rows if row["workflow"] == workflow]
+        return rows
+
+    def events(
+        self,
+        workflow: str | None = None,
+        kinds: Iterable[str] | None = None,
+        predicates: Iterable[Predicate] = (),
+        limit: int | None = None,
+    ) -> Iterator[dict]:
+        """Filtered streaming scan (kind filter is pushed into SQL)."""
+        predicates = list(predicates)
+        yielded = 0
+        for row in self._store.iter_job_events(workflow=workflow, kinds=kinds):
+            if all(p.matches(row) for p in predicates):
+                yield row
+                yielded += 1
+                if limit is not None and yielded >= limit:
+                    return
+
+    # -- Sequence patterns ---------------------------------------------------
+    def sequence(
+        self, pattern: Iterable, workflow: str | None = None
+    ) -> list[dict]:
+        """Jobs matching the ordered pattern (see :func:`sequence_matches`).
+
+        Only the pattern's kinds are scanned -- SIGNAL's eventually-
+        follows semantics ignore interleaved events, so restricting the
+        scan changes nothing but the I/O.
+        """
+        steps = [_parse_step(step) for step in pattern]
+        kinds = sorted({kind for kind, __ in steps})
+        rows = self._store.iter_job_events(workflow=workflow, kinds=kinds)
+        return list(sequence_matches(rows, steps))
+
+    # -- Grouped aggregates --------------------------------------------------
+    def _per_job_values(
+        self, metric: str, workflow: str | None
+    ) -> dict[str, float]:
+        """One numeric value per job for ``metric``.
+
+        Metric forms:
+
+        * ``span:<name>`` -- summed seconds of that span per job;
+        * ``count:<kind>`` -- events of that kind per job;
+        * a ``jobs``-row numeric column (``wall_seconds``,
+          ``budget_spent``) per job.
+        """
+        values: dict[str, float] = {}
+        if metric.startswith("span:"):
+            name = metric.split(":", 1)[1]
+            rows = self._store.iter_job_events(
+                workflow=workflow, kinds=["span"]
+            )
+            for row in rows:
+                payload = row.get("payload") or {}
+                if payload.get("name") != name:
+                    continue
+                try:
+                    seconds = float(payload.get("seconds", 0.0))
+                except (TypeError, ValueError):
+                    continue
+                values[row["job_id"]] = values.get(row["job_id"], 0.0) + seconds
+            return values
+        if metric.startswith("count:"):
+            kind = metric.split(":", 1)[1]
+            rows = self._store.iter_job_events(
+                workflow=workflow, kinds=[kind]
+            )
+            for row in rows:
+                values[row["job_id"]] = values.get(row["job_id"], 0.0) + 1.0
+            return values
+        for job in self.jobs(workflow):
+            value = job.get(metric)
+            if isinstance(value, (int, float)):
+                values[job["job_id"]] = float(value)
+        return values
+
+    def aggregate(
+        self,
+        metric: str,
+        stat: str = "p95",
+        group_by: str | None = None,
+        workflow: str | None = None,
+    ) -> dict[str, dict]:
+        """Grouped reduction of a per-job metric.
+
+        Returns ``{group: {"jobs": n, "value": reduced}}``; the single
+        group is ``"*"`` when ``group_by`` is None.  ``group_by`` may be
+        any of ``workflow``/``spec_fingerprint``/``algorithm``/
+        ``status`` (columns of the ``jobs`` table).
+        """
+        if stat not in _STATS:
+            raise ValueError(
+                f"unknown stat {stat!r} (choose from {sorted(_STATS)})"
+            )
+        if group_by is not None and group_by not in _GROUP_FIELDS:
+            raise ValueError(
+                f"unknown group field {group_by!r} "
+                f"(choose from {_GROUP_FIELDS})"
+            )
+        values = self._per_job_values(metric, workflow)
+        job_groups: dict[str, str] = {}
+        if group_by is not None:
+            for job in self.jobs(workflow):
+                job_groups[job["job_id"]] = str(job.get(group_by))
+        grouped: dict[str, list[float]] = {}
+        for job_id, value in values.items():
+            group = job_groups.get(job_id, "*") if group_by else "*"
+            grouped.setdefault(group, []).append(value)
+        reduce = _STATS[stat]
+        return {
+            group: {"jobs": len(members), "value": reduce(members)}
+            for group, members in sorted(grouped.items())
+        }

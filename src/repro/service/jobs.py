@@ -170,6 +170,11 @@ class JobResult:
             (``requests`` routed through it, ``executions`` its own
             inner executor ran, ``hits`` served by the shared tiers);
             None for jobs that never built a session.
+        engine_stats: the job's columnar-engine counter snapshot
+            (``fallbacks``, compile-cache and match-table traffic; see
+            :meth:`~repro.core.engine.ColumnarEngine.stats`), or None
+            for custom ``run`` bodies, reference-engine jobs, and jobs
+            that never built a strategy context.
         accounting_settled: True when every execution request the job
             issued had resolved before the counters were read.  False
             only on an abnormal teardown (cancellation/failure) where a
@@ -188,6 +193,7 @@ class JobResult:
     new_executions: int = 0
     wall_seconds: float = 0.0
     cache_stats: dict[str, int] | None = None
+    engine_stats: dict[str, int] | None = None
     accounting_settled: bool = True
 
     @property
@@ -207,6 +213,7 @@ class JobResult:
             "new_executions": self.new_executions,
             "wall_seconds": self.wall_seconds,
             "cache": dict(self.cache_stats) if self.cache_stats else None,
+            "engine": dict(self.engine_stats) if self.engine_stats else None,
             "error": repr(self.error) if self.error is not None else None,
         }
 

@@ -21,6 +21,8 @@ can happily multiplex dozens of in-flight jobs.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 
@@ -30,12 +32,69 @@ from ..core.session import DebugSession
 from ..core.stacked import DEFAULT_STACK_WIDTH
 from ..exec.events import EventBus
 from ..exec.pool import ProcessPool
-from ..provenance.store import ProvenanceStore
+from ..obs.metrics import EventMetrics, MetricsRegistry
+from ..obs.sink import DurableEventBus
+from ..provenance.store import ProvenanceStore, space_key
 from .cache import CachedExecutor, ExecutionCache
 from .jobs import JobCancelled, JobGoal, JobHandle, JobResult, JobSpec, JobStatus
 from .scheduler import SharedScheduler
 
-__all__ = ["DebugService"]
+__all__ = ["DebugService", "report_fingerprint", "spec_fingerprint"]
+
+
+def spec_fingerprint(spec: JobSpec) -> str:
+    """Content fingerprint of what a job *asks for*.
+
+    Two submissions with the same fingerprint request the same debugging
+    work: same workflow, algorithm, goal, budget, seed, parameter space
+    (via its interned code tables) and -- for process jobs -- the same
+    executor spec.  In-process callables cannot be fingerprinted, so
+    they contribute only their presence.  This is the grouping key
+    ``repro query`` aggregates by across runs.
+    """
+    executor = (
+        spec.executor_spec.fingerprint
+        if spec.executor_spec is not None
+        else ("inline" if spec.executor is not None else None)
+    )
+    payload = json.dumps(
+        {
+            "workflow": spec.workflow,
+            "algorithm": spec.algorithm.value,
+            "goal": spec.goal.value,
+            "budget": spec.budget,
+            "seed": spec.seed,
+            "space": space_key(spec.space),
+            "executor": executor,
+            "stack_width": spec.stack_width,
+            "parallel_batches": spec.parallel_batches,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def report_fingerprint(result: JobResult) -> str:
+    """Content fingerprint of what a job *produced*.
+
+    Hashes the externally-meaningful outcome -- status, root causes,
+    budget accounting -- so byte-identical debugging results compare
+    equal across persistence modes and service restarts (the
+    ``bench_event_overhead`` identity gate compares exactly this).
+    """
+    causes = None
+    if result.report is not None:
+        causes = sorted(str(cause) for cause in result.report.causes)
+    payload = json.dumps(
+        {
+            "status": result.status.value,
+            "causes": causes,
+            "budget_spent": result.budget_spent,
+            "new_executions": result.new_executions,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
 class _CancellationGuard:
@@ -88,6 +147,11 @@ class DebugService:
             budget/history accounting, the shared cache, and
             cancellation stay in-parent and unchanged.  The pool is not
             owned: :meth:`shutdown` leaves it running for other owners.
+        persist_events: write job event logs through to the provenance
+            store (on by default; effective only when the service's
+            cache is backed by a schema-v4 store).  Readers then replay
+            persisted prefixes transparently after a restart.  Pass
+            False to keep event logs in-memory only.
 
     Typical use::
 
@@ -105,6 +169,7 @@ class DebugService:
         cache_max_entries: int | None = None,
         weighted_fairness: bool = False,
         pool: ProcessPool | None = None,
+        persist_events: bool = True,
     ):
         if cache is not None and store is not None:
             raise ValueError("pass either a cache or a store, not both")
@@ -126,7 +191,17 @@ class DebugService:
             else ExecutionCache(store=store, max_entries=cache_max_entries)
         )
         self._pool = pool
-        self._events = EventBus()
+        # Durable telemetry: when the cache is backed by a schema-v4
+        # provenance store, job event logs are written through to it
+        # (batched off the hot path) and readers transparently replay
+        # persisted prefixes after a restart.  ``persist_events=False``
+        # opts out (the event-overhead benchmark's baseline).
+        event_store = store if store is not None else self._cache.store
+        if persist_events and hasattr(event_store, "append_job_events"):
+            self._events: EventBus = DurableEventBus(event_store)
+        else:
+            self._events = EventBus()
+        self._metrics = MetricsRegistry()
         self._jobs: dict[str, JobHandle] = {}
         self._lock = threading.Lock()
         self._admission = (
@@ -156,6 +231,11 @@ class DebugService:
         return self._pool
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The service-wide metrics registry (``repro serve --metrics``)."""
+        return self._metrics
+
+    @property
     def jobs(self) -> dict[str, JobHandle]:
         with self._lock:
             return dict(self._jobs)
@@ -167,11 +247,19 @@ class DebugService:
             for handle in self._jobs.values():
                 key = handle.status.value
                 statuses[key] = statuses.get(key, 0) + 1
-        return {
+        stats: dict[str, object] = {
             "jobs": statuses,
             "scheduler": self._scheduler.stats_snapshot(),
             "cache": self._cache.stats.snapshot(),
         }
+        if self._pool is not None:
+            stats["pool"] = self._pool.stats()
+        if isinstance(self._events, DurableEventBus):
+            # Barrier first: without it a stats call racing the
+            # flusher's coalesce window undercounts `flushed`.
+            self._events.flush(timeout=5.0)
+            stats["events"] = self._events.sink.stats()
+        return stats
 
     # -- Submission ----------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobHandle:
@@ -196,6 +284,7 @@ class DebugService:
                 "budget": spec.budget,
                 "process": spec.executor_spec is not None
                 and self._pool is not None,
+                "spec_fingerprint": spec_fingerprint(spec),
             },
         )
         if spec.priority != 1:
@@ -335,16 +424,34 @@ class DebugService:
         started = time.perf_counter()
         session: DebugSession | None = None
         cached: CachedExecutor | None = None
+        engine_stats: dict[str, int] | None = None
+        # Every job event flows through the metrics adapter: forwarded
+        # to the bus unchanged, counted into the service registry, and
+        # tallied per job for the terminal metrics_snapshot event.
+        progress = EventMetrics(
+            self._events.publisher(spec.job_id), self._metrics
+        )
         try:
             # A job cancelled while queued behind admission control (or
             # between submit and start) never builds a session at all.
             handle.check_cancelled()
             handle._mark_running()
             self._events.publish(spec.job_id, "started")
+            build_started = time.perf_counter()
             session, cached = self._build_session_parts(
                 spec,
                 handle._cancel,
-                self._events.publisher(spec.job_id),
+                progress,
+            )
+            # Session construction covers the persistence-facing setup:
+            # warming the shared cache from prior provenance and (on
+            # store-backed services) hydrating interned code tables.
+            progress(
+                "span",
+                {
+                    "name": "persistence",
+                    "seconds": time.perf_counter() - build_started,
+                },
             )
             handle.session = session
             value: object = None
@@ -372,6 +479,7 @@ class DebugService:
                         stack_width=stack_width,
                         ddt_config=spec.ddt_config,
                     )
+                engine_stats = bugdoc.strategy_context.engine_stats()
             result = JobResult(
                 job_id=spec.job_id,
                 status=JobStatus.SUCCEEDED,
@@ -381,6 +489,7 @@ class DebugService:
                 new_executions=session.new_executions,
                 wall_seconds=time.perf_counter() - started,
                 cache_stats=cached.stats_snapshot(),
+                engine_stats=engine_stats,
             )
         except BaseException as error:  # job isolation: never kill the service
             with self._lock:
@@ -408,14 +517,35 @@ class DebugService:
                 cache_stats=(
                     cached.stats_snapshot() if cached is not None else None
                 ),
+                engine_stats=engine_stats,
                 accounting_settled=settled,
             )
         finally:
             if self._admission is not None:
                 self._admission.release()
             self._scheduler.clear_priority(spec.job_id)
+        self._publish_metrics_snapshot(progress, result)
         self._publish_finished(result)
         handle._finish(result)
+
+    @staticmethod
+    def _publish_metrics_snapshot(
+        progress: EventMetrics, result: JobResult
+    ) -> None:
+        """The job's penultimate event: its own telemetry rollup.
+
+        Event counts and span totals (from the metrics adapter) plus
+        the cache/engine counter snapshots, so per-job breakdowns stay
+        queryable from the durable event log alone.  Best-effort, like
+        every observability path.
+        """
+        try:
+            payload = progress.snapshot_payload()
+            payload["cache"] = result.cache_stats
+            payload["engine"] = result.engine_stats
+            progress("metrics_snapshot", payload)
+        except Exception:
+            pass
 
     def _publish_finished(self, result: JobResult) -> None:
         """Close the job's event stream with its terminal event.
@@ -441,6 +571,7 @@ class DebugService:
                     "error": (
                         repr(result.error) if result.error is not None else None
                     ),
+                    "report_fingerprint": report_fingerprint(result),
                 },
                 close=True,
             )
@@ -480,6 +611,11 @@ class DebugService:
             self._shutdown = True
         self._scheduler.shutdown()
         self._events.shutdown()
+        if isinstance(self._events, DurableEventBus):
+            # Drain the sink and switch it to synchronous writes, so
+            # jobs still tearing down after shutdown land their terminal
+            # events in the store (the bus keeps accepting them).
+            self._events.close()
 
     def __enter__(self) -> "DebugService":
         return self

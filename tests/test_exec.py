@@ -176,6 +176,40 @@ class TestEventBus:
         bus.shutdown()
         assert list(stream) == []
 
+    def test_events_start_past_end_of_closed_log_returns(self):
+        bus = EventBus()
+        bus.publish("job", "started")
+        bus.publish("job", "finished", {}, close=True)
+        # start beyond the closed log's end: nothing will ever arrive
+        # there, so the iterator must end instead of waiting.
+        assert list(bus.events("job", start=2)) == []
+        assert list(bus.events("job", start=99)) == []
+
+    def test_events_after_discard_of_closed_log_returns(self):
+        bus = EventBus()
+        bus.publish("job", "started")
+        bus.publish("job", "finished", {}, close=True)
+        bus.discard("job")
+        # The terminal event passed before the reader attached and the
+        # log is gone; without the tombstone this blocked forever.
+        assert list(bus.events("job")) == []
+        assert list(bus.events("job", start=5)) == []
+        # Resubmission under the same id clears the tombstone -- the
+        # fresh log replays live again.
+        bus.publish("job", "submitted")
+        bus.publish("job", "finished", {}, close=True)
+        assert [e.kind for e in bus.events("job")] == [
+            "submitted",
+            "finished",
+        ]
+        # Discarding an *open* log leaves no tombstone: a brand-new
+        # unknown job id must still block (the live-wait contract).
+        bus.publish("open-job", "started")
+        bus.discard("open-job")
+        iterator = bus.events("open-job", timeout=0.05)
+        with pytest.raises(TimeoutError):
+            next(iterator)
+
 
 # ---------------------------------------------------------------------------
 # Executor specs

@@ -1,0 +1,607 @@
+"""Tests for the observability layer (repro.obs): durable event logs,
+the write-through sink, the metrics registry, and replay.
+
+The contracts under test:
+
+1. **Durability is prefix-complete.**  Persisted event rows are always
+   a seq-contiguous prefix of the live stream -- batched flushing,
+   drops under backpressure, and hard crashes may lose a *tail*, never
+   fabricate a gap-hiding "complete" stream.
+2. **Replay is byte-identical.**  An event replayed from the store
+   (``DurableEventBus.events`` on a fresh bus, a restarted service)
+   serializes to exactly the bytes the live event did.
+3. **Telemetry never breaks the job.**  A full sink queue drops and
+   counts; a broken store counts errors; the job's own event stream and
+   result are unaffected.
+4. **Metrics are cheap and consistent.**  Per-thread shards merge into
+   one snapshot; span events feed histograms; the job-end
+   ``metrics_snapshot`` event carries the per-job tally.
+5. **Crash recovery** (satellite): a service killed mid-job leaves a
+   queryable, seq-contiguous prefix that a fresh bus replays and then
+   ends -- it never blocks waiting for a terminal event that died with
+   the old process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    Instance,
+    Outcome,
+    Parameter,
+    ParameterSpace,
+)
+from repro.exec import EventBus
+from repro.obs import (
+    DurableEventBus,
+    EventLogSink,
+    EventMetrics,
+    MetricsRegistry,
+    event_to_row,
+    percentile,
+    row_to_event,
+)
+from repro.provenance import SQLiteProvenanceStore
+from repro.service import DebugService, JobSpec, JobStatus
+from repro.service.service import report_fingerprint, spec_fingerprint
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3)),
+            Parameter("b", ("x", "y")),
+        ]
+    )
+
+
+def _oracle(instance: Instance) -> Outcome:
+    return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+
+def _job(job_id: str, count: int = 6, workflow: str = "obs", **kwargs):
+    space = _space()
+
+    def run(session):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(count):
+            session.evaluate(space.random_instance(rng))
+        return count
+
+    return JobSpec(
+        job_id=job_id,
+        executor=_oracle,
+        space=space,
+        workflow=workflow,
+        run=run,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema-v4 store: jobs + job_events
+# ---------------------------------------------------------------------------
+
+def _row(job_id, seq, kind, terminal=False, payload=None):
+    return {
+        "job_id": job_id,
+        "seq": seq,
+        "kind": kind,
+        "ts_wall": 1000.0 + seq,
+        "ts_monotonic": 10.0 + seq,
+        "terminal": terminal,
+        "payload": payload or {},
+    }
+
+
+class TestStoreV4:
+    def test_job_lifecycle_rows(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "v4.db")
+        store.begin_job(
+            "j1", workflow="wf", algorithm="combined",
+            spec_fingerprint="abc", created_at=1.0,
+        )
+        assert store.job_row("j1")["status"] == "submitted"
+        store.finish_job(
+            "j1", status="succeeded", report_fingerprint="def",
+            budget_spent=5, wall_seconds=1.5, finished_at=2.0,
+        )
+        row = store.job_row("j1")
+        assert row["status"] == "succeeded"
+        assert row["spec_fingerprint"] == "abc"
+        assert row["report_fingerprint"] == "def"
+        assert row["budget_spent"] == 5
+        assert store.job_row("missing") is None
+        assert [r["job_id"] for r in store.job_rows()] == ["j1"]
+        store.close()
+
+    def test_begin_job_is_latest_wins(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "v4.db")
+        store.begin_job("j1", workflow="wf")
+        store.append_job_events([_row("j1", 0, "submitted")])
+        store.finish_job("j1", status="succeeded")
+        # Resubmission purges the prior incarnation's row and events.
+        store.begin_job("j1", workflow="wf2")
+        assert store.job_row("j1")["status"] == "submitted"
+        assert store.job_row("j1")["workflow"] == "wf2"
+        assert store.job_event_rows("j1") == []
+        store.close()
+
+    def test_event_rows_are_prefix_complete(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "v4.db")
+        store.append_job_events(
+            [_row("j1", 0, "submitted"), _row("j1", 1, "started")]
+        )
+        # A gap: seq 2 was lost (dropped row / crashed flush).
+        store.append_job_events(
+            [_row("j1", 3, "late"), _row("j1", 4, "finished", terminal=True)]
+        )
+        rows = store.job_event_rows("j1")
+        assert [r["seq"] for r in rows] == [0, 1]
+        assert not any(r["terminal"] for r in rows)
+        # start= filters within the prefix, it does not extend it.
+        assert [r["seq"] for r in store.job_event_rows("j1", start=1)] == [1]
+        assert store.job_event_rows("j1", start=2) == []
+        store.close()
+
+    def test_append_is_idempotent(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "v4.db")
+        first = _row("j1", 0, "submitted", payload={"v": 1})
+        store.append_job_events([first])
+        # Redelivery (sink retry) must not duplicate or overwrite.
+        store.append_job_events([_row("j1", 0, "submitted", payload={"v": 2})])
+        rows = store.job_event_rows("j1")
+        assert len(rows) == 1
+        assert rows[0]["payload"] == {"v": 1}
+        assert store.job_event_count() == 1
+        store.close()
+
+    def test_iter_job_events_orders_and_filters(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "v4.db")
+        store.begin_job("a", workflow="wf1")
+        store.begin_job("b", workflow="wf2")
+        store.append_job_events(
+            [
+                _row("b", 0, "submitted"),
+                _row("a", 0, "submitted"),
+                _row("a", 1, "span", payload={"name": "solver"}),
+                _row("b", 1, "finished", terminal=True),
+            ]
+        )
+        rows = list(store.iter_job_events(batch_size=2))
+        assert [(r["job_id"], r["seq"]) for r in rows] == [
+            ("a", 0), ("a", 1), ("b", 0), ("b", 1),
+        ]
+        assert [
+            r["job_id"] for r in store.iter_job_events(workflow="wf1")
+        ] == ["a", "a"]
+        assert [
+            r["kind"] for r in store.iter_job_events(kinds=["span"])
+        ] == ["span"]
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Row conversion + sink
+# ---------------------------------------------------------------------------
+
+class TestSink:
+    def test_row_roundtrip_is_byte_identical(self, tmp_path):
+        bus = EventBus()
+        live = bus.publish("j", "span", {"name": "solver", "seconds": 0.25})
+        store = SQLiteProvenanceStore(tmp_path / "s.db")
+        store.append_job_events([event_to_row(live)])
+        (persisted,) = store.job_event_rows("j")
+        replayed = row_to_event(persisted)
+        assert json.dumps(replayed.to_dict(), sort_keys=True) == json.dumps(
+            live.to_dict(), sort_keys=True
+        )
+        assert replayed.monotonic == live.monotonic
+        store.close()
+
+    def test_sink_flush_barrier_and_lifecycle(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "s.db")
+        sink = EventLogSink(store)
+        bus = EventBus()
+        sink.enqueue(
+            bus.publish(
+                "j", "submitted", {"workflow": "wf", "algorithm": "combined"}
+            )
+        )
+        sink.enqueue(bus.publish("j", "started"))
+        sink.enqueue(
+            bus.publish(
+                "j",
+                "finished",
+                {"status": "succeeded", "budget_spent": 3},
+                close=True,
+            )
+        )
+        assert sink.flush(5.0)
+        assert [r["kind"] for r in store.job_event_rows("j")] == [
+            "submitted", "started", "finished",
+        ]
+        row = store.job_row("j")
+        assert row["workflow"] == "wf"
+        assert row["status"] == "succeeded"
+        assert row["budget_spent"] == 3
+        assert sink.stats()["flushed"] == 3
+        sink.close()
+        store.close()
+
+    def test_full_queue_drops_and_counts(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "s.db")
+        sink = EventLogSink(store, maxsize=1)
+        # Stall the flusher so the queue stays full.
+        gate = threading.Event()
+        original = sink._write
+
+        def slow_write(rows):
+            gate.wait(5.0)
+            original(rows)
+
+        sink._write = slow_write
+        bus = EventBus()
+        for index in range(50):
+            sink.enqueue(bus.publish("j", f"k{index}"))
+        gate.set()
+        sink.flush(5.0)
+        stats = sink.stats()
+        assert stats["dropped"] > 0
+        assert stats["flushed"] + stats["dropped"] == 50
+        # What did land is still a contiguous prefix.
+        rows = store.job_event_rows("j")
+        assert [r["seq"] for r in rows] == list(range(len(rows)))
+        sink.close()
+        store.close()
+
+    def test_store_errors_are_swallowed_and_counted(self):
+        class BrokenStore:
+            def append_job_events(self, rows):
+                raise RuntimeError("disk on fire")
+
+        sink = EventLogSink(BrokenStore())
+        bus = EventBus()
+        sink.enqueue(bus.publish("j", "submitted"))
+        sink.flush(5.0)
+        assert sink.stats()["errors"] == 1
+        assert sink.stats()["flushed"] == 0
+        sink.close()
+
+    def test_close_switches_to_synchronous_writes(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "s.db")
+        sink = EventLogSink(store)
+        bus = EventBus()
+        sink.enqueue(bus.publish("j", "submitted"))
+        sink.close()
+        # Late teardown events (jobs finishing after service shutdown)
+        # still land, synchronously.
+        sink.enqueue(bus.publish("j", "finished", {}, close=True))
+        assert [r["kind"] for r in store.job_event_rows("j")] == [
+            "submitted", "finished",
+        ]
+        assert sink.flush() is True  # no-op barrier after close
+        sink.close()  # idempotent
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_percentile(self):
+        assert percentile([], 0.5) is None
+        assert percentile([3.0], 0.95) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile(list(range(1, 101)), 0.95) == pytest.approx(95.05)
+
+    def test_counters_merge_across_threads(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(100):
+                registry.counter("ticks")
+            registry.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        registry.gauge("depth", 7)
+        snap = registry.snapshot()
+        assert snap["counters"]["ticks"] == 400.0
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 4
+        assert snap["histograms"]["lat"]["sum"] == 4.0
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 10.0):
+            registry.observe("span.solver.seconds", value)
+        hist = registry.snapshot()["histograms"]["span.solver.seconds"]
+        assert hist["count"] == 4
+        assert hist["min"] == 1.0
+        assert hist["max"] == 10.0
+        assert hist["sum"] == 16.0
+        assert hist["p50"] == 2.5
+
+    def test_event_metrics_forwards_and_tallies(self):
+        seen = []
+        metrics = EventMetrics(
+            lambda kind, payload: seen.append((kind, payload)),
+            MetricsRegistry(),
+        )
+        metrics("started", {})
+        metrics("span", {"name": "solver", "seconds": 0.5})
+        metrics("span", {"name": "solver", "seconds": 0.25})
+        metrics("budget_spent", {"spent": 1})
+        assert [kind for kind, _ in seen] == [
+            "started", "span", "span", "budget_spent",
+        ]
+        payload = metrics.snapshot_payload()
+        assert payload["events"] == {
+            "budget_spent": 1, "span": 2, "started": 1,
+        }
+        assert payload["spans"]["solver"]["count"] == 2
+        assert payload["spans"]["solver"]["total_seconds"] == 0.75
+
+
+# ---------------------------------------------------------------------------
+# Durable bus replay
+# ---------------------------------------------------------------------------
+
+class TestDurableEventBus:
+    def test_write_through_and_replay_after_restart(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "bus.db")
+        bus = DurableEventBus(store)
+        bus.publish("j", "submitted", {"workflow": "wf"})
+        bus.publish("j", "started")
+        bus.publish("j", "finished", {"status": "succeeded"}, close=True)
+        live = [e.to_dict() for e in bus.events("j")]
+        bus.close()
+
+        restarted = DurableEventBus(store)  # simulates a new process
+        replayed = [e.to_dict() for e in restarted.events("j")]
+        assert json.dumps(replayed, sort_keys=True) == json.dumps(
+            live, sort_keys=True
+        )
+        assert [e.seq for e in restarted.log("j")] == [0, 1, 2]
+        restarted.close()
+        store.close()
+
+    def test_replay_after_discard(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "bus.db")
+        bus = DurableEventBus(store)
+        bus.publish("j", "submitted")
+        bus.publish("j", "finished", {}, close=True)
+        bus.discard("j")  # memory bounded; the store still has it
+        assert [e.kind for e in bus.events("j")] == ["submitted", "finished"]
+        assert [e.kind for e in bus.events("j", start=1)] == ["finished"]
+        bus.close()
+        store.close()
+
+    def test_replay_of_crashed_job_ends_after_prefix(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "bus.db")
+        # A prior incarnation began the job but never closed its log.
+        store.begin_job("j", workflow="wf")
+        store.append_job_events(
+            [_row("j", 0, "submitted"), _row("j", 1, "started")]
+        )
+        bus = DurableEventBus(store)
+        events = list(bus.events("j"))  # must not block forever
+        assert [e.kind for e in events] == ["submitted", "started"]
+        assert not events[-1].terminal
+        bus.close()
+        store.close()
+
+    def test_unknown_job_still_live_waits(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "bus.db")
+        bus = DurableEventBus(store)
+        iterator = bus.events("nobody-yet", timeout=0.05)
+        with pytest.raises(TimeoutError):
+            next(iterator)
+        bus.close()
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+class TestServiceTelemetry:
+    def test_streams_persist_and_replay_byte_identical(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "svc.db")
+        specs = [_job("j1"), _job("j2", count=4)]
+        with DebugService(workers=2, store=store) as service:
+            handles = [service.submit(spec) for spec in specs]
+            results = {h.job_id: h.result(timeout=30) for h in handles}
+            assert all(
+                r.status is JobStatus.SUCCEEDED for r in results.values()
+            )
+            live = {
+                h.job_id: [e.to_dict() for e in h.events()] for h in handles
+            }
+
+        for spec in specs:
+            kinds = [e["kind"] for e in live[spec.job_id]]
+            assert kinds[0] == "submitted"
+            assert kinds[1] == "started"
+            assert kinds[-1] == "finished"
+            assert "metrics_snapshot" in kinds
+            row = store.job_row(spec.job_id)
+            assert row["status"] == "succeeded"
+            assert row["spec_fingerprint"] == spec_fingerprint(spec)
+            assert row["report_fingerprint"] == report_fingerprint(
+                results[spec.job_id]
+            )
+            assert row["budget_spent"] == results[spec.job_id].budget_spent
+
+        # A restarted service over the same store replays every
+        # finished job's complete stream, byte-identically.
+        with DebugService(workers=2, store=store) as restarted:
+            for spec in specs:
+                replayed = [
+                    e.to_dict()
+                    for e in restarted.events.events(spec.job_id)
+                ]
+                assert json.dumps(replayed, sort_keys=True) == json.dumps(
+                    live[spec.job_id], sort_keys=True
+                )
+        store.close()
+
+    def test_metrics_snapshot_event_and_registry(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "svc.db")
+        with DebugService(workers=2, store=store) as service:
+            handle = service.submit(_job("j1", count=5))
+            result = handle.result(timeout=30)
+            events = list(handle.events())
+            snapshot = next(
+                e for e in events if e.kind == "metrics_snapshot"
+            )
+            # The per-job tally agrees with the stream itself.
+            charged = sum(1 for e in events if e.kind == "budget_spent")
+            assert charged == result.budget_spent
+            assert snapshot.payload["events"]["budget_spent"] == charged
+            spans = snapshot.payload["spans"]
+            assert spans["execution"]["count"] == charged
+            assert spans["execution"]["total_seconds"] >= 0.0
+            registry = service.metrics.snapshot()
+            assert registry["counters"]["events.budget_spent"] == charged
+            assert (
+                registry["histograms"]["span.execution.seconds"]["count"]
+                == charged
+            )
+            stats = service.stats()
+            assert stats["events"]["errors"] == 0
+        store.close()
+
+    def test_persist_events_false_keeps_store_clean(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "svc.db")
+        with DebugService(
+            workers=2, store=store, persist_events=False
+        ) as service:
+            handle = service.submit(_job("j1"))
+            assert handle.result(timeout=30).status is JobStatus.SUCCEEDED
+            # The live stream is intact; nothing was persisted.
+            assert [e.kind for e in handle.events()][0] == "submitted"
+        assert store.job_event_count() == 0
+        assert store.job_rows() == []
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (satellite): kill the service mid-job, replay the prefix
+# ---------------------------------------------------------------------------
+
+_CRASH_CHILD = """
+import json, os, sys, threading
+
+from repro.core import Instance, Outcome, Parameter, ParameterSpace
+from repro.obs import event_to_row
+from repro.provenance import SQLiteProvenanceStore
+from repro.service import DebugService, JobSpec
+
+db_path, side_path = sys.argv[1], sys.argv[2]
+space = ParameterSpace([Parameter("a", (0, 1, 2, 3))])
+oracle = lambda instance: (
+    Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+)
+reached = threading.Event()
+
+def run(session):
+    import random
+    rng = random.Random(3)
+    for index in range(50):
+        session.evaluate(space.random_instance(rng))
+        if index == 4:
+            reached.set()
+            threading.Event().wait(30)  # hang until the hard kill
+    return 50
+
+store = SQLiteProvenanceStore(db_path)
+service = DebugService(workers=2, store=store)
+side = open(side_path, "w")
+
+def tee():
+    for event in service.events.stream():
+        side.write(json.dumps(event_to_row(event), sort_keys=True) + "\\n")
+        side.flush()
+
+threading.Thread(target=tee, daemon=True).start()
+service.submit(JobSpec(
+    job_id="doomed", executor=oracle, space=space,
+    workflow="crash", run=run,
+))
+assert reached.wait(20), "job never reached the kill point"
+service.events.flush(10.0)  # everything published so far is durable
+side.flush()
+os._exit(17)  # hard kill: no shutdown, no terminal event
+"""
+
+
+class TestCrashRecovery:
+    def test_killed_service_leaves_replayable_prefix(self, tmp_path):
+        db_path = tmp_path / "crash.db"
+        side_path = tmp_path / "live.jsonl"
+        script = tmp_path / "child.py"
+        script.write_text(_CRASH_CHILD, encoding="utf-8")
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, str(script), str(db_path), str(side_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 17, completed.stderr
+
+        live_rows = [
+            json.loads(line)
+            for line in side_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(live_rows) >= 7  # submitted, started, 5x(span+budget)
+
+        store = SQLiteProvenanceStore(db_path)
+        persisted = store.job_event_rows("doomed")
+        # Seq-contiguous prefix, never closed.
+        assert [r["seq"] for r in persisted] == list(range(len(persisted)))
+        assert persisted, "flush()-ed events must survive the kill"
+        assert not any(r["terminal"] for r in persisted)
+        # Byte-identical to the live view's prefix.
+        assert len(persisted) <= len(live_rows)
+        for stored, lived in zip(persisted, live_rows, strict=False):
+            assert json.dumps(stored, sort_keys=True) == json.dumps(
+                lived, sort_keys=True
+            )
+        # The jobs row recorded the incarnation but no terminal state.
+        assert store.job_row("doomed")["status"] == "submitted"
+
+        # A fresh durable bus replays the prefix and *ends* -- it must
+        # not wait for a terminal event that died with the process.
+        bus = DurableEventBus(store)
+        started = time.monotonic()
+        replayed = list(bus.events("doomed"))
+        assert time.monotonic() - started < 5.0
+        assert [e.seq for e in replayed] == [r["seq"] for r in persisted]
+        assert json.dumps(
+            [event_to_row(e) for e in replayed], sort_keys=True
+        ) == json.dumps(persisted, sort_keys=True)
+        bus.close()
+        store.close()

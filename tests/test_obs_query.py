@@ -1,0 +1,287 @@
+"""Tests for the process-query engine (repro.obs.query) and the
+``repro query`` CLI, over a fixture with known ground truth.
+
+The fixture persists five jobs across two workflows with hand-written
+event logs, so every query answer is exactly computable by inspection:
+
+========  ========  ================  ======================  ===========
+job       workflow  spec fingerprint  suspect events (order)  solver secs
+========  ========  ================  ======================  ===========
+a1        alpha     fpA               confirmed, refuted      1.0 + 1.0
+a2        alpha     fpA               refuted, confirmed      4.0
+a3        alpha     fpB               confirmed               6.0
+b1        beta      fpC               confirmed x2, refuted   10.0
+b2        beta      fpC               (none)                  20.0
+========  ========  ================  ======================  ===========
+
+Ground truth: the SIGNAL-style ``confirmed ~> refuted`` pattern matches
+exactly {a1, b1} (a2 has both kinds but in the wrong order); the p95 of
+per-job summed solver spans grouped by workflow is alpha=5.8 (linear
+interpolation over [2, 4, 6]) and beta=19.5.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.query import Predicate, QueryEngine, sequence_matches
+from repro.provenance import SQLiteProvenanceStore
+
+#: job -> (workflow, spec_fingerprint, status, budget, suspect-kind
+#: sequence, per-solver-span seconds)
+_JOBS = {
+    "a1": ("alpha", "fpA", "succeeded", 3,
+           ["suspect_confirmed", "suspect_refuted"], [1.0, 1.0]),
+    "a2": ("alpha", "fpA", "succeeded", 5,
+           ["suspect_refuted", "suspect_confirmed"], [4.0]),
+    "a3": ("alpha", "fpB", "succeeded", 7,
+           ["suspect_confirmed"], [6.0]),
+    "b1": ("beta", "fpC", "succeeded", 9,
+           ["suspect_confirmed", "suspect_confirmed", "suspect_refuted"],
+           [10.0]),
+    "b2": ("beta", "fpC", "failed", 11, [], [20.0]),
+}
+
+
+def _populate(store: SQLiteProvenanceStore) -> None:
+    created = 100.0
+    for job_id, (wf, fp, status, budget, suspects, spans) in _JOBS.items():
+        created += 1.0
+        store.begin_job(
+            job_id, workflow=wf, algorithm="combined",
+            spec_fingerprint=fp, created_at=created,
+        )
+        rows = []
+        seq = 0
+        for kind in ["submitted", "started"] + suspects:
+            rows.append({
+                "job_id": job_id, "seq": seq, "kind": kind,
+                "ts_wall": created + seq, "ts_monotonic": seq,
+                "terminal": False,
+                "payload": {"spent": seq} if kind == "started" else {},
+            })
+            seq += 1
+        for seconds in spans:
+            rows.append({
+                "job_id": job_id, "seq": seq, "kind": "span",
+                "ts_wall": created + seq, "ts_monotonic": seq,
+                "terminal": False,
+                "payload": {"name": "solver", "seconds": seconds},
+            })
+            seq += 1
+        rows.append({
+            "job_id": job_id, "seq": seq, "kind": "finished",
+            "ts_wall": created + seq, "ts_monotonic": seq,
+            "terminal": True, "payload": {"status": status},
+        })
+        store.append_job_events(rows)
+        store.finish_job(
+            job_id, status=status, report_fingerprint="r-" + job_id,
+            budget_spent=budget, wall_seconds=float(budget),
+            finished_at=created + seq,
+        )
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return tmp_path / "query.db"
+
+
+@pytest.fixture()
+def store(db_path):
+    store = SQLiteProvenanceStore(db_path)
+    _populate(store)
+    yield store
+    store.close()
+
+
+@pytest.fixture()
+def engine(store):
+    return QueryEngine(store)
+
+
+class TestPredicate:
+    def test_parse_forms(self):
+        p = Predicate.parse("kind=suspect_confirmed")
+        assert (p.field, p.op, p.value) == ("kind", "=", "suspect_confirmed")
+        assert Predicate.parse("seq>=10").value == 10
+        assert Predicate.parse("seconds>0.5").value == 0.5
+        assert Predicate.parse('name="solver"').value == "solver"
+        # Longest-operator-first: `<=` is not parsed as `<` then `=3`.
+        assert Predicate.parse("seq<=3").op == "<="
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Predicate.parse("no-operator-here")
+        with pytest.raises(ValueError):
+            Predicate.parse("=5")
+
+    def test_envelope_vs_payload_fields(self):
+        row = {
+            "job_id": "j", "seq": 4, "kind": "span", "terminal": False,
+            "payload": {"name": "solver", "nested": {"depth": 2}},
+        }
+        assert Predicate.parse("kind=span").matches(row)
+        assert Predicate.parse("seq<5").matches(row)
+        assert Predicate.parse("name=solver").matches(row)
+        assert Predicate.parse("nested.depth=2").matches(row)
+        assert not Predicate.parse("nested.missing=2").matches(row)
+        # Missing fields never satisfy an ordering; != treats missing
+        # as "not equal".
+        assert not Predicate.parse("absent>1").matches(row)
+        assert Predicate.parse("absent!=1").matches(row)
+        # Incomparable types never match an ordering.
+        assert not Predicate.parse("name>3").matches(row)
+
+
+class TestSequence:
+    def test_eventually_follows_ground_truth(self, engine):
+        matches = engine.sequence(["suspect_confirmed", "suspect_refuted"])
+        assert {m["job_id"] for m in matches} == {"a1", "b1"}
+
+    def test_order_matters(self, engine):
+        # a2 has both kinds but refuted-first: only a2 matches the
+        # reversed pattern among alpha jobs... along with b1, whose
+        # stream has no refuted-then-confirmed pair.
+        matches = engine.sequence(["suspect_refuted", "suspect_confirmed"])
+        assert {m["job_id"] for m in matches} == {"a2"}
+
+    def test_first_witness_seqs(self, engine):
+        (match,) = [
+            m
+            for m in engine.sequence(
+                ["suspect_confirmed", "suspect_refuted"]
+            )
+            if m["job_id"] == "b1"
+        ]
+        # b1: confirmed at seq 2 (first witness, not the seq-3 repeat),
+        # refuted at seq 4.
+        assert match["seqs"] == [2, 4]
+
+    def test_steps_with_predicates(self, engine):
+        matches = engine.sequence(["span[name=solver,seconds>5]", "finished"])
+        assert {m["job_id"] for m in matches} == {"a3", "b1", "b2"}
+
+    def test_workflow_restriction(self, engine):
+        matches = engine.sequence(
+            ["suspect_confirmed", "suspect_refuted"], workflow="beta"
+        )
+        assert {m["job_id"] for m in matches} == {"b1"}
+
+    def test_empty_pattern_matches_nothing(self):
+        assert list(sequence_matches([{"job_id": "x", "seq": 0}], [])) == []
+
+
+class TestEvents:
+    def test_kind_filter_and_limit(self, engine):
+        rows = list(engine.events(kinds=["span"]))
+        assert len(rows) == 6  # 2+1+1+1+1 solver spans
+        assert all(r["kind"] == "span" for r in rows)
+        assert len(list(engine.events(kinds=["span"], limit=3))) == 3
+
+    def test_predicates_filter(self, engine):
+        rows = list(
+            engine.events(
+                kinds=["span"],
+                predicates=[Predicate.parse("seconds>=6")],
+            )
+        )
+        assert {r["job_id"] for r in rows} == {"a3", "b1", "b2"}
+
+    def test_jobs_listing(self, engine):
+        rows = engine.jobs()
+        assert [r["job_id"] for r in rows] == ["a1", "a2", "a3", "b1", "b2"]
+        assert [r["job_id"] for r in engine.jobs(workflow="beta")] == [
+            "b1", "b2",
+        ]
+
+
+class TestAggregate:
+    def test_span_p95_grouped_by_workflow(self, engine):
+        groups = engine.aggregate(
+            "span:solver", stat="p95", group_by="workflow"
+        )
+        # alpha per-job sums [2, 4, 6] -> p95 = 4 + 0.9 * 2 = 5.8;
+        # beta [10, 20] -> 19.5.
+        assert groups["alpha"]["jobs"] == 3
+        assert groups["alpha"]["value"] == pytest.approx(5.8)
+        assert groups["beta"]["value"] == pytest.approx(19.5)
+
+    def test_span_sum_ungrouped(self, engine):
+        groups = engine.aggregate("span:solver", stat="sum")
+        assert groups == {"*": {"jobs": 5, "value": pytest.approx(42.0)}}
+
+    def test_count_metric(self, engine):
+        groups = engine.aggregate(
+            "count:suspect_confirmed", stat="sum", group_by="workflow"
+        )
+        assert groups["alpha"] == {"jobs": 3, "value": 3.0}
+        # b2 emitted none, so only b1 contributes a value.
+        assert groups["beta"] == {"jobs": 1, "value": 2.0}
+
+    def test_jobs_column_metric_grouped_by_fingerprint(self, engine):
+        groups = engine.aggregate(
+            "budget_spent", stat="mean", group_by="spec_fingerprint"
+        )
+        assert groups["fpA"]["value"] == pytest.approx(4.0)  # (3 + 5) / 2
+        assert groups["fpB"]["value"] == pytest.approx(7.0)
+        assert groups["fpC"]["value"] == pytest.approx(10.0)  # (9 + 11) / 2
+
+    def test_group_by_status(self, engine):
+        groups = engine.aggregate(
+            "wall_seconds", stat="count", group_by="status"
+        )
+        assert groups["succeeded"]["jobs"] == 4
+        assert groups["failed"]["jobs"] == 1
+
+    def test_bad_stat_and_group_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.aggregate("span:solver", stat="p99")
+        with pytest.raises(ValueError):
+            engine.aggregate("span:solver", group_by="job_id")
+
+
+class TestQueryCli:
+    def test_jobs(self, store, db_path, capsys):
+        assert main(["query", "jobs", "--store", str(db_path)]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["job_id"] for r in rows] == ["a1", "a2", "a3", "b1", "b2"]
+
+    def test_seq(self, store, db_path, capsys):
+        code = main([
+            "query", "seq", "suspect_confirmed", "suspect_refuted",
+            "--store", str(db_path),
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 2
+        assert {m["job_id"] for m in document["matches"]} == {"a1", "b1"}
+
+    def test_events_jsonl(self, store, db_path, capsys):
+        code = main([
+            "query", "events", "--kind", "span", "--where", "seconds>=10",
+            "--store", str(db_path),
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert {r["job_id"] for r in rows} == {"b1", "b2"}
+
+    def test_agg(self, store, db_path, capsys):
+        code = main([
+            "query", "agg", "--metric", "span:solver", "--stat", "p95",
+            "--group-by", "workflow", "--store", str(db_path),
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["groups"]["alpha"]["value"] == pytest.approx(5.8)
+
+    def test_bad_predicate_exits(self, store, db_path):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "events", "--where", "garbage",
+                "--store", str(db_path),
+            ])

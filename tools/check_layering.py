@@ -8,7 +8,8 @@ The intended layering (bottom to top)::
     provenance   ->  core, concurrency
     pipeline     ->  core, provenance, concurrency
     exec         ->  pipeline, core, provenance, concurrency
-    service      ->  exec, pipeline, core, provenance, concurrency
+    obs          ->  exec, pipeline, core, provenance, concurrency
+    service      ->  obs, exec, pipeline, core, provenance, concurrency
     cli / eval / ...  (top: anything)
 
 In particular, ``pipeline/`` and ``core/`` must never import from
@@ -37,6 +38,7 @@ FORBIDDEN = {
     "concurrency": {
         "core",
         "exec",
+        "obs",
         "pipeline",
         "provenance",
         "service",
@@ -46,10 +48,19 @@ FORBIDDEN = {
         "synth",
         "workloads",
     },
-    "core": {"service", "exec", "pipeline", "eval", "baselines"},
-    "provenance": {"service", "exec", "pipeline", "eval"},
-    "pipeline": {"service", "exec", "eval"},
+    "core": {"service", "obs", "exec", "pipeline", "eval", "baselines"},
+    "provenance": {"service", "obs", "exec", "pipeline", "eval"},
+    "pipeline": {"service", "obs", "exec", "eval"},
     "exec": {
+        "service",
+        "obs",
+        "baselines",
+        "eval",
+        "extensions",
+        "synth",
+        "workloads",
+    },
+    "obs": {
         "service",
         "baselines",
         "eval",
