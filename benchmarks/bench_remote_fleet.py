@@ -1,0 +1,345 @@
+"""Remote worker fleet under injected faults: identity, not speed (PR 7).
+
+The distributed tier's claim is *robustness*: a DDT FindAll debug run
+dispatched over a fleet of socket-connected workers must produce a
+report byte-identical to the serial in-process session -- with exact
+budgets and execution counts -- no matter what the network does to it.
+This benchmark drives the same end-to-end search
+(``repro.exec.synthetic``, deterministic) through a
+:class:`~repro.exec.RemoteWorkerPool` under three scenarios:
+
+* ``clean`` -- a healthy fleet; baseline sanity (no faults recorded,
+  no local fallback, every run dispatched remotely);
+* ``chaos`` -- drop/delay/duplicate/reorder on the wire, one worker
+  killed mid-run, another partitioned until it is evicted and then
+  healed (it must rejoin); the run is carried by re-dispatch under the
+  retry policy and, when the fleet momentarily drains, by the local
+  fallback path;
+* ``drain`` -- every worker leaves gracefully mid-job (``max_runs``);
+  the coordinator degrades to local execution and finishes.
+
+Every scenario's report fingerprint (causes, explanation, execution
+counts, budget, final history content) is gated byte-identical to the
+serial in-process twin, and the chaos scenario additionally gates the
+fault bookkeeping (a worker was lost, a worker was evicted, the
+partitioned worker rejoined).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_remote_fleet.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+import threading
+import time
+
+from repro.core import DDTConfig, DebugSession, ExecutionHistory, Instance, Outcome
+from repro.core.ddt import debugging_decision_trees
+from repro.exec import (
+    ExecutorSpec,
+    FaultPlan,
+    FaultyConnection,
+    FleetWorker,
+    RemoteWorkerPool,
+    RetryPolicy,
+)
+from repro.exec.synthetic import build_pipeline, build_space
+from repro.provenance import InMemoryProvenanceStore
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SYNTH = "repro.exec.synthetic:build_pipeline"
+
+FAIL_WHEN = {"p0": 1, "p1": 2}
+SPACE = build_space(n_params=4, domain=4)
+HB = 0.06  # fast liveness for in-thread fleets (evict at 0.3s)
+
+FULL_WORKERS = 4
+QUICK_WORKERS = 2
+FULL_SLEEP = 0.01
+QUICK_SLEEP = 0.004
+
+
+def _seed_history() -> ExecutionHistory:
+    executor = build_pipeline(fail_when=FAIL_WHEN)  # zero-work twin
+    history = ExecutionHistory()
+    rng = random.Random(11)
+    history.record(
+        Instance({"p0": 1, "p1": 2, "p2": 0, "p3": 3}), Outcome.FAIL
+    )
+    for __ in range(8):
+        instance = SPACE.random_instance(rng)
+        if instance not in history:
+            history.record(instance, executor(instance))
+    return history
+
+
+def _config() -> DDTConfig:
+    return DDTConfig(
+        find_all=True,
+        tests_per_suspect=6,
+        exploration_per_round=4,
+        max_rounds=20,
+        seed=3,
+    )
+
+
+def _fingerprint(result, session):
+    history = session.history
+    return (
+        tuple(str(c) for c in result.causes),
+        str(result.explanation),
+        result.instances_executed,
+        result.rounds,
+        session.budget.spent,
+        session.new_executions,
+        tuple(
+            sorted(
+                (repr(i), history.outcome_of(i).value)
+                for i in history.instances
+            )
+        ),
+    )
+
+
+def _run(session, config):
+    started = time.perf_counter()
+    result = debugging_decision_trees(session, config)
+    wall = time.perf_counter() - started
+    return wall, _fingerprint(result, session)
+
+
+def _spec(sleep: float) -> ExecutorSpec:
+    return ExecutorSpec.from_builder(
+        SYNTH, fail_when=FAIL_WHEN, mode="sleep", sleep_seconds=sleep
+    )
+
+
+def _wait_until(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise SystemExit(f"CHAOS GATE: timed out waiting for {what}")
+
+
+def _fleet_run(pool: RemoteWorkerPool, sleep: float, config):
+    session = pool.session(
+        _spec(sleep), SPACE, history=_seed_history(), parallel=False
+    )
+    return _run(session, config)
+
+
+def scenario_clean(workers_n: int, sleep: float, config, serial_fp):
+    with RemoteWorkerPool(
+        heartbeat_interval=HB, store=InMemoryProvenanceStore()
+    ) as pool:
+        workers = [
+            FleetWorker(*pool.address, name=f"clean-w{i}").start()
+            for i in range(workers_n)
+        ]
+        pool.wait_for_workers(workers_n, timeout=10.0)
+        wall, fleet_fp = _fleet_run(pool, sleep, config)
+        stats = pool.stats()
+        for worker in workers:
+            worker.stop()
+    if fleet_fp != serial_fp:
+        raise SystemExit(
+            f"CLEAN DIVERGENCE:\n  serial: {serial_fp}\n  fleet : {fleet_fp}"
+        )
+    if stats["local_runs"] or stats["workers_lost"] or stats["redispatches"]:
+        raise SystemExit(f"CLEAN SCENARIO NOT CLEAN: {stats}")
+    return {"scenario": "clean", "wall": wall, "stats": stats}
+
+
+def scenario_chaos(workers_n: int, sleep: float, config, serial_fp):
+    """Faulty wire + mid-run kill + partition-and-rejoin."""
+    taps: list[FaultyConnection] = []
+
+    def tapped(plan: FaultPlan):
+        def wrapper(conn):
+            tap = FaultyConnection(conn, plan)
+            taps.append(tap)
+            return tap
+
+        return wrapper
+
+    chaos_plan = FaultPlan(
+        drop=0.04,
+        delay=0.10,
+        duplicate=0.10,
+        reorder=0.04,
+        delay_seconds=0.02,
+        seed=7,
+    )
+    mild_filter = FaultPlan(delay=0.10, duplicate=0.10, delay_seconds=0.01,
+                            seed=11)
+    with RemoteWorkerPool(
+        heartbeat_interval=HB,
+        run_timeout=0.8,
+        retry_policy=RetryPolicy(
+            crash_retries=8,
+            timeout_retries=8,
+            base_delay=0.01,
+            factor=1.5,
+            max_delay=0.1,
+            jitter=0.25,
+            seed=5,
+        ),
+        store=InMemoryProvenanceStore(),
+        connection_filter=lambda c: FaultyConnection(c, mild_filter),
+    ) as pool:
+        # Worker 0 dies mid-run; worker 1 gets partitioned and healed;
+        # any further workers just live with the lossy wire.
+        workers = [
+            FleetWorker(
+                *pool.address,
+                name=f"chaos-w{i}",
+                connection_wrapper=None if i == 0 else tapped(chaos_plan),
+                reconnect_attempts=5,
+                reconnect_delay=0.05,
+                store_timeout=0.3,
+            ).start()
+            for i in range(workers_n)
+        ]
+        pool.wait_for_workers(workers_n, timeout=10.0)
+        partition_tap = taps[0]  # worker 1's first connection
+
+        def sabotage():
+            workers[0].kill()
+            time.sleep(0.1)
+            partition_tap.partition()
+            time.sleep(0.5)
+            partition_tap.heal()
+
+        saboteur = threading.Timer(0.15, sabotage)
+        saboteur.daemon = True
+        saboteur.start()
+        wall, fleet_fp = _fleet_run(pool, sleep, config)
+        saboteur.join()
+        # Heartbeats outlive the job: the healed/redialed member must
+        # end up back in the fleet even if the search finished first.
+        _wait_until(
+            lambda: pool.stats()["workers_rejoined"] >= 1,
+            timeout=10.0,
+            what="partitioned worker to rejoin",
+        )
+        stats = pool.stats()
+        for worker in workers:
+            worker.stop()
+    if fleet_fp != serial_fp:
+        raise SystemExit(
+            f"CHAOS DIVERGENCE:\n  serial: {serial_fp}\n  fleet : {fleet_fp}"
+        )
+    for gate, what in (
+        (stats["workers_lost"] >= 1, "killed worker recorded as lost"),
+        (stats["workers_evicted"] >= 1, "partitioned worker evicted"),
+        (stats["workers_rejoined"] >= 1, "healed worker rejoined"),
+        (stats["runs"] + stats["local_runs"] > 0, "any runs at all"),
+    ):
+        if not gate:
+            raise SystemExit(f"CHAOS GATE: missing {what}: {stats}")
+    return {"scenario": "chaos", "wall": wall, "stats": stats}
+
+
+def scenario_drain(workers_n: int, sleep: float, config, serial_fp):
+    with RemoteWorkerPool(
+        heartbeat_interval=HB, store=InMemoryProvenanceStore()
+    ) as pool:
+        workers = [
+            FleetWorker(*pool.address, name=f"drain-w{i}", max_runs=4).start()
+            for i in range(workers_n)
+        ]
+        pool.wait_for_workers(workers_n, timeout=10.0)
+        wall, fleet_fp = _fleet_run(pool, sleep, config)
+        stats = pool.stats()
+        for worker in workers:
+            worker.stop()
+    if fleet_fp != serial_fp:
+        raise SystemExit(
+            f"DRAIN DIVERGENCE:\n  serial: {serial_fp}\n  fleet : {fleet_fp}"
+        )
+    if stats["workers_left"] != workers_n:
+        raise SystemExit(f"DRAIN GATE: not every worker left: {stats}")
+    if not stats["local_runs"]:
+        raise SystemExit(f"DRAIN GATE: local fallback never engaged: {stats}")
+    return {"scenario": "drain", "wall": wall, "stats": stats}
+
+
+def render(rows, serial_wall: float, workers_n: int) -> str:
+    lines = [
+        "Remote worker fleet: end-to-end DDT FindAll dispatched over",
+        "socket-connected workers under injected faults; report",
+        "fingerprints byte-identical to the serial in-process session",
+        "(enforced per scenario, exact budgets included).",
+        "",
+        f"workers: {workers_n}   serial in-process: {serial_wall:.2f}s",
+        "",
+        f"{'scenario':>9} {'wall':>7} {'runs':>7} {'local':>6} "
+        f"{'redisp':>7} {'lost':>5} {'evict':>6} {'rejoin':>7} {'left':>5}",
+    ]
+    for row in rows:
+        stats = row["stats"]
+        lines.append(
+            f"{row['scenario']:>9} {row['wall']:>6.2f}s "
+            f"{stats['runs']:>7} {stats['local_runs']:>6} "
+            f"{stats['redispatches']:>7} {stats['workers_lost']:>5} "
+            f"{stats['workers_evicted']:>6} {stats['workers_rejoined']:>7} "
+            f"{stats['workers_left']:>5}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI chaos-smoke mode: 2 workers, shorter runs, same"
+        " identity and fault-bookkeeping gates; no results file",
+    )
+    args = parser.parse_args(argv)
+
+    workers_n = QUICK_WORKERS if args.quick else FULL_WORKERS
+    sleep = QUICK_SLEEP if args.quick else FULL_SLEEP
+    config = _config()
+
+    serial_wall, serial_fp = _run(
+        DebugSession(
+            build_pipeline(
+                fail_when=FAIL_WHEN, mode="sleep", sleep_seconds=sleep
+            ),
+            SPACE,
+            history=_seed_history(),
+        ),
+        config,
+    )
+
+    rows = [
+        scenario_clean(workers_n, sleep, config, serial_fp),
+        scenario_chaos(workers_n, sleep, config, serial_fp),
+        scenario_drain(workers_n, sleep, config, serial_fp),
+    ]
+
+    text = render(rows, serial_wall, workers_n)
+    print(text)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "remote_fleet.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    print(
+        "\nOK: byte-identical reports under clean, chaotic, and draining"
+        " fleets; fault bookkeeping gates satisfied"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,7 @@ def test_quick_benchmarks_discovered():
         "bench_batch_suspects",
         "bench_process_backend",
         "bench_event_overhead",
+        "bench_remote_fleet",
     }
 
 

@@ -272,7 +272,7 @@ def _serve_specs(workload: str, args) -> list[JobSpec]:
         else JobGoal.FIND_ALL
     )
     executor_spec = None
-    if getattr(args, "backend", "inline") == "process":
+    if getattr(args, "backend", "inline") in ("process", "remote"):
         executor_spec = ExecutorSpec.from_builder(WORKLOAD_BUILDERS[workload])
     return [
         JobSpec(
@@ -316,15 +316,49 @@ def cmd_serve(args) -> int:
         spec for workload in workloads for spec in _serve_specs(workload, args)
     ]
     pool = None
+    fleet_procs = []
     if args.backend == "process":
         pool = ProcessPool(
             max_workers=args.workers,
             prewarm=min(2, args.workers),
             store_path=args.store,
         )
+    elif args.backend == "remote":
+        import subprocess
+
+        from .exec import RemoteWorkerPool
+
+        pool = RemoteWorkerPool(store=store, max_dispatch=args.workers)
+        for index in range(args.fleet):
+            fleet_procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        pool.endpoint,
+                        "--name",
+                        f"serve-w{index}",
+                        "--reconnect",
+                        "3",
+                    ]
+                )
+            )
+        if args.fleet and not pool.wait_for_workers(1, timeout=30.0):
+            print(
+                "warning: no fleet worker joined; runs fall back locally",
+                file=sys.stderr,
+            )
     started = time.perf_counter()
     try:
-        with DebugService(workers=args.workers, store=store, pool=pool) as service:
+        with DebugService(
+            workers=args.workers,
+            store=store,
+            pool=pool,
+            autoscale=args.autoscale,
+        ) as service:
             if args.events == "jsonl":
                 # Subscribe before submitting: the firehose has no
                 # replay, so the subscription must exist before the
@@ -354,6 +388,13 @@ def cmd_serve(args) -> int:
     finally:
         if pool is not None:
             pool.shutdown()
+        for proc in fleet_procs:
+            proc.terminate()
+        for proc in fleet_procs:
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:
+                proc.kill()
         if store is not None:
             store.close()
 
@@ -431,7 +472,7 @@ def cmd_serve(args) -> int:
         f"{scheduler_stats['skipped']} budget-skipped"
     )
     pool_stats = service_stats.get("pool")
-    if pool_stats is not None:
+    if pool_stats is not None and "spawned" in pool_stats:
         print(
             f"pool: {pool_stats['runs']} runs, "
             f"{pool_stats['store_hits']} store hits, "
@@ -439,6 +480,16 @@ def cmd_serve(args) -> int:
             f"{pool_stats['crashes']} crashes, "
             f"{pool_stats['timeouts']} timeouts, "
             f"{pool_stats['retries']} retries"
+        )
+    elif pool_stats is not None:
+        print(
+            f"fleet: {pool_stats['runs']} runs "
+            f"({pool_stats['local_runs']} local), "
+            f"{pool_stats['store_hits']} store hits, "
+            f"{pool_stats['workers_joined']} joined, "
+            f"{pool_stats['workers_evicted']} evicted, "
+            f"{pool_stats['workers_rejoined']} rejoined, "
+            f"{pool_stats['redispatches']} redispatched"
         )
     event_stats = service_stats.get("events")
     if event_stats is not None:
@@ -453,6 +504,31 @@ def cmd_serve(args) -> int:
         if result.error is not None:
             print(f"{result.job_id} error: {result.error!r}")
     return 0 if all(result.succeeded for result in results) else 1
+
+
+def cmd_worker(args) -> int:
+    """Join a remote execution fleet and serve runs until dismissed."""
+    host, __, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--connect must be HOST:PORT, got {args.connect!r}")
+    from .exec.remote import FleetWorker
+
+    worker = FleetWorker(
+        host or "127.0.0.1",
+        port,
+        name=args.name,
+        reconnect_attempts=args.reconnect,
+        max_runs=args.max_runs,
+    )
+    try:
+        worker.run_forever()
+    except KeyboardInterrupt:
+        worker.stop()
+    except ConnectionError as error:
+        raise SystemExit(str(error))
+    return 0
 
 
 def cmd_query(args) -> int:
@@ -650,9 +726,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backend",
         default="inline",
-        choices=("inline", "process"),
-        help="where pipelines execute: in-process (inline) or on a pool"
-        " of worker processes sized to --workers (process)",
+        choices=("inline", "process", "remote"),
+        help="where pipelines execute: in-process (inline), on a pool"
+        " of worker processes sized to --workers (process), or on a"
+        " remote worker fleet joined over sockets (remote)",
+    )
+    serve.add_argument(
+        "--fleet",
+        type=int,
+        default=2,
+        help="with --backend remote: local worker subprocesses spawned"
+        " to join the fleet (0 spawns none; point external 'repro"
+        " worker --connect' members at the printed endpoint instead)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="grow/shrink the execution pool from live scheduler queue"
+        " depth instead of keeping its construction size",
     )
     serve.add_argument(
         "--events",
@@ -670,6 +761,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--output", default="text", choices=("text", "json")
+    )
+
+    worker = sub.add_parser(
+        "worker", help="join a remote execution fleet as one worker"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's fleet endpoint (see 'repro serve"
+        " --backend remote')",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="stable fleet identity (rejoining under the same name"
+        " resumes the membership slot); default: hostname-pid",
+    )
+    worker.add_argument(
+        "--reconnect",
+        type=int,
+        default=5,
+        help="redial attempts after a dead transport before giving up",
+    )
+    worker.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="leave the fleet after executing this many runs",
     )
 
     query = sub.add_parser(
@@ -767,6 +887,8 @@ def main(argv=None) -> int:
         return cmd_debug(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "worker":
+        return cmd_worker(args)
     if args.command == "query":
         return cmd_query(args)
     return cmd_synth(args)

@@ -21,12 +21,21 @@ Two gaps the thread-based service layer left open are closed here:
   surfaced as ``JobHandle.events()`` / ``JobHandle.progress()`` and as
   ``repro serve --events jsonl`` / ``repro debug --watch``.
 
+On top of those, the distributed tier (:mod:`~repro.exec.remote`)
+extends the same pool contract across machines -- a socket protocol
+with heartbeats, a :class:`~repro.exec.remote.RemoteWorkerPool`
+coordinator with retry/backoff re-dispatch and consensus-free elastic
+membership, and a network fault-injection layer -- while
+:mod:`~repro.exec.retry` unifies both pools' retry policy and
+:mod:`~repro.exec.autoscale` sizes them from live queue depth.
+
 Layering: ``exec/`` sits above ``core``/``concurrency``/``provenance``/
 ``pipeline`` and below ``service`` (enforced by
 ``tools/check_layering.py``); ``core`` reaches it only through the
 neutral ``DebugSession.progress`` callable.
 """
 
+from .autoscale import AdaptiveSizer
 from .events import EventBus, EventKind, JobEvent
 from .pool import (
     PoolShutDown,
@@ -37,18 +46,36 @@ from .pool import (
     RunTimedOut,
     WorkerCrashed,
 )
+from .remote import (
+    FaultPlan,
+    FaultyConnection,
+    FleetWorker,
+    RemoteWorkerPool,
+    SpecRunner,
+    WorkerLost,
+)
+from .retry import RetryPolicy, RetryState
 from .spec import ExecutorSpec
 
 __all__ = [
+    "AdaptiveSizer",
     "EventBus",
     "EventKind",
     "ExecutorSpec",
+    "FaultPlan",
+    "FaultyConnection",
+    "FleetWorker",
     "JobEvent",
     "PoolShutDown",
     "ProcessExecutor",
     "ProcessPool",
     "ProcessPoolBackend",
     "RemoteRunError",
+    "RemoteWorkerPool",
+    "RetryPolicy",
+    "RetryState",
     "RunTimedOut",
+    "SpecRunner",
     "WorkerCrashed",
+    "WorkerLost",
 ]

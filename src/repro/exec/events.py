@@ -57,6 +57,15 @@ class EventKind(str, enum.Enum):
     BUDGET_SPENT = "budget_spent"
     EXPLORATION = "exploration"
     FINISHED = "finished"
+    # Fleet membership lifecycle (published by the remote pool under
+    # its bound fleet job id; see repro.exec.remote.pool).
+    WORKER_JOINED = "worker_joined"
+    WORKER_SUSPECT = "worker_suspect"
+    WORKER_EVICTED = "worker_evicted"
+    WORKER_REJOINED = "worker_rejoined"
+    WORKER_LEFT = "worker_left"
+    WORKER_LOST = "worker_lost"
+    RUN_REDISPATCHED = "run_redispatched"
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,7 @@ from collections.abc import Callable, Sequence
 from ..concurrency.scheduler import SharedScheduler
 from ..core.session import DebugSession
 from ..core.types import Instance, Outcome
+from .retry import RetryPolicy
 from .spec import ExecutorSpec
 
 __all__ = [
@@ -258,6 +259,11 @@ class ProcessPool:
         timeout_retries: same for timed-out runs (default 0: a hang is
             assumed deterministic, so retrying would just double the
             stall).
+        retry_policy: a full :class:`~repro.exec.retry.RetryPolicy`
+            (attempt budgets + exponential backoff + jitter) shared
+            with the remote pool.  Overrides the two integer shorthands
+            when given; the default policy built from them preserves
+            the historical zero-delay behavior exactly.
         store_path: optional SQLite provenance database path; workers
             then dedupe runs through the persistent tier (lookup before
             execute, write-through after).
@@ -274,6 +280,7 @@ class ProcessPool:
         run_timeout: float | None = None,
         crash_retries: int = 1,
         timeout_retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
         store_path: str | None = None,
         acquire_timeout: float = 300.0,
     ):
@@ -281,14 +288,17 @@ class ProcessPool:
             raise ValueError("max_workers must be at least 1")
         if not 0 <= min_workers <= max_workers:
             raise ValueError("need 0 <= min_workers <= max_workers")
-        if crash_retries < 0 or timeout_retries < 0:
-            raise ValueError("retry counts must be non-negative")
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                crash_retries=crash_retries, timeout_retries=timeout_retries
+            )
         self.max_workers = max_workers
         self.min_workers = min_workers
         self.idle_timeout = idle_timeout
         self.run_timeout = run_timeout
-        self.crash_retries = crash_retries
-        self.timeout_retries = timeout_retries
+        self.retry_policy = retry_policy
+        self.crash_retries = retry_policy.crash_retries
+        self.timeout_retries = retry_policy.timeout_retries
         self.store_path = store_path
         self._acquire_timeout = acquire_timeout
         self._ctx = multiprocessing.get_context("spawn")
@@ -306,8 +316,10 @@ class ProcessPool:
             "timeouts": 0,
             "retries": 0,
             "replaced": 0,
+            "backoff_seconds": 0.0,
         }
         self._batch_scheduler: SharedScheduler | None = None
+        self._sizer = None  # AdaptiveSizer attaches itself (stats surface)
         for __ in range(min(prewarm, max_workers)):
             with self._condition:
                 worker_id = self._reserve_slot_locked()
@@ -326,13 +338,21 @@ class ProcessPool:
         with self._condition:
             return len(self._idle)
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, object]:
         with self._condition:
-            snapshot = dict(self._stats)
+            snapshot: dict[str, object] = dict(self._stats)
             snapshot["live_workers"] = self._live
             snapshot["idle_workers"] = len(self._idle)
         snapshot["max_workers"] = self.max_workers
+        sizer = self._sizer
+        if sizer is not None:
+            snapshot["autoscale"] = sizer.stats()
         return snapshot
+
+    def attach_sizer(self, sizer) -> None:
+        """Surface an :class:`~repro.exec.autoscale.AdaptiveSizer`'s
+        decision trail through this pool's :meth:`stats`."""
+        self._sizer = sizer
 
     # -- Worker lifecycle ----------------------------------------------------
     def _reserve_slot_locked(self) -> int:
@@ -437,6 +457,42 @@ class ProcessPool:
             worker.stop()
         return len(retired)
 
+    def scale_to(self, target: int) -> int:
+        """Move the live-worker count toward ``target`` (the autoscale
+        mechanism; policy lives in :mod:`repro.exec.autoscale`).
+
+        Growing prewarms idle workers up to ``min(target, max_workers)``;
+        shrinking retires *idle* workers (busy ones finish their runs)
+        down to ``max(target, min_workers)``, ignoring ``idle_timeout``.
+        Returns the signed delta actually applied.
+        """
+        grown = 0
+        while True:
+            with self._condition:
+                if self._shutdown or self._live >= min(target, self.max_workers):
+                    break
+                worker_id = self._reserve_slot_locked()
+            worker = self._spawn_reserved(worker_id)
+            with self._condition:
+                self._idle.append((worker, time.monotonic()))
+                self._condition.notify()
+            grown += 1
+        if grown:
+            return grown
+        retired: list[_Worker] = []
+        with self._condition:
+            floor = max(target, self.min_workers)
+            while self._idle and self._live - len(retired) > floor:
+                worker, __ = self._idle.pop(0)  # oldest first
+                retired.append(worker)
+            self._live -= len(retired)
+            self._stats["retired"] += len(retired)
+            if retired:
+                self._condition.notify_all()
+        for worker in retired:
+            worker.stop()
+        return -len(retired)
+
     # -- Running -------------------------------------------------------------
     def run(
         self,
@@ -454,8 +510,7 @@ class ProcessPool:
         """
         if timeout is None:
             timeout = self.run_timeout
-        crash_budget = self.crash_retries
-        timeout_budget = self.timeout_retries
+        retry = self.retry_policy.start()
         while True:
             worker = self._acquire()
             try:
@@ -464,18 +519,10 @@ class ProcessPool:
                 )
             except RunTimedOut:
                 self._discard(worker, timed_out=True)
-                if timeout_budget <= 0:
-                    raise
-                timeout_budget -= 1
-                with self._condition:
-                    self._stats["retries"] += 1
+                self._backoff(retry, "timeout")
             except WorkerCrashed:
                 self._discard(worker, timed_out=False)
-                if crash_budget <= 0:
-                    raise
-                crash_budget -= 1
-                with self._condition:
-                    self._stats["retries"] += 1
+                self._backoff(retry, "crash")
             except BaseException:
                 # RemoteRunError and friends: the worker answered and is
                 # healthy; only the pipeline failed.
@@ -488,6 +535,18 @@ class ProcessPool:
                     if from_store:
                         self._stats["store_hits"] += 1
                 return outcome
+
+    def _backoff(self, retry, kind: str) -> None:
+        """Consume one retry of ``kind`` (re-raising when exhausted) and
+        sleep out its backoff delay."""
+        delay = retry.next_delay(kind)
+        if delay is None:
+            raise
+        with self._condition:
+            self._stats["retries"] += 1
+            self._stats["backoff_seconds"] += delay
+        if delay > 0:
+            time.sleep(delay)
 
     # -- Session-facing adapters ---------------------------------------------
     def executor(

@@ -1,0 +1,37 @@
+"""Distributed execution tier: the remote worker fleet.
+
+The local :class:`~repro.exec.pool.ProcessPool` scales to one machine's
+cores; this package scales the same contract across machines.  A
+:class:`~repro.exec.remote.pool.RemoteWorkerPool` coordinator listens
+on a stdlib TCP socket, :class:`~repro.exec.remote.worker.FleetWorker`
+members join it (``repro worker --connect host:port``), and runs are
+dispatched over a small length-prefixed JSON protocol
+(:mod:`~repro.exec.remote.protocol`) with heartbeats, retry/backoff
+re-dispatch, and consensus-free elastic membership.  The
+:mod:`~repro.exec.remote.faults` layer injects message-level network
+faults at the connection seam for the chaos suite and benchmark.
+
+Invariant carried over from PR 5 and enforced by
+``tests/test_remote.py`` + ``benchmarks/bench_remote_fleet.py``: under
+dropped/delayed/duplicated/reordered frames, mid-run worker death,
+heartbeat-loss eviction, and partition-and-rejoin, every report stays
+byte-identical to the serial in-process path and budgets stay
+paper-exact (no run lost, none double-charged).
+"""
+
+from .faults import FaultPlan, FaultyConnection
+from .pool import RemoteWorkerPool, WorkerLost
+from .protocol import Connection, ProtocolError, connect
+from .worker import FleetWorker, SpecRunner
+
+__all__ = [
+    "Connection",
+    "FaultPlan",
+    "FaultyConnection",
+    "FleetWorker",
+    "ProtocolError",
+    "RemoteWorkerPool",
+    "SpecRunner",
+    "WorkerLost",
+    "connect",
+]

@@ -1,0 +1,192 @@
+"""Network fault injection for the fleet protocol.
+
+PR 5's fault harness injected *process* faults (``crash_on`` /
+``hang_on`` in :mod:`repro.exec.synthetic`).  The distributed tier adds
+the message-level failure modes of a real network, applied at the
+:class:`~repro.exec.remote.protocol.Connection` seam so neither the
+pool nor the worker contains a line of test-only code:
+
+* **drop** -- the frame silently vanishes (lossy link, partition edge);
+* **delay** -- the frame arrives late (congestion), implemented with a
+  timer thread so later frames can overtake it (which also produces
+  genuine reordering);
+* **duplicate** -- the frame arrives twice (retransmission storms);
+* **reorder** -- the frame is held back and sent after the next one;
+* **partition / heal** -- every frame is dropped until healed (the
+  asymmetric half of a network partition); and
+* **kill** -- the underlying socket is torn down mid-conversation
+  (mid-run worker death at the transport level).
+
+Wrap either endpoint's connection (``FleetWorker(connection_wrapper=...)``
+or ``RemoteWorkerPool(connection_filter=...)``); the protocol's
+idempotence contract (see :mod:`repro.exec.remote.protocol`) is what
+the chaos suite then gets to falsify.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from .protocol import Connection
+
+__all__ = ["FaultPlan", "FaultyConnection"]
+
+#: Handshake frames are exempt by default: a fleet that cannot ever say
+#: hello is not a robustness scenario, it is a dead network.
+_DEFAULT_SPARED = frozenset({"hello", "welcome", "reject"})
+
+
+class FaultPlan:
+    """Probabilities (per outbound frame) of each injected fault.
+
+    Args:
+        drop / delay / duplicate / reorder: independent probabilities,
+            checked in that order (first match applies).
+        delay_seconds: how late a delayed frame is sent.
+        kinds: message types subject to faults; None means every type
+            except ``spared`` ones.
+        spared: message types never faulted (default: the handshake).
+        max_faults: optional total cap, after which the plan passes
+            everything through (keeps adversarial runs terminating).
+        seed: RNG seed; the draw sequence is deterministic per plan
+            (though thread interleaving may vary which frame draws).
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        delay_seconds: float = 0.05,
+        kinds: frozenset[str] | None = None,
+        spared: frozenset[str] = _DEFAULT_SPARED,
+        max_faults: int | None = None,
+        seed: int = 0,
+    ):
+        self.drop = drop
+        self.delay = delay
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.delay_seconds = delay_seconds
+        self.kinds = kinds
+        self.spared = spared
+        self.max_faults = max_faults
+        self.seed = seed
+
+    def applies_to(self, kind: str) -> bool:
+        if kind in self.spared:
+            return False
+        return self.kinds is None or kind in self.kinds
+
+
+class FaultyConnection:
+    """A :class:`Connection` whose *sends* misbehave per a plan.
+
+    Receives pass through untouched -- wrapping one endpoint's sends
+    already covers both directions of any scenario (wrap the other
+    endpoint for the symmetric half).  Fault counters are exposed in
+    :attr:`faults` for assertions.
+    """
+
+    def __init__(self, conn: Connection, plan: FaultPlan):
+        self._conn = conn
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._held: dict | None = None  # reorder buffer (one frame deep)
+        self._partitioned = False
+        self.faults = {
+            "dropped": 0,
+            "delayed": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "partition_dropped": 0,
+        }
+        self.peer = conn.peer
+
+    # -- Scenario controls ---------------------------------------------------
+    def partition(self) -> None:
+        """Black-hole every subsequent send until :meth:`heal`."""
+        with self._lock:
+            self._partitioned = True
+
+    def heal(self) -> None:
+        with self._lock:
+            self._partitioned = False
+
+    def kill(self) -> None:
+        """Tear the transport down abruptly (mid-run connection death)."""
+        self._conn.close()
+
+    # -- Connection surface --------------------------------------------------
+    def send(self, message: dict) -> None:
+        kind = str(message.get("type", ""))
+        with self._lock:
+            if self._partitioned and kind not in self._plan.spared:
+                self.faults["partition_dropped"] += 1
+                return
+            if not self._plan.applies_to(kind) or self._exhausted():
+                fault = None
+            else:
+                fault = self._draw()
+            if fault == "drop":
+                self.faults["dropped"] += 1
+                return
+            if fault == "reorder":
+                if self._held is None:
+                    self._held = message
+                    self.faults["reordered"] += 1
+                    return
+                fault = None  # buffer full: pass through, flush below
+            held, self._held = self._held, None
+        if fault == "delay":
+            self.faults["delayed"] += 1
+            timer = threading.Timer(
+                self._plan.delay_seconds, self._send_quietly, [message]
+            )
+            timer.daemon = True
+            timer.start()
+        else:
+            self._conn.send(message)
+            if fault == "duplicate":
+                self.faults["duplicated"] += 1
+                self._send_quietly(message)
+        if held is not None:
+            self._send_quietly(held)
+
+    def _draw(self) -> str | None:
+        roll = self._rng.random()
+        for name, probability in (
+            ("drop", self._plan.drop),
+            ("delay", self._plan.delay),
+            ("duplicate", self._plan.duplicate),
+            ("reorder", self._plan.reorder),
+        ):
+            if roll < probability:
+                return name
+            roll -= probability
+        return None
+
+    def _exhausted(self) -> bool:
+        cap = self._plan.max_faults
+        return cap is not None and sum(self.faults.values()) >= cap
+
+    def _send_quietly(self, message: dict) -> None:
+        try:
+            self._conn.send(message)
+        except OSError:
+            pass  # connection died meanwhile; the fault stands
+
+    def recv(self) -> dict | None:
+        return self._conn.recv()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "FaultyConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,163 @@
+"""Fleet wire protocol: length-prefixed JSON frames over stdlib sockets.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8
+JSON object carrying a ``type`` field.  JSON (not pickle) because the
+two endpoints trust each other's *work*, not each other's *bytecode*:
+a hostile or stale worker can at worst return a wrong outcome, never
+execute arbitrary objects in the coordinator.
+
+Message vocabulary (see ``docs/architecture.md`` for the full table):
+
+========== =============== ====================================================
+direction  type            payload
+========== =============== ====================================================
+w -> c     ``hello``       name, pid, host, protocol version
+c -> w     ``welcome``     accepted name, heartbeat_interval
+c -> w     ``reject``      reason (protocol mismatch, shutdown)
+c -> w     ``run``         run_id, spec (wire form), workflow, instance
+w -> c     ``result``      run_id, status ok|error, outcome, cost, from_store,
+                           detail
+w -> c     ``heartbeat``   name, inflight run_id or null, runner stats
+w -> c     ``store``       request_id + a provenance point-op request
+c -> w     ``store_reply`` request_id + the point-op reply
+w -> c     ``leave``       name (graceful departure)
+c -> w     ``bye``         coordinator shutdown
+========== =============== ====================================================
+
+Every message is *idempotent or deduplicated* at the receiver --
+``hello`` re-registers, ``heartbeat`` only refreshes a timestamp,
+duplicate ``run`` frames re-send the memoized result, duplicate
+``result`` frames are dropped against the run-id tombstone set, and
+``upsert`` converges by determinism -- so the fault layer
+(:mod:`repro.exec.remote.faults`) may drop, delay, duplicate, or
+reorder frames without violating protocol state.
+
+:class:`Connection` wraps a connected socket with a send lock (many
+threads send; exactly one thread receives) and EOF-as-None reads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+from ...provenance.record import decode_value, encode_value
+
+__all__ = [
+    "Connection",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "connect",
+    "decode_values",
+    "encode_values",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame; a longer header is a desynced/garbage peer.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent a malformed or oversized frame."""
+
+
+def encode_values(values) -> dict[str, str]:
+    """Instance values -> typed-JSON scalar strings (wire-safe)."""
+    return {name: encode_value(value) for name, value in dict(values).items()}
+
+
+def decode_values(payload) -> dict[str, object]:
+    """Inverse of :func:`encode_values`."""
+    return {name: decode_value(text) for name, text in dict(payload).items()}
+
+
+class Connection:
+    """A framed-message view of one connected socket.
+
+    Thread contract: any number of threads may :meth:`send` (serialized
+    by an internal lock); exactly one thread calls :meth:`recv`.
+    :meth:`close` may be called from any thread and unblocks a pending
+    ``recv`` with ``None``.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets (socketpair)
+            pass
+        try:
+            self.peer = sock.getpeername()
+        except OSError:  # pragma: no cover
+            self.peer = None
+
+    def send(self, message: dict) -> None:
+        """Frame and send one message; raises OSError when the peer is gone."""
+        data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        frame = _HEADER.pack(len(data)) + data
+        with self._send_lock:
+            if self._closed:
+                raise OSError("connection closed")
+            self._sock.sendall(frame)
+
+    def recv(self) -> dict | None:
+        """Receive one message; None on EOF or a closed/reset connection."""
+        header = self._recv_exact(_HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+        payload = self._recv_exact(length)
+        if payload is None:
+            return None
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"undecodable frame: {error}") from None
+        if not isinstance(message, dict):
+            raise ProtocolError(f"frame is {type(message).__name__}, not object")
+        return message
+
+    def _recv_exact(self, count: int) -> bytes | None:
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                chunk = self._sock.recv(count - len(chunks))
+            except OSError:
+                return None  # closed under us / reset: both mean peer gone
+            if not chunk:
+                return None
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, timeout: float = 10.0) -> Connection:
+    """Dial a coordinator and return the framed connection."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)  # blocking from here on; close() unblocks
+    return Connection(sock)

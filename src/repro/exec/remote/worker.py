@@ -1,0 +1,435 @@
+"""Fleet worker: joins a coordinator, executes dispatched runs.
+
+A :class:`FleetWorker` is the remote counterpart of one
+:class:`~repro.exec.pool.ProcessPool` worker process, reachable over
+the fleet protocol instead of a pipe.  It dials the coordinator, says
+``hello``, and then serves ``run`` frames until told ``bye`` -- from a
+separate machine, a separate process (``repro worker --connect``), or
+an in-process thread (the test and benchmark harnesses, where dozens of
+workers join and leave a fleet in milliseconds).
+
+Three threads cooperate per worker:
+
+* the **reader** owns the connection lifecycle: it routes inbound
+  frames (``run`` -> execution queue, ``store_reply`` -> the waiting
+  provenance round-trip, ``bye`` -> shutdown) and runs the reconnect
+  loop when the transport dies;
+* the **executor** drains the run queue serially (one run in flight per
+  worker, mirroring the local pool's one-run-per-process) through a
+  :class:`SpecRunner`; and
+* the **heartbeat** ticks liveness at the coordinator-announced
+  interval.
+
+Provenance dedup goes through a
+:class:`~repro.provenance.remote.RemoteProvenanceStore` whose transport
+is a ``store``/``store_reply`` round-trip on the same connection -- the
+network-backend promotion of PR 5's shared-SQLite-file dedup.  Store
+trouble (timeout, partition) reads as a cache miss: determinism makes
+the re-execution converge.
+
+Idempotence duties (the receiver half of the protocol contract): a
+duplicated ``run`` frame re-sends the memoized result instead of
+re-executing, and results are remembered across reconnects so a
+redispatch that raced a partition heal cannot double-execute.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict
+from queue import Empty, Queue
+
+from ...core.types import Instance, Outcome
+from ...provenance.record import ProvenanceRecord
+from ...provenance.remote import RemoteProvenanceStore
+from ..spec import ExecutorSpec
+from . import protocol
+
+__all__ = ["FleetWorker", "SpecRunner"]
+
+_STOP = object()
+
+
+class SpecRunner:
+    """Build-memoized, dedup-aware executor of (spec, instance) runs.
+
+    The single execution body shared by fleet workers and the
+    coordinator's local-fallback path: memoize the built executor by
+    spec fingerprint (so re-dispatched and repeated runs skip the
+    build), consult the provenance store before executing, write the
+    fresh outcome through after.  Store errors are an optimization
+    loss, never a failure.
+    """
+
+    def __init__(self, store=None):
+        self._store = store
+        self._executors: dict[str, object] = {}
+        self._lock = threading.Lock()
+        self.stats = {"executions": 0, "store_hits": 0, "builds": 0}
+
+    def run(
+        self, spec: ExecutorSpec, workflow: str, values: dict
+    ) -> tuple[str, float, bool]:
+        """Execute one instance; returns (outcome value, cost, from_store)."""
+        fingerprint = spec.fingerprint
+        with self._lock:
+            executor = self._executors.get(fingerprint)
+        if executor is None:
+            executor = spec.build()
+            with self._lock:
+                self._executors.setdefault(fingerprint, executor)
+                self.stats["builds"] += 1
+        instance = Instance(values)
+        if self._store is not None:
+            try:
+                record = self._store.lookup(workflow, instance)
+            except Exception:
+                record = None  # store trouble reads as a miss
+            if record is not None:
+                with self._lock:
+                    self.stats["store_hits"] += 1
+                return record.outcome.value, record.cost, True
+        started = time.perf_counter()
+        outcome = executor(instance)
+        cost = time.perf_counter() - started
+        if not isinstance(outcome, Outcome):
+            raise TypeError(
+                f"executor returned {type(outcome).__name__}, not Outcome"
+            )
+        with self._lock:
+            self.stats["executions"] += 1
+        if self._store is not None:
+            try:
+                self._store.upsert(
+                    ProvenanceRecord(
+                        workflow=workflow,
+                        instance=instance,
+                        outcome=outcome,
+                        cost=cost,
+                        created_at=time.time(),
+                    )
+                )
+            except Exception:
+                pass  # lost write-through must not fail the run
+        return outcome.value, cost, False
+
+
+class FleetWorker:
+    """One fleet member: connects, heartbeats, executes, survives blips.
+
+    Args:
+        host / port: the coordinator's listening address.
+        name: stable fleet identity; rejoining under the same name
+            resumes the old membership slot.  Defaults to
+            ``hostname-pid-N``.
+        heartbeat_interval: override the coordinator-announced cadence
+            (tests); None accepts the ``welcome`` value.
+        reconnect_attempts: how many times a dead transport is redialed
+            before the worker gives up (elastic leave).
+        reconnect_delay: base delay between redials (doubled per try).
+        max_runs: exit after this many executed runs (drain scenarios,
+            ``repro worker --max-runs``).
+        connection_wrapper: fault-injection seam -- maps the fresh
+            :class:`~repro.exec.remote.protocol.Connection` to the
+            connection actually used (see
+            :mod:`repro.exec.remote.faults`).
+        store_timeout: provenance round-trip budget before a lookup
+            degrades to a miss.
+    """
+
+    _name_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str | None = None,
+        heartbeat_interval: float | None = None,
+        reconnect_attempts: int = 0,
+        reconnect_delay: float = 0.2,
+        max_runs: int | None = None,
+        connection_wrapper=None,
+        store_timeout: float = 5.0,
+    ):
+        self.host = host
+        self.port = port
+        self.name = name or (
+            f"{socket.gethostname()}-{os.getpid()}-{next(self._name_counter)}"
+        )
+        self._heartbeat_override = heartbeat_interval
+        self._heartbeat_interval = heartbeat_interval or 0.5
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self.max_runs = max_runs
+        self._wrapper = connection_wrapper
+        self._store_timeout = store_timeout
+        self._conn = None
+        self._conn_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeats_paused = threading.Event()
+        self._runs: Queue = Queue()
+        self._reply_lock = threading.Lock()
+        self._pending_replies: dict[str, tuple[threading.Event, dict]] = {}
+        self._request_ids = itertools.count(1)
+        self._results: OrderedDict[str, dict] = OrderedDict()
+        self._inflight: str | None = None
+        self._executed = 0
+        self.runner = SpecRunner(
+            store=RemoteProvenanceStore(self._store_roundtrip)
+        )
+        self._threads: list[threading.Thread] = []
+        self.connected = threading.Event()
+
+    # -- Lifecycle -----------------------------------------------------------
+    def start(self) -> "FleetWorker":
+        """Connect and serve on background threads; returns self.
+
+        Raises on a failed *initial* connection (joining a fleet that
+        is not there is a caller error); later transport deaths go
+        through the reconnect loop instead.
+        """
+        self._set_conn(self._connect_once())
+        for target, tag in (
+            (self._reader_loop, "read"),
+            (self._executor_loop, "exec"),
+            (self._heartbeat_loop, "beat"),
+        ):
+            thread = threading.Thread(
+                target=target, name=f"fleet-{self.name}-{tag}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def run_forever(self) -> None:
+        """Blocking entry point (the ``repro worker`` CLI body)."""
+        self.start()
+        for thread in self._threads:
+            if thread.name.endswith("-read"):
+                thread.join()
+        self.stop()
+
+    def stop(self, leave: bool = True) -> None:
+        """Graceful departure: announce ``leave``, stop threads."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if leave:
+            self._send({"type": "leave", "name": self.name})
+        self._runs.put(_STOP)
+        with self._conn_lock:
+            conn = self._conn
+        if conn is not None:
+            conn.close()
+        self.connected.clear()
+
+    def kill(self) -> None:
+        """Abrupt death: tear the transport down mid-whatever (tests)."""
+        self._stop.set()
+        self._runs.put(_STOP)
+        with self._conn_lock:
+            conn = self._conn
+        if conn is not None:
+            conn.close()
+        self.connected.clear()
+
+    def join(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+    # -- Test controls -------------------------------------------------------
+    def pause_heartbeats(self) -> None:
+        """Simulate a silent (but connected) worker; coordinator-side
+        suspicion and eviction follow."""
+        self._heartbeats_paused.set()
+
+    def resume_heartbeats(self) -> None:
+        self._heartbeats_paused.clear()
+
+    @property
+    def connection(self):
+        with self._conn_lock:
+            return self._conn
+
+    @property
+    def executed(self) -> int:
+        return self._executed
+
+    # -- Connection management ----------------------------------------------
+    def _connect_once(self):
+        conn = protocol.connect(self.host, self.port)
+        if self._wrapper is not None:
+            conn = self._wrapper(conn)
+        conn.send(
+            {
+                "type": "hello",
+                "name": self.name,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        )
+        reply = conn.recv()
+        if not reply or reply.get("type") != "welcome":
+            conn.close()
+            reason = (reply or {}).get("reason", "no welcome")
+            raise ConnectionError(f"fleet rejected {self.name}: {reason}")
+        if self._heartbeat_override is None:
+            self._heartbeat_interval = float(
+                reply.get("heartbeat_interval", self._heartbeat_interval)
+            )
+        return conn
+
+    def _set_conn(self, conn) -> None:
+        with self._conn_lock:
+            self._conn = conn
+        self.connected.set()
+
+    def _reconnect(self) -> bool:
+        """Redial with exponential spacing; False when giving up."""
+        self.connected.clear()
+        for attempt in range(self.reconnect_attempts):
+            if self._stop.is_set():
+                return False
+            time.sleep(self.reconnect_delay * (2**attempt))
+            try:
+                self._set_conn(self._connect_once())
+                return True
+            except OSError:
+                continue
+        return False
+
+    # -- Threads -------------------------------------------------------------
+    def _reader_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._conn_lock:
+                conn = self._conn
+            message = conn.recv() if conn is not None else None
+            if message is None:
+                if self._stop.is_set() or not self._reconnect():
+                    break
+                continue
+            kind = message.get("type")
+            if kind == "run":
+                self._runs.put(message)
+            elif kind == "store_reply":
+                self._resolve_reply(message)
+            elif kind == "bye":
+                break
+        self._stop.set()
+        self._runs.put(_STOP)
+        self.connected.clear()
+
+    def _executor_loop(self) -> None:
+        while True:
+            try:
+                item = self._runs.get(timeout=1.0)
+            except Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            if item is _STOP:
+                return
+            self._execute(item)
+            if self.max_runs is not None and self._executed >= self.max_runs:
+                self.stop()
+                return
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self._heartbeat_interval):
+            if self._heartbeats_paused.is_set():
+                continue
+            self._send(
+                {
+                    "type": "heartbeat",
+                    "name": self.name,
+                    "inflight": self._inflight,
+                    "stats": dict(self.runner.stats),
+                }
+            )
+
+    # -- Execution -----------------------------------------------------------
+    def _execute(self, message: dict) -> None:
+        run_id = str(message.get("run_id"))
+        cached = self._results.get(run_id)
+        if cached is not None:
+            self._send(cached)  # duplicated run frame: idempotent re-reply
+            return
+        self._inflight = run_id
+        try:
+            spec = ExecutorSpec.from_wire(message["spec"])
+            values = protocol.decode_values(message["instance"])
+            value, cost, from_store = self.runner.run(
+                spec, str(message.get("workflow", "remote")), values
+            )
+            result = {
+                "type": "result",
+                "run_id": run_id,
+                "status": "ok",
+                "outcome": value,
+                "cost": cost,
+                "from_store": from_store,
+            }
+            self._executed += 1
+        except Exception as error:
+            result = {
+                "type": "result",
+                "run_id": run_id,
+                "status": "error",
+                "detail": repr(error),
+            }
+        finally:
+            self._inflight = None
+        self._results[run_id] = result
+        while len(self._results) > 256:
+            self._results.popitem(last=False)
+        self._send(result)
+
+    # -- Provenance transport ------------------------------------------------
+    def _store_roundtrip(self, request: dict) -> dict:
+        request_id = f"{self.name}-{next(self._request_ids)}"
+        event = threading.Event()
+        slot: dict = {}
+        with self._reply_lock:
+            self._pending_replies[request_id] = (event, slot)
+        try:
+            self._send_raising(
+                {"type": "store", "request_id": request_id, **request}
+            )
+            if not event.wait(self._store_timeout):
+                raise TimeoutError(
+                    f"no store reply within {self._store_timeout}s"
+                )
+        finally:
+            with self._reply_lock:
+                self._pending_replies.pop(request_id, None)
+        return slot.get("reply", {})
+
+    def _resolve_reply(self, message: dict) -> None:
+        request_id = str(message.get("request_id"))
+        with self._reply_lock:
+            waiter = self._pending_replies.pop(request_id, None)
+        if waiter is None:
+            return  # duplicated or late reply: drop
+        event, slot = waiter
+        slot["reply"] = message
+        event.set()
+
+    # -- Sending -------------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        try:
+            self._send_raising(message)
+        except OSError:
+            pass  # transport down; the reader's reconnect loop owns recovery
+
+    def _send_raising(self, message: dict) -> None:
+        with self._conn_lock:
+            conn = self._conn
+        if conn is None:
+            raise OSError("not connected")
+        conn.send(message)

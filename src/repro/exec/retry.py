@@ -1,0 +1,114 @@
+"""Unified retry policy for the local and remote execution pools.
+
+PR 5's :class:`~repro.exec.pool.ProcessPool` grew two ad-hoc retry
+integers (``crash_retries`` / ``timeout_retries``) with implicit
+zero-delay retries.  The remote fleet needs the same fault taxonomy but
+with *spaced* retries: immediately re-dispatching into a network blip
+just loses again, so distributed-systems practice is exponential
+backoff with jitter (decorrelating the retry storms of many concurrent
+callers).  :class:`RetryPolicy` is the one shared description --
+per-fault-class attempt budgets plus a backoff curve -- and
+:class:`RetryState` is one run's mutable consumption of it.
+
+Defaults preserve the historical ``ProcessPool`` behavior exactly:
+one crash retry, zero timeout retries, zero delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "RetryState"]
+
+#: Fault classes a policy budgets separately.  ``crash`` covers every
+#: "the run's worker went away" fault (process death, connection loss,
+#: heartbeat eviction); ``timeout`` covers runs that exceeded their
+#: wall-clock cap (assumed deterministic hangs by default, hence the
+#: zero default budget).
+FAULT_KINDS = ("crash", "timeout")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how fast, a faulted run is retried.
+
+    Args:
+        crash_retries: retry budget for crash-class faults (worker
+            death, connection loss, eviction).
+        timeout_retries: retry budget for timed-out runs.
+        base_delay: delay before the first retry, seconds.  0 (the
+            default) retries immediately -- the historical behavior.
+        factor: multiplier applied per successive retry of the same
+            fault class (exponential backoff).
+        max_delay: cap on any single computed delay.
+        jitter: fraction of the computed delay added uniformly at
+            random (``delay * uniform(0, jitter)``), decorrelating
+            concurrent retriers.  0 disables.
+        seed: optional RNG seed for deterministic jitter in tests.
+    """
+
+    crash_retries: int = 1
+    timeout_retries: int = 0
+    base_delay: float = 0.0
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.crash_retries < 0 or self.timeout_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def budget(self, kind: str) -> int:
+        if kind == "crash":
+            return self.crash_retries
+        if kind == "timeout":
+            return self.timeout_retries
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    def delay_for(self, kind: str, attempt: int, rng: random.Random) -> float:
+        """The backoff delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * (self.factor**attempt))
+        if self.jitter and delay:
+            delay += rng.uniform(0.0, delay * self.jitter)
+        return delay
+
+    def start(self) -> "RetryState":
+        """A fresh per-run consumption state of this policy."""
+        return RetryState(self)
+
+
+class RetryState:
+    """One run's retry bookkeeping: budgets left and backoff position.
+
+    ``next_delay(kind)`` consumes one retry of that fault class and
+    returns the seconds to sleep before it, or ``None`` when the class's
+    budget is exhausted (the caller then propagates the fault).
+    """
+
+    __slots__ = ("policy", "_left", "_used", "_rng")
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self._left = {kind: policy.budget(kind) for kind in FAULT_KINDS}
+        self._used = {kind: 0 for kind in FAULT_KINDS}
+        self._rng = random.Random(policy.seed)
+
+    def next_delay(self, kind: str) -> float | None:
+        if self._left[kind] <= 0:
+            return None
+        self._left[kind] -= 1
+        attempt = self._used[kind]
+        self._used[kind] += 1
+        return self.policy.delay_for(kind, attempt, self._rng)
+
+    @property
+    def retries_used(self) -> int:
+        return sum(self._used.values())

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import threading
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
@@ -38,7 +39,12 @@ from ..pipeline.evaluation import WorkflowExecutor, threshold_evaluation
 from ..pipeline.serialization import ModuleRegistry, workflow_from_json, workflow_to_json
 from ..pipeline.workflow import Workflow
 
-__all__ = ["ExecutorSpec", "resolve_reference"]
+__all__ = [
+    "ExecutorSpec",
+    "clear_artifact_cache",
+    "artifact_cache_stats",
+    "resolve_reference",
+]
 
 
 def resolve_reference(reference: str):
@@ -138,6 +144,31 @@ class ExecutorSpec:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
+    # -- Wire transport ------------------------------------------------------
+    def to_wire(self) -> dict[str, object]:
+        """A JSON-able form for socket transport (no pickling).
+
+        Only JSON-able kwargs survive the wire (true for both
+        construction classmethods); nested tuples serialize as arrays
+        and :meth:`from_wire` re-freezes them, so the fingerprint is
+        preserved exactly across the round-trip.
+        """
+        return {
+            "builder": self.builder,
+            "kwargs": [[name, value] for name, value in self.kwargs],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]) -> "ExecutorSpec":
+        """Rebuild a spec from :meth:`to_wire` output (post-JSON)."""
+        return cls(
+            builder=str(payload["builder"]),
+            kwargs=tuple(
+                (str(name), _freeze(value))
+                for name, value in payload["kwargs"]  # type: ignore[union-attr]
+            ),
+        )
+
     # -- Worker-side build ---------------------------------------------------
     def build(self) -> Executor:
         """Import the builder and construct the executor (worker side)."""
@@ -168,6 +199,35 @@ def _freeze(value: object) -> object:
     return value
 
 
+# Worker-side warm cache for from_workflow data artifacts.  A worker
+# that re-builds the same spec (a re-dispatched run after eviction, a
+# repeated fingerprint after an executor-memo reset, N specs differing
+# only in threshold) skips re-parsing the workflow JSON and re-importing
+# the registry paths.  Safe to share: Workflow.execute builds all its
+# per-run state locally (its only mutation is an idempotent topo-order
+# memo), and each build still gets a private WorkflowExecutor.
+_ARTIFACT_LOCK = threading.Lock()
+_WORKFLOW_ARTIFACTS: dict[tuple[str, tuple[tuple[str, str], ...]], Workflow] = {}
+_ARTIFACT_STATS = {"hits": 0, "misses": 0}
+_ARTIFACT_CACHE_MAX = 64
+
+
+def artifact_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the workflow-artifact warm cache."""
+    with _ARTIFACT_LOCK:
+        stats = dict(_ARTIFACT_STATS)
+        stats["entries"] = len(_WORKFLOW_ARTIFACTS)
+    return stats
+
+
+def clear_artifact_cache() -> None:
+    """Drop cached workflow artifacts (tests; memory pressure)."""
+    with _ARTIFACT_LOCK:
+        _WORKFLOW_ARTIFACTS.clear()
+        _ARTIFACT_STATS["hits"] = 0
+        _ARTIFACT_STATS["misses"] = 0
+
+
 def build_workflow_executor(
     workflow_json: str,
     registry: object,
@@ -184,10 +244,24 @@ def build_workflow_executor(
         if isinstance(registry, Mapping)
         else {name: path for name, path in registry}  # type: ignore[union-attr]
     )
-    resolved = ModuleRegistry(
-        {name: resolve_reference(path) for name, path in paths.items()}
+    cache_key = (
+        hashlib.sha256(workflow_json.encode("utf-8")).hexdigest(),
+        tuple(sorted((str(k), str(v)) for k, v in paths.items())),
     )
-    workflow = workflow_from_json(workflow_json, resolved)
+    with _ARTIFACT_LOCK:
+        workflow = _WORKFLOW_ARTIFACTS.get(cache_key)
+        if workflow is not None:
+            _ARTIFACT_STATS["hits"] += 1
+    if workflow is None:
+        resolved = ModuleRegistry(
+            {name: resolve_reference(path) for name, path in paths.items()}
+        )
+        workflow = workflow_from_json(workflow_json, resolved)
+        with _ARTIFACT_LOCK:
+            _ARTIFACT_STATS["misses"] += 1
+            if len(_WORKFLOW_ARTIFACTS) >= _ARTIFACT_CACHE_MAX:
+                _WORKFLOW_ARTIFACTS.pop(next(iter(_WORKFLOW_ARTIFACTS)))
+            _WORKFLOW_ARTIFACTS[cache_key] = workflow
     if evaluation is not None:
         evaluate: Callable[[object], Outcome] = resolve_reference(evaluation)
     else:

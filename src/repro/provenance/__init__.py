@@ -6,6 +6,7 @@ and JSONL/CSV log interchange.
 
 from .log import RecordingExecutor, read_csv, read_jsonl, write_csv, write_jsonl
 from .record import ProvenanceRecord, decode_value, encode_value
+from .remote import RemoteProvenanceStore, StoreTransportError, handle_store_request
 from .store import InMemoryProvenanceStore, ProvenanceStore, SQLiteProvenanceStore
 
 __all__ = [
@@ -13,7 +14,10 @@ __all__ = [
     "ProvenanceRecord",
     "ProvenanceStore",
     "RecordingExecutor",
+    "RemoteProvenanceStore",
     "SQLiteProvenanceStore",
+    "StoreTransportError",
+    "handle_store_request",
     "decode_value",
     "encode_value",
     "read_csv",

@@ -1,0 +1,191 @@
+"""Network-transport provenance backend: point ops over a message channel.
+
+PR 5's cross-process dedup assumed every worker could open the *same
+SQLite file* -- true on one machine, false for a remote fleet.  This
+module promotes the worker-side dedup to a pluggable transport:
+:class:`RemoteProvenanceStore` implements the two point operations the
+execution path needs (``lookup`` before running, ``upsert`` after) by
+exchanging small JSON-able request/reply dicts over an injected
+*transport callable*, and :func:`handle_store_request` is the matching
+server half that applies a request to any real
+:class:`~repro.provenance.store.ProvenanceStore`.
+
+The transport contract is deliberately tiny -- ``reply = transport(request)``
+with both sides plain dicts -- so it works over the fleet's socket
+protocol (:mod:`repro.exec.remote.protocol`), an HTTP POST, or a test
+stub calling :func:`handle_store_request` directly.  Instance values
+travel through :func:`~repro.provenance.record.encode_value` /
+:func:`~repro.provenance.record.decode_value` (the typed-JSON scalar
+codec of the SQLite tier), so a value survives the wire exactly as it
+survives the database.
+
+Failure stance: dedup is an *optimization*, never a correctness
+dependency.  A transport error or timeout reads as a cache miss on
+``lookup`` and is swallowed on ``upsert`` -- the worker re-executes,
+and because pipeline outcomes are deterministic (Definition 2), the
+re-execution converges on the same row the lost write would have
+produced (the consensus-free convergence argument of ``upsert``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+
+from ..core.types import Instance
+from .record import ProvenanceRecord, decode_value, encode_value
+from .store import ProvenanceStore
+
+__all__ = [
+    "RemoteProvenanceStore",
+    "StoreTransportError",
+    "handle_store_request",
+    "instance_from_wire",
+    "instance_to_wire",
+]
+
+
+class StoreTransportError(RuntimeError):
+    """The transport failed to produce a reply (treated as a miss)."""
+
+
+def instance_to_wire(instance: Instance) -> dict[str, str]:
+    """Encode instance values with the typed scalar codec."""
+    return {name: encode_value(value) for name, value in instance.items()}
+
+
+def instance_from_wire(payload: dict[str, str]) -> Instance:
+    """Decode a wire instance back to typed values."""
+    return Instance({name: decode_value(text) for name, text in payload.items()})
+
+
+def handle_store_request(store: ProvenanceStore, request: dict) -> dict:
+    """Apply one wire request to a real store; always returns a reply.
+
+    Requests::
+
+        {"op": "lookup", "workflow": w, "instance": {name: encoded}}
+        {"op": "upsert", "workflow": w, "instance": {...},
+         "outcome": "PASS", "cost": 0.25, "created_at": 1e9}
+
+    Replies carry ``{"found": bool, "outcome": str, "cost": float}`` for
+    lookups and ``{"ok": bool}`` for upserts; any server-side store
+    trouble degrades to ``found: false`` / ``ok: false`` rather than
+    raising across the wire.
+    """
+    from ..core.types import Outcome
+
+    try:
+        op = request.get("op")
+        workflow = str(request.get("workflow", ""))
+        instance = instance_from_wire(request.get("instance", {}))
+        if op == "lookup":
+            record = store.lookup(workflow, instance)
+            if record is None:
+                return {"found": False}
+            return {
+                "found": True,
+                "outcome": record.outcome.value,
+                "cost": record.cost,
+            }
+        if op == "upsert":
+            store.upsert(
+                ProvenanceRecord(
+                    workflow=workflow,
+                    instance=instance,
+                    outcome=Outcome(request["outcome"]),
+                    cost=float(request.get("cost", 0.0)),
+                    created_at=float(request.get("created_at") or time.time()),
+                )
+            )
+            return {"ok": True}
+        return {"error": f"unknown store op {op!r}"}
+    except Exception as error:
+        return {"error": repr(error), "found": False, "ok": False}
+
+
+class RemoteProvenanceStore(ProvenanceStore):
+    """Point-op provenance dedup over an injected transport.
+
+    Args:
+        transport: ``request dict -> reply dict``; raises (anything) or
+            returns an ``error`` reply on failure.  The fleet worker
+            passes its coordinator round-trip here.
+        workflow: optional default workflow tag (informational).
+
+    Only ``lookup`` and ``upsert`` are remote; the enumeration surface
+    (``records`` / ``__len__``) is intentionally unsupported -- the
+    coordinator owns the authoritative store, and a worker has no
+    business scanning it over the dispatch channel.
+    """
+
+    def __init__(
+        self,
+        transport: Callable[[dict], dict],
+        workflow: str | None = None,
+    ):
+        self._transport = transport
+        self.workflow = workflow
+        self._stats = {"lookups": 0, "hits": 0, "upserts": 0, "transport_errors": 0}
+
+    # -- Point operations (the execution path) ------------------------------
+    def lookup(self, workflow: str, instance: Instance) -> ProvenanceRecord | None:
+        from ..core.types import Outcome
+
+        self._stats["lookups"] += 1
+        try:
+            reply = self._transport(
+                {
+                    "op": "lookup",
+                    "workflow": workflow,
+                    "instance": instance_to_wire(instance),
+                }
+            )
+        except Exception as error:
+            self._stats["transport_errors"] += 1
+            raise StoreTransportError(repr(error)) from None
+        if not reply or not reply.get("found"):
+            return None
+        self._stats["hits"] += 1
+        return ProvenanceRecord(
+            workflow=workflow,
+            instance=instance,
+            outcome=Outcome(reply["outcome"]),
+            cost=float(reply.get("cost", 0.0)),
+            created_at=time.time(),
+        )
+
+    def upsert(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        self._stats["upserts"] += 1
+        try:
+            self._transport(
+                {
+                    "op": "upsert",
+                    "workflow": record.workflow,
+                    "instance": instance_to_wire(record.instance),
+                    "outcome": record.outcome.value,
+                    "cost": record.cost,
+                    "created_at": record.created_at,
+                }
+            )
+        except Exception as error:
+            self._stats["transport_errors"] += 1
+            raise StoreTransportError(repr(error)) from None
+        return record
+
+    def add(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        return self.upsert(record)
+
+    def stats(self) -> dict[str, int]:
+        return dict(self._stats)
+
+    # -- Enumeration is not part of the transport contract -------------------
+    def records(self) -> Iterator[ProvenanceRecord]:
+        raise NotImplementedError(
+            "RemoteProvenanceStore supports point lookup/upsert only"
+        )
+
+    def __len__(self) -> int:
+        raise NotImplementedError(
+            "RemoteProvenanceStore supports point lookup/upsert only"
+        )

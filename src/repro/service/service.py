@@ -31,6 +31,7 @@ from ..core.bugdoc import BugDoc
 from ..core.session import DebugSession
 from ..core.stacked import DEFAULT_STACK_WIDTH
 from ..exec.events import EventBus
+from ..exec.autoscale import AdaptiveSizer
 from ..exec.pool import ProcessPool
 from ..obs.metrics import EventMetrics, MetricsRegistry
 from ..obs.sink import DurableEventBus
@@ -139,14 +140,24 @@ class DebugService:
             round-robin weight in the shared scheduler.  Off by default,
             which preserves the original unweighted FIFO round-robin
             regardless of submitted priorities.
-        pool: optional :class:`~repro.exec.pool.ProcessPool`.  Jobs
-            whose spec carries an ``executor_spec`` then execute their
-            pipelines *out of process*: the service's scheduler worker
-            threads dispatch each run to a pool worker process (crash
-            containment, per-run timeouts, true CPU parallelism), while
-            budget/history accounting, the shared cache, and
-            cancellation stay in-parent and unchanged.  The pool is not
-            owned: :meth:`shutdown` leaves it running for other owners.
+        pool: optional :class:`~repro.exec.pool.ProcessPool` or
+            :class:`~repro.exec.remote.RemoteWorkerPool` (any object
+            with the pool contract: ``executor()`` + ``stats()``).
+            Jobs whose spec carries an ``executor_spec`` then execute
+            their pipelines *out of process* (or on the remote fleet):
+            the service's scheduler worker threads dispatch each run to
+            a pool worker, while budget/history accounting, the shared
+            cache, and cancellation stay in-parent and unchanged.  The
+            pool is not owned: :meth:`shutdown` leaves it running for
+            other owners.  A fleet pool additionally gets the service's
+            event bus bound (``bind_events``), so membership changes
+            land in the durable telemetry log under the ``fleet`` job.
+        autoscale: size the attached pool adaptively from live
+            scheduler queue depth (an
+            :class:`~repro.exec.autoscale.AdaptiveSizer` owned and torn
+            down by the service) instead of leaving it at its fixed
+            construction size.  The decision trail surfaces in
+            ``stats()["pool"]["autoscale"]``.
         persist_events: write job event logs through to the provenance
             store (on by default; effective only when the service's
             cache is backed by a schema-v4 store).  Readers then replay
@@ -170,6 +181,7 @@ class DebugService:
         weighted_fairness: bool = False,
         pool: ProcessPool | None = None,
         persist_events: bool = True,
+        autoscale: bool = False,
     ):
         if cache is not None and store is not None:
             raise ValueError("pass either a cache or a store, not both")
@@ -202,6 +214,16 @@ class DebugService:
         else:
             self._events = EventBus()
         self._metrics = MetricsRegistry()
+        # Fleet pools publish membership lifecycle (joins, suspicions,
+        # evictions, rejoins) into the same -- possibly durable -- bus
+        # as job progress, under the "fleet" job id.
+        if pool is not None and hasattr(pool, "bind_events"):
+            pool.bind_events(self._events)
+        self._sizer = None
+        if autoscale and pool is not None:
+            self._sizer = AdaptiveSizer(
+                pool, depth=lambda: self._scheduler.pending
+            )
         self._jobs: dict[str, JobHandle] = {}
         self._lock = threading.Lock()
         self._admission = (
@@ -609,6 +631,8 @@ class DebugService:
         """
         with self._lock:
             self._shutdown = True
+        if self._sizer is not None:
+            self._sizer.stop()
         self._scheduler.shutdown()
         self._events.shutdown()
         if isinstance(self._events, DurableEventBus):

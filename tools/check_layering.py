@@ -33,8 +33,21 @@ import ast
 import pathlib
 import sys
 
-# package -> layers it must NOT import from
+# package (or nested "package/subpackage" path) -> layers it must NOT
+# import from.  Nested entries add constraints on top of their parent
+# package's (both are checked; exec/remote must obey exec's bans AND
+# stay below cli).
 FORBIDDEN = {
+    "exec/remote": {
+        "service",
+        "obs",
+        "cli",
+        "baselines",
+        "eval",
+        "extensions",
+        "synth",
+        "workloads",
+    },
     "concurrency": {
         "core",
         "exec",
@@ -90,7 +103,7 @@ def check(src: pathlib.Path) -> list[str]:
     violations: list[str] = []
     root = src / "repro"
     for package, banned in FORBIDDEN.items():
-        package_dir = root / package
+        package_dir = root.joinpath(*package.split("/"))
         if not package_dir.is_dir():
             continue
         for path in sorted(package_dir.rglob("*.py")):
