@@ -69,6 +69,7 @@ def test_quick_benchmarks_discovered():
         "bench_engine_overhead",
         "bench_strategy_overhead",
         "bench_batch_suspects",
+        "bench_columnar_shards",
         "bench_process_backend",
         "bench_event_overhead",
         "bench_remote_fleet",

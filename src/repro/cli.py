@@ -436,9 +436,12 @@ def cmd_serve(args) -> int:
             if result.cache_stats
             else "-",
             # Per-job columnar-engine health: reference-path fallbacks
-            # (0 on clean runs) / compile-cache hits.
+            # (0 on clean runs) / compile-cache hits / store shards x
+            # parallel fan-outs.
             f"{result.engine_stats['fallbacks']}"
             f"/{result.engine_stats['compile_hits']}"
+            f"/{result.engine_stats.get('shards', 1)}"
+            f"x{result.engine_stats.get('parallel_queries', 0)}"
             if result.engine_stats
             else "-",
             f"{result.wall_seconds:.2f}s",
@@ -453,7 +456,7 @@ def cmd_serve(args) -> int:
                 "causes",
                 "executed",
                 "cache hits",
-                "fb/ch",
+                "fb/ch/shxpq",
                 "wall",
             ],
             rows,

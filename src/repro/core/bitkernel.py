@@ -1,0 +1,127 @@
+"""Shared bit-twiddling helpers and the popcount/rank kernel seam.
+
+Every hot loop of the columnar engine reduces to the same handful of
+big-int idioms: pull the lowest set bit (``mask & -mask`` then
+``bit_length() - 1``), iterate set-bit positions, OR a column subset
+selected by an allowed-code mask, and count bits.  Before this module
+the idioms were copy-pasted across :mod:`repro.core.engine`; they now
+live here so the sharded and legacy code paths share one audited
+implementation.
+
+The popcount/rank *kernel* is selectable:
+
+* ``"int"`` (default): CPython's C-level :meth:`int.bit_count`, which
+  on this interpreter beats everything that requires materializing the
+  integer as bytes first (``to_bytes`` alone costs more than the count).
+* ``"bytes"``: converts masks to little-endian bytes and counts with
+  :func:`numpy.bitwise_count` over a ``uint64`` view.  numpy releases
+  the GIL for large array ops, so this path is the one worth fanning
+  across the shard thread pool on interpreters/platforms where big-int
+  conversion is cheap relative to the digit-loop popcount.  Falls back
+  to the pure-int path when numpy is unavailable.
+
+Select with ``REPRO_BITKERNEL=int|bytes`` (read at import); the active
+path is visible as ``kernel_path()`` and surfaced through
+``ColumnarEngine.stats()["kernel_path"]`` so benchmark runs record
+which kernel produced their numbers.  Both kernels return identical
+values (property-tested in ``tests/test_shards.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "lowest_bit",
+    "iter_bits",
+    "accumulate_codes",
+    "popcount",
+    "popcount_and",
+    "rank",
+    "kernel_path",
+]
+
+try:  # the bytes kernel is optional; the int path is always available
+    import numpy as _np
+
+    if not hasattr(_np, "bitwise_count"):  # pragma: no cover - numpy < 2
+        _np = None
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+def lowest_bit(mask: int) -> int:
+    """Position of the lowest set bit of a non-zero ``mask``."""
+    return (mask & -mask).bit_length() - 1
+
+
+def iter_bits(mask: int):
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def accumulate_codes(column: list[int], allowed: int) -> int:
+    """OR of ``column[code]`` over the set bits of ``allowed``.
+
+    The match-table build loop: ``column`` is one parameter's per-code
+    row bitsets and ``allowed`` the compiled allowed-code mask; the
+    result is the bitset of rows whose code lies in the mask.  Shared
+    by the per-shard tables and the legacy uncached accumulation.
+    """
+    matched = 0
+    while allowed:
+        low = allowed & -allowed
+        matched |= column[low.bit_length() - 1]
+        allowed ^= low
+    return matched
+
+
+def _popcount_int(mask: int) -> int:
+    return mask.bit_count()
+
+
+def _popcount_bytes(mask: int) -> int:
+    if mask < 0:  # pragma: no cover - engine masks are non-negative
+        raise ValueError("popcount of a negative mask")
+    length = mask.bit_length()
+    if length <= 512:
+        # Fixed numpy dispatch overhead dominates tiny masks; the
+        # crossover is far above this, so stay on the C digit loop.
+        return mask.bit_count()
+    words = (length + 63) // 64
+    view = _np.frombuffer(
+        mask.to_bytes(words * 8, "little"), dtype=_np.uint64
+    )
+    return int(_np.bitwise_count(view).sum())
+
+
+_KERNELS = {"int": _popcount_int}
+if _np is not None:
+    _KERNELS["bytes"] = _popcount_bytes
+
+_requested = os.environ.get("REPRO_BITKERNEL", "int").strip().lower() or "int"
+if _requested not in ("int", "bytes"):
+    raise ValueError(
+        f"REPRO_BITKERNEL={_requested!r}: expected 'int' or 'bytes'"
+    )
+# Fall back to the pure-int path when the bytes kernel has no numpy.
+_ACTIVE = _requested if _requested in _KERNELS else "int"
+popcount = _KERNELS[_ACTIVE]
+
+
+def popcount_and(a: int, b: int) -> int:
+    """``popcount(a & b)`` through the active kernel."""
+    return popcount(a & b)
+
+
+def rank(mask: int, position: int) -> int:
+    """Number of set bits of ``mask`` strictly below ``position``."""
+    return popcount(mask & ((1 << position) - 1))
+
+
+def kernel_path() -> str:
+    """The active popcount kernel: ``"int"`` or ``"bytes"``."""
+    return _ACTIVE

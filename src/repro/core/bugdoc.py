@@ -94,6 +94,11 @@ class BugDoc:
             :class:`DDTConfig` objects; an explicitly passed
             ``ddt_config`` keeps its own ``engine`` field.  Both
             engines produce identical reports.
+        shard_plan: optional :class:`~repro.core.shards.ShardPlan`
+            pinning the columnar store's shard sizing and worker count
+            (None auto-sizes from the history and CPU count).  Any plan
+            produces byte-identical reports; it only changes how the
+            engine's work is laid out.
     """
 
     def __init__(
@@ -105,6 +110,7 @@ class BugDoc:
         seed: int = 0,
         session: DebugSession | None = None,
         engine: str = "columnar",
+        shard_plan=None,
     ):
         if session is not None:
             if executor is not None or space is not None or history is not None:
@@ -119,11 +125,14 @@ class BugDoc:
                 executor, space, history=history, budget=budget
             )
         self._engine = engine
+        self._shard_plan = shard_plan
         # One seam for every strategy: engine selection, history scans,
         # and budget charging all resolve through this context, so
         # Shortcut/Stacked and DDT share the same (incrementally
         # maintained) columnar store instead of three ad-hoc paths.
-        self._context = StrategyContext.for_session(self._session, engine=engine)
+        self._context = StrategyContext.for_session(
+            self._session, engine=engine, shard_plan=shard_plan
+        )
         self._rng = random.Random(seed)
 
     @property
@@ -259,7 +268,9 @@ class BugDoc:
         ``engine`` field otherwise."""
         if config.engine == self._engine:
             return self._context
-        return StrategyContext.for_session(self._session, engine=config.engine)
+        return StrategyContext.for_session(
+            self._session, engine=config.engine, shard_plan=self._shard_plan
+        )
 
     def _run_ddt(self, config: DDTConfig) -> BugDocReport:
         report = BugDocReport(algorithm=Algorithm.DECISION_TREES)

@@ -79,12 +79,20 @@ class StrategyContext:
 
     __slots__ = ("session", "engine_name", "batch", "_engine", "_value_lists")
 
-    def __init__(self, session, engine: str = "columnar", batch: bool = True):
+    def __init__(
+        self,
+        session,
+        engine: str = "columnar",
+        batch: bool = True,
+        shard_plan=None,
+    ):
         self.session = session
         self.engine_name = validate_engine(engine)
         self.batch = bool(batch)
         self._engine = (
-            ColumnarEngine.for_session(session, use_match_cache=self.batch)
+            ColumnarEngine.for_session(
+                session, use_match_cache=self.batch, plan=shard_plan
+            )
             if engine == "columnar"
             else None
         )
@@ -92,9 +100,13 @@ class StrategyContext:
 
     @classmethod
     def for_session(
-        cls, session, engine: str = "columnar", batch: bool = True
+        cls,
+        session,
+        engine: str = "columnar",
+        batch: bool = True,
+        shard_plan=None,
     ) -> "StrategyContext":
-        return cls(session, engine=engine, batch=batch)
+        return cls(session, engine=engine, batch=batch, shard_plan=shard_plan)
 
     @property
     def columnar(self) -> bool:
@@ -108,9 +120,10 @@ class StrategyContext:
         by construction).  Tests assert this stays 0 on clean runs."""
         return 0 if self._engine is None else self._engine.fallbacks
 
-    def engine_stats(self) -> dict[str, int] | None:
+    def engine_stats(self) -> dict[str, int | str] | None:
         """The columnar engine's counter snapshot (fallbacks, compile
-        cache hits/misses, match-table reuse), or None on the reference
+        cache hits/misses, match-table reuse/footprint, shard layout,
+        parallel-query count, kernel path), or None on the reference
         engine.  This is the per-job view the service reports:
         ``ColumnarEngine.for_session`` builds a fresh engine per
         context, so these counters cover exactly this job's queries.

@@ -31,6 +31,18 @@ This module provides that compiled path:
   over index bitsets, and *repairs* the previous round's tree on append
   instead of rebuilding it: only nodes whose row set changed are
   re-scored, and a subtree is rebuilt only when its best split changed.
+* The store is **row-range sharded** (:mod:`repro.core.shards`): rows
+  live in per-shard per-(parameter, code) bitsets with per-shard fail
+  masks and per-shard LRU match tables.  Appends touch only the tail
+  shard; sealed shards -- and everything cached against them -- are
+  immutable.  Existence queries (``refutes``/``supports`` and their
+  batches) walk shards in row order and stop at the first witness, so
+  a refutation found in the first shard never scans the rest of a
+  multi-million-row history; global bitset views (for the tree builder
+  and the legacy uncached paths) are composed lazily from shard-local
+  masks and memoized.  A :class:`~repro.core.shards.ShardExecutor`
+  fans per-shard work across a thread pool when the
+  :class:`~repro.core.shards.ShardPlan` allows more than one worker.
 
 Correctness contract: every public operation returns **exactly** what
 the dict-based reference path returns.  The encoders therefore refuse
@@ -51,9 +63,12 @@ best split changed is rebuilt from scratch.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
+from .bitkernel import iter_bits, kernel_path, lowest_bit, popcount
 from .predicates import Comparator, Conjunction, Predicate
+from .shards import DEFAULT_MATCH_TABLE_LIMIT, Shard, ShardExecutor, ShardPlan
 from .tree import DebuggingTree, LeafKind, TreeNode, _gini, _predicate_rank
 from .types import Instance, Outcome, ParameterSpace
 
@@ -62,17 +77,13 @@ __all__ = [
     "ColumnarStore",
     "ColumnarEngine",
     "IncrementalTreeBuilder",
+    "ShardPlan",
     "compile_conjunction",
     "compile_many",
 ]
 
-
-def _iter_bits(mask: int):
-    """Yield the set-bit positions of ``mask`` in ascending order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+# Backwards-compatible alias; the canonical helper lives in bitkernel.
+_iter_bits = iter_bits
 
 
 class SpaceCodec:
@@ -231,48 +242,184 @@ class ColumnarStore:
     """Integer-coded columns + outcome bitsets over one history.
 
     Row ``i`` is the ``i``-th *distinct* instance of the history (the
-    exact sample set the DDT induction consumes).  ``value_rows[p][c]``
-    is the bitset of rows whose parameter ``p`` has code ``c``;
-    ``fail_mask`` / ``succeed_mask`` partition ``all_mask`` by outcome.
-    :meth:`sync` appends rows for history entries recorded since the
-    last call -- nothing is ever recomputed from scratch.
+    exact sample set the DDT induction consumes).  Rows live in
+    row-range :class:`~repro.core.shards.Shard` objects sized by the
+    store's :class:`~repro.core.shards.ShardPlan`: ``shards[k]`` holds
+    local per-(parameter, code) bitsets and a local fail mask for its
+    row range, and only the tail shard grows.  :meth:`sync` appends
+    rows for history entries recorded since the last call -- nothing is
+    ever recomputed from scratch, and sealing a full tail shard folds
+    its columns into the sealed-prefix caches exactly once.
+
+    Global views (``value_rows``, ``fail_mask``, ``all_mask``,
+    ``succeed_mask``, :meth:`match_rows`) are *composed lazily* from
+    the shard-local masks and memoized against the row count, so
+    single-shard stores -- every store below
+    :data:`~repro.core.shards.MIN_AUTO_SHARD_ROWS` rows under the auto
+    plan -- behave (and count match-table traffic) exactly like the
+    pre-shard store.
 
     A row the codec cannot encode marks the store *degraded*: every
     engine operation then falls back to the reference path (answers
     from a partial column store would silently diverge).
     """
 
-    def __init__(self, history, space: ParameterSpace):
+    def __init__(
+        self,
+        history,
+        space: ParameterSpace,
+        plan: ShardPlan | None = None,
+        match_table_limit: int = DEFAULT_MATCH_TABLE_LIMIT,
+    ):
         self.history = history
         self.space = space
         self.codec = SpaceCodec(space)
-        self.value_rows: list[list[int]] = [
-            [0] * size for size in self.codec.domain_sizes
-        ]
-        self.fail_mask = 0
-        self.all_mask = 0
+        if plan is None:
+            plan = ShardPlan.auto(getattr(history, "distinct_count", 0) or 0)
+        self.plan = plan
+        self.match_table_limit = match_table_limit
+        self.shards: list[Shard] = [Shard(0, self.codec.domain_sizes)]
+        self.executor = ShardExecutor(plan.max_workers)
         self.n_rows = 0
         self.rows: list[Instance] = []
         self.row_codes: list[tuple[int, ...]] = []
         self.degraded = False
         self._synced = 0
         self._builders: dict[int | None, IncrementalTreeBuilder] = {}
-        # Batch-evaluation match tables: (parameter_index, allowed_mask)
-        # -> bitset of rows whose code lies in the mask.  Entries are
-        # *extended incrementally* when rows were appended since they
-        # were built (append-only histories make the row count the
-        # generation counter), so a growing history never invalidates
-        # the tables -- it only adds each new row's bit to the entries
-        # whose mask contains the row's code.
-        self._match_cache: dict[tuple[int, int], int] = {}
-        self._match_generation = 0
-        self.match_hits = 0
-        self.match_misses = 0
-        self.match_extensions = 0  # entries incrementally extended
+        # Sealed-prefix composed caches: global-position bitsets folded
+        # from every *sealed* shard, extended once per seal.  The tail
+        # shard's contribution is shifted in on demand and memoized
+        # against the row count (appends only ever touch the tail).
+        self._sealed_columns: dict[tuple[int, int], int] = {}
+        self._sealed_fail = 0
+        self._columns: dict[tuple[int, int], list[int]] = {}
+        self._fail_cache = 0
+        self._fail_rows = 0
+        self._all_cache = 0
+        self._all_rows = 0
+        self._succeed_cache = 0
+        self._succeed_rows = 0
+        # Composed match tables for multi-shard stores: global bitsets
+        # assembled from the per-shard tables, LRU-capped like them.
+        self._composed_match: OrderedDict[tuple[int, int], list[int]] = (
+            OrderedDict()
+        )
+        self._composed_evictions = 0
+
+    # -- Composed global views ------------------------------------------------
+    @property
+    def fail_mask(self) -> int:
+        if self._fail_rows != self.n_rows or not self.n_rows:
+            tail = self.shards[-1]
+            self._fail_cache = self._sealed_fail | (tail.fail_mask << tail.start)
+            self._fail_rows = self.n_rows
+        return self._fail_cache
+
+    @property
+    def all_mask(self) -> int:
+        if self._all_rows != self.n_rows or not self.n_rows:
+            self._all_cache = (1 << self.n_rows) - 1
+            self._all_rows = self.n_rows
+        return self._all_cache
 
     @property
     def succeed_mask(self) -> int:
-        return self.all_mask & ~self.fail_mask
+        if self._succeed_rows != self.n_rows or not self.n_rows:
+            self._succeed_cache = self.all_mask & ~self.fail_mask
+            self._succeed_rows = self.n_rows
+        return self._succeed_cache
+
+    def column(self, index: int, code: int) -> int:
+        """Global bitset of rows whose parameter ``index`` holds ``code``.
+
+        Composed as ``sealed_prefix | (tail_local << tail.start)`` and
+        memoized against the row count; sealed shards never change, so
+        the prefix part is exact until the next seal folds a new shard
+        into it.
+        """
+        key = (index, code)
+        entry = self._columns.get(key)
+        if entry is not None and entry[1] == self.n_rows:
+            return entry[0]
+        tail = self.shards[-1]
+        mask = self._sealed_columns.get(key, 0) | (
+            tail.value_rows[index][code] << tail.start
+        )
+        if entry is None:
+            self._columns[key] = [mask, self.n_rows]
+        else:
+            entry[0] = mask
+            entry[1] = self.n_rows
+        return mask
+
+    @property
+    def value_rows(self) -> list[list[int]]:
+        """Composed per-parameter per-code global bitsets.
+
+        Compatibility view of the pre-shard layout (tests and external
+        consumers compare stores through it); internal paths read
+        shard-local masks or :meth:`column` instead.
+        """
+        return [
+            [self.column(index, code) for code in range(size)]
+            for index, size in enumerate(self.codec.domain_sizes)
+        ]
+
+    # -- Match-table counters (summed over shards) ---------------------------
+    @property
+    def match_hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def match_misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    @property
+    def match_extensions(self) -> int:
+        return sum(shard.extensions for shard in self.shards)
+
+    @property
+    def match_evictions(self) -> int:
+        return (
+            sum(shard.evictions for shard in self.shards)
+            + self._composed_evictions
+        )
+
+    # -- Appends --------------------------------------------------------------
+    def _seal_tail(self) -> None:
+        """Seal the full tail shard and open a fresh one after it.
+
+        Folds the sealed shard's columns and fail mask into the
+        sealed-prefix caches (one shift+OR per non-empty column, paid
+        once per shard lifetime); per-shard match tables and counters
+        survive untouched, which is what lets compiled masks, match
+        tables, and tree-repair state outlive shard splits.
+        """
+        tail = self.shards[-1]
+        tail.sealed = True
+        start = tail.start
+        sealed_columns = self._sealed_columns
+        for index, column in enumerate(tail.value_rows):
+            for code, mask in enumerate(column):
+                if mask:
+                    key = (index, code)
+                    sealed_columns[key] = sealed_columns.get(key, 0) | (
+                        mask << start
+                    )
+        self._sealed_fail |= tail.fail_mask << start
+        self.shards.append(Shard(self.n_rows, self.codec.domain_sizes))
+
+    def _append_row(
+        self, instance: Instance, codes: tuple[int, ...], is_fail: bool
+    ) -> None:
+        tail = self.shards[-1]
+        if tail.n_rows >= self.plan.shard_rows:
+            self._seal_tail()
+            tail = self.shards[-1]
+        tail.append(codes, is_fail)
+        self.rows.append(instance)
+        self.row_codes.append(codes)
+        self.n_rows += 1
 
     def sync(self) -> None:
         """Append rows for history entries recorded since the last sync."""
@@ -282,95 +429,157 @@ class ColumnarStore:
         if count == self._synced:
             return
         encode = self.codec.encode
-        value_rows = self.value_rows
         for instance, outcome in self.history.distinct_since(self._synced):
             codes = encode(instance)
             if codes is None:
                 self.degraded = True
                 break
-            bit = 1 << self.n_rows
-            for index, code in enumerate(codes):
-                value_rows[index][code] |= bit
-            if outcome is Outcome.FAIL:
-                self.fail_mask |= bit
-            self.all_mask |= bit
-            self.rows.append(instance)
-            self.row_codes.append(codes)
-            self.n_rows += 1
+            self._append_row(instance, codes, outcome is Outcome.FAIL)
         self._synced = count
 
+    def load_codes(self, codes: Sequence[Sequence[int]]) -> None:
+        """Seed a fresh store from pre-encoded rows (zero encode calls).
+
+        ``codes`` must hold one in-range code tuple per *distinct*
+        history instance, in first-execution order -- exactly what
+        :meth:`sync` would have produced by encoding.  Persistence uses
+        this to hydrate a store straight from schema-v3 encoded-row
+        tables; rows stream through the same tail-shard append path as
+        live syncs, so a hydrated store warm-starts directly into the
+        sharded layout.  Raises ValueError for a non-fresh store or
+        malformed codes (callers fall back to the encoding path).
+        """
+        if self.n_rows or self._synced or self.degraded:
+            raise ValueError("load_codes requires a fresh, unsynced store")
+        count = self.history.distinct_count
+        if len(codes) != count:
+            raise ValueError(
+                f"expected {count} encoded rows, got {len(codes)}"
+            )
+        sizes = self.codec.domain_sizes
+        for (instance, outcome), row in zip(
+            self.history.distinct_since(0), codes
+        ):
+            row_codes = tuple(row)
+            if len(row_codes) != self.codec.n_params or any(
+                not 0 <= code < sizes[i] for i, code in enumerate(row_codes)
+            ):
+                raise ValueError(f"malformed encoded row {row_codes!r}")
+            self._append_row(instance, row_codes, outcome is Outcome.FAIL)
+        self._synced = count
+
+    # -- Conjunction evaluation ----------------------------------------------
     def rows_matching(self, compiled: list[tuple[int, int]], within: int) -> int:
         """Bitset of rows in ``within`` satisfying a compiled conjunction."""
         rows = within
         for index, allowed in compiled:
             if not rows:
                 break
-            column = self.value_rows[index]
             matched = 0
-            remaining = allowed
-            while remaining:
-                low = remaining & -remaining
-                matched |= column[low.bit_length() - 1]
-                remaining ^= low
+            for code in iter_bits(allowed):
+                matched |= self.column(index, code)
             rows &= matched
         return rows
 
-    def _extend_match_tables(self) -> None:
-        """Bring every cached match table up to the current row count.
-
-        Append-only repair instead of invalidation: for each row
-        appended since the tables' generation, OR its bit into every
-        entry whose allowed mask contains the row's code.  Cost is
-        O(new_rows x cached_entries) single-bit tests -- in the DDT
-        inner loop (one refuting row per round) that is one test per
-        live literal, versus the full per-code column re-accumulation
-        the old generation-clearing forced on *every* table.
-        """
-        start = self._match_generation
-        self._match_generation = self.n_rows
-        if not self._match_cache or start == self.n_rows:
-            return
-        row_codes = self.row_codes
-        for key, rows in self._match_cache.items():
-            index, allowed = key
-            extra = 0
-            for row in range(start, self.n_rows):
-                if (allowed >> row_codes[row][index]) & 1:
-                    extra |= 1 << row
-            if extra:
-                self._match_cache[key] = rows | extra
-            self.match_extensions += 1
+    def shard_match(self, shard: Shard, index: int, allowed: int) -> int:
+        """One shard's match table for a compiled literal (LRU-cached)."""
+        return shard.match_rows(
+            index, allowed, self.row_codes, self.match_table_limit
+        )
 
     def match_rows(self, index: int, allowed: int) -> int:
         """Bitset of rows whose ``index`` code lies in ``allowed`` (cached).
 
         This is the batch layer's shared *match table*: many compiled
         conjunctions reference the same ``(parameter, allowed-mask)``
-        literal, and the OR-accumulation over the per-code columns is
-        done once per literal.  When rows were appended since a table
-        was built, the table is extended in place with the new rows'
-        bits (:meth:`_extend_match_tables`) rather than recomputed --
-        a lookup that found its entry still counts as a hit, keeping
-        the hit/miss stats aligned with the work actually avoided
-        (``match_extensions`` counts the incremental repairs).
+        literal.  Tables live on the shards; a stale tail-shard entry
+        is extended in place with just the rows appended since it was
+        built (a lookup that found its entry still counts as a hit,
+        ``match_extensions`` counts the repairs, and LRU eviction keeps
+        each shard at ``match_table_limit`` entries).  Multi-shard
+        stores additionally memoize the composed global bitset here.
         """
-        if self._match_generation != self.n_rows:
-            self._extend_match_tables()
+        shards = self.shards
+        if len(shards) == 1:
+            return self.shard_match(shards[0], index, allowed)
         key = (index, allowed)
-        matched = self._match_cache.get(key)
-        if matched is not None:
-            self.match_hits += 1
-            return matched
-        self.match_misses += 1
-        column = self.value_rows[index]
-        matched = 0
-        remaining = allowed
-        while remaining:
-            low = remaining & -remaining
-            matched |= column[low.bit_length() - 1]
-            remaining ^= low
-        self._match_cache[key] = matched
-        return matched
+        composed = self._composed_match
+        entry = composed.get(key)
+        if entry is not None and entry[1] == self.n_rows:
+            composed.move_to_end(key)
+            return entry[0]
+        mask = 0
+        for shard in shards:
+            local = self.shard_match(shard, index, allowed)
+            if local:
+                mask |= local << shard.start
+        if entry is None:
+            composed[key] = [mask, self.n_rows]
+            if len(composed) > self.match_table_limit:
+                composed.popitem(last=False)
+                self._composed_evictions += 1
+        else:
+            entry[0] = mask
+            entry[1] = self.n_rows
+            composed.move_to_end(key)
+        return mask
+
+    def any_match(self, compiled: list[tuple[int, int]], within_fail: bool) -> bool:
+        """Does any row of the outcome class satisfy the conjunction?
+
+        The existence form of :meth:`rows_matching` the screening
+        queries (``refutes``/``supports``) actually need: shards are
+        scanned in row order through their local match tables and the
+        scan stops at the first shard holding a witness, so a
+        refutation near the head of a long history never composes --
+        or even touches -- the remaining shards.
+        """
+        for shard in self.shards:
+            rows = shard.fail_mask if within_fail else shard.succeed_mask
+            for index, allowed in compiled:
+                if not rows:
+                    break
+                rows &= self.shard_match(shard, index, allowed)
+            if rows:
+                return True
+        return False
+
+    def any_match_many(
+        self,
+        compiled_batch: Sequence[list[tuple[int, int]]],
+        within_fail: bool,
+    ) -> list[bool]:
+        """``[any_match(c, within_fail) for c in compiled_batch]``.
+
+        With a multi-worker plan and a batch worth fanning, evaluates
+        one task per shard on the executor (each task owns its shard's
+        match tables, so shard-local state stays single-writer) and ORs
+        the per-shard verdicts; otherwise falls through to the serial
+        short-circuiting scan.
+        """
+        shards = self.shards
+        if (
+            self.plan.max_workers > 1
+            and len(shards) > 1
+            and len(compiled_batch) >= self.plan.fan_min_batch
+        ):
+            def screen_shard(shard: Shard) -> list[bool]:
+                base = shard.fail_mask if within_fail else shard.succeed_mask
+                out: list[bool] = []
+                for compiled in compiled_batch:
+                    rows = base
+                    for index, allowed in compiled:
+                        if not rows:
+                            break
+                        rows &= self.shard_match(shard, index, allowed)
+                    out.append(bool(rows))
+                return out
+            per_shard = self.executor.map(screen_shard, shards)
+            return [any(column) for column in zip(*per_shard)]
+        return [
+            self.any_match(compiled, within_fail)
+            for compiled in compiled_batch
+        ]
 
     def rows_matching_many(
         self,
@@ -382,9 +591,45 @@ class ColumnarStore:
         Equivalent to ``[rows_matching(c, within) for c in batch]`` with
         None propagated for uncompilable entries, but every distinct
         ``(parameter, allowed-mask)`` literal touches the columns once
-        via the shared :meth:`match_rows` table.
+        via the shared :meth:`match_rows` tables.  Multi-worker plans
+        fan one task per shard and compose the shard-local hit bitsets,
+        which is bit-identical because every mask is partitioned by row
+        range.
         """
-        results: list[int | None] = []
+        shards = self.shards
+        if (
+            self.plan.max_workers > 1
+            and len(shards) > 1
+            and sum(1 for c in compiled_batch if c is not None)
+            >= self.plan.fan_min_batch
+        ):
+            def match_shard(shard: Shard) -> list[int | None]:
+                local_within = (within >> shard.start) & shard.full_mask
+                out: list[int | None] = []
+                for compiled in compiled_batch:
+                    if compiled is None:
+                        out.append(None)
+                        continue
+                    rows = local_within
+                    for index, allowed in compiled:
+                        if not rows:
+                            break
+                        rows &= self.shard_match(shard, index, allowed)
+                    out.append(rows)
+                return out
+            per_shard = self.executor.map(match_shard, shards)
+            results: list[int | None] = []
+            for position, compiled in enumerate(compiled_batch):
+                if compiled is None:
+                    results.append(None)
+                    continue
+                rows = 0
+                for shard, local_rows in zip(shards, per_shard):
+                    if local_rows[position]:
+                        rows |= local_rows[position] << shard.start
+                results.append(rows)
+            return results
+        results = []
         for compiled in compiled_batch:
             if compiled is None:
                 results.append(None)
@@ -397,48 +642,10 @@ class ColumnarStore:
             results.append(rows)
         return results
 
-    def load_codes(self, codes: Sequence[Sequence[int]]) -> None:
-        """Seed a fresh store from pre-encoded rows (zero encode calls).
-
-        ``codes`` must hold one in-range code tuple per *distinct*
-        history instance, in first-execution order -- exactly what
-        :meth:`sync` would have produced by encoding.  Persistence uses
-        this to hydrate a store straight from schema-v3 encoded-row
-        tables.  Raises ValueError for a non-fresh store or malformed
-        codes (callers fall back to the encoding path).
-        """
-        if self.n_rows or self._synced or self.degraded:
-            raise ValueError("load_codes requires a fresh, unsynced store")
-        count = self.history.distinct_count
-        if len(codes) != count:
-            raise ValueError(
-                f"expected {count} encoded rows, got {len(codes)}"
-            )
-        sizes = self.codec.domain_sizes
-        value_rows = self.value_rows
-        for (instance, outcome), row in zip(
-            self.history.distinct_since(0), codes
-        ):
-            row_codes = tuple(row)
-            if len(row_codes) != self.codec.n_params or any(
-                not 0 <= code < sizes[i] for i, code in enumerate(row_codes)
-            ):
-                raise ValueError(f"malformed encoded row {row_codes!r}")
-            bit = 1 << self.n_rows
-            for index, code in enumerate(row_codes):
-                value_rows[index][code] |= bit
-            if outcome is Outcome.FAIL:
-                self.fail_mask |= bit
-            self.all_mask |= bit
-            self.rows.append(instance)
-            self.row_codes.append(row_codes)
-            self.n_rows += 1
-        self._synced = count
-
     def materialize(self, rows_mask: int) -> list[Instance]:
         """The instances of the rows in ``rows_mask``, in row order."""
         rows = self.rows
-        return [rows[index] for index in _iter_bits(rows_mask)]
+        return [rows[index] for index in iter_bits(rows_mask)]
 
     # -- Distance / disjointness primitives ----------------------------------
     def share_mask(self, codes: Sequence[int | None]) -> int:
@@ -451,10 +658,9 @@ class ColumnarStore:
         Definition 6, because every store row assigns every parameter.
         """
         shared = 0
-        value_rows = self.value_rows
         for index, code in enumerate(codes):
             if code is not None:
-                shared |= value_rows[index][code]
+                shared |= self.column(index, code)
         return shared
 
     def min_shared_row(
@@ -473,11 +679,10 @@ class ColumnarStore:
         if not within:
             return None
         planes: list[int] = []  # planes[i]: rows whose count has bit i set
-        value_rows = self.value_rows
         for index, code in enumerate(codes):
             if code is None:
                 continue
-            carry = value_rows[index][code] & within
+            carry = self.column(index, code) & within
             level = 0
             while carry:
                 if level == len(planes):
@@ -493,8 +698,32 @@ class ColumnarStore:
             zeros = candidates & ~plane
             if zeros:
                 candidates = zeros
-        low = candidates & -candidates
-        return low.bit_length() - 1
+        return lowest_bit(candidates)
+
+    # -- Instrumentation ------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Shard layout, match-table footprint, and cache traffic."""
+        entries = 0
+        estimated = 0
+        for shard in self.shards:
+            shard_entries, shard_bytes = shard.match_table_footprint()
+            entries += shard_entries
+            estimated += shard_bytes
+        for entry in self._composed_match.values():
+            entries += 1
+            estimated += 28 + 4 * ((entry[0].bit_length() + 29) // 30)
+        return {
+            "n_rows": self.n_rows,
+            "shards": len(self.shards),
+            "shard_rows": self.plan.shard_rows,
+            "match_hits": self.match_hits,
+            "match_misses": self.match_misses,
+            "match_extensions": self.match_extensions,
+            "match_evictions": self.match_evictions,
+            "match_entries": entries,
+            "match_bytes": estimated,
+            "parallel_queries": self.executor.parallel_queries,
+        }
 
     def builder(self, max_depth: int | None) -> "IncrementalTreeBuilder":
         """The (cached) incremental tree builder for this depth cap."""
@@ -556,8 +785,8 @@ class IncrementalTreeBuilder:
 
     # -- Induction ---------------------------------------------------------
     def _leaf(self, mask: int, depth: int) -> _Shadow:
-        n_fail = (mask & self.store.fail_mask).bit_count()
-        n_succeed = mask.bit_count() - n_fail
+        n_fail = popcount(mask & self.store.fail_mask)
+        n_succeed = popcount(mask) - n_fail
         if n_fail and not n_succeed:
             kind = LeafKind.FAIL
         elif n_succeed and not n_fail:
@@ -586,13 +815,19 @@ class IncrementalTreeBuilder:
         Candidate enumeration order, the Gini gain arithmetic, and the
         ``(gain, -rank)`` tie-break replicate ``_candidate_splits`` /
         ``_split_gain`` bit for bit, so the chosen split -- and hence
-        the whole tree -- is identical to the dict path's.
+        the whole tree -- is identical to the dict path's.  Multi-shard
+        stores route through :meth:`_best_split_sharded`, which scans
+        shard-local bitsets and sums per-shard popcounts (identical
+        integers, hence identical Gini floats) instead of composing
+        global columns.
         """
+        if len(self.store.shards) > 1:
+            return self._best_split_sharded(mask)
         store = self.store
         codec = store.codec
         fail = store.fail_mask
-        total = mask.bit_count()
-        n_fail_total = (mask & fail).bit_count()
+        total = popcount(mask)
+        n_fail_total = popcount(mask & fail)
         n_succeed_total = total - n_fail_total
         parent = _gini(n_fail_total, n_succeed_total)
 
@@ -604,11 +839,11 @@ class IncrementalTreeBuilder:
             index: int, comparator: Comparator, code: int, true_mask: int
         ) -> None:
             nonlocal best_gain, best_rank, best
-            n_true = true_mask.bit_count()
+            n_true = popcount(true_mask)
             n_false = total - n_true
             if n_true == 0 or n_false == 0:
                 return
-            true_fail = (true_mask & fail).bit_count()
+            true_fail = popcount(true_mask & fail)
             true_succeed = n_true - true_fail
             false_fail = n_fail_total - true_fail
             false_succeed = n_succeed_total - true_succeed
@@ -629,8 +864,9 @@ class IncrementalTreeBuilder:
                 )
 
         for index, parameter in enumerate(codec.parameters):
-            column = store.value_rows[index]
-            observed = [c for c in range(len(column)) if column[c] & mask]
+            size = codec.domain_sizes[index]
+            column = [store.column(index, code) for code in range(size)]
+            observed = [c for c in range(size) if column[c] & mask]
             if len(observed) < 2:
                 continue
             if parameter.is_ordinal:
@@ -645,9 +881,173 @@ class IncrementalTreeBuilder:
                         consider(index, Comparator.EQ, code, column[code] & mask)
         return best
 
+    def _best_split_sharded(self, mask: int) -> tuple[Predicate, int] | None:
+        """Sharded candidate scan: identical selection, shard-local work.
+
+        Three waves over the shards (fanned on the store's executor when
+        the plan allows): (1) which codes each parameter takes inside
+        ``mask``, (2) per-candidate (n_true, true_fail) counts from
+        shard-local bitsets, (3) the winning candidate's composed
+        true-row bitset.  Candidate order and the Gini/tie-break
+        arithmetic are the serial scan's exactly -- counts are sums of
+        per-shard popcounts of disjoint row ranges, so every integer
+        (and therefore every float) matches bit for bit.
+        """
+        store = self.store
+        codec = store.codec
+        shards = store.shards
+        executor = store.executor
+        local_masks = [
+            (mask >> shard.start) & shard.full_mask for shard in shards
+        ]
+        n_params = codec.n_params
+
+        def observe(pack: tuple[Shard, int]) -> list[int]:
+            shard, local_mask = pack
+            observed = [0] * n_params
+            if not local_mask:
+                return observed
+            for index in range(n_params):
+                column = shard.value_rows[index]
+                bits = 0
+                for code, rows in enumerate(column):
+                    if rows & local_mask:
+                        bits |= 1 << code
+                observed[index] = bits
+            return observed
+
+        per_shard_observed = executor.map(
+            observe, list(zip(shards, local_masks))
+        )
+        observed_bits = [0] * n_params
+        for shard_observed in per_shard_observed:
+            for index in range(n_params):
+                observed_bits[index] |= shard_observed[index]
+
+        # Candidate plan in the serial scan's exact order: per parameter
+        # (space order), LE at every observed code but the last for
+        # ordinals (ascending), EQ at every observed code for
+        # categoricals (repr order).
+        plans: list[tuple[int, bool, list[int]]] = []
+        candidates: list[tuple[int, Comparator, int]] = []
+        for index, parameter in enumerate(codec.parameters):
+            bits = observed_bits[index]
+            observed = list(iter_bits(bits))
+            if len(observed) < 2:
+                continue
+            if parameter.is_ordinal:
+                plans.append((index, True, observed))
+                for code in observed[:-1]:
+                    candidates.append((index, Comparator.LE, code))
+            else:
+                ordered = [
+                    code for code in codec.repr_orders[index]
+                    if (bits >> code) & 1
+                ]
+                plans.append((index, False, ordered))
+                for code in ordered:
+                    candidates.append((index, Comparator.EQ, code))
+        if not candidates:
+            return None
+
+        def count(pack: tuple[Shard, int]) -> list[tuple[int, int]]:
+            shard, local_mask = pack
+            counts: list[tuple[int, int]] = []
+            if not local_mask:
+                return [(0, 0)] * len(candidates)
+            local_fail = shard.fail_mask
+            for index, is_ordinal, codes in plans:
+                column = shard.value_rows[index]
+                if is_ordinal:
+                    accumulated = 0
+                    for code in codes[:-1]:
+                        accumulated |= column[code] & local_mask
+                        counts.append(
+                            (
+                                popcount(accumulated),
+                                popcount(accumulated & local_fail),
+                            )
+                        )
+                else:
+                    for code in codes:
+                        true_rows = column[code] & local_mask
+                        counts.append(
+                            (
+                                popcount(true_rows),
+                                popcount(true_rows & local_fail),
+                            )
+                        )
+            return counts
+
+        per_shard_counts = executor.map(count, list(zip(shards, local_masks)))
+
+        total = popcount(mask)
+        n_fail_total = popcount(mask & store.fail_mask)
+        n_succeed_total = total - n_fail_total
+        parent = _gini(n_fail_total, n_succeed_total)
+
+        best_gain: float | None = None
+        best_rank = 0
+        best_at: int | None = None
+        for position, (index, comparator, code) in enumerate(candidates):
+            n_true = 0
+            true_fail = 0
+            for shard_counts in per_shard_counts:
+                shard_true, shard_fail = shard_counts[position]
+                n_true += shard_true
+                true_fail += shard_fail
+            n_false = total - n_true
+            if n_true == 0 or n_false == 0:
+                continue
+            true_succeed = n_true - true_fail
+            false_fail = n_fail_total - true_fail
+            false_succeed = n_succeed_total - true_succeed
+            child = (n_true / total) * _gini(true_fail, true_succeed) + (
+                n_false / total
+            ) * _gini(false_fail, false_succeed)
+            gain = parent - child
+            if best_gain is not None and gain < best_gain:
+                continue
+            rank = self._rank(index, comparator, code)
+            if best_gain is None or gain > best_gain or -rank > -best_rank:
+                best_gain = gain
+                best_rank = rank
+                best_at = position
+        if best_at is None:
+            return None
+
+        index, comparator, code = candidates[best_at]
+
+        def materialize(pack: tuple[Shard, int]) -> int:
+            shard, local_mask = pack
+            if not local_mask:
+                return 0
+            column = shard.value_rows[index]
+            if comparator is Comparator.LE:
+                # OR over all codes <= the split code: codes unobserved
+                # inside the mask contribute nothing after the AND, so
+                # this equals the serial observed-code accumulation.
+                true_rows = 0
+                for low_code in range(code + 1):
+                    true_rows |= column[low_code]
+                return true_rows & local_mask
+            return column[code] & local_mask
+
+        true_mask = 0
+        for shard, local_rows in zip(
+            shards, executor.map(materialize, list(zip(shards, local_masks)))
+        ):
+            if local_rows:
+                true_mask |= local_rows << shard.start
+        parameter = codec.parameters[index]
+        return (
+            Predicate(parameter.name, comparator, parameter.domain[code]),
+            true_mask,
+        )
+
     def _build(self, mask: int, depth: int) -> _Shadow:
-        n_fail = (mask & self.store.fail_mask).bit_count()
-        n_succeed = mask.bit_count() - n_fail
+        n_fail = popcount(mask & self.store.fail_mask)
+        n_succeed = popcount(mask) - n_fail
         if n_fail == 0 or n_succeed == 0:
             return self._leaf(mask, depth)
         if self.max_depth is not None and depth >= self.max_depth:
@@ -673,8 +1073,8 @@ class IncrementalTreeBuilder:
         every descendant whose row set is unchanged.
         """
         mask = shadow.mask | new_bits
-        n_fail = (mask & self.store.fail_mask).bit_count()
-        n_succeed = mask.bit_count() - n_fail
+        n_fail = popcount(mask & self.store.fail_mask)
+        n_succeed = popcount(mask) - n_fail
         if n_fail == 0 or n_succeed == 0:
             return self._leaf(mask, depth)
         if self.max_depth is not None and depth >= self.max_depth:
@@ -731,10 +1131,12 @@ class ColumnarEngine:
         history,
         session=None,
         use_match_cache: bool = True,
+        plan: ShardPlan | None = None,
     ):
         self.space = space
         self.history = history
         self._session = session
+        self._plan = plan
         self._codec = SpaceCodec(space)
         self._use_match_cache = use_match_cache
         self._compiled: dict[Conjunction, list[tuple[int, int]] | None] = {}
@@ -766,29 +1168,44 @@ class ColumnarEngine:
         self.compile_misses = 0
 
     @classmethod
-    def for_session(cls, session, use_match_cache: bool = True) -> "ColumnarEngine":
+    def for_session(
+        cls,
+        session,
+        use_match_cache: bool = True,
+        plan: ShardPlan | None = None,
+    ) -> "ColumnarEngine":
         return cls(
             session.space,
             session.history,
             session=session,
             use_match_cache=use_match_cache,
+            plan=plan,
         )
 
     def _store(self) -> ColumnarStore:
         if self._session is not None:
-            return self._session.columnar_store()
-        return self.history.columnar_store(self.space)
+            return self._session.columnar_store(plan=self._plan)
+        return self.history.columnar_store(self.space, plan=self._plan)
 
-    def stats(self) -> dict[str, int]:
-        """Instrumentation snapshot: fallbacks and cache traffic."""
+    def stats(self) -> dict[str, int | str]:
+        """Instrumentation snapshot: fallbacks, cache traffic, and the
+        store's shard layout / match-table footprint / kernel path."""
         store = self._store()
+        store_stats = store.stats()
         return {
             "fallbacks": self.fallbacks,
             "compile_hits": self.compile_hits,
             "compile_misses": self.compile_misses,
-            "match_hits": store.match_hits,
-            "match_misses": store.match_misses,
-            "match_extensions": store.match_extensions,
+            "match_hits": store_stats["match_hits"],
+            "match_misses": store_stats["match_misses"],
+            "match_extensions": store_stats["match_extensions"],
+            "match_evictions": store_stats["match_evictions"],
+            "match_entries": store_stats["match_entries"],
+            "match_bytes": store_stats["match_bytes"],
+            "shards": store_stats["shards"],
+            "shard_rows": store_stats["shard_rows"],
+            "parallel_queries": store_stats["parallel_queries"],
+            "kernel_path": kernel_path(),
         }
 
     def _compiled_for(self, conjunction: Conjunction):
@@ -812,18 +1229,20 @@ class ColumnarEngine:
         self.compile_hits += 1
         return compiled
 
-    def _rows_matching(
-        self, store: ColumnarStore, compiled: list[tuple[int, int]], within: int
-    ) -> int:
-        """One conjunction's hit bitset, through the match tables when on."""
-        if not self._use_match_cache:
-            return store.rows_matching(compiled, within)
-        rows = within
-        for index, allowed in compiled:
-            if not rows:
-                break
-            rows &= store.match_rows(index, allowed)
-        return rows
+    def _screen_one(
+        self, store: ColumnarStore, compiled: list[tuple[int, int]], within_fail: bool
+    ) -> bool:
+        """One conjunction's existence verdict against an outcome class.
+
+        With the match cache on, this is the shard-short-circuiting
+        :meth:`ColumnarStore.any_match`; off, the pre-batch engine's
+        uncached OR-accumulation over the composed columns (the batch
+        benchmark's baseline) exactly.
+        """
+        if self._use_match_cache:
+            return store.any_match(compiled, within_fail)
+        within = store.fail_mask if within_fail else store.succeed_mask
+        return store.rows_matching(compiled, within) != 0
 
     # -- History queries ----------------------------------------------------
     def refutes(self, conjunction: Conjunction) -> bool:
@@ -836,7 +1255,7 @@ class ColumnarEngine:
         if compiled is None:
             self.fallbacks += 1
             return self.history.refutes(conjunction)
-        return self._rows_matching(store, compiled, store.succeed_mask) != 0
+        return self._screen_one(store, compiled, within_fail=False)
 
     def supports(self, conjunction: Conjunction) -> bool:
         """Identical to :meth:`ExecutionHistory.supports`, bitset-fast."""
@@ -848,7 +1267,7 @@ class ColumnarEngine:
         if compiled is None:
             self.fallbacks += 1
             return self.history.supports(conjunction)
-        return self._rows_matching(store, compiled, store.fail_mask) != 0
+        return self._screen_one(store, compiled, within_fail=True)
 
     def is_hypothetical_root_cause(self, conjunction: Conjunction) -> bool:
         return self.supports(conjunction) and not self.refutes(conjunction)
@@ -866,10 +1285,19 @@ class ColumnarEngine:
         if store.degraded:
             self.fallbacks += len(conjunctions)
             return [reference(c) for c in conjunctions]
-        within = store.succeed_mask if against == "succeed" else store.fail_mask
+        within_fail = against == "fail"
+        compiled_batch = [self._compiled_for(c) for c in conjunctions]
+        if (
+            self._use_match_cache
+            and len(store.shards) > 1
+            and None not in compiled_batch
+        ):
+            # Fully-compilable batch on a multi-shard store: one pass
+            # that the executor may fan shard-per-task (serial plans
+            # fall through to the same per-item short-circuit scan).
+            return store.any_match_many(compiled_batch, within_fail)
         results: list[bool] = []
-        for conjunction in conjunctions:
-            compiled = self._compiled_for(conjunction)
+        for conjunction, compiled in zip(conjunctions, compiled_batch):
             if compiled is None:
                 # Per-item degradation: the rest of the batch stays on
                 # the compiled path (reference answers are identical).
@@ -877,7 +1305,7 @@ class ColumnarEngine:
                 results.append(reference(conjunction))
             else:
                 results.append(
-                    self._rows_matching(store, compiled, within) != 0
+                    self._screen_one(store, compiled, within_fail)
                 )
         return results
 
@@ -1009,14 +1437,50 @@ class ColumnarEngine:
         the whole matrix (they are memoized on the engine anyway, so
         repeated matrices across rounds reuse them); each cell is then
         a handful of mask comparisons.  Per-cell fallback semantics
-        match the scalar call.
+        match the scalar call.  A fully-compilable matrix worth the
+        fan-out evaluates general-rows in parallel on the store's
+        executor: workers only *read* the shared verdict memo (and the
+        immutable masks) and return their row's fresh verdicts, which
+        are folded into the memo after the join, so the result and the
+        memo contents are exactly the serial path's.
         """
         general_masks = [self._canonical_or_none(g) for g in generals]
         specific_masks = [self._canonical_or_none(s) for s in specifics]
         general_ids = [self._conjunction_id(g) for g in generals]
         specific_ids = [self._conjunction_id(s) for s in specifics]
         cache = self._subsume_cache
-        matrix: list[list[bool]] = []
+        if (
+            len(generals) > 1
+            and len(generals) * len(specifics) >= 16
+            and all(m is not None for m in general_masks)
+            and all(m is not None for m in specific_masks)
+        ):
+            store = self._store()
+            if store.plan.max_workers > 1:
+                def matrix_row(
+                    pack: tuple[dict[int, int], int],
+                ) -> tuple[list[bool], list[tuple[tuple[int, int], bool]]]:
+                    mine, gid = pack
+                    row: list[bool] = []
+                    fresh: list[tuple[tuple[int, int], bool]] = []
+                    for theirs, sid in zip(specific_masks, specific_ids):
+                        key = (gid, sid)
+                        verdict = cache.get(key)
+                        if verdict is None:
+                            verdict = self._masks_subsume(mine, theirs)
+                            fresh.append((key, verdict))
+                        row.append(verdict)
+                    return row, fresh
+                rows = store.executor.map(
+                    matrix_row, list(zip(general_masks, general_ids))
+                )
+                matrix: list[list[bool]] = []
+                for row, fresh in rows:
+                    for key, verdict in fresh:
+                        cache[key] = verdict
+                    matrix.append(row)
+                return matrix
+        matrix = []
         for general, mine, gid in zip(generals, general_masks, general_ids):
             row: list[bool] = []
             for specific, theirs, sid in zip(
@@ -1195,7 +1659,7 @@ class ColumnarEngine:
         candidates = store.succeed_mask & ~store.share_mask(codes)
         selected: list[Instance] = []
         while candidates:
-            row = (candidates & -candidates).bit_length() - 1
+            row = lowest_bit(candidates)
             selected.append(store.rows[row])
             if limit is not None and len(selected) >= limit:
                 break
@@ -1233,7 +1697,7 @@ class ColumnarEngine:
                 # conjunction reuses this row bitset and vice versa.
                 rows &= store.match_rows(index, 1 << code)
             else:
-                rows &= store.value_rows[index][code]
+                rows &= store.column(index, code)
             if not rows:
                 return False
         return rows != 0

@@ -170,7 +170,7 @@ class ExecutionHistory:
         return self._observed_space
 
     # -- Columnar store (engine integration) ---------------------------------
-    def columnar_store(self, space: ParameterSpace):
+    def columnar_store(self, space: ParameterSpace, plan=None):
         """The columnar store of this history for ``space``, synced.
 
         The latest store is kept and extended incrementally: repeated
@@ -178,19 +178,25 @@ class ExecutionHistory:
         since the last call.  Asking with a *different* space rebuilds
         (keep-latest, so alternating spaces per history is O(rows) per
         switch -- sessions use one space, which stays incremental, and
-        nothing accumulates unboundedly).  See
-        :class:`repro.core.engine.ColumnarStore`.
+        nothing accumulates unboundedly).  ``plan`` is an optional
+        :class:`~repro.core.shards.ShardPlan` applied when a store is
+        (re)built; None keeps an existing store's plan or auto-sizes a
+        new one.  See :class:`repro.core.engine.ColumnarStore`.
         """
         from .engine import ColumnarStore  # lazy: avoid import cycle
 
         store = self._columnar_store
-        if store is None or store.space is not space:
-            store = ColumnarStore(self, space)
+        if (
+            store is None
+            or store.space is not space
+            or (plan is not None and store.plan != plan)
+        ):
+            store = ColumnarStore(self, space, plan=plan)
             self._columnar_store = store
         store.sync()
         return store
 
-    def columnar_store_from_codes(self, space: ParameterSpace, codes):
+    def columnar_store_from_codes(self, space: ParameterSpace, codes, plan=None):
         """Adopt a columnar store seeded from pre-encoded rows.
 
         ``codes`` holds one code tuple per distinct instance, in
@@ -203,7 +209,7 @@ class ExecutionHistory:
         """
         from .engine import ColumnarStore  # lazy: avoid import cycle
 
-        store = ColumnarStore(self, space)
+        store = ColumnarStore(self, space, plan=plan)
         store.load_codes(codes)
         self._columnar_store = store
         return store

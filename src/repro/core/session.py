@@ -265,15 +265,17 @@ class DebugSession:
             return None
 
     # -- Columnar engine integration -----------------------------------------
-    def columnar_store(self):
+    def columnar_store(self, plan=None):
         """The history's columnar store for this session's space, synced.
 
         Syncing happens under the session lock, so the engine's bitsets
         never observe a half-recorded evaluation even when a parallel
-        backend is appending to the history concurrently.
+        backend is appending to the history concurrently.  ``plan``
+        optionally pins the :class:`~repro.core.shards.ShardPlan` used
+        when the store is (re)built.
         """
         with self._lock:
-            return self._history.columnar_store(self._space)
+            return self._history.columnar_store(self._space, plan=plan)
 
     # -- Seeding ------------------------------------------------------------
     def seed(self, evaluations: Iterable[Evaluation]) -> None:

@@ -1,0 +1,270 @@
+"""Row-range sharding for the columnar store.
+
+A :class:`~repro.core.engine.ColumnarStore` used to keep one monolithic
+big-int bitset per (parameter, code): every query was a serial pass
+over the whole history, and every append copied every touched
+full-length column.  This module supplies the pieces that break the
+store into **row-range shards**:
+
+* :class:`ShardPlan` -- the sizing policy: how many rows per shard and
+  how many worker threads the parallel executor may use.  Auto-sized
+  from the row count and ``os.cpu_count()``, overridable explicitly or
+  via ``REPRO_SHARD_ROWS`` / ``REPRO_SHARD_WORKERS``.
+* :class:`Shard` -- one contiguous row range ``[start, start+n_rows)``
+  with *local* per-(parameter, code) bitsets, a local fail mask, and a
+  local LRU-capped match-table cache.  Bit ``i`` of a local mask is
+  global row ``start + i``.  Only the tail shard ever grows; a sealed
+  shard (and everything cached against it) is immutable, which is what
+  makes incremental maintenance cheap: appends touch only the tail.
+* :class:`ShardExecutor` -- a lazily-created thread pool that fans
+  per-shard work items out when the plan allows more than one worker,
+  counting ``parallel_queries``.  Threads are the right tool here:
+  the fan-out units are either numpy bytes-kernel calls (which release
+  the GIL) or big-int passes over *disjoint* shards whose Python-level
+  overhead interleaves; with one worker everything stays serial and
+  the executor never spawns a thread.
+
+The store façade in :mod:`repro.core.engine` composes global answers
+from shard-local ones and short-circuits existence queries shard by
+shard; this module deliberately knows nothing about predicates or
+histories.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .bitkernel import accumulate_codes
+
+__all__ = ["ShardPlan", "Shard", "ShardExecutor", "DEFAULT_MATCH_TABLE_LIMIT"]
+
+# Per-shard cap on cached match tables (entries); see ShardPlan notes.
+DEFAULT_MATCH_TABLE_LIMIT = 4096
+
+# Smallest shard the auto plan will cut.  Histories below this stay in
+# one shard, which reproduces the pre-shard store's behavior (and its
+# counter semantics) exactly -- sharding only pays above this scale.
+MIN_AUTO_SHARD_ROWS = 16384
+
+# The auto plan targets about two shards per worker so the executor
+# always has a full wave of work, capped to keep per-query Python-level
+# shard-loop overhead bounded on huge stores.
+MAX_AUTO_SHARDS = 32
+
+
+def _pow2_at_least(value: int) -> int:
+    return 1 << max(0, (value - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Sizing policy for a sharded columnar store.
+
+    Attributes:
+        shard_rows: rows per shard; the tail shard is sealed and a new
+            one opened when it reaches this size.
+        max_workers: upper bound on executor threads for parallel
+            fan-outs.  ``1`` keeps every query serial (no pool is ever
+            created) while preserving shard short-circuiting.
+        fan_min_batch: smallest batch (conjunctions, matrix rows) worth
+            fanning out; below it the serial path is always cheaper.
+    """
+
+    shard_rows: int
+    max_workers: int = 1
+    fan_min_batch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.shard_rows < 1:
+            raise ValueError(f"shard_rows must be >= 1, got {self.shard_rows}")
+        if self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+
+    @classmethod
+    def auto(
+        cls, row_hint: int = 0, cpu_count: int | None = None
+    ) -> "ShardPlan":
+        """Size a plan from a row-count hint and the machine's cores.
+
+        ``row_hint`` is typically the history's current distinct count;
+        stores created before the history grows simply start with one
+        tail shard and split as rows arrive.  Environment overrides
+        (``REPRO_SHARD_ROWS``, ``REPRO_SHARD_WORKERS``) take precedence
+        -- they are the operational escape hatch the benchmarks and
+        service deployments use.
+        """
+        env_rows = os.environ.get("REPRO_SHARD_ROWS")
+        env_workers = os.environ.get("REPRO_SHARD_WORKERS")
+        workers = (
+            int(env_workers)
+            if env_workers
+            else min(cpu_count or os.cpu_count() or 1, 8)
+        )
+        if env_rows:
+            shard_rows = int(env_rows)
+        else:
+            target_shards = min(MAX_AUTO_SHARDS, 2 * workers)
+            shard_rows = max(
+                MIN_AUTO_SHARD_ROWS,
+                _pow2_at_least(max(1, row_hint) // max(1, target_shards)),
+            )
+        return cls(shard_rows=shard_rows, max_workers=max(1, workers))
+
+
+class Shard:
+    """One row range of the store, with local bitsets and match tables.
+
+    ``value_rows[p][c]`` is the *local* bitset of rows in this shard
+    whose parameter ``p`` holds code ``c``; ``fail_mask`` / the
+    ``succeed_mask`` property partition ``full_mask`` by outcome.  The
+    match-table cache maps ``(parameter_index, allowed_mask)`` to the
+    local bitset of rows whose code lies in the mask, LRU-capped, with
+    per-entry build-watermarks so tail-shard entries extend lazily
+    (only the rows appended since the entry was built are scanned).
+    """
+
+    __slots__ = (
+        "start",
+        "n_rows",
+        "value_rows",
+        "fail_mask",
+        "full_mask",
+        "sealed",
+        "_match",
+        "hits",
+        "misses",
+        "extensions",
+        "evictions",
+    )
+
+    def __init__(self, start: int, domain_sizes: tuple[int, ...]):
+        self.start = start
+        self.n_rows = 0
+        self.value_rows: list[list[int]] = [
+            [0] * size for size in domain_sizes
+        ]
+        self.fail_mask = 0
+        self.full_mask = 0
+        self.sealed = False
+        # (index, allowed) -> [local_mask, rows_at_build]
+        self._match: OrderedDict[tuple[int, int], list[int]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.extensions = 0
+        self.evictions = 0
+
+    @property
+    def succeed_mask(self) -> int:
+        return self.full_mask & ~self.fail_mask
+
+    def append(self, codes: tuple[int, ...], is_fail: bool) -> None:
+        """Append one row (local position ``n_rows``) to this shard."""
+        bit = 1 << self.n_rows
+        value_rows = self.value_rows
+        for index, code in enumerate(codes):
+            value_rows[index][code] |= bit
+        if is_fail:
+            self.fail_mask |= bit
+        self.full_mask |= bit
+        self.n_rows += 1
+
+    def match_rows(
+        self,
+        index: int,
+        allowed: int,
+        row_codes,
+        limit: int,
+    ) -> int:
+        """Local bitset of rows whose ``index`` code lies in ``allowed``.
+
+        Cached with LRU eviction at ``limit`` entries.  A cached entry
+        built before rows were appended (tail shard only -- sealed
+        shards never grow) is *extended in place* by testing just the
+        new rows' codes against the mask, mirroring the pre-shard
+        store's append-only table repair but scoped to one shard and
+        done lazily on access.  ``row_codes`` is the store's global
+        per-row code-tuple list; this shard reads its own slice.
+        """
+        key = (index, allowed)
+        entry = self._match.get(key)
+        if entry is not None:
+            mask, built = entry
+            if built != self.n_rows:
+                extra = 0
+                base = self.start
+                for local in range(built, self.n_rows):
+                    if (allowed >> row_codes[base + local][index]) & 1:
+                        extra |= 1 << local
+                mask |= extra
+                entry[0] = mask
+                entry[1] = self.n_rows
+                self.extensions += 1
+            self.hits += 1
+            self._match.move_to_end(key)
+            return mask
+        self.misses += 1
+        mask = accumulate_codes(self.value_rows[index], allowed)
+        self._match[key] = [mask, self.n_rows]
+        if len(self._match) > limit:
+            self._match.popitem(last=False)
+            self.evictions += 1
+        return mask
+
+    def match_table_footprint(self) -> tuple[int, int]:
+        """(entries, estimated bytes) of the cached match tables."""
+        entries = len(self._match)
+        # CPython int object: ~28 bytes header + 4 bytes per 30-bit
+        # digit; close enough for a capacity estimate without paying
+        # sys.getsizeof on every entry.
+        total = 0
+        for mask, __ in self._match.values():
+            total += 28 + 4 * ((mask.bit_length() + 29) // 30)
+        return entries, total
+
+
+class ShardExecutor:
+    """Lazy thread pool for per-shard fan-outs.
+
+    With ``max_workers == 1`` (or single-item work lists) everything
+    runs serially on the calling thread and no pool is ever created;
+    otherwise a pool spins up on first use and ``parallel_queries``
+    counts every fanned call.  Work functions receive one item and must
+    touch only that item's shard-local state (plus read-only store
+    state) -- the store enforces this by fanning exactly one task per
+    shard.
+    """
+
+    __slots__ = ("max_workers", "parallel_queries", "_pool")
+
+    def __init__(self, max_workers: int = 1):
+        self.max_workers = max(1, max_workers)
+        self.parallel_queries = 0
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if self.max_workers < 2 or len(items) < 2:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        self.parallel_queries += 1
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

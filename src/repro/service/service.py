@@ -446,7 +446,7 @@ class DebugService:
         started = time.perf_counter()
         session: DebugSession | None = None
         cached: CachedExecutor | None = None
-        engine_stats: dict[str, int] | None = None
+        engine_stats: dict[str, int | str] | None = None
         # Every job event flows through the metrics adapter: forwarded
         # to the bus unchanged, counted into the service registry, and
         # tallied per job for the terminal metrics_snapshot event.
