@@ -1,0 +1,225 @@
+"""HTTP front-end overhead: submit/stream over HTTP vs in-process run_all.
+
+PR 9 put an HTTP/JSON API (``repro serve --http``) and a durable job
+queue in front of the debugging service.  The design claim is that the
+front-end is a *thin* veneer: admission writes one queue row, event
+streaming rides the existing durable bus, and the search itself runs
+on the same service -- so a batch submitted and streamed over HTTP
+costs at most a few percent more wall clock than calling
+``DebugService.run_all`` directly.
+
+Both arms run the *same* payloads (the durable-queue codec builds the
+specs, so the arms cannot drift apart) against fresh SQLite stores:
+
+* **in-process**: ``spec_from_payload`` + ``run_all`` on a bare
+  service;
+* **http**: ``POST /jobs`` per payload against a live
+  :class:`DebugServiceHTTP` (durable queue on), then NDJSON-stream
+  every job's event log to its terminal event.
+
+Checks:
+
+* per-job report fingerprints match across arms (identity gate);
+* every HTTP job's queue row lands ``done`` (durability gate);
+* HTTP wall <= in-process wall * (1 + MAX_OVERHEAD) + ABS_SLACK
+  (min-of-repeats on both sides; the absolute slack absorbs fixed
+  per-batch socket setup on very fast batches).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_http_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+import urllib.request
+
+from repro.exec import ExecutorSpec
+from repro.provenance import SQLiteProvenanceStore
+from repro.service import (
+    DebugService,
+    DebugServiceHTTP,
+    spec_from_payload,
+    space_to_payload,
+)
+from repro.service.service import report_fingerprint
+from repro.workloads import gan_training
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+WORKERS = 4
+BUDGET = 150
+MAX_OVERHEAD = 0.10  # the HTTP veneer may cost at most 10% wall clock
+ABS_SLACK = 0.5  # seconds; fixed connection setup on sub-second batches
+JOB_SEEDS = (0, 1, 2, 3, 4, 5)
+
+
+def _payloads(jobs: int) -> list[dict]:
+    executor_wire = ExecutorSpec.from_builder(
+        "repro.workloads.gan_training:make_executor"
+    ).to_wire()
+    space_payload = space_to_payload(gan_training.make_space())
+    return [
+        {
+            "job_id": f"gan-{index}",
+            "workflow": "gan-http",
+            "algorithm": "decision_trees",
+            "goal": "find_all",
+            "budget": BUDGET,
+            "seed": seed,
+            "executor_spec": executor_wire,
+            "space": space_payload,
+        }
+        for index, seed in enumerate(JOB_SEEDS[:jobs])
+    ]
+
+
+def _run_inprocess(payloads, scratch: pathlib.Path):
+    """Baseline arm: the codec's specs straight into run_all."""
+    store = SQLiteProvenanceStore(scratch / "base.db")
+    specs = [spec_from_payload(dict(payload)) for payload in payloads]
+    started = time.perf_counter()
+    with DebugService(workers=WORKERS, store=store) as service:
+        results = service.run_all(specs, timeout=600)
+    wall = time.perf_counter() - started
+    fingerprints = {
+        result.job_id: report_fingerprint(result) for result in results
+    }
+    store.close()
+    return wall, fingerprints
+
+
+def _run_http(payloads, scratch: pathlib.Path):
+    """HTTP arm: POST every payload, then stream each log to its end."""
+    store = SQLiteProvenanceStore(scratch / "http.db")
+    service = DebugService(workers=WORKERS, store=store)
+    results = {}
+    try:
+        with DebugServiceHTTP(service, store=store) as api:
+            base = f"http://127.0.0.1:{api.port}"
+            started = time.perf_counter()
+            for payload in payloads:
+                request = urllib.request.Request(
+                    f"{base}/jobs",
+                    data=json.dumps(payload).encode("utf-8"),
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    assert response.status == 201, response.status
+            for payload in payloads:
+                job_id = payload["job_id"]
+                with urllib.request.urlopen(
+                    f"{base}/jobs/{job_id}/events?timeout=600", timeout=600
+                ) as response:
+                    last = None
+                    for line in response:
+                        last = json.loads(line)
+                    assert last is not None and last["terminal"], job_id
+            wall = time.perf_counter() - started
+            for payload in payloads:
+                job_id = payload["job_id"]
+                results[job_id] = report_fingerprint(
+                    service.jobs[job_id].result(timeout=60)
+                )
+                row = store.queue_row(job_id)
+                assert row is not None and row["status"] == "done", (
+                    f"{job_id}: queue row {row and row['status']!r}, "
+                    "expected done"
+                )
+    finally:
+        service.shutdown()
+        store.close()
+    return wall, results
+
+
+def compare(jobs: int, repeats: int):
+    payloads = _payloads(jobs)
+    walls = {"inprocess": [], "http": []}
+    baseline_fingerprints = None
+    with tempfile.TemporaryDirectory(prefix="http-overhead-") as scratch:
+        scratch = pathlib.Path(scratch)
+        for repeat in range(repeats):
+            repeat_dir = scratch / f"r{repeat}"
+            repeat_dir.mkdir()
+            for arm, runner in (
+                ("inprocess", _run_inprocess),
+                ("http", _run_http),
+            ):
+                wall, fingerprints = runner(payloads, repeat_dir)
+                walls[arm].append(wall)
+                if baseline_fingerprints is None:
+                    baseline_fingerprints = fingerprints
+                elif fingerprints != baseline_fingerprints:
+                    raise SystemExit(
+                        f"REPORT DIVERGENCE ({arm}, repeat {repeat}):\n"
+                        f"  baseline: {baseline_fingerprints}\n"
+                        f"  this arm: {fingerprints}"
+                    )
+    return walls
+
+
+def render(walls, jobs: int, repeats: int) -> str:
+    base, http = min(walls["inprocess"]), min(walls["http"])
+    overhead = (http - base) / base if base else 0.0
+    lines = [
+        "HTTP front-end overhead: submit+stream over HTTP vs run_all",
+        f"({jobs} gan DDT FindAll jobs per arm, {WORKERS} workers, budget "
+        f"{BUDGET}; min of {repeats} repeat(s); identical report "
+        "fingerprints verified across every arm and repeat)",
+        "",
+        f"{'arm':>12} {'wall (min)':>12} {'mean':>9}",
+        f"{'in-process':>12} {base:>11.3f}s "
+        f"{sum(walls['inprocess']) / len(walls['inprocess']):>8.3f}s",
+        f"{'http':>12} {http:>11.3f}s "
+        f"{sum(walls['http']) / len(walls['http']):>8.3f}s",
+        "",
+        f"overhead: {overhead:+.2%} ({(http - base) * 1000:+.1f} ms "
+        f"absolute; gate: <= {MAX_OVERHEAD:.0%} + {ABS_SLACK:.1f}s slack)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer jobs and repeats, no results file",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or (3 if args.quick else len(JOB_SEEDS))
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    walls = compare(jobs, repeats)
+    text = render(walls, jobs, repeats)
+    print(text)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "http_service.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    base, http = min(walls["inprocess"]), min(walls["http"])
+    if http > base * (1 + MAX_OVERHEAD) + ABS_SLACK:
+        overhead = (http - base) / base if base else 0.0
+        print(
+            f"\nFAIL: the HTTP front-end costs {overhead:.2%} wall clock "
+            f"({http - base:+.3f}s), above the {MAX_OVERHEAD:.0%} budget "
+            f"(+{ABS_SLACK:.1f}s slack)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

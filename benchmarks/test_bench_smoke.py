@@ -73,6 +73,7 @@ def test_quick_benchmarks_discovered():
         "bench_process_backend",
         "bench_event_overhead",
         "bench_remote_fleet",
+        "bench_http_service",
     }
 
 

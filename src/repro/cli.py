@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``, which provides the ``repro`` script)::
     repro serve ml gan --replicas 3 --workers 8 --output json
     repro serve ml --events jsonl --backend process
     repro serve ml --store runs.db --metrics json
+    repro serve ml gan --http 8080 --store runs.db --workers 4
     repro query jobs --store runs.db
     repro query seq suspect_confirmed suspect_refuted --store runs.db
     repro query agg --metric span:solver --stat p95 --group-by workflow \
@@ -30,7 +31,11 @@ as a JSON line while the batch runs, ``--backend process`` executes
 the pipelines on a :class:`~repro.exec.ProcessPool` of worker
 processes, ``--store`` additionally persists every job's event log
 (schema v4), and ``--metrics json`` appends the service metrics
-snapshot.  ``query`` is the process-query engine over persisted logs:
+snapshot.  ``serve --http PORT`` runs the always-on HTTP/JSON
+front-end instead of a batch: jobs arrive over ``POST /jobs``, stream
+their event logs over NDJSON/SSE, and -- with ``--store`` -- ride the
+schema-v5 durable job queue, so a killed server resumes queued work
+exactly once on restart.  ``query`` is the process-query engine over persisted logs:
 ``jobs`` lists job rows, ``events`` streams filtered events as JSON
 lines, ``seq`` finds jobs matching an ordered event pattern
 (SIGNAL-style eventually-follows), and ``agg`` computes grouped
@@ -130,8 +135,14 @@ def cmd_list(args) -> int:
 
 
 def _format_event(event, started: float) -> str:
-    """One human-readable progress line for ``repro debug --watch``."""
-    offset = event.timestamp - started
+    """One human-readable progress line for ``repro debug --watch``.
+
+    ``started`` is a ``time.monotonic()`` reading: offsets are computed
+    monotonic-minus-monotonic (events stamp ``event.monotonic`` at
+    publish).  Wall clocks (``event.timestamp``) can step backwards
+    under NTP and must never be subtracted to produce a duration.
+    """
+    offset = event.monotonic - started
     details = " ".join(f"{k}={v}" for k, v in event.payload.items())
     return f"[{offset:7.2f}s] {event.kind:<18} {details}".rstrip()
 
@@ -155,7 +166,7 @@ def cmd_debug(args) -> int:
         )
 
     started = time.perf_counter()
-    wall_started = time.time()
+    mono_started = time.monotonic()
     if args.watch:
         # Live progress: the search runs on a worker thread publishing
         # to a local event bus; the main thread streams the events.
@@ -210,7 +221,7 @@ def cmd_debug(args) -> int:
         thread.start()
         for event in bus.events(label):
             if not event.terminal:
-                print(_format_event(event, wall_started), file=sink, flush=True)
+                print(_format_event(event, mono_started), file=sink, flush=True)
         thread.join()
         if store is not None:
             bus.close()  # type: ignore[union-attr]
@@ -292,6 +303,131 @@ def _serve_specs(workload: str, args) -> list[JobSpec]:
     ]
 
 
+def _http_templates(workloads) -> dict:
+    """Named submit templates for the HTTP front-end, one per workload.
+
+    Each template is a durable-queue payload skeleton (executor wire
+    spec + parameter-space tables); a ``POST /jobs`` body that names
+    the workload inherits it and only has to add a ``job_id``.  Spaces
+    come from ``make_space()`` directly -- templates must stay cheap,
+    so no executor (or ml Table 1 history) is built here.
+    """
+    from .service import space_to_payload
+
+    spaces = {
+        "ml": ml_pipeline.make_space,
+        "data_polygamy": data_polygamy.make_space,
+        "gan": gan_training.make_space,
+    }
+    return {
+        workload: {
+            "workflow": workload,
+            "algorithm": "combined",
+            "goal": "find_all",
+            "executor_spec": ExecutorSpec.from_builder(
+                WORKLOAD_BUILDERS[workload]
+            ).to_wire(),
+            "space": space_to_payload(spaces[workload]()),
+        }
+        for workload in workloads
+    }
+
+
+def _cmd_serve_http(args, workloads) -> int:
+    """``repro serve --http PORT``: the always-on HTTP/JSON service.
+
+    Jobs arrive over HTTP instead of as a fixed batch.  With --store
+    the durable job queue makes submissions crash-safe: on start-up
+    the queue is recovered, so jobs queued when a previous incarnation
+    was killed resume exactly once and finished jobs replay from the
+    persisted ``jobs``/``job_events`` tables with zero re-execution.
+    """
+    import signal
+
+    from .service import DebugServiceHTTP, TenantQuota
+
+    store = None
+    if args.store is not None:
+        from .provenance import SQLiteProvenanceStore
+
+        store = SQLiteProvenanceStore(args.store)
+    pool = None
+    if args.backend == "process":
+        pool = ProcessPool(
+            max_workers=args.workers,
+            prewarm=min(2, args.workers),
+            store_path=args.store,
+        )
+    elif args.backend == "remote":
+        raise SystemExit("--http supports --backend inline or process")
+    quotas = {}
+    for raw in args.quota or []:
+        try:
+            tenant, caps = raw.split("=", 1)
+            max_active_text, __, priority_text = caps.partition(":")
+            quotas[tenant] = TenantQuota(
+                max_active=int(max_active_text),
+                priority=int(priority_text) if priority_text else 1,
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--quota must be TENANT=MAX_ACTIVE[:PRIORITY], got {raw!r}"
+            )
+    service = DebugService(
+        workers=args.workers,
+        store=store,
+        pool=pool,
+        autoscale=args.autoscale,
+        # The HTTP tier maps tenant quotas onto JobSpec.priority, so
+        # the scheduler must honor priorities as proportional weights;
+        # the controller pool is sized to the worker count.
+        weighted_fairness=True,
+        max_concurrent_jobs=max(args.workers, 1),
+    )
+    api = DebugServiceHTTP(
+        service,
+        store=store,
+        port=args.http,
+        templates=_http_templates(workloads),
+        quotas=quotas,
+    )
+    resume_report = api.resume()
+
+    def _terminate(signum, frame):  # noqa: ARG001 - signal contract
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    # The banner is machine-readable: smoke tests bind port 0 and read
+    # the real port back from this line.
+    print(
+        json.dumps(
+            {
+                "serving": {
+                    "host": api.host,
+                    "port": api.port,
+                    "workloads": list(workloads),
+                    "durable": api.queue is not None,
+                    "resume": resume_report,
+                }
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    try:
+        api.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        api.shutdown()
+        service.shutdown()
+        if pool is not None:
+            pool.shutdown()
+        if store is not None:
+            store.close()
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Run many debugging jobs concurrently on one DebugService."""
     if args.workers < 1:
@@ -307,6 +443,8 @@ def cmd_serve(args) -> int:
                 f"workload {workload!r} not servable; choose from: "
                 + ", ".join(SERVE_WORKLOADS)
             )
+    if args.http is not None:
+        return _cmd_serve_http(args, workloads)
     store = None
     if args.store is not None:
         from .provenance import SQLiteProvenanceStore
@@ -761,6 +899,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("none", "json"),
         help="print the service metrics snapshot (counters, gauges,"
         " histogram percentiles) after the batch",
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve an HTTP/JSON API on this port instead of running a"
+        " batch (0 picks an ephemeral port, echoed in the banner);"
+        " with --store, submissions ride the durable job queue and a"
+        " restart resumes queued work exactly once",
+    )
+    serve.add_argument(
+        "--quota",
+        action="append",
+        default=None,
+        metavar="TENANT=MAX_ACTIVE[:PRIORITY]",
+        help="with --http: per-tenant admission quota (max in-flight"
+        " jobs, 429 beyond) and default scheduler weight (repeatable)",
     )
     serve.add_argument(
         "--output", default="text", choices=("text", "json")

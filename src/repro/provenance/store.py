@@ -233,6 +233,10 @@ class SQLiteProvenanceStore(ProvenanceStore):
         job_events(job_id TEXT, seq INTEGER, kind TEXT, ts_wall REAL,
                    ts_monotonic REAL, terminal INTEGER, payload TEXT,
                    PRIMARY KEY (job_id, seq))
+        job_queue(job_id TEXT PRIMARY KEY, tenant TEXT,
+                  priority INTEGER, payload TEXT, status TEXT,
+                  attempts INTEGER, enqueued_at REAL, claimed_at REAL,
+                  finished_at REAL)
 
     ``bindings`` holds one row per parameter-value pair, making
     parameter-level SQL analysis possible (``GROUP BY name, value``),
@@ -274,15 +278,29 @@ class SQLiteProvenanceStore(ProvenanceStore):
     sits below ``exec`` in the layering, so the event dataclass never
     crosses into this module.
 
+    ``job_queue`` (schema v5) is the durable admission queue behind the
+    always-on service front-end: one row per enqueued job carrying an
+    *opaque* JSON payload (the service layer's spec codec lives above
+    this module -- provenance never learns what a ``JobSpec`` is) and a
+    three-state machine ``queued -> running -> done``.  Enqueueing an
+    existing ``job_id`` is latest-wins (the row resets to ``queued``
+    with the new payload); claims are single-statement compare-and-set
+    transitions, so two services sharing one database cannot both run
+    the same queued job; :meth:`recover_queue` repairs the crash edges
+    at restart (``running`` rows whose ``jobs`` row already reached a
+    terminal status become ``done`` -- the job finished, only the queue
+    transition was lost -- and the rest return to ``queued``).
+
     Migrations run in place at connection time: pre-service databases
     gain the ``instance_key`` column + backfill (v1), pre-codec
     databases gain the codec tables (v2), pre-batch databases gain the
     encoded-row table (v3), pre-observability databases gain the job
-    telemetry tables (v4); ``user_version`` records the result so
-    future migrations know where to start.
+    telemetry tables (v4), pre-queue databases gain ``job_queue`` (v5);
+    ``user_version`` records the result so future migrations know
+    where to start.
     """
 
-    SCHEMA_VERSION = 4
+    SCHEMA_VERSION = 5
 
     def __init__(self, path: str = ":memory:"):
         self._path = str(path)
@@ -376,6 +394,19 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 );
                 CREATE INDEX IF NOT EXISTS idx_job_events_kind
                     ON job_events(kind);
+                CREATE TABLE IF NOT EXISTS job_queue (
+                    job_id TEXT PRIMARY KEY,
+                    tenant TEXT,
+                    priority INTEGER NOT NULL DEFAULT 1,
+                    payload TEXT NOT NULL DEFAULT '{}',
+                    status TEXT NOT NULL DEFAULT 'queued',
+                    attempts INTEGER NOT NULL DEFAULT 0,
+                    enqueued_at REAL NOT NULL DEFAULT 0,
+                    claimed_at REAL,
+                    finished_at REAL
+                );
+                CREATE INDEX IF NOT EXISTS idx_job_queue_status
+                    ON job_queue(status, enqueued_at);
                 """
             )
             try:
@@ -1180,6 +1211,179 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 "SELECT COUNT(*) FROM job_events"
             ).fetchone()
         return int(count)
+
+    # -- Durable job queue (schema v5) ----------------------------------------
+    #
+    # Isolation notes (the read-committed template analysis from
+    # PAPERS.md, applied): every transition below is a *single* SQL
+    # statement in its own transaction.  None of the templates contains
+    # a read-then-write pair, so none can exhibit the lost-update or
+    # write-skew anomalies that make read-then-write templates unsafe
+    # below serializable -- each is robust under read committed, and no
+    # ``BEGIN IMMEDIATE`` serialization is needed:
+    #
+    # * ``enqueue_job`` is one upsert: concurrent enqueues of the same
+    #   id serialize at the row write and the last writer's payload
+    #   wins, which is exactly the latest-wins contract.
+    # * ``claim_job`` / ``finish_queued_job`` are compare-and-set
+    #   updates (``WHERE status = ...`` inside the statement): two
+    #   services racing a claim both run the statement, SQLite
+    #   serializes the row write, and exactly one sees ``rowcount ==
+    #   1``.  The losing claimer observes 0 and walks away -- no
+    #   double-run, no retry loop, no lock held across Python code.
+    # * ``recover_queue`` runs two statements in one transaction, but
+    #   both are status-guarded updates over ``running`` rows; a
+    #   concurrent *claim* only creates new ``running`` rows after its
+    #   own ``queued`` check, so the repair and a claim commute.
+
+    def enqueue_job(
+        self,
+        job_id: str,
+        payload: dict,
+        tenant: str | None = None,
+        priority: int = 1,
+        enqueued_at: float | None = None,
+    ) -> None:
+        """Enqueue a job payload durably; latest-wins on ``job_id``.
+
+        ``payload`` is an opaque JSON-serializable mapping -- the
+        service layer's spec codec owns its shape.  Re-enqueueing an
+        existing id replaces the payload and resets the row to
+        ``queued`` (a client re-submitting a job id wants the *new*
+        spec run, whatever state the old incarnation was in).
+        """
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO job_queue"
+                " (job_id, tenant, priority, payload, status, attempts,"
+                "  enqueued_at, claimed_at, finished_at)"
+                " VALUES (?, ?, ?, ?, 'queued', 0, ?, NULL, NULL)"
+                " ON CONFLICT(job_id) DO UPDATE SET"
+                "  tenant = excluded.tenant,"
+                "  priority = excluded.priority,"
+                "  payload = excluded.payload,"
+                "  status = 'queued',"
+                "  attempts = 0,"
+                "  enqueued_at = excluded.enqueued_at,"
+                "  claimed_at = NULL,"
+                "  finished_at = NULL",
+                (
+                    job_id,
+                    tenant,
+                    int(priority),
+                    json.dumps(payload, sort_keys=True),
+                    time.time() if enqueued_at is None else enqueued_at,
+                ),
+            )
+            self._connection.commit()
+
+    def claim_job(self, job_id: str, claimed_at: float | None = None) -> bool:
+        """Atomically transition one queued job to ``running``.
+
+        Compare-and-set: returns True iff *this* caller moved the row
+        from ``queued`` (see the isolation notes above -- with several
+        services on one database, exactly one claim succeeds).
+        """
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE job_queue SET status = 'running',"
+                " attempts = attempts + 1, claimed_at = ?"
+                " WHERE job_id = ? AND status = 'queued'",
+                (time.time() if claimed_at is None else claimed_at, job_id),
+            )
+            self._connection.commit()
+        return cursor.rowcount == 1
+
+    def finish_queued_job(
+        self, job_id: str, finished_at: float | None = None
+    ) -> bool:
+        """Mark a running queue row ``done``; True iff this call did.
+
+        Guarded on ``running`` so a finish racing a latest-wins
+        re-enqueue cannot clobber the fresh ``queued`` row.
+        """
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE job_queue SET status = 'done', finished_at = ?"
+                " WHERE job_id = ? AND status = 'running'",
+                (time.time() if finished_at is None else finished_at, job_id),
+            )
+            self._connection.commit()
+        return cursor.rowcount == 1
+
+    _QUEUE_COLUMNS = (
+        "job_id",
+        "tenant",
+        "priority",
+        "payload",
+        "status",
+        "attempts",
+        "enqueued_at",
+        "claimed_at",
+        "finished_at",
+    )
+
+    def _queue_row_to_dict(self, row) -> dict:
+        entry = dict(zip(self._QUEUE_COLUMNS, row, strict=True))
+        entry["payload"] = json.loads(entry["payload"]) if entry["payload"] else {}
+        return entry
+
+    def queue_row(self, job_id: str) -> dict | None:
+        """One queue row as a plain dict (payload decoded), or None."""
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {', '.join(self._QUEUE_COLUMNS)} FROM job_queue"
+                " WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        return None if row is None else self._queue_row_to_dict(row)
+
+    def queue_rows(self, status: str | None = None) -> list[dict]:
+        """Queue rows in enqueue order, optionally filtered by status."""
+        sql = f"SELECT {', '.join(self._QUEUE_COLUMNS)} FROM job_queue"
+        args: tuple = ()
+        if status is not None:
+            sql += " WHERE status = ?"
+            args = (status,)
+        sql += " ORDER BY enqueued_at, job_id"
+        with self._lock:
+            rows = self._connection.execute(sql, args).fetchall()
+        return [self._queue_row_to_dict(row) for row in rows]
+
+    def recover_queue(self) -> dict[str, int]:
+        """Repair the crash edges of the queue state machine at restart.
+
+        A ``running`` row means the previous incarnation claimed the
+        job and then died somewhere between claim and finish.  Two
+        cases, distinguished by the durable telemetry the job itself
+        left behind:
+
+        * its ``jobs`` row reached a terminal status -- the job
+          *finished* and only the queue's ``done`` transition was lost
+          in the crash: replay, don't re-run (the row becomes ``done``
+          and results are served from ``jobs``/``job_events``);
+        * no terminal ``jobs`` row -- the job genuinely died mid-run:
+          back to ``queued`` for a re-claim.  Its completed pipeline
+          executions are already in ``runs``, so the re-run replays
+          them from the cache instead of executing again.
+
+        Returns ``{"replayed": n, "requeued": m}``.
+        """
+        with self._lock:
+            replayed = self._connection.execute(
+                "UPDATE job_queue SET status = 'done', finished_at = ("
+                "  SELECT j.finished_at FROM jobs j"
+                "  WHERE j.job_id = job_queue.job_id)"
+                " WHERE status = 'running' AND job_id IN ("
+                "  SELECT job_id FROM jobs"
+                "  WHERE status IN ('succeeded', 'failed', 'cancelled'))"
+            ).rowcount
+            requeued = self._connection.execute(
+                "UPDATE job_queue SET status = 'queued', claimed_at = NULL"
+                " WHERE status = 'running'"
+            ).rowcount
+            self._connection.commit()
+        return {"replayed": int(replayed), "requeued": int(requeued)}
 
     def failing_parameter_value_counts(self) -> dict[tuple[str, str], int]:
         """SQL-side aggregate: how often each binding appears in failures.

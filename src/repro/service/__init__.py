@@ -12,7 +12,13 @@ into a multi-tenant service:
 * :mod:`~repro.service.service` -- :class:`DebugService`, which wires a
   per-job :class:`~repro.core.session.DebugSession` into the shared
   infrastructure while keeping the paper's per-job cost accounting
-  exact.
+  exact;
+* :mod:`~repro.service.queue` -- :class:`DurableJobQueue`, the
+  crash-safe admission queue over the schema-v5 ``job_queue`` table
+  plus the JobSpec <-> JSON payload codec;
+* :mod:`~repro.service.http` -- :class:`DebugServiceHTTP`, the
+  stdlib HTTP/JSON front-end (submit/status/cancel, NDJSON/SSE event
+  streams, per-tenant quotas, ``/query``).
 
 The raw concurrency primitives (the shared scheduler and the
 single-flight cache) live below this layer in :mod:`repro.concurrency`;
@@ -22,6 +28,13 @@ re-export them for compatibility.
 
 from .cache import CachedExecutor, CacheStats, ExecutionCache, SingleFlightCache
 from .jobs import JobCancelled, JobGoal, JobHandle, JobResult, JobSpec, JobStatus
+from .queue import (
+    DurableJobQueue,
+    space_from_payload,
+    space_to_payload,
+    spec_from_payload,
+    spec_to_payload,
+)
 from .scheduler import (
     ScheduledExecutor,
     SchedulerBackend,
@@ -29,12 +42,16 @@ from .scheduler import (
     SharedScheduler,
 )
 from .service import DebugService
+from .http import DebugServiceHTTP, HTTPError, TenantQuota
 
 __all__ = [
     "CachedExecutor",
     "CacheStats",
     "DebugService",
+    "DebugServiceHTTP",
+    "DurableJobQueue",
     "ExecutionCache",
+    "HTTPError",
     "JobCancelled",
     "JobGoal",
     "JobHandle",
@@ -46,4 +63,9 @@ __all__ = [
     "SchedulerStats",
     "SharedScheduler",
     "SingleFlightCache",
+    "TenantQuota",
+    "space_from_payload",
+    "space_to_payload",
+    "spec_from_payload",
+    "spec_to_payload",
 ]

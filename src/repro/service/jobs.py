@@ -240,6 +240,7 @@ class JobHandle:
         self._result: JobResult | None = None
         self._status = JobStatus.PENDING
         self._lock = threading.Lock()
+        self._callbacks: list[Callable[["JobHandle"], object]] = []
         self.session: DebugSession | None = None  # set by the service
         self._bus: EventBus | None = None  # set by the service
 
@@ -291,7 +292,38 @@ class JobHandle:
         with self._lock:
             self._status = result.status
             self._result = result
-        self._done.set()
+            callbacks = list(self._callbacks)
+            # Set under the lock: a concurrent add_done_callback either
+            # sees _done set (and fires immediately) or appends before
+            # this snapshot -- no registration can fall between.
+            self._done.set()
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                pass  # observers must never break the teardown path
+
+    def add_done_callback(
+        self, callback: Callable[["JobHandle"], object]
+    ) -> None:
+        """Run ``callback(handle)`` once the job reaches a terminal state.
+
+        Fires on the job's controller thread after the result is
+        readable (``result()`` returns without blocking inside the
+        callback); fires immediately on the caller's thread when the
+        job is already terminal.  Exceptions are swallowed: observers
+        (the durable queue's ``done`` transition, notification hooks)
+        must never break a job teardown.  Callbacks run in
+        registration order.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        try:
+            callback(self)
+        except Exception:
+            pass
 
     # -- Progress streaming ---------------------------------------------------
     def events(

@@ -1,0 +1,247 @@
+"""Durable job queue: the JobSpec <-> JSON payload codec + resume wiring.
+
+The schema-v5 ``job_queue`` table (see
+:class:`~repro.provenance.store.SQLiteProvenanceStore`) stores *opaque*
+JSON payloads -- provenance sits far below this layer and must never
+learn what a :class:`~repro.service.jobs.JobSpec` is.  This module owns
+the payload shape: :func:`spec_to_payload` serializes the durable
+subset of a spec (executor as an :class:`~repro.exec.spec.ExecutorSpec`
+wire form, space as its code tables, scalars verbatim) and
+:func:`spec_from_payload` rebuilds a runnable spec, constructing the
+executor in-process via :meth:`ExecutorSpec.build` so a restarted
+service needs no process pool to resume queued work.
+
+:class:`DurableJobQueue` is the service-side driver: ``submit`` writes
+the queue row, claims it, and hands the spec to a
+:class:`~repro.service.service.DebugService`, stamping the row ``done``
+from the handle's completion callback; ``resume`` repairs the crash
+edges (:meth:`~repro.provenance.store.SQLiteProvenanceStore.
+recover_queue`) and re-claims every queued row exactly once -- claims
+are compare-and-set, so two services resuming one database split the
+backlog instead of double-running it.  Jobs that had already finished
+are *replayed* from the ``jobs``/``job_events`` tables, not re-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.bugdoc import Algorithm
+from ..core.ddt import DDTConfig
+from ..core.types import Parameter, ParameterKind, ParameterSpace
+from ..exec.spec import ExecutorSpec
+from ..provenance.record import decode_value, encode_value
+from .jobs import JobGoal, JobHandle, JobSpec
+
+__all__ = [
+    "DurableJobQueue",
+    "space_from_payload",
+    "space_to_payload",
+    "spec_from_payload",
+    "spec_to_payload",
+]
+
+#: Payload shape version, bumped on incompatible codec changes so a new
+#: service can refuse (rather than misparse) rows from a future one.
+PAYLOAD_VERSION = 1
+
+
+def space_to_payload(space: ParameterSpace) -> list[list]:
+    """A space's code tables as JSON: ``[[name, kind, [values...]]]``.
+
+    Domains are stored *in code order* (like the store's codec tables),
+    so the rebuilt space interns to identical value->code tables and
+    spec fingerprints survive the round-trip.
+    """
+    return [
+        [p.name, p.kind.value, [encode_value(v) for v in p.domain]]
+        for p in space.parameters
+    ]
+
+
+def space_from_payload(payload: list) -> ParameterSpace:
+    """Rebuild a :class:`ParameterSpace` from :func:`space_to_payload`."""
+    return ParameterSpace(
+        [
+            Parameter(
+                str(name),
+                tuple(decode_value(v) for v in domain),
+                ParameterKind(kind),
+            )
+            for name, kind, domain in payload
+        ]
+    )
+
+
+def spec_to_payload(spec: JobSpec) -> dict:
+    """Serialize the durable subset of a job spec to a JSON payload.
+
+    Only *self-describing* specs survive a restart: the executor must
+    be an :class:`ExecutorSpec` (an import path plus JSON-able kwargs),
+    because an in-process callable cannot be persisted.  ``run`` bodies
+    and pre-seeded histories are likewise process-bound and rejected --
+    durable jobs get their warm start from the shared store instead.
+    """
+    if spec.executor_spec is None:
+        raise ValueError(
+            f"job {spec.job_id!r} cannot be enqueued durably: it has no "
+            "executor_spec (in-process callables do not survive a restart)"
+        )
+    if spec.run is not None:
+        raise ValueError(
+            f"job {spec.job_id!r} cannot be enqueued durably: custom run "
+            "bodies are process-bound"
+        )
+    if spec.history is not None:
+        raise ValueError(
+            f"job {spec.job_id!r} cannot be enqueued durably: pre-seeded "
+            "histories are process-bound (persist them to the store instead)"
+        )
+    return {
+        "version": PAYLOAD_VERSION,
+        "job_id": spec.job_id,
+        "workflow": spec.workflow,
+        "algorithm": spec.algorithm.value,
+        "goal": spec.goal.value,
+        "budget": spec.budget,
+        "priority": spec.priority,
+        "seed": spec.seed,
+        "stack_width": spec.stack_width,
+        "parallel_batches": spec.parallel_batches,
+        "ddt_config": (
+            dataclasses.asdict(spec.ddt_config)
+            if spec.ddt_config is not None
+            else None
+        ),
+        "executor_spec": spec.executor_spec.to_wire(),
+        "space": space_to_payload(spec.space),
+    }
+
+
+def spec_from_payload(payload: dict) -> JobSpec:
+    """Rebuild a runnable :class:`JobSpec` from a queue payload.
+
+    The executor is constructed *in-process* via
+    :meth:`ExecutorSpec.build`; the spec also keeps the wire
+    ``executor_spec``, so a pool-equipped service still dispatches the
+    pipeline out of process.
+    """
+    version = payload.get("version", PAYLOAD_VERSION)
+    if version > PAYLOAD_VERSION:
+        raise ValueError(
+            f"queue payload version {version} is newer than this "
+            f"service understands ({PAYLOAD_VERSION})"
+        )
+    executor_spec = ExecutorSpec.from_wire(payload["executor_spec"])
+    ddt_payload = payload.get("ddt_config")
+    return JobSpec(
+        job_id=str(payload["job_id"]),
+        executor=executor_spec.build(),
+        executor_spec=executor_spec,
+        space=space_from_payload(payload["space"]),
+        workflow=str(payload.get("workflow", "default")),
+        algorithm=Algorithm(payload.get("algorithm", "combined")),
+        goal=JobGoal(payload.get("goal", "find_one")),
+        budget=payload.get("budget"),
+        priority=int(payload.get("priority", 1)),
+        seed=int(payload.get("seed", 0)),
+        ddt_config=(
+            DDTConfig(**ddt_payload) if ddt_payload is not None else None
+        ),
+        stack_width=payload.get("stack_width"),
+        parallel_batches=bool(payload.get("parallel_batches", False)),
+    )
+
+
+class DurableJobQueue:
+    """Crash-safe admission queue over a schema-v5 provenance store.
+
+    State machine per row: ``queued -> running -> done``, with the two
+    crash edges repaired by :meth:`resume` (``running`` + terminal
+    ``jobs`` row -> ``done`` replay; ``running`` without one ->
+    ``queued`` re-claim).  Every transition is a single-statement
+    compare-and-set in the store, so the queue is safe for concurrent
+    services under read committed -- see the isolation notes on the
+    store's queue methods.
+    """
+
+    def __init__(self, store):
+        self._store = store
+
+    @property
+    def store(self):
+        return self._store
+
+    def enqueue(self, spec: JobSpec, tenant: str | None = None) -> None:
+        """Persist a spec as a queued row (latest-wins on ``job_id``)."""
+        self._store.enqueue_job(
+            spec.job_id,
+            spec_to_payload(spec),
+            tenant=tenant,
+            priority=spec.priority,
+        )
+
+    def _finish_row(self, handle: JobHandle) -> None:
+        try:
+            self._store.finish_queued_job(handle.job_id)
+        except Exception:
+            # A lost ``done`` transition is exactly the crash edge
+            # resume() repairs from the jobs table; never let queue
+            # bookkeeping break a job teardown.
+            pass
+
+    def submit(
+        self, service, spec: JobSpec, tenant: str | None = None
+    ) -> JobHandle:
+        """Enqueue durably, claim, and start the job on ``service``.
+
+        The queue row reaches ``running`` *before* the service accepts
+        the job (a crash between the two leaves a ``running`` row with
+        no terminal ``jobs`` row, which resume() re-queues) and flips
+        to ``done`` from the handle's completion callback.
+        """
+        self.enqueue(spec, tenant=tenant)
+        self._store.claim_job(spec.job_id)
+        try:
+            handle = service.submit(spec)
+        except BaseException:
+            # The service rejected the job (shutdown, duplicate id):
+            # reset *this* row to queued (latest-wins re-enqueue) so a
+            # later resume still runs it; other rows stay untouched.
+            self.enqueue(spec, tenant=tenant)
+            raise
+        handle.add_done_callback(self._finish_row)
+        return handle
+
+    def resume(self, service) -> dict:
+        """Recover the queue and restart every queued job exactly once.
+
+        Returns a report::
+
+            {"replayed": n,   # finished before the crash; served from
+                              # jobs/job_events, zero re-execution
+             "requeued": n,   # died mid-run; re-claimed below
+             "resumed": [JobHandle, ...],  # re-claimed and running
+             "corrupt": [job_id, ...]}     # undecodable payloads
+        """
+        report = dict(self._store.recover_queue())
+        resumed: list[JobHandle] = []
+        corrupt: list[str] = []
+        for row in self._store.queue_rows(status="queued"):
+            job_id = row["job_id"]
+            if not self._store.claim_job(job_id):
+                continue  # another service's resume got there first
+            try:
+                spec = spec_from_payload(row["payload"])
+            except Exception:
+                # A poison row must not wedge every future restart:
+                # stamp it done and surface the id to the caller.
+                corrupt.append(job_id)
+                self._store.finish_queued_job(job_id)
+                continue
+            handle = service.submit(spec)
+            handle.add_done_callback(self._finish_row)
+            resumed.append(handle)
+        report["resumed"] = resumed
+        report["corrupt"] = corrupt
+        return report

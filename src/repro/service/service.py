@@ -13,14 +13,18 @@ clients submit :class:`~repro.service.jobs.JobSpec`s and the service
    via the :class:`~repro.service.cache.ExecutionCache`, optionally
    backed by a :class:`~repro.provenance.store.SQLiteProvenanceStore`.
 
-Jobs run on lightweight controller threads (the algorithm logic is
-cheap; the pipeline executions it requests are the expensive part and
-those are throttled by the shared pool), so a service with 8 workers
-can happily multiplex dozens of in-flight jobs.
+Jobs run on a *bounded pool* of lightweight controller threads (the
+algorithm logic is cheap; the pipeline executions it requests are the
+expensive part and those are throttled by the shared pool), so a
+service with 8 workers can happily multiplex dozens of in-flight jobs
+-- and an always-on front-end accepting jobs for days cannot leak one
+thread per accepted job: accepted jobs queue, controllers are reused,
+and idle controllers retire.
 """
 
 from __future__ import annotations
 
+import collections
 import hashlib
 import json
 import threading
@@ -131,7 +135,10 @@ class DebugService:
             internal cache is backed by this persistent provenance
             store, making outcomes durable across services.
         max_concurrent_jobs: cap on jobs running at once; further
-            submissions queue (admission control, not an error).
+            submissions queue (admission control, not an error).  This
+            is the controller-pool size: a job only runs while one of
+            the pooled controller threads holds it, so the cap also
+            bounds the service's thread footprint.
         cache_max_entries: optional LRU bound on the internal cache's
             in-memory tier, for long-lived services whose outcome sets
             would otherwise grow without bound.  Ignored when an
@@ -226,11 +233,24 @@ class DebugService:
             )
         self._jobs: dict[str, JobHandle] = {}
         self._lock = threading.Lock()
-        self._admission = (
-            threading.BoundedSemaphore(max_concurrent_jobs)
+        # Bounded admission: accepted jobs queue on a deque served by a
+        # pool of reusable controller threads instead of spawning one
+        # thread per job.  ``max_concurrent_jobs`` *is* the controller
+        # cap (a job only runs while a controller holds it); without an
+        # explicit cap the pool is still bounded -- generously, so
+        # unconstrained workloads behave as before -- and idle
+        # controllers retire after a grace period.
+        self._pending: collections.deque[JobHandle] = collections.deque()
+        self._work = threading.Condition()
+        self._controllers = 0
+        self._idle_controllers = 0
+        self._controller_serial = 0
+        self._max_controllers = (
+            max_concurrent_jobs
             if max_concurrent_jobs is not None
-            else None
+            else max(32, workers * 4)
         )
+        self._controller_idle_seconds = 2.0
         self._shutdown = False
 
     # -- Introspection -------------------------------------------------------
@@ -269,8 +289,16 @@ class DebugService:
             for handle in self._jobs.values():
                 key = handle.status.value
                 statuses[key] = statuses.get(key, 0) + 1
+        with self._work:
+            admission = {
+                "pending": len(self._pending),
+                "controllers": self._controllers,
+                "idle_controllers": self._idle_controllers,
+                "max_controllers": self._max_controllers,
+            }
         stats: dict[str, object] = {
             "jobs": statuses,
+            "admission": admission,
             "scheduler": self._scheduler.stats_snapshot(),
             "cache": self._cache.stats.snapshot(),
         }
@@ -285,7 +313,7 @@ class DebugService:
 
     # -- Submission ----------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobHandle:
-        """Accept a job and start it on a controller thread."""
+        """Accept a job and queue it for a pooled controller thread."""
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("service is shut down")
@@ -294,31 +322,67 @@ class DebugService:
             handle = JobHandle(spec)
             handle._bus = self._events
             self._jobs[spec.job_id] = handle
-        # Published before the controller thread exists, so "submitted"
-        # is always the first event of a job's stream.
-        self._events.publish(
-            spec.job_id,
-            "submitted",
-            {
-                "workflow": spec.workflow,
-                "algorithm": spec.algorithm.value,
-                "goal": spec.goal.value,
-                "budget": spec.budget,
-                "process": spec.executor_spec is not None
-                and self._pool is not None,
-                "spec_fingerprint": spec_fingerprint(spec),
-            },
-        )
-        if spec.priority != 1:
-            self._scheduler.set_priority(spec.job_id, spec.priority)
-        thread = threading.Thread(
-            target=self._run_job,
-            args=(handle,),
-            name=f"debug-job-{spec.job_id}",
-            daemon=True,
-        )
-        thread.start()
+            # Everything between acceptance and the controller handoff
+            # happens under the same lock as the shutdown check:
+            # shutdown() flips _shutdown under this lock *before* it
+            # drains the bus, so it can never interleave between a
+            # job's registration and its "submitted" event / dispatch.
+            # (Publishing first also keeps "submitted" the guaranteed
+            # head of every job's stream.)
+            self._events.publish(
+                spec.job_id,
+                "submitted",
+                {
+                    "workflow": spec.workflow,
+                    "algorithm": spec.algorithm.value,
+                    "goal": spec.goal.value,
+                    "budget": spec.budget,
+                    "process": spec.executor_spec is not None
+                    and self._pool is not None,
+                    "spec_fingerprint": spec_fingerprint(spec),
+                },
+            )
+            if spec.priority != 1:
+                self._scheduler.set_priority(spec.job_id, spec.priority)
+            self._dispatch(handle)
         return handle
+
+    def _dispatch(self, handle: JobHandle) -> None:
+        """Queue a handle for the controller pool, growing it if needed."""
+        with self._work:
+            self._pending.append(handle)
+            if self._idle_controllers > 0:
+                self._work.notify()
+            elif self._controllers < self._max_controllers:
+                self._controllers += 1
+                self._controller_serial += 1
+                threading.Thread(
+                    target=self._controller_loop,
+                    name=f"debug-controller-{self._controller_serial}",
+                    daemon=True,
+                ).start()
+            # else: every controller is busy; the handle waits its turn
+            # (admission control, not an error).
+
+    def _controller_loop(self) -> None:
+        """One pooled controller: run queued jobs until idle, then retire.
+
+        Retirement is decided under the work lock with the queue
+        observed empty, and growth spawns a controller whenever no idle
+        one exists -- so a pending handle always has a controller bound
+        for it and none can be stranded.
+        """
+        while True:
+            with self._work:
+                while not self._pending:
+                    self._idle_controllers += 1
+                    signalled = self._work.wait(self._controller_idle_seconds)
+                    self._idle_controllers -= 1
+                    if not self._pending and not signalled:
+                        self._controllers -= 1
+                        return
+                handle = self._pending.popleft()
+            self._run_job(handle)
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation of a submitted job (see
@@ -339,15 +403,17 @@ class DebugService:
         """Submit every spec and wait for all results (submission order).
 
         ``timeout`` is an overall deadline for the whole batch, not a
-        per-job allowance.  When it expires, a :class:`TimeoutError`
-        naming the unfinished jobs is raised; the jobs themselves keep
-        running and their results stay collectible via the service's
-        ``jobs`` handles.  Callers that need partial results on a
-        deadline should ``submit`` and poll the handles instead.
+        per-job allowance.  When it expires, every remaining handle is
+        still polled (a job that finished after an earlier one timed
+        out is collected, not orphaned) and *then* one
+        :class:`TimeoutError` is raised naming every job still
+        unfinished after the sweep.  The jobs themselves keep running
+        and every result -- collected or not -- stays retrievable via
+        the service's ``jobs`` handles.
         """
         handles = [self.submit(spec) for spec in specs]
         deadline = None if timeout is None else time.monotonic() + timeout
-        results = []
+        collected: dict[str, JobResult] = {}
         for handle in handles:
             remaining = (
                 None
@@ -355,16 +421,18 @@ class DebugService:
                 else max(0.0, deadline - time.monotonic())
             )
             try:
-                results.append(handle.result(remaining))
+                collected[handle.job_id] = handle.result(remaining)
             except TimeoutError:
-                pending = [h.job_id for h in handles if not h.done()]
-                raise TimeoutError(
-                    f"batch deadline of {timeout}s expired with "
-                    f"{len(pending)} job(s) unfinished: {pending}; "
-                    "they continue running -- collect them via "
-                    "service.jobs[...].result()"
-                ) from None
-        return results
+                continue  # sweep the rest; stragglers are named below
+        pending = [h.job_id for h in handles if h.job_id not in collected]
+        if pending:
+            raise TimeoutError(
+                f"batch deadline of {timeout}s expired with "
+                f"{len(pending)} job(s) unfinished: {pending}; "
+                "they continue running -- collect them via "
+                "service.jobs[...].result()"
+            )
+        return [collected[handle.job_id] for handle in handles]
 
     # -- Session wiring ------------------------------------------------------
     def build_session(
@@ -441,8 +509,6 @@ class DebugService:
     # -- Job execution -------------------------------------------------------
     def _run_job(self, handle: JobHandle) -> None:
         spec = handle.spec
-        if self._admission is not None:
-            self._admission.acquire()
         started = time.perf_counter()
         session: DebugSession | None = None
         cached: CachedExecutor | None = None
@@ -543,8 +609,6 @@ class DebugService:
                 accounting_settled=settled,
             )
         finally:
-            if self._admission is not None:
-                self._admission.release()
             self._scheduler.clear_priority(spec.job_id)
         self._publish_metrics_snapshot(progress, result)
         self._publish_finished(result)

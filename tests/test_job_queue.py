@@ -1,0 +1,259 @@
+"""Tests for the schema-v5 durable job queue: store-level transitions
+(enqueue / claim CAS / finish / latest-wins re-enqueue / crash-edge
+recovery) and the service-side DurableJobQueue codec + submit/resume."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import Algorithm, Instance, Outcome, Parameter, ParameterSpace
+from repro.exec import ExecutorSpec
+from repro.provenance import SQLiteProvenanceStore
+from repro.service import (
+    DebugService,
+    DurableJobQueue,
+    JobGoal,
+    JobSpec,
+    JobStatus,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.service.service import spec_fingerprint
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            Parameter("a", (0, 1, 2, 3)),
+            Parameter("b", ("x", "y")),
+        ]
+    )
+
+
+def _oracle(instance: Instance) -> Outcome:
+    return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+
+def make_queue_oracle():
+    """Importable executor builder (resolved via this test module)."""
+    return _oracle
+
+
+def _durable_spec(job_id: str, **kwargs) -> JobSpec:
+    executor_spec = ExecutorSpec.from_builder(
+        "test_job_queue:make_queue_oracle"
+    )
+    return JobSpec(
+        job_id=job_id,
+        executor=executor_spec.build(),
+        executor_spec=executor_spec,
+        space=_space(),
+        workflow=kwargs.pop("workflow", "queued"),
+        algorithm=kwargs.pop("algorithm", Algorithm.DECISION_TREES),
+        goal=kwargs.pop("goal", JobGoal.FIND_ALL),
+        budget=kwargs.pop("budget", 40),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SQLiteProvenanceStore(tmp_path / "queue.db")
+    yield store
+    store.close()
+
+
+class TestQueueTransitions:
+    def test_enqueue_claim_finish_lifecycle(self, store):
+        store.enqueue_job("j1", {"k": 1}, tenant="acme", priority=3)
+        row = store.queue_row("j1")
+        assert row["status"] == "queued"
+        assert row["tenant"] == "acme"
+        assert row["priority"] == 3
+        assert row["payload"] == {"k": 1}
+        assert row["attempts"] == 0
+
+        assert store.claim_job("j1") is True
+        # The claim is compare-and-set: a second service loses the race.
+        assert store.claim_job("j1") is False
+        row = store.queue_row("j1")
+        assert row["status"] == "running"
+        assert row["attempts"] == 1
+
+        assert store.finish_queued_job("j1") is True
+        assert store.finish_queued_job("j1") is False
+        assert store.queue_row("j1")["status"] == "done"
+
+    def test_claim_requires_queued(self, store):
+        assert store.claim_job("missing") is False
+        store.enqueue_job("j1", {})
+        store.claim_job("j1")
+        store.finish_queued_job("j1")
+        assert store.claim_job("j1") is False
+
+    def test_reenqueue_is_latest_wins(self, store):
+        """A duplicate job_id re-enqueue resets the row wholesale: new
+        payload, status queued, attempts 0 -- regardless of the prior
+        state (the satellite-4 latest-wins guarantee)."""
+        store.enqueue_job("j1", {"rev": 1}, priority=1)
+        store.claim_job("j1")
+        store.finish_queued_job("j1")
+
+        store.enqueue_job("j1", {"rev": 2}, tenant="acme", priority=5)
+        row = store.queue_row("j1")
+        assert row["status"] == "queued"
+        assert row["payload"] == {"rev": 2}
+        assert row["priority"] == 5
+        assert row["tenant"] == "acme"
+        assert row["attempts"] == 0
+        assert row["claimed_at"] is None
+        assert row["finished_at"] is None
+        assert len(store.queue_rows()) == 1
+
+    def test_finish_cannot_clobber_reenqueued_row(self, store):
+        """finish is guarded on status='running': a stale completion
+        callback racing a latest-wins re-enqueue must not mark the
+        fresh queued row done."""
+        store.enqueue_job("j1", {"rev": 1})
+        store.claim_job("j1")
+        store.enqueue_job("j1", {"rev": 2})  # latest-wins while running
+        assert store.finish_queued_job("j1") is False
+        assert store.queue_row("j1")["status"] == "queued"
+
+    def test_queue_rows_filter_and_order(self, store):
+        store.enqueue_job("b", {}, enqueued_at=2.0)
+        store.enqueue_job("a", {}, enqueued_at=1.0)
+        store.enqueue_job("c", {}, enqueued_at=3.0)
+        store.claim_job("a")
+        assert [r["job_id"] for r in store.queue_rows()] == ["a", "b", "c"]
+        assert [
+            r["job_id"] for r in store.queue_rows(status="queued")
+        ] == ["b", "c"]
+
+
+class TestRecoverQueue:
+    def test_running_with_terminal_job_row_is_replayed(self, store):
+        store.enqueue_job("j1", {})
+        store.claim_job("j1")
+        store.begin_job("j1", workflow="wf", algorithm="decision_trees")
+        store.finish_job("j1", "succeeded", budget_spent=1, wall_seconds=0.1)
+
+        report = store.recover_queue()
+        assert report == {"replayed": 1, "requeued": 0}
+        assert store.queue_row("j1")["status"] == "done"
+
+    def test_running_without_terminal_row_is_requeued(self, store):
+        store.enqueue_job("j1", {})
+        store.claim_job("j1")
+        # Crashed mid-run: a jobs row exists but never reached a
+        # terminal status.
+        store.begin_job("j1", workflow="wf", algorithm="decision_trees")
+
+        report = store.recover_queue()
+        assert report == {"replayed": 0, "requeued": 1}
+        row = store.queue_row("j1")
+        assert row["status"] == "queued"
+        assert row["claimed_at"] is None
+        # The re-claim bumps attempts again.
+        assert store.claim_job("j1") is True
+
+    def test_recover_leaves_queued_and_done_untouched(self, store):
+        store.enqueue_job("fresh", {})
+        store.enqueue_job("finished", {})
+        store.claim_job("finished")
+        store.finish_queued_job("finished")
+        assert store.recover_queue() == {"replayed": 0, "requeued": 0}
+        assert store.queue_row("fresh")["status"] == "queued"
+        assert store.queue_row("finished")["status"] == "done"
+
+
+class TestSpecCodec:
+    def test_round_trip_preserves_fingerprint(self):
+        spec = _durable_spec("j1", seed=7, priority=4)
+        payload = spec_to_payload(spec)
+        rebuilt = spec_from_payload(payload)
+        assert rebuilt.job_id == "j1"
+        assert rebuilt.seed == 7
+        assert rebuilt.priority == 4
+        assert rebuilt.algorithm is Algorithm.DECISION_TREES
+        assert rebuilt.goal is JobGoal.FIND_ALL
+        assert rebuilt.space.parameters[0].domain == (0, 1, 2, 3)
+        assert spec_fingerprint(rebuilt) == spec_fingerprint(spec)
+        # The rebuilt executor is runnable in-process.
+        assert rebuilt.executor(Instance({"a": 0, "b": "x"})) is Outcome.FAIL
+
+    def test_process_bound_specs_are_rejected(self):
+        with pytest.raises(ValueError, match="no .*executor_spec"):
+            spec_to_payload(
+                JobSpec(job_id="j", executor=_oracle, space=_space())
+            )
+        with pytest.raises(ValueError, match="run"):
+            spec_to_payload(
+                _durable_spec("j", run=lambda session: None)
+            )
+
+    def test_future_payload_version_is_refused(self):
+        payload = spec_to_payload(_durable_spec("j1"))
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            spec_from_payload(payload)
+
+
+class TestDurableJobQueueService:
+    def test_submit_runs_job_and_marks_row_done(self, store):
+        queue = DurableJobQueue(store)
+        with DebugService(workers=2, store=store) as service:
+            handle = queue.submit(service, _durable_spec("j1"))
+            result = handle.result(timeout=30)
+            assert result.status is JobStatus.SUCCEEDED
+            # The done transition fires from the completion callback.
+            done = threading.Event()
+            handle.add_done_callback(lambda _h: done.set())
+            assert done.wait(5.0)
+        assert store.queue_row("j1")["status"] == "done"
+
+    def test_submit_failure_requeues_row(self, store):
+        queue = DurableJobQueue(store)
+        service = DebugService(workers=1, store=store)
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            queue.submit(service, _durable_spec("j1"))
+        # The rejected submission survives for the next resume.
+        assert store.queue_row("j1")["status"] == "queued"
+
+    def test_resume_runs_queued_rows_exactly_once(self, store):
+        enqueue_service = DurableJobQueue(store)
+        enqueue_service.enqueue(_durable_spec("q1", seed=1))
+        enqueue_service.enqueue(_durable_spec("q2", seed=2))
+        # Simulate a crash mid-run: q3 was claimed but never finished.
+        enqueue_service.enqueue(_durable_spec("q3", seed=3))
+        store.claim_job("q3")
+
+        queue = DurableJobQueue(store)
+        with DebugService(workers=2, store=store) as service:
+            report = queue.resume(service)
+            assert report["replayed"] == 0
+            assert report["requeued"] == 1
+            assert report["corrupt"] == []
+            handles = report["resumed"]
+            assert sorted(h.job_id for h in handles) == ["q1", "q2", "q3"]
+            for handle in handles:
+                assert handle.result(timeout=30).status is JobStatus.SUCCEEDED
+        for job_id in ("q1", "q2", "q3"):
+            assert store.queue_row(job_id)["status"] == "done"
+        # A second resume finds nothing left to do.
+        with DebugService(workers=1, store=store) as service:
+            report = queue.resume(service)
+        assert report["resumed"] == []
+
+    def test_resume_quarantines_corrupt_payloads(self, store):
+        store.enqueue_job("poison", {"version": 1, "garbage": True})
+        queue = DurableJobQueue(store)
+        with DebugService(workers=1, store=store) as service:
+            report = queue.resume(service)
+        assert report["corrupt"] == ["poison"]
+        assert report["resumed"] == []
+        # The poison row is stamped done so it cannot wedge restarts.
+        assert store.queue_row("poison")["status"] == "done"

@@ -298,8 +298,8 @@ class TestPersistedCodecTables:
         )
 
     def test_schema_version_is_bumped(self, tmp_path):
-        store = SQLiteProvenanceStore(str(tmp_path / "v4.db"))
-        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 4
+        store = SQLiteProvenanceStore(str(tmp_path / "v5.db"))
+        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 5
         store.close()
 
     def test_save_load_roundtrip_and_interning(self, tmp_path):
@@ -358,7 +358,9 @@ class TestPersistedCodecTables:
         store.close()
 
         reopened = SQLiteProvenanceStore(path)
-        assert reopened.schema_version == 4  # migrated in place
+        assert (
+            reopened.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION
+        )  # migrated in place
         interned, history = reopened.hydrate("wf", space)
         assert len(history) == 1
         with reopened._lock:  # noqa: SLF001 - verify the write-through

@@ -909,3 +909,138 @@ class TestPriorities:
         # of dispatch weighting (serial sessions are deterministic).
         causes = [[str(c) for c in r.report.causes] for r in results]
         assert causes[0] == causes[1] == causes[2]
+
+
+class TestSubmitShutdownRace:
+    def test_submit_racing_shutdown_never_leaks_a_job(self):
+        """Hammer submit against shutdown: every submission either raises
+        the shutdown RuntimeError or yields a handle that reaches a
+        terminal state -- no job may be accepted-then-stranded (the old
+        code published the submitted event and started the controller
+        after releasing the lock, so a concurrent shutdown could drain
+        the event bus and strand the handle forever PENDING)."""
+        for round_index in range(10):
+            service = DebugService(workers=2)
+            barrier = threading.Barrier(3)
+            handles = []
+            errors = []
+            lock = threading.Lock()
+
+            def submit_many(offset):
+                barrier.wait()
+                for index in range(8):
+                    spec = JobSpec(
+                        job_id=f"r{round_index}-s{offset}-{index}",
+                        executor=_oracle,
+                        space=_space(),
+                        workflow="race",
+                        budget=10,
+                    )
+                    try:
+                        handle = service.submit(spec)
+                    except RuntimeError:
+                        return  # shutdown won the race; acceptable
+                    with lock:
+                        handles.append(handle)
+
+            def shut_down():
+                barrier.wait()
+                time.sleep(0.0005 * round_index)
+                service.shutdown()
+
+            threads = [
+                threading.Thread(target=submit_many, args=(0,)),
+                threading.Thread(target=submit_many, args=(1,)),
+                threading.Thread(target=shut_down),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+                assert not thread.is_alive()
+            # Every accepted handle must reach a terminal state: either
+            # it ran to completion before shutdown or the teardown
+            # cancelled it -- never a forever-PENDING orphan.
+            for handle in handles:
+                result = handle.result(timeout=30)
+                assert result.status in (
+                    JobStatus.SUCCEEDED,
+                    JobStatus.FAILED,
+                    JobStatus.CANCELLED,
+                )
+
+
+class TestRunAllBatchTimeout:
+    def test_timeout_names_all_unfinished_jobs_and_keeps_partials(self):
+        """A mid-batch timeout must (a) name every unfinished job -- not
+        just the one whose result() call tripped -- and (b) leave the
+        finished partial results retrievable via service.jobs."""
+        release = threading.Event()
+
+        def gated(instance):
+            release.wait(30.0)
+            return _oracle(instance)
+
+        specs = [
+            _custom_job("fast", _instances(1, 3), executor=_oracle),
+            _custom_job(
+                "slow-a", _instances(2, 3), executor=gated, workflow="wa"
+            ),
+            _custom_job(
+                "slow-b", _instances(3, 3), executor=gated, workflow="wb"
+            ),
+        ]
+        service = DebugService(workers=4)
+        try:
+            with pytest.raises(TimeoutError) as excinfo:
+                service.run_all(specs, timeout=0.8)
+            message = str(excinfo.value)
+            # The deadline sweep visits every handle, so both stragglers
+            # are reported -- the old code raised on the first pending
+            # handle and never looked at the rest of the batch.
+            assert "slow-a" in message
+            assert "slow-b" in message
+            assert "fast" not in message
+            # The finished job's result is retrievable immediately...
+            fast = service.jobs["fast"].result(timeout=5)
+            assert fast.status is JobStatus.SUCCEEDED
+            # ...and the stragglers keep running to completion.
+            release.set()
+            for job_id in ("slow-a", "slow-b"):
+                result = service.jobs[job_id].result(timeout=30)
+                assert result.status is JobStatus.SUCCEEDED
+        finally:
+            release.set()
+            service.shutdown()
+
+    def test_run_all_returns_submission_order_after_stragglers(self):
+        """Out-of-order completion must not reorder run_all results."""
+        first_gate = threading.Event()
+
+        def gated_first(instance):
+            first_gate.wait(10.0)
+            return _oracle(instance)
+
+        def release_then_run(session):
+            # The last-submitted job unblocks the first, so completion
+            # order is roughly reversed submission order.
+            first_gate.set()
+            for instance in _instances(9, 2):
+                session.evaluate(instance)
+            return 2
+
+        specs = [
+            _custom_job("g0", _instances(5, 2), executor=gated_first),
+            _custom_job("g1", _instances(6, 2), executor=_oracle),
+            JobSpec(
+                job_id="g2",
+                executor=_oracle,
+                space=_space(),
+                workflow="shared",
+                run=release_then_run,
+            ),
+        ]
+        with DebugService(workers=4) as service:
+            results = service.run_all(specs, timeout=30)
+        assert [r.job_id for r in results] == ["g0", "g1", "g2"]
+        assert all(r.status is JobStatus.SUCCEEDED for r in results)

@@ -1,0 +1,207 @@
+"""CI smoke for `repro serve --http`: submit, stream, query, kill -9,
+restart, resume.
+
+Drives the full durable-service loop end to end against a real
+subprocess:
+
+1. start ``repro serve --http 0 --store <db> --workers 1``;
+2. submit two jobs (one fast, one slow enough to still be in flight);
+3. NDJSON-stream the fast job to its terminal event;
+4. answer a grouped aggregate over the persisted log via ``/query``;
+5. ``kill -9`` the server mid-run;
+6. restart it on the same store and assert the interrupted job is
+   re-queued, resumed exactly once, and runs to completion while the
+   finished job's detail replays byte-identical.
+
+Exit code 0 on success; any failed step raises and exits non-zero.
+Used as a *blocking* CI step (see .github/workflows/ci.yml).
+
+Usage:
+    PYTHONPATH=src python tools/http_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# The slow job's executor must outlive the kill reliably, so the smoke
+# ships its own importable workload instead of racing a bundled one.
+SLEEPY_WORKLOAD = '''\
+import time
+
+from repro.core import Instance, Outcome
+
+
+def make_executor(delay=0.0):
+    def executor(instance: Instance) -> Outcome:
+        if delay:
+            time.sleep(delay)
+        return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+    return executor
+'''
+
+
+def launch(db: pathlib.Path, env: dict):
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--http",
+            "0",
+            "--store",
+            str(db),
+            "--workers",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        cwd=REPO_ROOT,
+        env=env,
+        text=True,
+    )
+    banner_line = process.stdout.readline()
+    if not banner_line:
+        raise SystemExit("server died before printing its banner")
+    banner = json.loads(banner_line)["serving"]
+    print(f"serving on port {banner['port']} (resume: {banner['resume']})")
+    return process, banner
+
+
+def get(port: int, path: str) -> bytes:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=120
+    ) as response:
+        return response.read()
+
+
+def post(port: int, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.status == 201, response.status
+        return json.loads(response.read())
+
+
+def payload(job_id: str, delay: float, budget: int) -> dict:
+    # Domains use the store's typed scalar codec (see
+    # repro.provenance.record.encode_value).
+    domain = [json.dumps({"t": "int", "v": value}) for value in range(6)]
+    return {
+        "job_id": job_id,
+        "workflow": job_id,
+        "algorithm": "decision_trees",
+        "goal": "find_all",
+        "budget": budget,
+        "executor_spec": {
+            "builder": "smoke_workload:make_executor",
+            "kwargs": [["delay", delay]],
+        },
+        "space": [["a", "ordinal", domain], ["b", "ordinal", domain]],
+    }
+
+
+def wait_terminal(port: int, job_id: str, deadline_seconds: float) -> str:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        status = json.loads(get(port, f"/jobs/{job_id}"))["status"]
+        if status in ("succeeded", "failed", "cancelled"):
+            return status
+        time.sleep(0.2)
+    raise SystemExit(f"{job_id} never reached a terminal state")
+
+
+def main() -> int:
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="http-smoke-"))
+    (scratch / "smoke_workload.py").write_text(SLEEPY_WORKLOAD)
+    db = scratch / "smoke.db"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(scratch)]
+    )
+
+    process, banner = launch(db, env)
+    port = banner["port"]
+    assert banner["durable"], "server must run the durable queue"
+    try:
+        # Fast job: submit and stream to completion.
+        post(port, "/jobs", payload("fast", 0.0, budget=20))
+        lines = get(port, "/jobs/fast/events?timeout=120").splitlines()
+        last = json.loads(lines[-1])
+        assert last["kind"] == "finished" and last["terminal"], last
+        print(f"streamed fast: {len(lines)} events")
+        fast_before = get(port, "/jobs/fast")
+        assert json.loads(fast_before)["status"] == "succeeded"
+
+        # Grouped aggregate over the persisted log.
+        agg = json.loads(
+            get(
+                port,
+                "/query?op=agg&metric=budget_spent&stat=count"
+                "&group_by=workflow",
+            )
+        )
+        assert agg["groups"].get("fast", {}).get("jobs") == 1, agg
+        print(f"query agg: {agg['groups']}")
+
+        # Slow job: reliably in flight when the server dies.
+        post(port, "/jobs", payload("slow", 0.2, budget=30))
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if json.loads(get(port, "/jobs/slow"))["status"] == "running":
+                break
+            time.sleep(0.1)
+        else:
+            raise SystemExit("slow job never started running")
+
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=60)
+        print("killed the server mid-run")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=60)
+
+    process, banner = launch(db, env)
+    port = banner["port"]
+    try:
+        resume = banner["resume"]
+        assert resume["requeued"] == 1, resume
+        assert resume["resumed"] == ["slow"], resume
+        status = wait_terminal(port, "slow", 120)
+        assert status == "succeeded", status
+        print("interrupted job resumed and finished")
+
+        fast_after = get(port, "/jobs/fast")
+        assert fast_after == fast_before, (
+            "finished job's detail changed across the restart:\n"
+            f"  before: {fast_before!r}\n  after:  {fast_after!r}"
+        )
+        print("finished job replayed byte-identical")
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=60)
+    print("http smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
