@@ -1,0 +1,278 @@
+"""Retention-scale telemetry: rollup-served aggregates vs raw rescans.
+
+PR 10 added incremental pre-aggregation (``job_rollups`` maintained in
+the same transaction as every event batch) and retention compaction
+(terminal jobs' raw events fold into ``job_summaries``).  The design
+claims:
+
+* **speed** -- ``repro query agg`` over ``span:``/``count:`` metrics
+  answers from the rollups in time proportional to the number of
+  *jobs*, not the number of *events*; at retention scale (a million
+  raw events) the rollup path must be at least ``MIN_SPEEDUP``x faster
+  than the raw-event rescan;
+* **exactness** -- the rollup answer is byte-identical (JSON bytes) to
+  the raw scan, metric for metric, before compaction -- and unchanged
+  after compaction deletes the raw rows;
+* **determinism** -- the longitudinal dashboard built over a fixed
+  corpus renders byte-identical JSON across runs and machines; the
+  committed snapshot under ``benchmarks/results/`` is the regression
+  baseline (``--update-snapshot`` regenerates it).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_telemetry_retention.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_telemetry_retention.py --update-snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+from repro.obs.dashboard import build_dashboard, render_dashboard
+from repro.obs.query import QueryEngine
+from repro.obs.retention import RetentionPolicy, compact
+from repro.provenance import SQLiteProvenanceStore
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SNAPSHOT_PATH = RESULTS_DIR / "dashboard_snapshot.json"
+
+MIN_SPEEDUP = 5.0  # rollup agg must beat the raw rescan by this factor
+#: Fixed epoch so windows, buckets, and the committed snapshot are
+#: machine-independent.
+BASE_TS = 1_700_000_000.0
+SPAN_NAMES = ("solver", "execution", "persistence")
+STATUSES = ("succeeded", "succeeded", "succeeded", "failed", "cancelled")
+
+#: The aggregate suite both paths answer (byte-compared).
+METRICS = (
+    ("span:solver", "sum"), ("span:solver", "p95"), ("span:solver", "mean"),
+    ("span:execution", "sum"), ("span:execution", "p50"),
+    ("span:persistence", "max"), ("count:span", "sum"),
+    ("count:suspect_confirmed", "count"), ("count:finished", "sum"),
+)
+
+
+def build_corpus(
+    store: SQLiteProvenanceStore, jobs: int, events_per_job: int, seed: int = 11
+) -> int:
+    """Synthesize a deterministic terminal-job event corpus."""
+    rng = random.Random(seed)
+    total = 0
+    for index in range(jobs):
+        job_id = f"job-{index:05d}"
+        workflow = f"family-{index % 4}"
+        created = BASE_TS + index * 13.0
+        status = STATUSES[index % len(STATUSES)]
+        store.begin_job(
+            job_id, workflow=workflow, algorithm="combined",
+            spec_fingerprint=f"fp-{index % 7}", created_at=created,
+        )
+        rows = []
+        for seq in range(events_per_job):
+            ts = created + seq * 0.01
+            if seq == 0:
+                kind, payload = "submitted", {}
+            elif seq == 1:
+                kind, payload = "started", {}
+            elif seq == events_per_job - 2:
+                kind, payload = "metrics_snapshot", {
+                    "cache": {
+                        "hits": rng.randrange(50),
+                        "misses": rng.randrange(20),
+                        "executions": rng.randrange(60),
+                    }
+                }
+            elif seq == events_per_job - 1:
+                kind, payload = "finished", {"status": status}
+            elif seq % 5 == 2:
+                kind, payload = "suspect_confirmed", {"suspect": seq}
+            else:
+                kind, payload = "span", {
+                    "name": SPAN_NAMES[seq % len(SPAN_NAMES)],
+                    "seconds": rng.random() * 3.0,
+                }
+            rows.append({
+                "job_id": job_id, "seq": seq, "kind": kind, "ts_wall": ts,
+                "ts_monotonic": float(seq),
+                "terminal": seq == events_per_job - 1, "payload": payload,
+            })
+        store.append_job_events(rows)
+        store.finish_job(
+            job_id, status=status, report_fingerprint=f"r-{index}",
+            budget_spent=index % 40,
+            wall_seconds=events_per_job * 0.01,
+            finished_at=created + (events_per_job - 1) * 0.01,
+        )
+        total += len(rows)
+    return total
+
+
+def _agg_suite(engine: QueryEngine) -> bytes:
+    answers = {
+        f"{metric}/{stat}": engine.aggregate(
+            metric, stat=stat, group_by="workflow"
+        )
+        for metric, stat in METRICS
+    }
+    return json.dumps(answers, sort_keys=True).encode()
+
+
+def _time_suite(store, use_rollups: bool, repeats: int) -> tuple[float, bytes]:
+    best, answer = float("inf"), b""
+    for __ in range(repeats):
+        engine = QueryEngine(store, use_rollups=use_rollups)
+        started = time.perf_counter()
+        answer = _agg_suite(engine)
+        best = min(best, time.perf_counter() - started)
+        expected = (len(METRICS), 0) if use_rollups else (0, len(METRICS))
+        assert (engine.rollup_hits, engine.rollup_misses) == expected
+    return best, answer
+
+
+def snapshot_document() -> dict:
+    """The dashboard over a small fixed corpus, half of it compacted --
+    exercises both the summary and the on-the-fly path."""
+    with tempfile.TemporaryDirectory(prefix="retention-snap-") as scratch:
+        store = SQLiteProvenanceStore(pathlib.Path(scratch) / "snap.db")
+        try:
+            build_corpus(store, jobs=60, events_per_job=40, seed=7)
+            compact(
+                store,
+                RetentionPolicy(max_raw_jobs=30),
+                now=BASE_TS + 1e6,
+            )
+            return build_dashboard(store, bucket_seconds=3600.0)
+        finally:
+            store.close()
+
+
+def run(jobs: int, events_per_job: int, repeats: int) -> tuple[dict, list[str]]:
+    report: dict = {}
+    with tempfile.TemporaryDirectory(prefix="retention-bench-") as scratch:
+        store = SQLiteProvenanceStore(pathlib.Path(scratch) / "bench.db")
+        try:
+            started = time.perf_counter()
+            total = build_corpus(store, jobs, events_per_job)
+            report["ingest_wall"] = time.perf_counter() - started
+            report["events"] = total
+            report["jobs"] = jobs
+
+            raw_wall, raw_answer = _time_suite(store, False, repeats)
+            rollup_wall, rollup_answer = _time_suite(store, True, repeats)
+            if rollup_answer != raw_answer:
+                raise SystemExit(
+                    "DIFFERENTIAL FAILURE: rollup-served aggregates are "
+                    "not byte-identical to the raw rescan"
+                )
+            report["raw_wall"] = raw_wall
+            report["rollup_wall"] = rollup_wall
+            report["speedup"] = raw_wall / rollup_wall if rollup_wall else 0.0
+
+            started = time.perf_counter()
+            swept = compact(store, RetentionPolicy(), compact_all=True)
+            report["compact_wall"] = time.perf_counter() - started
+            report["compacted"] = swept["compacted"]
+            report["events_deleted"] = swept["events_deleted"]
+            post_wall, post_answer = _time_suite(store, True, repeats)
+            if post_answer != raw_answer:
+                raise SystemExit(
+                    "DIFFERENTIAL FAILURE: aggregates changed after "
+                    "compaction deleted the raw events"
+                )
+            report["post_compact_wall"] = post_wall
+        finally:
+            store.close()
+
+    lines = [
+        "Retention-scale telemetry: rollup-served agg vs raw rescan",
+        f"({report['jobs']} terminal jobs x {events_per_job} events = "
+        f"{report['events']} raw events; min of {repeats} repeat(s); "
+        f"{len(METRICS)} grouped aggregates per suite, byte-compared)",
+        "",
+        f"{'stage':>28} {'wall':>12}",
+        f"{'ingest (rollups inline)':>28} {report['ingest_wall']:>11.3f}s"
+        f"  ({report['events'] / report['ingest_wall']:,.0f} events/s)",
+        f"{'agg suite, raw rescan':>28} {report['raw_wall']:>11.3f}s",
+        f"{'agg suite, rollup-served':>28} {report['rollup_wall']:>11.3f}s"
+        f"  ({report['speedup']:.1f}x; gate >= {MIN_SPEEDUP:.0f}x)",
+        f"{'compact --all':>28} {report['compact_wall']:>11.3f}s"
+        f"  ({report['compacted']} jobs, "
+        f"{report['events_deleted']} events deleted)",
+        f"{'agg suite, post-compact':>28} {report['post_compact_wall']:>11.3f}s",
+        "",
+        "rollup answers byte-identical to raw rescans before compaction "
+        "and unchanged after it",
+    ]
+    return report, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI gate mode: 100k events, no results file",
+    )
+    parser.add_argument(
+        "--update-snapshot",
+        action="store_true",
+        help="regenerate the committed dashboard snapshot and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_snapshot:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        SNAPSHOT_PATH.write_text(
+            render_dashboard(snapshot_document()), encoding="utf-8"
+        )
+        print(f"snapshot written to {SNAPSHOT_PATH}")
+        return 0
+
+    jobs, events_per_job = (400, 250) if args.quick else (2000, 500)
+    repeats = 2 if args.quick else 3
+    report, lines = run(jobs, events_per_job, repeats)
+    text = "\n".join(lines)
+    print(text)
+
+    failures = []
+    if report["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"rollup speedup {report['speedup']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x gate"
+        )
+
+    rendered = render_dashboard(snapshot_document())
+    if SNAPSHOT_PATH.exists():
+        committed = SNAPSHOT_PATH.read_text(encoding="utf-8")
+        if rendered != committed:
+            failures.append(
+                "dashboard drifted from the committed snapshot "
+                f"({SNAPSHOT_PATH}); inspect the diff, then rerun with "
+                "--update-snapshot if the movement is intentional"
+            )
+        else:
+            print("dashboard snapshot: byte-identical to committed baseline")
+    else:
+        failures.append(
+            f"no committed snapshot at {SNAPSHOT_PATH}; run with "
+            "--update-snapshot once"
+        )
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "telemetry_retention.txt").write_text(
+            text + "\n", encoding="utf-8"
+        )
+
+    for failure in failures:
+        print(f"\nFAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

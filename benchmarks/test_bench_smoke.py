@@ -74,6 +74,7 @@ def test_quick_benchmarks_discovered():
         "bench_event_overhead",
         "bench_remote_fleet",
         "bench_http_service",
+        "bench_telemetry_retention",
     }
 
 

@@ -285,6 +285,8 @@ def _serve_specs(workload: str, args) -> list[JobSpec]:
     executor_spec = None
     if getattr(args, "backend", "inline") in ("process", "remote"):
         executor_spec = ExecutorSpec.from_builder(WORKLOAD_BUILDERS[workload])
+    from .obs.trace import TraceContext
+
     return [
         JobSpec(
             job_id=f"{workload}-r{replica}",
@@ -298,6 +300,10 @@ def _serve_specs(workload: str, args) -> list[JobSpec]:
             history=history,
             seed=args.seed + replica,
             parallel_batches=args.parallel_batches,
+            # One root context per job, minted here at the CLI edge:
+            # every event the job publishes anywhere (service, pool
+            # worker, fleet worker) carries this trace_id.
+            trace=TraceContext.new().to_payload(),
         )
         for replica in range(args.replicas)
     ]
@@ -352,6 +358,7 @@ def _cmd_serve_http(args, workloads) -> int:
 
         store = SQLiteProvenanceStore(args.store)
     pool = None
+    fleet_procs = []
     if args.backend == "process":
         pool = ProcessPool(
             max_workers=args.workers,
@@ -359,7 +366,33 @@ def _cmd_serve_http(args, workloads) -> int:
             store_path=args.store,
         )
     elif args.backend == "remote":
-        raise SystemExit("--http supports --backend inline or process")
+        import subprocess
+
+        from .exec import RemoteWorkerPool
+
+        pool = RemoteWorkerPool(store=store, max_dispatch=args.workers)
+        for index in range(args.fleet):
+            fleet_procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        pool.endpoint,
+                        "--name",
+                        f"http-w{index}",
+                        "--reconnect",
+                        "3",
+                    ]
+                )
+            )
+        if args.fleet and not pool.wait_for_workers(1, timeout=30.0):
+            print(
+                "warning: no fleet worker joined; runs fall back locally",
+                file=sys.stderr,
+            )
     quotas = {}
     for raw in args.quota or []:
         try:
@@ -392,6 +425,15 @@ def _cmd_serve_http(args, workloads) -> int:
         quotas=quotas,
     )
     resume_report = api.resume()
+    retention = None
+    if store is not None and args.compact_interval > 0:
+        from .obs.retention import RetentionPolicy, RetentionThread
+
+        retention = RetentionThread(
+            store,
+            RetentionPolicy(max_age_seconds=args.compact_max_age),
+            interval_seconds=args.compact_interval,
+        ).start()
 
     def _terminate(signum, frame):  # noqa: ARG001 - signal contract
         raise KeyboardInterrupt
@@ -419,10 +461,19 @@ def _cmd_serve_http(args, workloads) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if retention is not None:
+            retention.stop()
         api.shutdown()
         service.shutdown()
         if pool is not None:
             pool.shutdown()
+        for proc in fleet_procs:
+            proc.terminate()
+        for proc in fleet_procs:
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:
+                proc.kill()
         if store is not None:
             store.close()
     return 0
@@ -690,7 +741,9 @@ def cmd_query(args) -> int:
 
 def _run_query(args, engine, Predicate) -> int:
     if args.query_command == "jobs":
-        rows = engine.jobs(workflow=args.workflow)
+        rows = engine.jobs(
+            workflow=args.workflow, limit=args.limit, offset=args.offset
+        )
         print(json.dumps(rows, indent=2, sort_keys=True))
         return 0
     if args.query_command == "events":
@@ -703,11 +756,17 @@ def _run_query(args, engine, Predicate) -> int:
             kinds=args.kind or None,
             predicates=predicates,
             limit=args.limit,
+            offset=args.offset,
         ):
             print(json.dumps(row, sort_keys=True))
         return 0
     if args.query_command == "seq":
-        matches = engine.sequence(args.pattern, workflow=args.workflow)
+        matches = engine.sequence(
+            args.pattern,
+            workflow=args.workflow,
+            limit=args.limit,
+            offset=args.offset,
+        )
         print(
             json.dumps(
                 {
@@ -719,6 +778,9 @@ def _run_query(args, engine, Predicate) -> int:
                 sort_keys=True,
             )
         )
+        return 0
+    if args.query_command == "trace":
+        print(json.dumps(engine.trace(args.trace_id), indent=2, sort_keys=True))
         return 0
     try:
         groups = engine.aggregate(
@@ -736,11 +798,65 @@ def _run_query(args, engine, Predicate) -> int:
                 "stat": args.stat,
                 "group_by": args.group_by,
                 "groups": groups,
+                "rollup": {
+                    "hits": engine.rollup_hits,
+                    "misses": engine.rollup_misses,
+                },
             },
             indent=2,
             sort_keys=True,
         )
     )
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """One retention sweep: roll aged terminal jobs into summaries."""
+    from .obs.retention import RetentionPolicy, compact
+    from .provenance import SQLiteProvenanceStore
+
+    if not args.compact_all and args.max_age is None and args.max_raw_jobs is None:
+        raise SystemExit(
+            "pass --max-age and/or --max-raw-jobs (or --all to compact"
+            " every terminal job)"
+        )
+    policy = RetentionPolicy(
+        max_age_seconds=args.max_age, max_raw_jobs=args.max_raw_jobs
+    )
+    store = SQLiteProvenanceStore(args.store)
+    try:
+        report = compact(
+            store, policy, workflow=args.workflow, compact_all=args.compact_all
+        )
+    finally:
+        store.close()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Render the longitudinal regression dashboard (canonical JSON)."""
+    from .obs.dashboard import build_dashboard, diff_dashboards, render_dashboard
+    from .provenance import SQLiteProvenanceStore
+
+    store = SQLiteProvenanceStore(args.store)
+    try:
+        document = build_dashboard(
+            store, workflow=args.workflow, bucket_seconds=args.bucket
+        )
+    finally:
+        store.close()
+    if args.diff is not None:
+        with open(args.diff, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        lines = diff_dashboards(baseline, document)
+        if not lines:
+            print("dashboard matches baseline")
+            return 0
+        for line in lines:
+            print(line)
+        return 1
+    sys.stdout.write(render_dashboard(document))
     return 0
 
 
@@ -919,6 +1035,23 @@ def build_parser() -> argparse.ArgumentParser:
         " jobs, 429 beyond) and default scheduler weight (repeatable)",
     )
     serve.add_argument(
+        "--compact-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --http and --store: run a background retention sweep"
+        " this often (0 disables); terminal jobs older than"
+        " --compact-max-age roll into summaries",
+    )
+    serve.add_argument(
+        "--compact-max-age",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="age bound for the background sweep (last event older than"
+        " this compacts)",
+    )
+    serve.add_argument(
         "--output", default="text", choices=("text", "json")
     )
 
@@ -967,8 +1100,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--workflow", default=None, help="restrict to one workflow"
         )
 
+    def _query_paging(p) -> None:
+        p.add_argument(
+            "--limit",
+            type=int,
+            default=None,
+            help="return at most this many results (paged in the store,"
+            " not materialized)",
+        )
+        p.add_argument(
+            "--offset",
+            type=int,
+            default=None,
+            help="skip this many results first (page with --limit)",
+        )
+
     q_jobs = query_sub.add_parser("jobs", help="list persisted jobs")
     _query_common(q_jobs)
+    _query_paging(q_jobs)
 
     q_events = query_sub.add_parser(
         "events", help="stream matching events as JSON lines"
@@ -989,7 +1138,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="predicate like 'data.remaining<100' or 'kind=span'"
         " (repeatable; all must hold)",
     )
-    q_events.add_argument("--limit", type=int, default=None)
+    _query_paging(q_events)
 
     q_seq = query_sub.add_parser(
         "seq",
@@ -997,6 +1146,7 @@ def build_parser() -> argparse.ArgumentParser:
         " (eventually-follows)",
     )
     _query_common(q_seq)
+    _query_paging(q_seq)
     q_seq.add_argument(
         "pattern",
         nargs="+",
@@ -1004,6 +1154,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ordered event steps; a step may carry a payload predicate,"
         " e.g. 'suspect_confirmed' 'suspect_refuted'",
     )
+
+    q_trace = query_sub.add_parser(
+        "trace",
+        help="rebuild the causal span tree for one trace id (spans from"
+        " every process/machine the job touched)",
+    )
+    _query_common(q_trace)
+    q_trace.add_argument("trace_id", help="the trace_id stamped on events")
 
     q_agg = query_sub.add_parser(
         "agg", help="aggregate span durations / event counts across jobs"
@@ -1024,6 +1182,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--group-by",
         default=None,
         choices=("workflow", "spec_fingerprint", "algorithm", "status"),
+    )
+
+    compact_p = sub.add_parser(
+        "compact",
+        help="roll terminal jobs' raw events into summaries (retention)",
+    )
+    compact_p.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="SQLite store to compact (safe while a service is writing)",
+    )
+    compact_p.add_argument(
+        "--workflow", default=None, help="restrict to one workflow"
+    )
+    compact_p.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="compact terminal jobs whose last event is older than this",
+    )
+    compact_p.add_argument(
+        "--max-raw-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N terminal jobs raw; oldest beyond compact",
+    )
+    compact_p.add_argument(
+        "--all",
+        dest="compact_all",
+        action="store_true",
+        help="compact every terminal job regardless of age/count bounds",
+    )
+
+    dash = sub.add_parser(
+        "dashboard",
+        help="longitudinal per-workflow trajectories from job summaries",
+    )
+    dash.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="SQLite store holding jobs and summaries",
+    )
+    dash.add_argument(
+        "--workflow", default=None, help="restrict to one workflow"
+    )
+    dash.add_argument(
+        "--bucket",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="time-bucket width for the trajectories",
+    )
+    dash.add_argument(
+        "--diff",
+        default=None,
+        metavar="PATH",
+        help="compare against a baseline dashboard JSON; exit 1 and"
+        " print the differences when the trajectories moved",
     )
 
     synth = sub.add_parser("synth", help="run a synthetic FindOne experiment")
@@ -1050,6 +1270,10 @@ def main(argv=None) -> int:
         return cmd_worker(args)
     if args.command == "query":
         return cmd_query(args)
+    if args.command == "compact":
+        return cmd_compact(args)
+    if args.command == "dashboard":
+        return cmd_dashboard(args)
     return cmd_synth(args)
 
 

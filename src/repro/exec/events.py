@@ -127,6 +127,31 @@ class EventBus:
         self._retired: dict[str, int] = {}
         self._streams: list[queue.SimpleQueue] = []
         self._shutdown = False
+        #: job_id -> trace-context fields merged into every published
+        #: payload (see ``bind_context``).  Plain dicts, not
+        #: ``obs.trace.TraceContext`` -- exec sits below obs.
+        self._contexts: dict[str, dict] = {}
+
+    # -- Trace context -------------------------------------------------------
+    def bind_context(self, job_id: str, context: Mapping[str, object] | None) -> None:
+        """Attach trace fields stamped onto every event of ``job_id``.
+
+        The fields merge via ``setdefault``: an event whose payload
+        already carries its own ``trace_id``/``span_id`` (a child span
+        published by a dispatcher or a remote worker) wins over the
+        bound job-level context.  Binding ``None`` clears the context.
+        """
+        with self._changed:
+            if context is None:
+                self._contexts.pop(job_id, None)
+            else:
+                self._contexts[job_id] = dict(context)
+
+    def bound_context(self, job_id: str) -> dict | None:
+        """The context bound to ``job_id`` (a copy), or None."""
+        with self._changed:
+            context = self._contexts.get(job_id)
+            return dict(context) if context is not None else None
 
     # -- Publishing ----------------------------------------------------------
     def publish(
@@ -158,12 +183,17 @@ class EventBus:
                     f"event log for job {job_id!r} is closed "
                     f"(late {kind!r} event)"
                 )
+            merged = dict(payload or {})
+            context = self._contexts.get(job_id)
+            if context is not None:
+                for key, value in context.items():
+                    merged.setdefault(key, value)
             event = JobEvent(
                 job_id=job_id,
                 kind=str(kind),
                 seq=len(log.events),
                 timestamp=time.time(),
-                payload=dict(payload or {}),
+                payload=merged,
                 terminal=close,
                 monotonic=time.monotonic(),
             )
@@ -293,6 +323,7 @@ class EventBus:
         """
         with self._changed:
             log = self._logs.pop(job_id, None)
+            self._contexts.pop(job_id, None)
             if log is not None and log.closed:
                 self._retired[job_id] = len(log.events)
             self._changed.notify_all()

@@ -46,8 +46,10 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import socket
 import threading
 import time
+import uuid
 from collections.abc import Callable, Sequence
 
 from ..concurrency.scheduler import SharedScheduler
@@ -68,6 +70,32 @@ __all__ = [
 
 _READY_TIMEOUT = 60.0  # spawn + import budget for a fresh worker
 _JOIN_TIMEOUT = 2.0
+
+
+def _child_trace(trace: dict | None) -> dict | None:
+    """Derive a child trace-context dict: same ``trace_id``, fresh
+    ``span_id``, parented on the given span.
+
+    Mirrors ``repro.obs.trace.TraceContext.child`` without importing it
+    -- ``exec`` sits *below* ``obs`` in the layering, so trace contexts
+    cross this layer as plain JSON-safe dicts.
+    """
+    if not isinstance(trace, dict) or not isinstance(trace.get("trace_id"), str):
+        return None
+    child = {"trace_id": trace["trace_id"], "span_id": uuid.uuid4().hex[:16]}
+    parent = trace.get("span_id")
+    if isinstance(parent, str):
+        child["parent_id"] = parent
+    return child
+
+
+def _worker_span(trace: dict | None) -> dict | None:
+    """The span record a worker attaches to a traced reply: a child
+    context minted *in the worker* plus where it ran."""
+    child = _child_trace(trace)
+    if child is None:
+        return None
+    return {"trace": child, "host": socket.gethostname(), "pid": os.getpid()}
 
 
 class WorkerCrashed(RuntimeError):
@@ -100,8 +128,10 @@ def _worker_main(conn, store_path: str | None) -> None:
     """Worker process body: build executors on demand, serve runs.
 
     Messages in: ``("run", fingerprint, spec, workflow, values_dict)``
-    or ``None`` (shutdown).  Messages out: ``("ready", pid)`` once, then
-    per run ``("ok", outcome_value, cost, from_store)`` or
+    (optionally extended with a sixth trace-context dict) or ``None``
+    (shutdown).  Messages out: ``("ready", pid)`` once, then per run
+    ``("ok", outcome_value, cost, from_store)`` -- extended with a
+    fifth span record when the run was traced -- or
     ``("error", detail)``.  A pipeline that kills the process mid-run
     simply never answers -- the parent detects the EOF/dead process.
     """
@@ -115,7 +145,9 @@ def _worker_main(conn, store_path: str | None) -> None:
             return
         if message is None:
             return
-        __, fingerprint, spec, workflow, values = message
+        __, fingerprint, spec, workflow, values = message[:5]
+        trace = message[5] if len(message) > 5 else None
+        span = _worker_span(trace)
         try:
             executor = executors.get(fingerprint)
             if executor is None:
@@ -131,7 +163,8 @@ def _worker_main(conn, store_path: str | None) -> None:
                 except Exception:
                     record = None  # store trouble reads as a miss
                 if record is not None:
-                    conn.send(("ok", record.outcome.value, record.cost, True))
+                    reply = ("ok", record.outcome.value, record.cost, True)
+                    conn.send(reply + (span,) if span else reply)
                     continue
             started = time.perf_counter()
             outcome = executor(instance)
@@ -155,7 +188,8 @@ def _worker_main(conn, store_path: str | None) -> None:
                     )
                 except Exception:
                     pass  # lost write-through must not fail the run
-            conn.send(("ok", outcome.value, cost, False))
+            reply = ("ok", outcome.value, cost, False)
+            conn.send(reply + (span,) if span else reply)
         except Exception as error:
             try:
                 conn.send(("error", repr(error)))
@@ -195,11 +229,19 @@ class _Worker:
         workflow: str,
         instance: Instance,
         timeout: float | None,
-    ) -> tuple[Outcome, float, bool]:
+        trace: dict | None = None,
+    ) -> tuple[Outcome, float, bool, dict | None]:
         """One round-trip; raises WorkerCrashed / RunTimedOut / RemoteRunError."""
         try:
             self.conn.send(
-                ("run", spec.fingerprint, spec, workflow, instance.as_dict())
+                (
+                    "run",
+                    spec.fingerprint,
+                    spec,
+                    workflow,
+                    instance.as_dict(),
+                    trace,
+                )
             )
             if not self.conn.poll(timeout):
                 raise RunTimedOut(timeout if timeout is not None else 0.0)
@@ -212,8 +254,9 @@ class _Worker:
         self.runs += 1
         if reply[0] == "error":
             raise RemoteRunError(reply[1])
-        __, outcome_value, cost, from_store = reply
-        return Outcome(outcome_value), cost, from_store
+        __, outcome_value, cost, from_store = reply[:4]
+        span = reply[4] if len(reply) > 4 else None
+        return Outcome(outcome_value), cost, from_store, span
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -508,14 +551,32 @@ class ProcessPool:
         -- normally ``DebugSession.evaluate`` -- treats the raise as an
         uncompleted run and refunds its budget charge.
         """
+        outcome, __, __, __ = self.run_traced(
+            spec, workflow, instance, timeout=timeout
+        )
+        return outcome
+
+    def run_traced(
+        self,
+        spec: ExecutorSpec,
+        workflow: str,
+        instance: Instance,
+        timeout: float | None = None,
+        trace: dict | None = None,
+    ) -> tuple[Outcome, float, bool, dict | None]:
+        """:meth:`run` plus provenance: ``(outcome, cost_seconds,
+        from_store, span)``.  ``trace`` (a trace-context dict) rides the
+        worker pipe; a traced reply carries the worker-minted child span
+        (``{"trace": ..., "host": ..., "pid": ...}``), else None.
+        """
         if timeout is None:
             timeout = self.run_timeout
         retry = self.retry_policy.start()
         while True:
             worker = self._acquire()
             try:
-                outcome, __, from_store = worker.run(
-                    spec, workflow, instance, timeout
+                outcome, cost, from_store, span = worker.run(
+                    spec, workflow, instance, timeout, trace
                 )
             except RunTimedOut:
                 self._discard(worker, timed_out=True)
@@ -534,7 +595,7 @@ class ProcessPool:
                     self._stats["runs"] += 1
                     if from_store:
                         self._stats["store_hits"] += 1
-                return outcome
+                return outcome, cost, from_store, span
 
     def _backoff(self, retry, kind: str) -> None:
         """Consume one retry of ``kind`` (re-raising when exhausted) and
@@ -554,9 +615,13 @@ class ProcessPool:
         spec: ExecutorSpec,
         workflow: str = "process",
         timeout: float | None = None,
+        trace: dict | None = None,
+        emit: Callable | None = None,
     ) -> "ProcessExecutor":
         """An :class:`~repro.core.types.Executor` view over this pool."""
-        return ProcessExecutor(self, spec, workflow=workflow, timeout=timeout)
+        return ProcessExecutor(
+            self, spec, workflow=workflow, timeout=timeout, trace=trace, emit=emit
+        )
 
     _backend_ids = itertools.count(1)
 
@@ -656,11 +721,15 @@ class ProcessExecutor:
         spec: ExecutorSpec,
         workflow: str = "process",
         timeout: float | None = None,
+        trace: dict | None = None,
+        emit: Callable | None = None,
     ):
         self._pool = pool
         self._spec = spec
         self._workflow = workflow
         self._timeout = timeout
+        self._trace = trace
+        self._emit = emit
 
     @property
     def pool(self) -> ProcessPool:
@@ -671,9 +740,48 @@ class ProcessExecutor:
         return self._spec
 
     def __call__(self, instance: Instance) -> Outcome:
-        return self._pool.run(
-            self._spec, self._workflow, instance, timeout=self._timeout
+        if self._trace is None:
+            return self._pool.run(
+                self._spec, self._workflow, instance, timeout=self._timeout
+            )
+        # Traced dispatch: the executor mints a per-run child span
+        # (parented on the job's context), ships it across the process
+        # boundary, and publishes both edges of the hop -- the dispatch
+        # from this process and the completion with the worker-minted
+        # grandchild span (which carries the worker's host/pid).  Both
+        # events set their trace fields explicitly, so the bus's bound
+        # job context does not overwrite them (setdefault merge).
+        dispatch = _child_trace(self._trace)
+        if self._emit is not None and dispatch is not None:
+            self._emit(
+                "run_dispatched",
+                {**dispatch, "workflow": self._workflow},
+            )
+        outcome, cost, from_store, span = self._pool.run_traced(
+            self._spec,
+            self._workflow,
+            instance,
+            timeout=self._timeout,
+            trace=dispatch,
         )
+        if self._emit is not None:
+            payload = {
+                "workflow": self._workflow,
+                "outcome": outcome.value,
+                "seconds": cost,
+                "from_store": bool(from_store),
+            }
+            if isinstance(span, dict):
+                trace = span.get("trace")
+                if isinstance(trace, dict):
+                    payload.update(trace)
+                for key in ("worker", "host", "pid"):
+                    if key in span:
+                        payload[key] = span[key]
+            elif dispatch is not None:
+                payload.update(dispatch)
+            self._emit("run_completed", payload)
+        return outcome
 
 
 class ProcessPoolBackend:

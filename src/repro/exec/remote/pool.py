@@ -57,6 +57,7 @@ from ..pool import (
     RemoteRunError,
     RunTimedOut,
     WorkerCrashed,
+    _worker_span,
 )
 from ..retry import RetryPolicy
 from ..spec import ExecutorSpec
@@ -89,6 +90,7 @@ class _PendingRun:
         "outcome",
         "cost",
         "from_store",
+        "span",
         "error_kind",
         "detail",
     )
@@ -101,17 +103,25 @@ class _PendingRun:
         self.outcome: str | None = None
         self.cost = 0.0
         self.from_store = False
+        self.span: dict | None = None
         self.error_kind: str | None = None  # None | "lost" | "error"
         self.detail = ""
 
     # All completion paths run under the pool lock; first one wins.
-    def complete_ok(self, outcome: str, cost: float, from_store: bool) -> None:
+    def complete_ok(
+        self,
+        outcome: str,
+        cost: float,
+        from_store: bool,
+        span: dict | None = None,
+    ) -> None:
         if self.completed:
             return
         self.completed = True
         self.outcome = outcome
         self.cost = cost
         self.from_store = from_store
+        self.span = span if isinstance(span, dict) else None
         self.done.set()
 
     def complete_lost(self, detail: str) -> None:
@@ -522,6 +532,7 @@ class RemoteWorkerPool:
                     str(message.get("outcome")),
                     float(message.get("cost", 0.0)),
                     bool(message.get("from_store")),
+                    message.get("span"),
                 )
                 worker.runs += 1
             else:
@@ -634,6 +645,24 @@ class RemoteWorkerPool:
         exception types, so ``DebugSession.evaluate`` refunds the
         budget charge identically.
         """
+        outcome, __, __, __ = self.run_traced(
+            spec, workflow, instance, timeout=timeout
+        )
+        return outcome
+
+    def run_traced(
+        self,
+        spec: ExecutorSpec,
+        workflow: str,
+        instance: Instance,
+        timeout: float | None = None,
+        trace: dict | None = None,
+    ) -> tuple[Outcome, float, bool, dict | None]:
+        """:meth:`run` plus provenance: ``(outcome, cost_seconds,
+        from_store, span)``.  ``trace`` rides the ``run`` wire frame;
+        a traced result frame carries the worker-minted child span
+        (``{"trace": ..., "worker": ..., "host": ..., "pid": ...}``).
+        """
         if timeout is None:
             timeout = self.run_timeout
         wire_spec = spec.to_wire()
@@ -643,8 +672,8 @@ class RemoteWorkerPool:
         while True:
             attempt += 1
             try:
-                outcome_value, cost, from_store = self._attempt(
-                    spec, wire_spec, workflow, wire_instance, timeout
+                outcome_value, cost, from_store, span = self._attempt(
+                    spec, wire_spec, workflow, wire_instance, timeout, trace
                 )
             except WorkerLost as error:
                 delay = retry.next_delay("crash")
@@ -663,7 +692,7 @@ class RemoteWorkerPool:
                     self._stats["runs"] += 1
                     if from_store:
                         self._stats["store_hits"] += 1
-                return Outcome(outcome_value)
+                return Outcome(outcome_value), cost, from_store, span
 
     def _note_retry(self, delay: float, attempt: int, detail: str) -> None:
         with self._lock:
@@ -683,13 +712,17 @@ class RemoteWorkerPool:
         workflow: str,
         wire_instance: dict,
         timeout: float | None,
-    ) -> tuple[str, float, bool]:
+        trace: dict | None = None,
+    ) -> tuple[str, float, bool, dict | None]:
         worker, pending = self._acquire()
         if worker is _LOCAL:
             try:
-                return self._local_runner.run(
+                outcome_value, cost, from_store = self._local_runner.run(
                     spec, workflow, protocol.decode_values(wire_instance)
                 )
+                # Degraded-mode runs still produce a span (minted here:
+                # the "worker" is this process).
+                return outcome_value, cost, from_store, _worker_span(trace)
             finally:
                 with self._cond:
                     self._local_running -= 1
@@ -698,15 +731,16 @@ class RemoteWorkerPool:
         assert pending is not None
         try:
             try:
-                worker.conn.send(
-                    {
-                        "type": "run",
-                        "run_id": pending.run_id,
-                        "spec": wire_spec,
-                        "workflow": workflow,
-                        "instance": wire_instance,
-                    }
-                )
+                frame = {
+                    "type": "run",
+                    "run_id": pending.run_id,
+                    "spec": wire_spec,
+                    "workflow": workflow,
+                    "instance": wire_instance,
+                }
+                if trace is not None:
+                    frame["trace"] = trace
+                worker.conn.send(frame)
             except OSError:
                 self._worker_lost(worker, "dispatch send failed")
             finished = pending.done.wait(timeout)
@@ -738,7 +772,7 @@ class RemoteWorkerPool:
         if pending.error_kind == "error":
             raise RemoteRunError(pending.detail)
         assert pending.outcome is not None
-        return pending.outcome, pending.cost, pending.from_store
+        return pending.outcome, pending.cost, pending.from_store, pending.span
 
     def _acquire(self):
         """Reserve a dispatch target: an active idle worker, or the
@@ -784,9 +818,13 @@ class RemoteWorkerPool:
         spec: ExecutorSpec,
         workflow: str = "remote",
         timeout: float | None = None,
+        trace: dict | None = None,
+        emit: Callable | None = None,
     ) -> ProcessExecutor:
         """An :class:`~repro.core.types.Executor` view over this pool."""
-        return ProcessExecutor(self, spec, workflow=workflow, timeout=timeout)
+        return ProcessExecutor(
+            self, spec, workflow=workflow, timeout=timeout, trace=trace, emit=emit
+        )
 
     _backend_ids = itertools.count(1)
 

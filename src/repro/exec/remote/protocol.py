@@ -14,9 +14,11 @@ direction  type            payload
 w -> c     ``hello``       name, pid, host, protocol version
 c -> w     ``welcome``     accepted name, heartbeat_interval
 c -> w     ``reject``      reason (protocol mismatch, shutdown)
-c -> w     ``run``         run_id, spec (wire form), workflow, instance
+c -> w     ``run``         run_id, spec (wire form), workflow, instance,
+                           optional trace (a trace-context dict)
 w -> c     ``result``      run_id, status ok|error, outcome, cost, from_store,
-                           detail
+                           detail, optional span (worker-minted child
+                           trace + worker/host/pid) when the run was traced
 w -> c     ``heartbeat``   name, inflight run_id or null, runner stats
 w -> c     ``store``       request_id + a provenance point-op request
 c -> w     ``store_reply`` request_id + the point-op reply

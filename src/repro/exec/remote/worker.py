@@ -46,6 +46,7 @@ from queue import Empty, Queue
 from ...core.types import Instance, Outcome
 from ...provenance.record import ProvenanceRecord
 from ...provenance.remote import RemoteProvenanceStore
+from ..pool import _worker_span
 from ..spec import ExecutorSpec
 from . import protocol
 
@@ -375,6 +376,13 @@ class FleetWorker:
                 "cost": cost,
                 "from_store": from_store,
             }
+            # A traced run frame gets a worker-minted child span back:
+            # same trace_id, fresh span parented on the dispatch span,
+            # tagged with where it actually ran.
+            span = _worker_span(message.get("trace"))
+            if span is not None:
+                span["worker"] = self.name
+                result["span"] = span
             self._executed += 1
         except Exception as error:
             result = {

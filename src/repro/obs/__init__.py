@@ -14,12 +14,23 @@ service (the service *uses* it).  Three pieces:
   turns the neutral ``(kind, payload)`` stream into metrics.
 * :mod:`repro.obs.query` -- the process-query engine behind
   ``repro query``: kind/payload predicates, SIGNAL-style sequence
-  patterns, grouping, and aggregates over the persisted event table.
+  patterns, grouping, aggregates (rollup-served when possible), and
+  trace-tree reconstruction over the persisted event table.
+* :mod:`repro.obs.retention` -- the retention/compaction sweep that
+  rolls terminal jobs' raw events into ``job_summaries`` rows (CAS-
+  guarded, online-safe), plus the ``repro serve`` background thread.
+* :mod:`repro.obs.trace` -- trace contexts minted at the submission
+  edge and propagated through queue, scheduler, pool, and fleet.
+* :mod:`repro.obs.dashboard` -- the longitudinal regression dashboard
+  built from job summaries (canonical, diffable JSON).
 """
 
+from .dashboard import build_dashboard, diff_dashboards, render_dashboard
 from .metrics import EventMetrics, MetricsRegistry, percentile
 from .query import Predicate, QueryEngine, sequence_matches
+from .retention import RetentionPolicy, RetentionThread, compact, summarize_job
 from .sink import DurableEventBus, EventLogSink, event_to_row, row_to_event
+from .trace import TraceContext, child_trace_payload
 
 __all__ = [
     "DurableEventBus",
@@ -28,8 +39,17 @@ __all__ = [
     "MetricsRegistry",
     "Predicate",
     "QueryEngine",
+    "RetentionPolicy",
+    "RetentionThread",
+    "TraceContext",
+    "build_dashboard",
+    "child_trace_payload",
+    "compact",
+    "diff_dashboards",
     "event_to_row",
     "percentile",
+    "render_dashboard",
     "row_to_event",
     "sequence_matches",
+    "summarize_job",
 ]

@@ -1,0 +1,183 @@
+"""Longitudinal regression dashboard over compacted job summaries.
+
+Compaction (``obs.retention``) turns raw event streams into per-job
+``job_summaries`` rows; this module turns months of those into
+*per-job-family trajectories*: for each workflow, time-bucketed series
+of solver/span time (p50/p95), cache hit rate, queue latency, success
+rate, and budget spend.  Two consumers:
+
+* ``repro dashboard`` / ``GET /dashboard`` -- render the JSON document
+  for humans and scripts;
+* the committed snapshot under ``benchmarks/results/`` -- the document
+  is canonical (sorted keys, floats rounded to 6 places, no wall-clock
+  stamps), so two runs over the same store produce byte-identical JSON
+  and regressions across PRs show up as a plain text diff.
+
+Jobs not yet compacted still contribute: their summaries are computed
+on the fly from raw events (identical code path to compaction), so the
+dashboard never has a blind spot between sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import percentile
+from .retention import TERMINAL_STATUSES, summarize_job
+
+__all__ = ["build_dashboard", "diff_dashboards", "render_dashboard"]
+
+DEFAULT_BUCKET_SECONDS = 3600.0
+
+
+def _family_summaries(store, workflow: str | None) -> list[dict]:
+    """Every terminal job's summary: compacted rows as stored, raw jobs
+    summarized on the fly (``compacted_at`` 0 marks the latter)."""
+    summaries = {row["job_id"]: row for row in store.job_summary_rows(workflow)}
+    for job in store.job_rows(workflow=workflow):
+        job_id = job["job_id"]
+        if job_id in summaries or str(job.get("status")) not in TERMINAL_STATUSES:
+            continue
+        rows = store.job_event_rows(job_id)
+        if not rows:
+            continue
+        summary = summarize_job(job, rows, compacted_at=0.0)
+        summary.update(job)
+        summaries[job_id] = summary
+    return sorted(
+        summaries.values(),
+        key=lambda s: (s.get("created_at") or 0.0, s["job_id"]),
+    )
+
+
+def _round(value):
+    return None if value is None else round(float(value), 6)
+
+
+def build_dashboard(
+    store,
+    workflow: str | None = None,
+    bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+) -> dict:
+    """The dashboard document: per-workflow time-bucketed trajectories.
+
+    Buckets are keyed by ``floor(created_at / bucket_seconds)`` so the
+    series is stable under re-runs; every metric within a bucket
+    reduces over the jobs created in it.
+    """
+    families: dict[str, dict] = {}
+    for summary in _family_summaries(store, workflow):
+        family = str(summary.get("workflow"))
+        created = float(summary.get("created_at") or 0.0)
+        bucket_key = int(created // bucket_seconds) * int(bucket_seconds)
+        buckets = families.setdefault(family, {})
+        bucket = buckets.setdefault(
+            bucket_key,
+            {
+                "jobs": 0,
+                "succeeded": 0,
+                "failed": 0,
+                "cancelled": 0,
+                "compacted": 0,
+                "wall_seconds": [],
+                "budget_spent": [],
+                "queue_seconds": [],
+                "cache_hits": 0.0,
+                "cache_misses": 0.0,
+                "spans": {},
+            },
+        )
+        bucket["jobs"] += 1
+        status = str(summary.get("status"))
+        if status in bucket:
+            bucket[status] += 1
+        if float(summary.get("compacted_at") or 0.0) > 0:
+            bucket["compacted"] += 1
+        wall = summary.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            bucket["wall_seconds"].append(float(wall))
+        budget = summary.get("budget_spent")
+        if isinstance(budget, (int, float)):
+            bucket["budget_spent"].append(float(budget))
+        counters = summary.get("counters") or {}
+        queue = counters.get("queue_seconds")
+        if isinstance(queue, (int, float)):
+            bucket["queue_seconds"].append(float(queue))
+        bucket["cache_hits"] += float(counters.get("cache_hits", 0.0))
+        bucket["cache_misses"] += float(counters.get("cache_misses", 0.0))
+        for name, stats in (summary.get("span_stats") or {}).items():
+            totals = bucket["spans"].setdefault(str(name), [])
+            total = stats.get("total") if isinstance(stats, dict) else None
+            if isinstance(total, (int, float)):
+                totals.append(float(total))
+    document: dict = {"bucket_seconds": bucket_seconds, "families": {}}
+    for family in sorted(families):
+        series = []
+        for bucket_key in sorted(families[family]):
+            bucket = families[family][bucket_key]
+            lookups = bucket["cache_hits"] + bucket["cache_misses"]
+            entry = {
+                "bucket": bucket_key,
+                "jobs": bucket["jobs"],
+                "succeeded": bucket["succeeded"],
+                "failed": bucket["failed"],
+                "cancelled": bucket["cancelled"],
+                "compacted": bucket["compacted"],
+                "success_rate": _round(
+                    bucket["succeeded"] / bucket["jobs"] if bucket["jobs"] else None
+                ),
+                "wall_p50": _round(percentile(bucket["wall_seconds"], 0.50)),
+                "wall_p95": _round(percentile(bucket["wall_seconds"], 0.95)),
+                "budget_mean": _round(
+                    sum(bucket["budget_spent"]) / len(bucket["budget_spent"])
+                    if bucket["budget_spent"]
+                    else None
+                ),
+                "queue_p95": _round(percentile(bucket["queue_seconds"], 0.95)),
+                "cache_hit_rate": _round(
+                    bucket["cache_hits"] / lookups if lookups else None
+                ),
+                "spans": {
+                    name: {
+                        "jobs": len(totals),
+                        "total_p50": _round(percentile(totals, 0.50)),
+                        "total_p95": _round(percentile(totals, 0.95)),
+                    }
+                    for name, totals in sorted(bucket["spans"].items())
+                },
+            }
+            series.append(entry)
+        document["families"][family] = series
+    return document
+
+
+def render_dashboard(document: dict) -> str:
+    """Canonical JSON: sorted keys, stable floats -- diffable across
+    runs and committable as a snapshot."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def diff_dashboards(before: dict, after: dict) -> list[str]:
+    """Human-readable per-family/bucket/metric differences (empty when
+    the two documents are metric-identical)."""
+    lines: list[str] = []
+    families = sorted(
+        set(before.get("families", {})) | set(after.get("families", {}))
+    )
+    for family in families:
+        old = {b["bucket"]: b for b in before.get("families", {}).get(family, [])}
+        new = {b["bucket"]: b for b in after.get("families", {}).get(family, [])}
+        for bucket in sorted(set(old) | set(new)):
+            if bucket not in old:
+                lines.append(f"{family}@{bucket}: new bucket")
+                continue
+            if bucket not in new:
+                lines.append(f"{family}@{bucket}: bucket gone")
+                continue
+            for key in sorted(set(old[bucket]) | set(new[bucket])):
+                if old[bucket].get(key) != new[bucket].get(key):
+                    lines.append(
+                        f"{family}@{bucket}.{key}: "
+                        f"{old[bucket].get(key)!r} -> {new[bucket].get(key)!r}"
+                    )
+    return lines

@@ -29,6 +29,7 @@ whole event table.
 
 from __future__ import annotations
 
+import itertools
 import json
 from collections.abc import Iterable, Iterator
 
@@ -170,17 +171,43 @@ _GROUP_FIELDS = ("workflow", "spec_fingerprint", "algorithm", "status")
 
 
 class QueryEngine:
-    """Queries over one schema-v4 provenance store."""
+    """Queries over one schema-v6 provenance store.
 
-    def __init__(self, store):
+    ``agg`` answers ``span:``/``count:`` metrics from the store's
+    incrementally maintained ``job_rollups`` when possible (constant
+    work per query instead of a raw-event rescan, and the only way to
+    answer over jobs whose raw events were compacted away); every
+    rollup-served query bumps ``rollup_hits``, every raw fallback
+    ``rollup_misses``.  Pass ``use_rollups=False`` to force raw scans
+    (the differential tests compare the two paths byte for byte).
+    """
+
+    def __init__(self, store, use_rollups: bool = True):
         self._store = store
+        self._use_rollups = use_rollups
+        self.rollup_hits = 0
+        self.rollup_misses = 0
 
     # -- Raw scans -----------------------------------------------------------
-    def jobs(self, workflow: str | None = None) -> list[dict]:
-        rows = self._store.job_rows()
+    def jobs(
+        self,
+        workflow: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
+    ) -> list[dict]:
+        try:
+            return self._store.job_rows(
+                workflow=workflow, limit=limit, offset=offset
+            )
+        except TypeError:
+            # Stores predating the paged signature (e.g. in-memory test
+            # doubles): filter and page in Python.
+            rows = self._store.job_rows()
         if workflow is not None:
             rows = [row for row in rows if row["workflow"] == workflow]
-        return rows
+        start = int(offset or 0)
+        end = None if limit is None else start + int(limit)
+        return rows[start:end]
 
     def events(
         self,
@@ -188,12 +215,17 @@ class QueryEngine:
         kinds: Iterable[str] | None = None,
         predicates: Iterable[Predicate] = (),
         limit: int | None = None,
+        offset: int | None = None,
     ) -> Iterator[dict]:
         """Filtered streaming scan (kind filter is pushed into SQL)."""
         predicates = list(predicates)
         yielded = 0
+        skip = int(offset or 0)
         for row in self._store.iter_job_events(workflow=workflow, kinds=kinds):
             if all(p.matches(row) for p in predicates):
+                if skip > 0:
+                    skip -= 1
+                    continue
                 yield row
                 yielded += 1
                 if limit is not None and yielded >= limit:
@@ -201,18 +233,26 @@ class QueryEngine:
 
     # -- Sequence patterns ---------------------------------------------------
     def sequence(
-        self, pattern: Iterable, workflow: str | None = None
+        self,
+        pattern: Iterable,
+        workflow: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
     ) -> list[dict]:
         """Jobs matching the ordered pattern (see :func:`sequence_matches`).
 
         Only the pattern's kinds are scanned -- SIGNAL's eventually-
         follows semantics ignore interleaved events, so restricting the
-        scan changes nothing but the I/O.
+        scan changes nothing but the I/O.  ``limit``/``offset`` page the
+        match stream without materializing it first.
         """
         steps = [_parse_step(step) for step in pattern]
         kinds = sorted({kind for kind, __ in steps})
         rows = self._store.iter_job_events(workflow=workflow, kinds=kinds)
-        return list(sequence_matches(rows, steps))
+        matches = sequence_matches(rows, steps)
+        start = int(offset or 0)
+        stop = None if limit is None else start + int(limit)
+        return list(itertools.islice(matches, start, stop))
 
     # -- Grouped aggregates --------------------------------------------------
     def _per_job_values(
@@ -228,6 +268,19 @@ class QueryEngine:
           ``budget_spent``) per job.
         """
         values: dict[str, float] = {}
+        if metric.startswith(("span:", "count:")):
+            if self._use_rollups and hasattr(self._store, "rollup_values"):
+                self.rollup_hits += 1
+                # ``+ 0.0`` mirrors the raw path's ``0.0 + first_value``
+                # accumulation start so a -0.0 first sample renders
+                # identically.
+                return {
+                    job_id: value + 0.0
+                    for job_id, value in self._store.rollup_values(
+                        metric, workflow=workflow
+                    ).items()
+                }
+            self.rollup_misses += 1
         if metric.startswith("span:"):
             name = metric.split(":", 1)[1]
             rows = self._store.iter_job_events(
@@ -293,4 +346,68 @@ class QueryEngine:
         return {
             group: {"jobs": len(members), "value": reduce(members)}
             for group, members in sorted(grouped.items())
+        }
+
+    # -- Trace reconstruction ------------------------------------------------
+    def trace(self, trace_id: str) -> dict:
+        """Rebuild one causal tree from every event stamped with
+        ``trace_id``.
+
+        Events are grouped into spans by their ``span_id`` payload
+        field and linked by ``parent_id``; the result nests child spans
+        (scheduler dispatches, pool/fleet worker executions -- possibly
+        from other processes or machines) under the span that caused
+        them.  Spans whose parent never logged an event (or ``None``)
+        are roots.  Works over *raw* events only: compacted jobs keep
+        their rollups and summary but lose per-event trace detail.
+        """
+        spans: dict[str, dict] = {}
+        total = 0
+        for row in self._store.iter_job_events():
+            payload = row.get("payload") or {}
+            if payload.get("trace_id") != trace_id:
+                continue
+            span_id = payload.get("span_id")
+            if not isinstance(span_id, str):
+                continue
+            span = spans.get(span_id)
+            if span is None:
+                parent = payload.get("parent_id")
+                span = spans[span_id] = {
+                    "span_id": span_id,
+                    "parent_id": parent if isinstance(parent, str) else None,
+                    "first_ts": row["ts_wall"],
+                    "last_ts": row["ts_wall"],
+                    "events": [],
+                    "children": [],
+                }
+            span["first_ts"] = min(span["first_ts"], row["ts_wall"])
+            span["last_ts"] = max(span["last_ts"], row["ts_wall"])
+            for key in ("worker", "host", "pid"):
+                if key in payload and key not in span:
+                    span[key] = payload[key]
+            span["events"].append(
+                {
+                    "job_id": row["job_id"],
+                    "seq": row["seq"],
+                    "kind": row["kind"],
+                    "ts_wall": row["ts_wall"],
+                }
+            )
+            total += 1
+        roots = []
+        for span in spans.values():
+            parent = spans.get(span["parent_id"]) if span["parent_id"] else None
+            if parent is not None and parent is not span:
+                parent["children"].append(span)
+            else:
+                roots.append(span)
+        for span in spans.values():
+            span["children"].sort(key=lambda s: (s["first_ts"], s["span_id"]))
+        roots.sort(key=lambda s: (s["first_ts"], s["span_id"]))
+        return {
+            "trace_id": trace_id,
+            "spans": len(spans),
+            "events": total,
+            "tree": roots,
         }

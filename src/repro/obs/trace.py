@@ -1,0 +1,94 @@
+"""End-to-end trace contexts for causal correlation across processes.
+
+A :class:`TraceContext` is minted once per job at the submission edge
+(HTTP ``/submit``, ``repro serve``, ``repro debug``) and then *carried*,
+never re-minted: through :class:`~repro.service.jobs.JobSpec`, the
+durable queue's payload codec, the scheduler's slices, the
+``ProcessPool`` worker pipe, and the remote-fleet wire protocol.  Every
+event published for the job is stamped with the context's three fields
+(``trace_id``, ``span_id``, ``parent_id``), so ``repro query trace
+<trace_id>`` can rebuild one causal tree spanning the service process,
+pool workers, and fleet workers on other machines.
+
+Layering note: ``exec`` sits *below* ``obs`` and therefore cannot
+import this class.  On the wire and in the pool pipe a context travels
+as the plain dict produced by :meth:`TraceContext.to_payload`; ``exec``
+code treats it as an opaque mapping and derives child spans with
+:func:`child_trace_payload`'s logic inlined locally (a dict in, a dict
+out -- no type dependency).
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+
+__all__ = ["TraceContext", "child_trace_payload"]
+
+_TRACE_KEYS = ("trace_id", "span_id", "parent_id")
+
+
+def _fresh_id(bits: int = 16) -> str:
+    return uuid.uuid4().hex[:bits]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a causal tree: a trace-wide id plus this span's edge.
+
+    ``trace_id`` names the whole tree (stable across every process a
+    job touches); ``span_id`` names this node; ``parent_id`` is the
+    ``span_id`` of the node that caused it (None at the root).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """Mint a root context (done exactly once, at submission)."""
+        return cls(trace_id=_fresh_id(32), span_id=_fresh_id())
+
+    def child(self) -> "TraceContext":
+        """Derive the context for work this span causes (a dispatch, a
+        worker execution): same trace, fresh span, parented here."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_fresh_id(),
+            parent_id=self.span_id,
+        )
+
+    def to_payload(self) -> dict:
+        """The wire form: a plain JSON-safe dict (``parent_id`` omitted
+        at the root to keep stamped events minimal)."""
+        payload = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict | None) -> "TraceContext | None":
+        """Rehydrate from the wire form; None (or junk) maps to None so
+        untraced legacy payloads flow through unchanged."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        parent = payload.get("parent_id")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent if isinstance(parent, str) else None,
+        )
+
+
+def child_trace_payload(trace: dict | None) -> dict | None:
+    """Dict-level :meth:`TraceContext.child` for payloads already on the
+    wire (the form ``exec`` code mirrors locally)."""
+    context = TraceContext.from_payload(trace)
+    if context is None:
+        return None
+    return context.child().to_payload()

@@ -295,12 +295,17 @@ class SQLiteProvenanceStore(ProvenanceStore):
     gain the ``instance_key`` column + backfill (v1), pre-codec
     databases gain the codec tables (v2), pre-batch databases gain the
     encoded-row table (v3), pre-observability databases gain the job
-    telemetry tables (v4), pre-queue databases gain ``job_queue`` (v5);
+    telemetry tables (v4), pre-queue databases gain ``job_queue`` (v5),
+    pre-retention databases gain the rollup/summary tables plus a
+    one-time rollup backfill scan over ``job_events`` (v6);
     ``user_version`` records the result so future migrations know
     where to start.
     """
 
-    SCHEMA_VERSION = 5
+    SCHEMA_VERSION = 6
+
+    #: Bucket width of the ``event_rollups`` ingest ledger (seconds).
+    ROLLUP_WINDOW_SECONDS = 3600
 
     def __init__(self, path: str = ":memory:"):
         self._path = str(path)
@@ -330,6 +335,12 @@ class SQLiteProvenanceStore(ProvenanceStore):
             # No-ops harmlessly on ":memory:" databases.
             self._connection.execute("PRAGMA journal_mode = WAL")
             self._connection.execute("PRAGMA synchronous = NORMAL")
+            # Read the version *before* creating tables: the backfill
+            # decision below must see what the database was, not what
+            # this executescript is about to make it.
+            (prior_version,) = self._connection.execute(
+                "PRAGMA user_version"
+            ).fetchone()
             self._connection.executescript(
                 """
                 CREATE TABLE IF NOT EXISTS runs (
@@ -394,6 +405,42 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 );
                 CREATE INDEX IF NOT EXISTS idx_job_events_kind
                     ON job_events(kind);
+                CREATE INDEX IF NOT EXISTS idx_job_events_kind_job_seq
+                    ON job_events(kind, job_id, seq);
+                CREATE TABLE IF NOT EXISTS job_summaries (
+                    job_id TEXT PRIMARY KEY,
+                    workflow TEXT,
+                    algorithm TEXT,
+                    spec_fingerprint TEXT,
+                    status TEXT,
+                    report_fingerprint TEXT,
+                    budget_spent INTEGER,
+                    wall_seconds REAL,
+                    created_at REAL,
+                    finished_at REAL,
+                    event_count INTEGER NOT NULL DEFAULT 0,
+                    first_ts REAL,
+                    last_ts REAL,
+                    kind_counts TEXT NOT NULL DEFAULT '{}',
+                    span_stats TEXT NOT NULL DEFAULT '{}',
+                    counters TEXT NOT NULL DEFAULT '{}',
+                    terminal_payload TEXT,
+                    compacted_at REAL NOT NULL DEFAULT 0
+                );
+                CREATE TABLE IF NOT EXISTS job_rollups (
+                    job_id TEXT NOT NULL,
+                    metric TEXT NOT NULL,
+                    value REAL NOT NULL DEFAULT 0,
+                    PRIMARY KEY (job_id, metric)
+                );
+                CREATE INDEX IF NOT EXISTS idx_job_rollups_metric
+                    ON job_rollups(metric, job_id);
+                CREATE TABLE IF NOT EXISTS event_rollups (
+                    window_start INTEGER NOT NULL,
+                    kind TEXT NOT NULL,
+                    count INTEGER NOT NULL DEFAULT 0,
+                    PRIMARY KEY (window_start, kind)
+                );
                 CREATE TABLE IF NOT EXISTS job_queue (
                     job_id TEXT PRIMARY KEY,
                     tenant TEXT,
@@ -426,6 +473,8 @@ class SQLiteProvenanceStore(ProvenanceStore):
             )
             self._connection.commit()
             self._backfill_legacy_keys()
+            if 0 < prior_version < 6:
+                self._backfill_rollups()
 
     @property
     def schema_version(self) -> int:
@@ -459,6 +508,133 @@ class SQLiteProvenanceStore(ProvenanceStore):
             self._connection.execute(
                 "UPDATE runs SET instance_key = ? WHERE id = ?",
                 (instance_key(decoded), run_id),
+            )
+        self._connection.commit()
+
+    # -- Incremental rollups (schema v6) --------------------------------------
+    #
+    # ``job_rollups`` pre-aggregates the two event-derived metric forms
+    # the query engine's ``agg`` supports (``span:<name>`` per-job
+    # second sums and ``count:<kind>`` per-job event counts) and is
+    # maintained *in the same transaction* as every event insert --
+    # constant work per appended batch, never a rescan (the
+    # incremental-maintenance stance of "Answering FO+MOD queries under
+    # updates").  Byte-identity with the raw scan is a hard contract:
+    #
+    # * span seconds are applied one SQL ``value = value + ?`` per
+    #   inserted row, in insertion (= per-job seq) order, so the IEEE
+    #   double accumulation order matches the raw scan's left-to-right
+    #   per-job sum bit for bit;
+    # * counts are exact small integers, so batching their deltas is
+    #   associative and safe;
+    # * deltas apply only to rows the ``INSERT OR IGNORE`` actually
+    #   landed -- re-delivered duplicates must not double-count.
+    #
+    # ``event_rollups`` is a per-window ingest ledger (events ever
+    # written per wall-clock bucket and kind).  It is monotone by
+    # design: a latest-wins resubmission purges the job's raw events
+    # and ``job_rollups`` rows but does not decrement the ledger.
+
+    _UPSERT_JOB_ROLLUP_SQL = (
+        "INSERT INTO job_rollups (job_id, metric, value) VALUES (?, ?, ?)"
+        " ON CONFLICT(job_id, metric)"
+        " DO UPDATE SET value = value + excluded.value"
+    )
+    _UPSERT_EVENT_ROLLUP_SQL = (
+        "INSERT INTO event_rollups (window_start, kind, count)"
+        " VALUES (?, ?, ?) ON CONFLICT(window_start, kind)"
+        " DO UPDATE SET count = count + excluded.count"
+    )
+
+    def _accumulate_rollup_row(
+        self,
+        job_id: str,
+        kind: str,
+        ts_wall: float,
+        payload: dict,
+        span_updates: list,
+        count_deltas: dict,
+        window_deltas: dict,
+    ) -> None:
+        """Fold one newly inserted event row into the pending deltas.
+
+        Mirrors the raw-scan parse rules of
+        :meth:`repro.obs.query.QueryEngine._per_job_values` exactly: a
+        span contributes only when its ``name`` is a string and its
+        ``seconds`` parse as a float (a missing key contributes 0.0,
+        exactly as the raw path's ``payload.get("seconds", 0.0)``).
+        """
+        if kind == "span":
+            name = payload.get("name")
+            if isinstance(name, str):
+                try:
+                    seconds = float(payload.get("seconds", 0.0))
+                except (TypeError, ValueError):
+                    seconds = None
+                if seconds is not None:
+                    span_updates.append((job_id, "span:" + name, seconds))
+        count_key = (job_id, "count:" + kind)
+        count_deltas[count_key] = count_deltas.get(count_key, 0.0) + 1.0
+        window = (
+            int(ts_wall // self.ROLLUP_WINDOW_SECONDS)
+            * self.ROLLUP_WINDOW_SECONDS
+        )
+        window_key = (window, kind)
+        window_deltas[window_key] = window_deltas.get(window_key, 0) + 1
+
+    def _flush_rollup_deltas(
+        self,
+        connection: sqlite3.Connection,
+        span_updates: list,
+        count_deltas: dict,
+        window_deltas: dict,
+    ) -> None:
+        """Apply accumulated deltas (caller commits).  ``executemany``
+        executes its parameter rows in order, which is what preserves
+        the per-(job, span) float accumulation order."""
+        if span_updates:
+            connection.executemany(self._UPSERT_JOB_ROLLUP_SQL, span_updates)
+        if count_deltas:
+            connection.executemany(
+                self._UPSERT_JOB_ROLLUP_SQL,
+                [(job, metric, value) for (job, metric), value in count_deltas.items()],
+            )
+        if window_deltas:
+            connection.executemany(
+                self._UPSERT_EVENT_ROLLUP_SQL,
+                [(window, kind, count) for (window, kind), count in window_deltas.items()],
+            )
+
+    def _backfill_rollups(self) -> None:
+        """One-time v6 migration: rebuild the rollup tables from the raw
+        event log (pre-v6 databases have events but no rollups).
+        Caller holds the lock."""
+        self._connection.execute("DELETE FROM job_rollups")
+        self._connection.execute("DELETE FROM event_rollups")
+        cursor = self._connection.execute(
+            "SELECT job_id, kind, ts_wall, payload FROM job_events"
+            " ORDER BY job_id, seq"
+        )
+        while True:
+            batch = cursor.fetchmany(2048)
+            if not batch:
+                break
+            span_updates: list = []
+            count_deltas: dict = {}
+            window_deltas: dict = {}
+            for job_id, kind, ts_wall, payload_text in batch:
+                payload = json.loads(payload_text) if payload_text else {}
+                self._accumulate_rollup_row(
+                    job_id,
+                    str(kind),
+                    float(ts_wall),
+                    payload,
+                    span_updates,
+                    count_deltas,
+                    window_deltas,
+                )
+            self._flush_rollup_deltas(
+                self._connection, span_updates, count_deltas, window_deltas
             )
         self._connection.commit()
 
@@ -900,6 +1076,16 @@ class SQLiteProvenanceStore(ProvenanceStore):
         connection.execute(
             "DELETE FROM job_events WHERE job_id = ?", (job_id,)
         )
+        # Latest-wins purge covers the job-scoped derived tables too, so
+        # a resubmitted id never sums two incarnations' spans or serves
+        # a stale summary.  ``event_rollups`` is deliberately untouched:
+        # it is an append-only ingest ledger, not per-job state.
+        connection.execute(
+            "DELETE FROM job_rollups WHERE job_id = ?", (job_id,)
+        )
+        connection.execute(
+            "DELETE FROM job_summaries WHERE job_id = ?", (job_id,)
+        )
         connection.execute(
             "DELETE FROM jobs WHERE job_id = ?", (job_id,)
         )
@@ -1001,6 +1187,69 @@ class SQLiteProvenanceStore(ProvenanceStore):
         " VALUES (?, ?, ?, ?, ?, ?, ?)"
     )
 
+    def _insert_job_events_locked(
+        self,
+        connection: sqlite3.Connection,
+        rows: list[dict],
+        prepared: list[tuple],
+    ) -> None:
+        """Insert a prepared event batch and fold it into the rollups.
+
+        ``INSERT OR IGNORE`` + ``executemany`` yields no per-row
+        rowcount, so re-delivered duplicates are detected by hand: the
+        seqs already present for each job (one ranged SELECT per job in
+        the batch) plus an in-batch seen-set decide which rows actually
+        land, and only those contribute rollup deltas.  The caller must
+        have opened a write transaction (``BEGIN IMMEDIATE``) *before*
+        the SELECT -- with two writer connections live, the read and
+        the insert must sit inside one write lock or a concurrent
+        insert of the same seq double-counts.
+        """
+        bounds: dict[str, tuple[int, int]] = {}
+        for item in prepared:
+            job_id, seq = item[0], item[1]
+            low, high = bounds.get(job_id, (seq, seq))
+            bounds[job_id] = (min(low, seq), max(high, seq))
+        seen: set[tuple[str, int]] = set()
+        for job_id, (low, high) in bounds.items():
+            for (seq,) in connection.execute(
+                "SELECT seq FROM job_events"
+                " WHERE job_id = ? AND seq BETWEEN ? AND ?",
+                (job_id, low, high),
+            ):
+                seen.add((job_id, int(seq)))
+        connection.executemany(self._INSERT_EVENT_SQL, prepared)
+        span_updates: list = []
+        count_deltas: dict = {}
+        window_deltas: dict = {}
+        for row, item in zip(rows, prepared):
+            key = (item[0], item[1])
+            if key in seen:
+                continue
+            seen.add(key)
+            self._accumulate_rollup_row(
+                item[0],
+                str(item[2]),
+                item[3],
+                row.get("payload") or {},
+                span_updates,
+                count_deltas,
+                window_deltas,
+            )
+        self._flush_rollup_deltas(
+            connection, span_updates, count_deltas, window_deltas
+        )
+
+    @staticmethod
+    def _begin_immediate(connection: sqlite3.Connection) -> None:
+        """Take the database write lock up front (no-op if a transaction
+        is already open -- the implicit-transaction modes vary across
+        Python versions)."""
+        try:
+            connection.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError:
+            pass
+
     def _event_writer(self) -> tuple[sqlite3.Connection, threading.Lock]:
         """The (connection, lock) pair telemetry batches write through.
 
@@ -1046,31 +1295,36 @@ class SQLiteProvenanceStore(ProvenanceStore):
         prepared = [self._prepare_event_row(row) for row in rows]
         connection, lock = self._event_writer()
         with lock:
-            for row in rows:
-                if row["kind"] == "submitted" and int(row["seq"]) == 0:
-                    payload = row.get("payload") or {}
-                    self._begin_job_locked(
-                        row["job_id"],
-                        payload.get("workflow"),
-                        payload.get("algorithm"),
-                        payload.get("spec_fingerprint"),
-                        float(row.get("ts_wall", 0.0)) or None,
-                        connection=connection,
-                    )
-            connection.executemany(self._INSERT_EVENT_SQL, prepared)
-            for row in rows:
-                if row.get("terminal"):
-                    payload = row.get("payload") or {}
-                    self._finish_job_locked(
-                        row["job_id"],
-                        str(payload.get("status", "finished")),
-                        payload.get("report_fingerprint"),
-                        payload.get("budget_spent"),
-                        payload.get("wall_seconds"),
-                        float(row.get("ts_wall", 0.0)) or None,
-                        connection=connection,
-                    )
-            connection.commit()
+            try:
+                self._begin_immediate(connection)
+                for row in rows:
+                    if row["kind"] == "submitted" and int(row["seq"]) == 0:
+                        payload = row.get("payload") or {}
+                        self._begin_job_locked(
+                            row["job_id"],
+                            payload.get("workflow"),
+                            payload.get("algorithm"),
+                            payload.get("spec_fingerprint"),
+                            float(row.get("ts_wall", 0.0)) or None,
+                            connection=connection,
+                        )
+                self._insert_job_events_locked(connection, rows, prepared)
+                for row in rows:
+                    if row.get("terminal"):
+                        payload = row.get("payload") or {}
+                        self._finish_job_locked(
+                            row["job_id"],
+                            str(payload.get("status", "finished")),
+                            payload.get("report_fingerprint"),
+                            payload.get("budget_spent"),
+                            payload.get("wall_seconds"),
+                            float(row.get("ts_wall", 0.0)) or None,
+                            connection=connection,
+                        )
+                connection.commit()
+            except Exception:
+                connection.rollback()
+                raise
         return len(rows)
 
     _JOB_COLUMNS = (
@@ -1098,13 +1352,30 @@ class SQLiteProvenanceStore(ProvenanceStore):
             return None
         return dict(zip(self._JOB_COLUMNS, row, strict=True))
 
-    def job_rows(self) -> list[dict]:
-        """Every ``jobs`` row, oldest first."""
+    def job_rows(
+        self,
+        workflow: str | None = None,
+        limit: int | None = None,
+        offset: int | None = None,
+    ) -> list[dict]:
+        """``jobs`` rows, oldest first, filtered and paged in SQL.
+
+        ``limit``/``offset`` push pagination into SQLite (``LIMIT -1``
+        is "unbounded", so an offset works without a limit) -- the CLI
+        streams pages instead of materializing the whole table.
+        """
+        sql = f"SELECT {', '.join(self._JOB_COLUMNS)} FROM jobs"
+        args: list = []
+        if workflow is not None:
+            sql += " WHERE workflow = ?"
+            args.append(workflow)
+        sql += " ORDER BY created_at, job_id"
+        if limit is not None or offset is not None:
+            sql += " LIMIT ? OFFSET ?"
+            args.append(-1 if limit is None else int(limit))
+            args.append(int(offset or 0))
         with self._lock:
-            rows = self._connection.execute(
-                f"SELECT {', '.join(self._JOB_COLUMNS)} FROM jobs"
-                " ORDER BY created_at, job_id"
-            ).fetchall()
+            rows = self._connection.execute(sql, args).fetchall()
         return [dict(zip(self._JOB_COLUMNS, row, strict=True)) for row in rows]
 
     def append_job_events(self, rows: Iterable[dict]) -> int:
@@ -1117,12 +1388,18 @@ class SQLiteProvenanceStore(ProvenanceStore):
         ``(job_id, seq)`` primary key means the first write of a
         sequence number wins.
         """
+        rows = list(rows)
         prepared = [self._prepare_event_row(row) for row in rows]
         if not prepared:
             return 0
         with self._lock:
-            self._connection.executemany(self._INSERT_EVENT_SQL, prepared)
-            self._connection.commit()
+            try:
+                self._begin_immediate(self._connection)
+                self._insert_job_events_locked(self._connection, rows, prepared)
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                raise
         return len(prepared)
 
     @staticmethod
@@ -1211,6 +1488,181 @@ class SQLiteProvenanceStore(ProvenanceStore):
                 "SELECT COUNT(*) FROM job_events"
             ).fetchone()
         return int(count)
+
+    # -- Retention / compaction (schema v6) -----------------------------------
+    #
+    # Compaction rolls a *terminal* job's raw events into its
+    # ``job_summaries`` row and deletes the raw tail.  It must be safe
+    # against a live writer: between the policy's decision (a read of
+    # the job row and its events) and the write, the job can be
+    # resubmitted (latest-wins purge rewinds it to ``submitted``) or
+    # re-finished.  The guard is the queue's single-statement CAS
+    # pattern -- the summary ``INSERT .. SELECT`` re-checks
+    # ``status``/``finished_at`` inside the write transaction and the
+    # delete only proceeds when exactly one row matched, so a stale
+    # decision rolls back instead of summarizing one incarnation and
+    # deleting another's events.  Per job the summary+delete commit
+    # atomically: a kill -9 mid-sweep leaves every job either fully
+    # compacted or fully raw, and re-running ``compact`` converges.
+
+    _SUMMARY_EXTRA_COLUMNS = (
+        "event_count",
+        "first_ts",
+        "last_ts",
+        "kind_counts",
+        "span_stats",
+        "counters",
+        "terminal_payload",
+        "compacted_at",
+    )
+    _SUMMARY_COLUMNS = _JOB_COLUMNS + _SUMMARY_EXTRA_COLUMNS
+
+    def compact_job(
+        self,
+        job_id: str,
+        expected_status: str,
+        expected_finished_at: float | None,
+        summary: dict,
+    ) -> int | None:
+        """CAS-compact one job: write its summary, drop its raw events.
+
+        ``summary`` carries the event-derived columns (see
+        :mod:`repro.obs.retention`); the job-identity columns are
+        copied from the live ``jobs`` row *inside* the transaction.
+        Returns the number of raw events deleted, or ``None`` when the
+        CAS guard failed (the job changed since the caller read it) --
+        callers skip and retry on a later sweep.
+        """
+        json_keys = ("kind_counts", "span_stats", "counters")
+        params = [
+            int(summary.get("event_count", 0)),
+            summary.get("first_ts"),
+            summary.get("last_ts"),
+            *(
+                json.dumps(summary.get(key) or {}, sort_keys=True)
+                for key in json_keys
+            ),
+            (
+                None
+                if summary.get("terminal_payload") is None
+                else json.dumps(summary["terminal_payload"], sort_keys=True)
+            ),
+            float(summary.get("compacted_at", 0.0)),
+        ]
+        with self._lock:
+            try:
+                self._begin_immediate(self._connection)
+                cursor = self._connection.execute(
+                    "INSERT OR REPLACE INTO job_summaries"
+                    f" ({', '.join(self._SUMMARY_COLUMNS)})"
+                    f" SELECT {', '.join(self._JOB_COLUMNS)},"
+                    " ?, ?, ?, ?, ?, ?, ?, ?"
+                    " FROM jobs WHERE job_id = ? AND status = ?"
+                    " AND finished_at IS ?",
+                    (*params, job_id, expected_status, expected_finished_at),
+                )
+                if cursor.rowcount != 1:
+                    self._connection.rollback()
+                    return None
+                deleted = self._connection.execute(
+                    "DELETE FROM job_events WHERE job_id = ?", (job_id,)
+                ).rowcount
+                self._connection.commit()
+            except Exception:
+                self._connection.rollback()
+                raise
+        return int(deleted)
+
+    def job_event_stats(self) -> list[dict]:
+        """Per-job raw-event footprint (the retention sweep's worklist):
+        one row per job that still has raw events."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT job_id, COUNT(*), MIN(ts_wall), MAX(ts_wall)"
+                " FROM job_events GROUP BY job_id"
+            ).fetchall()
+        return [
+            {
+                "job_id": job_id,
+                "events": int(count),
+                "first_ts": float(first),
+                "last_ts": float(last),
+            }
+            for job_id, count, first, last in rows
+        ]
+
+    def _summary_row_to_dict(self, row) -> dict:
+        record = dict(zip(self._SUMMARY_COLUMNS, row, strict=True))
+        for key in ("kind_counts", "span_stats", "counters"):
+            record[key] = json.loads(record[key]) if record[key] else {}
+        if record["terminal_payload"] is not None:
+            record["terminal_payload"] = json.loads(record["terminal_payload"])
+        return record
+
+    def job_summary_row(self, job_id: str) -> dict | None:
+        """The compacted summary for ``job_id`` (JSON columns parsed),
+        or None when the job is still raw."""
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {', '.join(self._SUMMARY_COLUMNS)}"
+                " FROM job_summaries WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        return None if row is None else self._summary_row_to_dict(row)
+
+    def job_summary_rows(self, workflow: str | None = None) -> list[dict]:
+        """Every compacted summary, oldest first."""
+        sql = (
+            f"SELECT {', '.join(self._SUMMARY_COLUMNS)} FROM job_summaries"
+        )
+        args: list = []
+        if workflow is not None:
+            sql += " WHERE workflow = ?"
+            args.append(workflow)
+        sql += " ORDER BY created_at, job_id"
+        with self._lock:
+            rows = self._connection.execute(sql, args).fetchall()
+        return [self._summary_row_to_dict(row) for row in rows]
+
+    def rollup_values(
+        self, metric: str, workflow: str | None = None
+    ) -> dict[str, float]:
+        """Per-job pre-aggregated values for one rollup metric.
+
+        Ordered by ``job_id`` so the returned dict's insertion order
+        matches the raw scan's (which walks ``ORDER BY job_id, seq``) --
+        downstream reductions that are order-sensitive (float ``sum``,
+        ``mean``) then reduce in the identical sequence.
+        """
+        if workflow is None:
+            sql = (
+                "SELECT job_id, value FROM job_rollups"
+                " WHERE metric = ? ORDER BY job_id"
+            )
+            args: tuple = (metric,)
+        else:
+            sql = (
+                "SELECT r.job_id, r.value FROM job_rollups r"
+                " JOIN jobs j ON j.job_id = r.job_id"
+                " WHERE r.metric = ? AND j.workflow = ?"
+                " ORDER BY r.job_id"
+            )
+            args = (metric, workflow)
+        with self._lock:
+            rows = self._connection.execute(sql, args).fetchall()
+        return {job_id: float(value) for job_id, value in rows}
+
+    def event_rollup_rows(self) -> list[dict]:
+        """The per-window ingest ledger, oldest window first."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT window_start, kind, count FROM event_rollups"
+                " ORDER BY window_start, kind"
+            ).fetchall()
+        return [
+            {"window_start": int(window), "kind": kind, "count": int(count)}
+            for window, kind, count in rows
+        ]
 
     # -- Durable job queue (schema v5) ----------------------------------------
     #

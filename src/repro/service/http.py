@@ -13,7 +13,15 @@ A thin, stdlib-only (``http.server``) API over one
 ``GET  /jobs/{id}/events``  stream the job's event log (NDJSON, or SSE when
                           ``Accept: text/event-stream``)
 ``GET  /query``           the :mod:`repro.obs.query` process-query engine
+``GET  /dashboard``       longitudinal per-workflow trajectories (summaries)
 ========================  =====================================================
+
+Every accepted submission is stamped with a trace context (the payload
+may carry its own ``trace`` dict to join an existing trace); the
+``trace_id`` comes back in the submit response and every event the job
+publishes -- across the scheduler, worker processes, and remote fleet
+members -- carries it, so ``GET /query?op=trace&trace_id=...``
+reconstructs the full causal tree of one request.
 
 The submit payload is exactly the durable queue's spec codec
 (:func:`~repro.service.queue.spec_from_payload`): ``job_id`` plus an
@@ -46,8 +54,10 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.dashboard import build_dashboard
 from ..obs.query import Predicate, QueryEngine
 from ..obs.sink import DurableEventBus
+from ..obs.trace import TraceContext
 from .jobs import JobHandle, JobSpec
 from .queue import DurableJobQueue, spec_from_payload
 
@@ -272,6 +282,9 @@ class DebugServiceHTTP:
         if segments == ["query"]:
             self._send_json(handler, 200, self.run_query(params))
             return
+        if segments == ["dashboard"]:
+            self._send_json(handler, 200, self.dashboard(params))
+            return
         raise HTTPError(404, f"no such resource: /{'/'.join(segments)}")
 
     def _route_post(self, handler, segments) -> None:
@@ -348,6 +361,10 @@ class DebugServiceHTTP:
         if not job_id:
             raise HTTPError(400, "payload must carry a non-empty job_id")
         job_id = str(job_id)
+        # Every admitted job is traced: mint a root context at this edge
+        # unless the caller brought its own (joining a wider trace).
+        if not isinstance(merged.get("trace"), dict):
+            merged["trace"] = TraceContext.new().to_payload()
         try:
             spec = spec_from_payload(merged)
         except HTTPError:
@@ -383,6 +400,7 @@ class DebugServiceHTTP:
             "tenant": tenant,
             "priority": priority,
             "durable": self._queue is not None,
+            "trace_id": merged["trace"].get("trace_id"),
         }
 
     # -- Read models ---------------------------------------------------------
@@ -452,8 +470,17 @@ class DebugServiceHTTP:
                     "wall_seconds": row["wall_seconds"],
                 }
                 rows = self._store.job_event_rows(job_id)
+                payload = None
                 if rows and rows[-1]["terminal"]:
                     payload = rows[-1]["payload"]
+                elif not rows and hasattr(self._store, "job_summary_row"):
+                    # Raw events compacted away: the summary keeps the
+                    # terminal payload, so the detail stays servable.
+                    summary = self._store.job_summary_row(job_id)
+                    if summary is not None:
+                        payload = summary.get("terminal_payload")
+                        detail["compacted"] = True
+                if payload is not None:
                     detail["causes"] = payload.get("causes")
                     detail["new_executions"] = payload.get("new_executions")
                     detail["error"] = payload.get("error")
@@ -526,9 +553,10 @@ class DebugServiceHTTP:
         """``/query``: delegate to :class:`~repro.obs.query.QueryEngine`.
 
         Query params mirror the ``repro query`` CLI: ``op`` is one of
-        ``jobs``/``events``/``seq``/``agg``; ``workflow``, ``kind``,
-        ``where``, ``limit``, ``pattern``, ``metric``, ``stat`` and
-        ``group_by`` filter as there.
+        ``jobs``/``events``/``seq``/``agg``/``trace``; ``workflow``,
+        ``kind``, ``where``, ``limit``, ``offset``, ``pattern``,
+        ``metric``, ``stat``, ``group_by`` and ``trace_id`` filter as
+        there.
         """
         if self._store is None:
             raise HTTPError(503, "no provenance store behind this server")
@@ -538,9 +566,19 @@ class DebugServiceHTTP:
             events.flush(timeout=5.0)  # query sees everything published
         op = params.get("op", ["jobs"])[0]
         workflow = params.get("workflow", [None])[0]
+        offset = params.get("offset", [None])[0]
+        offset = int(offset) if offset is not None else None
         try:
             if op == "jobs":
-                return {"op": op, "jobs": engine.jobs(workflow=workflow)}
+                limit = params.get("limit", [None])[0]
+                return {
+                    "op": op,
+                    "jobs": engine.jobs(
+                        workflow=workflow,
+                        limit=int(limit) if limit is not None else None,
+                        offset=offset,
+                    ),
+                }
             if op == "events":
                 limit = int(params.get("limit", ["1000"])[0])
                 predicates = [
@@ -552,6 +590,7 @@ class DebugServiceHTTP:
                         kinds=params.get("kind") or None,
                         predicates=predicates,
                         limit=limit,
+                        offset=offset,
                     )
                 )
                 return {"op": op, "count": len(rows), "events": rows}
@@ -559,13 +598,24 @@ class DebugServiceHTTP:
                 pattern = params.get("pattern", [])
                 if not pattern:
                     raise HTTPError(400, "seq needs at least one pattern step")
-                matches = engine.sequence(pattern, workflow=workflow)
+                limit = params.get("limit", [None])[0]
+                matches = engine.sequence(
+                    pattern,
+                    workflow=workflow,
+                    limit=int(limit) if limit is not None else None,
+                    offset=offset,
+                )
                 return {
                     "op": op,
                     "pattern": pattern,
                     "count": len(matches),
                     "matches": matches,
                 }
+            if op == "trace":
+                trace_id = params.get("trace_id", [None])[0]
+                if not trace_id:
+                    raise HTTPError(400, "trace needs a trace_id")
+                return {"op": op, **engine.trace(trace_id)}
             if op == "agg":
                 metric = params.get("metric", [None])[0]
                 if metric is None:
@@ -582,9 +632,27 @@ class DebugServiceHTTP:
                     "stat": params.get("stat", ["p95"])[0],
                     "group_by": params.get("group_by", [None])[0],
                     "groups": groups,
+                    "rollup": {
+                        "hits": engine.rollup_hits,
+                        "misses": engine.rollup_misses,
+                    },
                 }
         except HTTPError:
             raise
         except ValueError as error:
             raise HTTPError(400, str(error))
         raise HTTPError(400, f"unknown query op {op!r}")
+
+    def dashboard(self, params: dict[str, list[str]]) -> dict:
+        """``/dashboard``: the longitudinal trajectories document."""
+        if self._store is None:
+            raise HTTPError(503, "no provenance store behind this server")
+        events = self._service.events
+        if isinstance(events, DurableEventBus):
+            events.flush(timeout=5.0)
+        bucket = float(params.get("bucket", ["3600"])[0])
+        return build_dashboard(
+            self._store,
+            workflow=params.get("workflow", [None])[0],
+            bucket_seconds=bucket,
+        )

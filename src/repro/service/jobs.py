@@ -113,6 +113,12 @@ class JobSpec:
         run: escape hatch: a custom job body ``(session) -> result``;
             when set it replaces the BugDoc invocation entirely (used by
             stress tests and bespoke clients).
+        trace: optional trace-context dict (``trace_id``/``span_id``/
+            ``parent_id``, the wire form of
+            :class:`~repro.obs.trace.TraceContext`) minted at the
+            submission edge.  The service stamps it on every event the
+            job publishes and carries it to pool/fleet workers, so one
+            ``trace_id`` spans every process the job touches.
     """
 
     job_id: str
@@ -130,6 +136,7 @@ class JobSpec:
     stack_width: int | None = None
     parallel_batches: bool = False
     run: Callable[[DebugSession], object] | None = None
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.job_id:

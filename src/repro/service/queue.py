@@ -115,6 +115,7 @@ def spec_to_payload(spec: JobSpec) -> dict:
         ),
         "executor_spec": spec.executor_spec.to_wire(),
         "space": space_to_payload(spec.space),
+        "trace": spec.trace,
     }
 
 
@@ -150,6 +151,9 @@ def spec_from_payload(payload: dict) -> JobSpec:
         ),
         stack_width=payload.get("stack_width"),
         parallel_batches=bool(payload.get("parallel_batches", False)),
+        trace=(
+            payload["trace"] if isinstance(payload.get("trace"), dict) else None
+        ),
     )
 
 

@@ -322,6 +322,11 @@ class DebugService:
             handle = JobHandle(spec)
             handle._bus = self._events
             self._jobs[spec.job_id] = handle
+            if spec.trace is not None:
+                # Stamp the submission-edge trace context on every event
+                # this job publishes (child spans published by dispatch
+                # and workers carry their own ids and win the merge).
+                self._events.bind_context(spec.job_id, spec.trace)
             # Everything between acceptance and the controller handoff
             # happens under the same lock as the shutdown check:
             # shutdown() flips _shutdown under this lock *before* it
@@ -455,7 +460,14 @@ class DebugService:
         """The job's innermost executor: in-process or process-pool."""
         if spec.executor_spec is not None and self._pool is not None:
             return self._pool.executor(
-                spec.executor_spec, workflow=spec.workflow
+                spec.executor_spec,
+                workflow=spec.workflow,
+                trace=spec.trace,
+                emit=(
+                    self._events.publisher(spec.job_id)
+                    if spec.trace is not None
+                    else None
+                ),
             )
         if spec.executor is None:
             raise ValueError(

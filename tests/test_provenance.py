@@ -298,8 +298,8 @@ class TestPersistedCodecTables:
         )
 
     def test_schema_version_is_bumped(self, tmp_path):
-        store = SQLiteProvenanceStore(str(tmp_path / "v5.db"))
-        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 5
+        store = SQLiteProvenanceStore(str(tmp_path / "v6.db"))
+        assert store.schema_version == SQLiteProvenanceStore.SCHEMA_VERSION == 6
         store.close()
 
     def test_save_load_roundtrip_and_interning(self, tmp_path):

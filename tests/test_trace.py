@@ -1,0 +1,352 @@
+"""End-to-end trace propagation: context minting, event stamping, and
+causal-tree reconstruction across processes.
+
+A trace context is minted once at the submission edge (HTTP submit or
+``repro serve``), rides the JobSpec through the durable queue codec and
+the scheduler into pool worker processes, and every event the job
+publishes carries it.  ``QueryEngine.trace`` then rebuilds one causal
+tree: the job's root span, a dispatch child span per traced pipeline
+run, and a worker grandchild span stamped with the executing process's
+host and pid -- even when that process is a remote fleet member.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import Instance, Outcome, Parameter, ParameterSpace
+from repro.core.bugdoc import Algorithm
+from repro.exec import EventBus, ExecutorSpec, ProcessPool
+from repro.exec.pool import _child_trace, _worker_span
+from repro.exec.synthetic import build_space
+from repro.obs.query import QueryEngine
+from repro.obs.trace import TraceContext, child_trace_payload
+from repro.provenance import SQLiteProvenanceStore
+from repro.service import (
+    DebugService,
+    DebugServiceHTTP,
+    JobGoal,
+    JobSpec,
+    space_to_payload,
+    spec_from_payload,
+    spec_to_payload,
+)
+
+SYNTH = "repro.exec.synthetic:build_pipeline"
+FAIL_WHEN = {"p0": 1, "p1": 2}
+SPACE = build_space(n_params=4, domain=4)
+
+
+def _synth_spec(**kwargs) -> ExecutorSpec:
+    return ExecutorSpec.from_builder(SYNTH, fail_when=FAIL_WHEN, **kwargs)
+
+
+class TestTraceContext:
+    def test_new_and_child_link_ids(self):
+        root = TraceContext.new()
+        assert len(root.trace_id) == 32 and len(root.span_id) == 16
+        assert root.parent_id is None
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_payload_round_trip(self):
+        root = TraceContext.new()
+        assert TraceContext.from_payload(root.to_payload()) == root
+        child = root.child()
+        payload = child.to_payload()
+        assert payload["parent_id"] == root.span_id
+        assert TraceContext.from_payload(payload) == child
+        # The root payload omits the absent parent.
+        assert "parent_id" not in root.to_payload()
+
+    def test_from_payload_rejects_junk(self):
+        assert TraceContext.from_payload(None) is None
+        assert TraceContext.from_payload({}) is None
+        assert TraceContext.from_payload({"trace_id": 7, "span_id": "x"}) is None
+
+    def test_child_trace_payload(self):
+        root = TraceContext.new().to_payload()
+        child = child_trace_payload(root)
+        assert child["trace_id"] == root["trace_id"]
+        assert child["parent_id"] == root["span_id"]
+        assert child_trace_payload(None) is None
+        assert child_trace_payload({"nope": 1}) is None
+
+
+def _drain(bus: EventBus, job_id: str) -> list:
+    bus.publish(job_id, "finished", {}, close=True)
+    return [e for e in bus.events(job_id, timeout=1.0) if e.kind != "finished"]
+
+
+class TestEventBusContext:
+    def test_bound_context_stamps_events(self):
+        bus = EventBus()
+        bus.bind_context("j", {"trace_id": "t", "span_id": "s"})
+        bus.publish("j", "started", {"x": 1})
+        (event,) = _drain(bus, "j")
+        assert event.payload["trace_id"] == "t"
+        assert event.payload["span_id"] == "s"
+        assert event.payload["x"] == 1
+
+    def test_event_own_trace_fields_win(self):
+        # A child-span event (e.g. run_completed carrying the worker's
+        # span) must not be overwritten by the job's root context.
+        bus = EventBus()
+        bus.bind_context("j", {"trace_id": "t", "span_id": "root"})
+        bus.publish("j", "run_completed", {"span_id": "worker"})
+        (event,) = _drain(bus, "j")
+        assert event.payload["span_id"] == "worker"
+        assert event.payload["trace_id"] == "t"
+
+    def test_unbind_and_discard(self):
+        bus = EventBus()
+        bus.bind_context("j", {"trace_id": "t", "span_id": "s"})
+        bus.bind_context("j", None)
+        bus.publish("j", "started", {})
+        (event,) = _drain(bus, "j")
+        assert "trace_id" not in event.payload
+        bus.bind_context("j", {"trace_id": "t", "span_id": "s"})
+        bus.discard("j")
+        assert bus.bound_context("j") is None
+
+
+class TestCodecRoundTrip:
+    def _spec(self, trace) -> JobSpec:
+        executor_spec = _synth_spec()
+        return JobSpec(
+            job_id="codec",
+            executor=executor_spec.build(),
+            executor_spec=executor_spec,
+            space=SPACE,
+            workflow="wf",
+            goal=JobGoal.FIND_ONE,
+            budget=8,
+            trace=trace,
+        )
+
+    def test_trace_survives_the_queue_codec(self):
+        trace = TraceContext.new().to_payload()
+        payload = spec_to_payload(self._spec(trace))
+        assert payload["trace"] == trace
+        rebuilt = spec_from_payload(json.loads(json.dumps(payload)))
+        assert rebuilt.trace == trace
+
+    def test_untraced_and_junk_trace_stay_none(self):
+        payload = spec_to_payload(self._spec(None))
+        assert payload["trace"] is None
+        assert spec_from_payload(payload).trace is None
+        payload["trace"] = "not-a-dict"
+        assert spec_from_payload(payload).trace is None
+
+
+class TestPoolSpans:
+    def test_child_trace_and_worker_span_helpers(self):
+        trace = {"trace_id": "t" * 32, "span_id": "s" * 16}
+        child = _child_trace(trace)
+        assert child["trace_id"] == trace["trace_id"]
+        assert child["parent_id"] == trace["span_id"]
+        assert _child_trace(None) is None
+        assert _child_trace({"span_id": "orphan"}) is None
+        span = _worker_span(trace)
+        assert span["pid"] == os.getpid()
+        assert span["trace"]["parent_id"] == trace["span_id"]
+        assert _worker_span(None) is None
+
+    def test_run_traced_returns_worker_span(self):
+        spec = _synth_spec()
+        instance = Instance({"p0": 1, "p1": 2, "p2": 3, "p3": 3})
+        with ProcessPool(max_workers=1) as pool:
+            outcome, cost, from_store, span = pool.run_traced(
+                spec, "wf", instance,
+                trace={"trace_id": "t" * 32, "span_id": "s" * 16},
+            )
+            assert outcome is Outcome.FAIL
+            assert span["trace"]["trace_id"] == "t" * 32
+            assert span["trace"]["parent_id"] == "s" * 16
+            assert span["pid"] != os.getpid()  # minted in the worker
+            # Untraced runs carry no span and pay no stamping cost.
+            outcome, cost, from_store, span = pool.run_traced(
+                spec, "wf", instance
+            )
+            assert outcome is Outcome.FAIL and span is None
+
+
+def _wait_terminal(handle, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if handle.status.terminal:
+            return handle.status
+        time.sleep(0.05)
+    raise AssertionError("job never reached a terminal state")
+
+
+class TestServiceCausalTree:
+    def test_process_backend_builds_three_level_tree(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "trace.db")
+        trace = TraceContext.new().to_payload()
+        executor_spec = _synth_spec()
+        spec = JobSpec(
+            job_id="traced",
+            executor=executor_spec.build(),
+            executor_spec=executor_spec,
+            space=SPACE,
+            workflow="wf",
+            algorithm=Algorithm.DECISION_TREES,
+            goal=JobGoal.FIND_ONE,
+            budget=10,
+            trace=trace,
+        )
+        pool = ProcessPool(max_workers=1)
+        service = DebugService(workers=2, store=store, pool=pool)
+        try:
+            handle = service.submit(spec)
+            _wait_terminal(handle)
+            service.events.flush(timeout=10.0)
+            tree = QueryEngine(store).trace(trace["trace_id"])
+        finally:
+            service.shutdown()
+            pool.shutdown()
+            store.close()
+        assert tree["events"] > 0
+        (root,) = tree["tree"]
+        assert root["span_id"] == trace["span_id"]
+        kinds = {e["kind"] for e in root["events"]}
+        assert {"submitted", "started"} <= kinds
+        assert root["children"], "no dispatch spans under the root"
+        dispatch = root["children"][0]
+        assert {e["kind"] for e in dispatch["events"]} == {"run_dispatched"}
+        assert dispatch["children"], "no worker span under the dispatch"
+        worker = dispatch["children"][0]
+        assert {e["kind"] for e in worker["events"]} == {"run_completed"}
+        assert worker["pid"] != os.getpid()
+        assert "host" in worker
+
+    def test_untraced_job_publishes_no_trace_fields(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "untraced.db")
+        executor_spec = _synth_spec()
+        spec = JobSpec(
+            job_id="plain",
+            executor=executor_spec.build(),
+            executor_spec=executor_spec,
+            space=SPACE,
+            workflow="wf",
+            algorithm=Algorithm.DECISION_TREES,
+            goal=JobGoal.FIND_ONE,
+            budget=10,
+        )
+        pool = ProcessPool(max_workers=1)
+        service = DebugService(workers=2, store=store, pool=pool)
+        try:
+            handle = service.submit(spec)
+            _wait_terminal(handle)
+            service.events.flush(timeout=10.0)
+            rows = store.job_event_rows("plain")
+        finally:
+            service.shutdown()
+            pool.shutdown()
+            store.close()
+        assert rows
+        for row in rows:
+            payload = row.get("payload") or {}
+            assert "trace_id" not in payload
+            assert row["kind"] not in ("run_dispatched", "run_completed")
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace(
+        [Parameter("a", (0, 1, 2, 3)), Parameter("b", ("x", "y"))]
+    )
+
+
+def _oracle(instance: Instance) -> Outcome:
+    return Outcome.FAIL if instance["a"] == 0 else Outcome.SUCCEED
+
+
+def make_trace_oracle():
+    """Importable executor builder (resolved via this test module)."""
+    return _oracle
+
+
+class TestHTTPTraceMint:
+    @pytest.fixture()
+    def api(self, tmp_path):
+        store = SQLiteProvenanceStore(tmp_path / "http-trace.db")
+        service = DebugService(workers=2, store=store)
+        api = DebugServiceHTTP(service, store=store)
+        api.start()
+        yield api
+        api.shutdown()
+        service.shutdown()
+        store.close()
+
+    def _payload(self, job_id: str, **extra) -> dict:
+        payload = {
+            "job_id": job_id,
+            "workflow": "http",
+            "algorithm": "decision_trees",
+            "goal": "find_all",
+            "budget": 20,
+            "executor_spec": ExecutorSpec.from_builder(
+                "test_trace:make_trace_oracle"
+            ).to_wire(),
+            "space": space_to_payload(_space()),
+        }
+        payload.update(extra)
+        return payload
+
+    def _post(self, port: int, payload: dict) -> dict:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/jobs",
+            data=json.dumps(payload).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 201
+            return json.loads(response.read())
+
+    def _get(self, port: int, path: str):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return json.loads(response.read())
+
+    def test_submit_mints_trace_and_query_rebuilds_it(self, api):
+        accepted = self._post(api.port, self._payload("t1"))
+        trace_id = accepted["trace_id"]
+        assert isinstance(trace_id, str) and len(trace_id) == 32
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if self._get(api.port, "/jobs/t1")["status"] in (
+                "succeeded", "failed", "cancelled"
+            ):
+                break
+            time.sleep(0.1)
+        tree = self._get(api.port, f"/query?op=trace&trace_id={trace_id}")
+        assert tree["trace_id"] == trace_id
+        assert tree["events"] > 0
+        (root,) = tree["tree"]
+        assert any(e["kind"] == "submitted" for e in root["events"])
+        assert all(e["job_id"] == "t1" for e in root["events"])
+
+    def test_caller_supplied_trace_joins_existing(self, api):
+        mine = TraceContext.new().to_payload()
+        accepted = self._post(
+            api.port, self._payload("t2", trace=mine)
+        )
+        assert accepted["trace_id"] == mine["trace_id"]
+
+    def test_trace_query_requires_id(self, api):
+        try:
+            self._get(api.port, "/query?op=trace")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+        else:  # pragma: no cover
+            raise AssertionError("expected HTTP 400")
